@@ -1,0 +1,52 @@
+// Ablation: strength of the latent interest model. Setting
+// interest_locality to 0 makes every acquisition popularity-driven,
+// removing semantic structure at the source — the workload-model analogue
+// of the paper's trace-randomisation argument (Figs. 14/21). The semantic
+// hit rate should collapse towards the Random baseline as locality drops.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+#include "src/semantic/search_sim.h"
+#include "src/trace/filter.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Ablation: interest-model locality",
+                        "semantic hit rate should collapse as the workload "
+                        "loses interest structure",
+                        options);
+
+  edk::AsciiTable table({"interest locality", "LRU-5", "LRU-10", "LRU-20", "Random-20"});
+  for (double locality : {0.0, 0.3, 0.6, 0.85}) {
+    edk::BenchOptions variant = options;
+    variant.workload.interest_locality = locality;
+    // The variant's trace is not in the shared cache (different knob), so
+    // generate directly.
+    const edk::Trace filtered =
+        edk::FilterDuplicates(edk::GenerateWorkload(variant.workload).trace);
+    const edk::StaticCaches caches = edk::BuildUnionCaches(filtered);
+
+    std::vector<std::string> row = {edk::AsciiTable::FormatCell(locality)};
+    for (size_t k : {5u, 10u, 20u}) {
+      edk::SearchSimConfig config;
+      config.strategy = edk::StrategyKind::kLru;
+      config.list_size = k;
+      config.seed = options.workload.seed;
+      config.track_load = false;
+      row.push_back(
+          edk::FormatPercent(RunSearchSimulation(caches, config).OneHopHitRate()));
+    }
+    edk::SearchSimConfig random;
+    random.strategy = edk::StrategyKind::kRandom;
+    random.list_size = 20;
+    random.seed = options.workload.seed;
+    random.track_load = false;
+    row.push_back(edk::FormatPercent(RunSearchSimulation(caches, random).OneHopHitRate()));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n(LRU converges towards Random as the interest structure vanishes)\n";
+  return 0;
+}

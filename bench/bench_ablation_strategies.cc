@@ -1,0 +1,53 @@
+// Ablation: neighbour-list management strategies, including the
+// popularity-weighted variant (the fix suggested in §5.3.2 / [30] to keep
+// semantic lists from being contaminated by popular-file links). The
+// advantage of popularity weighting should widen on the rare-file workload
+// (popular files removed).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+#include "src/semantic/scenario.h"
+#include "src/semantic/search_sim.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Ablation: list-management strategies (incl. popularity-aware)",
+                        "popularity weighting should help most once popular "
+                        "files dominate lists",
+                        options);
+
+  const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
+  const edk::StaticCaches base = edk::BuildUnionCaches(filtered);
+  const edk::StaticCaches rare_only =
+      edk::RemoveTopFiles(base, 0.15, filtered.file_count());
+
+  const edk::StrategyKind strategies[] = {
+      edk::StrategyKind::kLru, edk::StrategyKind::kHistory,
+      edk::StrategyKind::kPopularityWeighted, edk::StrategyKind::kRandom};
+
+  for (const auto& [label, caches] :
+       {std::pair<const char*, const edk::StaticCaches*>{"full workload", &base},
+        {"rare files only (top 15% popular removed)", &rare_only}}) {
+    std::cout << "--- " << label << " ---\n";
+    edk::AsciiTable table({"neighbours", "LRU", "History", "PopularityWeighted",
+                           "Random"});
+    for (size_t k : {5u, 10u, 20u, 40u}) {
+      std::vector<std::string> row = {std::to_string(k)};
+      for (edk::StrategyKind strategy : strategies) {
+        edk::SearchSimConfig config;
+        config.strategy = strategy;
+        config.list_size = k;
+        config.seed = options.workload.seed;
+        config.track_load = false;
+        row.push_back(
+            edk::FormatPercent(RunSearchSimulation(*caches, config).OneHopHitRate()));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+
+#include "src/common/log.h"
+#include "src/trace/filter.h"
+#include "src/trace/serialize.h"
+
+namespace edk {
+
+namespace {
+
+uint64_t HashConfig(const WorkloadConfig& config, const char* view) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_fraction = [&mix](double v) { mix(static_cast<uint64_t>(v * 1e6)); };
+  mix(config.seed);
+  mix(config.num_peers);
+  mix(config.num_files);
+  mix(config.num_topics);
+  mix(static_cast<uint64_t>(config.first_day));
+  mix(static_cast<uint64_t>(config.num_days));
+  mix_fraction(config.free_rider_fraction);
+  mix_fraction(config.firewalled_fraction);
+  mix_fraction(config.mean_daily_additions);
+  mix_fraction(config.cache_pareto_alpha);
+  mix_fraction(config.cache_pareto_xm);
+  mix_fraction(config.cache_max);
+  mix_fraction(config.interest_locality);
+  mix_fraction(config.geo_topic_affinity);
+  mix_fraction(config.topic_zipf);
+  mix_fraction(config.file_zipf);
+  mix(config.min_interests);
+  mix(config.max_interests);
+  mix_fraction(config.interest_geometric_p);
+  mix_fraction(config.pre_release_fraction);
+  mix(static_cast<uint64_t>(config.pre_release_window_days));
+  mix_fraction(config.flash_decay_days);
+  mix_fraction(config.attractiveness_floor);
+  mix_fraction(config.min_availability);
+  mix_fraction(config.max_availability);
+  mix_fraction(config.late_joiner_fraction);
+  mix_fraction(config.early_leaver_fraction);
+  mix_fraction(config.duplicate_ip_fraction);
+  mix_fraction(config.duplicate_uid_fraction);
+  // Version tag: bump when the generator's algorithm itself changes in a
+  // way that invalidates cached traces.
+  mix_fraction(config.focus_fraction);
+  mix(config.focus_segment_files);
+  mix_fraction(config.global_zipf);
+  mix(9);
+  for (const char* c = view; *c != 0; ++c) {
+    mix(static_cast<uint64_t>(*c));
+  }
+  return h;
+}
+
+std::string CachePath(const WorkloadConfig& config, const char* view) {
+  const char* dir = std::getenv("EDK_TRACE_CACHE_DIR");
+  std::filesystem::path base = dir != nullptr ? dir : std::filesystem::temp_directory_path();
+  char name[64];
+  std::snprintf(name, sizeof(name), "edk_trace_%016llx.bin",
+                static_cast<unsigned long long>(HashConfig(config, view)));
+  return (base / name).string();
+}
+
+Trace LoadOrCompute(const BenchOptions& options, const char* view,
+                    Trace (*compute)(const BenchOptions&)) {
+  const std::string path = CachePath(options.workload, view);
+  if (!options.no_cache) {
+    if (auto cached = LoadTraceFromFile(path); cached.has_value()) {
+      return std::move(*cached);
+    }
+  }
+  Trace trace = compute(options);
+  if (!options.no_cache) {
+    SaveTraceToFile(trace, path);
+  }
+  return trace;
+}
+
+Trace ComputeFull(const BenchOptions& options) {
+  return GenerateWorkload(options.workload).trace;
+}
+
+Trace ComputeFiltered(const BenchOptions& options) {
+  return FilterDuplicates(LoadOrGenerateTrace(options));
+}
+
+Trace ComputeExtrapolated(const BenchOptions& options) {
+  return Extrapolate(LoadOrGenerateFiltered(options));
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--scale=small|medium|large] [--peers=N] [--files=N] [--topics=N]"
+               " [--days=N] [--seed=N] [--no-cache]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  options.workload = MediumWorkloadConfig();
+  // First pass: scale presets, so explicit flags can override them.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      options.scale = argv[i] + 8;
+      if (options.scale == "small") {
+        options.workload = SmallWorkloadConfig();
+      } else if (options.scale == "medium") {
+        options.workload = MediumWorkloadConfig();
+      } else if (options.scale == "large") {
+        options.workload = MediumWorkloadConfig();
+        options.workload.num_peers = 30'000;
+        options.workload.num_files = 200'000;
+        options.workload.num_topics = 400;
+      } else {
+        Usage(argv[0]);
+      }
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--peers=")) {
+      options.workload.num_peers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--files=")) {
+      options.workload.num_files = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--topics=")) {
+      options.workload.num_topics = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--days=")) {
+      options.workload.num_days = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      options.workload.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      options.no_cache = true;
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      // Handled in the first pass.
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+Trace LoadOrGenerateTrace(const BenchOptions& options) {
+  return LoadOrCompute(options, "full", &ComputeFull);
+}
+
+Trace LoadOrGenerateFiltered(const BenchOptions& options) {
+  return LoadOrCompute(options, "filtered", &ComputeFiltered);
+}
+
+Trace LoadOrGenerateExtrapolated(const BenchOptions& options) {
+  return LoadOrCompute(options, "extrapolated", &ComputeExtrapolated);
+}
+
+void PrintBenchHeader(const std::string& experiment, const std::string& paper_reference,
+                      const BenchOptions& options) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "paper reference: " << paper_reference << "\n"
+            << "workload: peers=" << options.workload.num_peers
+            << " files=" << options.workload.num_files
+            << " topics=" << options.workload.num_topics
+            << " days=" << options.workload.num_days
+            << " seed=" << options.workload.seed << "\n\n";
+}
+
+}  // namespace edk

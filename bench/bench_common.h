@@ -1,0 +1,44 @@
+// Shared support for the figure/table reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper from a
+// synthetic workload. The workload scale is configurable (--peers, --files,
+// --days, --seed, --scale small|medium|large) and generated traces are
+// cached on disk keyed by their configuration, so running the whole bench
+// directory does not regenerate the same trace twenty times.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/workload/config.h"
+#include "src/workload/generator.h"
+
+namespace edk {
+
+struct BenchOptions {
+  WorkloadConfig workload;
+  std::string scale = "medium";
+  bool no_cache = false;
+};
+
+// Parses --peers=N --files=N --topics=N --days=N --seed=N --scale=S
+// --no-cache; unknown flags abort with a usage message.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+// Generates (or loads from the on-disk cache) the full trace for the given
+// configuration.
+Trace LoadOrGenerateTrace(const BenchOptions& options);
+
+// Derived views, computed from the full trace (cached alongside).
+Trace LoadOrGenerateFiltered(const BenchOptions& options);
+Trace LoadOrGenerateExtrapolated(const BenchOptions& options);
+
+// Prints a standard bench header naming the experiment.
+void PrintBenchHeader(const std::string& experiment, const std::string& paper_reference,
+                      const BenchOptions& options);
+
+}  // namespace edk
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Extension experiment: AS-level index caching ("PeerCache", §4.1).
+//
+// What fraction of the §5.1 request stream could be answered by an index
+// covering only the requester's AS (or country)? The shuffled-AS control
+// keeps group sizes but destroys locality — the gap to the real labelling
+// is the exploitable geographic clustering.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+#include "src/semantic/as_cache.h"
+#include "src/workload/geography.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Extension: AS-level index cache hit rates (PeerCache)",
+                        "54% of clients in 5 ASes + geographic clustering of "
+                        "sources => operator caches pay off (§4.1)",
+                        options);
+
+  const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
+  const edk::StaticCaches caches = edk::BuildUnionCaches(filtered);
+  edk::AsLocalityConfig config;
+  config.seed = options.workload.seed;
+  const edk::AsLocalityStats stats = edk::EvaluateAsLocality(filtered, caches, config);
+
+  edk::AsciiTable table({"index scope", "request hit rate"});
+  table.AddRow({"requester's AS", edk::FormatPercent(stats.AsLocalRate())});
+  table.AddRow({"requester's country", edk::FormatPercent(stats.CountryLocalRate())});
+  table.AddRow({"shuffled-AS control", edk::FormatPercent(stats.ShuffledAsRate())});
+  table.Print(std::cout);
+  std::cout << "\nlocality gain over size-matched random groups: "
+            << edk::FormatPercent(stats.AsLocalRate() - stats.ShuffledAsRate())
+            << " of requests (" << stats.requests << " requests)\n\n";
+
+  const edk::Geography geography = edk::Geography::PaperDistribution();
+  edk::AsciiTable by_as({"AS", "name", "requests", "AS-local hit rate"});
+  for (size_t i = 0; i < stats.by_as.size() && i < 6; ++i) {
+    const auto& entry = stats.by_as[i];
+    const auto& spec = geography.autonomous_system(entry.autonomous_system);
+    by_as.AddRow({std::to_string(spec.as_number), spec.name,
+                  std::to_string(entry.requests),
+                  edk::FormatPercent(entry.requests == 0
+                                         ? 0.0
+                                         : static_cast<double>(entry.hits) /
+                                               static_cast<double>(entry.requests))});
+  }
+  by_as.Print(std::cout);
+  std::cout << "\n(big incumbent ASes see the highest local hit rates: more "
+               "same-AS peers AND stronger shared-language interests)\n";
+  return 0;
+}

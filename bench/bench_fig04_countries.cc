@@ -1,0 +1,31 @@
+// Reproduces Figure 4: distribution of clients per country.
+// Paper: FR 29%, DE 28%, ES 16%, US 5%, IT 3%, IL 2%, GB 2%, TW/PL/AT/NL 1%.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/geo_clustering.h"
+#include "src/common/table.h"
+#include "src/workload/geography.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Figure 4: distribution of clients per country",
+                        "FR 29%, DE 28%, ES 16%, US 5%, IT 3%, IL 2%, GB 2%, "
+                        "TW/PL/AT/NL 1% each, others 6%",
+                        options);
+
+  const edk::Trace full = edk::LoadOrGenerateTrace(options);
+  const edk::Geography geography = edk::Geography::PaperDistribution();
+  const auto histogram = edk::CountryHistogram(full);
+
+  edk::AsciiTable table({"country", "clients", "measured", "paper"});
+  for (const auto& entry : histogram) {
+    const auto& spec = geography.country(entry.country);
+    table.AddRow({spec.code, std::to_string(entry.clients),
+                  edk::FormatPercent(entry.fraction),
+                  edk::FormatPercent(spec.peer_fraction)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

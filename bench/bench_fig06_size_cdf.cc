@@ -1,0 +1,49 @@
+// Reproduces Figure 6: cumulative distribution of file sizes for several
+// popularity levels. Paper: ~40% of all files < 1 MB, ~50% in the 1-10 MB
+// MP3 range; among files with popularity >= 10, ~55% are > 600 MB DIVX.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/popularity.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Figure 6: file size CDF by popularity",
+                        "all files: 40% <1MB, 50% 1-10MB; popularity>=10: ~55% >600MB",
+                        options);
+
+  const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
+
+  constexpr double kKB = 1024.0;
+  constexpr double kMB = 1024.0 * 1024.0;
+  const double points[] = {10 * kKB,  100 * kKB, kMB,        10 * kMB,
+                           100 * kMB, 600 * kMB, 1000 * kMB};
+
+  edk::AsciiTable table({"size <=", "pop >= 1", "pop >= 5", "pop >= 10"});
+  std::vector<edk::EmpiricalCdf> cdfs;
+  for (uint32_t threshold : {1u, 5u, 10u}) {
+    cdfs.emplace_back(edk::SizesWithPopularityAtLeast(filtered, threshold));
+  }
+  for (double point : points) {
+    std::vector<std::string> row = {edk::FormatBytes(point)};
+    for (const auto& cdf : cdfs) {
+      row.push_back(edk::FormatPercent(cdf.At(point)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nkey shape checks (measured | paper):\n";
+  std::cout << "  all files < 1MB:          " << edk::FormatPercent(cdfs[0].At(kMB))
+            << " | ~40%\n";
+  std::cout << "  all files in 1-10MB:      "
+            << edk::FormatPercent(cdfs[0].At(10 * kMB) - cdfs[0].At(kMB)) << " | ~50%\n";
+  std::cout << "  pop>=10 files > 600MB:    "
+            << edk::FormatPercent(1.0 - cdfs[2].At(600 * kMB)) << " | ~55%\n";
+  std::cout << "  pop>=5 files > 600MB:     "
+            << edk::FormatPercent(1.0 - cdfs[1].At(600 * kMB)) << " | ~45%\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Figures 15-17: evolution of the cache overlap between peer
+// pairs, for cohorts grouped by their overlap on the first day. Paper:
+// overlaps of 1-10 decay smoothly; larger overlaps (20-57, and hundreds)
+// show long plateaux — interest proximity persists for weeks.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/overlap.h"
+#include "src/common/table.h"
+
+namespace {
+
+void PrintCohorts(const edk::Trace& trace, const std::vector<edk::OverlapCohort>& cohorts,
+                  const char* figure) {
+  std::cout << figure << ":\n";
+  std::vector<std::string> headers = {"day"};
+  for (const auto& cohort : cohorts) {
+    if (cohort.pair_count == 0) {
+      continue;
+    }
+    headers.push_back(std::to_string(cohort.initial_overlap) + " common (" +
+                      std::to_string(cohort.pair_count) + " pairs)");
+  }
+  edk::AsciiTable table(headers);
+  const size_t days = static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
+  for (size_t d = 0; d < days; d += 2) {  // Every other day keeps tables short.
+    std::vector<std::string> row = {std::to_string(trace.first_day() + static_cast<int>(d))};
+    for (const auto& cohort : cohorts) {
+      if (cohort.pair_count == 0) {
+        continue;
+      }
+      row.push_back(edk::AsciiTable::FormatCell(cohort.mean_overlap[d]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader(
+      "Figures 15-17: overlap evolution between peer pairs",
+      "small overlaps decay smoothly; large overlaps hold plateaux for weeks",
+      options);
+
+  const edk::Trace extrapolated = edk::LoadOrGenerateExtrapolated(options);
+
+  edk::OverlapEvolutionOptions small;
+  small.cohort_overlaps = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  small.seed = options.workload.seed;
+  PrintCohorts(extrapolated, edk::ComputeOverlapEvolution(extrapolated, small),
+               "Figure 15 (initial overlap 1-10)");
+
+  edk::OverlapEvolutionOptions medium;
+  medium.cohort_overlaps = {20, 25, 30, 35, 40, 45, 51, 57};
+  medium.seed = options.workload.seed;
+  PrintCohorts(extrapolated, edk::ComputeOverlapEvolution(extrapolated, medium),
+               "Figure 16 (initial overlap 20-57)");
+
+  // Figure 17 tracks the very largest overlaps present in the trace: find
+  // them from the day-1 histogram.
+  const auto histogram = edk::OverlapHistogramOnDay(extrapolated, extrapolated.first_day());
+  edk::OverlapEvolutionOptions large;
+  large.cohort_overlaps.clear();
+  for (auto it = histogram.rbegin(); it != histogram.rend() &&
+                                     large.cohort_overlaps.size() < 4; ++it) {
+    if (it->first >= 60) {
+      large.cohort_overlaps.push_back(it->first);
+    }
+  }
+  large.seed = options.workload.seed;
+  if (!large.cohort_overlaps.empty()) {
+    PrintCohorts(extrapolated, edk::ComputeOverlapEvolution(extrapolated, large),
+                 "Figure 17 (largest initial overlaps)");
+  } else {
+    std::cout << "Figure 17: no pairs with overlap >= 60 at this scale; rerun with "
+                 "--scale=large\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 18: hit rate of semantic-neighbour search as a function
+// of the number of neighbours, for the LRU, History and Random strategies.
+//
+// Paper shape: LRU 28/34/41% at 5/10/20 neighbours, History slightly above
+// LRU (47% at 20), Random far below both.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+#include "src/semantic/search_sim.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Figure 18: semantic search hit rate vs #neighbours",
+                        "LRU: 28/34/41% at 5/10/20; History: 47% at 20; Random: low",
+                        options);
+
+  const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
+  const edk::StaticCaches caches = edk::BuildUnionCaches(filtered);
+
+  const size_t list_sizes[] = {5, 10, 20, 40, 80, 120, 160, 200};
+  const edk::StrategyKind strategies[] = {edk::StrategyKind::kLru,
+                                          edk::StrategyKind::kHistory,
+                                          edk::StrategyKind::kRandom};
+
+  edk::AsciiTable table({"neighbours", "LRU", "History", "Random"});
+  for (size_t k : list_sizes) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (edk::StrategyKind strategy : strategies) {
+      edk::SearchSimConfig config;
+      config.strategy = strategy;
+      config.list_size = k;
+      config.seed = options.workload.seed;
+      config.track_load = false;
+      const auto result = RunSearchSimulation(caches, config);
+      row.push_back(edk::FormatPercent(result.OneHopHitRate()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 21: LRU-10 hit rate as the trace is progressively
+// randomised by file swapping. Paper: from 35% on the real trace down to 5%
+// when fully mixed — the 30-point gap is attributable only to genuine
+// semantic proximity.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/semantic/search_sim.h"
+#include "src/trace/randomize.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Figure 21: hit rate vs number of file swappings",
+                        "35% unrandomised -> 5% fully randomised (LRU, 10 neighbours)",
+                        options);
+
+  const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
+  const edk::StaticCaches base = edk::BuildUnionCaches(filtered);
+  const uint64_t full_swaps = edk::RecommendedSwapCount(base);
+
+  edk::AsciiTable table({"swaps", "hit rate", "successful swaps"});
+  const double steps[] = {0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.5};
+  double first_rate = 0;
+  double last_rate = 0;
+  for (double step : steps) {
+    const uint64_t swaps = static_cast<uint64_t>(step * static_cast<double>(full_swaps));
+    edk::Rng rng(options.workload.seed ^ 0xabcdULL);
+    const edk::RandomizeResult randomized = edk::RandomizeCaches(base, swaps, rng);
+    edk::SearchSimConfig config;
+    config.strategy = edk::StrategyKind::kLru;
+    config.list_size = 10;
+    config.seed = options.workload.seed;
+    config.track_load = false;
+    const double rate = RunSearchSimulation(randomized.caches, config).OneHopHitRate();
+    if (step == 0.0) {
+      first_rate = rate;
+    }
+    last_rate = rate;
+    table.AddRow({std::to_string(swaps), edk::FormatPercent(rate),
+                  std::to_string(randomized.successful_swaps)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nsemantic share of the hit rate: "
+            << edk::FormatPercent(first_rate - last_rate)
+            << " (paper: ~30 points; residual " << edk::FormatPercent(last_rate)
+            << " explained by popular files + generous peers)\n";
+  return 0;
+}

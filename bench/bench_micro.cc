@@ -1,0 +1,137 @@
+// Microbenchmarks of the workbench's hot paths (google-benchmark):
+// PRNG, Zipf sampling, MD4 hashing, overlap counting, neighbour-list
+// operations, cache randomisation and the event queue.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/md4.h"
+#include "src/common/random_access_set.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/net/event_queue.h"
+#include "src/semantic/neighbour_list.h"
+#include "src/trace/randomize.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+namespace {
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBelow(1'000'000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(2);
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+void BM_Md4Hash(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md4::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Md4Hash)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_OverlapSize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<FileId> a;
+  std::vector<FileId> b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(FileId(static_cast<uint32_t>(2 * i)));
+    b.push_back(FileId(static_cast<uint32_t>(3 * i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OverlapSize(a, b));
+  }
+}
+BENCHMARK(BM_OverlapSize)->Arg(100)->Arg(1000);
+
+void BM_RandomAccessSetChurn(benchmark::State& state) {
+  RandomAccessSet<uint32_t> set;
+  Rng rng(3);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    set.Insert(i);
+  }
+  for (auto _ : state) {
+    const uint32_t victim = set.RandomElement(rng);
+    set.Erase(victim);
+    set.Insert(victim + 1000 + static_cast<uint32_t>(rng.NextBelow(1000)));
+  }
+}
+BENCHMARK(BM_RandomAccessSetChurn);
+
+void BM_LruRecordUpload(benchmark::State& state) {
+  auto list = MakeNeighbourList(StrategyKind::kLru, static_cast<size_t>(state.range(0)));
+  Rng rng(4);
+  for (auto _ : state) {
+    list->RecordUpload(static_cast<uint32_t>(rng.NextBelow(500)), 1.0);
+  }
+}
+BENCHMARK(BM_LruRecordUpload)->Arg(20)->Arg(200);
+
+void BM_HistoryCollect(benchmark::State& state) {
+  auto list = MakeNeighbourList(StrategyKind::kHistory, 20);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    list->RecordUpload(static_cast<uint32_t>(rng.NextBelow(200)), 1.0);
+  }
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    list->Collect(static_cast<size_t>(state.range(0)), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_HistoryCollect)->Arg(5)->Arg(20);
+
+void BM_RandomizeSwaps(benchmark::State& state) {
+  // 500 peers x 40 files.
+  StaticCaches caches;
+  Rng setup(6);
+  caches.caches.resize(500);
+  for (auto& cache : caches.caches) {
+    RandomAccessSet<uint32_t> unique;
+    while (unique.size() < 40) {
+      unique.Insert(static_cast<uint32_t>(setup.NextBelow(20'000)));
+    }
+    for (uint32_t f : unique) {
+      cache.push_back(FileId(f));
+    }
+    std::sort(cache.begin(), cache.end());
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomizeCaches(caches, 10'000, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_RandomizeSwaps);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue queue;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      queue.Schedule(static_cast<double>(i % 17), [&sink] { ++sink; });
+    }
+    queue.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+}  // namespace
+}  // namespace edk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Reproduces Table 1: general characteristics of the full, filtered and
+// extrapolated traces.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/report.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Table 1: general trace characteristics",
+                        "full: 56d, 1.16M clients, 84% free-riders, 11M files, 318 TB; "
+                        "filtered: 320k clients, 70% free-riders; "
+                        "extrapolated: 42d, 53k clients, 74% free-riders",
+                        options);
+
+  const edk::Trace full = edk::LoadOrGenerateTrace(options);
+  std::cout << edk::RenderCharacteristics("Full trace", edk::Characterize(full)) << "\n";
+
+  const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
+  std::cout << edk::RenderCharacteristics("Filtered trace", edk::Characterize(filtered))
+            << "\n";
+
+  const edk::Trace extrapolated = edk::LoadOrGenerateExtrapolated(options);
+  std::cout << edk::RenderCharacteristics("Extrapolated trace",
+                                          edk::Characterize(extrapolated))
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Rare files are the hardest to locate in flooding/server systems — and,
+// per the paper, exactly where semantic neighbours shine. This example
+// quantifies that: it compares semantic hit rates on the full workload vs
+// the rare-file remainder after stripping popular files, and shows the
+// clustering correlation that explains the gap.
+//
+//   ./examples/rare_file_hunt
+
+#include <iostream>
+
+#include "src/analysis/clustering.h"
+#include "src/common/table.h"
+#include "src/semantic/scenario.h"
+#include "src/semantic/search_sim.h"
+#include "src/trace/filter.h"
+#include "src/workload/generator.h"
+
+int main() {
+  edk::WorkloadConfig config = edk::MediumWorkloadConfig();
+  config.num_peers = 6'000;
+  config.num_files = 40'000;
+  config.num_topics = 250;
+  config.seed = 99;
+  std::cout << "Generating workload and building the filtered trace...\n\n";
+  const edk::Trace filtered = edk::FilterDuplicates(edk::GenerateWorkload(config).trace);
+  const edk::StaticCaches all = edk::BuildUnionCaches(filtered);
+
+  // 1. Why rare files cluster: P(another common file) restricted to
+  //    low-popularity files vs all files.
+  const auto all_curve = edk::ComputeClusteringCurve(all, 8);
+  const auto rare_mask = edk::MaskExactPopularity(all, filtered.file_count(), 3);
+  const auto rare_curve = edk::ComputeClusteringCurve(all, 8, &rare_mask);
+  edk::AsciiTable clustering({"files in common", "all files", "popularity-3 files"});
+  for (size_t k : {1u, 2u, 3u, 5u}) {
+    clustering.AddRow({std::to_string(k), edk::FormatPercent(all_curve.ProbabilityAt(k)),
+                       rare_curve.pairs_at_least[k] == 0
+                           ? "-"
+                           : edk::FormatPercent(rare_curve.ProbabilityAt(k))});
+  }
+  std::cout << "clustering correlation:\n";
+  clustering.Print(std::cout);
+
+  // 2. What it buys: searching after removing the head of the popularity
+  //    distribution raises the semantic hit rate.
+  edk::AsciiTable hits({"workload", "requests", "LRU-5 hit rate"});
+  for (const auto& [label, fraction] :
+       {std::pair<const char*, double>{"full workload", 0.0},
+        {"w/o 5% most popular files", 0.05},
+        {"w/o 15% most popular files", 0.15}}) {
+    const edk::StaticCaches caches =
+        fraction == 0.0 ? all : edk::RemoveTopFiles(all, fraction, filtered.file_count());
+    edk::SearchSimConfig sim;
+    sim.strategy = edk::StrategyKind::kLru;
+    sim.list_size = 5;  // Short lists are where rare-file clustering shows most.
+    sim.track_load = false;
+    const auto result = RunSearchSimulation(caches, sim);
+    hits.AddRow({label, std::to_string(result.requests),
+                 edk::FormatPercent(result.OneHopHitRate())});
+  }
+  std::cout << "\nsemantic search on progressively rarer workloads:\n";
+  hits.Print(std::cout);
+  std::cout << "\nThe hit rate *rises* as the workload gets rarer — semantic links "
+               "are most valuable precisely for the files a server-less flooding "
+               "search would practically never find.\n";
+  return 0;
+}

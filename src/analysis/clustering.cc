@@ -1,0 +1,100 @@
+#include "src/analysis/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace edk {
+
+double ClusteringCurve::ProbabilityAt(size_t k) const {
+  if (k == 0 || k >= probability.size()) {
+    return 0;
+  }
+  return probability[k];
+}
+
+ClusteringCurve ComputeClusteringCurve(const StaticCaches& caches, size_t max_k,
+                                       const std::vector<bool>* file_mask) {
+  // Inverted index: file -> holders (restricted to masked files).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> holders;
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    for (FileId f : caches.caches[p]) {
+      if (file_mask != nullptr && !(*file_mask)[f.value]) {
+        continue;
+      }
+      holders[f.value].push_back(p);
+    }
+  }
+
+  // Pair overlap distribution. overlap_histogram[c] = #pairs with exactly c
+  // common (masked) files. Memory stays bounded by processing one anchor
+  // peer at a time.
+  std::unordered_map<uint64_t, uint64_t> overlap_histogram;
+  {
+    // Per-peer candidate counting. Holders lists are sorted by construction
+    // (peers iterated in order), so "q > p" dedupes pairs.
+    std::unordered_map<uint32_t, uint32_t> local;
+    for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+      local.clear();
+      for (FileId f : caches.caches[p]) {
+        if (file_mask != nullptr && !(*file_mask)[f.value]) {
+          continue;
+        }
+        const auto it = holders.find(f.value);
+        if (it == holders.end()) {
+          continue;
+        }
+        for (uint32_t q : it->second) {
+          if (q > p) {
+            ++local[q];
+          }
+        }
+      }
+      for (const auto& [q, count] : local) {
+        ++overlap_histogram[count];
+      }
+    }
+  }
+
+  ClusteringCurve curve;
+  curve.pairs_at_least.assign(max_k + 2, 0);
+  for (const auto& [overlap, pairs] : overlap_histogram) {
+    const uint64_t capped = std::min<uint64_t>(overlap, max_k + 1);
+    // Every pair with overlap c contributes to pairs_at_least[1..c].
+    curve.pairs_at_least[capped] += pairs;
+  }
+  // Suffix-sum to convert "exactly capped" buckets into ">= k" counts.
+  for (size_t k = max_k; k >= 1; --k) {
+    curve.pairs_at_least[k] += curve.pairs_at_least[k + 1];
+  }
+  curve.probability.assign(max_k + 1, 0.0);
+  for (size_t k = 1; k <= max_k; ++k) {
+    if (curve.pairs_at_least[k] > 0) {
+      curve.probability[k] = static_cast<double>(curve.pairs_at_least[k + 1]) /
+                             static_cast<double>(curve.pairs_at_least[k]);
+    }
+  }
+  return curve;
+}
+
+std::vector<bool> MaskCategoryPopularity(const Trace& trace, FileCategory category,
+                                         uint32_t min_sources, uint32_t max_sources) {
+  const auto counts = trace.SourceCounts();
+  std::vector<bool> mask(trace.file_count(), false);
+  for (size_t f = 0; f < mask.size(); ++f) {
+    mask[f] = trace.file(FileId(static_cast<uint32_t>(f))).category == category &&
+              counts[f] >= min_sources && counts[f] <= max_sources;
+  }
+  return mask;
+}
+
+std::vector<bool> MaskExactPopularity(const StaticCaches& caches, size_t file_count,
+                                      uint32_t sources) {
+  const auto counts = caches.SourceCounts(file_count);
+  std::vector<bool> mask(file_count, false);
+  for (size_t f = 0; f < file_count; ++f) {
+    mask[f] = counts[f] == sources;
+  }
+  return mask;
+}
+
+}  // namespace edk

@@ -1,0 +1,86 @@
+#include "src/analysis/contribution.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace edk {
+
+double ContributionStats::FreeRiderFraction() const {
+  if (clients == 0) {
+    return 0;
+  }
+  return static_cast<double>(free_riders) / static_cast<double>(clients);
+}
+
+double ContributionStats::TopSharerShare(double fraction) const {
+  std::vector<uint64_t> sharer_files;
+  uint64_t total = 0;
+  for (uint64_t files : files_per_client) {
+    if (files > 0) {
+      sharer_files.push_back(files);
+      total += files;
+    }
+  }
+  if (sharer_files.empty() || total == 0) {
+    return 0;
+  }
+  std::sort(sharer_files.begin(), sharer_files.end(), std::greater<>());
+  const size_t top = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(sharer_files.size())));
+  uint64_t top_sum = 0;
+  for (size_t i = 0; i < top && i < sharer_files.size(); ++i) {
+    top_sum += sharer_files[i];
+  }
+  return static_cast<double>(top_sum) / static_cast<double>(total);
+}
+
+ContributionStats ComputeContribution(const Trace& trace) {
+  ContributionStats stats;
+  stats.clients = trace.peer_count();
+  stats.files_per_client.resize(trace.peer_count(), 0);
+  stats.bytes_per_client.resize(trace.peer_count(), 0);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto cache = trace.UnionCache(id);
+    stats.files_per_client[p] = cache.size();
+    uint64_t bytes = 0;
+    for (FileId f : cache) {
+      bytes += trace.file(f).size_bytes;
+    }
+    stats.bytes_per_client[p] = bytes;
+    if (cache.empty()) {
+      ++stats.free_riders;
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+std::vector<double> ToSamples(const std::vector<uint64_t>& values,
+                              const std::vector<uint64_t>& files,
+                              bool exclude_free_riders) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (exclude_free_riders && files[i] == 0) {
+      continue;
+    }
+    out.push_back(static_cast<double>(values[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> FilesCdfSamples(const ContributionStats& stats,
+                                    bool exclude_free_riders) {
+  return ToSamples(stats.files_per_client, stats.files_per_client, exclude_free_riders);
+}
+
+std::vector<double> BytesCdfSamples(const ContributionStats& stats,
+                                    bool exclude_free_riders) {
+  return ToSamples(stats.bytes_per_client, stats.files_per_client, exclude_free_riders);
+}
+
+}  // namespace edk

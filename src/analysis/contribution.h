@@ -1,0 +1,40 @@
+// Peer contribution analysis (paper §3, Fig. 7): files and bytes shared per
+// client, with and without free-riders, plus sharing-skew summaries.
+
+#ifndef SRC_ANALYSIS_CONTRIBUTION_H_
+#define SRC_ANALYSIS_CONTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct ContributionStats {
+  // Indexed by peer; files/bytes from the union cache over the trace.
+  std::vector<uint64_t> files_per_client;
+  std::vector<uint64_t> bytes_per_client;
+
+  size_t free_riders = 0;
+  size_t clients = 0;
+
+  double FreeRiderFraction() const;
+  // Fraction of all shared file replicas held by the top `fraction` of
+  // sharers (non-free-riders) by file count. The paper reports the top 15%
+  // of peers offering ~75% of files.
+  double TopSharerShare(double fraction) const;
+};
+
+ContributionStats ComputeContribution(const Trace& trace);
+
+// CDF sample vectors for Fig. 7 (files axis and bytes axis), optionally
+// excluding free riders.
+std::vector<double> FilesCdfSamples(const ContributionStats& stats,
+                                    bool exclude_free_riders);
+std::vector<double> BytesCdfSamples(const ContributionStats& stats,
+                                    bool exclude_free_riders);
+
+}  // namespace edk
+
+#endif  // SRC_ANALYSIS_CONTRIBUTION_H_

@@ -1,0 +1,108 @@
+#include "src/analysis/geo_clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/analysis/popularity.h"
+
+namespace edk {
+
+std::vector<CountryCount> CountryHistogram(const Trace& trace) {
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (const auto& peer : trace.peers()) {
+    ++counts[peer.country.value];
+  }
+  std::vector<CountryCount> out;
+  out.reserve(counts.size());
+  for (const auto& [country, clients] : counts) {
+    CountryCount entry;
+    entry.country = CountryId(country);
+    entry.clients = clients;
+    entry.fraction =
+        static_cast<double>(clients) / static_cast<double>(trace.peer_count());
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const CountryCount& a, const CountryCount& b) {
+    return a.clients > b.clients;
+  });
+  return out;
+}
+
+std::vector<AsShare> TopAutonomousSystems(const Trace& trace, size_t k) {
+  std::unordered_map<uint32_t, uint32_t> as_counts;
+  std::unordered_map<uint32_t, uint32_t> country_counts;
+  std::unordered_map<uint32_t, uint32_t> as_country;
+  for (const auto& peer : trace.peers()) {
+    ++as_counts[peer.autonomous_system.value];
+    ++country_counts[peer.country.value];
+    as_country[peer.autonomous_system.value] = peer.country.value;
+  }
+  std::vector<AsShare> out;
+  out.reserve(as_counts.size());
+  for (const auto& [as_number, clients] : as_counts) {
+    AsShare share;
+    share.autonomous_system = AsId(as_number);
+    share.clients = clients;
+    share.global_fraction =
+        static_cast<double>(clients) / static_cast<double>(trace.peer_count());
+    const uint32_t national = country_counts[as_country[as_number]];
+    share.national_fraction =
+        national == 0 ? 0 : static_cast<double>(clients) / static_cast<double>(national);
+    out.push_back(share);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AsShare& a, const AsShare& b) { return a.clients > b.clients; });
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+namespace {
+
+// Shared implementation: the "home" of a file is the attribute value (country
+// or AS) hosting the most sources; returns, per qualifying file, the
+// fraction of sources at home.
+template <typename AttributeFn>
+std::vector<double> HomeFractions(const Trace& trace, double min_popularity,
+                                  AttributeFn attribute_of) {
+  const auto popularity = AveragePopularity(trace);
+  // Sources per file from union caches.
+  std::vector<std::vector<uint32_t>> file_source_attr(trace.file_count());
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const uint32_t attr = attribute_of(trace.peer(id));
+    for (FileId f : trace.UnionCache(id)) {
+      file_source_attr[f.value].push_back(attr);
+    }
+  }
+  std::vector<double> out;
+  std::unordered_map<uint32_t, uint32_t> histogram;
+  for (size_t f = 0; f < trace.file_count(); ++f) {
+    const auto& attrs = file_source_attr[f];
+    if (attrs.empty() || popularity[f] < min_popularity) {
+      continue;
+    }
+    histogram.clear();
+    uint32_t best = 0;
+    for (uint32_t attr : attrs) {
+      best = std::max(best, ++histogram[attr]);
+    }
+    out.push_back(static_cast<double>(best) / static_cast<double>(attrs.size()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> HomeCountryFractions(const Trace& trace, double min_popularity) {
+  return HomeFractions(trace, min_popularity,
+                       [](const PeerInfo& peer) { return peer.country.value; });
+}
+
+std::vector<double> HomeAsFractions(const Trace& trace, double min_popularity) {
+  return HomeFractions(trace, min_popularity,
+                       [](const PeerInfo& peer) { return peer.autonomous_system.value; });
+}
+
+}  // namespace edk

@@ -1,0 +1,47 @@
+// Geographical clustering analyses (paper §4.1): Fig. 4 (clients per
+// country), Figs. 11-12 (CDF of the fraction of a file's sources located in
+// its home country / home AS, split by average popularity) and Table 2
+// (top autonomous systems).
+
+#ifndef SRC_ANALYSIS_GEO_CLUSTERING_H_
+#define SRC_ANALYSIS_GEO_CLUSTERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+
+struct CountryCount {
+  CountryId country;
+  uint32_t clients = 0;
+  double fraction = 0;
+};
+
+// Clients per country, descending (Fig. 4).
+std::vector<CountryCount> CountryHistogram(const Trace& trace);
+
+struct AsShare {
+  AsId autonomous_system;
+  uint32_t clients = 0;
+  double global_fraction = 0;    // Among all clients.
+  double national_fraction = 0;  // Among clients of its own country.
+};
+
+// Top autonomous systems by hosted clients, descending (Table 2).
+std::vector<AsShare> TopAutonomousSystems(const Trace& trace, size_t k);
+
+// For every file with >= 1 source and average popularity >= min_popularity:
+// the fraction of its sources in its home country (the country hosting the
+// most sources). One Fig. 11 curve per popularity threshold.
+std::vector<double> HomeCountryFractions(const Trace& trace, double min_popularity);
+
+// Same at the AS level (Fig. 12).
+std::vector<double> HomeAsFractions(const Trace& trace, double min_popularity);
+
+}  // namespace edk
+
+#endif  // SRC_ANALYSIS_GEO_CLUSTERING_H_

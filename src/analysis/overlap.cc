@@ -1,0 +1,110 @@
+#include "src/analysis/overlap.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace edk {
+
+namespace {
+
+// Enumerates all peer pairs with >= 1 common file on `day` and calls
+// visit(p, q, overlap) for each (p < q).
+template <typename Visitor>
+void ForEachOverlappingPair(const Trace& trace, int day, Visitor visit) {
+  const StaticCaches caches = BuildDayCaches(trace, day);
+  std::unordered_map<uint32_t, std::vector<uint32_t>> holders;
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    for (FileId f : caches.caches[p]) {
+      holders[f.value].push_back(p);
+    }
+  }
+  std::unordered_map<uint32_t, uint32_t> local;
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    local.clear();
+    for (FileId f : caches.caches[p]) {
+      for (uint32_t q : holders[f.value]) {
+        if (q > p) {
+          ++local[q];
+        }
+      }
+    }
+    for (const auto& [q, overlap] : local) {
+      visit(p, q, overlap);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint64_t>> OverlapHistogramOnDay(const Trace& trace,
+                                                                 int day) {
+  std::map<uint32_t, uint64_t> histogram;
+  ForEachOverlappingPair(trace, day, [&histogram](uint32_t, uint32_t, uint32_t overlap) {
+    ++histogram[overlap];
+  });
+  return {histogram.begin(), histogram.end()};
+}
+
+std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
+                                                   const OverlapEvolutionOptions& options) {
+  std::vector<OverlapCohort> cohorts;
+  cohorts.reserve(options.cohort_overlaps.size());
+  std::unordered_map<uint32_t, size_t> cohort_index;
+  for (uint32_t value : options.cohort_overlaps) {
+    cohort_index[value] = cohorts.size();
+    OverlapCohort cohort;
+    cohort.initial_overlap = value;
+    cohorts.push_back(std::move(cohort));
+  }
+
+  const int first_day = trace.first_day();
+  Rng rng(options.seed);
+  ForEachOverlappingPair(
+      trace, first_day,
+      [&](uint32_t p, uint32_t q, uint32_t overlap) {
+        const auto it = cohort_index.find(overlap);
+        if (it == cohort_index.end()) {
+          return;
+        }
+        OverlapCohort& cohort = cohorts[it->second];
+        ++cohort.pair_count;
+        if (cohort.pairs.size() < options.max_pairs_per_cohort) {
+          cohort.pairs.emplace_back(p, q);
+        } else {
+          // Reservoir sampling keeps the subsample uniform.
+          const uint64_t slot = rng.NextBelow(cohort.pair_count);
+          if (slot < options.max_pairs_per_cohort) {
+            cohort.pairs[slot] = {p, q};
+          }
+        }
+      });
+
+  const size_t days = static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
+  for (auto& cohort : cohorts) {
+    cohort.mean_overlap.assign(days, 0.0);
+  }
+  for (size_t d = 0; d < days; ++d) {
+    const int day = first_day + static_cast<int>(d);
+    for (auto& cohort : cohorts) {
+      if (cohort.pairs.empty()) {
+        continue;
+      }
+      double sum = 0;
+      uint64_t counted = 0;
+      for (const auto& [p, q] : cohort.pairs) {
+        const CacheSnapshot* a = trace.timeline(PeerId(p)).SnapshotOn(day);
+        const CacheSnapshot* b = trace.timeline(PeerId(q)).SnapshotOn(day);
+        if (a == nullptr || b == nullptr) {
+          continue;
+        }
+        sum += static_cast<double>(OverlapSize(a->files, b->files));
+        ++counted;
+      }
+      cohort.mean_overlap[d] = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+    }
+  }
+  return cohorts;
+}
+
+}  // namespace edk

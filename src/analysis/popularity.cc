@@ -1,0 +1,141 @@
+#include "src/analysis/popularity.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace edk {
+
+std::vector<DailyActivity> ComputeDailyActivity(const Trace& trace) {
+  std::vector<DailyActivity> out;
+  if (trace.last_day() < trace.first_day()) {
+    return out;
+  }
+  const size_t days = static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
+  out.resize(days);
+  for (size_t d = 0; d < days; ++d) {
+    out[d].day = trace.first_day() + static_cast<int>(d);
+  }
+  // first_seen_day per file; kInvalid marks never-seen.
+  std::vector<int> first_seen(trace.file_count(), -1);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    for (const auto& snapshot : trace.timeline(PeerId(static_cast<uint32_t>(p))).snapshots) {
+      auto& day = out[static_cast<size_t>(snapshot.day - trace.first_day())];
+      ++day.clients_scanned;
+      if (!snapshot.files.empty()) {
+        ++day.non_empty_caches;
+        day.files_seen += snapshot.files.size();
+        for (FileId f : snapshot.files) {
+          if (first_seen[f.value] == -1 || snapshot.day < first_seen[f.value]) {
+            first_seen[f.value] = snapshot.day;
+          }
+        }
+      }
+    }
+  }
+  for (int day : first_seen) {
+    if (day >= 0) {
+      ++out[static_cast<size_t>(day - trace.first_day())].new_files;
+    }
+  }
+  uint64_t cumulative = 0;
+  for (auto& day : out) {
+    cumulative += day.new_files;
+    day.total_files = cumulative;
+  }
+  return out;
+}
+
+std::vector<uint32_t> RankedSourcesOnDay(const Trace& trace, int day) {
+  std::vector<uint32_t> counts(trace.file_count(), 0);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const CacheSnapshot* snapshot =
+        trace.timeline(PeerId(static_cast<uint32_t>(p))).SnapshotOn(day);
+    if (snapshot == nullptr) {
+      continue;
+    }
+    for (FileId f : snapshot->files) {
+      ++counts[f.value];
+    }
+  }
+  std::vector<uint32_t> ranked;
+  ranked.reserve(counts.size());
+  for (uint32_t c : counts) {
+    if (c > 0) {
+      ranked.push_back(c);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  return ranked;
+}
+
+std::vector<uint32_t> RankedSourcesOverall(const Trace& trace) {
+  auto counts = trace.SourceCounts();
+  std::vector<uint32_t> ranked;
+  ranked.reserve(counts.size());
+  for (uint32_t c : counts) {
+    if (c > 0) {
+      ranked.push_back(c);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  return ranked;
+}
+
+LinearFit FitZipfTail(const std::vector<uint32_t>& ranked_sources, size_t skip_head) {
+  std::vector<double> ranks;
+  std::vector<double> sources;
+  for (size_t i = skip_head; i < ranked_sources.size(); ++i) {
+    ranks.push_back(static_cast<double>(i + 1));
+    sources.push_back(static_cast<double>(ranked_sources[i]));
+  }
+  return FitLogLog(ranks, sources);
+}
+
+std::vector<double> SizesWithPopularityAtLeast(const Trace& trace, uint32_t threshold) {
+  const auto counts = trace.SourceCounts();
+  std::vector<double> sizes;
+  for (size_t f = 0; f < counts.size(); ++f) {
+    if (counts[f] >= threshold) {
+      sizes.push_back(static_cast<double>(trace.file(FileId(static_cast<uint32_t>(f))).size_bytes));
+    }
+  }
+  return sizes;
+}
+
+std::vector<double> AveragePopularity(const Trace& trace) {
+  std::vector<uint32_t> days_seen(trace.file_count(), 0);
+  std::vector<int> last_day_counted(trace.file_count(), trace.first_day() - 1);
+  // Distinct sources via union caches.
+  std::vector<uint32_t> sources(trace.file_count(), 0);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    for (FileId f : trace.UnionCache(PeerId(static_cast<uint32_t>(p)))) {
+      ++sources[f.value];
+    }
+  }
+  // Day-major sweep so each (file, day) is counted exactly once.
+  for (int day = trace.first_day(); day <= trace.last_day(); ++day) {
+    for (size_t p = 0; p < trace.peer_count(); ++p) {
+      const CacheSnapshot* snapshot =
+          trace.timeline(PeerId(static_cast<uint32_t>(p))).SnapshotOn(day);
+      if (snapshot == nullptr) {
+        continue;
+      }
+      for (FileId f : snapshot->files) {
+        if (last_day_counted[f.value] != day) {
+          last_day_counted[f.value] = day;
+          ++days_seen[f.value];
+        }
+      }
+    }
+  }
+  std::vector<double> out(trace.file_count(), 0);
+  for (size_t f = 0; f < out.size(); ++f) {
+    if (days_seen[f] > 0) {
+      out[f] = static_cast<double>(sources[f]) / static_cast<double>(days_seen[f]);
+    }
+  }
+  return out;
+}
+
+}  // namespace edk

@@ -1,0 +1,51 @@
+// File popularity and daily activity analyses (paper §2.3 and §3):
+// Fig. 1 (clients & files per day), Fig. 2 (new/total files discovered),
+// Fig. 3 (extrapolated files & non-empty caches), Fig. 5 (replication vs
+// rank) and Fig. 6 (size CDF by popularity).
+
+#ifndef SRC_ANALYSIS_POPULARITY_H_
+#define SRC_ANALYSIS_POPULARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct DailyActivity {
+  int day = 0;
+  uint32_t clients_scanned = 0;    // Peers with a snapshot that day.
+  uint32_t non_empty_caches = 0;
+  uint64_t files_seen = 0;         // Sum of snapshot cache sizes.
+  uint32_t new_files = 0;          // Files first observed that day.
+  uint64_t total_files = 0;        // Cumulative distinct files so far.
+};
+
+// One row per day of the trace (Figs. 1-3).
+std::vector<DailyActivity> ComputeDailyActivity(const Trace& trace);
+
+// Number of sources per file for files present on `day`, sorted descending
+// (rank order) — one Fig. 5 curve.
+std::vector<uint32_t> RankedSourcesOnDay(const Trace& trace, int day);
+
+// Ranked distinct-source counts over the whole trace (union caches).
+std::vector<uint32_t> RankedSourcesOverall(const Trace& trace);
+
+// Zipf check: fits log(sources) vs log(rank) over the tail (ranks beyond
+// the initial flat head).
+LinearFit FitZipfTail(const std::vector<uint32_t>& ranked_sources,
+                      size_t skip_head = 10);
+
+// File sizes (bytes) of files with overall popularity >= threshold, for the
+// Fig. 6 CDFs.
+std::vector<double> SizesWithPopularityAtLeast(const Trace& trace,
+                                               uint32_t threshold);
+
+// Average popularity per file: distinct sources / days seen (paper §4.1).
+std::vector<double> AveragePopularity(const Trace& trace);
+
+}  // namespace edk
+
+#endif  // SRC_ANALYSIS_POPULARITY_H_

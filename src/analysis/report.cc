@@ -1,0 +1,42 @@
+#include "src/analysis/report.h"
+
+#include <sstream>
+
+#include "src/common/table.h"
+
+namespace edk {
+
+TraceCharacteristics Characterize(const Trace& trace) {
+  TraceCharacteristics out;
+  if (trace.last_day() >= trace.first_day()) {
+    out.duration_days = trace.last_day() - trace.first_day() + 1;
+  }
+  out.clients = trace.peer_count();
+  out.free_riders = trace.CountFreeRiders();
+  out.snapshots = trace.TotalSnapshots();
+  const auto counts = trace.SourceCounts();
+  for (size_t f = 0; f < counts.size(); ++f) {
+    if (counts[f] > 0) {
+      ++out.distinct_files;
+      out.distinct_bytes += trace.file(FileId(static_cast<uint32_t>(f))).size_bytes;
+    }
+  }
+  return out;
+}
+
+std::string RenderCharacteristics(const std::string& title,
+                                  const TraceCharacteristics& characteristics) {
+  AsciiTable table({title, "value"});
+  table.AddRow({"Duration (days)", std::to_string(characteristics.duration_days)});
+  table.AddRow({"Number of clients", std::to_string(characteristics.clients)});
+  table.AddRow({"Number of free-riders",
+                std::to_string(characteristics.free_riders) + " (" +
+                    FormatPercent(characteristics.FreeRiderFraction(), 0) + ")"});
+  table.AddRow({"Number of successful snapshots", std::to_string(characteristics.snapshots)});
+  table.AddRow({"Number of distinct files", std::to_string(characteristics.distinct_files)});
+  table.AddRow({"Space used by distinct files",
+                FormatBytes(static_cast<double>(characteristics.distinct_bytes))});
+  return table.ToString();
+}
+
+}  // namespace edk

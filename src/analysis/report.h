@@ -1,0 +1,34 @@
+// General trace characterisation (paper Table 1).
+
+#ifndef SRC_ANALYSIS_REPORT_H_
+#define SRC_ANALYSIS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct TraceCharacteristics {
+  int duration_days = 0;
+  size_t clients = 0;
+  size_t free_riders = 0;
+  size_t snapshots = 0;          // "Successful snapshots".
+  size_t distinct_files = 0;     // Files observed at least once.
+  uint64_t distinct_bytes = 0;   // Space used by distinct observed files.
+
+  double FreeRiderFraction() const {
+    return clients == 0 ? 0 : static_cast<double>(free_riders) / static_cast<double>(clients);
+  }
+};
+
+TraceCharacteristics Characterize(const Trace& trace);
+
+// Renders the Table-1-style report for one trace view.
+std::string RenderCharacteristics(const std::string& title,
+                                  const TraceCharacteristics& characteristics);
+
+}  // namespace edk
+
+#endif  // SRC_ANALYSIS_REPORT_H_

@@ -1,0 +1,118 @@
+#include "src/analysis/spread.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace edk {
+
+namespace {
+
+std::vector<FileId> TopKFromCounts(const std::vector<uint32_t>& counts, size_t k) {
+  std::vector<uint32_t> indices(counts.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  const size_t top = std::min(k, indices.size());
+  std::partial_sort(indices.begin(), indices.begin() + static_cast<long>(top),
+                    indices.end(), [&counts](uint32_t a, uint32_t b) {
+                      if (counts[a] != counts[b]) {
+                        return counts[a] > counts[b];
+                      }
+                      return a < b;
+                    });
+  std::vector<FileId> out;
+  out.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    if (counts[indices[i]] == 0) {
+      break;
+    }
+    out.push_back(FileId(indices[i]));
+  }
+  return out;
+}
+
+std::vector<uint32_t> SourcesOnDay(const Trace& trace, int day) {
+  std::vector<uint32_t> counts(trace.file_count(), 0);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const CacheSnapshot* snapshot =
+        trace.timeline(PeerId(static_cast<uint32_t>(p))).SnapshotOn(day);
+    if (snapshot == nullptr) {
+      continue;
+    }
+    for (FileId f : snapshot->files) {
+      ++counts[f.value];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<FileId> TopFilesOverall(const Trace& trace, size_t k) {
+  return TopKFromCounts(trace.SourceCounts(), k);
+}
+
+std::vector<FileId> TopFilesOnDay(const Trace& trace, int day, size_t k) {
+  return TopKFromCounts(SourcesOnDay(trace, day), k);
+}
+
+std::vector<double> FileSpreadOverTime(const Trace& trace, FileId file) {
+  std::vector<double> out;
+  if (trace.last_day() < trace.first_day()) {
+    return out;
+  }
+  out.resize(static_cast<size_t>(trace.last_day() - trace.first_day() + 1), 0.0);
+  std::vector<uint32_t> scanned(out.size(), 0);
+  std::vector<uint32_t> holders(out.size(), 0);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    for (const auto& snapshot : trace.timeline(PeerId(static_cast<uint32_t>(p))).snapshots) {
+      const size_t d = static_cast<size_t>(snapshot.day - trace.first_day());
+      ++scanned[d];
+      if (std::binary_search(snapshot.files.begin(), snapshot.files.end(), file)) {
+        ++holders[d];
+      }
+    }
+  }
+  for (size_t d = 0; d < out.size(); ++d) {
+    if (scanned[d] > 0) {
+      out[d] = static_cast<double>(holders[d]) / static_cast<double>(scanned[d]);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> FileRankOverTime(const Trace& trace, FileId file) {
+  return FileRanksOverTime(trace, {file})[0];
+}
+
+std::vector<std::vector<uint32_t>> FileRanksOverTime(const Trace& trace,
+                                                     const std::vector<FileId>& files) {
+  std::vector<std::vector<uint32_t>> out(files.size());
+  if (trace.last_day() < trace.first_day()) {
+    return out;
+  }
+  const size_t days = static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
+  for (auto& series : out) {
+    series.assign(days, 0);
+  }
+  for (size_t d = 0; d < days; ++d) {
+    const int day = trace.first_day() + static_cast<int>(d);
+    const auto counts = SourcesOnDay(trace, day);
+    for (size_t i = 0; i < files.size(); ++i) {
+      const uint32_t own = counts[files[i].value];
+      if (own == 0) {
+        continue;
+      }
+      // Rank = 1 + number of files strictly more replicated (ties broken by
+      // file id to keep ranks distinct and stable, as in ranked plots).
+      uint32_t rank = 1;
+      for (size_t f = 0; f < counts.size(); ++f) {
+        if (counts[f] > own || (counts[f] == own && f < files[i].value)) {
+          ++rank;
+        }
+      }
+      out[i][d] = rank;
+    }
+  }
+  return out;
+}
+
+}  // namespace edk

@@ -1,0 +1,55 @@
+// Strongly typed identifiers for the entities of the workbench.
+//
+// Peer, file, server, country and AS identifiers are all integer-backed but
+// mutually incompatible at the type level, which rules out a whole class of
+// index-mixup bugs in the analysis code.
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace edk {
+
+// CRTP-free strong id: distinct Tag types produce distinct, non-convertible
+// wrappers around uint32_t.
+template <typename Tag>
+struct StrongId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+struct PeerTag {};
+struct FileTag {};
+struct ServerTag {};
+struct CountryTag {};
+struct AsTag {};
+struct TopicTag {};
+
+using PeerId = StrongId<PeerTag>;
+using FileId = StrongId<FileTag>;
+using ServerId = StrongId<ServerTag>;
+using CountryId = StrongId<CountryTag>;
+using AsId = StrongId<AsTag>;
+using TopicId = StrongId<TopicTag>;
+
+}  // namespace edk
+
+// Hash support so strong ids can key unordered containers.
+template <typename Tag>
+struct std::hash<edk::StrongId<Tag>> {
+  size_t operator()(const edk::StrongId<Tag>& id) const noexcept {
+    // Fibonacci hashing spreads sequential ids across buckets.
+    return static_cast<size_t>(id.value) * 0x9e3779b97f4a7c15ULL >> 32;
+  }
+};
+
+#endif  // SRC_COMMON_IDS_H_

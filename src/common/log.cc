@@ -1,0 +1,44 @@
+#include "src/common/log.h"
+
+#include <iostream>
+
+namespace edk {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::cerr << '[' << LevelName(level) << "] " << message << '\n';
+}
+
+LogStream::~LogStream() {
+  if (level_ >= GetLogLevel()) {
+    LogMessage(level_, buffer_.str());
+  }
+}
+
+}  // namespace edk

@@ -1,0 +1,46 @@
+// Lightweight leveled logger for the simulators and bench harnesses.
+//
+// Not thread-aware by design: the workbench is a single-threaded
+// discrete-event simulation; serialising stderr writes is all we need.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace edk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded cheaply.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr: "[LEVEL] message".
+void LogMessage(LogLevel level, const std::string& message);
+
+// Stream-style helper: Log(LogLevel::kInfo) << "x = " << x;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= GetLogLevel()) {
+      buffer_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+
+inline LogStream Log(LogLevel level) { return LogStream(level); }
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_LOG_H_

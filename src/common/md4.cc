@@ -1,0 +1,219 @@
+#include "src/common/md4.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace edk {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t F(uint32_t x, uint32_t y, uint32_t z) { return (x & y) | (~x & z); }
+inline uint32_t G(uint32_t x, uint32_t y, uint32_t z) {
+  return (x & y) | (x & z) | (y & z);
+}
+inline uint32_t Hf(uint32_t x, uint32_t y, uint32_t z) { return x ^ y ^ z; }
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+Md4::Md4() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+}
+
+void Md4::ProcessBlock(const uint8_t* block) {
+  uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = LoadLe32(block + 4 * i);
+  }
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+
+  // Round 1.
+  auto ff = [&x](uint32_t& aa, uint32_t bb, uint32_t cc, uint32_t dd, int k, int s) {
+    aa = Rotl32(aa + F(bb, cc, dd) + x[k], s);
+  };
+  ff(a, b, c, d, 0, 3);
+  ff(d, a, b, c, 1, 7);
+  ff(c, d, a, b, 2, 11);
+  ff(b, c, d, a, 3, 19);
+  ff(a, b, c, d, 4, 3);
+  ff(d, a, b, c, 5, 7);
+  ff(c, d, a, b, 6, 11);
+  ff(b, c, d, a, 7, 19);
+  ff(a, b, c, d, 8, 3);
+  ff(d, a, b, c, 9, 7);
+  ff(c, d, a, b, 10, 11);
+  ff(b, c, d, a, 11, 19);
+  ff(a, b, c, d, 12, 3);
+  ff(d, a, b, c, 13, 7);
+  ff(c, d, a, b, 14, 11);
+  ff(b, c, d, a, 15, 19);
+
+  // Round 2.
+  auto gg = [&x](uint32_t& aa, uint32_t bb, uint32_t cc, uint32_t dd, int k, int s) {
+    aa = Rotl32(aa + G(bb, cc, dd) + x[k] + 0x5a827999u, s);
+  };
+  gg(a, b, c, d, 0, 3);
+  gg(d, a, b, c, 4, 5);
+  gg(c, d, a, b, 8, 9);
+  gg(b, c, d, a, 12, 13);
+  gg(a, b, c, d, 1, 3);
+  gg(d, a, b, c, 5, 5);
+  gg(c, d, a, b, 9, 9);
+  gg(b, c, d, a, 13, 13);
+  gg(a, b, c, d, 2, 3);
+  gg(d, a, b, c, 6, 5);
+  gg(c, d, a, b, 10, 9);
+  gg(b, c, d, a, 14, 13);
+  gg(a, b, c, d, 3, 3);
+  gg(d, a, b, c, 7, 5);
+  gg(c, d, a, b, 11, 9);
+  gg(b, c, d, a, 15, 13);
+
+  // Round 3.
+  auto hh = [&x](uint32_t& aa, uint32_t bb, uint32_t cc, uint32_t dd, int k, int s) {
+    aa = Rotl32(aa + Hf(bb, cc, dd) + x[k] + 0x6ed9eba1u, s);
+  };
+  hh(a, b, c, d, 0, 3);
+  hh(d, a, b, c, 8, 9);
+  hh(c, d, a, b, 4, 11);
+  hh(b, c, d, a, 12, 15);
+  hh(a, b, c, d, 2, 3);
+  hh(d, a, b, c, 10, 9);
+  hh(c, d, a, b, 6, 11);
+  hh(b, c, d, a, 14, 15);
+  hh(a, b, c, d, 1, 3);
+  hh(d, a, b, c, 9, 9);
+  hh(c, d, a, b, 5, 11);
+  hh(b, c, d, a, 13, 15);
+  hh(a, b, c, d, 3, 3);
+  hh(d, a, b, c, 11, 9);
+  hh(c, d, a, b, 7, 11);
+  hh(b, c, d, a, 15, 15);
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md4::Update(std::span<const uint8_t> data) {
+  assert(!finished_);
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (buffered_ > 0) {
+    const size_t take = std::min(data.size(), sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - offset >= sizeof(buffer_)) {
+    ProcessBlock(data.data() + offset);
+    offset += sizeof(buffer_);
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Md4::Update(std::string_view data) {
+  Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()),
+                                  data.size()));
+}
+
+Md4Digest Md4::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  const uint64_t bit_length = total_bytes_ * 8;
+  // Append 0x80 then zeros until 8 bytes remain in the final block.
+  uint8_t pad[72] = {0x80};
+  const size_t remainder = static_cast<size_t>(total_bytes_ % 64);
+  const size_t pad_length = (remainder < 56) ? (56 - remainder) : (120 - remainder);
+  finished_ = false;  // Allow the padding Updates below.
+  Update(std::span<const uint8_t>(pad, pad_length));
+  uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<uint8_t>(bit_length >> (8 * i));
+  }
+  // The length bytes must not be counted; Update() above already adjusted
+  // total_bytes_ for padding but the digest ignores it from here on.
+  Update(std::span<const uint8_t>(length_bytes, 8));
+  finished_ = true;
+  assert(buffered_ == 0);
+
+  Md4Digest digest;
+  for (int i = 0; i < 4; ++i) {
+    StoreLe32(digest.data() + 4 * i, state_[i]);
+  }
+  return digest;
+}
+
+Md4Digest Md4::Hash(std::span<const uint8_t> data) {
+  Md4 md4;
+  md4.Update(data);
+  return md4.Finish();
+}
+
+Md4Digest Md4::Hash(std::string_view data) {
+  Md4 md4;
+  md4.Update(data);
+  return md4.Finish();
+}
+
+std::string ToHex(const Md4Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+Md4Digest EdonkeyFileId(std::span<const uint8_t> content, size_t block_size) {
+  assert(block_size > 0);
+  if (content.size() < block_size) {
+    return Md4::Hash(content);
+  }
+  // Hash each block, then hash the concatenated digests. Note that eDonkey
+  // includes a trailing empty block when the size is an exact multiple.
+  Md4 outer;
+  size_t offset = 0;
+  while (offset < content.size()) {
+    const size_t take = std::min(block_size, content.size() - offset);
+    const Md4Digest block_digest = Md4::Hash(content.subspan(offset, take));
+    outer.Update(std::span<const uint8_t>(block_digest.data(), block_digest.size()));
+    offset += take;
+  }
+  if (content.size() % block_size == 0) {
+    const Md4Digest empty_digest = Md4::Hash(std::span<const uint8_t>{});
+    outer.Update(std::span<const uint8_t>(empty_digest.data(), empty_digest.size()));
+  }
+  return outer.Finish();
+}
+
+}  // namespace edk

@@ -1,0 +1,83 @@
+// A set with O(1) insert, erase, membership test AND O(1) uniform random
+// element selection. The trace randomisation algorithm (paper appendix)
+// performs ~N·ln(N)/2 swap attempts, each needing a random member and two
+// membership tests, so all four operations must be constant time.
+
+#ifndef SRC_COMMON_RANDOM_ACCESS_SET_H_
+#define SRC_COMMON_RANDOM_ACCESS_SET_H_
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace edk {
+
+template <typename T>
+class RandomAccessSet {
+ public:
+  RandomAccessSet() = default;
+
+  // Returns false if the value was already present.
+  bool Insert(const T& value) {
+    auto [it, inserted] = index_.try_emplace(value, items_.size());
+    if (!inserted) {
+      return false;
+    }
+    items_.push_back(value);
+    return true;
+  }
+
+  // Returns false if the value was absent. Erase is swap-with-last.
+  bool Erase(const T& value) {
+    auto it = index_.find(value);
+    if (it == index_.end()) {
+      return false;
+    }
+    const size_t pos = it->second;
+    const size_t last = items_.size() - 1;
+    if (pos != last) {
+      items_[pos] = items_[last];
+      index_[items_[pos]] = pos;
+    }
+    items_.pop_back();
+    index_.erase(it);
+    return true;
+  }
+
+  bool Contains(const T& value) const { return index_.contains(value); }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  const T& RandomElement(Rng& rng) const {
+    assert(!items_.empty());
+    return items_[rng.NextBelow(items_.size())];
+  }
+
+  const T& operator[](size_t i) const { return items_[i]; }
+
+  const std::vector<T>& items() const { return items_; }
+
+  void Reserve(size_t n) {
+    items_.reserve(n);
+    index_.reserve(n);
+  }
+
+  void Clear() {
+    items_.clear();
+    index_.clear();
+  }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::vector<T> items_;
+  std::unordered_map<T, size_t> index_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_RANDOM_ACCESS_SET_H_

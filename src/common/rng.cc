@@ -1,0 +1,187 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace edk {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) {
+    lane = SplitMix64(sm);
+  }
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::NextGaussian() {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 == 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextPareto(double x_m, double alpha) {
+  assert(x_m > 0 && alpha > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+uint64_t Rng::NextGeometric(double p) {
+  assert(p > 0 && p <= 1.0);
+  if (p == 1.0) {
+    return 0;
+  }
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++k;
+      product *= NextDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  double sample = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  if (sample < 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(sample);
+}
+
+size_t Rng::NextWeighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double target = NextDouble() * total;
+  double cumulative = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack: fall back to the last bin.
+}
+
+Rng Rng::Fork() {
+  // A fresh generator seeded from two draws keeps child streams decorrelated.
+  uint64_t seed = (*this)() ^ Rotl((*this)(), 31);
+  return Rng(seed);
+}
+
+std::vector<size_t> SampleWithoutReplacement(Rng& rng, size_t n, size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> result;
+  result.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = rng.NextBelow(j + 1);
+    if (chosen.contains(t)) {
+      t = j;
+    }
+    chosen.insert(t);
+    result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace edk

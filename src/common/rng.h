@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components of the workbench draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64; both are
+// implemented here to avoid any dependence on the standard library's
+// unspecified distributions.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace edk {
+
+// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256** generator. Satisfies the C++ UniformRandomBitGenerator
+// concept so it can also drive <random> machinery when needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  // Raw 64 random bits.
+  uint64_t operator()();
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed double with the given rate (> 0).
+  double NextExponential(double rate);
+
+  // Standard normal via Box-Muller (no caching; both values derivable).
+  double NextGaussian();
+
+  // Pareto-distributed double with scale x_m > 0 and shape alpha > 0.
+  double NextPareto(double x_m, double alpha);
+
+  // Geometrically distributed count of failures before first success,
+  // success probability p in (0, 1].
+  uint64_t NextGeometric(double p);
+
+  // Poisson-distributed count with the given mean (>= 0). Uses Knuth's
+  // method for small means and a normal approximation for large means.
+  uint64_t NextPoisson(double mean);
+
+  // Index into a discrete weight vector, proportional to weights[i].
+  // Weights must be non-negative with a positive sum.
+  size_t NextWeighted(std::span<const double> weights);
+
+  // Fisher-Yates shuffle of the given vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derive an independent child generator (for parallel or per-entity
+  // streams) without correlating with this generator's future output.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Picks k distinct indices uniformly from [0, n). Order is unspecified.
+// Requires k <= n. Uses Floyd's algorithm: O(k) expected time.
+std::vector<size_t> SampleWithoutReplacement(Rng& rng, size_t n, size_t k);
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,176 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace edk {
+
+void RunningSummary::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningSummary::variance() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningSummary::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (sorted_.empty()) {
+    return 0;
+  }
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  assert(!sorted_.empty());
+  assert(q > 0 && q <= 1.0);
+  const size_t index =
+      static_cast<size_t>(std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+std::vector<double> EmpiricalCdf::Evaluate(std::span<const double> points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) {
+    out.push_back(At(p));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::Add(double x) {
+  size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::BinLow(size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+
+double Histogram::BinHigh(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::Fraction(size_t bin) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+LinearFit FitLine(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  const size_t n = xs.size();
+  if (n < 2) {
+    return fit;
+  }
+  double mean_x = 0;
+  double mean_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy == 0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit FitLogLog(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx;
+  std::vector<double> ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (xs[i] > 0 && ys[i] > 0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return FitLine(lx, ly);
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0) {
+    return 0;
+  }
+  double weighted = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+std::vector<double> LogSpace(double lo, double hi, size_t points) {
+  assert(lo > 0 && hi > lo);
+  assert(points >= 2);
+  std::vector<double> out;
+  out.reserve(points);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(std::exp(log_lo + t * (log_hi - log_lo)));
+  }
+  return out;
+}
+
+}  // namespace edk

@@ -1,0 +1,105 @@
+// Descriptive statistics used throughout the analysis modules: empirical
+// CDFs, histograms, running summaries, quantiles and log-log regression
+// (for checking Zipf-like tails, paper Fig. 5).
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace edk {
+
+// Incremental mean / variance / extrema (Welford's algorithm).
+class RunningSummary {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Empirical CDF over a fixed sample. Construction sorts a copy of the data.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // Fraction of samples <= x.
+  double At(double x) const;
+
+  // Smallest sample value v with At(v) >= q, for q in (0, 1].
+  double Quantile(double q) const;
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  // Evaluates the CDF at each of the given points (convenience for plotting
+  // the same x-axis the paper uses).
+  std::vector<double> Evaluate(std::span<const double> points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Fixed-bin histogram on [lo, hi); values outside are clamped to the edge
+// bins so that totals always match the number of observations.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  uint64_t total() const { return total_; }
+  size_t bins() const { return counts_.size(); }
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+  double BinLow(size_t bin) const;
+  double BinHigh(size_t bin) const;
+  double Fraction(size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+};
+
+// Ordinary least squares fit of y = slope * x + intercept.
+LinearFit FitLine(std::span<const double> xs, std::span<const double> ys);
+
+// Fits log(y) = slope * log(x) + intercept, skipping non-positive points.
+// A Zipf-like sample yields slope close to -s.
+LinearFit FitLogLog(std::span<const double> xs, std::span<const double> ys);
+
+// Gini coefficient of a non-negative sample: 0 = perfectly equal
+// contribution, 1 = single contributor. Used for sharing-skew reporting.
+double GiniCoefficient(std::vector<double> values);
+
+// Returns logarithmically spaced values between lo and hi inclusive
+// (both > 0), useful for log-scale plot axes.
+std::vector<double> LogSpace(double lo, double hi, size_t points);
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,111 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace edk {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::FormatCell(double v) {
+  std::ostringstream os;
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+void AsciiTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << "+";
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+std::string AsciiTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      os_ << ',';
+    }
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << bytes << ' ' << kUnits[unit];
+  return os.str();
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace edk

@@ -1,0 +1,69 @@
+// Plain-text table and CSV emitters used by the bench harnesses to print
+// the rows/series of each paper table and figure.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edk {
+
+// Accumulates rows of strings and renders them as an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  // Adds one row; the row is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic cells with default precision.
+  template <typename... Args>
+  void AddRowValues(const Args&... args) {
+    AddRow({FormatCell(args)...});
+  }
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t rows() const { return rows_.size(); }
+
+  static std::string FormatCell(const std::string& v) { return v; }
+  static std::string FormatCell(const char* v) { return v; }
+  static std::string FormatCell(double v);
+  static std::string FormatCell(float v) { return FormatCell(static_cast<double>(v)); }
+  static std::string FormatCell(int v) { return std::to_string(v); }
+  static std::string FormatCell(long v) { return std::to_string(v); }
+  static std::string FormatCell(long long v) { return std::to_string(v); }
+  static std::string FormatCell(unsigned v) { return std::to_string(v); }
+  static std::string FormatCell(unsigned long v) { return std::to_string(v); }
+  static std::string FormatCell(unsigned long long v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Minimal CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+// Formats a byte count in binary units ("318.0 TB" style, as in Table 1).
+std::string FormatBytes(double bytes);
+
+// Formats 0.4131 as "41.3%".
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_TABLE_H_

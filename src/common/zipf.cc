@@ -1,0 +1,96 @@
+#include "src/common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace edk {
+
+namespace {
+
+// log1p(x) / x, continuous at 0 (value 1). Accurate for |x| << 1.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::log1p(x) / x;
+  }
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+// expm1(x) / x, continuous at 0 (value 1).
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::expm1(x) / x;
+  }
+  return 1.0 + 0.5 * x * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  normalization_ = GeneralizedHarmonic(n, s);
+  acceptance_slack_ = 2.0 - HInverse(H(2.5) - std::exp(-s * std::log(2.0)));
+}
+
+// H(x) = integral of t^-s from some fixed point: ((x^(1-s)) - 1) / (1 - s),
+// expressed via expm1 for stability near s == 1 (where it tends to log x).
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) {
+    // Numerical guard: t may slip below the domain boundary by rounding.
+    t = -1.0;
+  }
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 1;
+  }
+  if (s_ == 0.0) {
+    return rng.NextBelow(n_) + 1;
+  }
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996). The hat
+  // function is the continuous density t^-s shifted by 1/2, which majorises
+  // the discrete pmf; acceptance is tested in the integrated (H) domain.
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    // u is uniform in (h_x1_, h_n_].
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= acceptance_slack_ ||
+        u >= H(kd + 0.5) - std::exp(-s_ * std::log(kd))) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  assert(k >= 1 && k <= n_);
+  return std::pow(static_cast<double>(k), -s_) / normalization_;
+}
+
+double GeneralizedHarmonic(uint64_t n, double s) {
+  // Backward summation accumulates the many small tail terms first, which
+  // is more accurate for the n used in this project (up to ~1e8).
+  double sum = 0;
+  for (uint64_t k = n; k >= 1; --k) {
+    sum += std::pow(static_cast<double>(k), -s);
+  }
+  return sum;
+}
+
+}  // namespace edk

@@ -1,0 +1,52 @@
+// Bounded Zipf(s, n) sampling.
+//
+// File popularity in peer-to-peer workloads follows a Zipf-like law (paper
+// §3, Fig. 5). The generator needs to draw millions of ranks from such a
+// distribution, so we implement the rejection-inversion sampler of
+// Hörmann & Derflinger (1996), which is O(1) per draw regardless of n.
+
+#ifndef SRC_COMMON_ZIPF_H_
+#define SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace edk {
+
+// Samples ranks in [1, n] with P(k) proportional to 1 / k^s.
+// s >= 0 (s == 0 degenerates to the uniform distribution on [1, n]).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // Draws one rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  // Probability mass of rank k under this distribution.
+  double Pmf(uint64_t k) const;
+
+ private:
+  // H(x) is the integral of the (continuous relaxation of the) unnormalised
+  // density; HInverse is its inverse. Both are closed-form.
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;              // H(1.5) - 1
+  double h_n_;               // H(n + 0.5)
+  double normalization_;     // generalized harmonic number H_{n,s}
+  double acceptance_slack_;  // fast-accept threshold, see Hörmann & Derflinger
+};
+
+// Generalized harmonic number sum_{k=1..n} 1/k^s (exact summation; O(n),
+// intended for setup and tests rather than inner loops).
+double GeneralizedHarmonic(uint64_t n, double s);
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_ZIPF_H_

@@ -1,0 +1,173 @@
+// Simulated eDonkey client (paper §2.1, "Client-client interactions").
+//
+// Implements the client half of the protocol: connect/publish to an index
+// server, keyword search, source queries, browsing other clients' caches
+// (the feature the paper's crawler exploits), and block-wise downloads with
+// per-block MD4 verification, retry on corruption, and partial sharing
+// (a file is re-shared as soon as one block verifies).
+//
+// Content scaling: transfers move synthetic payloads whose size is the real
+// file size times `content_scale`, so multi-hundred-MB files can be
+// exercised in milliseconds of real time while every byte that does move is
+// genuinely hashed and verified.
+
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+
+namespace edk {
+
+struct ClientConfig {
+  std::string nickname;
+  bool firewalled = false;
+  bool browse_enabled = true;              // Users may disable browsing (§2.2).
+  double uplink_bytes_per_second = 16'000;
+  uint64_t block_size = 9'500;             // 9.28 MB scaled by content_scale.
+  double content_scale = 1.0 / 1024.0;
+  double corruption_probability = 0.0;     // Per-block transit corruption.
+  int max_block_retries = 3;
+};
+
+// Generates the deterministic synthetic payload of one block. Both sides of
+// a transfer derive identical bytes from (file, block), so MD4 verification
+// is end-to-end real.
+std::vector<uint8_t> SyntheticBlockPayload(FileId file, uint32_t block_index,
+                                           size_t length);
+
+class SimClient : public SimNode {
+ public:
+  using BrowseCallback =
+      std::function<void(std::optional<std::vector<SharedFileInfo>>)>;
+  using DownloadCallback = std::function<void(bool success)>;
+
+  SimClient(SimNetwork* network, ClientConfig config);
+
+  const ClientConfig& config() const { return config_; }
+  const std::string& nickname() const { return config_.nickname; }
+  bool firewalled() const { return config_.firewalled; }
+
+  // Builds the canonical SharedFileInfo (digest derived from file identity).
+  static SharedFileInfo MakeFileInfo(FileId file, uint64_t size_bytes,
+                                     std::string name);
+
+  // --- Local cache ---------------------------------------------------------
+  void AddLocalFile(const SharedFileInfo& info);
+  // Records one verified block of an in-progress download (partial
+  // sharing, §2.1): after the first block the file is offered to others
+  // and republished. Partial sharers serve only blocks they hold.
+  void RegisterPartialBlock(const SharedFileInfo& info, uint32_t block_index);
+  bool RemoveLocalFile(const Md4Digest& digest);
+  bool HasCompleteFile(const Md4Digest& digest) const;
+  // True once at least one block has been verified (partial sharing).
+  bool SharesFile(const Md4Digest& digest) const;
+  std::vector<SharedFileInfo> SharedFiles() const;
+  size_t shared_file_count() const { return shared_.size(); }
+
+  // --- Server interaction ---------------------------------------------------
+  // Connects, then publishes the cache. `done(false)` when the server is full.
+  void Connect(NodeId server, std::function<void(bool)> done);
+  void Disconnect();
+  NodeId connected_server() const { return server_; }
+  bool connected() const { return server_ != kInvalidNode; }
+  // Re-publishes the current shared list to the connected server.
+  void Publish();
+  void QueryUsers(const std::string& prefix,
+                  std::function<void(std::vector<UserRecord>)> on_reply);
+  void Search(const std::vector<std::string>& keywords,
+              std::function<void(std::vector<SharedFileInfo>)> on_reply);
+  void QuerySources(const Md4Digest& digest,
+                    std::function<void(std::vector<SourceRecord>)> on_reply);
+  // Cross-server source discovery: asks the connected server AND, via UDP
+  // (no session needed), every server on its server list — "clients also
+  // use UDP messages to propagate their queries to other servers" (§2.1).
+  // The reply aggregates deduplicated sources from all servers.
+  void QuerySourcesGlobal(const Md4Digest& digest,
+                          std::function<void(std::vector<SourceRecord>)> on_reply);
+  // Server list propagation: retrieves the connected server's known-server
+  // list (the only data communicated between servers, §2.1).
+  void GetServerList(std::function<void(std::vector<NodeId>)> on_reply);
+
+  // --- Client-client --------------------------------------------------------
+  // Asks `target` for its shared list. nullopt when the target is
+  // unreachable (firewalled with no relay, or both ends firewalled) or has
+  // browsing disabled.
+  void Browse(NodeId target, BrowseCallback on_reply);
+  // Downloads the file from `source` block by block with verification.
+  void Download(NodeId source, const SharedFileInfo& info, DownloadCallback on_done);
+
+  // --- Stats ------------------------------------------------------------------
+  uint64_t blocks_received() const { return blocks_received_; }
+  uint64_t blocks_corrupted() const { return blocks_corrupted_; }
+  uint64_t downloads_completed() const { return downloads_completed_; }
+  uint64_t downloads_failed() const { return downloads_failed_; }
+
+  // --- Remote-invoked handlers (public for SimNetwork closures) -------------
+  std::optional<std::vector<SharedFileInfo>> HandleBrowse() const;
+  // Block digests of the (scaled) content, for downloader verification.
+  std::vector<Md4Digest> HandleHashsetRequest(const Md4Digest& digest) const;
+  // "The client asks the source ... which blocks of the file are
+  // available" (§2.1): per-block availability bitmap; empty when the file
+  // is not shared at all.
+  std::vector<bool> HandleAvailableBlocks(const Md4Digest& digest) const;
+  // Payload of one block; corruption is injected here with the configured
+  // probability. Empty when the block is not held (partial source) or the
+  // file is not shared (source went away).
+  std::vector<uint8_t> HandleBlockRequest(const Md4Digest& digest,
+                                          uint32_t block_index, Rng& rng) const;
+
+  // Scaled transfer size of a file.
+  uint64_t ScaledSize(uint64_t size_bytes) const;
+  uint32_t BlockCount(uint64_t size_bytes) const;
+
+ private:
+  struct LocalFile {
+    SharedFileInfo info;
+    bool complete = true;
+    uint32_t verified_blocks = 0;
+    // Per-block availability while incomplete (empty when complete: all
+    // blocks are held).
+    std::vector<bool> block_map;
+  };
+
+  struct DownloadState {
+    NodeId source = kInvalidNode;
+    SharedFileInfo info;
+    std::vector<Md4Digest> hashset;
+    uint32_t next_block = 0;
+    uint32_t block_count = 0;
+    int retries_left = 0;
+    DownloadCallback on_done;
+  };
+
+  // True if a direct or relayed connection to `target` can be established.
+  bool CanReach(const SimClient& target) const;
+  // Extra delay for the server-mediated callback used to reach a
+  // firewalled source (paper: "the client may ask the source server to
+  // force the source to initiate the connection").
+  double RelayPenalty(const SimClient& target) const;
+  void RequestNextBlock(std::shared_ptr<DownloadState> state);
+  void FinishDownload(std::shared_ptr<DownloadState> state, bool success);
+  SimClient* ClientAt(NodeId id) const;
+
+  SimNetwork* network_;
+  ClientConfig config_;
+  NodeId server_ = kInvalidNode;
+  std::map<Md4Digest, LocalFile> shared_;
+  uint64_t blocks_received_ = 0;
+  uint64_t blocks_corrupted_ = 0;
+  uint64_t downloads_completed_ = 0;
+  uint64_t downloads_failed_ = 0;
+};
+
+}  // namespace edk
+
+#endif  // SRC_NET_CLIENT_H_

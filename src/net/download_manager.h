@@ -1,0 +1,81 @@
+// Multi-source swarming download (paper §2.1: "concurrent downloads of a
+// file from different sources", "queries for sources are retried every
+// twenty minutes").
+//
+// The DownloadManager discovers sources through the connected server and
+// cross-server UDP queries, fetches the hashset once, then schedules block
+// requests across up to max_parallel_sources sources concurrently. Each
+// block is MD4-verified on arrival; corrupted blocks are retried (possibly
+// from another source), dead sources are dropped, and while unfinished the
+// manager re-queries for new sources on the protocol's 20-minute timer.
+// Partial sharing applies: after the first verified block the owner
+// publishes the file and serves other downloaders.
+
+#ifndef SRC_NET_DOWNLOAD_MANAGER_H_
+#define SRC_NET_DOWNLOAD_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/client.h"
+
+namespace edk {
+
+struct MultiSourceConfig {
+  double source_requery_interval = 1'200.0;  // 20 minutes (§2.1).
+  size_t max_parallel_sources = 4;
+  int max_block_retries = 3;
+  int max_requery_rounds = 8;  // Give up after this many fruitless rounds.
+  bool use_global_queries = true;  // UDP queries to non-connected servers.
+};
+
+struct MultiSourceReport {
+  bool success = false;
+  uint32_t block_count = 0;
+  uint32_t corrupted_blocks = 0;   // Detected and retried.
+  uint32_t sources_discovered = 0;
+  uint32_t sources_used = 0;       // Sources that delivered >= 1 verified block.
+  uint32_t requery_rounds = 0;
+  double duration_seconds = 0;
+};
+
+class DownloadManager {
+ public:
+  using Callback = std::function<void(const MultiSourceReport&)>;
+
+  // `owner` must be connected to a server and outlive the manager.
+  DownloadManager(SimNetwork* network, SimClient* owner, MultiSourceConfig config);
+  ~DownloadManager();
+
+  DownloadManager(const DownloadManager&) = delete;
+  DownloadManager& operator=(const DownloadManager&) = delete;
+
+  // Starts a multi-source fetch. One fetch at a time per manager.
+  void Fetch(const SharedFileInfo& info, Callback on_done);
+
+  bool active() const;
+
+ private:
+  struct Transfer;
+
+  void DiscoverSources();
+  void OnSources(std::vector<SourceRecord> sources);
+  void RequestHashset(NodeId source);
+  void ScheduleBlocks();
+  void RequestBlockMap(NodeId source);
+  void RequestBlock(NodeId source, uint32_t block);
+  void OnBlockPayload(NodeId source, uint32_t block, std::vector<uint8_t> payload);
+  void DropSource(NodeId source);
+  void ArmRequeryTimer();
+  void Finish(bool success);
+
+  SimNetwork* network_;
+  SimClient* owner_;
+  MultiSourceConfig config_;
+  std::shared_ptr<Transfer> transfer_;  // Null when idle.
+};
+
+}  // namespace edk
+
+#endif  // SRC_NET_DOWNLOAD_MANAGER_H_

@@ -1,0 +1,81 @@
+#include "src/net/event_queue.h"
+
+#include <cassert>
+
+namespace edk {
+
+bool EventQueue::EventHandle::Cancel() {
+  if (cancelled_ == nullptr || *cancelled_) {
+    return false;
+  }
+  *cancelled_ = true;
+  return true;
+}
+
+bool EventQueue::EventHandle::pending() const {
+  return cancelled_ != nullptr && !*cancelled_;
+}
+
+EventQueue::EventHandle EventQueue::Schedule(double delay, Callback fn) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventQueue::EventHandle EventQueue::ScheduleAt(double when, Callback fn) {
+  assert(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  events_.push(Event{when, next_sequence_++, std::move(fn), cancelled});
+  ++size_;
+  return EventHandle(cancelled);
+}
+
+bool EventQueue::PopAndRun() {
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    if (*event.cancelled) {
+      continue;
+    }
+    --size_;
+    now_ = event.time;
+    // Mark consumed before running: handles report not-pending from inside
+    // the callback, and a late Cancel() is a no-op.
+    *event.cancelled = true;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::Run() {
+  size_t executed = 0;
+  while (PopAndRun()) {
+    ++executed;
+  }
+  return executed;
+}
+
+size_t EventQueue::RunUntil(double until) {
+  size_t executed = 0;
+  while (!events_.empty()) {
+    // Skip cancelled events eagerly so the top is always live.
+    if (*events_.top().cancelled) {
+      events_.pop();
+      continue;
+    }
+    if (events_.top().time > until) {
+      break;
+    }
+    if (PopAndRun()) {
+      ++executed;
+    }
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+bool EventQueue::Step() { return PopAndRun(); }
+
+}  // namespace edk

@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event queue with virtual time in seconds. Events are
+// closures ordered by (time, insertion sequence) so same-time events run in
+// FIFO order, which keeps simulations deterministic.
+
+#ifndef SRC_NET_EVENT_QUEUE_H_
+#define SRC_NET_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace edk {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Handle for cancelling a scheduled event. Default-constructed handles
+  // are inert.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    // Returns true if the event was still pending and is now cancelled.
+    bool Cancel();
+    bool pending() const;
+
+   private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  EventQueue() = default;
+
+  double now() const { return now_; }
+  size_t pending_events() const { return size_; }
+
+  // Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle Schedule(double delay, Callback fn);
+  // Schedules `fn` at absolute time `when` (>= now).
+  EventHandle ScheduleAt(double when, Callback fn);
+
+  // Runs events until the queue drains. Returns the number executed.
+  size_t Run();
+  // Runs events with time <= `until`, then advances the clock to `until`.
+  size_t RunUntil(double until);
+  // Executes at most one event; returns false if none is pending.
+  bool Step();
+
+ private:
+  struct Event {
+    double time;
+    uint64_t sequence;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool PopAndRun();
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0;
+  uint64_t next_sequence_ = 0;
+  size_t size_ = 0;  // Pending (non-cancelled) events.
+};
+
+}  // namespace edk
+
+#endif  // SRC_NET_EVENT_QUEUE_H_

@@ -1,0 +1,54 @@
+#include "src/net/latency.h"
+
+#include <algorithm>
+
+namespace edk {
+
+Continent ContinentOf(const std::string& country_code) {
+  // The measured population is mostly European; IL is folded into Europe
+  // for routing purposes (paths via European exchanges).
+  static const char* kAmericas[] = {"US", "CA", "BR"};
+  static const char* kAsiaPacific[] = {"TW", "KR", "JP", "AU", "CN"};
+  for (const char* code : kAmericas) {
+    if (country_code == code) {
+      return Continent::kAmericas;
+    }
+  }
+  for (const char* code : kAsiaPacific) {
+    if (country_code == code) {
+      return Continent::kAsiaPacific;
+    }
+  }
+  return Continent::kEurope;
+}
+
+double LatencyModel::Delay(CountryId from_country, AsId from_as, CountryId to_country,
+                           AsId to_as, Rng& rng) const {
+  double base;
+  if (from_as == to_as && from_as.valid()) {
+    base = 0.010;  // Intra-AS.
+  } else if (from_country == to_country) {
+    base = 0.025;  // Domestic peering.
+  } else {
+    const Continent a = ContinentOf(geography_->country(from_country).code);
+    const Continent b = ContinentOf(geography_->country(to_country).code);
+    base = (a == b) ? 0.045 : 0.130;
+  }
+  // Multiplicative jitter in [1, 2): queueing and access-link variance.
+  return base * (1.0 + rng.NextDouble());
+}
+
+double LatencyModel::SampleUplinkBytesPerSecond(Rng& rng) const {
+  // 2003-era access mix: mostly ADSL uplinks of 8-32 KB/s, a minority of
+  // well-connected peers (university / early FTTH) far above that.
+  const double u = rng.NextDouble();
+  if (u < 0.70) {
+    return 8'000 + rng.NextDouble() * 24'000;
+  }
+  if (u < 0.95) {
+    return 32'000 + rng.NextDouble() * 96'000;
+  }
+  return 250'000 + rng.NextDouble() * 750'000;
+}
+
+}  // namespace edk

@@ -1,0 +1,38 @@
+// Network latency and bandwidth model.
+//
+// Latency between two peers is driven by geography: same-AS, same-country,
+// same-continent and intercontinental tiers plus lognormal-ish jitter.
+// Bandwidth uses the asymmetric DSL profile of the 2003-era access links
+// the paper's population used.
+
+#ifndef SRC_NET_LATENCY_H_
+#define SRC_NET_LATENCY_H_
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+
+enum class Continent { kEurope, kAmericas, kAsiaPacific };
+
+Continent ContinentOf(const std::string& country_code);
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const Geography* geography) : geography_(geography) {}
+
+  // One-way delay in seconds between two attachment points.
+  double Delay(CountryId from_country, AsId from_as, CountryId to_country, AsId to_as,
+               Rng& rng) const;
+
+  // Typical client uplink in bytes/second (heavy-tailed across peers).
+  double SampleUplinkBytesPerSecond(Rng& rng) const;
+
+ private:
+  const Geography* geography_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_NET_LATENCY_H_

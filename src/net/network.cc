@@ -1,0 +1,32 @@
+#include "src/net/network.h"
+
+#include <cassert>
+
+namespace edk {
+
+SimNetwork::SimNetwork(const Geography* geography, uint64_t seed)
+    : geography_(geography), rng_(seed), latency_(geography) {}
+
+NodeId SimNetwork::Register(SimNode* node) {
+  assert(node != nullptr);
+  assert(node->node_id_ == kInvalidNode && "node registered twice");
+  node->node_id_ = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(node);
+  return node->node_id_;
+}
+
+double SimNetwork::DelayBetween(NodeId from, NodeId to) {
+  const SimNode* a = nodes_[from];
+  const SimNode* b = nodes_[to];
+  return latency_.Delay(a->country(), a->autonomous_system(), b->country(),
+                        b->autonomous_system(), rng_);
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, std::function<void()> handler,
+                      double extra_delay) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  ++messages_sent_;
+  queue_.Schedule(DelayBetween(from, to) + extra_delay, std::move(handler));
+}
+
+}  // namespace edk

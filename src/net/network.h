@@ -1,0 +1,79 @@
+// SimNetwork: the fabric connecting simulated nodes.
+//
+// Owns the event queue, the latency model and the node table. Message
+// delivery is modelled as a scheduled closure executed after the one-way
+// geographic delay between the two endpoints; nodes never call each other
+// directly, so all interactions respect simulated time.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/event_queue.h"
+#include "src/net/latency.h"
+#include "src/net/protocol.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+
+// Base class for anything attached to the network.
+class SimNode {
+ public:
+  virtual ~SimNode() = default;
+
+  NodeId node_id() const { return node_id_; }
+  CountryId country() const { return country_; }
+  AsId autonomous_system() const { return as_; }
+
+  void set_attachment(CountryId country, AsId as) {
+    country_ = country;
+    as_ = as;
+  }
+
+ private:
+  friend class SimNetwork;
+  NodeId node_id_ = kInvalidNode;
+  CountryId country_;
+  AsId as_;
+};
+
+class SimNetwork {
+ public:
+  // `geography` must outlive the network.
+  SimNetwork(const Geography* geography, uint64_t seed);
+
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+  const LatencyModel& latency() const { return latency_; }
+  const Geography& geography() const { return *geography_; }
+
+  // Registers a node; the node must outlive the network. Returns its id.
+  NodeId Register(SimNode* node);
+  SimNode* node(NodeId id) const { return nodes_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+
+  // Delivers `handler` at the destination after the one-way delay between
+  // the two nodes (plus `extra_delay`, e.g. serialisation time).
+  void Send(NodeId from, NodeId to, std::function<void()> handler,
+            double extra_delay = 0.0);
+
+  // One-way delay sample between two registered nodes.
+  double DelayBetween(NodeId from, NodeId to);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  const Geography* geography_;
+  Rng rng_;
+  EventQueue queue_;
+  LatencyModel latency_;
+  std::vector<SimNode*> nodes_;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace edk
+
+#endif  // SRC_NET_NETWORK_H_

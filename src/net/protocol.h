@@ -1,0 +1,63 @@
+// Wire-level records of the simulated eDonkey protocol (paper §2.1).
+//
+// The simulator exchanges these records between clients and servers through
+// SimNetwork; they correspond one-to-one to the messages of the real
+// protocol that the paper's crawler relied on (login, publish, search,
+// query-sources, query-users, browse, block transfer).
+
+#ifndef SRC_NET_PROTOCOL_H_
+#define SRC_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/md4.h"
+
+namespace edk {
+
+// Index of a node (server or client) in the SimNetwork node table.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+// Description of one shared file, as published to servers and returned by
+// browse replies. `file` is the ground-truth catalog id (what a real trace
+// would reconstruct from the digest); `digest` is the eDonkey identifier.
+struct SharedFileInfo {
+  FileId file;
+  Md4Digest digest{};
+  uint64_t size_bytes = 0;
+  std::string name;
+};
+
+// Entry of a query-users reply.
+struct UserRecord {
+  std::string nickname;
+  NodeId node = kInvalidNode;
+  bool low_id = false;  // Firewalled clients get a "low id".
+};
+
+// Entry of a query-sources reply.
+struct SourceRecord {
+  NodeId node = kInvalidNode;
+  bool low_id = false;
+};
+
+}  // namespace edk
+
+// Md4Digest (std::array<uint8_t,16>) as an unordered_map key.
+template <>
+struct std::hash<edk::Md4Digest> {
+  size_t operator()(const edk::Md4Digest& digest) const noexcept {
+    // The digest is already uniform; fold the first 8 bytes.
+    size_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h = (h << 8) | digest[i];
+    }
+    return h;
+  }
+};
+
+#endif  // SRC_NET_PROTOCOL_H_

@@ -1,0 +1,95 @@
+#include "src/semantic/as_cache.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace edk {
+
+AsLocalityStats EvaluateAsLocality(const Trace& trace, const StaticCaches& caches,
+                                   const AsLocalityConfig& config) {
+  AsLocalityStats stats;
+  const size_t peer_count = caches.caches.size();
+  Rng rng(config.seed);
+
+  // Request stream, exactly as in the search simulator (§5.1).
+  std::vector<uint64_t> requests;
+  requests.reserve(caches.TotalReplicas());
+  uint32_t max_file = 0;
+  for (uint32_t p = 0; p < peer_count; ++p) {
+    for (FileId f : caches.caches[p]) {
+      requests.push_back((static_cast<uint64_t>(p) << 32) | f.value);
+      max_file = std::max(max_file, f.value);
+    }
+  }
+  rng.Shuffle(requests);
+
+  // Peer attachments, plus the shuffled-AS control labelling.
+  std::vector<uint32_t> as_of(peer_count);
+  std::vector<uint32_t> country_of(peer_count);
+  for (uint32_t p = 0; p < peer_count; ++p) {
+    as_of[p] = trace.peer(PeerId(p)).autonomous_system.value;
+    country_of[p] = trace.peer(PeerId(p)).country.value;
+  }
+  std::vector<uint32_t> shuffled_as = as_of;
+  if (config.run_shuffled_control) {
+    rng.Shuffle(shuffled_as);
+  }
+
+  // Evolving per-file source membership, tracked as sets of AS / country /
+  // shuffled-AS labels so each request is O(1).
+  struct FileSources {
+    std::unordered_set<uint32_t> as;
+    std::unordered_set<uint32_t> country;
+    std::unordered_set<uint32_t> shuffled_as;
+    std::unordered_set<uint32_t> peers;
+  };
+  std::vector<FileSources> sources(static_cast<size_t>(max_file) + 1);
+
+  std::unordered_map<uint32_t, AsLocalityStats::PerAs> per_as;
+
+  for (uint64_t packed : requests) {
+    const uint32_t p = static_cast<uint32_t>(packed >> 32);
+    const uint32_t f = static_cast<uint32_t>(packed);
+    FileSources& file = sources[f];
+    if (file.peers.contains(p)) {
+      continue;
+    }
+    if (!file.peers.empty()) {
+      ++stats.requests;
+      auto& as_entry = per_as[as_of[p]];
+      as_entry.autonomous_system = AsId(as_of[p]);
+      ++as_entry.requests;
+      if (file.as.contains(as_of[p])) {
+        ++stats.as_local_hits;
+        ++as_entry.hits;
+      }
+      if (file.country.contains(country_of[p])) {
+        ++stats.country_local_hits;
+      }
+      if (config.run_shuffled_control && file.shuffled_as.contains(shuffled_as[p])) {
+        ++stats.shuffled_as_hits;
+      }
+    }
+    file.peers.insert(p);
+    file.as.insert(as_of[p]);
+    file.country.insert(country_of[p]);
+    if (config.run_shuffled_control) {
+      file.shuffled_as.insert(shuffled_as[p]);
+    }
+  }
+
+  stats.by_as.reserve(per_as.size());
+  for (auto& [as_number, entry] : per_as) {
+    stats.by_as.push_back(entry);
+  }
+  std::sort(stats.by_as.begin(), stats.by_as.end(),
+            [](const AsLocalityStats::PerAs& a, const AsLocalityStats::PerAs& b) {
+              return a.requests > b.requests;
+            });
+  return stats;
+}
+
+}  // namespace edk

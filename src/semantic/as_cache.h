@@ -1,0 +1,61 @@
+// AS-level index caching ("PeerCache", paper §4.1).
+//
+// The paper observes that 54% of clients sit in five autonomous systems and
+// that file sources cluster geographically, and points at operator-run
+// per-AS caches (indexes, to avoid storing content) as the way to exploit
+// it. This module quantifies that opportunity on a trace: replaying the
+// §5.1 request stream, what fraction of requests could be answered by an
+// index covering only the requester's AS (or country)? A shuffled-labels
+// control separates genuine locality from group-size effects.
+
+#ifndef SRC_SEMANTIC_AS_CACHE_H_
+#define SRC_SEMANTIC_AS_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct AsLocalityConfig {
+  uint64_t seed = 1;
+  // Also evaluate the control where AS/country labels are randomly
+  // permuted across peers (group sizes preserved, locality destroyed).
+  bool run_shuffled_control = true;
+};
+
+struct AsLocalityStats {
+  uint64_t requests = 0;
+  uint64_t as_local_hits = 0;        // Another source in the requester's AS.
+  uint64_t country_local_hits = 0;   // ... or at least country.
+  uint64_t shuffled_as_hits = 0;     // Control with permuted AS labels.
+
+  double AsLocalRate() const {
+    return requests == 0 ? 0 : static_cast<double>(as_local_hits) / static_cast<double>(requests);
+  }
+  double CountryLocalRate() const {
+    return requests == 0 ? 0
+                         : static_cast<double>(country_local_hits) / static_cast<double>(requests);
+  }
+  double ShuffledAsRate() const {
+    return requests == 0 ? 0 : static_cast<double>(shuffled_as_hits) / static_cast<double>(requests);
+  }
+
+  struct PerAs {
+    AsId autonomous_system;
+    uint64_t requests = 0;
+    uint64_t hits = 0;
+  };
+  // Per-AS breakdown, sorted by request volume descending.
+  std::vector<PerAs> by_as;
+};
+
+// `trace` provides peer attachments (AS, country); `caches` the per-peer
+// request sets (typically BuildUnionCaches(filtered)).
+AsLocalityStats EvaluateAsLocality(const Trace& trace, const StaticCaches& caches,
+                                   const AsLocalityConfig& config = {});
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_AS_CACHE_H_

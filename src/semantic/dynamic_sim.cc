@@ -1,0 +1,128 @@
+#include "src/semantic/dynamic_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace edk {
+
+DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
+                                            const DynamicSimConfig& config) {
+  DynamicSimResult result;
+  if (trace.last_day() < trace.first_day()) {
+    return result;
+  }
+  const size_t peer_count = trace.peer_count();
+  Rng rng(config.seed);
+
+  // Per-peer knowledge as of the last observed snapshot: what the peer was
+  // sharing *before* today, i.e. what it can serve to others today.
+  std::vector<std::unordered_set<uint32_t>> known(peer_count);
+  std::vector<bool> seen_before(peer_count, false);
+
+  std::vector<std::unique_ptr<NeighbourList>> lists(peer_count);
+  const bool random_strategy = config.strategy == StrategyKind::kRandom;
+
+  std::vector<uint32_t> neighbours;
+  for (int day = trace.first_day(); day <= trace.last_day(); ++day) {
+    // Who is online today, and what does each online peer newly request?
+    std::vector<uint32_t> online;
+    std::vector<uint64_t> requests;  // (peer << 32) | file.
+    for (uint32_t p = 0; p < peer_count; ++p) {
+      const CacheSnapshot* snapshot = trace.timeline(PeerId(p)).SnapshotOn(day);
+      if (snapshot == nullptr) {
+        continue;
+      }
+      online.push_back(p);
+      if (!seen_before[p]) {
+        continue;  // First observation: the initial cache is pre-owned.
+      }
+      for (FileId f : snapshot->files) {
+        if (!known[p].contains(f.value)) {
+          requests.push_back((static_cast<uint64_t>(p) << 32) | f.value);
+        }
+      }
+    }
+
+    // Today's servable content: file -> online peers that already shared
+    // it before today.
+    std::unordered_map<uint32_t, std::vector<uint32_t>> servers_of;
+    std::unordered_set<uint32_t> online_set(online.begin(), online.end());
+    for (uint32_t p : online) {
+      for (uint32_t f : known[p]) {
+        servers_of[f].push_back(p);
+      }
+    }
+
+    rng.Shuffle(requests);
+    DynamicDayStats day_stats;
+    day_stats.day = day;
+    for (uint64_t packed : requests) {
+      const uint32_t p = static_cast<uint32_t>(packed >> 32);
+      const uint32_t f = static_cast<uint32_t>(packed);
+      const auto sources_it = servers_of.find(f);
+      if (sources_it == servers_of.end() || sources_it->second.empty()) {
+        ++result.unresolvable;  // Nobody online serves it today.
+        continue;
+      }
+      ++result.requests;
+      ++day_stats.requests;
+
+      uint32_t uploader = 0xffffffffu;
+      neighbours.clear();
+      if (random_strategy) {
+        for (size_t attempts = 0;
+             neighbours.size() < config.list_size && attempts < 4 * config.list_size;
+             ++attempts) {
+          const uint32_t candidate = online[rng.NextBelow(online.size())];
+          if (candidate != p &&
+              std::find(neighbours.begin(), neighbours.end(), candidate) ==
+                  neighbours.end()) {
+            neighbours.push_back(candidate);
+          }
+        }
+      } else if (lists[p] != nullptr) {
+        lists[p]->Collect(config.list_size, neighbours);
+      }
+      bool hit = false;
+      for (uint32_t q : neighbours) {
+        if (online_set.contains(q) && known[q].contains(f)) {
+          uploader = q;
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        ++result.hits;
+        ++day_stats.hits;
+      } else {
+        ++result.fallbacks;
+        const auto& sources = sources_it->second;
+        uploader = sources[rng.NextBelow(sources.size())];
+      }
+      if (!random_strategy) {
+        if (lists[p] == nullptr) {
+          lists[p] = MakeNeighbourList(config.strategy, config.list_size);
+        }
+        lists[p]->RecordUpload(uploader,
+                               1.0 / static_cast<double>(sources_it->second.size()));
+      }
+    }
+    result.days.push_back(day_stats);
+
+    // End of day: knowledge advances to today's snapshots.
+    for (uint32_t p : online) {
+      const CacheSnapshot* snapshot = trace.timeline(PeerId(p)).SnapshotOn(day);
+      known[p].clear();
+      for (FileId f : snapshot->files) {
+        known[p].insert(f.value);
+      }
+      seen_before[p] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace edk

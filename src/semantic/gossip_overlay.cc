@@ -1,0 +1,182 @@
+#include "src/semantic/gossip_overlay.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edk {
+
+GossipOverlay::GossipOverlay(const StaticCaches& caches, GossipConfig config)
+    : caches_(&caches), config_(config), rng_(config.seed) {
+  assert(config.view_size > 0);
+  participant_index_.assign(caches.caches.size(), -1);
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    if (!caches.caches[p].empty()) {
+      participant_index_[p] = static_cast<int32_t>(participants_.size());
+      participants_.push_back(p);
+    }
+  }
+  semantic_views_.resize(participants_.size());
+  random_views_.resize(participants_.size());
+  for (uint32_t i = 0; i < participants_.size(); ++i) {
+    RefreshRandomView(i);
+  }
+}
+
+uint32_t GossipOverlay::Overlap(uint32_t a, uint32_t b) const {
+  return static_cast<uint32_t>(OverlapSize(caches_->caches[a], caches_->caches[b]));
+}
+
+void GossipOverlay::RefreshRandomView(uint32_t participant_index) {
+  // Bottom tier: a fresh uniform sample stands in for a cyclon-style
+  // shuffling protocol — what the top tier needs from it is exactly a
+  // stream of uniformly random live peers.
+  auto& view = random_views_[participant_index];
+  view.clear();
+  if (participants_.size() <= 1) {
+    return;
+  }
+  const uint32_t self = participants_[participant_index];
+  while (view.size() < std::min(config_.random_view_size, participants_.size() - 1)) {
+    const uint32_t candidate = participants_[rng_.NextBelow(participants_.size())];
+    if (candidate != self &&
+        std::find(view.begin(), view.end(), candidate) == view.end()) {
+      view.push_back(candidate);
+    }
+  }
+}
+
+void GossipOverlay::MergeIntoView(uint32_t peer, const std::vector<uint32_t>& candidates) {
+  const int32_t index = participant_index_[peer];
+  assert(index >= 0);
+  auto& view = semantic_views_[static_cast<size_t>(index)];
+  for (uint32_t candidate : candidates) {
+    if (candidate == peer || participant_index_[candidate] < 0) {
+      continue;
+    }
+    if (std::find(view.begin(), view.end(), candidate) != view.end()) {
+      continue;
+    }
+    view.push_back(candidate);
+  }
+  // Keep the K candidates with the highest cache overlap; ties broken by
+  // peer id for determinism.
+  std::sort(view.begin(), view.end(), [this, peer](uint32_t a, uint32_t b) {
+    const uint32_t oa = Overlap(peer, a);
+    const uint32_t ob = Overlap(peer, b);
+    if (oa != ob) {
+      return oa > ob;
+    }
+    return a < b;
+  });
+  if (view.size() > config_.view_size) {
+    view.resize(config_.view_size);
+  }
+}
+
+void GossipOverlay::RunRound() {
+  ++rounds_;
+  // Every participant initiates one exchange per round, in random order.
+  std::vector<uint32_t> order(participants_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  rng_.Shuffle(order);
+
+  std::vector<uint32_t> offered;
+  for (uint32_t i : order) {
+    const uint32_t self = participants_[i];
+    RefreshRandomView(i);
+    auto& semantic = semantic_views_[i];
+    const auto& random_view = random_views_[i];
+
+    // Partner selection: alternate between the best semantic neighbour
+    // (exploitation: my neighbour's neighbours are likely mine too) and a
+    // random peer (exploration: escape local optima, find new clusters).
+    uint32_t partner;
+    if (!semantic.empty() && rounds_ % 2 == 0) {
+      partner = semantic[0];
+    } else if (!random_view.empty()) {
+      partner = random_view[rng_.NextBelow(random_view.size())];
+    } else {
+      continue;
+    }
+    const int32_t partner_index = participant_index_[partner];
+    if (partner_index < 0) {
+      continue;
+    }
+
+    // Build the offer: self + a slice of my semantic view + random spice.
+    offered.clear();
+    offered.push_back(self);
+    for (uint32_t n : semantic) {
+      if (offered.size() >= config_.gossip_length) {
+        break;
+      }
+      offered.push_back(n);
+    }
+    for (uint32_t n : random_view) {
+      if (offered.size() >= config_.gossip_length) {
+        break;
+      }
+      offered.push_back(n);
+    }
+    // Symmetric exchange: the partner's reply is its own view head.
+    std::vector<uint32_t> reply;
+    reply.push_back(partner);
+    const auto& partner_view = semantic_views_[static_cast<size_t>(partner_index)];
+    for (uint32_t n : partner_view) {
+      if (reply.size() >= config_.gossip_length) {
+        break;
+      }
+      reply.push_back(n);
+    }
+
+    MergeIntoView(partner, offered);
+    MergeIntoView(self, reply);
+  }
+}
+
+const std::vector<uint32_t>& GossipOverlay::SemanticView(uint32_t peer) const {
+  if (peer >= participant_index_.size() || participant_index_[peer] < 0) {
+    return empty_;
+  }
+  return semantic_views_[static_cast<size_t>(participant_index_[peer])];
+}
+
+double GossipOverlay::MeanViewOverlap() const {
+  double total = 0;
+  uint64_t counted = 0;
+  for (uint32_t i = 0; i < participants_.size(); ++i) {
+    const uint32_t self = participants_[i];
+    for (uint32_t neighbour : semantic_views_[i]) {
+      total += static_cast<double>(Overlap(self, neighbour));
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double GossipOverlay::ViewHitRate(size_t samples, Rng& rng) const {
+  if (participants_.empty()) {
+    return 0;
+  }
+  uint64_t hits = 0;
+  uint64_t draws = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    const uint32_t i = static_cast<uint32_t>(rng.NextBelow(participants_.size()));
+    const uint32_t self = participants_[i];
+    const auto& cache = caches_->caches[self];
+    const FileId file = cache[rng.NextBelow(cache.size())];
+    ++draws;
+    for (uint32_t neighbour : semantic_views_[i]) {
+      const auto& other = caches_->caches[neighbour];
+      if (std::binary_search(other.begin(), other.end(), file)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return draws == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(draws);
+}
+
+}  // namespace edk

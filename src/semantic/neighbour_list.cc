@@ -1,0 +1,117 @@
+#include "src/semantic/neighbour_list.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace edk {
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kLru:
+      return "LRU";
+    case StrategyKind::kHistory:
+      return "History";
+    case StrategyKind::kRandom:
+      return "Random";
+    case StrategyKind::kPopularityWeighted:
+      return "PopularityWeighted";
+  }
+  return "?";
+}
+
+namespace {
+
+class LruList final : public NeighbourList {
+ public:
+  explicit LruList(size_t capacity) : capacity_(capacity) {}
+
+  void RecordUpload(uint32_t uploader, double /*rarity_weight*/) override {
+    auto it = std::find(peers_.begin(), peers_.end(), uploader);
+    if (it != peers_.end()) {
+      peers_.erase(it);
+    }
+    peers_.insert(peers_.begin(), uploader);
+    if (peers_.size() > capacity_) {
+      peers_.pop_back();
+    }
+  }
+
+  void Collect(size_t k, std::vector<uint32_t>& out) const override {
+    const size_t take = std::min(k, peers_.size());
+    out.insert(out.end(), peers_.begin(), peers_.begin() + static_cast<long>(take));
+  }
+
+  size_t size() const override { return peers_.size(); }
+
+ private:
+  size_t capacity_;
+  std::vector<uint32_t> peers_;  // Most recent first; small (<= capacity).
+};
+
+// Shared implementation of the two frequency-based strategies; they differ
+// only in the per-upload score increment.
+class ScoredList final : public NeighbourList {
+ public:
+  ScoredList(size_t capacity, bool rarity_weighted)
+      : capacity_(capacity), rarity_weighted_(rarity_weighted) {}
+
+  void RecordUpload(uint32_t uploader, double rarity_weight) override {
+    Entry& entry = entries_[uploader];
+    entry.score += rarity_weighted_ ? rarity_weight : 1.0;
+    entry.last_used = ++clock_;
+  }
+
+  void Collect(size_t k, std::vector<uint32_t>& out) const override {
+    scratch_.clear();
+    scratch_.reserve(entries_.size());
+    for (const auto& [peer, entry] : entries_) {
+      scratch_.push_back({peer, entry});
+    }
+    const size_t take = std::min(k, scratch_.size());
+    std::partial_sort(scratch_.begin(), scratch_.begin() + static_cast<long>(take),
+                      scratch_.end(), [](const auto& a, const auto& b) {
+                        if (a.second.score != b.second.score) {
+                          return a.second.score > b.second.score;
+                        }
+                        return a.second.last_used > b.second.last_used;
+                      });
+    for (size_t i = 0; i < take; ++i) {
+      out.push_back(scratch_[i].first);
+    }
+  }
+
+  size_t size() const override { return std::min(entries_.size(), capacity_); }
+
+ private:
+  struct Entry {
+    double score = 0;
+    uint64_t last_used = 0;
+  };
+
+  size_t capacity_;
+  bool rarity_weighted_;
+  uint64_t clock_ = 0;
+  std::unordered_map<uint32_t, Entry> entries_;
+  mutable std::vector<std::pair<uint32_t, Entry>> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<NeighbourList> MakeNeighbourList(StrategyKind kind, size_t capacity) {
+  assert(capacity > 0);
+  switch (kind) {
+    case StrategyKind::kLru:
+      return std::make_unique<LruList>(capacity);
+    case StrategyKind::kHistory:
+      return std::make_unique<ScoredList>(capacity, /*rarity_weighted=*/false);
+    case StrategyKind::kPopularityWeighted:
+      return std::make_unique<ScoredList>(capacity, /*rarity_weighted=*/true);
+    case StrategyKind::kRandom:
+      break;
+  }
+  assert(false && "Random strategy has no per-peer list");
+  return nullptr;
+}
+
+}  // namespace edk

@@ -1,0 +1,53 @@
+// Semantic neighbour list strategies (paper §5.2).
+//
+// Each peer maintains a small list of peers that successfully served it in
+// the past and queries them first on future searches:
+//   - LRU: most-recently-used uploader at the head, fixed capacity.
+//   - History: frequency-based — peers with the most successful uploads
+//     (the "History" policy of Voulgaris et al. [30]).
+//   - PopularityWeighted: like History but an upload of a rare file counts
+//     for more (1/popularity), which keeps lists from being contaminated by
+//     links that only reflect popular files (§5.3.2 discussion / [30]).
+// The Random baseline needs no per-peer state and lives in the simulator.
+
+#ifndef SRC_SEMANTIC_NEIGHBOUR_LIST_H_
+#define SRC_SEMANTIC_NEIGHBOUR_LIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace edk {
+
+enum class StrategyKind {
+  kLru,
+  kHistory,
+  kRandom,
+  kPopularityWeighted,
+};
+
+const char* StrategyName(StrategyKind kind);
+
+class NeighbourList {
+ public:
+  virtual ~NeighbourList() = default;
+
+  // Records a successful retrieval from `uploader`. `rarity_weight` is
+  // 1/popularity of the retrieved file at retrieval time (only the
+  // popularity-weighted strategy uses it).
+  virtual void RecordUpload(uint32_t uploader, double rarity_weight) = 0;
+
+  // Appends up to `k` neighbours to `out`, best candidate first.
+  virtual void Collect(size_t k, std::vector<uint32_t>& out) const = 0;
+
+  virtual size_t size() const = 0;
+};
+
+// `capacity` is the neighbour-list length (the single design parameter of
+// LRU, §5.2); frequency-based strategies keep full history and use capacity
+// only as the default Collect bound.
+std::unique_ptr<NeighbourList> MakeNeighbourList(StrategyKind kind, size_t capacity);
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_NEIGHBOUR_LIST_H_

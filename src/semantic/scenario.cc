@@ -1,0 +1,71 @@
+#include "src/semantic/scenario.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace edk {
+
+StaticCaches RemoveTopUploaders(const StaticCaches& caches, double fraction) {
+  std::vector<uint32_t> sharers;
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    if (!caches.caches[p].empty()) {
+      sharers.push_back(p);
+    }
+  }
+  std::sort(sharers.begin(), sharers.end(), [&caches](uint32_t a, uint32_t b) {
+    if (caches.caches[a].size() != caches.caches[b].size()) {
+      return caches.caches[a].size() > caches.caches[b].size();
+    }
+    return a < b;
+  });
+  const size_t remove =
+      static_cast<size_t>(fraction * static_cast<double>(sharers.size()));
+  StaticCaches out = caches;
+  for (size_t i = 0; i < remove; ++i) {
+    out.caches[sharers[i]].clear();
+  }
+  return out;
+}
+
+StaticCaches RemoveTopFiles(const StaticCaches& caches, double fraction,
+                            size_t file_count) {
+  const auto counts = caches.SourceCounts(file_count);
+  std::vector<uint32_t> files;
+  for (uint32_t f = 0; f < file_count; ++f) {
+    if (counts[f] > 0) {
+      files.push_back(f);
+    }
+  }
+  std::sort(files.begin(), files.end(), [&counts](uint32_t a, uint32_t b) {
+    if (counts[a] != counts[b]) {
+      return counts[a] > counts[b];
+    }
+    return a < b;
+  });
+  const size_t remove = static_cast<size_t>(fraction * static_cast<double>(files.size()));
+  std::vector<bool> removed(file_count, false);
+  for (size_t i = 0; i < remove; ++i) {
+    removed[files[i]] = true;
+  }
+  StaticCaches out;
+  out.caches.resize(caches.caches.size());
+  for (size_t p = 0; p < caches.caches.size(); ++p) {
+    auto& cache = out.caches[p];
+    cache.reserve(caches.caches[p].size());
+    for (FileId f : caches.caches[p]) {
+      if (!removed[f.value]) {
+        cache.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+StaticCaches RemoveTopUploadersAndFiles(const StaticCaches& caches,
+                                        double uploader_fraction, double file_fraction,
+                                        size_t file_count) {
+  return RemoveTopFiles(RemoveTopUploaders(caches, uploader_fraction), file_fraction,
+                        file_count);
+}
+
+}  // namespace edk

@@ -1,0 +1,33 @@
+// Scenario transformations of the static request caches (paper §5.3.2):
+// removal of the most generous uploaders and of the most popular files,
+// used to isolate which part of the semantic hit rate is genuine
+// interest-based clustering.
+
+#ifndef SRC_SEMANTIC_SCENARIO_H_
+#define SRC_SEMANTIC_SCENARIO_H_
+
+#include <cstddef>
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+// Clears the caches of the top `fraction` most generous uploaders (among
+// peers with non-empty caches, ranked by cache size). Their files disappear
+// both as offers and as requests, exactly as in the paper's re-runs.
+StaticCaches RemoveTopUploaders(const StaticCaches& caches, double fraction);
+
+// Removes the top `fraction` most popular files (among files with >= 1
+// source, ranked by source count) from every cache.
+StaticCaches RemoveTopFiles(const StaticCaches& caches, double fraction,
+                            size_t file_count);
+
+// Combined scenario: uploaders first, then files (ranked on the reduced
+// trace), matching Table 3's "without both" rows.
+StaticCaches RemoveTopUploadersAndFiles(const StaticCaches& caches,
+                                        double uploader_fraction, double file_fraction,
+                                        size_t file_count);
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_SCENARIO_H_

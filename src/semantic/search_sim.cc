@@ -1,0 +1,220 @@
+#include "src/semantic/search_sim.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace edk {
+
+namespace {
+
+// Packs a (peer, file) pair into one 64-bit value for the request shuffle.
+inline uint64_t PackRequest(uint32_t peer, uint32_t file) {
+  return (static_cast<uint64_t>(peer) << 32) | file;
+}
+
+constexpr uint32_t kSentinelNoUploader = 0xffffffffu;
+
+}  // namespace
+
+SearchSimResult RunSearchSimulation(const StaticCaches& potential,
+                                    const SearchSimConfig& config) {
+  const size_t peer_count = potential.caches.size();
+  Rng rng(config.seed);
+  SearchSimResult result;
+
+  // Request stream: every (peer, file) pair in uniform random order. This
+  // realises the paper's "successively pick at random a peer p and a file f
+  // in its set of files to be requested".
+  std::vector<uint64_t> requests;
+  requests.reserve(potential.TotalReplicas());
+  uint32_t max_file = 0;
+  for (uint32_t p = 0; p < peer_count; ++p) {
+    for (FileId f : potential.caches[p]) {
+      requests.push_back(PackRequest(p, f.value));
+      max_file = std::max(max_file, f.value);
+    }
+  }
+  rng.Shuffle(requests);
+
+  // Evolving state: which files each peer currently shares, and the known
+  // sources of each file (sources only ever grow in this simulation).
+  std::vector<std::unordered_set<uint32_t>> shared(peer_count);
+  std::vector<std::vector<uint32_t>> sources(static_cast<size_t>(max_file) + 1);
+
+  // Per-peer neighbour lists (lazily created; free-riders have no requests
+  // so they never allocate one). With fixed views, no lists are learned.
+  std::vector<std::unique_ptr<NeighbourList>> lists;
+  const bool fixed_views = config.fixed_views != nullptr;
+  const bool random_strategy =
+      !fixed_views && config.strategy == StrategyKind::kRandom;
+  if (!random_strategy && !fixed_views) {
+    lists.resize(peer_count);
+  }
+  // Sharer universe for the Random baseline.
+  std::vector<uint32_t> sharer_ids;
+  if (random_strategy) {
+    for (uint32_t p = 0; p < peer_count; ++p) {
+      if (!potential.caches[p].empty()) {
+        sharer_ids.push_back(p);
+      }
+    }
+  }
+
+  if (config.track_load) {
+    result.load.assign(peer_count, 0);
+  }
+  auto charge = [&result, &config](uint32_t peer) {
+    ++result.messages;
+    if (config.track_load) {
+      ++result.load[peer];
+    }
+  };
+
+  std::vector<uint32_t> neighbours;
+  std::vector<uint32_t> second_hop;
+  std::unordered_set<uint32_t> visited;
+  std::unordered_set<uint32_t> offline;  // Per-request offline neighbours.
+
+  for (uint64_t packed : requests) {
+    const uint32_t p = static_cast<uint32_t>(packed >> 32);
+    const uint32_t f = static_cast<uint32_t>(packed);
+    if (shared[p].contains(f)) {
+      continue;  // Already acquired earlier in the run (e.g. as a seed).
+    }
+    auto& file_sources = sources[f];
+    if (file_sources.empty()) {
+      // p is the original contributor of f.
+      ++result.seeds;
+      shared[p].insert(f);
+      file_sources.push_back(p);
+      continue;
+    }
+
+    ++result.requests;
+    // Popularity bucket: floor(log2(source count)).
+    size_t bucket = 0;
+    for (size_t sources = file_sources.size(); sources > 1; sources >>= 1) {
+      ++bucket;
+    }
+    if (result.requests_by_popularity.size() <= bucket) {
+      result.requests_by_popularity.resize(bucket + 1, 0);
+      result.hits_by_popularity.resize(bucket + 1, 0);
+    }
+    ++result.requests_by_popularity[bucket];
+
+    uint32_t uploader = kSentinelNoUploader;
+    bool one_hop = false;
+    bool two_hop = false;
+
+    neighbours.clear();
+    if (fixed_views) {
+      if (p < config.fixed_views->size()) {
+        const auto& view = (*config.fixed_views)[p];
+        const size_t take = std::min(config.list_size, view.size());
+        neighbours.assign(view.begin(), view.begin() + static_cast<long>(take));
+      }
+    } else if (random_strategy) {
+      // k distinct random sharers (excluding the requester).
+      for (int attempts = 0;
+           neighbours.size() < config.list_size &&
+           attempts < static_cast<int>(4 * config.list_size) &&
+           neighbours.size() + 1 < sharer_ids.size();
+           ++attempts) {
+        const uint32_t candidate = sharer_ids[rng.NextBelow(sharer_ids.size())];
+        if (candidate != p &&
+            std::find(neighbours.begin(), neighbours.end(), candidate) ==
+                neighbours.end()) {
+          neighbours.push_back(candidate);
+        }
+      }
+    } else if (lists[p] != nullptr) {
+      lists[p]->Collect(config.list_size, neighbours);
+    }
+
+    if (config.neighbour_availability < 1.0) {
+      offline.clear();
+    }
+    for (uint32_t q : neighbours) {
+      // Churn model: an offline neighbour receives no query and cannot
+      // answer; the message is never sent. The draw is per request and
+      // per peer, so the two-hop stage sees the same offline set.
+      if (config.neighbour_availability < 1.0 &&
+          !rng.NextBool(config.neighbour_availability)) {
+        offline.insert(q);
+        continue;
+      }
+      charge(q);
+      if (shared[q].contains(f)) {
+        uploader = q;
+        one_hop = true;
+        break;
+      }
+    }
+
+    if (!one_hop && config.two_hop && !random_strategy) {
+      visited.clear();
+      visited.insert(p);
+      for (uint32_t q : neighbours) {
+        visited.insert(q);
+      }
+      for (uint32_t q : neighbours) {
+        if (two_hop) {
+          break;
+        }
+        // An offline neighbour cannot forward to its own neighbours.
+        if (offline.contains(q)) {
+          continue;
+        }
+        second_hop.clear();
+        if (fixed_views) {
+          if (q < config.fixed_views->size()) {
+            const auto& view = (*config.fixed_views)[q];
+            const size_t take = std::min(config.list_size, view.size());
+            second_hop.assign(view.begin(), view.begin() + static_cast<long>(take));
+          }
+        } else if (lists[q] != nullptr) {
+          lists[q]->Collect(config.list_size, second_hop);
+        }
+        for (uint32_t r : second_hop) {
+          if (!visited.insert(r).second) {
+            continue;
+          }
+          if (config.neighbour_availability < 1.0 &&
+              !rng.NextBool(config.neighbour_availability)) {
+            continue;
+          }
+          charge(r);
+          if (shared[r].contains(f)) {
+            uploader = r;
+            two_hop = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (uploader == kSentinelNoUploader) {
+      // Fallback: server lookup / flooding returns a random current source.
+      ++result.fallbacks;
+      uploader = file_sources[rng.NextBelow(file_sources.size())];
+    }
+    result.one_hop_hits += one_hop ? 1 : 0;
+    result.two_hop_hits += two_hop ? 1 : 0;
+    result.hits_by_popularity[bucket] += (one_hop || two_hop) ? 1 : 0;
+
+    if (!random_strategy && !fixed_views) {
+      if (lists[p] == nullptr) {
+        lists[p] = MakeNeighbourList(config.strategy, config.list_size);
+      }
+      const double rarity = 1.0 / static_cast<double>(file_sources.size());
+      lists[p]->RecordUpload(uploader, rarity);
+    }
+    shared[p].insert(f);
+    file_sources.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace edk

@@ -1,0 +1,81 @@
+// Trace-driven simulation of semantic-neighbour search (paper §5.1).
+//
+// Request generation follows the paper exactly: (peer, file) pairs from the
+// static trace are drawn in random order; if nobody shares the file yet the
+// requesting peer is deemed its original contributor, otherwise a request
+// is simulated — the peer queries its semantic neighbours (optionally the
+// neighbours' neighbours at two hops), falls back to the server/flooding
+// mechanism on a miss, updates its neighbour list with the uploader, and in
+// all cases starts sharing the file afterwards.
+
+#ifndef SRC_SEMANTIC_SEARCH_SIM_H_
+#define SRC_SEMANTIC_SEARCH_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/semantic/neighbour_list.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct SearchSimConfig {
+  StrategyKind strategy = StrategyKind::kLru;
+  size_t list_size = 20;   // Semantic neighbours queried per request.
+  bool two_hop = false;    // Also query neighbours' neighbours on a miss.
+  uint64_t seed = 1;
+  bool track_load = true;  // Collect per-peer query load (Fig. 22).
+  // Probability a queried neighbour is online when asked. 1.0 reproduces
+  // the paper's setting; lower values model the churn a deployed
+  // server-less design would face (offline neighbours cannot answer; the
+  // server fallback still resolves the request).
+  double neighbour_availability = 1.0;
+  // When set, per-peer neighbour lists are FIXED to these views (e.g. the
+  // converged views of the gossip overlay) instead of being learned from
+  // uploads; `strategy` is ignored. Must outlive the simulation; indexed
+  // by peer id.
+  const std::vector<std::vector<uint32_t>>* fixed_views = nullptr;
+};
+
+struct SearchSimResult {
+  uint64_t seeds = 0;          // Picks that made the peer the first source.
+  uint64_t requests = 0;       // Simulated requests.
+  uint64_t one_hop_hits = 0;
+  uint64_t two_hop_hits = 0;   // Extra hits found only at the second hop.
+  uint64_t fallbacks = 0;      // Requests resolved by the fallback mechanism.
+  uint64_t messages = 0;       // Queries sent to peers (load sum).
+  std::vector<uint32_t> load;  // Queries received, per peer (if tracked).
+
+  // Requests/hits bucketed by the requested file's popularity (its source
+  // count at request time): bucket b covers [2^b, 2^(b+1)) sources.
+  // Directly exhibits the paper's "semantic links work best for rare
+  // files" without re-running filtered scenarios.
+  std::vector<uint64_t> requests_by_popularity;
+  std::vector<uint64_t> hits_by_popularity;
+
+  double OneHopHitRate() const {
+    return requests == 0 ? 0 : static_cast<double>(one_hop_hits) / static_cast<double>(requests);
+  }
+  double TotalHitRate() const {
+    return requests == 0
+               ? 0
+               : static_cast<double>(one_hop_hits + two_hop_hits) / static_cast<double>(requests);
+  }
+  // Hit rate (1- and 2-hop combined) of popularity bucket b; 0 if empty.
+  double BucketHitRate(size_t bucket) const {
+    if (bucket >= requests_by_popularity.size() || requests_by_popularity[bucket] == 0) {
+      return 0;
+    }
+    return static_cast<double>(hits_by_popularity[bucket]) /
+           static_cast<double>(requests_by_popularity[bucket]);
+  }
+};
+
+// `potential` holds, per peer, the set of files it will request during the
+// simulation (its cache content in the static trace).
+SearchSimResult RunSearchSimulation(const StaticCaches& potential,
+                                    const SearchSimConfig& config);
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_SEARCH_SIM_H_

@@ -1,0 +1,108 @@
+#include "src/semantic/semantic_client.h"
+
+#include <cassert>
+
+namespace edk {
+
+struct FetchContext {
+  SharedFileInfo info;
+  std::vector<uint32_t> candidates;  // Semantic neighbours, best first.
+  std::function<void(FetchOutcome)> done;
+};
+
+SemanticClient::SemanticClient(SimNetwork* network, ClientConfig config,
+                               size_t list_size, StrategyKind strategy)
+    : SimClient(network, std::move(config)),
+      network_(network),
+      list_size_(list_size),
+      neighbours_(MakeNeighbourList(strategy, list_size)) {}
+
+std::vector<NodeId> SemanticClient::SemanticNeighbours() const {
+  std::vector<uint32_t> out;
+  neighbours_->Collect(list_size_, out);
+  return out;
+}
+
+void SemanticClient::FetchFile(const SharedFileInfo& info,
+                               std::function<void(FetchOutcome)> done) {
+  auto context = std::make_shared<FetchContext>();
+  context->info = info;
+  context->done = std::move(done);
+  neighbours_->Collect(list_size_, context->candidates);
+  ProbeNeighbourChain(context, 0);
+}
+
+void SemanticClient::ProbeNeighbourChain(std::shared_ptr<FetchContext> context,
+                                         size_t index) {
+  if (index >= context->candidates.size()) {
+    FallBackToServer(std::move(context));
+    return;
+  }
+  const NodeId target = context->candidates[index];
+  auto* remote = dynamic_cast<SemanticClient*>(network_->node(target));
+  if (remote == nullptr) {
+    ProbeNeighbourChain(std::move(context), index + 1);
+    return;
+  }
+  const NodeId self = node_id();
+  network_->Send(self, target, [this, remote, target, self, context, index] {
+    const bool available = remote->HandleAvailabilityProbe(context->info.digest);
+    network_->Send(target, self, [this, context, index, target, available] {
+      if (available) {
+        DownloadAndFinish(context, target, /*semantic=*/true);
+      } else {
+        ProbeNeighbourChain(context, index + 1);
+      }
+    });
+  });
+}
+
+void SemanticClient::FallBackToServer(std::shared_ptr<FetchContext> context) {
+  if (!connected()) {
+    ++fetch_failures_;
+    if (context->done) {
+      context->done(FetchOutcome{});
+    }
+    return;
+  }
+  QuerySources(context->info.digest, [this, context](std::vector<SourceRecord> sources) {
+    // Prefer a high-id source; a firewalled one still works through the
+    // server callback path inside Download().
+    for (const SourceRecord& source : sources) {
+      if (!source.low_id || !firewalled()) {
+        DownloadAndFinish(context, source.node, /*semantic=*/false);
+        return;
+      }
+    }
+    ++fetch_failures_;
+    if (context->done) {
+      context->done(FetchOutcome{});
+    }
+  });
+}
+
+void SemanticClient::DownloadAndFinish(std::shared_ptr<FetchContext> context,
+                                       NodeId source, bool semantic) {
+  Download(source, context->info, [this, context, source, semantic](bool success) {
+    FetchOutcome outcome;
+    outcome.success = success;
+    outcome.semantic_hit = semantic && success;
+    outcome.source = source;
+    if (success) {
+      // Whoever served us becomes (or moves up as) a semantic neighbour.
+      neighbours_->RecordUpload(source, 1.0);
+      if (semantic) {
+        ++semantic_hits_;
+      } else {
+        ++server_hits_;
+      }
+    } else {
+      ++fetch_failures_;
+    }
+    if (context->done) {
+      context->done(outcome);
+    }
+  });
+}
+
+}  // namespace edk

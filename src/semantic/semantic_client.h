@@ -1,0 +1,64 @@
+// SemanticClient: an eDonkey client extended with semantic links.
+//
+// The paper's conclusion announces "an implementation of semantic links in
+// an eDonkey client, MLdonkey"; this class is that design on top of the
+// simulated client. The client keeps an LRU list of peers that served it
+// before and resolves file requests by asking those peers directly —
+// entirely server-lessly — falling back to the index server only on a miss.
+
+#ifndef SRC_SEMANTIC_SEMANTIC_CLIENT_H_
+#define SRC_SEMANTIC_SEMANTIC_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/semantic/neighbour_list.h"
+
+namespace edk {
+
+struct FetchOutcome {
+  bool success = false;
+  bool semantic_hit = false;       // Resolved without the server.
+  NodeId source = kInvalidNode;
+};
+
+class SemanticClient : public SimClient {
+ public:
+  SemanticClient(SimNetwork* network, ClientConfig config, size_t list_size,
+                 StrategyKind strategy = StrategyKind::kLru);
+
+  // Locates and downloads `info`: queries the semantic neighbours first,
+  // then the connected server's source index. Requires a server connection
+  // for the fallback path.
+  void FetchFile(const SharedFileInfo& info, std::function<void(FetchOutcome)> done);
+
+  // Current semantic neighbours, best first.
+  std::vector<NodeId> SemanticNeighbours() const;
+
+  uint64_t semantic_hits() const { return semantic_hits_; }
+  uint64_t server_hits() const { return server_hits_; }
+  uint64_t fetch_failures() const { return fetch_failures_; }
+
+  // Remote-invoked: does this client share the file? (lightweight
+  // availability probe, the "is file available" exchange of §2.1).
+  bool HandleAvailabilityProbe(const Md4Digest& digest) const { return SharesFile(digest); }
+
+ private:
+  void ProbeNeighbourChain(std::shared_ptr<struct FetchContext> context, size_t index);
+  void FallBackToServer(std::shared_ptr<struct FetchContext> context);
+  void DownloadAndFinish(std::shared_ptr<struct FetchContext> context, NodeId source,
+                         bool semantic);
+
+  SimNetwork* network_;
+  size_t list_size_;
+  std::unique_ptr<NeighbourList> neighbours_;
+  uint64_t semantic_hits_ = 0;
+  uint64_t server_hits_ = 0;
+  uint64_t fetch_failures_ = 0;
+};
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_SEMANTIC_CLIENT_H_

@@ -1,0 +1,109 @@
+#include "src/trace/filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace edk {
+
+namespace {
+
+// Copies `source` peers selected by `keep` into a new trace, preserving the
+// file table so FileIds stay valid.
+Trace CopySelectedPeers(const Trace& source, const std::vector<bool>& keep) {
+  Trace out;
+  for (const auto& meta : source.files()) {
+    out.AddFile(meta);
+  }
+  for (size_t p = 0; p < source.peer_count(); ++p) {
+    if (!keep[p]) {
+      continue;
+    }
+    const PeerId old_id(static_cast<uint32_t>(p));
+    const PeerId new_id = out.AddPeer(source.peer(old_id));
+    for (const auto& snapshot : source.timeline(old_id).snapshots) {
+      out.AddSnapshot(new_id, snapshot.day, snapshot.files);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace FilterDuplicates(const Trace& trace) {
+  std::unordered_map<uint32_t, int> ip_count;
+  std::unordered_map<uint64_t, int> uid_count;
+  for (const auto& info : trace.peers()) {
+    ++ip_count[info.ip_address];
+    ++uid_count[info.user_id];
+  }
+  std::vector<bool> keep(trace.peer_count(), false);
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const PeerInfo& info = trace.peer(id);
+    const bool duplicated =
+        ip_count[info.ip_address] > 1 || uid_count[info.user_id] > 1;
+    keep[p] = !duplicated || trace.IsFreeRider(id);
+  }
+  return CopySelectedPeers(trace, keep);
+}
+
+std::vector<FileId> IntersectSorted(const std::vector<FileId>& a,
+                                    const std::vector<FileId>& b) {
+  std::vector<FileId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+namespace {
+
+enum class FillPolicy { kIntersection, kCarryForward };
+
+Trace ExtrapolateImpl(const Trace& trace, const ExtrapolationOptions& options,
+                      FillPolicy policy) {
+  Trace out;
+  for (const auto& meta : trace.files()) {
+    out.AddFile(meta);
+  }
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto& snapshots = trace.timeline(id).snapshots;
+    if (static_cast<int>(snapshots.size()) < options.min_connections) {
+      continue;
+    }
+    const int span = snapshots.back().day - snapshots.front().day;
+    if (span < options.min_span_days) {
+      continue;
+    }
+    const PeerId new_id = out.AddPeer(trace.peer(id));
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+      out.AddSnapshot(new_id, snapshots[i].day, snapshots[i].files);
+      if (i + 1 >= snapshots.size()) {
+        continue;
+      }
+      // Fill the gap between observation i and i+1.
+      std::vector<FileId> filler;
+      if (policy == FillPolicy::kIntersection) {
+        filler = IntersectSorted(snapshots[i].files, snapshots[i + 1].files);
+      } else {
+        filler = snapshots[i].files;
+      }
+      for (int day = snapshots[i].day + 1; day < snapshots[i + 1].day; ++day) {
+        out.AddSnapshot(new_id, day, filler);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace Extrapolate(const Trace& trace, const ExtrapolationOptions& options) {
+  return ExtrapolateImpl(trace, options, FillPolicy::kIntersection);
+}
+
+Trace ExtrapolateCarryForward(const Trace& trace, const ExtrapolationOptions& options) {
+  return ExtrapolateImpl(trace, options, FillPolicy::kCarryForward);
+}
+
+}  // namespace edk

@@ -1,0 +1,47 @@
+// Derivations of the paper's three trace views (§2.3, Table 1):
+//
+//   full trace          -> as collected
+//   filtered trace      -> duplicate peers (same IP or same user id) removed,
+//                          free-riders kept
+//   extrapolated trace  -> activity-filtered peers with missing days filled
+//                          pessimistically (intersection of neighbouring
+//                          observations)
+
+#ifndef SRC_TRACE_FILTER_H_
+#define SRC_TRACE_FILTER_H_
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+// Removes peers that share an IP address or a user id with another peer.
+// Free-riders are kept even when duplicated, as in the paper ("we removed
+// all clients sharing either the same IP address or the same unique
+// identifier (and kept the free riders)"). File metadata is preserved
+// unchanged; file ids remain stable across filtering.
+Trace FilterDuplicates(const Trace& trace);
+
+struct ExtrapolationOptions {
+  // Keep peers observed at least this many times...
+  int min_connections = 5;
+  // ...with at least this many days between first and last observation.
+  int min_span_days = 10;
+};
+
+// Produces the extrapolated trace: qualifying peers get one snapshot for
+// every day between their first and last observation; for unobserved days
+// the cache is the intersection of the previous and next real observations
+// (a pessimistic under-estimate of the actual content, per §2.3).
+Trace Extrapolate(const Trace& trace, const ExtrapolationOptions& options = {});
+
+// Alternative extrapolation used by the ablation bench: carry the previous
+// observation forward instead of intersecting (an optimistic estimate).
+Trace ExtrapolateCarryForward(const Trace& trace, const ExtrapolationOptions& options = {});
+
+// Sorted intersection helper shared with the analyses.
+std::vector<FileId> IntersectSorted(const std::vector<FileId>& a,
+                                    const std::vector<FileId>& b);
+
+}  // namespace edk
+
+#endif  // SRC_TRACE_FILTER_H_

@@ -1,0 +1,77 @@
+#include "src/trace/randomize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random_access_set.h"
+
+namespace edk {
+
+uint64_t RecommendedSwapCount(const StaticCaches& caches) {
+  const double n = static_cast<double>(caches.TotalReplicas());
+  if (n < 2) {
+    return 0;
+  }
+  return static_cast<uint64_t>(0.5 * n * std::log(n)) + 1;
+}
+
+RandomizeResult RandomizeCaches(const StaticCaches& caches, uint64_t swaps, Rng& rng) {
+  const size_t peer_count = caches.caches.size();
+
+  // Mutable cache sets with O(1) membership / random pick / swap.
+  std::vector<RandomAccessSet<uint32_t>> sets(peer_count);
+  // Picking a peer proportionally to |C_u| == picking a replica uniformly
+  // and taking its owner. Swaps never change cache sizes, so this flat
+  // owner table stays valid for the whole run.
+  std::vector<uint32_t> replica_owner;
+  replica_owner.reserve(caches.TotalReplicas());
+  for (size_t p = 0; p < peer_count; ++p) {
+    sets[p].Reserve(caches.caches[p].size());
+    for (FileId f : caches.caches[p]) {
+      sets[p].Insert(f.value);
+      replica_owner.push_back(static_cast<uint32_t>(p));
+    }
+  }
+
+  RandomizeResult result;
+  if (replica_owner.size() < 2) {
+    result.caches = caches;
+    return result;
+  }
+
+  for (uint64_t iter = 0; iter < swaps; ++iter) {
+    ++result.attempted_swaps;
+    const uint32_t u = replica_owner[rng.NextBelow(replica_owner.size())];
+    const uint32_t v = replica_owner[rng.NextBelow(replica_owner.size())];
+    if (u == v) {
+      continue;
+    }
+    const uint32_t f = sets[u].RandomElement(rng);
+    const uint32_t f_prime = sets[v].RandomElement(rng);
+    if (f == f_prime || sets[u].Contains(f_prime) || sets[v].Contains(f)) {
+      continue;
+    }
+    sets[u].Erase(f);
+    sets[u].Insert(f_prime);
+    sets[v].Erase(f_prime);
+    sets[v].Insert(f);
+    ++result.successful_swaps;
+  }
+
+  result.caches.caches.resize(peer_count);
+  for (size_t p = 0; p < peer_count; ++p) {
+    auto& out = result.caches.caches[p];
+    out.reserve(sets[p].size());
+    for (uint32_t raw : sets[p]) {
+      out.push_back(FileId(raw));
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return result;
+}
+
+RandomizeResult RandomizeCachesFully(const StaticCaches& caches, Rng& rng) {
+  return RandomizeCaches(caches, RecommendedSwapCount(caches), rng);
+}
+
+}  // namespace edk

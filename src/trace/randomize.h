@@ -1,0 +1,45 @@
+// Trace randomisation (paper appendix).
+//
+// Randomly swaps files between peer caches in a way that preserves both
+// peer generosity (cache sizes) and file popularity (replica counts) while
+// destroying any other structure — in particular interest-based clustering.
+// The paper shows that ½·N·ln(N) swaps suffice, where N is the total number
+// of file replicas; the resulting trace is uniform among all traces with
+// the same generosity and popularity marginals.
+
+#ifndef SRC_TRACE_RANDOMIZE_H_
+#define SRC_TRACE_RANDOMIZE_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct RandomizeResult {
+  StaticCaches caches;
+  uint64_t attempted_swaps = 0;
+  uint64_t successful_swaps = 0;
+};
+
+// Number of swap iterations the paper prescribes for full mixing:
+// (1/2) * N * ln(N), N = total replicas.
+uint64_t RecommendedSwapCount(const StaticCaches& caches);
+
+// Runs `swaps` swap attempts of the appendix algorithm:
+//   1. pick peer u with probability |C_u| / sum |C_w|
+//   2. pick f uniformly from C_u
+//   3. likewise pick (v, f')
+//   4. swap f and f' unless f' ∈ C_u or f ∈ C_v (or u == v)
+// Swap attempts that fail the membership test count as attempted, not
+// successful; this matches the paper's accounting of "number of file
+// swappings" on the x-axis of Fig. 21.
+RandomizeResult RandomizeCaches(const StaticCaches& caches, uint64_t swaps, Rng& rng);
+
+// Convenience: fully randomises using RecommendedSwapCount.
+RandomizeResult RandomizeCachesFully(const StaticCaches& caches, Rng& rng);
+
+}  // namespace edk
+
+#endif  // SRC_TRACE_RANDOMIZE_H_

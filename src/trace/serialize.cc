@@ -1,0 +1,212 @@
+#include "src/trace/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace edk {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544b4445;  // "EDKT" little-endian.
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  uint8_t b[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                  static_cast<uint8_t>(v >> 16), static_cast<uint8_t>(v >> 24)};
+  os.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  WriteU32(os, static_cast<uint32_t>(v));
+  WriteU32(os, static_cast<uint32_t>(v >> 32));
+}
+
+// LEB128-style variable-length encoding for delta-encoded file ids.
+void WriteVarint(std::ostream& os, uint64_t v) {
+  while (v >= 0x80) {
+    const uint8_t byte = static_cast<uint8_t>(v) | 0x80;
+    os.write(reinterpret_cast<const char*>(&byte), 1);
+    v >>= 7;
+  }
+  const uint8_t byte = static_cast<uint8_t>(v);
+  os.write(reinterpret_cast<const char*>(&byte), 1);
+}
+
+bool ReadU32(std::istream& is, uint32_t& v) {
+  uint8_t b[4];
+  if (!is.read(reinterpret_cast<char*>(b), 4)) {
+    return false;
+  }
+  v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+      (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool ReadU64(std::istream& is, uint64_t& v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!ReadU32(is, lo) || !ReadU32(is, hi)) {
+    return false;
+  }
+  v = static_cast<uint64_t>(hi) << 32 | lo;
+  return true;
+}
+
+bool ReadVarint(std::istream& is, uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (shift < 64) {
+    uint8_t byte = 0;
+    if (!is.read(reinterpret_cast<char*>(&byte), 1)) {
+      return false;
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Overlong encoding.
+}
+
+}  // namespace
+
+bool SaveTrace(const Trace& trace, std::ostream& os) {
+  WriteU32(os, kMagic);
+  WriteU32(os, kVersion);
+
+  WriteU64(os, trace.file_count());
+  for (const auto& meta : trace.files()) {
+    WriteU64(os, meta.size_bytes);
+    const uint8_t category = static_cast<uint8_t>(meta.category);
+    os.write(reinterpret_cast<const char*>(&category), 1);
+    WriteU32(os, meta.topic.value);
+  }
+
+  WriteU64(os, trace.peer_count());
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const PeerInfo& info = trace.peer(id);
+    WriteU32(os, info.country.value);
+    WriteU32(os, info.autonomous_system.value);
+    WriteU32(os, info.ip_address);
+    WriteU64(os, info.user_id);
+    const uint8_t firewalled = info.firewalled ? 1 : 0;
+    os.write(reinterpret_cast<const char*>(&firewalled), 1);
+
+    const auto& snapshots = trace.timeline(id).snapshots;
+    WriteVarint(os, snapshots.size());
+    for (const auto& snapshot : snapshots) {
+      WriteVarint(os, static_cast<uint64_t>(snapshot.day));
+      WriteVarint(os, snapshot.files.size());
+      uint32_t previous = 0;
+      for (FileId f : snapshot.files) {
+        // Files are sorted ascending, so deltas are small and non-negative.
+        WriteVarint(os, f.value - previous);
+        previous = f.value;
+      }
+    }
+  }
+  return os.good();
+}
+
+bool SaveTraceToFile(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    return false;
+  }
+  return SaveTrace(trace, os);
+}
+
+std::optional<Trace> LoadTrace(std::istream& is) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadU32(is, magic) || magic != kMagic || !ReadU32(is, version) ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+
+  Trace trace;
+  uint64_t file_count = 0;
+  if (!ReadU64(is, file_count)) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < file_count; ++i) {
+    FileMeta meta;
+    uint8_t category = 0;
+    if (!ReadU64(is, meta.size_bytes) ||
+        !is.read(reinterpret_cast<char*>(&category), 1)) {
+      return std::nullopt;
+    }
+    if (category > static_cast<uint8_t>(FileCategory::kOther)) {
+      return std::nullopt;
+    }
+    meta.category = static_cast<FileCategory>(category);
+    uint32_t topic = 0;
+    if (!ReadU32(is, topic)) {
+      return std::nullopt;
+    }
+    meta.topic = TopicId(topic);
+    trace.AddFile(meta);
+  }
+
+  uint64_t peer_count = 0;
+  if (!ReadU64(is, peer_count)) {
+    return std::nullopt;
+  }
+  for (uint64_t p = 0; p < peer_count; ++p) {
+    PeerInfo info;
+    uint32_t country = 0;
+    uint32_t as_number = 0;
+    uint8_t firewalled = 0;
+    if (!ReadU32(is, country) || !ReadU32(is, as_number) ||
+        !ReadU32(is, info.ip_address) || !ReadU64(is, info.user_id) ||
+        !is.read(reinterpret_cast<char*>(&firewalled), 1)) {
+      return std::nullopt;
+    }
+    info.country = CountryId(country);
+    info.autonomous_system = AsId(as_number);
+    info.firewalled = firewalled != 0;
+    const PeerId id = trace.AddPeer(info);
+
+    uint64_t snapshot_count = 0;
+    if (!ReadVarint(is, snapshot_count)) {
+      return std::nullopt;
+    }
+    for (uint64_t s = 0; s < snapshot_count; ++s) {
+      uint64_t day = 0;
+      uint64_t count = 0;
+      if (!ReadVarint(is, day) || !ReadVarint(is, count)) {
+        return std::nullopt;
+      }
+      std::vector<FileId> files;
+      files.reserve(count);
+      uint64_t current = 0;
+      for (uint64_t f = 0; f < count; ++f) {
+        uint64_t delta = 0;
+        if (!ReadVarint(is, delta)) {
+          return std::nullopt;
+        }
+        current += delta;
+        if (current >= file_count) {
+          return std::nullopt;
+        }
+        files.push_back(FileId(static_cast<uint32_t>(current)));
+      }
+      trace.AddSnapshot(id, static_cast<int>(day), std::move(files));
+    }
+  }
+  return trace;
+}
+
+std::optional<Trace> LoadTraceFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return std::nullopt;
+  }
+  return LoadTrace(is);
+}
+
+}  // namespace edk

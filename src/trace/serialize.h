@@ -1,0 +1,30 @@
+// Binary (de)serialisation of traces.
+//
+// The format is a compact little-endian stream ("EDKT" magic, version 1):
+// file table, peer table, then per-peer snapshot runs with delta-encoded
+// file ids. A 50-day trace of tens of thousands of peers round-trips in a
+// few tens of megabytes, so generated workloads can be cached between bench
+// invocations.
+
+#ifndef SRC_TRACE_SERIALIZE_H_
+#define SRC_TRACE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+// Writes `trace` to the stream. Returns false on I/O failure.
+bool SaveTrace(const Trace& trace, std::ostream& os);
+bool SaveTraceToFile(const Trace& trace, const std::string& path);
+
+// Reads a trace; returns std::nullopt on corrupt input or I/O failure.
+std::optional<Trace> LoadTrace(std::istream& is);
+std::optional<Trace> LoadTraceFromFile(const std::string& path);
+
+}  // namespace edk
+
+#endif  // SRC_TRACE_SERIALIZE_H_

@@ -1,0 +1,189 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edk {
+
+const char* FileCategoryName(FileCategory category) {
+  switch (category) {
+    case FileCategory::kAudio:
+      return "audio";
+    case FileCategory::kVideo:
+      return "video";
+    case FileCategory::kArchive:
+      return "archive";
+    case FileCategory::kProgram:
+      return "program";
+    case FileCategory::kDocument:
+      return "document";
+    case FileCategory::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const CacheSnapshot* PeerTimeline::SnapshotAtOrBefore(int day) const {
+  const CacheSnapshot* best = nullptr;
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.day > day) {
+      break;
+    }
+    best = &snapshot;
+  }
+  return best;
+}
+
+const CacheSnapshot* PeerTimeline::SnapshotOn(int day) const {
+  auto it = std::lower_bound(
+      snapshots.begin(), snapshots.end(), day,
+      [](const CacheSnapshot& s, int d) { return s.day < d; });
+  if (it != snapshots.end() && it->day == day) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+bool PeerTimeline::SharesAnything() const {
+  for (const auto& snapshot : snapshots) {
+    if (!snapshot.files.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PeerId Trace::AddPeer(const PeerInfo& info) {
+  peers_.push_back(info);
+  timelines_.emplace_back();
+  return PeerId(static_cast<uint32_t>(peers_.size() - 1));
+}
+
+FileId Trace::AddFile(const FileMeta& meta) {
+  files_.push_back(meta);
+  return FileId(static_cast<uint32_t>(files_.size() - 1));
+}
+
+void Trace::AddSnapshot(PeerId peer, int day, std::vector<FileId> files) {
+  assert(peer.value < timelines_.size());
+  auto& timeline = timelines_[peer.value];
+  assert(timeline.snapshots.empty() || timeline.snapshots.back().day < day);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  timeline.snapshots.push_back(CacheSnapshot{day, std::move(files)});
+  if (last_day_ < first_day_) {
+    first_day_ = day;
+    last_day_ = day;
+  } else {
+    first_day_ = std::min(first_day_, day);
+    last_day_ = std::max(last_day_, day);
+  }
+}
+
+bool Trace::IsFreeRider(PeerId id) const { return !timelines_[id.value].SharesAnything(); }
+
+size_t Trace::CountFreeRiders() const {
+  size_t count = 0;
+  for (const auto& timeline : timelines_) {
+    if (!timeline.SharesAnything()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t Trace::TotalSnapshots() const {
+  size_t count = 0;
+  for (const auto& timeline : timelines_) {
+    count += timeline.snapshots.size();
+  }
+  return count;
+}
+
+std::vector<FileId> Trace::UnionCache(PeerId id) const {
+  std::vector<FileId> all;
+  for (const auto& snapshot : timelines_[id.value].snapshots) {
+    all.insert(all.end(), snapshot.files.begin(), snapshot.files.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::vector<uint32_t> Trace::SourceCounts() const {
+  std::vector<uint32_t> counts(files_.size(), 0);
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    for (FileId f : UnionCache(PeerId(static_cast<uint32_t>(p)))) {
+      ++counts[f.value];
+    }
+  }
+  return counts;
+}
+
+uint64_t Trace::DistinctBytes() const {
+  uint64_t total = 0;
+  for (const auto& meta : files_) {
+    total += meta.size_bytes;
+  }
+  return total;
+}
+
+size_t StaticCaches::TotalReplicas() const {
+  size_t total = 0;
+  for (const auto& cache : caches) {
+    total += cache.size();
+  }
+  return total;
+}
+
+std::vector<uint32_t> StaticCaches::SourceCounts(size_t file_count) const {
+  std::vector<uint32_t> counts(file_count, 0);
+  for (const auto& cache : caches) {
+    for (FileId f : cache) {
+      ++counts[f.value];
+    }
+  }
+  return counts;
+}
+
+StaticCaches BuildUnionCaches(const Trace& trace) {
+  StaticCaches out;
+  out.caches.resize(trace.peer_count());
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    out.caches[p] = trace.UnionCache(PeerId(static_cast<uint32_t>(p)));
+  }
+  return out;
+}
+
+StaticCaches BuildDayCaches(const Trace& trace, int day) {
+  StaticCaches out;
+  out.caches.resize(trace.peer_count());
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const CacheSnapshot* snapshot =
+        trace.timeline(PeerId(static_cast<uint32_t>(p))).SnapshotOn(day);
+    if (snapshot != nullptr) {
+      out.caches[p] = snapshot->files;
+    }
+  }
+  return out;
+}
+
+size_t OverlapSize(std::span<const FileId> a, std::span<const FileId> b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace edk

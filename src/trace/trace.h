@@ -1,0 +1,130 @@
+// Trace data model: the in-memory representation of a multi-day crawl of
+// peer cache contents, mirroring the structure of the paper's eDonkey trace
+// (peers, file metadata, and one cache snapshot per peer per observed day).
+
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace edk {
+
+// Broad content categories; the paper distinguishes the MP3 range (1-10 MB),
+// albums/small videos/programs (10-600 MB), and DIVX movies (> 600 MB).
+enum class FileCategory : uint8_t {
+  kAudio = 0,
+  kVideo = 1,
+  kArchive = 2,
+  kProgram = 3,
+  kDocument = 4,
+  kOther = 5,
+};
+
+const char* FileCategoryName(FileCategory category);
+
+struct FileMeta {
+  uint64_t size_bytes = 0;
+  FileCategory category = FileCategory::kOther;
+  // Ground-truth interest topic when the trace came from the synthetic
+  // workload generator; invalid for traces of unknown provenance.
+  TopicId topic;
+};
+
+struct PeerInfo {
+  CountryId country;
+  AsId autonomous_system;
+  uint32_t ip_address = 0;   // For duplicate filtering, as in the paper.
+  uint64_t user_id = 0;      // eDonkey "user hash" stand-in.
+  bool firewalled = false;   // Firewalled peers cannot be browsed.
+};
+
+// One observation of a peer's shared-file list on a given day. Files are
+// kept sorted so that overlap computation is a linear merge.
+struct CacheSnapshot {
+  int day = 0;
+  std::vector<FileId> files;  // Sorted ascending by FileId::value.
+};
+
+// A peer's observations over the trace, ordered by day (strictly
+// increasing).
+struct PeerTimeline {
+  std::vector<CacheSnapshot> snapshots;
+
+  // Latest snapshot at or before `day`, if any.
+  const CacheSnapshot* SnapshotAtOrBefore(int day) const;
+  const CacheSnapshot* SnapshotOn(int day) const;
+  bool SharesAnything() const;
+};
+
+// The full trace: peers, files, and per-peer timelines.
+class Trace {
+ public:
+  Trace() = default;
+
+  // --- Construction -------------------------------------------------------
+  PeerId AddPeer(const PeerInfo& info);
+  FileId AddFile(const FileMeta& meta);
+  // `files` need not be sorted; it is sorted on insertion. Days must be
+  // added in increasing order per peer.
+  void AddSnapshot(PeerId peer, int day, std::vector<FileId> files);
+
+  // --- Accessors -----------------------------------------------------------
+  size_t peer_count() const { return peers_.size(); }
+  size_t file_count() const { return files_.size(); }
+  const PeerInfo& peer(PeerId id) const { return peers_[id.value]; }
+  const FileMeta& file(FileId id) const { return files_[id.value]; }
+  const PeerTimeline& timeline(PeerId id) const { return timelines_[id.value]; }
+  const std::vector<PeerInfo>& peers() const { return peers_; }
+  const std::vector<FileMeta>& files() const { return files_; }
+
+  // Day span covered by any snapshot; {0, -1} for an empty trace.
+  int first_day() const { return first_day_; }
+  int last_day() const { return last_day_; }
+
+  // --- Derived quantities ---------------------------------------------------
+  // A free-rider never shares a file in any snapshot.
+  bool IsFreeRider(PeerId id) const;
+  size_t CountFreeRiders() const;
+  // Total number of snapshot observations across all peers.
+  size_t TotalSnapshots() const;
+  // Union of all files ever observed in this peer's cache (sorted).
+  std::vector<FileId> UnionCache(PeerId id) const;
+  // Number of distinct sources that ever shared the file.
+  std::vector<uint32_t> SourceCounts() const;
+  // Sum of sizes of distinct files (the paper's "space used by distinct
+  // files": each file counted once).
+  uint64_t DistinctBytes() const;
+
+ private:
+  std::vector<PeerInfo> peers_;
+  std::vector<FileMeta> files_;
+  std::vector<PeerTimeline> timelines_;
+  int first_day_ = 0;
+  int last_day_ = -1;
+};
+
+// Per-peer static cache view (one file list per peer) used by the semantic
+// search simulator and the randomiser. Built from a trace either as the
+// union over all days or as a single day's snapshot.
+struct StaticCaches {
+  std::vector<std::vector<FileId>> caches;  // Sorted per peer.
+
+  size_t TotalReplicas() const;
+  std::vector<uint32_t> SourceCounts(size_t file_count) const;
+};
+
+StaticCaches BuildUnionCaches(const Trace& trace);
+StaticCaches BuildDayCaches(const Trace& trace, int day);
+
+// Number of common files between two sorted file lists (linear merge).
+size_t OverlapSize(std::span<const FileId> a, std::span<const FileId> b);
+
+}  // namespace edk
+
+#endif  // SRC_TRACE_TRACE_H_

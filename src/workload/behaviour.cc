@@ -1,0 +1,98 @@
+#include "src/workload/behaviour.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edk {
+
+BehaviourEngine::BehaviourEngine(const WorkloadConfig& config, const FileCatalog& catalog,
+                                 const PeerPopulation& population, Rng& rng)
+    : config_(config),
+      catalog_(catalog),
+      population_(population),
+      rng_(rng),
+      caches_(population.size()),
+      initialised_(population.size(), false) {}
+
+int64_t BehaviourEngine::PickAcquisition(const PeerProfile& peer, int day,
+                                         Rng& rng) const {
+  TopicId topic;
+  if (!peer.interests.empty() && rng.NextBool(config_.interest_locality)) {
+    const size_t pick = rng.NextWeighted(peer.interest_weights);
+    topic = peer.interests[pick];
+    // Collector niche: part of the in-topic acquisitions come uniformly
+    // from the peer's focus segment of that topic.
+    if (rng.NextBool(config_.focus_fraction)) {
+      const int64_t niche = catalog_.SampleFromSegment(
+          topic, peer.focus_segments[pick], config_.focus_segment_files, day, rng);
+      if (niche >= 0) {
+        return niche;
+      }
+    }
+    int64_t index = catalog_.SampleFromTopic(topic, day, rng, /*hot=*/false);
+    if (index >= 0) {
+      return index;
+    }
+  }
+  // Global flash-crowd channel: steeply head-biased, weakly correlated
+  // with the peer's own interests.
+  int64_t index = -1;
+  for (int attempt = 0; attempt < 5 && index < 0; ++attempt) {
+    index = catalog_.SampleFromTopic(catalog_.SampleTopic(rng), day, rng, /*hot=*/true);
+  }
+  return index;
+}
+
+void BehaviourEngine::InitialFill(uint32_t peer_index, int day) {
+  const PeerProfile& peer = population_.profile(peer_index);
+  auto& cache = caches_[peer_index];
+  // A joining peer already owns part of its steady-state collection,
+  // acquired over past weeks; sampling at lagged days ages the content.
+  const uint32_t fill =
+      static_cast<uint32_t>(peer.cache_target * (0.3 + 0.7 * rng_.NextDouble()));
+  cache.Reserve(peer.cache_target + 8);
+  constexpr int kHistoryDays = 60;
+  for (uint32_t i = 0; i < fill; ++i) {
+    const int lag = static_cast<int>(rng_.NextBelow(kHistoryDays));
+    const int64_t pick = PickAcquisition(peer, day - lag, rng_);
+    if (pick >= 0) {
+      cache.Insert(static_cast<uint32_t>(pick));
+    }
+  }
+}
+
+void BehaviourEngine::StepDay(int day) {
+  online_.clear();
+  for (uint32_t p = 0; p < population_.size(); ++p) {
+    const PeerProfile& peer = population_.profile(p);
+    if (day < peer.join_day || day > peer.leave_day) {
+      continue;
+    }
+    if (!rng_.NextBool(peer.availability)) {
+      continue;
+    }
+    online_.push_back(p);
+    if (peer.free_rider) {
+      continue;
+    }
+    if (!initialised_[p]) {
+      initialised_[p] = true;
+      InitialFill(p, day);
+    }
+    auto& cache = caches_[p];
+    const uint64_t additions = rng_.NextPoisson(peer.daily_additions);
+    for (uint64_t i = 0; i < additions; ++i) {
+      const int64_t pick = PickAcquisition(peer, day, rng_);
+      if (pick >= 0) {
+        cache.Insert(static_cast<uint32_t>(pick));
+      }
+    }
+    // Keep the cache near its generosity target: random eviction models
+    // users pruning their shared folder.
+    while (cache.size() > peer.cache_target) {
+      cache.Erase(cache.RandomElement(rng_));
+    }
+  }
+}
+
+}  // namespace edk

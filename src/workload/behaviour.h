@@ -1,0 +1,58 @@
+// Daily cache-evolution engine.
+//
+// Drives each sharer peer's cache through the trace period: on every online
+// day the peer acquires a Poisson number of new files chosen through its
+// interest profile (or global popularity), and evicts random files to stay
+// near its generosity target. The resulting churn matches the paper's
+// observation of ~5 cache replacements per client per day with a roughly
+// constant cache size.
+
+#ifndef SRC_WORKLOAD_BEHAVIOUR_H_
+#define SRC_WORKLOAD_BEHAVIOUR_H_
+
+#include <vector>
+
+#include "src/common/random_access_set.h"
+#include "src/common/rng.h"
+#include "src/workload/catalog.h"
+#include "src/workload/config.h"
+#include "src/workload/population.h"
+
+namespace edk {
+
+class BehaviourEngine {
+ public:
+  BehaviourEngine(const WorkloadConfig& config, const FileCatalog& catalog,
+                  const PeerPopulation& population, Rng& rng);
+
+  // Simulates one day: updates caches of all live sharer peers and decides
+  // who is online. Days must be stepped in increasing order.
+  void StepDay(int day);
+
+  // Peers online on the most recently stepped day.
+  const std::vector<uint32_t>& online_peers() const { return online_; }
+
+  // Current cache of a peer (unordered; free-riders stay empty).
+  const RandomAccessSet<uint32_t>& cache(size_t peer_index) const {
+    return caches_[peer_index];
+  }
+
+  // Picks one acquisition for the peer on `day` through the interest model.
+  // Returns a catalog index, or -1 if nothing suitable was found.
+  int64_t PickAcquisition(const PeerProfile& peer, int day, Rng& rng) const;
+
+ private:
+  void InitialFill(uint32_t peer_index, int day);
+
+  const WorkloadConfig& config_;
+  const FileCatalog& catalog_;
+  const PeerPopulation& population_;
+  Rng& rng_;
+  std::vector<RandomAccessSet<uint32_t>> caches_;
+  std::vector<bool> initialised_;
+  std::vector<uint32_t> online_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_BEHAVIOUR_H_

@@ -1,0 +1,293 @@
+#include "src/workload/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace edk {
+
+namespace {
+
+// Popularity tier of a file, decided by its topic weight and in-topic rank.
+// Hot files skew towards large video content (paper Fig. 6: 55% of files
+// with popularity >= 10 are > 600 MB DIVX movies); the cold long tail is
+// dominated by small files (40% of all files are < 1 MB).
+enum class Tier { kHot, kWarm, kCold };
+
+Tier ClassifyTier(double global_weight, double hot_threshold, double warm_threshold) {
+  if (global_weight >= hot_threshold) {
+    return Tier::kHot;
+  }
+  if (global_weight >= warm_threshold) {
+    return Tier::kWarm;
+  }
+  return Tier::kCold;
+}
+
+FileCategory SampleCategory(Tier tier, Rng& rng) {
+  const double u = rng.NextDouble();
+  switch (tier) {
+    case Tier::kHot:
+      if (u < 0.72) {
+        return FileCategory::kVideo;
+      }
+      if (u < 0.85) {
+        return FileCategory::kAudio;
+      }
+      if (u < 0.94) {
+        return FileCategory::kArchive;
+      }
+      if (u < 0.98) {
+        return FileCategory::kProgram;
+      }
+      return FileCategory::kOther;
+    case Tier::kWarm:
+      if (u < 0.45) {
+        return FileCategory::kAudio;
+      }
+      if (u < 0.70) {
+        return FileCategory::kVideo;
+      }
+      if (u < 0.82) {
+        return FileCategory::kArchive;
+      }
+      if (u < 0.90) {
+        return FileCategory::kProgram;
+      }
+      return FileCategory::kDocument;
+    case Tier::kCold:
+      if (u < 0.40) {
+        return FileCategory::kAudio;
+      }
+      if (u < 0.47) {
+        return FileCategory::kVideo;
+      }
+      if (u < 0.52) {
+        return FileCategory::kArchive;
+      }
+      if (u < 0.58) {
+        return FileCategory::kProgram;
+      }
+      if (u < 0.82) {
+        return FileCategory::kDocument;
+      }
+      return FileCategory::kOther;
+  }
+  return FileCategory::kOther;
+}
+
+constexpr uint64_t kKB = 1024;
+constexpr uint64_t kMB = 1024 * 1024;
+
+uint64_t LogUniform(Rng& rng, double lo, double hi) {
+  const double v = std::exp(std::log(lo) + rng.NextDouble() * (std::log(hi) - std::log(lo)));
+  return static_cast<uint64_t>(v);
+}
+
+uint64_t SampleSize(FileCategory category, Tier tier, Rng& rng) {
+  switch (category) {
+    case FileCategory::kAudio:
+      // MP3 range: 1-10 MB.
+      return LogUniform(rng, 1.0 * kMB, 10.0 * kMB);
+    case FileCategory::kVideo: {
+      // Hot video is overwhelmingly full DIVX movies (> 600 MB); colder
+      // video mixes in clips and small videos.
+      const double large_probability =
+          tier == Tier::kHot ? 0.90 : (tier == Tier::kWarm ? 0.55 : 0.30);
+      if (rng.NextBool(large_probability)) {
+        return LogUniform(rng, 600.0 * kMB, 900.0 * kMB);
+      }
+      return LogUniform(rng, 30.0 * kMB, 400.0 * kMB);
+    }
+    case FileCategory::kArchive:
+      // Complete albums, ISO chunks: 10-600 MB.
+      return LogUniform(rng, 10.0 * kMB, 600.0 * kMB);
+    case FileCategory::kProgram:
+      return LogUniform(rng, 1.0 * kMB, 100.0 * kMB);
+    case FileCategory::kDocument:
+      return LogUniform(rng, 10.0 * kKB, 1.0 * kMB);
+    case FileCategory::kOther:
+      return LogUniform(rng, 10.0 * kKB, 2.0 * kMB);
+  }
+  return kMB;
+}
+
+}  // namespace
+
+FileCatalog::FileCatalog(const WorkloadConfig& config, const Geography& geography,
+                         Rng& rng)
+    : config_(config) {
+  assert(config.num_topics > 0);
+  assert(config.num_files >= config.num_topics);
+
+  // --- Topics ---------------------------------------------------------------
+  topics_.resize(config.num_topics);
+  topic_weights_.resize(config.num_topics);
+  const double harmonic = GeneralizedHarmonic(config.num_topics, config.topic_zipf);
+  for (uint32_t t = 0; t < config.num_topics; ++t) {
+    topics_[t].weight =
+        std::pow(static_cast<double>(t + 1), -config.topic_zipf) / harmonic;
+    topics_[t].home_country = geography.SampleCountry(rng);
+    topic_weights_[t] = topics_[t].weight;
+  }
+  topics_by_country_.resize(geography.countries().size());
+  for (uint32_t t = 0; t < config.num_topics; ++t) {
+    topics_by_country_[topics_[t].home_country.value].push_back(t);
+  }
+
+  // --- Files ------------------------------------------------------------------
+  // Every topic gets at least one file; the remainder are apportioned by
+  // topic weight but CAPPED near the average. A popular topic means more
+  // interested peers, not an unboundedly larger catalog — keeping topic
+  // catalogs comparable in size is what lets same-interest peers overlap on
+  // a topic's tail files, which in turn produces the strong rare-file
+  // clustering the paper measures (Figs. 13-14, 20).
+  files_.resize(config.num_files);
+  std::vector<uint32_t> files_per_topic(config.num_topics, 1);
+  uint32_t assigned = config.num_topics;
+  const uint32_t cap =
+      std::max<uint32_t>(2, 5 * config.num_files / (2 * config.num_topics));
+  for (uint32_t t = 0; t < config.num_topics && assigned < config.num_files; ++t) {
+    const uint32_t by_weight =
+        static_cast<uint32_t>(topics_[t].weight * (config.num_files - config.num_topics));
+    const uint32_t extra =
+        std::min({by_weight, cap, config.num_files - assigned});
+    files_per_topic[t] += extra;
+    assigned += extra;
+  }
+  // Distribute any rounding remainder round-robin.
+  for (uint32_t t = 0; assigned < config.num_files; t = (t + 1) % config.num_topics) {
+    ++files_per_topic[t];
+    ++assigned;
+  }
+
+  const int release_lo = config.first_day - config.pre_release_window_days;
+  const int last_day = config.first_day + config.num_days - 1;
+  // Popularity-tier thresholds: quantiles of the global sampling weight
+  // (topic weight / rank^s), so the hot tier is the top ~2% of files and
+  // warm the next ~18% regardless of the skew parameters.
+  std::vector<double> all_weights;
+  all_weights.reserve(config.num_files);
+  for (uint32_t t = 0; t < config.num_topics; ++t) {
+    for (uint32_t rank = 1; rank <= files_per_topic[t]; ++rank) {
+      all_weights.push_back(topics_[t].weight *
+                            std::pow(static_cast<double>(rank), -config.file_zipf));
+    }
+  }
+  std::vector<double> sorted_weights = all_weights;
+  std::sort(sorted_weights.begin(), sorted_weights.end(), std::greater<>());
+  const double hot_threshold = sorted_weights[sorted_weights.size() * 4 / 100];
+  const double warm_threshold = sorted_weights[sorted_weights.size() * 20 / 100];
+
+  uint32_t next_file = 0;
+  for (uint32_t t = 0; t < config.num_topics; ++t) {
+    auto& topic = topics_[t];
+    topic.files_by_rank.reserve(files_per_topic[t]);
+    for (uint32_t rank = 1; rank <= files_per_topic[t]; ++rank) {
+      const uint32_t index = next_file++;
+      CatalogFile& file = files_[index];
+      file.topic = TopicId(t);
+      file.topic_rank = rank;
+      const double global_weight =
+          topic.weight * std::pow(static_cast<double>(rank), -config.file_zipf);
+      const Tier tier = ClassifyTier(global_weight, hot_threshold, warm_threshold);
+      file.meta.category = SampleCategory(tier, rng);
+      file.meta.size_bytes = SampleSize(file.meta.category, tier, rng);
+      file.meta.topic = TopicId(t);
+      if (rng.NextBool(config.pre_release_fraction)) {
+        file.release_day =
+            static_cast<int>(rng.NextInRange(release_lo, config.first_day - 1));
+      } else {
+        file.release_day = static_cast<int>(rng.NextInRange(config.first_day, last_day));
+      }
+      // Flash decay varies per file; hot content burns brighter and fades.
+      file.decay_days = config.flash_decay_days * (0.5 + rng.NextDouble());
+      topic.files_by_rank.push_back(index);
+    }
+  }
+  assert(next_file == config.num_files);
+}
+
+const std::vector<uint32_t>& FileCatalog::topics_of_country(CountryId country) const {
+  if (!country.valid() || country.value >= topics_by_country_.size()) {
+    return empty_;
+  }
+  return topics_by_country_[country.value];
+}
+
+const ZipfSampler& FileCatalog::SamplerForSize(uint64_t n, bool hot) const {
+  const uint64_t key = n * 2 + (hot ? 1 : 0);
+  auto it = samplers_.find(key);
+  if (it == samplers_.end()) {
+    const double s = hot ? config_.global_zipf : config_.file_zipf;
+    it = samplers_.emplace(key, std::make_unique<ZipfSampler>(n, s)).first;
+  }
+  return *it->second;
+}
+
+double FileCatalog::Attractiveness(uint32_t file_index, int day) const {
+  const CatalogFile& file = files_[file_index];
+  if (day < file.release_day) {
+    return 0;
+  }
+  const double age = static_cast<double>(day - file.release_day);
+  const double decayed = std::exp(-age / file.decay_days);
+  return std::max(decayed, config_.attractiveness_floor);
+}
+
+int64_t FileCatalog::SampleFromTopic(TopicId topic_id, int day, Rng& rng,
+                                     bool hot) const {
+  const TopicSpec& topic = topics_[topic_id.value];
+  if (topic.files_by_rank.empty()) {
+    return -1;
+  }
+  const ZipfSampler& sampler = SamplerForSize(topic.files_by_rank.size(), hot);
+  // Rejection on release + attractiveness; bounded retries keep sampling
+  // O(1) even for topics whose files are mostly unreleased.
+  constexpr int kMaxTries = 12;
+  int64_t fallback = -1;
+  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+    const uint64_t rank = sampler.Sample(rng);
+    const uint32_t index = topic.files_by_rank[rank - 1];
+    const double a = Attractiveness(index, day);
+    if (a <= 0) {
+      continue;  // Not released yet.
+    }
+    fallback = index;
+    if (rng.NextBool(a)) {
+      return index;
+    }
+  }
+  return fallback;
+}
+
+TopicId FileCatalog::SampleTopic(Rng& rng) const {
+  return TopicId(static_cast<uint32_t>(rng.NextWeighted(topic_weights_)));
+}
+
+int64_t FileCatalog::SampleFromSegment(TopicId topic_id, uint32_t segment_index,
+                                       uint32_t segment_files, int day,
+                                       Rng& rng) const {
+  const TopicSpec& topic = topics_[topic_id.value];
+  const size_t begin = static_cast<size_t>(segment_index) * segment_files;
+  if (begin >= topic.files_by_rank.size() || segment_files == 0) {
+    return -1;
+  }
+  const size_t length = std::min<size_t>(segment_files, topic.files_by_rank.size() - begin);
+  constexpr int kMaxTries = 8;
+  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+    const uint32_t index = topic.files_by_rank[begin + rng.NextBelow(length)];
+    if (day >= files_[index].release_day) {
+      return index;
+    }
+  }
+  return -1;
+}
+
+void FileCatalog::ExportFiles(Trace& trace) const {
+  for (const auto& file : files_) {
+    trace.AddFile(file.meta);
+  }
+}
+
+}  // namespace edk

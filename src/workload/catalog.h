@@ -1,0 +1,95 @@
+// File catalog: the universe of files peers can acquire.
+//
+// Every file belongs to one latent interest topic; topics have Zipf
+// popularity, a home country (content language), and a category profile.
+// Within a topic, files have Zipf popularity by rank. A file also has a
+// release day and a flash-crowd attractiveness curve — sudden appearance
+// followed by exponential decay, which reproduces the paper's file-spread
+// dynamics (Fig. 8).
+
+#ifndef SRC_WORKLOAD_CATALOG_H_
+#define SRC_WORKLOAD_CATALOG_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/trace/trace.h"
+#include "src/workload/config.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+
+struct CatalogFile {
+  FileMeta meta;            // Size, category, topic.
+  TopicId topic;
+  uint32_t topic_rank = 1;  // 1 = most popular within the topic.
+  int release_day = 0;
+  double decay_days = 10.0;
+};
+
+struct TopicSpec {
+  double weight = 0;        // Global popularity weight of the topic.
+  CountryId home_country;
+  std::vector<uint32_t> files_by_rank;  // Catalog indices, rank order.
+};
+
+class FileCatalog {
+ public:
+  // Builds the catalog deterministically from the config and geography.
+  FileCatalog(const WorkloadConfig& config, const Geography& geography, Rng& rng);
+
+  size_t file_count() const { return files_.size(); }
+  size_t topic_count() const { return topics_.size(); }
+  const CatalogFile& file(uint32_t index) const { return files_[index]; }
+  const TopicSpec& topic(TopicId id) const { return topics_[id.value]; }
+  const std::vector<TopicSpec>& topics() const { return topics_; }
+
+  // Topic weight vector for weighted sampling.
+  const std::vector<double>& topic_weights() const { return topic_weights_; }
+  // Topic indices whose home country matches, for geo-affine interest picks.
+  const std::vector<uint32_t>& topics_of_country(CountryId country) const;
+
+  // Samples a released file from the topic on `day`, biased by within-topic
+  // Zipf rank and by the flash-crowd attractiveness at that day. Returns
+  // catalog index or -1 when the topic has no file released yet.
+  // `hot` selects the steep global_zipf exponent (flash-crowd channel)
+  // instead of the mild interest-driven file_zipf.
+  int64_t SampleFromTopic(TopicId topic, int day, Rng& rng, bool hot = false) const;
+
+  // Samples a topic by global weight.
+  TopicId SampleTopic(Rng& rng) const;
+
+  // Samples uniformly from one contiguous rank segment of the topic
+  // (a collector niche; see WorkloadConfig::focus_fraction). Only the
+  // release gate applies — niche interest does not fade with the flash
+  // crowd. Returns -1 if the segment has no released file on `day`.
+  int64_t SampleFromSegment(TopicId topic, uint32_t segment_index,
+                            uint32_t segment_files, int day, Rng& rng) const;
+
+  // Attractiveness multiplier of a file on `day` (0 before release).
+  double Attractiveness(uint32_t file_index, int day) const;
+
+  // Registers all catalog files into the trace; catalog index i becomes
+  // FileId(i).
+  void ExportFiles(Trace& trace) const;
+
+ private:
+  const ZipfSampler& SamplerForSize(uint64_t n, bool hot) const;
+
+  WorkloadConfig config_;
+  std::vector<CatalogFile> files_;
+  std::vector<TopicSpec> topics_;
+  std::vector<double> topic_weights_;
+  std::vector<std::vector<uint32_t>> topics_by_country_;
+  std::vector<uint32_t> empty_;
+  // Zipf samplers keyed by (topic size, hot) — many topics share a size.
+  mutable std::unordered_map<uint64_t, std::unique_ptr<ZipfSampler>> samplers_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_CATALOG_H_

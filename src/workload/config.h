@@ -1,0 +1,76 @@
+// Tunable parameters of the synthetic eDonkey workload, with defaults
+// calibrated to the marginals the paper reports (§2.3, §3, §4, Table 1).
+
+#ifndef SRC_WORKLOAD_CONFIG_H_
+#define SRC_WORKLOAD_CONFIG_H_
+
+#include <cstdint>
+
+namespace edk {
+
+struct WorkloadConfig {
+  uint64_t seed = 42;
+
+  // Population and catalog scale. The paper's extrapolated trace has 53,476
+  // clients over 42 days; defaults are a laptop-scale reduction that keeps
+  // every ratio intact.
+  uint32_t num_peers = 20'000;
+  uint32_t num_files = 150'000;
+  uint32_t num_topics = 300;
+
+  // Day numbering matches the paper's plots (day 348 = Dec 15).
+  int first_day = 348;
+  int num_days = 42;
+
+  // Peer behaviour.
+  double free_rider_fraction = 0.74;   // Table 1, extrapolated trace.
+  double firewalled_fraction = 0.25;   // Unreachable for browsing.
+  double mean_daily_additions = 5.0;   // "clients share 5 new files per day".
+  double cache_pareto_alpha = 0.82;    // Generosity tail (top 15% hold ~75%).
+  double cache_pareto_xm = 6.0;        // Minimum sharer cache target.
+  double cache_max = 4'000;            // Clamp for the generosity tail.
+
+  // Interest model.
+  double interest_locality = 0.85;     // P(acquisition drawn from own topics).
+  double geo_topic_affinity = 0.70;    // P(interest biased to home-country topics).
+  double topic_zipf = 0.70;            // Topic popularity skew.
+  // Within-topic skew of *interest-driven* acquisitions: mild, so topic
+  // fans spread over the whole topic catalog (incl. its tail).
+  double file_zipf = 0.40;
+  // Skew of *global* (non-interest, flash-crowd) acquisitions: steep, so
+  // globally popular files are held by a weakly interest-correlated crowd —
+  // which is why, as in the paper, popular files contaminate semantic
+  // lists while rare files strengthen them.
+  double global_zipf = 1.30;
+  uint32_t min_interests = 2;
+  uint32_t max_interests = 8;
+  double interest_geometric_p = 0.70;  // Interests per peer ~ min + Geom(p).
+  // Collector structure: per interest, a peer focuses on one contiguous
+  // segment of the topic's catalog (an "artist"/"series" niche). A fraction
+  // of in-topic acquisitions come uniformly from that segment, which makes
+  // peers who share one rare file share many — the rare-file clustering
+  // the paper measures (Figs. 13-14, 20).
+  double focus_fraction = 0.55;        // P(in-topic pick from the focus segment).
+  uint32_t focus_segment_files = 15;   // Segment size in files.
+
+  // Temporal dynamics.
+  double pre_release_fraction = 0.5;   // Files already out before the trace.
+  int pre_release_window_days = 90;
+  double flash_decay_days = 10.0;      // Attractiveness e-folding time.
+  double attractiveness_floor = 0.02;  // Old files keep circulating a little.
+
+  // Availability / churn.
+  double min_availability = 0.30;      // Per-day connect probability ranges.
+  double max_availability = 0.95;
+  double late_joiner_fraction = 0.15;  // Peers appearing mid-trace.
+  double early_leaver_fraction = 0.15;
+
+  // Duplicate identities (DHCP / reinstall artefacts the filtered trace
+  // removes, §2.3).
+  double duplicate_ip_fraction = 0.03;
+  double duplicate_uid_fraction = 0.02;
+};
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_CONFIG_H_

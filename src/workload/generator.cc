@@ -1,0 +1,61 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/workload/behaviour.h"
+#include "src/workload/catalog.h"
+
+namespace edk {
+
+GeneratedWorkload GenerateWorkload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  GeneratedWorkload out;
+  out.config = config;
+  out.geography = Geography::PaperDistribution();
+
+  FileCatalog catalog(config, out.geography, rng);
+  PeerPopulation population(config, out.geography, catalog, rng);
+  BehaviourEngine engine(config, catalog, population, rng);
+
+  catalog.ExportFiles(out.trace);
+  population.ExportPeers(out.trace);
+  out.profiles = population.profiles();
+
+  const int last_day = config.first_day + config.num_days - 1;
+  for (int day = config.first_day; day <= last_day; ++day) {
+    engine.StepDay(day);
+    for (uint32_t p : engine.online_peers()) {
+      const auto& cache = engine.cache(p);
+      std::vector<FileId> files;
+      files.reserve(cache.size());
+      for (uint32_t raw : cache) {
+        files.push_back(FileId(raw));
+      }
+      out.trace.AddSnapshot(PeerId(p), day, std::move(files));
+    }
+    Log(LogLevel::kDebug) << "generated day " << day << ": "
+                          << engine.online_peers().size() << " peers online";
+  }
+  return out;
+}
+
+WorkloadConfig SmallWorkloadConfig() {
+  WorkloadConfig config;
+  config.num_peers = 1'200;
+  config.num_files = 8'000;
+  config.num_topics = 60;
+  config.num_days = 20;
+  return config;
+}
+
+WorkloadConfig MediumWorkloadConfig() {
+  WorkloadConfig config;
+  config.num_peers = 10'000;
+  config.num_files = 60'000;
+  config.num_topics = 300;
+  config.num_days = 42;
+  return config;
+}
+
+}  // namespace edk

@@ -1,0 +1,38 @@
+// Top-level synthetic trace generation.
+//
+// GenerateWorkload() runs the behaviour engine for the configured day span
+// and records, for every online peer on every day, its shared-file list —
+// exactly the observation a perfect crawler would make. The resulting Trace
+// is what the paper calls the "full trace"; FilterDuplicates() and
+// Extrapolate() derive the other two views.
+
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/workload/config.h"
+#include "src/workload/geography.h"
+#include "src/workload/population.h"
+
+namespace edk {
+
+struct GeneratedWorkload {
+  Trace trace;
+  WorkloadConfig config;
+  Geography geography;
+  // Ground-truth peer profiles, index-aligned with trace PeerIds. Useful
+  // for validating that measured clustering matches latent interests.
+  std::vector<PeerProfile> profiles;
+};
+
+GeneratedWorkload GenerateWorkload(const WorkloadConfig& config);
+
+// Convenience presets.
+WorkloadConfig SmallWorkloadConfig();   // Seconds to generate; unit tests.
+WorkloadConfig MediumWorkloadConfig();  // Default for bench harnesses.
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "src/workload/geography.h"
+
+#include <cassert>
+
+namespace edk {
+
+Geography Geography::PaperDistribution() {
+  Geography geo;
+  // Fig. 4: FR 29%, DE 28%, ES 16%, US 5%, IT 3%, IL 2%, GB 2%, TW 1%,
+  // PL 1%, AT 1%, NL 1%, Others 6% (modelled as five smaller countries).
+  geo.countries_ = {
+      {"FR", 0.29}, {"DE", 0.28}, {"ES", 0.16}, {"US", 0.05}, {"IT", 0.03},
+      {"IL", 0.02}, {"GB", 0.02}, {"TW", 0.01}, {"PL", 0.01}, {"AT", 0.01},
+      {"NL", 0.01}, {"CH", 0.02}, {"BE", 0.02}, {"PT", 0.015}, {"BR", 0.015},
+      {"KR", 0.01}, {"RU", 0.01}, {"CA", 0.01}, {"JP", 0.005}, {"AU", 0.005},
+  };
+
+  auto country_of = [&geo](const std::string& code) {
+    for (size_t i = 0; i < geo.countries_.size(); ++i) {
+      if (geo.countries_[i].code == code) {
+        return CountryId(static_cast<uint32_t>(i));
+      }
+    }
+    assert(false && "unknown country code");
+    return CountryId();
+  };
+
+  // Table 2 national shares, one dominant incumbent per large country plus a
+  // catch-all. AS numbers for the incumbents are the real ones the paper
+  // lists; catch-alls get synthetic numbers >= 64512 (private range).
+  geo.systems_ = {
+      {3215, "France Telecom Transpac", country_of("FR"), 0.51},
+      {12322, "Proxad ISP France", country_of("FR"), 0.24},
+      {64600, "FR other ISPs", country_of("FR"), 0.25},
+      {3320, "Deutsche Telekom AG", country_of("DE"), 0.75},
+      {64601, "DE other ISPs", country_of("DE"), 0.25},
+      {3352, "Telefonica Data Espana", country_of("ES"), 0.53},
+      {64602, "ES other ISPs", country_of("ES"), 0.47},
+      {1668, "AOL-primehost USA", country_of("US"), 0.60},
+      {64603, "US other ISPs", country_of("US"), 0.40},
+  };
+  // Every remaining country gets a single catch-all AS.
+  for (size_t i = 0; i < geo.countries_.size(); ++i) {
+    const CountryId country(static_cast<uint32_t>(i));
+    bool covered = false;
+    for (const auto& spec : geo.systems_) {
+      if (spec.country == country) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      geo.systems_.push_back({static_cast<uint32_t>(64610 + i),
+                              geo.countries_[i].code + " ISPs", country, 1.0});
+    }
+  }
+
+  geo.country_weights_.reserve(geo.countries_.size());
+  for (const auto& spec : geo.countries_) {
+    geo.country_weights_.push_back(spec.peer_fraction);
+  }
+  geo.as_by_country_.resize(geo.countries_.size());
+  geo.as_weights_by_country_.resize(geo.countries_.size());
+  for (size_t a = 0; a < geo.systems_.size(); ++a) {
+    const auto& spec = geo.systems_[a];
+    geo.as_by_country_[spec.country.value].push_back(static_cast<uint32_t>(a));
+    geo.as_weights_by_country_[spec.country.value].push_back(spec.national_fraction);
+  }
+  return geo;
+}
+
+CountryId Geography::SampleCountry(Rng& rng) const {
+  return CountryId(static_cast<uint32_t>(rng.NextWeighted(country_weights_)));
+}
+
+AsId Geography::SampleAs(CountryId country, Rng& rng) const {
+  const auto& candidates = as_by_country_[country.value];
+  const auto& weights = as_weights_by_country_[country.value];
+  assert(!candidates.empty());
+  return AsId(candidates[rng.NextWeighted(weights)]);
+}
+
+CountryId Geography::FindCountry(const std::string& code) const {
+  for (size_t i = 0; i < countries_.size(); ++i) {
+    if (countries_[i].code == code) {
+      return CountryId(static_cast<uint32_t>(i));
+    }
+  }
+  return CountryId();
+}
+
+}  // namespace edk

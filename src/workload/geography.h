@@ -1,0 +1,59 @@
+// Synthetic geography: country and autonomous-system populations calibrated
+// to the paper's measurements (Fig. 4 country mix, Table 2 AS mix).
+
+#ifndef SRC_WORKLOAD_GEOGRAPHY_H_
+#define SRC_WORKLOAD_GEOGRAPHY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+
+namespace edk {
+
+struct CountrySpec {
+  std::string code;      // ISO-3166-ish two-letter code.
+  double peer_fraction;  // Fraction of the population (sums to 1).
+};
+
+struct AsSpec {
+  uint32_t as_number;
+  std::string name;
+  CountryId country;
+  double national_fraction;  // Fraction of its country's peers it hosts.
+};
+
+// The country/AS universe plus samplers. CountryId and AsId index into the
+// tables returned by countries() and systems().
+class Geography {
+ public:
+  // Builds the default universe from the paper's Fig. 4 / Table 2 numbers.
+  static Geography PaperDistribution();
+
+  const std::vector<CountrySpec>& countries() const { return countries_; }
+  const std::vector<AsSpec>& systems() const { return systems_; }
+
+  const CountrySpec& country(CountryId id) const { return countries_[id.value]; }
+  const AsSpec& autonomous_system(AsId id) const { return systems_[id.value]; }
+
+  // Samples a country according to peer fractions.
+  CountryId SampleCountry(Rng& rng) const;
+  // Samples an AS for a peer in the given country according to national
+  // fractions (every country has a catch-all "other ISPs" AS).
+  AsId SampleAs(CountryId country, Rng& rng) const;
+
+  CountryId FindCountry(const std::string& code) const;
+
+ private:
+  std::vector<CountrySpec> countries_;
+  std::vector<AsSpec> systems_;
+  std::vector<double> country_weights_;
+  // Per country: indices into systems_ and their weights.
+  std::vector<std::vector<uint32_t>> as_by_country_;
+  std::vector<std::vector<double>> as_weights_by_country_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_GEOGRAPHY_H_

@@ -1,0 +1,144 @@
+#include "src/workload/population.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace edk {
+
+namespace {
+
+// Picks an interest topic for a peer: with probability geo_topic_affinity
+// from the topics whose home country matches the peer's, otherwise from the
+// global topic distribution. Duplicate topics are allowed and merged by the
+// caller (they just raise the weight).
+TopicId PickInterest(const FileCatalog& catalog, CountryId country,
+                     double geo_topic_affinity, Rng& rng) {
+  const auto& local = catalog.topics_of_country(country);
+  if (!local.empty() && rng.NextBool(geo_topic_affinity)) {
+    // Weighted pick among local topics by their global weight.
+    double total = 0;
+    for (uint32_t t : local) {
+      total += catalog.topic(TopicId(t)).weight;
+    }
+    double target = rng.NextDouble() * total;
+    for (uint32_t t : local) {
+      target -= catalog.topic(TopicId(t)).weight;
+      if (target <= 0) {
+        return TopicId(t);
+      }
+    }
+    return TopicId(local.back());
+  }
+  return catalog.SampleTopic(rng);
+}
+
+}  // namespace
+
+PeerPopulation::PeerPopulation(const WorkloadConfig& config, const Geography& geography,
+                               const FileCatalog& catalog, Rng& rng) {
+  profiles_.resize(config.num_peers);
+  const int last_day = config.first_day + config.num_days - 1;
+
+  // Mean of the clamped Pareto, used to scale daily addition rates so the
+  // population-wide average matches mean_daily_additions.
+  double target_sum = 0;
+
+  for (uint32_t p = 0; p < config.num_peers; ++p) {
+    PeerProfile& peer = profiles_[p];
+    peer.info.country = geography.SampleCountry(rng);
+    peer.info.autonomous_system = geography.SampleAs(peer.info.country, rng);
+    peer.info.ip_address = static_cast<uint32_t>(rng());
+    peer.info.user_id = rng();
+    peer.info.firewalled = rng.NextBool(config.firewalled_fraction);
+    peer.free_rider = rng.NextBool(config.free_rider_fraction);
+
+    peer.availability = config.min_availability +
+                        rng.NextDouble() * (config.max_availability - config.min_availability);
+    peer.join_day = config.first_day;
+    peer.leave_day = last_day;
+    if (rng.NextBool(config.late_joiner_fraction)) {
+      peer.join_day = static_cast<int>(rng.NextInRange(config.first_day, last_day));
+    }
+    if (rng.NextBool(config.early_leaver_fraction)) {
+      peer.leave_day = static_cast<int>(rng.NextInRange(peer.join_day, last_day));
+    }
+
+    if (peer.free_rider) {
+      continue;
+    }
+
+    const double raw_target =
+        rng.NextPareto(config.cache_pareto_xm, config.cache_pareto_alpha);
+    peer.cache_target = static_cast<uint32_t>(
+        std::clamp(raw_target, 2.0, config.cache_max));
+    target_sum += peer.cache_target;
+
+    const uint32_t interest_count = std::min<uint32_t>(
+        config.max_interests,
+        config.min_interests +
+            static_cast<uint32_t>(rng.NextGeometric(config.interest_geometric_p)));
+    peer.interests.reserve(interest_count);
+    peer.interest_weights.reserve(interest_count);
+    peer.focus_segments.reserve(interest_count);
+    for (uint32_t i = 0; i < interest_count; ++i) {
+      const TopicId topic =
+          PickInterest(catalog, peer.info.country, config.geo_topic_affinity, rng);
+      auto it = std::find(peer.interests.begin(), peer.interests.end(), topic);
+      if (it != peer.interests.end()) {
+        peer.interest_weights[static_cast<size_t>(it - peer.interests.begin())] += 1.0;
+      } else {
+        peer.interests.push_back(topic);
+        peer.interest_weights.push_back(1.0 + rng.NextExponential(1.0));
+        const size_t catalog_size = catalog.topic(topic).files_by_rank.size();
+        const uint32_t segments = static_cast<uint32_t>(
+            (catalog_size + config.focus_segment_files - 1) / config.focus_segment_files);
+        peer.focus_segments.push_back(
+            segments == 0 ? 0 : static_cast<uint32_t>(rng.NextBelow(segments)));
+      }
+    }
+  }
+
+  // Scale addition rates: generous peers both hold and churn more.
+  const size_t sharer_count =
+      static_cast<size_t>(std::count_if(profiles_.begin(), profiles_.end(),
+                                        [](const PeerProfile& p) { return !p.free_rider; }));
+  const double mean_target = sharer_count == 0 ? 1.0 : target_sum / static_cast<double>(sharer_count);
+  for (auto& peer : profiles_) {
+    if (peer.free_rider) {
+      continue;
+    }
+    const double scaled =
+        config.mean_daily_additions * static_cast<double>(peer.cache_target) / mean_target;
+    peer.daily_additions = std::clamp(scaled, 0.2, 60.0);
+  }
+
+  // Duplicate identities: a slice of peers clones the IP of a neighbour
+  // (DHCP reuse), another slice clones the user id (reinstall artefacts).
+  const uint32_t ip_clones =
+      static_cast<uint32_t>(config.duplicate_ip_fraction * config.num_peers);
+  const uint32_t uid_clones =
+      static_cast<uint32_t>(config.duplicate_uid_fraction * config.num_peers);
+  for (uint32_t i = 0; i < ip_clones && config.num_peers >= 2; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.NextBelow(config.num_peers));
+    const uint32_t b = static_cast<uint32_t>(rng.NextBelow(config.num_peers));
+    if (a != b) {
+      profiles_[a].info.ip_address = profiles_[b].info.ip_address;
+    }
+  }
+  for (uint32_t i = 0; i < uid_clones && config.num_peers >= 2; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.NextBelow(config.num_peers));
+    const uint32_t b = static_cast<uint32_t>(rng.NextBelow(config.num_peers));
+    if (a != b) {
+      profiles_[a].info.user_id = profiles_[b].info.user_id;
+    }
+  }
+}
+
+void PeerPopulation::ExportPeers(Trace& trace) const {
+  for (const auto& peer : profiles_) {
+    trace.AddPeer(peer.info);
+  }
+}
+
+}  // namespace edk

@@ -1,0 +1,53 @@
+// Peer population model: who the peers are (country, AS, identity), whether
+// they share at all (free-riding), how much they share (heavy-tailed
+// generosity), what they like (interest profiles over topics), and when
+// they are online (availability, churn).
+
+#ifndef SRC_WORKLOAD_POPULATION_H_
+#define SRC_WORKLOAD_POPULATION_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/trace/trace.h"
+#include "src/workload/catalog.h"
+#include "src/workload/config.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+
+struct PeerProfile {
+  PeerInfo info;
+  bool free_rider = false;
+  uint32_t cache_target = 0;          // Steady-state cache size (0 for free-riders).
+  double daily_additions = 0;          // Poisson rate of new files per online day.
+  double availability = 0.5;           // Per-day connect probability.
+  int join_day = 0;                    // First day the peer exists.
+  int leave_day = 0;                   // Last day the peer exists (inclusive).
+  std::vector<TopicId> interests;      // Latent interest profile.
+  std::vector<double> interest_weights;
+  // Per interest: index of the focus segment within the topic's catalog
+  // (the peer's collector niche). Parallel to `interests`.
+  std::vector<uint32_t> focus_segments;
+};
+
+class PeerPopulation {
+ public:
+  PeerPopulation(const WorkloadConfig& config, const Geography& geography,
+                 const FileCatalog& catalog, Rng& rng);
+
+  size_t size() const { return profiles_.size(); }
+  const PeerProfile& profile(size_t index) const { return profiles_[index]; }
+  const std::vector<PeerProfile>& profiles() const { return profiles_; }
+
+  // Registers all peers into the trace; population index i becomes PeerId(i).
+  void ExportPeers(Trace& trace) const;
+
+ private:
+  std::vector<PeerProfile> profiles_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_POPULATION_H_

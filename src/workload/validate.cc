@@ -1,0 +1,203 @@
+#include "src/workload/validate.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace edk {
+
+bool WorkloadValidation::AllPass() const {
+  return PassCount() == checks.size();
+}
+
+size_t WorkloadValidation::PassCount() const {
+  size_t count = 0;
+  for (const auto& check : checks) {
+    count += check.Pass() ? 1 : 0;
+  }
+  return count;
+}
+
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+MarginalCheck Check(std::string name, double measured, double lo, double hi) {
+  MarginalCheck check;
+  check.name = std::move(name);
+  check.measured = measured;
+  check.target_low = lo;
+  check.target_high = hi;
+  return check;
+}
+
+}  // namespace
+
+WorkloadValidation ValidateWorkloadTrace(const Trace& trace) {
+  WorkloadValidation validation;
+  const size_t peers = trace.peer_count();
+  if (peers == 0) {
+    return validation;
+  }
+
+  // --- Free riding & sharing skew -------------------------------------------
+  validation.checks.push_back(
+      Check("free-rider fraction",
+            static_cast<double>(trace.CountFreeRiders()) / static_cast<double>(peers),
+            0.65, 0.90));
+
+  std::vector<uint64_t> files_per_sharer;
+  uint64_t total_replicas = 0;
+  std::vector<std::vector<FileId>> unions(peers);
+  for (size_t p = 0; p < peers; ++p) {
+    unions[p] = trace.UnionCache(PeerId(static_cast<uint32_t>(p)));
+    if (!unions[p].empty()) {
+      files_per_sharer.push_back(unions[p].size());
+      total_replicas += unions[p].size();
+    }
+  }
+  double top15_share = 0;
+  if (!files_per_sharer.empty() && total_replicas > 0) {
+    std::sort(files_per_sharer.begin(), files_per_sharer.end(), std::greater<>());
+    const size_t top = std::max<size_t>(1, files_per_sharer.size() * 15 / 100);
+    uint64_t top_sum = 0;
+    for (size_t i = 0; i < top; ++i) {
+      top_sum += files_per_sharer[i];
+    }
+    top15_share = static_cast<double>(top_sum) / static_cast<double>(total_replicas);
+  }
+  validation.checks.push_back(Check("top-15% sharers' replica share", top15_share,
+                                    0.55, 0.90));
+
+  // --- Size mixture -----------------------------------------------------------
+  std::vector<uint32_t> sources(trace.file_count(), 0);
+  for (const auto& cache : unions) {
+    for (FileId f : cache) {
+      ++sources[f.value];
+    }
+  }
+  uint64_t shared_files = 0;
+  uint64_t below_1mb = 0;
+  uint64_t audio_range = 0;
+  uint64_t popular = 0;
+  uint64_t popular_large = 0;
+  for (size_t f = 0; f < trace.file_count(); ++f) {
+    if (sources[f] == 0) {
+      continue;
+    }
+    ++shared_files;
+    const double size = static_cast<double>(trace.file(FileId(static_cast<uint32_t>(f))).size_bytes);
+    if (size < kMB) {
+      ++below_1mb;
+    } else if (size <= 10 * kMB) {
+      ++audio_range;
+    }
+    if (sources[f] >= 10) {
+      ++popular;
+      if (size > 600 * kMB) {
+        ++popular_large;
+      }
+    }
+  }
+  if (shared_files > 0) {
+    validation.checks.push_back(
+        Check("shared files < 1MB",
+              static_cast<double>(below_1mb) / static_cast<double>(shared_files), 0.20,
+              0.50));
+    validation.checks.push_back(
+        Check("shared files 1-10MB",
+              static_cast<double>(audio_range) / static_cast<double>(shared_files), 0.30,
+              0.60));
+  }
+  if (popular > 0) {
+    validation.checks.push_back(
+        Check("popularity>=10 files > 600MB",
+              static_cast<double>(popular_large) / static_cast<double>(popular), 0.30,
+              0.80));
+  }
+
+  // --- Geography ----------------------------------------------------------------
+  // FR + DE should dominate (the two largest country ids by count).
+  std::unordered_map<uint32_t, uint32_t> country_counts;
+  for (const auto& peer : trace.peers()) {
+    ++country_counts[peer.country.value];
+  }
+  std::vector<uint32_t> counts;
+  counts.reserve(country_counts.size());
+  for (const auto& [country, count] : country_counts) {
+    counts.push_back(count);
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  double top2 = 0;
+  for (size_t i = 0; i < counts.size() && i < 2; ++i) {
+    top2 += counts[i];
+  }
+  validation.checks.push_back(
+      Check("two largest countries' client share", top2 / static_cast<double>(peers),
+            0.45, 0.70));
+
+  // --- Popularity shape -----------------------------------------------------------
+  std::vector<uint32_t> ranked;
+  for (uint32_t c : sources) {
+    if (c > 0) {
+      ranked.push_back(c);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  if (ranked.size() > 100) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (size_t i = 10; i < ranked.size(); ++i) {
+      xs.push_back(static_cast<double>(i + 1));
+      ys.push_back(static_cast<double>(ranked[i]));
+    }
+    const LinearFit fit = FitLogLog(xs, ys);
+    validation.checks.push_back(Check("Zipf tail slope", fit.slope, -1.2, -0.4));
+
+    // Peak spread: the most replicated file against scanned peers.
+    validation.checks.push_back(
+        Check("peak file spread",
+              static_cast<double>(ranked.front()) / static_cast<double>(peers), 0.001,
+              0.06));
+  }
+
+  // --- Churn ------------------------------------------------------------------------
+  double churn_sum = 0;
+  uint64_t churn_pairs = 0;
+  for (size_t p = 0; p < peers; ++p) {
+    const auto& snapshots = trace.timeline(PeerId(static_cast<uint32_t>(p))).snapshots;
+    for (size_t s = 1; s < snapshots.size(); ++s) {
+      if (snapshots[s].day != snapshots[s - 1].day + 1 || snapshots[s].files.empty()) {
+        continue;
+      }
+      const size_t overlap = OverlapSize(snapshots[s - 1].files, snapshots[s].files);
+      churn_sum += static_cast<double>(snapshots[s].files.size() - overlap);
+      ++churn_pairs;
+    }
+  }
+  if (churn_pairs > 0) {
+    validation.checks.push_back(Check("daily cache churn (new files/day)",
+                                      churn_sum / static_cast<double>(churn_pairs), 0.5,
+                                      12.0));
+  }
+  return validation;
+}
+
+std::string RenderValidation(const WorkloadValidation& validation) {
+  AsciiTable table({"marginal", "measured", "target band", "verdict"});
+  for (const auto& check : validation.checks) {
+    table.AddRow({check.name, AsciiTable::FormatCell(check.measured),
+                  AsciiTable::FormatCell(check.target_low) + " .. " +
+                      AsciiTable::FormatCell(check.target_high),
+                  check.Pass() ? "pass" : "FAIL"});
+  }
+  std::string out = table.ToString();
+  out += "passed " + std::to_string(validation.PassCount()) + "/" +
+         std::to_string(validation.checks.size()) + "\n";
+  return out;
+}
+
+}  // namespace edk

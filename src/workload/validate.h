@@ -1,0 +1,50 @@
+// Workload validation: measures a trace's key marginals against the
+// paper's reported values, so users re-calibrating WorkloadConfig can see
+// at a glance what their change did. Used by `edk-trace validate` and by
+// the generator's own regression tests.
+
+#ifndef SRC_WORKLOAD_VALIDATE_H_
+#define SRC_WORKLOAD_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace edk {
+
+struct MarginalCheck {
+  std::string name;
+  double measured = 0;
+  double target_low = 0;   // Acceptance band derived from the paper.
+  double target_high = 0;
+
+  bool Pass() const { return measured >= target_low && measured <= target_high; }
+};
+
+struct WorkloadValidation {
+  std::vector<MarginalCheck> checks;
+
+  bool AllPass() const;
+  size_t PassCount() const;
+};
+
+// Runs every marginal check against the (filtered) trace. Bands are the
+// paper's values with tolerance for the synthetic scale:
+//   free-rider fraction            0.65 .. 0.90   (Table 1: 70-84%)
+//   top-15% sharers' replica share 0.55 .. 0.90   (§5.3.2: ~75%)
+//   files < 1 MB                   0.20 .. 0.50   (Fig. 6: ~40%)
+//   files 1-10 MB                  0.30 .. 0.60   (Fig. 6: ~50%)
+//   pop>=10 files > 600 MB         0.30 .. 0.80   (Fig. 6: ~55%)
+//   FR + DE client share           0.45 .. 0.70   (Fig. 4: 57%)
+//   Zipf tail slope                -1.2 .. -0.4   (Fig. 5)
+//   peak file spread               0.001 .. 0.06  (Fig. 8: <0.7%, scaled)
+//   daily cache churn (files/day)  0.5 .. 12      (§2.3: ~5)
+WorkloadValidation ValidateWorkloadTrace(const Trace& trace);
+
+// Renders the validation as an ASCII table with pass/fail marks.
+std::string RenderValidation(const WorkloadValidation& validation);
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_VALIDATE_H_

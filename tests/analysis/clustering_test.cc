@@ -1,0 +1,115 @@
+#include "src/analysis/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/randomize.h"
+
+namespace edk {
+namespace {
+
+StaticCaches MakeCaches(std::vector<std::vector<uint32_t>> raw) {
+  StaticCaches caches;
+  for (auto& cache : raw) {
+    std::sort(cache.begin(), cache.end());
+    std::vector<FileId> files;
+    for (uint32_t v : cache) {
+      files.push_back(FileId(v));
+    }
+    caches.caches.push_back(std::move(files));
+  }
+  return caches;
+}
+
+TEST(ClusteringCurveTest, SmallExample) {
+  // Pairs: (0,1) overlap 3; (0,2) overlap 1; (1,2) overlap 1.
+  const StaticCaches caches = MakeCaches({{1, 2, 3, 4}, {1, 2, 3, 9}, {4, 9}});
+  const auto curve = ComputeClusteringCurve(caches, 5);
+  ASSERT_GE(curve.pairs_at_least.size(), 5u);
+  EXPECT_EQ(curve.pairs_at_least[1], 3u);
+  EXPECT_EQ(curve.pairs_at_least[2], 1u);
+  EXPECT_EQ(curve.pairs_at_least[3], 1u);
+  EXPECT_EQ(curve.pairs_at_least[4], 0u);
+  // P(>=2 | >=1) = 1/3; P(>=3 | >=2) = 1; P(>=4 | >=3) = 0.
+  EXPECT_NEAR(curve.ProbabilityAt(1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve.ProbabilityAt(2), 1.0, 1e-12);
+  EXPECT_NEAR(curve.ProbabilityAt(3), 0.0, 1e-12);
+}
+
+TEST(ClusteringCurveTest, MaskRestrictsOverlapCounting) {
+  const StaticCaches caches = MakeCaches({{1, 2, 3, 4}, {1, 2, 3, 9}});
+  std::vector<bool> mask(16, false);
+  mask[1] = true;  // Only file 1 counts.
+  const auto curve = ComputeClusteringCurve(caches, 4, &mask);
+  EXPECT_EQ(curve.pairs_at_least[1], 1u);
+  EXPECT_EQ(curve.pairs_at_least[2], 0u);
+}
+
+TEST(ClusteringCurveTest, EmptyCaches) {
+  const StaticCaches caches;
+  const auto curve = ComputeClusteringCurve(caches, 3);
+  EXPECT_EQ(curve.pairs_at_least[1], 0u);
+  EXPECT_DOUBLE_EQ(curve.ProbabilityAt(1), 0.0);
+  EXPECT_DOUBLE_EQ(curve.ProbabilityAt(0), 0.0);    // Out of range.
+  EXPECT_DOUBLE_EQ(curve.ProbabilityAt(99), 0.0);   // Out of range.
+}
+
+TEST(ClusteringCurveTest, OverlapsBeyondMaxKAreCapped) {
+  // One pair with overlap 10, max_k 3: it counts for all k <= 4.
+  const StaticCaches caches =
+      MakeCaches({{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}});
+  const auto curve = ComputeClusteringCurve(caches, 3);
+  EXPECT_EQ(curve.pairs_at_least[1], 1u);
+  EXPECT_EQ(curve.pairs_at_least[3], 1u);
+  EXPECT_NEAR(curve.ProbabilityAt(3), 1.0, 1e-12);
+}
+
+TEST(ClusteringCurveTest, RandomizationReducesClustering) {
+  // Two interest communities with strong internal overlap.
+  Rng setup(5);
+  std::vector<std::vector<uint32_t>> raw;
+  for (int p = 0; p < 40; ++p) {
+    std::vector<uint32_t> cache;
+    const uint32_t base = p < 20 ? 0 : 1000;
+    for (int i = 0; i < 12; ++i) {
+      cache.push_back(base + static_cast<uint32_t>(setup.NextBelow(40)));
+    }
+    std::sort(cache.begin(), cache.end());
+    cache.erase(std::unique(cache.begin(), cache.end()), cache.end());
+    raw.push_back(cache);
+  }
+  const StaticCaches original = MakeCaches(raw);
+  Rng rng(6);
+  const auto randomized = RandomizeCachesFully(original, rng).caches;
+
+  const auto curve_orig = ComputeClusteringCurve(original, 6);
+  const auto curve_rand = ComputeClusteringCurve(randomized, 6);
+  // Clustering at moderate overlap must drop after randomisation.
+  EXPECT_GT(curve_orig.ProbabilityAt(2), curve_rand.ProbabilityAt(2));
+}
+
+TEST(MaskHelpersTest, CategoryPopularityMask) {
+  Trace trace;
+  trace.AddFile(FileMeta{.category = FileCategory::kAudio});   // 2 sources.
+  trace.AddFile(FileMeta{.category = FileCategory::kAudio});   // 1 source.
+  trace.AddFile(FileMeta{.category = FileCategory::kVideo});   // 2 sources.
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(a, 1, {FileId(0), FileId(1), FileId(2)});
+  trace.AddSnapshot(b, 1, {FileId(0), FileId(2)});
+
+  const auto mask = MaskCategoryPopularity(trace, FileCategory::kAudio, 2, 10);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);  // Popularity 1 < 2.
+  EXPECT_FALSE(mask[2]);  // Video.
+}
+
+TEST(MaskHelpersTest, ExactPopularityMask) {
+  const StaticCaches caches = MakeCaches({{0, 1}, {0}, {0}});
+  const auto mask = MaskExactPopularity(caches, 4, 1);
+  EXPECT_FALSE(mask[0]);  // 3 sources.
+  EXPECT_TRUE(mask[1]);   // Exactly 1.
+  EXPECT_FALSE(mask[2]);  // Zero sources.
+}
+
+}  // namespace
+}  // namespace edk

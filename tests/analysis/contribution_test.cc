@@ -1,0 +1,63 @@
+#include "src/analysis/contribution.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  for (int i = 0; i < 6; ++i) {
+    trace.AddFile(FileMeta{.size_bytes = 1000u * (static_cast<uint64_t>(i) + 1)});
+  }
+  const PeerId big = trace.AddPeer(PeerInfo{});
+  const PeerId small = trace.AddPeer(PeerInfo{});
+  const PeerId rider = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(big, 1, {FileId(0), FileId(1), FileId(2), FileId(3)});
+  trace.AddSnapshot(big, 2, {FileId(0), FileId(1), FileId(2), FileId(4)});
+  trace.AddSnapshot(small, 1, {FileId(5)});
+  trace.AddSnapshot(rider, 1, {});
+  return trace;
+}
+
+TEST(ContributionTest, CountsFilesAndBytesFromUnionCaches) {
+  const auto stats = ComputeContribution(MakeTrace());
+  ASSERT_EQ(stats.files_per_client.size(), 3u);
+  EXPECT_EQ(stats.files_per_client[0], 5u);  // Union of both snapshots.
+  EXPECT_EQ(stats.files_per_client[1], 1u);
+  EXPECT_EQ(stats.files_per_client[2], 0u);
+  EXPECT_EQ(stats.bytes_per_client[0], 1000u + 2000 + 3000 + 4000 + 5000);
+  EXPECT_EQ(stats.bytes_per_client[1], 6000u);
+  EXPECT_EQ(stats.free_riders, 1u);
+  EXPECT_NEAR(stats.FreeRiderFraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ContributionTest, TopSharerShare) {
+  const auto stats = ComputeContribution(MakeTrace());
+  // Two sharers with 5 and 1 files; top 50% (=1 peer) holds 5/6.
+  EXPECT_NEAR(stats.TopSharerShare(0.5), 5.0 / 6.0, 1e-12);
+  // Even a tiny fraction keeps at least one sharer.
+  EXPECT_NEAR(stats.TopSharerShare(0.01), 5.0 / 6.0, 1e-12);
+}
+
+TEST(ContributionTest, CdfSampleExtraction) {
+  const auto stats = ComputeContribution(MakeTrace());
+  EXPECT_EQ(FilesCdfSamples(stats, false).size(), 3u);
+  EXPECT_EQ(FilesCdfSamples(stats, true).size(), 2u);
+  EXPECT_EQ(BytesCdfSamples(stats, true).size(), 2u);
+  // Free-rider exclusion removes the zero entries.
+  for (double v : FilesCdfSamples(stats, true)) {
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(ContributionTest, EmptyTrace) {
+  const Trace empty;
+  const auto stats = ComputeContribution(empty);
+  EXPECT_EQ(stats.clients, 0u);
+  EXPECT_DOUBLE_EQ(stats.FreeRiderFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.TopSharerShare(0.15), 0.0);
+}
+
+}  // namespace
+}  // namespace edk

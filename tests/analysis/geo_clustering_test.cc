@@ -1,0 +1,80 @@
+#include "src/analysis/geo_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+Trace MakeGeoTrace() {
+  Trace trace;
+  trace.AddFile(FileMeta{});  // File 0: all sources in country 0.
+  trace.AddFile(FileMeta{});  // File 1: split 2/1 between countries 0 and 1.
+  trace.AddFile(FileMeta{});  // File 2: unshared.
+  auto add_peer = [&trace](uint32_t country, uint32_t as) {
+    return trace.AddPeer(PeerInfo{.country = CountryId(country),
+                                  .autonomous_system = AsId(as)});
+  };
+  const PeerId p0 = add_peer(0, 100);
+  const PeerId p1 = add_peer(0, 100);
+  const PeerId p2 = add_peer(0, 101);
+  const PeerId p3 = add_peer(1, 200);
+  trace.AddSnapshot(p0, 1, {FileId(0), FileId(1)});
+  trace.AddSnapshot(p1, 1, {FileId(0), FileId(1)});
+  trace.AddSnapshot(p2, 1, {FileId(0)});
+  trace.AddSnapshot(p3, 1, {FileId(1)});
+  return trace;
+}
+
+TEST(CountryHistogramTest, CountsAndOrder) {
+  const auto histogram = CountryHistogram(MakeGeoTrace());
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0].country, CountryId(0));
+  EXPECT_EQ(histogram[0].clients, 3u);
+  EXPECT_NEAR(histogram[0].fraction, 0.75, 1e-12);
+  EXPECT_EQ(histogram[1].clients, 1u);
+}
+
+TEST(TopAutonomousSystemsTest, GlobalAndNationalShares) {
+  const auto top = TopAutonomousSystems(MakeGeoTrace(), 10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].autonomous_system, AsId(100));
+  EXPECT_EQ(top[0].clients, 2u);
+  EXPECT_NEAR(top[0].global_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(top[0].national_fraction, 2.0 / 3.0, 1e-12);
+  // k truncation.
+  EXPECT_EQ(TopAutonomousSystems(MakeGeoTrace(), 1).size(), 1u);
+}
+
+TEST(HomeCountryTest, FractionsPerFile) {
+  const auto fractions = HomeCountryFractions(MakeGeoTrace(), 0.0);
+  // Two shared files: file 0 -> 3/3 in country 0; file 1 -> 2/3.
+  ASSERT_EQ(fractions.size(), 2u);
+  const double lo = std::min(fractions[0], fractions[1]);
+  const double hi = std::max(fractions[0], fractions[1]);
+  EXPECT_NEAR(lo, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(hi, 1.0, 1e-12);
+}
+
+TEST(HomeCountryTest, PopularityThresholdFilters) {
+  // File 0 and file 1 both have 3 sources over 1 day -> popularity 3.
+  EXPECT_EQ(HomeCountryFractions(MakeGeoTrace(), 3.0).size(), 2u);
+  EXPECT_EQ(HomeCountryFractions(MakeGeoTrace(), 3.5).size(), 0u);
+}
+
+TEST(HomeAsTest, AsLevelIsFinerThanCountry) {
+  const auto country = HomeCountryFractions(MakeGeoTrace(), 0.0);
+  const auto as = HomeAsFractions(MakeGeoTrace(), 0.0);
+  ASSERT_EQ(country.size(), as.size());
+  // Home-AS fraction can never exceed home-country fraction (an AS is
+  // inside a country in this model).
+  double country_sum = 0;
+  double as_sum = 0;
+  for (size_t i = 0; i < country.size(); ++i) {
+    country_sum += country[i];
+    as_sum += as[i];
+  }
+  EXPECT_LE(as_sum, country_sum + 1e-12);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,88 @@
+#include "src/analysis/overlap.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.AddFile(FileMeta{});
+  }
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  const PeerId c = trace.AddPeer(PeerInfo{});
+  // Pair (a,b): overlap 3 on day 1, decaying to 1 by day 3.
+  trace.AddSnapshot(a, 1, {FileId(0), FileId(1), FileId(2), FileId(3)});
+  trace.AddSnapshot(a, 2, {FileId(0), FileId(1), FileId(4)});
+  trace.AddSnapshot(a, 3, {FileId(0), FileId(5)});
+  trace.AddSnapshot(b, 1, {FileId(0), FileId(1), FileId(2), FileId(6)});
+  trace.AddSnapshot(b, 2, {FileId(0), FileId(1), FileId(7)});
+  trace.AddSnapshot(b, 3, {FileId(0), FileId(7)});
+  // Pair (a,c) and (b,c): overlap 1 on day 1; c disappears afterwards.
+  trace.AddSnapshot(c, 1, {FileId(0)});
+  return trace;
+}
+
+TEST(OverlapHistogramTest, Day1Histogram) {
+  const auto histogram = OverlapHistogramOnDay(MakeTrace(), 1);
+  // Overlaps: (a,b)=3, (a,c)=1, (b,c)=1.
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0].first, 1u);
+  EXPECT_EQ(histogram[0].second, 2u);
+  EXPECT_EQ(histogram[1].first, 3u);
+  EXPECT_EQ(histogram[1].second, 1u);
+}
+
+TEST(OverlapEvolutionTest, TracksCohortMeans) {
+  OverlapEvolutionOptions options;
+  options.cohort_overlaps = {1, 3};
+  const auto cohorts = ComputeOverlapEvolution(MakeTrace(), options);
+  ASSERT_EQ(cohorts.size(), 2u);
+
+  const auto& one = cohorts[0];
+  EXPECT_EQ(one.initial_overlap, 1u);
+  EXPECT_EQ(one.pair_count, 2u);
+  ASSERT_EQ(one.mean_overlap.size(), 3u);
+  EXPECT_NEAR(one.mean_overlap[0], 1.0, 1e-12);
+  // c has no snapshots after day 1: both cohort-1 pairs drop out.
+  EXPECT_NEAR(one.mean_overlap[1], 0.0, 1e-12);
+
+  const auto& three = cohorts[1];
+  EXPECT_EQ(three.pair_count, 1u);
+  EXPECT_NEAR(three.mean_overlap[0], 3.0, 1e-12);
+  EXPECT_NEAR(three.mean_overlap[1], 2.0, 1e-12);  // {0,1}.
+  EXPECT_NEAR(three.mean_overlap[2], 1.0, 1e-12);  // {0}.
+}
+
+TEST(OverlapEvolutionTest, SamplingBoundsPairs) {
+  // Build many pairs with overlap 1 and check the reservoir cap.
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  std::vector<PeerId> peers;
+  for (int i = 0; i < 30; ++i) {
+    peers.push_back(trace.AddPeer(PeerInfo{}));
+    trace.AddSnapshot(peers.back(), 1, {FileId(0)});
+  }
+  OverlapEvolutionOptions options;
+  options.cohort_overlaps = {1};
+  options.max_pairs_per_cohort = 10;
+  const auto cohorts = ComputeOverlapEvolution(trace, options);
+  ASSERT_EQ(cohorts.size(), 1u);
+  EXPECT_EQ(cohorts[0].pair_count, 30u * 29 / 2);
+  EXPECT_EQ(cohorts[0].pairs.size(), 10u);
+  EXPECT_NEAR(cohorts[0].mean_overlap[0], 1.0, 1e-12);
+}
+
+TEST(OverlapEvolutionTest, MissingCohortsAreEmpty) {
+  OverlapEvolutionOptions options;
+  options.cohort_overlaps = {42};
+  const auto cohorts = ComputeOverlapEvolution(MakeTrace(), options);
+  ASSERT_EQ(cohorts.size(), 1u);
+  EXPECT_EQ(cohorts[0].pair_count, 0u);
+  EXPECT_TRUE(cohorts[0].pairs.empty());
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,94 @@
+#include "src/analysis/popularity.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.AddFile(FileMeta{.size_bytes = static_cast<uint64_t>(1 << (10 + i))});
+  }
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  const PeerId c = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(a, 10, {FileId(0), FileId(1)});
+  trace.AddSnapshot(a, 11, {FileId(0), FileId(2)});
+  trace.AddSnapshot(b, 10, {FileId(0)});
+  trace.AddSnapshot(b, 12, {FileId(0), FileId(3)});
+  trace.AddSnapshot(c, 11, {});
+  return trace;
+}
+
+TEST(DailyActivityTest, PerDayCounters) {
+  const auto days = ComputeDailyActivity(MakeTrace());
+  ASSERT_EQ(days.size(), 3u);
+
+  EXPECT_EQ(days[0].day, 10);
+  EXPECT_EQ(days[0].clients_scanned, 2u);
+  EXPECT_EQ(days[0].non_empty_caches, 2u);
+  EXPECT_EQ(days[0].files_seen, 3u);   // {0,1} + {0}.
+  EXPECT_EQ(days[0].new_files, 2u);    // Files 0 and 1 first seen day 10.
+  EXPECT_EQ(days[0].total_files, 2u);
+
+  EXPECT_EQ(days[1].clients_scanned, 2u);  // a and (empty) c.
+  EXPECT_EQ(days[1].non_empty_caches, 1u);
+  EXPECT_EQ(days[1].new_files, 1u);  // File 2.
+  EXPECT_EQ(days[1].total_files, 3u);
+
+  EXPECT_EQ(days[2].new_files, 1u);  // File 3.
+  EXPECT_EQ(days[2].total_files, 4u);
+}
+
+TEST(DailyActivityTest, EmptyTrace) {
+  EXPECT_TRUE(ComputeDailyActivity(Trace{}).empty());
+}
+
+TEST(RankedSourcesTest, OnDayAndOverall) {
+  const Trace trace = MakeTrace();
+  const auto day10 = RankedSourcesOnDay(trace, 10);
+  ASSERT_EQ(day10.size(), 2u);  // Files 0 (2 sources) and 1 (1 source).
+  EXPECT_EQ(day10[0], 2u);
+  EXPECT_EQ(day10[1], 1u);
+
+  const auto overall = RankedSourcesOverall(trace);
+  ASSERT_EQ(overall.size(), 4u);  // Files 0..3; file 4 never shared.
+  EXPECT_EQ(overall[0], 2u);      // File 0 held by a and b.
+  EXPECT_EQ(overall[1], 1u);
+}
+
+TEST(FitZipfTailTest, RecoversSyntheticExponent) {
+  // Construct ranked sources following rank^-1 exactly.
+  std::vector<uint32_t> ranked;
+  for (int rank = 1; rank <= 500; ++rank) {
+    ranked.push_back(static_cast<uint32_t>(10'000.0 / rank));
+  }
+  const LinearFit fit = FitZipfTail(ranked, 0);
+  EXPECT_NEAR(fit.slope, -1.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(SizesWithPopularityTest, Thresholding) {
+  const Trace trace = MakeTrace();
+  const auto all = SizesWithPopularityAtLeast(trace, 1);
+  EXPECT_EQ(all.size(), 4u);
+  const auto popular = SizesWithPopularityAtLeast(trace, 2);
+  ASSERT_EQ(popular.size(), 1u);  // Only file 0.
+  EXPECT_DOUBLE_EQ(popular[0], 1024.0);
+}
+
+TEST(AveragePopularityTest, SourcesOverDaysSeen) {
+  const Trace trace = MakeTrace();
+  const auto popularity = AveragePopularity(trace);
+  ASSERT_EQ(popularity.size(), 5u);
+  // File 0: 2 distinct sources, seen on days 10, 11, 12 -> 2/3.
+  EXPECT_NEAR(popularity[0], 2.0 / 3.0, 1e-12);
+  // File 1: 1 source, 1 day.
+  EXPECT_NEAR(popularity[1], 1.0, 1e-12);
+  // File 4: never seen.
+  EXPECT_DOUBLE_EQ(popularity[4], 0.0);
+}
+
+}  // namespace
+}  // namespace edk

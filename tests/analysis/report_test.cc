@@ -1,0 +1,53 @@
+#include "src/analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+TEST(CharacterizeTest, CountsEverything) {
+  Trace trace;
+  trace.AddFile(FileMeta{.size_bytes = 100});
+  trace.AddFile(FileMeta{.size_bytes = 200});
+  trace.AddFile(FileMeta{.size_bytes = 999});  // Never shared.
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(a, 5, {FileId(0), FileId(1)});
+  trace.AddSnapshot(a, 9, {FileId(0)});
+  trace.AddSnapshot(b, 7, {});
+
+  const auto c = Characterize(trace);
+  EXPECT_EQ(c.duration_days, 5);  // Days 5..9.
+  EXPECT_EQ(c.clients, 2u);
+  EXPECT_EQ(c.free_riders, 1u);
+  EXPECT_EQ(c.snapshots, 3u);
+  EXPECT_EQ(c.distinct_files, 2u);
+  EXPECT_EQ(c.distinct_bytes, 300u);
+  EXPECT_NEAR(c.FreeRiderFraction(), 0.5, 1e-12);
+}
+
+TEST(CharacterizeTest, EmptyTrace) {
+  const auto c = Characterize(Trace{});
+  EXPECT_EQ(c.duration_days, 0);
+  EXPECT_EQ(c.clients, 0u);
+  EXPECT_DOUBLE_EQ(c.FreeRiderFraction(), 0.0);
+}
+
+TEST(RenderCharacteristicsTest, ContainsAllRows) {
+  TraceCharacteristics c;
+  c.duration_days = 56;
+  c.clients = 1'158'976;
+  c.free_riders = 975'116;
+  c.snapshots = 2'520'090;
+  c.distinct_files = 11'014'603;
+  c.distinct_bytes = 318ull << 40;
+  const std::string rendered = RenderCharacteristics("Full trace", c);
+  EXPECT_NE(rendered.find("Full trace"), std::string::npos);
+  EXPECT_NE(rendered.find("56"), std::string::npos);
+  EXPECT_NE(rendered.find("1158976"), std::string::npos);
+  EXPECT_NE(rendered.find("84%"), std::string::npos);
+  EXPECT_NE(rendered.find("318.0 TB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edk

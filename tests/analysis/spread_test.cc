@@ -1,0 +1,84 @@
+#include "src/analysis/spread.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.AddFile(FileMeta{});
+  }
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  const PeerId c = trace.AddPeer(PeerInfo{});
+  // File 0 spreads: day 1 one holder, day 2 two, day 3 three.
+  trace.AddSnapshot(a, 1, {FileId(0), FileId(1)});
+  trace.AddSnapshot(a, 2, {FileId(0)});
+  trace.AddSnapshot(a, 3, {FileId(0)});
+  trace.AddSnapshot(b, 1, {FileId(1)});
+  trace.AddSnapshot(b, 2, {FileId(0), FileId(1)});
+  trace.AddSnapshot(b, 3, {FileId(0)});
+  trace.AddSnapshot(c, 1, {FileId(2)});
+  trace.AddSnapshot(c, 2, {FileId(2)});
+  trace.AddSnapshot(c, 3, {FileId(0), FileId(2)});
+  return trace;
+}
+
+TEST(TopFilesTest, OverallOrdering) {
+  const Trace trace = MakeTrace();
+  const auto top = TopFilesOverall(trace, 10);
+  ASSERT_GE(top.size(), 3u);
+  EXPECT_EQ(top[0], FileId(0));  // 3 distinct sources.
+  EXPECT_EQ(top[1], FileId(1));  // 2 sources.
+  EXPECT_EQ(top[2], FileId(2));  // 1 source.
+  // File 3 has no sources; k is truncated.
+  EXPECT_EQ(top.size(), 3u);
+}
+
+TEST(TopFilesTest, OnDay) {
+  const Trace trace = MakeTrace();
+  const auto day1 = TopFilesOnDay(trace, 1, 2);
+  ASSERT_EQ(day1.size(), 2u);
+  EXPECT_EQ(day1[0], FileId(1));  // 2 holders on day 1.
+  EXPECT_EQ(day1[1], FileId(0));
+}
+
+TEST(FileSpreadTest, FractionOfScannedClients) {
+  const Trace trace = MakeTrace();
+  const auto spread = FileSpreadOverTime(trace, FileId(0));
+  ASSERT_EQ(spread.size(), 3u);
+  EXPECT_NEAR(spread[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(spread[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(spread[2], 1.0, 1e-12);
+}
+
+TEST(FileRankTest, RankEvolution) {
+  const Trace trace = MakeTrace();
+  const auto ranks = FileRankOverTime(trace, FileId(0));
+  ASSERT_EQ(ranks.size(), 3u);
+  // Day 1: file 1 has 2 holders, files 0 and 2 one each; file 0 wins the
+  // tie against file 2 by id -> rank 2.
+  EXPECT_EQ(ranks[0], 2u);
+  EXPECT_EQ(ranks[1], 1u);
+  EXPECT_EQ(ranks[2], 1u);
+}
+
+TEST(FileRankTest, ZeroWhenAbsent) {
+  const Trace trace = MakeTrace();
+  const auto ranks = FileRankOverTime(trace, FileId(3));
+  for (uint32_t r : ranks) {
+    EXPECT_EQ(r, 0u);
+  }
+}
+
+TEST(FileRankTest, BatchedMatchesSingle) {
+  const Trace trace = MakeTrace();
+  const auto batched = FileRanksOverTime(trace, {FileId(0), FileId(1)});
+  EXPECT_EQ(batched[0], FileRankOverTime(trace, FileId(0)));
+  EXPECT_EQ(batched[1], FileRankOverTime(trace, FileId(1)));
+}
+
+}  // namespace
+}  // namespace edk

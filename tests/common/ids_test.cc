@@ -1,0 +1,63 @@
+#include "src/common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace edk {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  PeerId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value, StrongId<PeerTag>::kInvalid);
+}
+
+TEST(StrongIdTest, ExplicitConstructionIsValid) {
+  FileId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value, 42u);
+}
+
+TEST(StrongIdTest, ComparisonAndOrdering) {
+  EXPECT_EQ(PeerId(1), PeerId(1));
+  EXPECT_NE(PeerId(1), PeerId(2));
+  EXPECT_LT(FileId(3), FileId(4));
+  EXPECT_GT(FileId(10), FileId(9));
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  // Compile-time property: PeerId and FileId must not be interchangeable.
+  static_assert(!std::is_convertible_v<PeerId, FileId>);
+  static_assert(!std::is_convertible_v<FileId, PeerId>);
+  static_assert(!std::is_convertible_v<uint32_t, PeerId>);
+}
+
+TEST(StrongIdTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<FileId> files;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    files.insert(FileId(i));
+  }
+  EXPECT_EQ(files.size(), 1000u);
+  EXPECT_TRUE(files.contains(FileId(500)));
+  EXPECT_FALSE(files.contains(FileId(1000)));
+
+  std::unordered_map<PeerId, int> map;
+  map[PeerId(7)] = 49;
+  EXPECT_EQ(map.at(PeerId(7)), 49);
+}
+
+TEST(StrongIdTest, HashSpreadsSequentialIds) {
+  // Fibonacci hashing: consecutive ids should not collide in low bits.
+  std::unordered_set<size_t> hashes;
+  std::hash<FileId> hasher;
+  for (uint32_t i = 0; i < 256; ++i) {
+    hashes.insert(hasher(FileId(i)) % 1024);
+  }
+  // Near-perfect spread over 1024 buckets.
+  EXPECT_GT(hashes.size(), 200u);
+}
+
+}  // namespace
+}  // namespace edk

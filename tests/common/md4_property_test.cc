@@ -1,0 +1,68 @@
+// Property tests for MD4: arbitrary chunkings must agree with the one-shot
+// digest, and length extension of identical prefixes must diverge.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/md4.h"
+#include "src/common/rng.h"
+
+namespace edk {
+namespace {
+
+class Md4ChunkingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Md4ChunkingTest, ArbitraryChunkingMatchesOneShot) {
+  const size_t total = GetParam();
+  Rng rng(total * 2654435761u + 1);
+  std::vector<uint8_t> data(total);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng());
+  }
+  const Md4Digest reference = Md4::Hash(data);
+
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    Md4 streaming;
+    size_t offset = 0;
+    while (offset < total) {
+      const size_t chunk = 1 + rng.NextBelow(97);
+      const size_t take = std::min(chunk, total - offset);
+      streaming.Update(std::span<const uint8_t>(data.data() + offset, take));
+      offset += take;
+    }
+    EXPECT_EQ(streaming.Finish(), reference) << "total=" << total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Md4ChunkingTest,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119, 120, 121,
+                                           127, 128, 1000, 4096, 10'000));
+
+TEST(Md4PropertyTest, SingleBitFlipsChangeDigest) {
+  std::vector<uint8_t> data(256, 0x5c);
+  const Md4Digest reference = Md4::Hash(data);
+  for (size_t i = 0; i < data.size(); i += 17) {
+    auto mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Md4::Hash(mutated), reference) << "byte " << i;
+  }
+}
+
+TEST(Md4PropertyTest, LengthMattersEvenWithZeroPadding) {
+  // Appending zero bytes must change the digest (length is hashed in).
+  std::vector<uint8_t> short_data(32, 0x00);
+  std::vector<uint8_t> long_data(64, 0x00);
+  EXPECT_NE(Md4::Hash(short_data), Md4::Hash(long_data));
+}
+
+TEST(EdonkeyFileIdPropertyTest, BlockSizeChangesMultiBlockId) {
+  std::vector<uint8_t> content(4096, 0x3c);
+  // Different block sizes partition the content differently -> distinct ids.
+  EXPECT_NE(EdonkeyFileId(content, 512), EdonkeyFileId(content, 1024));
+  // But a block size larger than the file degenerates to the plain hash.
+  EXPECT_EQ(EdonkeyFileId(content, 8192), Md4::Hash(content));
+}
+
+}  // namespace
+}  // namespace edk

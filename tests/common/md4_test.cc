@@ -1,0 +1,83 @@
+#include "src/common/md4.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace edk {
+namespace {
+
+// RFC 1320 appendix A.5 test suite.
+TEST(Md4Test, Rfc1320Vectors) {
+  EXPECT_EQ(ToHex(Md4::Hash("")), "31d6cfe0d16ae931b73c59d7e0c089c0");
+  EXPECT_EQ(ToHex(Md4::Hash("a")), "bde52cb31de33e46245e05fbdbd6fb24");
+  EXPECT_EQ(ToHex(Md4::Hash("abc")), "a448017aaf21d8525fc10ae87aa6729d");
+  EXPECT_EQ(ToHex(Md4::Hash("message digest")), "d9130a8164549fe818874806e1c7014b");
+  EXPECT_EQ(ToHex(Md4::Hash("abcdefghijklmnopqrstuvwxyz")),
+            "d79e1c308aa5bbcdeea8ed63df412da9");
+  EXPECT_EQ(
+      ToHex(Md4::Hash("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+      "043f8582f241db351ce627e153e7f0e4");
+  EXPECT_EQ(ToHex(Md4::Hash("1234567890123456789012345678901234567890123456789012345678"
+                            "9012345678901234567890")),
+            "e33b4ddc9c38f2199c3e7b164fcc0536");
+}
+
+TEST(Md4Test, StreamingMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  Md4 streaming;
+  for (char c : data) {
+    streaming.Update(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(ToHex(streaming.Finish()), ToHex(Md4::Hash(data)));
+}
+
+TEST(Md4Test, ChunkBoundaryAt64Bytes) {
+  // Exactly one block, one block + 1, one block - 1.
+  for (size_t size : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    std::string data(size, 'x');
+    Md4 split;
+    split.Update(std::string_view(data).substr(0, size / 2));
+    split.Update(std::string_view(data).substr(size / 2));
+    EXPECT_EQ(ToHex(split.Finish()), ToHex(Md4::Hash(data))) << "size " << size;
+  }
+}
+
+TEST(Md4Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(ToHex(Md4::Hash("file-a")), ToHex(Md4::Hash("file-b")));
+}
+
+TEST(EdonkeyFileIdTest, SmallFileIsPlainMd4) {
+  std::vector<uint8_t> content(1000, 0xab);
+  EXPECT_EQ(EdonkeyFileId(content), Md4::Hash(content));
+}
+
+TEST(EdonkeyFileIdTest, MultiBlockDiffersFromPlainHash) {
+  // Use a small block size to keep the test fast.
+  std::vector<uint8_t> content(5000, 0x17);
+  const auto id = EdonkeyFileId(content, 1024);
+  EXPECT_NE(id, Md4::Hash(content));
+}
+
+TEST(EdonkeyFileIdTest, ExactMultipleAppendsEmptyBlockHash) {
+  std::vector<uint8_t> content(2048, 0x42);
+  const auto exact = EdonkeyFileId(content, 1024);
+  // Manually: hash of (md4(block1) || md4(block2) || md4(empty)).
+  Md4 outer;
+  const auto b1 = Md4::Hash(std::span<const uint8_t>(content.data(), 1024));
+  const auto b2 = Md4::Hash(std::span<const uint8_t>(content.data() + 1024, 1024));
+  const auto be = Md4::Hash(std::span<const uint8_t>{});
+  outer.Update(std::span<const uint8_t>(b1.data(), b1.size()));
+  outer.Update(std::span<const uint8_t>(b2.data(), b2.size()));
+  outer.Update(std::span<const uint8_t>(be.data(), be.size()));
+  EXPECT_EQ(exact, outer.Finish());
+}
+
+TEST(EdonkeyFileIdTest, DeterministicAcrossCalls) {
+  std::vector<uint8_t> content(3000, 0x01);
+  EXPECT_EQ(EdonkeyFileId(content, 512), EdonkeyFileId(content, 512));
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,93 @@
+#include "src/common/random_access_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace edk {
+namespace {
+
+TEST(RandomAccessSetTest, InsertEraseContains) {
+  RandomAccessSet<int> set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_FALSE(set.Insert(5));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Erase(5));
+  EXPECT_FALSE(set.Erase(5));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(RandomAccessSetTest, SwapWithLastEraseKeepsIndexConsistent) {
+  RandomAccessSet<int> set;
+  for (int i = 0; i < 10; ++i) {
+    set.Insert(i);
+  }
+  // Erase from the middle, then verify every remaining element is findable.
+  EXPECT_TRUE(set.Erase(3));
+  EXPECT_TRUE(set.Erase(0));
+  EXPECT_TRUE(set.Erase(9));
+  std::set<int> expected = {1, 2, 4, 5, 6, 7, 8};
+  std::set<int> actual(set.begin(), set.end());
+  EXPECT_EQ(actual, expected);
+  for (int v : expected) {
+    EXPECT_TRUE(set.Contains(v));
+  }
+}
+
+TEST(RandomAccessSetTest, RandomElementIsMember) {
+  RandomAccessSet<int> set;
+  for (int i = 100; i < 120; ++i) {
+    set.Insert(i);
+  }
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(set.Contains(set.RandomElement(rng)));
+  }
+}
+
+TEST(RandomAccessSetTest, RandomElementCoversAll) {
+  RandomAccessSet<int> set;
+  for (int i = 0; i < 5; ++i) {
+    set.Insert(i);
+  }
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(set.RandomElement(rng));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomAccessSetTest, ChurnStressAgainstReference) {
+  RandomAccessSet<uint32_t> set;
+  std::set<uint32_t> reference;
+  Rng rng(5);
+  for (int op = 0; op < 20'000; ++op) {
+    const uint32_t value = static_cast<uint32_t>(rng.NextBelow(500));
+    if (rng.NextBool(0.5)) {
+      EXPECT_EQ(set.Insert(value), reference.insert(value).second);
+    } else {
+      EXPECT_EQ(set.Erase(value), reference.erase(value) > 0);
+    }
+    ASSERT_EQ(set.size(), reference.size());
+  }
+  std::set<uint32_t> actual(set.begin(), set.end());
+  EXPECT_EQ(actual, reference);
+}
+
+TEST(RandomAccessSetTest, ClearResets) {
+  RandomAccessSet<int> set;
+  set.Insert(1);
+  set.Insert(2);
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Insert(1));
+}
+
+}  // namespace
+}  // namespace edk

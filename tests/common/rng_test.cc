@@ -1,0 +1,243 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace edk {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBelow(kBound)];
+  }
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, 0.06 * kDraws / kBound)
+        << "bucket " << v;
+  }
+}
+
+TEST(RngTest, NextInRangeCoversBothEndpoints) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-0.5));
+    EXPECT_TRUE(rng.NextBool(1.5));
+  }
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasCorrectMean) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextExponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(29);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.NextPareto(3.0, 1.5), 3.0);
+  }
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(31);
+  double sum = 0;
+  constexpr int kDraws = 50'000;
+  constexpr double kP = 0.25;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.NextGeometric(kP));
+  }
+  // Mean of failures-before-success geometric is (1-p)/p = 3.
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.1);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+  }
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(41);
+  double sum = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(5.0));
+  }
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(43);
+  double sum = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(100.0));
+  }
+  EXPECT_NEAR(sum / kDraws, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(47);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, WeightedPickFollowsWeights) {
+  Rng rng(53);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.75, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  // Child and parent should not produce identical sequences.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent() == child()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(SampleWithoutReplacementTest, ProducesDistinctIndicesInRange) {
+  Rng rng(67);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = SampleWithoutReplacement(rng, 100, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (size_t v : sample) {
+      EXPECT_LT(v, 100u);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullSampleIsPermutation) {
+  Rng rng(71);
+  const auto sample = SampleWithoutReplacement(rng, 8, 8);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(SplitMix64Test, KnownSequenceAdvancesState) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(state, 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,144 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace edk {
+namespace {
+
+TEST(RunningSummaryTest, EmptySummary) {
+  RunningSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningSummaryTest, BasicMoments) {
+  RunningSummary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningSummaryTest, SingleValueHasZeroVariance) {
+  RunningSummary s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(EmpiricalCdfTest, StepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.At(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, Quantiles) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdfTest, EvaluateMatchesAt) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0});
+  const std::vector<double> points = {0.0, 1.5, 3.0};
+  const auto values = cdf.Evaluate(points);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], cdf.At(0.0));
+  EXPECT_DOUBLE_EQ(values[1], cdf.At(1.5));
+  EXPECT_DOUBLE_EQ(values[2], cdf.At(3.0));
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-5.0);   // Clamped to bin 0.
+  h.Add(0.0);    // Bin 0.
+  h.Add(3.0);    // Bin 1.
+  h.Add(9.99);   // Bin 4.
+  h.Add(10.0);   // Clamped to bin 4.
+  h.Add(100.0);  // Clamped to bin 4.
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.Fraction(4), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(1), 4.0);
+}
+
+TEST(FitLineTest, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {3, 5, 7, 9};  // y = 2x + 1.
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  const std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(FitLine(one, one).slope, 0.0);
+  const std::vector<double> same_x = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(FitLine(same_x, ys).slope, 0.0);
+}
+
+TEST(FitLogLogTest, RecoversPowerLawExponent) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int k = 1; k <= 100; ++k) {
+    xs.push_back(k);
+    ys.push_back(50.0 * std::pow(k, -0.8));
+  }
+  const LinearFit fit = FitLogLog(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.8, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLogLogTest, SkipsNonPositivePoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> ys = {-1.0, 1.0, 2.0, 4.0};
+  const LinearFit fit = FitLogLog(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);  // y = x on the positive points.
+}
+
+TEST(GiniTest, EqualValuesHaveZeroGini) {
+  EXPECT_NEAR(GiniCoefficient({5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, SingleContributorApproachesOne) {
+  const double g = GiniCoefficient({0, 0, 0, 0, 0, 0, 0, 0, 0, 100});
+  EXPECT_GT(g, 0.85);
+}
+
+TEST(GiniTest, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0, 0}), 0.0);
+}
+
+TEST(LogSpaceTest, EndpointsAndMonotonicity) {
+  const auto points = LogSpace(1.0, 1000.0, 4);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_NEAR(points[0], 1.0, 1e-9);
+  EXPECT_NEAR(points[1], 10.0, 1e-9);
+  EXPECT_NEAR(points[2], 100.0, 1e-9);
+  EXPECT_NEAR(points[3], 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edk

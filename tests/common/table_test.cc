@@ -1,0 +1,64 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edk {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRowValues("beta", 2);
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("beta"), std::string::npos);
+  EXPECT_NE(rendered.find("2"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(AsciiTableTest, ShortRowsArePadded) {
+  AsciiTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  // Must not crash and must produce three columns.
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("only"), std::string::npos);
+}
+
+TEST(AsciiTableTest, FormatCellIntegerDouble) {
+  EXPECT_EQ(AsciiTable::FormatCell(3.0), "3");
+  EXPECT_EQ(AsciiTable::FormatCell(3.25), "3.250");
+  EXPECT_EQ(AsciiTable::FormatCell(42), "42");
+}
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.5 MB");
+  EXPECT_EQ(FormatBytes(1.0 * 1024 * 1024 * 1024 * 1024), "1.0 TB");
+}
+
+TEST(FormatPercentTest, Rounding) {
+  EXPECT_EQ(FormatPercent(0.4131), "41.3%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "50%");
+  EXPECT_EQ(FormatPercent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace edk

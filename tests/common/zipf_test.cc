@@ -1,0 +1,113 @@
+#include "src/common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace edk {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(1);
+  ZipfSampler zipf(1000, 1.0);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysOne) {
+  Rng rng(2);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k], kDraws / 10, 0.05 * kDraws / 10) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(500, 0.9);
+  double total = 0;
+  for (uint64_t k = 1; k <= 500; ++k) {
+    total += zipf.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Property check: for a range of exponents, empirical frequencies of the
+// first ranks must match the analytic pmf.
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalMatchesPmf) {
+  const double s = GetParam();
+  Rng rng(1234);
+  constexpr uint64_t kN = 2'000;
+  ZipfSampler zipf(kN, s);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(kN + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (uint64_t k : {1ULL, 2ULL, 3ULL, 5ULL, 10ULL, 50ULL}) {
+    const double expected = zipf.Pmf(k) * kDraws;
+    // 5 sigma Poisson tolerance plus a slack floor for tiny expectations.
+    const double tolerance = 5.0 * std::sqrt(expected) + 10.0;
+    EXPECT_NEAR(counts[k], expected, tolerance) << "s=" << s << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfFrequencyTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(ZipfTest, NearOneExponentIsStable) {
+  Rng rng(5);
+  // s extremely close to 1 exercises the expm1/log1p numeric paths.
+  ZipfSampler zipf(10'000, 1.0 + 1e-13);
+  double mean_log = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    mean_log += std::log(static_cast<double>(zipf.Sample(rng)));
+  }
+  mean_log /= kDraws;
+  EXPECT_GT(mean_log, 0.5);
+  EXPECT_LT(mean_log, 5.0);
+}
+
+TEST(GeneralizedHarmonicTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(4, 2.0), 1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0, 1e-12);
+  // s = 0 degenerates to n.
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(42, 0.0), 42.0);
+}
+
+TEST(ZipfTest, HigherExponentConcentratesMass) {
+  Rng rng(6);
+  ZipfSampler mild(1000, 0.6);
+  ZipfSampler steep(1000, 1.6);
+  int mild_head = 0;
+  int steep_head = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    mild_head += mild.Sample(rng) <= 10 ? 1 : 0;
+    steep_head += steep.Sample(rng) <= 10 ? 1 : 0;
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+}  // namespace
+}  // namespace edk

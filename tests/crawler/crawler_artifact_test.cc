@@ -1,0 +1,78 @@
+// Tests for the crawler's measurement *artefacts* — the biases the paper
+// itself documents: the 200-user reply cap, the prefix-query coverage, and
+// modern servers that dropped query-users.
+
+#include <gtest/gtest.h>
+
+#include "src/crawler/crawler.h"
+
+namespace edk {
+namespace {
+
+CrawlConfig BaseConfig(uint64_t seed) {
+  CrawlConfig config;
+  config.workload.seed = seed;
+  config.workload.num_peers = 250;
+  config.workload.num_files = 2'000;
+  config.workload.num_topics = 25;
+  config.workload.num_days = 4;
+  config.num_servers = 2;
+  config.prefix_length = 1;
+  return config;
+}
+
+TEST(CrawlArtifactTest, LongerPrefixesNeverDiscoverFewerUsers) {
+  // With 1-letter prefixes each of the 26 queries is capped at 200 users;
+  // 2-letter prefixes partition finer and can only find more.
+  CrawlConfig one = BaseConfig(5);
+  one.workload.num_days = 2;
+  CrawlConfig two = one;
+  two.prefix_length = 2;
+  const CrawlResult r1 = RunCrawlSimulation(one);
+  const CrawlResult r2 = RunCrawlSimulation(two);
+  ASSERT_FALSE(r1.days.empty());
+  EXPECT_GE(r2.days[0].users_discovered, r1.days[0].users_discovered);
+}
+
+TEST(CrawlArtifactTest, GroundTruthUnaffectedByCrawlerSettings) {
+  // The crawler is an observer: ground truth must be identical across
+  // observation settings for the same workload seed.
+  CrawlConfig a = BaseConfig(11);
+  CrawlConfig b = BaseConfig(11);
+  b.prefix_length = 2;
+  b.initial_daily_browse_budget = 10;
+  const CrawlResult ra = RunCrawlSimulation(a);
+  const CrawlResult rb = RunCrawlSimulation(b);
+  ASSERT_EQ(ra.ground_truth.TotalSnapshots(), rb.ground_truth.TotalSnapshots());
+  for (size_t p = 0; p < ra.ground_truth.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto& sa = ra.ground_truth.timeline(id).snapshots;
+    const auto& sb = rb.ground_truth.timeline(id).snapshots;
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t s = 0; s < sa.size(); ++s) {
+      ASSERT_EQ(sa[s].files, sb[s].files);
+    }
+  }
+}
+
+TEST(CrawlArtifactTest, ObservedCountsAreMonotoneInBudget) {
+  CrawlConfig tight = BaseConfig(13);
+  tight.initial_daily_browse_budget = 20;
+  CrawlConfig loose = BaseConfig(13);
+  const CrawlResult rt = RunCrawlSimulation(tight);
+  const CrawlResult rl = RunCrawlSimulation(loose);
+  EXPECT_LE(rt.observed.TotalSnapshots(), rl.observed.TotalSnapshots());
+  EXPECT_LE(rt.days[0].browses_succeeded, rl.days[0].browses_succeeded);
+}
+
+TEST(CrawlArtifactTest, SnapshotsOnlyForBrowsedDays) {
+  const CrawlResult result = RunCrawlSimulation(BaseConfig(17));
+  uint64_t browses = 0;
+  for (const auto& day : result.days) {
+    browses += day.browses_succeeded;
+  }
+  EXPECT_EQ(result.observed.TotalSnapshots(), browses);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,125 @@
+#include "src/crawler/crawler.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+CrawlConfig TinyCrawlConfig() {
+  CrawlConfig config;
+  config.workload.num_peers = 300;
+  config.workload.num_files = 2'000;
+  config.workload.num_topics = 30;
+  config.workload.num_days = 6;
+  config.num_servers = 2;
+  config.prefix_length = 1;
+  return config;
+}
+
+TEST(MakePrefixesTest, Lengths) {
+  EXPECT_EQ(MakePrefixes(1).size(), 26u);
+  EXPECT_EQ(MakePrefixes(2).size(), 26u * 26);
+  const auto p2 = MakePrefixes(2);
+  EXPECT_EQ(p2.front(), "aa");
+  EXPECT_EQ(p2.back(), "zz");
+}
+
+TEST(SyntheticFileNameTest, ContainsSearchableTokens) {
+  FileMeta meta;
+  meta.category = FileCategory::kAudio;
+  meta.topic = TopicId(12);
+  const std::string name = SyntheticFileName(99, meta, 5);
+  EXPECT_NE(name.find("t12"), std::string::npos);
+  EXPECT_NE(name.find("r5"), std::string::npos);
+  EXPECT_NE(name.find("audio"), std::string::npos);
+  EXPECT_NE(name.find("f99"), std::string::npos);
+}
+
+class CrawlSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { result_ = new CrawlResult(RunCrawlSimulation(TinyCrawlConfig())); }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static CrawlResult* result_;
+};
+
+CrawlResult* CrawlSimTest::result_ = nullptr;
+
+TEST_F(CrawlSimTest, ProducesOneStatsRowPerDay) {
+  EXPECT_EQ(result_->days.size(), 6u);
+  for (const auto& day : result_->days) {
+    EXPECT_GT(day.users_discovered, 0u);
+    EXPECT_GE(day.browses_attempted, day.browses_succeeded);
+  }
+}
+
+TEST_F(CrawlSimTest, ObservedTraceIsSubsetOfGroundTruth) {
+  const Trace& observed = result_->observed;
+  const Trace& truth = result_->ground_truth;
+  ASSERT_EQ(observed.peer_count(), truth.peer_count());
+  for (size_t p = 0; p < observed.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    for (const auto& snapshot : observed.timeline(id).snapshots) {
+      const CacheSnapshot* true_snapshot = truth.timeline(id).SnapshotOn(snapshot.day);
+      ASSERT_NE(true_snapshot, nullptr)
+          << "crawler saw a peer the ground truth says was offline";
+      // The observed cache must match the ground truth cache exactly
+      // (the browse reply is a faithful copy).
+      EXPECT_EQ(snapshot.files, true_snapshot->files);
+    }
+  }
+}
+
+TEST_F(CrawlSimTest, FirewalledPeersNeverObserved) {
+  const Trace& observed = result_->observed;
+  for (size_t p = 0; p < observed.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    if (observed.peer(id).firewalled) {
+      EXPECT_TRUE(observed.timeline(id).snapshots.empty())
+          << "firewalled peer " << p << " was browsed";
+    }
+  }
+}
+
+TEST_F(CrawlSimTest, CrawlerObservesMostReachableOnlinePeers) {
+  // With an unconstrained budget the crawler should see nearly every
+  // reachable online peer (modulo nickname-collision losses at the 200-user
+  // reply cap).
+  const Trace& observed = result_->observed;
+  const Trace& truth = result_->ground_truth;
+  size_t truth_reachable_snapshots = 0;
+  size_t observed_snapshots = 0;
+  for (size_t p = 0; p < truth.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    if (truth.peer(id).firewalled) {
+      continue;
+    }
+    truth_reachable_snapshots += truth.timeline(id).snapshots.size();
+    observed_snapshots += observed.timeline(id).snapshots.size();
+  }
+  ASSERT_GT(truth_reachable_snapshots, 0u);
+  EXPECT_GT(static_cast<double>(observed_snapshots) /
+                static_cast<double>(truth_reachable_snapshots),
+            0.85);
+}
+
+TEST_F(CrawlSimTest, MessagesWereExchanged) {
+  EXPECT_GT(result_->messages_sent, 1000u);
+}
+
+TEST(CrawlBudgetTest, BudgetLimitsDailyCoverage) {
+  CrawlConfig config = TinyCrawlConfig();
+  config.workload.num_days = 3;
+  config.initial_daily_browse_budget = 20;
+  config.browse_budget_decay = 0.5;
+  const CrawlResult result = RunCrawlSimulation(config);
+  ASSERT_EQ(result.days.size(), 3u);
+  EXPECT_LE(result.days[0].browses_attempted, 20u);
+  EXPECT_LE(result.days[1].browses_attempted, 10u);
+  EXPECT_LE(result.days[2].browses_attempted, 5u);
+}
+
+}  // namespace
+}  // namespace edk

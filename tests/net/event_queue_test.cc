@@ -1,0 +1,130 @@
+#include "src/net/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edk {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(3.0, [&] { order.push_back(3); });
+  queue.Schedule(1.0, [&] { order.push_back(1); });
+  queue.Schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, NestedScheduling) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.Schedule(1.0, [&] {
+    times.push_back(queue.now());
+    queue.Schedule(0.5, [&] { times.push_back(queue.now()); });
+  });
+  queue.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueueTest, RunUntilStopsAndAdvancesClock) {
+  EventQueue queue;
+  int executed = 0;
+  queue.Schedule(1.0, [&] { ++executed; });
+  queue.Schedule(5.0, [&] { ++executed; });
+  EXPECT_EQ(queue.RunUntil(2.0), 1u);
+  EXPECT_EQ(executed, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending_events(), 1u);
+  queue.Run();
+  EXPECT_EQ(executed, 2);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  int executed = 0;
+  auto handle = queue.Schedule(1.0, [&] { ++executed; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.Cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.Cancel());  // Second cancel is a no-op.
+  queue.Run();
+  EXPECT_EQ(executed, 0);
+}
+
+TEST(EventQueueTest, CancelledEventsDoNotBlockRunUntil) {
+  EventQueue queue;
+  int executed = 0;
+  auto a = queue.Schedule(1.0, [&] { ++executed; });
+  queue.Schedule(2.0, [&] { ++executed; });
+  a.Cancel();
+  EXPECT_EQ(queue.RunUntil(3.0), 1u);
+  EXPECT_EQ(executed, 1);
+}
+
+TEST(EventQueueTest, StepExecutesOne) {
+  EventQueue queue;
+  int executed = 0;
+  queue.Schedule(1.0, [&] { ++executed; });
+  queue.Schedule(2.0, [&] { ++executed; });
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(executed, 1);
+  EXPECT_TRUE(queue.Step());
+  EXPECT_FALSE(queue.Step());
+  EXPECT_EQ(executed, 2);
+}
+
+TEST(EventQueueTest, HandleNotPendingAfterExecution) {
+  EventQueue queue;
+  int executed = 0;
+  auto handle = queue.Schedule(1.0, [&] { ++executed; });
+  EXPECT_TRUE(handle.pending());
+  queue.Run();
+  EXPECT_EQ(executed, 1);
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.Cancel());  // Too late: already ran.
+}
+
+TEST(EventQueueTest, HandleReportsNotPendingInsideOwnCallback) {
+  EventQueue queue;
+  EventQueue::EventHandle handle;
+  bool was_pending = true;
+  handle = queue.Schedule(1.0, [&] { was_pending = handle.pending(); });
+  queue.Run();
+  EXPECT_FALSE(was_pending);
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventQueue::EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.Cancel());
+}
+
+TEST(EventQueueTest, ZeroDelayRunsAtCurrentTime) {
+  EventQueue queue;
+  queue.Schedule(2.0, [] {});
+  queue.Run();
+  double when = -1;
+  queue.Schedule(0.0, [&] { when = queue.now(); });
+  queue.Run();
+  EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
+}  // namespace
+}  // namespace edk

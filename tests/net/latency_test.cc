@@ -1,0 +1,82 @@
+#include "src/net/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+class LatencyTest : public ::testing::Test {
+ protected:
+  LatencyTest() : geo_(Geography::PaperDistribution()), model_(&geo_), rng_(1) {}
+
+  double MeanDelay(CountryId a, AsId as_a, CountryId b, AsId as_b) {
+    double sum = 0;
+    constexpr int kDraws = 2000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += model_.Delay(a, as_a, b, as_b, rng_);
+    }
+    return sum / kDraws;
+  }
+
+  Geography geo_;
+  LatencyModel model_;
+  Rng rng_;
+};
+
+TEST_F(LatencyTest, ContinentMapping) {
+  EXPECT_EQ(ContinentOf("FR"), Continent::kEurope);
+  EXPECT_EQ(ContinentOf("DE"), Continent::kEurope);
+  EXPECT_EQ(ContinentOf("IL"), Continent::kEurope);
+  EXPECT_EQ(ContinentOf("US"), Continent::kAmericas);
+  EXPECT_EQ(ContinentOf("BR"), Continent::kAmericas);
+  EXPECT_EQ(ContinentOf("TW"), Continent::kAsiaPacific);
+  EXPECT_EQ(ContinentOf("??"), Continent::kEurope);  // Unknown defaults.
+}
+
+TEST_F(LatencyTest, DelayTiersOrdered) {
+  const CountryId fr = geo_.FindCountry("FR");
+  const CountryId de = geo_.FindCountry("DE");
+  const CountryId us = geo_.FindCountry("US");
+  Rng rng(2);
+  const AsId fr_as = geo_.SampleAs(fr, rng);
+  const AsId de_as = geo_.SampleAs(de, rng);
+  const AsId us_as = geo_.SampleAs(us, rng);
+
+  const double intra_as = MeanDelay(fr, fr_as, fr, fr_as);
+  const double domestic = MeanDelay(fr, AsId(100), fr, AsId(101));
+  const double continental = MeanDelay(fr, fr_as, de, de_as);
+  const double intercontinental = MeanDelay(fr, fr_as, us, us_as);
+
+  EXPECT_LT(intra_as, domestic);
+  EXPECT_LT(domestic, continental);
+  EXPECT_LT(continental, intercontinental);
+}
+
+TEST_F(LatencyTest, DelaysArePositiveAndBounded) {
+  const CountryId fr = geo_.FindCountry("FR");
+  const CountryId us = geo_.FindCountry("US");
+  for (int i = 0; i < 1000; ++i) {
+    const double d = model_.Delay(fr, AsId(0), us, AsId(1), rng_);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST_F(LatencyTest, UplinkDistributionIsHeavyTailed) {
+  double min = 1e18;
+  double max = 0;
+  double sum = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double up = model_.SampleUplinkBytesPerSecond(rng_);
+    min = std::min(min, up);
+    max = std::max(max, up);
+    sum += up;
+  }
+  EXPECT_GE(min, 8'000.0);
+  EXPECT_GT(max, 250'000.0);   // Fast tail exists.
+  EXPECT_LT(sum / kDraws, 120'000.0);  // But the mean stays DSL-ish.
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,172 @@
+// Integration tests of the network substrate: a download swarm seeded by a
+// single client, with partial sharing propagating availability, corruption
+// injection, and server churn.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace edk {
+namespace {
+
+class SwarmTest : public ::testing::Test {
+ protected:
+  SwarmTest() : geo_(Geography::PaperDistribution()), network_(&geo_, 31) {
+    server_ = std::make_unique<SimServer>(&network_, ServerConfig{});
+    server_->set_attachment(geo_.FindCountry("DE"), AsId(3));
+  }
+
+  std::unique_ptr<SimClient> MakeClient(const std::string& nickname,
+                                        double corruption = 0.0) {
+    ClientConfig config;
+    config.nickname = nickname;
+    config.block_size = 256;
+    config.content_scale = 0.001;
+    config.corruption_probability = corruption;
+    auto client = std::make_unique<SimClient>(&network_, config);
+    client->set_attachment(geo_.FindCountry("FR"), AsId(0));
+    client->Connect(server_->node_id(), nullptr);
+    network_.queue().Run();
+    return client;
+  }
+
+  Geography geo_;
+  SimNetwork network_;
+  std::unique_ptr<SimServer> server_;
+};
+
+TEST_F(SwarmTest, FilePropagatesThroughSwarm) {
+  // One seed, chain of 5 downloaders, each fetching from the previous one.
+  const auto info = SimClient::MakeFileInfo(FileId(77), 2'000'000, "swarm.avi");
+  auto seed = MakeClient("seed");
+  seed->AddLocalFile(info);
+  seed->Publish();
+  network_.queue().Run();
+
+  std::vector<std::unique_ptr<SimClient>> swarm;
+  NodeId previous = seed->node_id();
+  for (int i = 0; i < 5; ++i) {
+    auto peer = MakeClient("leech" + std::to_string(i));
+    bool done = false;
+    peer->Download(previous, info, [&done](bool ok) { done = ok; });
+    network_.queue().Run();
+    ASSERT_TRUE(done) << "hop " << i;
+    ASSERT_TRUE(peer->HasCompleteFile(info.digest));
+    previous = peer->node_id();
+    swarm.push_back(std::move(peer));
+  }
+  // Everyone republished: the server now lists 6 sources.
+  std::vector<SourceRecord> sources;
+  seed->QuerySources(info.digest, [&sources](auto s) { sources = std::move(s); });
+  network_.queue().Run();
+  EXPECT_EQ(sources.size(), 6u);
+}
+
+TEST_F(SwarmTest, EveryBlockIsVerifiedAcrossTheSwarm) {
+  const auto info = SimClient::MakeFileInfo(FileId(78), 3'000'000, "big swarm.avi");
+  auto seed = MakeClient("seed");
+  seed->AddLocalFile(info);
+  auto a = MakeClient("a");
+  auto b = MakeClient("b");
+  a->Download(seed->node_id(), info, nullptr);
+  network_.queue().Run();
+  b->Download(a->node_id(), info, nullptr);
+  network_.queue().Run();
+  ASSERT_TRUE(b->HasCompleteFile(info.digest));
+  const uint32_t blocks = seed->BlockCount(info.size_bytes);
+  EXPECT_GE(blocks, 10u);
+  EXPECT_GE(a->blocks_received(), blocks);
+  EXPECT_GE(b->blocks_received(), blocks);
+  EXPECT_EQ(a->blocks_corrupted() + b->blocks_corrupted(), 0u);
+}
+
+TEST_F(SwarmTest, CorruptionIsDetectedNotSilentlyAccepted) {
+  // A source that corrupts aggressively: the download either completes
+  // (after detected retries) or fails; it must never complete without the
+  // corrupted blocks having been detected.
+  auto bad_seed = MakeClient("badseed", /*corruption=*/0.5);
+  const auto info = SimClient::MakeFileInfo(FileId(79), 2'000'000, "noisy.avi");
+  bad_seed->AddLocalFile(info);
+  auto leech = MakeClient("leech");
+  bool completed = false;
+  bool finished = false;
+  leech->Download(bad_seed->node_id(), info, [&](bool ok) {
+    completed = ok;
+    finished = true;
+  });
+  network_.queue().Run();
+  ASSERT_TRUE(finished);
+  EXPECT_GT(leech->blocks_corrupted(), 0u);
+  if (completed) {
+    EXPECT_TRUE(leech->HasCompleteFile(info.digest));
+  } else {
+    EXPECT_FALSE(leech->HasCompleteFile(info.digest));
+    EXPECT_EQ(leech->downloads_failed(), 1u);
+  }
+}
+
+TEST_F(SwarmTest, SourceDisappearingMidDownloadFailsCleanly) {
+  const auto info = SimClient::MakeFileInfo(FileId(80), 5'000'000, "vanishing.avi");
+  auto seed = MakeClient("seed");
+  seed->AddLocalFile(info);
+  auto leech = MakeClient("leech");
+  bool finished = false;
+  bool completed = true;
+  leech->Download(seed->node_id(), info, [&](bool ok) {
+    completed = ok;
+    finished = true;
+  });
+  // Let the hashset exchange and a couple of blocks through, then the seed
+  // stops sharing the file.
+  network_.queue().RunUntil(network_.queue().now() + 0.8);
+  seed->RemoveLocalFile(info.digest);
+  network_.queue().Run();
+  ASSERT_TRUE(finished);
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(leech->HasCompleteFile(info.digest));
+}
+
+TEST_F(SwarmTest, ServerChurnDropsIndexButNotLocalFiles) {
+  const auto info = SimClient::MakeFileInfo(FileId(81), 500'000, "steady.mp3");
+  auto peer = MakeClient("steady");
+  peer->AddLocalFile(info);
+  peer->Publish();
+  network_.queue().Run();
+  EXPECT_EQ(server_->indexed_files(), 1u);
+  peer->Disconnect();
+  network_.queue().Run();
+  EXPECT_EQ(server_->indexed_files(), 0u);
+  EXPECT_TRUE(peer->HasCompleteFile(info.digest));
+  // Reconnect republishes automatically.
+  peer->Connect(server_->node_id(), nullptr);
+  network_.queue().Run();
+  EXPECT_EQ(server_->indexed_files(), 1u);
+}
+
+TEST_F(SwarmTest, ConcurrentDownloadersFromOneSeed) {
+  const auto info = SimClient::MakeFileInfo(FileId(82), 1'500'000, "hotfile.avi");
+  auto seed = MakeClient("seed");
+  seed->AddLocalFile(info);
+  std::vector<std::unique_ptr<SimClient>> leeches;
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    leeches.push_back(MakeClient("l" + std::to_string(i)));
+  }
+  for (auto& leech : leeches) {
+    leech->Download(seed->node_id(), info, [&completed](bool ok) {
+      completed += ok ? 1 : 0;
+    });
+  }
+  network_.queue().Run();
+  EXPECT_EQ(completed, 8);
+  for (auto& leech : leeches) {
+    EXPECT_TRUE(leech->HasCompleteFile(info.digest));
+  }
+}
+
+}  // namespace
+}  // namespace edk

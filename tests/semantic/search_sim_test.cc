@@ -1,0 +1,196 @@
+#include "src/semantic/search_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace edk {
+namespace {
+
+// Interest communities sharing heavily within themselves: semantic search
+// should find most files at neighbours.
+StaticCaches ClusteredCaches(size_t peers_per_community, size_t files_per_peer,
+                             uint64_t seed, size_t communities = 2) {
+  Rng rng(seed);
+  StaticCaches caches;
+  for (size_t community = 0; community < communities; ++community) {
+    const uint32_t base = static_cast<uint32_t>(community) * 1000;
+    for (size_t p = 0; p < peers_per_community; ++p) {
+      std::vector<FileId> cache;
+      while (cache.size() < files_per_peer) {
+        const FileId f(base + static_cast<uint32_t>(rng.NextBelow(60)));
+        if (std::find(cache.begin(), cache.end(), f) == cache.end()) {
+          cache.push_back(f);
+        }
+      }
+      std::sort(cache.begin(), cache.end());
+      caches.caches.push_back(std::move(cache));
+    }
+  }
+  return caches;
+}
+
+TEST(SearchSimTest, AccountingIsConsistent) {
+  const auto caches = ClusteredCaches(25, 20, 1);
+  SearchSimConfig config;
+  config.strategy = StrategyKind::kLru;
+  config.list_size = 10;
+  const auto result = RunSearchSimulation(caches, config);
+  EXPECT_EQ(result.seeds + result.requests, caches.TotalReplicas());
+  EXPECT_EQ(result.requests, result.one_hop_hits + result.fallbacks);
+  EXPECT_GT(result.requests, 0u);
+  uint64_t load_sum = 0;
+  for (uint32_t l : result.load) {
+    load_sum += l;
+  }
+  EXPECT_EQ(load_sum, result.messages);
+}
+
+TEST(SearchSimTest, DeterministicForSeed) {
+  const auto caches = ClusteredCaches(20, 15, 2);
+  SearchSimConfig config;
+  config.seed = 99;
+  const auto a = RunSearchSimulation(caches, config);
+  const auto b = RunSearchSimulation(caches, config);
+  EXPECT_EQ(a.one_hop_hits, b.one_hop_hits);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.load, b.load);
+}
+
+TEST(SearchSimTest, SemanticBeatsRandomOnClusteredData) {
+  // Many small communities: a random list rarely lands in the requester's
+  // community, a semantic list concentrates there.
+  const auto caches = ClusteredCaches(15, 20, 3, /*communities=*/10);
+  SearchSimConfig lru;
+  lru.strategy = StrategyKind::kLru;
+  lru.list_size = 10;
+  SearchSimConfig random = lru;
+  random.strategy = StrategyKind::kRandom;
+  const auto lru_result = RunSearchSimulation(caches, lru);
+  const auto random_result = RunSearchSimulation(caches, random);
+  EXPECT_GT(lru_result.OneHopHitRate(), random_result.OneHopHitRate());
+}
+
+TEST(SearchSimTest, LargerListsRaiseHitRate) {
+  const auto caches = ClusteredCaches(30, 20, 4);
+  double previous = -1;
+  for (size_t k : {1u, 5u, 20u}) {
+    SearchSimConfig config;
+    config.list_size = k;
+    const double rate = RunSearchSimulation(caches, config).OneHopHitRate();
+    EXPECT_GE(rate, previous - 0.02) << "k=" << k;  // Monotone up to noise.
+    previous = rate;
+  }
+}
+
+TEST(SearchSimTest, TwoHopAddsHits) {
+  const auto caches = ClusteredCaches(30, 15, 5);
+  SearchSimConfig one_hop;
+  one_hop.list_size = 5;
+  SearchSimConfig two_hop = one_hop;
+  two_hop.two_hop = true;
+  const auto r1 = RunSearchSimulation(caches, one_hop);
+  const auto r2 = RunSearchSimulation(caches, two_hop);
+  EXPECT_GT(r2.two_hop_hits, 0u);
+  EXPECT_GT(r2.TotalHitRate(), r1.OneHopHitRate());
+  // One-hop accounting unchanged by the two-hop extension (same seed, same
+  // request order, same lists until the first two-hop hit changes state) —
+  // at minimum the rates should be close.
+  EXPECT_NEAR(r2.OneHopHitRate(), r1.OneHopHitRate(), 0.15);
+}
+
+TEST(SearchSimTest, HistoryStrategyWorks) {
+  const auto caches = ClusteredCaches(25, 20, 6);
+  SearchSimConfig config;
+  config.strategy = StrategyKind::kHistory;
+  config.list_size = 10;
+  const auto result = RunSearchSimulation(caches, config);
+  EXPECT_GT(result.OneHopHitRate(), 0.2);
+}
+
+TEST(SearchSimTest, EmptyCachesProduceNothing) {
+  StaticCaches caches;
+  caches.caches.resize(10);
+  const auto result = RunSearchSimulation(caches, SearchSimConfig{});
+  EXPECT_EQ(result.requests, 0u);
+  EXPECT_EQ(result.seeds, 0u);
+  EXPECT_DOUBLE_EQ(result.OneHopHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(result.TotalHitRate(), 0.0);
+}
+
+TEST(SearchSimTest, SingleSharerSeedsEverything) {
+  StaticCaches caches;
+  caches.caches = {{FileId(0), FileId(1), FileId(2)}};
+  const auto result = RunSearchSimulation(caches, SearchSimConfig{});
+  EXPECT_EQ(result.seeds, 3u);
+  EXPECT_EQ(result.requests, 0u);
+}
+
+TEST(SearchSimTest, LoadTrackingCanBeDisabled) {
+  const auto caches = ClusteredCaches(10, 10, 7);
+  SearchSimConfig config;
+  config.track_load = false;
+  const auto result = RunSearchSimulation(caches, config);
+  EXPECT_TRUE(result.load.empty());
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(SearchSimTest, PopularityBucketsSumToTotals) {
+  const auto caches = ClusteredCaches(20, 15, 8, /*communities=*/4);
+  SearchSimConfig config;
+  config.list_size = 10;
+  const auto result = RunSearchSimulation(caches, config);
+  uint64_t bucket_requests = 0;
+  uint64_t bucket_hits = 0;
+  ASSERT_EQ(result.requests_by_popularity.size(), result.hits_by_popularity.size());
+  for (size_t b = 0; b < result.requests_by_popularity.size(); ++b) {
+    bucket_requests += result.requests_by_popularity[b];
+    bucket_hits += result.hits_by_popularity[b];
+    EXPECT_LE(result.hits_by_popularity[b], result.requests_by_popularity[b]);
+  }
+  EXPECT_EQ(bucket_requests, result.requests);
+  EXPECT_EQ(bucket_hits, result.one_hop_hits + result.two_hop_hits);
+  EXPECT_DOUBLE_EQ(result.BucketHitRate(999), 0.0);  // Out of range.
+}
+
+TEST(SearchSimTest, ZeroAvailabilityKillsSemanticHits) {
+  const auto caches = ClusteredCaches(20, 15, 9, /*communities=*/4);
+  SearchSimConfig config;
+  config.list_size = 20;
+  config.neighbour_availability = 0.0;
+  const auto result = RunSearchSimulation(caches, config);
+  EXPECT_EQ(result.one_hop_hits, 0u);
+  EXPECT_EQ(result.messages, 0u);  // Offline neighbours receive no queries.
+  EXPECT_EQ(result.fallbacks, result.requests);
+}
+
+TEST(SearchSimTest, AvailabilityDegradesHitRateMonotonically) {
+  const auto caches = ClusteredCaches(20, 15, 10, /*communities=*/4);
+  double previous = 1.1;
+  for (double availability : {1.0, 0.6, 0.2}) {
+    SearchSimConfig config;
+    config.list_size = 10;
+    config.neighbour_availability = availability;
+    const double rate = RunSearchSimulation(caches, config).OneHopHitRate();
+    EXPECT_LT(rate, previous + 0.03) << "availability " << availability;
+    previous = rate;
+  }
+}
+
+TEST(SearchSimTest, UniformCachesStillMostlyResolve) {
+  // Identical caches: after warm-up every neighbour has everything, so the
+  // hit rate should be very high with even a single neighbour.
+  StaticCaches caches;
+  for (int p = 0; p < 10; ++p) {
+    caches.caches.push_back({FileId(0), FileId(1), FileId(2), FileId(3), FileId(4)});
+  }
+  SearchSimConfig config;
+  config.list_size = 3;
+  const auto result = RunSearchSimulation(caches, config);
+  // Caches start empty and warm up during the run, so the rate sits below
+  // the asymptotic 100% but must still be substantial.
+  EXPECT_GT(result.OneHopHitRate(), 0.45);
+}
+
+}  // namespace
+}  // namespace edk

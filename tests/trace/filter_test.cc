@@ -1,0 +1,150 @@
+#include "src/trace/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+TEST(FilterDuplicatesTest, RemovesSharedIpSharers) {
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  PeerInfo a{.ip_address = 100, .user_id = 1};
+  PeerInfo b{.ip_address = 100, .user_id = 2};  // Same IP as a.
+  PeerInfo c{.ip_address = 200, .user_id = 3};
+  const PeerId pa = trace.AddPeer(a);
+  const PeerId pb = trace.AddPeer(b);
+  const PeerId pc = trace.AddPeer(c);
+  trace.AddSnapshot(pa, 1, {FileId(0)});
+  trace.AddSnapshot(pb, 1, {FileId(0)});
+  trace.AddSnapshot(pc, 1, {FileId(0)});
+
+  const Trace filtered = FilterDuplicates(trace);
+  EXPECT_EQ(filtered.peer_count(), 1u);
+  EXPECT_EQ(filtered.peer(PeerId(0)).ip_address, 200u);
+}
+
+TEST(FilterDuplicatesTest, RemovesSharedUidSharers) {
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  const PeerId pa = trace.AddPeer(PeerInfo{.ip_address = 1, .user_id = 77});
+  const PeerId pb = trace.AddPeer(PeerInfo{.ip_address = 2, .user_id = 77});
+  trace.AddSnapshot(pa, 1, {FileId(0)});
+  trace.AddSnapshot(pb, 1, {FileId(0)});
+  const Trace filtered = FilterDuplicates(trace);
+  EXPECT_EQ(filtered.peer_count(), 0u);
+}
+
+TEST(FilterDuplicatesTest, KeepsDuplicatedFreeRiders) {
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  const PeerId pa = trace.AddPeer(PeerInfo{.ip_address = 5, .user_id = 1});
+  const PeerId pb = trace.AddPeer(PeerInfo{.ip_address = 5, .user_id = 2});
+  trace.AddSnapshot(pa, 1, {});  // Free rider.
+  trace.AddSnapshot(pb, 1, {FileId(0)});
+  const Trace filtered = FilterDuplicates(trace);
+  ASSERT_EQ(filtered.peer_count(), 1u);
+  EXPECT_TRUE(filtered.IsFreeRider(PeerId(0)));
+}
+
+TEST(FilterDuplicatesTest, PreservesFileTable) {
+  Trace trace;
+  trace.AddFile(FileMeta{.size_bytes = 42});
+  trace.AddFile(FileMeta{.size_bytes = 43});
+  trace.AddPeer(PeerInfo{.ip_address = 1, .user_id = 1});
+  const Trace filtered = FilterDuplicates(trace);
+  ASSERT_EQ(filtered.file_count(), 2u);
+  EXPECT_EQ(filtered.file(FileId(1)).size_bytes, 43u);
+}
+
+Trace MakeGappyTrace() {
+  Trace trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.AddFile(FileMeta{});
+  }
+  const PeerId p = trace.AddPeer(PeerInfo{});
+  // Observed on days 1, 4, 6 with a churn of files.
+  trace.AddSnapshot(p, 1, {FileId(0), FileId(1), FileId(2)});
+  trace.AddSnapshot(p, 4, {FileId(1), FileId(2), FileId(3)});
+  trace.AddSnapshot(p, 6, {FileId(2)});
+  // Pad with more observations so the activity filter passes.
+  trace.AddSnapshot(p, 8, {FileId(2)});
+  trace.AddSnapshot(p, 12, {FileId(2), FileId(3)});
+  return trace;
+}
+
+TEST(ExtrapolateTest, FillsGapsWithIntersection) {
+  const Trace trace = MakeGappyTrace();
+  ExtrapolationOptions options;
+  options.min_connections = 5;
+  options.min_span_days = 10;
+  const Trace extrapolated = Extrapolate(trace, options);
+  ASSERT_EQ(extrapolated.peer_count(), 1u);
+  const auto& snapshots = extrapolated.timeline(PeerId(0)).snapshots;
+  // Days 1..12 continuous: 12 snapshots.
+  ASSERT_EQ(snapshots.size(), 12u);
+  // Day 2 and 3 are the intersection of day-1 and day-4 caches: {1, 2}.
+  const CacheSnapshot* day2 = extrapolated.timeline(PeerId(0)).SnapshotOn(2);
+  ASSERT_NE(day2, nullptr);
+  ASSERT_EQ(day2->files.size(), 2u);
+  EXPECT_EQ(day2->files[0], FileId(1));
+  EXPECT_EQ(day2->files[1], FileId(2));
+  // Day 5 is intersection of day-4 and day-6: {2}.
+  const CacheSnapshot* day5 = extrapolated.timeline(PeerId(0)).SnapshotOn(5);
+  ASSERT_NE(day5, nullptr);
+  ASSERT_EQ(day5->files.size(), 1u);
+  EXPECT_EQ(day5->files[0], FileId(2));
+}
+
+TEST(ExtrapolateTest, DropsInactivePeers) {
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  const PeerId few = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(few, 1, {FileId(0)});
+  trace.AddSnapshot(few, 20, {FileId(0)});  // Only 2 connections.
+  const PeerId narrow = trace.AddPeer(PeerInfo{});
+  for (int d = 1; d <= 6; ++d) {
+    trace.AddSnapshot(narrow, d, {FileId(0)});  // 6 connections, span 5 days.
+  }
+  const Trace extrapolated = Extrapolate(trace);
+  EXPECT_EQ(extrapolated.peer_count(), 0u);
+}
+
+TEST(ExtrapolateTest, CarryForwardUsesPreviousSnapshot) {
+  const Trace trace = MakeGappyTrace();
+  ExtrapolationOptions options;
+  options.min_connections = 5;
+  options.min_span_days = 10;
+  const Trace extrapolated = ExtrapolateCarryForward(trace, options);
+  const CacheSnapshot* day2 = extrapolated.timeline(PeerId(0)).SnapshotOn(2);
+  ASSERT_NE(day2, nullptr);
+  EXPECT_EQ(day2->files.size(), 3u);  // Full day-1 cache carried forward.
+}
+
+TEST(ExtrapolateTest, PessimisticNeverExceedsCarryForward) {
+  const Trace trace = MakeGappyTrace();
+  ExtrapolationOptions options;
+  options.min_connections = 5;
+  options.min_span_days = 10;
+  const Trace pess = Extrapolate(trace, options);
+  const Trace opt = ExtrapolateCarryForward(trace, options);
+  for (int day = 1; day <= 12; ++day) {
+    const auto* a = pess.timeline(PeerId(0)).SnapshotOn(day);
+    const auto* b = opt.timeline(PeerId(0)).SnapshotOn(day);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_LE(a->files.size(), b->files.size()) << "day " << day;
+  }
+}
+
+TEST(IntersectSortedTest, Basics) {
+  const std::vector<FileId> a = {FileId(1), FileId(2), FileId(5)};
+  const std::vector<FileId> b = {FileId(2), FileId(5), FileId(9)};
+  const auto i = IntersectSorted(a, b);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_EQ(i[0], FileId(2));
+  EXPECT_EQ(i[1], FileId(5));
+  EXPECT_TRUE(IntersectSorted(a, {}).empty());
+}
+
+}  // namespace
+}  // namespace edk

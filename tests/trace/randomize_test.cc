@@ -1,0 +1,145 @@
+#include "src/trace/randomize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace edk {
+namespace {
+
+StaticCaches MakeCaches(const std::vector<std::vector<uint32_t>>& raw) {
+  StaticCaches caches;
+  for (const auto& cache : raw) {
+    std::vector<FileId> files;
+    for (uint32_t v : cache) {
+      files.push_back(FileId(v));
+    }
+    std::sort(files.begin(), files.end());
+    caches.caches.push_back(std::move(files));
+  }
+  return caches;
+}
+
+std::vector<uint32_t> CountReplicas(const StaticCaches& caches, uint32_t file_count) {
+  std::vector<uint32_t> counts(file_count, 0);
+  for (const auto& cache : caches.caches) {
+    for (FileId f : cache) {
+      ++counts[f.value];
+    }
+  }
+  return counts;
+}
+
+TEST(RandomizeTest, PreservesGenerosityAndPopularity) {
+  Rng rng(1);
+  // 30 peers with assorted caches over 100 files.
+  std::vector<std::vector<uint32_t>> raw;
+  Rng setup(2);
+  for (int p = 0; p < 30; ++p) {
+    std::vector<uint32_t> cache;
+    const size_t size = setup.NextBelow(20);
+    while (cache.size() < size) {
+      const uint32_t f = static_cast<uint32_t>(setup.NextBelow(100));
+      if (std::find(cache.begin(), cache.end(), f) == cache.end()) {
+        cache.push_back(f);
+      }
+    }
+    raw.push_back(cache);
+  }
+  const StaticCaches original = MakeCaches(raw);
+  const auto before_popularity = CountReplicas(original, 100);
+
+  const RandomizeResult result = RandomizeCaches(original, 20'000, rng);
+
+  ASSERT_EQ(result.caches.caches.size(), original.caches.size());
+  for (size_t p = 0; p < original.caches.size(); ++p) {
+    EXPECT_EQ(result.caches.caches[p].size(), original.caches[p].size())
+        << "generosity changed for peer " << p;
+  }
+  EXPECT_EQ(CountReplicas(result.caches, 100), before_popularity);
+}
+
+TEST(RandomizeTest, CachesRemainDuplicateFree) {
+  Rng rng(3);
+  std::vector<std::vector<uint32_t>> raw;
+  for (int p = 0; p < 10; ++p) {
+    std::vector<uint32_t> cache;
+    for (uint32_t f = 0; f < 15; ++f) {
+      cache.push_back((p * 7 + f * 3) % 60);
+    }
+    std::sort(cache.begin(), cache.end());
+    cache.erase(std::unique(cache.begin(), cache.end()), cache.end());
+    raw.push_back(cache);
+  }
+  const StaticCaches original = MakeCaches(raw);
+  const RandomizeResult result = RandomizeCaches(original, 10'000, rng);
+  for (const auto& cache : result.caches.caches) {
+    auto sorted = cache;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  }
+}
+
+TEST(RandomizeTest, ActuallyChangesAssignments) {
+  Rng rng(4);
+  std::vector<std::vector<uint32_t>> raw;
+  // Two disjoint communities; after mixing, overlap across communities
+  // must appear.
+  for (int p = 0; p < 20; ++p) {
+    std::vector<uint32_t> cache;
+    const uint32_t base = p < 10 ? 0 : 100;
+    for (uint32_t f = 0; f < 10; ++f) {
+      cache.push_back(base + static_cast<uint32_t>((p * 3 + f) % 50));
+    }
+    std::sort(cache.begin(), cache.end());
+    cache.erase(std::unique(cache.begin(), cache.end()), cache.end());
+    raw.push_back(cache);
+  }
+  const StaticCaches original = MakeCaches(raw);
+  const RandomizeResult result = RandomizeCachesFully(original, rng);
+  EXPECT_GT(result.successful_swaps, 0u);
+
+  // Some peer from the first community should now hold a file >= 100.
+  bool mixed = false;
+  for (int p = 0; p < 10 && !mixed; ++p) {
+    for (FileId f : result.caches.caches[p]) {
+      if (f.value >= 100) {
+        mixed = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(RandomizeTest, ZeroSwapsIsIdentity) {
+  Rng rng(5);
+  const StaticCaches original = MakeCaches({{1, 2, 3}, {2, 4}});
+  const RandomizeResult result = RandomizeCaches(original, 0, rng);
+  EXPECT_EQ(result.caches.caches, original.caches);
+  EXPECT_EQ(result.attempted_swaps, 0u);
+}
+
+TEST(RandomizeTest, DegenerateInputs) {
+  Rng rng(6);
+  const StaticCaches empty;
+  EXPECT_EQ(RandomizeCaches(empty, 100, rng).caches.caches.size(), 0u);
+
+  const StaticCaches single = MakeCaches({{7}});
+  const RandomizeResult result = RandomizeCaches(single, 100, rng);
+  ASSERT_EQ(result.caches.caches.size(), 1u);
+  EXPECT_EQ(result.caches.caches[0][0], FileId(7));
+  EXPECT_EQ(result.successful_swaps, 0u);
+}
+
+TEST(RecommendedSwapCountTest, HalfNLogN) {
+  const StaticCaches caches = MakeCaches({{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10}});
+  // N = 10 replicas -> 0.5 * 10 * ln(10) ~ 11.5 -> 12 with the +1.
+  const uint64_t swaps = RecommendedSwapCount(caches);
+  EXPECT_GE(swaps, 11u);
+  EXPECT_LE(swaps, 12u);
+}
+
+}  // namespace
+}  // namespace edk

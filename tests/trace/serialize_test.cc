@@ -1,0 +1,129 @@
+#include "src/trace/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edk {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  trace.AddFile(FileMeta{.size_bytes = 1234, .category = FileCategory::kAudio,
+                         .topic = TopicId(3)});
+  trace.AddFile(FileMeta{.size_bytes = 700u * 1024 * 1024,
+                         .category = FileCategory::kVideo, .topic = TopicId(1)});
+  trace.AddFile(FileMeta{.size_bytes = 99, .category = FileCategory::kOther});
+  const PeerId p0 = trace.AddPeer(PeerInfo{.country = CountryId(2),
+                                           .autonomous_system = AsId(4),
+                                           .ip_address = 0xdeadbeef,
+                                           .user_id = 0x1122334455667788ULL,
+                                           .firewalled = true});
+  const PeerId p1 = trace.AddPeer(PeerInfo{.country = CountryId(0),
+                                           .autonomous_system = AsId(0),
+                                           .ip_address = 42,
+                                           .user_id = 43});
+  trace.AddSnapshot(p0, 348, {FileId(0), FileId(2)});
+  trace.AddSnapshot(p0, 350, {FileId(1)});
+  trace.AddSnapshot(p1, 349, {});
+  return trace;
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const Trace original = MakeTrace();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(original, stream));
+  const auto loaded = LoadTrace(stream);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->peer_count(), original.peer_count());
+  EXPECT_EQ(loaded->file_count(), original.file_count());
+  EXPECT_EQ(loaded->first_day(), original.first_day());
+  EXPECT_EQ(loaded->last_day(), original.last_day());
+
+  for (size_t f = 0; f < original.file_count(); ++f) {
+    const FileId id(static_cast<uint32_t>(f));
+    EXPECT_EQ(loaded->file(id).size_bytes, original.file(id).size_bytes);
+    EXPECT_EQ(loaded->file(id).category, original.file(id).category);
+    EXPECT_EQ(loaded->file(id).topic, original.file(id).topic);
+  }
+  for (size_t p = 0; p < original.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    EXPECT_EQ(loaded->peer(id).country, original.peer(id).country);
+    EXPECT_EQ(loaded->peer(id).autonomous_system, original.peer(id).autonomous_system);
+    EXPECT_EQ(loaded->peer(id).ip_address, original.peer(id).ip_address);
+    EXPECT_EQ(loaded->peer(id).user_id, original.peer(id).user_id);
+    EXPECT_EQ(loaded->peer(id).firewalled, original.peer(id).firewalled);
+    const auto& a = original.timeline(id).snapshots;
+    const auto& b = loaded->timeline(id).snapshots;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t s = 0; s < a.size(); ++s) {
+      EXPECT_EQ(a[s].day, b[s].day);
+      EXPECT_EQ(a[s].files, b[s].files);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream stream;
+  stream << "this is not a trace file";
+  EXPECT_FALSE(LoadTrace(stream).has_value());
+}
+
+TEST(SerializeTest, RejectsTruncatedStream) {
+  const Trace original = MakeTrace();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(original, stream));
+  const std::string full = stream.str();
+  // Truncate at several points; none may crash and all must fail cleanly
+  // (or, for a prefix that happens to be self-consistent, succeed).
+  for (size_t cut : {size_t{4}, size_t{8}, size_t{20}, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    const auto loaded = LoadTrace(truncated);
+    EXPECT_FALSE(loaded.has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeTest, RejectsOutOfRangeFileIds) {
+  // Hand-craft: valid header with zero files but a peer referencing file 5
+  // cannot be constructed through the public API, so corrupt a valid
+  // stream instead: flip a byte in the snapshot area and expect either a
+  // clean failure or a still-consistent trace (never UB).
+  const Trace original = MakeTrace();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(original, stream));
+  std::string bytes = stream.str();
+  // Corrupt the last byte (inside delta-encoded file list).
+  bytes[bytes.size() - 1] = static_cast<char>(0xff);
+  std::stringstream corrupted(bytes);
+  const auto loaded = LoadTrace(corrupted);
+  // 0xff continues a varint that then hits EOF -> must fail.
+  EXPECT_FALSE(loaded.has_value());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Trace original = MakeTrace();
+  const std::string path = ::testing::TempDir() + "/edk_trace_roundtrip.bin";
+  ASSERT_TRUE(SaveTraceToFile(original, path));
+  const auto loaded = LoadTraceFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->peer_count(), original.peer_count());
+  EXPECT_EQ(loaded->TotalSnapshots(), original.TotalSnapshots());
+}
+
+TEST(SerializeTest, MissingFileFailsGracefully) {
+  EXPECT_FALSE(LoadTraceFromFile("/nonexistent/path/trace.bin").has_value());
+}
+
+TEST(SerializeTest, EmptyTraceRoundTrips) {
+  const Trace empty;
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(empty, stream));
+  const auto loaded = LoadTrace(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->peer_count(), 0u);
+  EXPECT_EQ(loaded->file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,163 @@
+// Property-based tests over randomly generated traces: serialisation
+// round-trips, filter/extrapolation invariants and randomisation marginals
+// must hold for every seed.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/trace/filter.h"
+#include "src/trace/randomize.h"
+#include "src/trace/serialize.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+namespace {
+
+// Builds a random but structurally valid trace.
+Trace RandomTrace(uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  const size_t files = 50 + rng.NextBelow(200);
+  for (size_t f = 0; f < files; ++f) {
+    FileMeta meta;
+    meta.size_bytes = 1 + rng.NextBelow(1'000'000);
+    meta.category = static_cast<FileCategory>(rng.NextBelow(6));
+    meta.topic = TopicId(static_cast<uint32_t>(rng.NextBelow(10)));
+    trace.AddFile(meta);
+  }
+  const size_t peers = 20 + rng.NextBelow(60);
+  for (size_t p = 0; p < peers; ++p) {
+    PeerInfo info;
+    info.country = CountryId(static_cast<uint32_t>(rng.NextBelow(5)));
+    info.autonomous_system = AsId(static_cast<uint32_t>(rng.NextBelow(8)));
+    info.ip_address = static_cast<uint32_t>(rng.NextBelow(1000));  // Collisions likely.
+    info.user_id = rng.NextBelow(1000);
+    info.firewalled = rng.NextBool(0.3);
+    const PeerId id = trace.AddPeer(info);
+    int day = 1 + static_cast<int>(rng.NextBelow(3));
+    const int observations = static_cast<int>(rng.NextBelow(12));
+    for (int s = 0; s < observations; ++s) {
+      std::vector<FileId> cache;
+      const size_t size = rng.NextBelow(30);
+      for (size_t i = 0; i < size; ++i) {
+        cache.push_back(FileId(static_cast<uint32_t>(rng.NextBelow(files))));
+      }
+      trace.AddSnapshot(id, day, std::move(cache));
+      day += 1 + static_cast<int>(rng.NextBelow(4));
+    }
+  }
+  return trace;
+}
+
+class TracePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TracePropertyTest, SerializationRoundTrips) {
+  const Trace original = RandomTrace(GetParam());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(original, stream));
+  const auto loaded = LoadTrace(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->peer_count(), original.peer_count());
+  ASSERT_EQ(loaded->file_count(), original.file_count());
+  ASSERT_EQ(loaded->TotalSnapshots(), original.TotalSnapshots());
+  for (size_t p = 0; p < original.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto& a = original.timeline(id).snapshots;
+    const auto& b = loaded->timeline(id).snapshots;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t s = 0; s < a.size(); ++s) {
+      EXPECT_EQ(a[s].day, b[s].day);
+      EXPECT_EQ(a[s].files, b[s].files);
+    }
+  }
+}
+
+TEST_P(TracePropertyTest, FilterNeverGrowsAndKeepsFiles) {
+  const Trace original = RandomTrace(GetParam());
+  const Trace filtered = FilterDuplicates(original);
+  EXPECT_LE(filtered.peer_count(), original.peer_count());
+  EXPECT_EQ(filtered.file_count(), original.file_count());
+  // No sharer in the filtered trace shares an IP or user id with another
+  // filtered peer unless one of them is a free-rider.
+  for (size_t i = 0; i < filtered.peer_count(); ++i) {
+    for (size_t j = i + 1; j < filtered.peer_count(); ++j) {
+      const PeerId a(static_cast<uint32_t>(i));
+      const PeerId b(static_cast<uint32_t>(j));
+      const bool clash = filtered.peer(a).ip_address == filtered.peer(b).ip_address ||
+                         filtered.peer(a).user_id == filtered.peer(b).user_id;
+      if (clash) {
+        EXPECT_TRUE(filtered.IsFreeRider(a) || filtered.IsFreeRider(b));
+      }
+    }
+  }
+}
+
+TEST_P(TracePropertyTest, ExtrapolationIsDenseAndPessimistic) {
+  const Trace original = RandomTrace(GetParam());
+  const Trace extrapolated = Extrapolate(original);
+  for (size_t p = 0; p < extrapolated.peer_count(); ++p) {
+    const auto& snapshots = extrapolated.timeline(PeerId(static_cast<uint32_t>(p))).snapshots;
+    ASSERT_GE(snapshots.size(), 5u);  // min_connections default.
+    for (size_t s = 1; s < snapshots.size(); ++s) {
+      ASSERT_EQ(snapshots[s].day, snapshots[s - 1].day + 1);
+    }
+  }
+  // Pessimism: total replicas never exceed the carry-forward variant's.
+  const Trace optimistic = ExtrapolateCarryForward(original);
+  size_t pessimistic_total = 0;
+  size_t optimistic_total = 0;
+  for (size_t p = 0; p < extrapolated.peer_count(); ++p) {
+    for (const auto& s : extrapolated.timeline(PeerId(static_cast<uint32_t>(p))).snapshots) {
+      pessimistic_total += s.files.size();
+    }
+  }
+  for (size_t p = 0; p < optimistic.peer_count(); ++p) {
+    for (const auto& s : optimistic.timeline(PeerId(static_cast<uint32_t>(p))).snapshots) {
+      optimistic_total += s.files.size();
+    }
+  }
+  EXPECT_LE(pessimistic_total, optimistic_total);
+}
+
+TEST_P(TracePropertyTest, RandomizationPreservesMarginals) {
+  const Trace original = RandomTrace(GetParam());
+  const StaticCaches caches = BuildUnionCaches(original);
+  Rng rng(GetParam() ^ 0x1234);
+  const auto result = RandomizeCachesFully(caches, rng);
+
+  // Generosity marginal.
+  for (size_t p = 0; p < caches.caches.size(); ++p) {
+    ASSERT_EQ(result.caches.caches[p].size(), caches.caches[p].size());
+  }
+  // Popularity marginal.
+  EXPECT_EQ(result.caches.SourceCounts(original.file_count()),
+            caches.SourceCounts(original.file_count()));
+  // No duplicate files within any cache.
+  for (const auto& cache : result.caches.caches) {
+    for (size_t i = 1; i < cache.size(); ++i) {
+      ASSERT_LT(cache[i - 1], cache[i]);
+    }
+  }
+}
+
+TEST_P(TracePropertyTest, UnionCacheIsSupersetOfEverySnapshot) {
+  const Trace trace = RandomTrace(GetParam());
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto cache = trace.UnionCache(id);
+    for (const auto& snapshot : trace.timeline(id).snapshots) {
+      for (FileId f : snapshot.files) {
+        ASSERT_TRUE(std::binary_search(cache.begin(), cache.end(), f));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace edk

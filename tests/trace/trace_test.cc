@@ -1,0 +1,121 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace edk {
+namespace {
+
+Trace MakeSimpleTrace() {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.AddFile(FileMeta{.size_bytes = static_cast<uint64_t>(100 * (i + 1))});
+  }
+  const PeerId p0 = trace.AddPeer(PeerInfo{});
+  const PeerId p1 = trace.AddPeer(PeerInfo{});
+  const PeerId p2 = trace.AddPeer(PeerInfo{});  // Free rider.
+  trace.AddSnapshot(p0, 10, {FileId(0), FileId(1)});
+  trace.AddSnapshot(p0, 12, {FileId(1), FileId(2)});
+  trace.AddSnapshot(p1, 11, {FileId(1), FileId(3)});
+  trace.AddSnapshot(p2, 10, {});
+  trace.AddSnapshot(p2, 12, {});
+  return trace;
+}
+
+TEST(TraceTest, BasicCounts) {
+  const Trace trace = MakeSimpleTrace();
+  EXPECT_EQ(trace.peer_count(), 3u);
+  EXPECT_EQ(trace.file_count(), 5u);
+  EXPECT_EQ(trace.first_day(), 10);
+  EXPECT_EQ(trace.last_day(), 12);
+  EXPECT_EQ(trace.TotalSnapshots(), 5u);
+}
+
+TEST(TraceTest, FreeRiderDetection) {
+  const Trace trace = MakeSimpleTrace();
+  EXPECT_FALSE(trace.IsFreeRider(PeerId(0)));
+  EXPECT_FALSE(trace.IsFreeRider(PeerId(1)));
+  EXPECT_TRUE(trace.IsFreeRider(PeerId(2)));
+  EXPECT_EQ(trace.CountFreeRiders(), 1u);
+}
+
+TEST(TraceTest, SnapshotFilesAreSortedAndDeduplicated) {
+  Trace trace;
+  trace.AddFile(FileMeta{});
+  trace.AddFile(FileMeta{});
+  trace.AddFile(FileMeta{});
+  const PeerId p = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(p, 1, {FileId(2), FileId(0), FileId(2), FileId(1)});
+  const auto& files = trace.timeline(p).snapshots[0].files;
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], FileId(0));
+  EXPECT_EQ(files[1], FileId(1));
+  EXPECT_EQ(files[2], FileId(2));
+}
+
+TEST(TraceTest, UnionCache) {
+  const Trace trace = MakeSimpleTrace();
+  const auto u = trace.UnionCache(PeerId(0));
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[0], FileId(0));
+  EXPECT_EQ(u[1], FileId(1));
+  EXPECT_EQ(u[2], FileId(2));
+}
+
+TEST(TraceTest, SourceCounts) {
+  const Trace trace = MakeSimpleTrace();
+  const auto counts = trace.SourceCounts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);  // Both sharers held file 1.
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 0u);
+}
+
+TEST(TraceTest, DistinctBytes) {
+  const Trace trace = MakeSimpleTrace();
+  EXPECT_EQ(trace.DistinctBytes(), 100u + 200 + 300 + 400 + 500);
+}
+
+TEST(TraceTest, TimelineLookups) {
+  const Trace trace = MakeSimpleTrace();
+  const auto& timeline = trace.timeline(PeerId(0));
+  EXPECT_EQ(timeline.SnapshotOn(10)->day, 10);
+  EXPECT_EQ(timeline.SnapshotOn(11), nullptr);
+  EXPECT_EQ(timeline.SnapshotAtOrBefore(11)->day, 10);
+  EXPECT_EQ(timeline.SnapshotAtOrBefore(9), nullptr);
+  EXPECT_EQ(timeline.SnapshotAtOrBefore(20)->day, 12);
+}
+
+TEST(StaticCachesTest, UnionAndDayViews) {
+  const Trace trace = MakeSimpleTrace();
+  const StaticCaches unions = BuildUnionCaches(trace);
+  ASSERT_EQ(unions.caches.size(), 3u);
+  EXPECT_EQ(unions.caches[0].size(), 3u);
+  EXPECT_EQ(unions.caches[2].size(), 0u);
+  EXPECT_EQ(unions.TotalReplicas(), 5u);
+
+  const StaticCaches day10 = BuildDayCaches(trace, 10);
+  EXPECT_EQ(day10.caches[0].size(), 2u);
+  EXPECT_EQ(day10.caches[1].size(), 0u);  // Peer 1 not observed on day 10.
+
+  const auto counts = unions.SourceCounts(trace.file_count());
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(OverlapSizeTest, MergeCounting) {
+  const std::vector<FileId> a = {FileId(1), FileId(3), FileId(5), FileId(7)};
+  const std::vector<FileId> b = {FileId(2), FileId(3), FileId(7), FileId(9)};
+  EXPECT_EQ(OverlapSize(a, b), 2u);
+  EXPECT_EQ(OverlapSize(a, a), 4u);
+  EXPECT_EQ(OverlapSize(a, {}), 0u);
+}
+
+TEST(FileCategoryTest, Names) {
+  EXPECT_STREQ(FileCategoryName(FileCategory::kAudio), "audio");
+  EXPECT_STREQ(FileCategoryName(FileCategory::kVideo), "video");
+  EXPECT_STREQ(FileCategoryName(FileCategory::kOther), "other");
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,156 @@
+#include "src/workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/workload/generator.h"
+
+namespace edk {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest()
+      : config_(SmallWorkloadConfig()),
+        geography_(Geography::PaperDistribution()),
+        rng_(7),
+        catalog_(config_, geography_, rng_) {}
+
+  WorkloadConfig config_;
+  Geography geography_;
+  Rng rng_;
+  FileCatalog catalog_;
+};
+
+TEST_F(CatalogTest, AllFilesAssigned) {
+  EXPECT_EQ(catalog_.file_count(), config_.num_files);
+  EXPECT_EQ(catalog_.topic_count(), config_.num_topics);
+  size_t total = 0;
+  for (const auto& topic : catalog_.topics()) {
+    EXPECT_GE(topic.files_by_rank.size(), 1u);
+    total += topic.files_by_rank.size();
+  }
+  EXPECT_EQ(total, config_.num_files);
+}
+
+TEST_F(CatalogTest, FileTopicBackPointersConsistent) {
+  for (uint32_t t = 0; t < catalog_.topic_count(); ++t) {
+    const auto& topic = catalog_.topic(TopicId(t));
+    for (size_t r = 0; r < topic.files_by_rank.size(); ++r) {
+      const CatalogFile& file = catalog_.file(topic.files_by_rank[r]);
+      EXPECT_EQ(file.topic.value, t);
+      EXPECT_EQ(file.topic_rank, r + 1);
+    }
+  }
+}
+
+TEST_F(CatalogTest, PopularTopicsGetMoreFiles) {
+  // Topic 0 has the highest weight, so it must have at least as many files
+  // as the median topic.
+  const size_t first = catalog_.topic(TopicId(0)).files_by_rank.size();
+  const size_t mid =
+      catalog_.topic(TopicId(catalog_.topic_count() / 2)).files_by_rank.size();
+  EXPECT_GE(first, mid);
+}
+
+TEST_F(CatalogTest, ReleaseDaysWithinWindow) {
+  const int lo = config_.first_day - config_.pre_release_window_days;
+  const int hi = config_.first_day + config_.num_days - 1;
+  for (size_t f = 0; f < catalog_.file_count(); ++f) {
+    const auto& file = catalog_.file(static_cast<uint32_t>(f));
+    EXPECT_GE(file.release_day, lo);
+    EXPECT_LE(file.release_day, hi);
+  }
+}
+
+TEST_F(CatalogTest, AttractivenessZeroBeforeReleaseAndDecays) {
+  const auto& file = catalog_.file(0);
+  EXPECT_DOUBLE_EQ(catalog_.Attractiveness(0, file.release_day - 1), 0.0);
+  const double at_release = catalog_.Attractiveness(0, file.release_day);
+  const double later = catalog_.Attractiveness(0, file.release_day + 30);
+  EXPECT_DOUBLE_EQ(at_release, 1.0);
+  EXPECT_LE(later, at_release);
+  EXPECT_GE(later, config_.attractiveness_floor);
+}
+
+TEST_F(CatalogTest, SampleFromTopicRespectsRelease) {
+  Rng rng(11);
+  // Sampling far in the past must only return files released by then.
+  const int early_day = config_.first_day - config_.pre_release_window_days + 5;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t pick = catalog_.SampleFromTopic(TopicId(0), early_day, rng);
+    if (pick >= 0) {
+      EXPECT_LE(catalog_.file(static_cast<uint32_t>(pick)).release_day, early_day);
+    }
+  }
+}
+
+TEST_F(CatalogTest, SampleFromTopicPrefersTopRanks) {
+  Rng rng(13);
+  const int day = config_.first_day + config_.num_days - 1;
+  std::map<uint32_t, int> rank_counts;
+  for (int i = 0; i < 20'000; ++i) {
+    const int64_t pick = catalog_.SampleFromTopic(TopicId(0), day, rng);
+    ASSERT_GE(pick, 0);
+    ++rank_counts[catalog_.file(static_cast<uint32_t>(pick)).topic_rank];
+  }
+  // Rank 1 should be sampled more often than rank 10 on average.
+  EXPECT_GT(rank_counts[1], rank_counts[10]);
+}
+
+TEST_F(CatalogTest, SampleTopicFollowsWeights) {
+  Rng rng(17);
+  std::map<uint32_t, int> counts;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[catalog_.SampleTopic(rng).value];
+  }
+  EXPECT_GT(counts[0], counts[catalog_.topic_count() - 1]);
+}
+
+TEST_F(CatalogTest, SizeMixtureMatchesPaperShape) {
+  // Paper Fig. 6: ~40% of files < 1 MB is approximated by our cold tier;
+  // assert the broad shape rather than exact numbers.
+  size_t below_1mb = 0;
+  size_t audio_range = 0;  // 1-10 MB.
+  size_t above_600mb = 0;
+  for (size_t f = 0; f < catalog_.file_count(); ++f) {
+    const uint64_t size = catalog_.file(static_cast<uint32_t>(f)).meta.size_bytes;
+    if (size < 1024 * 1024) {
+      ++below_1mb;
+    } else if (size <= 10ull * 1024 * 1024) {
+      ++audio_range;
+    }
+    if (size > 600ull * 1024 * 1024) {
+      ++above_600mb;
+    }
+  }
+  const double n = static_cast<double>(catalog_.file_count());
+  EXPECT_GT(below_1mb / n, 0.15);
+  EXPECT_GT(audio_range / n, 0.25);
+  EXPECT_GT(above_600mb / n, 0.005);
+  EXPECT_LT(above_600mb / n, 0.25);
+}
+
+TEST_F(CatalogTest, ExportFilesPreservesOrder) {
+  Trace trace;
+  catalog_.ExportFiles(trace);
+  ASSERT_EQ(trace.file_count(), catalog_.file_count());
+  for (uint32_t f = 0; f < 100; ++f) {
+    EXPECT_EQ(trace.file(FileId(f)).size_bytes, catalog_.file(f).meta.size_bytes);
+    EXPECT_EQ(trace.file(FileId(f)).topic, catalog_.file(f).topic);
+  }
+}
+
+TEST_F(CatalogTest, TopicsOfCountryPartitionTopics) {
+  size_t total = 0;
+  for (size_t c = 0; c < geography_.countries().size(); ++c) {
+    total += catalog_.topics_of_country(CountryId(static_cast<uint32_t>(c))).size();
+  }
+  EXPECT_EQ(total, catalog_.topic_count());
+  EXPECT_TRUE(catalog_.topics_of_country(CountryId()).empty());
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,171 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/filter.h"
+
+namespace edk {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new GeneratedWorkload(GenerateWorkload(SmallWorkloadConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  static GeneratedWorkload* workload_;
+};
+
+GeneratedWorkload* GeneratorTest::workload_ = nullptr;
+
+TEST_F(GeneratorTest, TraceHasConfiguredShape) {
+  const auto& trace = workload_->trace;
+  const auto& config = workload_->config;
+  EXPECT_EQ(trace.peer_count(), config.num_peers);
+  EXPECT_EQ(trace.file_count(), config.num_files);
+  EXPECT_GE(trace.first_day(), config.first_day);
+  EXPECT_LE(trace.last_day(), config.first_day + config.num_days - 1);
+}
+
+TEST_F(GeneratorTest, Deterministic) {
+  WorkloadConfig config = SmallWorkloadConfig();
+  config.num_peers = 200;
+  config.num_files = 2000;
+  config.num_days = 6;
+  const GeneratedWorkload a = GenerateWorkload(config);
+  const GeneratedWorkload b = GenerateWorkload(config);
+  ASSERT_EQ(a.trace.TotalSnapshots(), b.trace.TotalSnapshots());
+  for (size_t p = 0; p < a.trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto& sa = a.trace.timeline(id).snapshots;
+    const auto& sb = b.trace.timeline(id).snapshots;
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t s = 0; s < sa.size(); ++s) {
+      EXPECT_EQ(sa[s].day, sb[s].day);
+      EXPECT_EQ(sa[s].files, sb[s].files);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, FreeRiderFractionInTrace) {
+  const auto& trace = workload_->trace;
+  const double fraction =
+      static_cast<double>(trace.CountFreeRiders()) / trace.peer_count();
+  // Paper Table 1: 70-84% depending on the view.
+  EXPECT_GT(fraction, 0.60);
+  EXPECT_LT(fraction, 0.90);
+}
+
+TEST_F(GeneratorTest, SnapshotsOnlyOnLiveDays) {
+  const auto& trace = workload_->trace;
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const auto& profile = workload_->profiles[p];
+    for (const auto& snapshot : trace.timeline(PeerId(static_cast<uint32_t>(p))).snapshots) {
+      EXPECT_GE(snapshot.day, profile.join_day);
+      EXPECT_LE(snapshot.day, profile.leave_day);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, SharersShareAndFreeRidersDoNot) {
+  const auto& trace = workload_->trace;
+  size_t sharing_sharers = 0;
+  size_t sharers = 0;
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    const auto& profile = workload_->profiles[p];
+    if (profile.free_rider) {
+      EXPECT_TRUE(trace.IsFreeRider(id));
+    } else if (!trace.timeline(id).snapshots.empty()) {
+      ++sharers;
+      sharing_sharers += trace.IsFreeRider(id) ? 0 : 1;
+    }
+  }
+  ASSERT_GT(sharers, 0u);
+  // Observed sharers should actually have content.
+  EXPECT_GT(static_cast<double>(sharing_sharers) / sharers, 0.95);
+}
+
+TEST_F(GeneratorTest, DailyTurnoverRoughlyMatchesConfig) {
+  // Cache size stays near target while content churns. Track one generous
+  // sharer over consecutive observed days.
+  const auto& trace = workload_->trace;
+  double turnover_sum = 0;
+  int turnover_count = 0;
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const auto& snapshots = trace.timeline(PeerId(static_cast<uint32_t>(p))).snapshots;
+    for (size_t s = 1; s < snapshots.size(); ++s) {
+      if (snapshots[s].day != snapshots[s - 1].day + 1 || snapshots[s].files.empty()) {
+        continue;
+      }
+      const size_t overlap = OverlapSize(snapshots[s - 1].files, snapshots[s].files);
+      turnover_sum += static_cast<double>(snapshots[s].files.size() - overlap);
+      ++turnover_count;
+    }
+  }
+  ASSERT_GT(turnover_count, 100);
+  const double mean_new_files = turnover_sum / turnover_count;
+  // ~5 new files per client per day in the paper; generous tolerance.
+  EXPECT_GT(mean_new_files, 1.0);
+  EXPECT_LT(mean_new_files, 15.0);
+}
+
+TEST_F(GeneratorTest, InterestsDriveCacheContent) {
+  // A sharer's cache should be dominated by files from its interest topics
+  // (interest_locality = 0.75 by default).
+  const auto& trace = workload_->trace;
+  double in_topic = 0;
+  double total = 0;
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    const auto& profile = workload_->profiles[p];
+    if (profile.free_rider || profile.interests.empty()) {
+      continue;
+    }
+    const auto cache = trace.UnionCache(PeerId(static_cast<uint32_t>(p)));
+    for (FileId f : cache) {
+      const TopicId topic = trace.file(f).topic;
+      for (TopicId t : profile.interests) {
+        if (t == topic) {
+          in_topic += 1;
+          break;
+        }
+      }
+      total += 1;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(in_topic / total, 0.5);
+}
+
+TEST_F(GeneratorTest, FilteredTraceSmallerButNonEmpty) {
+  const Trace filtered = FilterDuplicates(workload_->trace);
+  EXPECT_LT(filtered.peer_count(), workload_->trace.peer_count());
+  EXPECT_GT(filtered.peer_count(), workload_->trace.peer_count() / 2);
+}
+
+TEST_F(GeneratorTest, ExtrapolatedTraceHasDenseTimelines) {
+  const Trace extrapolated = Extrapolate(FilterDuplicates(workload_->trace));
+  ASSERT_GT(extrapolated.peer_count(), 0u);
+  for (size_t p = 0; p < extrapolated.peer_count(); ++p) {
+    const auto& snapshots = extrapolated.timeline(PeerId(static_cast<uint32_t>(p))).snapshots;
+    ASSERT_GE(snapshots.size(), 2u);
+    for (size_t s = 1; s < snapshots.size(); ++s) {
+      EXPECT_EQ(snapshots[s].day, snapshots[s - 1].day + 1)
+          << "gap in extrapolated timeline";
+    }
+  }
+}
+
+TEST(GeneratorPresetTest, PresetsAreOrdered) {
+  const WorkloadConfig small = SmallWorkloadConfig();
+  const WorkloadConfig medium = MediumWorkloadConfig();
+  EXPECT_LT(small.num_peers, medium.num_peers);
+  EXPECT_LT(small.num_files, medium.num_files);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,82 @@
+#include "src/workload/geography.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace edk {
+namespace {
+
+TEST(GeographyTest, CountryFractionsSumToOne) {
+  const Geography geo = Geography::PaperDistribution();
+  double total = 0;
+  for (const auto& c : geo.countries()) {
+    total += c.peer_fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GeographyTest, PaperCountriesPresent) {
+  const Geography geo = Geography::PaperDistribution();
+  for (const char* code : {"FR", "DE", "ES", "US", "IT", "IL", "GB", "TW", "PL",
+                           "AT", "NL"}) {
+    EXPECT_TRUE(geo.FindCountry(code).valid()) << code;
+  }
+  EXPECT_FALSE(geo.FindCountry("XX").valid());
+}
+
+TEST(GeographyTest, SampleCountryMatchesFractions) {
+  const Geography geo = Geography::PaperDistribution();
+  Rng rng(1);
+  std::map<uint32_t, int> counts;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[geo.SampleCountry(rng).value];
+  }
+  const CountryId fr = geo.FindCountry("FR");
+  const CountryId de = geo.FindCountry("DE");
+  EXPECT_NEAR(static_cast<double>(counts[fr.value]) / kDraws, 0.29, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[de.value]) / kDraws, 0.28, 0.01);
+}
+
+TEST(GeographyTest, EveryCountryHasAnAs) {
+  const Geography geo = Geography::PaperDistribution();
+  Rng rng(2);
+  for (size_t c = 0; c < geo.countries().size(); ++c) {
+    const CountryId country(static_cast<uint32_t>(c));
+    const AsId as = geo.SampleAs(country, rng);
+    ASSERT_TRUE(as.valid());
+    EXPECT_EQ(geo.autonomous_system(as).country, country);
+  }
+}
+
+TEST(GeographyTest, NationalAsSharesMatchTable2) {
+  const Geography geo = Geography::PaperDistribution();
+  Rng rng(3);
+  const CountryId de = geo.FindCountry("DE");
+  std::map<uint32_t, int> counts;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[geo.autonomous_system(geo.SampleAs(de, rng)).as_number];
+  }
+  // Deutsche Telekom hosts 75% of German peers (Table 2).
+  EXPECT_NEAR(static_cast<double>(counts[3320]) / kDraws, 0.75, 0.01);
+}
+
+TEST(GeographyTest, IncumbentAsNumbersAreThePaperOnes) {
+  const Geography geo = Geography::PaperDistribution();
+  std::map<uint32_t, std::string> expected = {
+      {3320, "DE"}, {3215, "FR"}, {3352, "ES"}, {12322, "FR"}, {1668, "US"}};
+  int found = 0;
+  for (const auto& spec : geo.systems()) {
+    auto it = expected.find(spec.as_number);
+    if (it != expected.end()) {
+      ++found;
+      EXPECT_EQ(geo.country(spec.country).code, it->second) << spec.as_number;
+    }
+  }
+  EXPECT_EQ(found, 5);
+}
+
+}  // namespace
+}  // namespace edk

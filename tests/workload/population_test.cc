@@ -1,0 +1,141 @@
+#include "src/workload/population.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.h"
+
+namespace edk {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  PopulationTest()
+      : config_(SmallWorkloadConfig()),
+        geography_(Geography::PaperDistribution()),
+        rng_(21),
+        catalog_(config_, geography_, rng_),
+        population_(config_, geography_, catalog_, rng_) {}
+
+  WorkloadConfig config_;
+  Geography geography_;
+  Rng rng_;
+  FileCatalog catalog_;
+  PeerPopulation population_;
+};
+
+TEST_F(PopulationTest, SizeMatchesConfig) {
+  EXPECT_EQ(population_.size(), config_.num_peers);
+}
+
+TEST_F(PopulationTest, FreeRiderFractionApproximatelyCalibrated) {
+  size_t free_riders = 0;
+  for (const auto& peer : population_.profiles()) {
+    free_riders += peer.free_rider ? 1 : 0;
+  }
+  const double fraction = static_cast<double>(free_riders) / population_.size();
+  EXPECT_NEAR(fraction, config_.free_rider_fraction, 0.05);
+}
+
+TEST_F(PopulationTest, FreeRidersShareNothing) {
+  for (const auto& peer : population_.profiles()) {
+    if (peer.free_rider) {
+      EXPECT_EQ(peer.cache_target, 0u);
+      EXPECT_TRUE(peer.interests.empty());
+      EXPECT_DOUBLE_EQ(peer.daily_additions, 0.0);
+    }
+  }
+}
+
+TEST_F(PopulationTest, SharersHaveValidProfiles) {
+  const int last_day = config_.first_day + config_.num_days - 1;
+  for (const auto& peer : population_.profiles()) {
+    EXPECT_GE(peer.join_day, config_.first_day);
+    EXPECT_LE(peer.leave_day, last_day);
+    EXPECT_LE(peer.join_day, peer.leave_day);
+    EXPECT_GE(peer.availability, config_.min_availability);
+    EXPECT_LE(peer.availability, config_.max_availability);
+    if (peer.free_rider) {
+      continue;
+    }
+    EXPECT_GE(peer.cache_target, 2u);
+    EXPECT_LE(peer.cache_target, static_cast<uint32_t>(config_.cache_max));
+    EXPECT_GT(peer.daily_additions, 0.0);
+    EXPECT_GE(peer.interests.size(), 1u);
+    EXPECT_LE(peer.interests.size(), config_.max_interests);
+    ASSERT_EQ(peer.interests.size(), peer.interest_weights.size());
+    for (double w : peer.interest_weights) {
+      EXPECT_GT(w, 0.0);
+    }
+    for (TopicId t : peer.interests) {
+      EXPECT_LT(t.value, config_.num_topics);
+    }
+  }
+}
+
+TEST_F(PopulationTest, GenerosityIsHeavyTailed) {
+  // The paper: top 15% of sharers hold ~75% of files. Assert the synthetic
+  // generosity tail is at least strongly skewed (> 55% held by top 15%).
+  std::vector<uint32_t> targets;
+  uint64_t total = 0;
+  for (const auto& peer : population_.profiles()) {
+    if (!peer.free_rider) {
+      targets.push_back(peer.cache_target);
+      total += peer.cache_target;
+    }
+  }
+  ASSERT_FALSE(targets.empty());
+  std::sort(targets.begin(), targets.end(), std::greater<>());
+  const size_t top = targets.size() * 15 / 100;
+  uint64_t top_sum = 0;
+  for (size_t i = 0; i < top; ++i) {
+    top_sum += targets[i];
+  }
+  EXPECT_GT(static_cast<double>(top_sum) / static_cast<double>(total), 0.55);
+}
+
+TEST_F(PopulationTest, MeanDailyAdditionsCloseToConfig) {
+  double sum = 0;
+  size_t sharers = 0;
+  for (const auto& peer : population_.profiles()) {
+    if (!peer.free_rider) {
+      sum += peer.daily_additions;
+      ++sharers;
+    }
+  }
+  // Clamping biases the mean down a little; accept a broad band.
+  EXPECT_GT(sum / static_cast<double>(sharers), 1.0);
+  EXPECT_LT(sum / static_cast<double>(sharers), 12.0);
+}
+
+TEST_F(PopulationTest, DuplicateIdentitiesExist) {
+  std::unordered_map<uint32_t, int> ip_counts;
+  std::unordered_map<uint64_t, int> uid_counts;
+  for (const auto& peer : population_.profiles()) {
+    ++ip_counts[peer.info.ip_address];
+    ++uid_counts[peer.info.user_id];
+  }
+  int duplicated = 0;
+  for (const auto& [ip, count] : ip_counts) {
+    if (count > 1) {
+      duplicated += count;
+    }
+  }
+  for (const auto& [uid, count] : uid_counts) {
+    if (count > 1) {
+      duplicated += count;
+    }
+  }
+  EXPECT_GT(duplicated, 0);
+}
+
+TEST_F(PopulationTest, ExportPeersAligned) {
+  Trace trace;
+  population_.ExportPeers(trace);
+  ASSERT_EQ(trace.peer_count(), population_.size());
+  for (uint32_t p = 0; p < 50; ++p) {
+    EXPECT_EQ(trace.peer(PeerId(p)).ip_address, population_.profile(p).info.ip_address);
+  }
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,78 @@
+#include "src/workload/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/filter.h"
+#include "src/workload/generator.h"
+
+namespace edk {
+namespace {
+
+TEST(ValidateTest, DefaultWorkloadPassesAllMarginals) {
+  // The calibrated generator must stay inside every paper band — this is
+  // the regression test that guards the calibration itself.
+  WorkloadConfig config = MediumWorkloadConfig();
+  config.num_peers = 4'000;
+  config.num_files = 25'000;
+  config.num_topics = 150;
+  const Trace filtered = FilterDuplicates(GenerateWorkload(config).trace);
+  const auto validation = ValidateWorkloadTrace(filtered);
+  ASSERT_GE(validation.checks.size(), 8u);
+  for (const auto& check : validation.checks) {
+    EXPECT_TRUE(check.Pass()) << check.name << " = " << check.measured << " not in ["
+                              << check.target_low << ", " << check.target_high << "]";
+  }
+  EXPECT_TRUE(validation.AllPass());
+}
+
+TEST(ValidateTest, DetectsBrokenFreeRiderFraction) {
+  WorkloadConfig config = SmallWorkloadConfig();
+  config.free_rider_fraction = 0.0;  // Deliberately out of band.
+  const Trace trace = GenerateWorkload(config).trace;
+  const auto validation = ValidateWorkloadTrace(trace);
+  ASSERT_FALSE(validation.checks.empty());
+  EXPECT_FALSE(validation.AllPass());
+  bool found = false;
+  for (const auto& check : validation.checks) {
+    if (check.name == "free-rider fraction") {
+      found = true;
+      EXPECT_FALSE(check.Pass());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidateTest, EmptyTraceProducesNoChecks) {
+  const auto validation = ValidateWorkloadTrace(Trace{});
+  EXPECT_TRUE(validation.checks.empty());
+  EXPECT_TRUE(validation.AllPass());  // Vacuously.
+  EXPECT_EQ(validation.PassCount(), 0u);
+}
+
+TEST(ValidateTest, RenderContainsVerdicts) {
+  WorkloadConfig config = SmallWorkloadConfig();
+  const Trace trace = GenerateWorkload(config).trace;
+  const auto validation = ValidateWorkloadTrace(trace);
+  const std::string rendered = RenderValidation(validation);
+  EXPECT_NE(rendered.find("marginal"), std::string::npos);
+  EXPECT_NE(rendered.find("passed "), std::string::npos);
+  EXPECT_TRUE(rendered.find("pass") != std::string::npos ||
+              rendered.find("FAIL") != std::string::npos);
+}
+
+TEST(ValidateTest, MarginalCheckPassBoundaries) {
+  MarginalCheck check;
+  check.measured = 0.5;
+  check.target_low = 0.5;
+  check.target_high = 0.7;
+  EXPECT_TRUE(check.Pass());  // Inclusive bounds.
+  check.measured = 0.7;
+  EXPECT_TRUE(check.Pass());
+  check.measured = 0.71;
+  EXPECT_FALSE(check.Pass());
+  check.measured = 0.49;
+  EXPECT_FALSE(check.Pass());
+}
+
+}  // namespace
+}  // namespace edk

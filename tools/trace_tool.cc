@@ -1,0 +1,226 @@
+// edk-trace: command-line tool for generating, inspecting and transforming
+// workbench traces.
+//
+//   edk-trace generate --out=trace.bin [--peers=N --files=N --topics=N
+//                                       --days=N --seed=N]
+//   edk-trace info trace.bin
+//   edk-trace filter --out=filtered.bin trace.bin
+//   edk-trace extrapolate --out=extr.bin trace.bin
+//   edk-trace randomize --out=rand.bin [--swaps=N] trace.bin
+//   edk-trace daily-csv trace.bin            (daily activity as CSV on stdout)
+//   edk-trace contribution-csv trace.bin     (per-peer files/bytes as CSV)
+//   edk-trace validate trace.bin             (marginals vs the paper's bands)
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/analysis/contribution.h"
+#include "src/analysis/popularity.h"
+#include "src/analysis/report.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/trace/filter.h"
+#include "src/trace/randomize.h"
+#include "src/trace/serialize.h"
+#include "src/workload/generator.h"
+#include "src/workload/validate.h"
+
+namespace {
+
+struct Arguments {
+  std::string command;
+  std::string input;
+  std::string output;
+  edk::WorkloadConfig workload = edk::MediumWorkloadConfig();
+  uint64_t swaps = 0;  // 0 = RecommendedSwapCount.
+};
+
+[[noreturn]] void Usage() {
+  std::cerr << "usage: edk-trace <generate|info|filter|extrapolate|randomize|"
+               "daily-csv|contribution-csv> [--out=FILE] [--peers=N] [--files=N]"
+               " [--topics=N] [--days=N] [--seed=N] [--swaps=N] [INPUT]\n";
+  std::exit(2);
+}
+
+std::optional<Arguments> Parse(int argc, char** argv) {
+  if (argc < 2) {
+    return std::nullopt;
+  }
+  Arguments args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--out=")) {
+      args.output = v;
+    } else if (const char* v = value("--peers=")) {
+      args.workload.num_peers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--files=")) {
+      args.workload.num_files = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--topics=")) {
+      args.workload.num_topics = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--days=")) {
+      args.workload.num_days = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      args.workload.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--swaps=")) {
+      args.swaps = std::strtoull(v, nullptr, 10);
+    } else if (arg[0] == '-') {
+      return std::nullopt;
+    } else {
+      if (!args.input.empty()) {
+        return std::nullopt;
+      }
+      args.input = arg;
+    }
+  }
+  return args;
+}
+
+edk::Trace LoadInputOrDie(const Arguments& args) {
+  if (args.input.empty()) {
+    std::cerr << "error: this command needs an input trace file\n";
+    std::exit(1);
+  }
+  auto trace = edk::LoadTraceFromFile(args.input);
+  if (!trace.has_value()) {
+    std::cerr << "error: cannot load trace from '" << args.input << "'\n";
+    std::exit(1);
+  }
+  return std::move(*trace);
+}
+
+void SaveOutputOrDie(const edk::Trace& trace, const Arguments& args) {
+  if (args.output.empty()) {
+    std::cerr << "error: this command needs --out=FILE\n";
+    std::exit(1);
+  }
+  if (!edk::SaveTraceToFile(trace, args.output)) {
+    std::cerr << "error: cannot write '" << args.output << "'\n";
+    std::exit(1);
+  }
+  std::cerr << "wrote " << args.output << " (" << trace.peer_count() << " peers, "
+            << trace.TotalSnapshots() << " snapshots)\n";
+}
+
+int RunGenerate(const Arguments& args) {
+  const edk::GeneratedWorkload workload = edk::GenerateWorkload(args.workload);
+  SaveOutputOrDie(workload.trace, args);
+  return 0;
+}
+
+int RunInfo(const Arguments& args) {
+  const edk::Trace trace = LoadInputOrDie(args);
+  std::cout << edk::RenderCharacteristics("Trace " + args.input,
+                                          edk::Characterize(trace));
+  const auto ranked = edk::RankedSourcesOverall(trace);
+  if (ranked.size() > 20) {
+    const auto fit = edk::FitZipfTail(ranked);
+    std::cout << "popularity: " << ranked.size() << " shared files, max sources "
+              << ranked.front() << ", Zipf tail slope " << fit.slope << "\n";
+  }
+  return 0;
+}
+
+int RunFilter(const Arguments& args) {
+  SaveOutputOrDie(edk::FilterDuplicates(LoadInputOrDie(args)), args);
+  return 0;
+}
+
+int RunExtrapolate(const Arguments& args) {
+  SaveOutputOrDie(edk::Extrapolate(LoadInputOrDie(args)), args);
+  return 0;
+}
+
+int RunRandomize(const Arguments& args) {
+  const edk::Trace input = LoadInputOrDie(args);
+  const edk::StaticCaches caches = edk::BuildUnionCaches(input);
+  edk::Rng rng(args.workload.seed);
+  const uint64_t swaps =
+      args.swaps == 0 ? edk::RecommendedSwapCount(caches) : args.swaps;
+  const auto result = edk::RandomizeCaches(caches, swaps, rng);
+  std::cerr << result.successful_swaps << "/" << result.attempted_swaps
+            << " swaps applied\n";
+  // Re-emit as a single-day trace holding the randomised caches.
+  edk::Trace out;
+  for (const auto& meta : input.files()) {
+    out.AddFile(meta);
+  }
+  for (size_t p = 0; p < input.peer_count(); ++p) {
+    const edk::PeerId id = out.AddPeer(input.peer(edk::PeerId(static_cast<uint32_t>(p))));
+    out.AddSnapshot(id, input.first_day(), result.caches.caches[p]);
+  }
+  SaveOutputOrDie(out, args);
+  return 0;
+}
+
+int RunDailyCsv(const Arguments& args) {
+  const edk::Trace trace = LoadInputOrDie(args);
+  edk::CsvWriter csv(std::cout);
+  csv.WriteRow({"day", "clients_scanned", "non_empty_caches", "files_seen",
+                "new_files", "total_files"});
+  for (const auto& day : edk::ComputeDailyActivity(trace)) {
+    csv.WriteRow({std::to_string(day.day), std::to_string(day.clients_scanned),
+                  std::to_string(day.non_empty_caches), std::to_string(day.files_seen),
+                  std::to_string(day.new_files), std::to_string(day.total_files)});
+  }
+  return 0;
+}
+
+int RunContributionCsv(const Arguments& args) {
+  const edk::Trace trace = LoadInputOrDie(args);
+  const auto stats = edk::ComputeContribution(trace);
+  edk::CsvWriter csv(std::cout);
+  csv.WriteRow({"peer", "files", "bytes"});
+  for (size_t p = 0; p < stats.files_per_client.size(); ++p) {
+    csv.WriteRow({std::to_string(p), std::to_string(stats.files_per_client[p]),
+                  std::to_string(stats.bytes_per_client[p])});
+  }
+  return 0;
+}
+
+int RunValidate(const Arguments& args) {
+  const edk::Trace trace = LoadInputOrDie(args);
+  const auto validation = edk::ValidateWorkloadTrace(trace);
+  std::cout << edk::RenderValidation(validation);
+  return validation.AllPass() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Parse(argc, argv);
+  if (!args.has_value()) {
+    Usage();
+  }
+  if (args->command == "generate") {
+    return RunGenerate(*args);
+  }
+  if (args->command == "info") {
+    return RunInfo(*args);
+  }
+  if (args->command == "filter") {
+    return RunFilter(*args);
+  }
+  if (args->command == "extrapolate") {
+    return RunExtrapolate(*args);
+  }
+  if (args->command == "randomize") {
+    return RunRandomize(*args);
+  }
+  if (args->command == "daily-csv") {
+    return RunDailyCsv(*args);
+  }
+  if (args->command == "contribution-csv") {
+    return RunContributionCsv(*args);
+  }
+  if (args->command == "validate") {
+    return RunValidate(*args);
+  }
+  Usage();
+}
