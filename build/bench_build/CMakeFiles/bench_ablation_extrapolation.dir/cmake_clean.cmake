@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_extrapolation"
+  "../bench/bench_ablation_extrapolation.pdb"
+  "CMakeFiles/bench_ablation_extrapolation.dir/bench_ablation_extrapolation.cc.o"
+  "CMakeFiles/bench_ablation_extrapolation.dir/bench_ablation_extrapolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_interest"
+  "../bench/bench_ablation_interest.pdb"
+  "CMakeFiles/bench_ablation_interest.dir/bench_ablation_interest.cc.o"
+  "CMakeFiles/bench_ablation_interest.dir/bench_ablation_interest.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../bench_lib/libbench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_gossip"
+  "../bench/bench_ext_gossip.pdb"
+  "CMakeFiles/bench_ext_gossip.dir/bench_ext_gossip.cc.o"
+  "CMakeFiles/bench_ext_gossip.dir/bench_ext_gossip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_peercache"
+  "../bench/bench_ext_peercache.pdb"
+  "CMakeFiles/bench_ext_peercache.dir/bench_ext_peercache.cc.o"
+  "CMakeFiles/bench_ext_peercache.dir/bench_ext_peercache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_peercache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

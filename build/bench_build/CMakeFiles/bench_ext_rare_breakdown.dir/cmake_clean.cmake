@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_rare_breakdown"
+  "../bench/bench_ext_rare_breakdown.pdb"
+  "CMakeFiles/bench_ext_rare_breakdown.dir/bench_ext_rare_breakdown.cc.o"
+  "CMakeFiles/bench_ext_rare_breakdown.dir/bench_ext_rare_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rare_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_new_files"
+  "../bench/bench_fig02_new_files.pdb"
+  "CMakeFiles/bench_fig02_new_files.dir/bench_fig02_new_files.cc.o"
+  "CMakeFiles/bench_fig02_new_files.dir/bench_fig02_new_files.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_new_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

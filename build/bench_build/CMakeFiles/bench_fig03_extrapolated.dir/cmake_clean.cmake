@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_extrapolated"
+  "../bench/bench_fig03_extrapolated.pdb"
+  "CMakeFiles/bench_fig03_extrapolated.dir/bench_fig03_extrapolated.cc.o"
+  "CMakeFiles/bench_fig03_extrapolated.dir/bench_fig03_extrapolated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_extrapolated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_countries"
+  "../bench/bench_fig04_countries.pdb"
+  "CMakeFiles/bench_fig04_countries.dir/bench_fig04_countries.cc.o"
+  "CMakeFiles/bench_fig04_countries.dir/bench_fig04_countries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_contribution"
+  "../bench/bench_fig07_contribution.pdb"
+  "CMakeFiles/bench_fig07_contribution.dir/bench_fig07_contribution.cc.o"
+  "CMakeFiles/bench_fig07_contribution.dir/bench_fig07_contribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_home_country"
+  "../bench/bench_fig11_home_country.pdb"
+  "CMakeFiles/bench_fig11_home_country.dir/bench_fig11_home_country.cc.o"
+  "CMakeFiles/bench_fig11_home_country.dir/bench_fig11_home_country.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_home_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_home_as"
+  "../bench/bench_fig12_home_as.pdb"
+  "CMakeFiles/bench_fig12_home_as.dir/bench_fig12_home_as.cc.o"
+  "CMakeFiles/bench_fig12_home_as.dir/bench_fig12_home_as.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_home_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

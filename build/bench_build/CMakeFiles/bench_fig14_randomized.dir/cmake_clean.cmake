@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_randomized"
+  "../bench/bench_fig14_randomized.pdb"
+  "CMakeFiles/bench_fig14_randomized.dir/bench_fig14_randomized.cc.o"
+  "CMakeFiles/bench_fig14_randomized.dir/bench_fig14_randomized.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

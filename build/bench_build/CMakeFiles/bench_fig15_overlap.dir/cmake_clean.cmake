@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_overlap"
+  "../bench/bench_fig15_overlap.pdb"
+  "CMakeFiles/bench_fig15_overlap.dir/bench_fig15_overlap.cc.o"
+  "CMakeFiles/bench_fig15_overlap.dir/bench_fig15_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

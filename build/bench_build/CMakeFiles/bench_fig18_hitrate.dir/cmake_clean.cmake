@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_hitrate"
+  "../bench/bench_fig18_hitrate.pdb"
+  "CMakeFiles/bench_fig18_hitrate.dir/bench_fig18_hitrate.cc.o"
+  "CMakeFiles/bench_fig18_hitrate.dir/bench_fig18_hitrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

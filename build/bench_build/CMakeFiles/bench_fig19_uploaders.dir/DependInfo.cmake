@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig19_uploaders.cc" "bench_build/CMakeFiles/bench_fig19_uploaders.dir/bench_fig19_uploaders.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig19_uploaders.dir/bench_fig19_uploaders.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/edk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/edk_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/edk_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_uploaders"
+  "../bench/bench_fig19_uploaders.pdb"
+  "CMakeFiles/bench_fig19_uploaders.dir/bench_fig19_uploaders.cc.o"
+  "CMakeFiles/bench_fig19_uploaders.dir/bench_fig19_uploaders.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_uploaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

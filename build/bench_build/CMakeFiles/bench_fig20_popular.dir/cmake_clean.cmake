@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_popular"
+  "../bench/bench_fig20_popular.pdb"
+  "CMakeFiles/bench_fig20_popular.dir/bench_fig20_popular.cc.o"
+  "CMakeFiles/bench_fig20_popular.dir/bench_fig20_popular.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_popular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

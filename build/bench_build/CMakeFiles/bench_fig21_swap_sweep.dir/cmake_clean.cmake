@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_swap_sweep"
+  "../bench/bench_fig21_swap_sweep.pdb"
+  "CMakeFiles/bench_fig21_swap_sweep.dir/bench_fig21_swap_sweep.cc.o"
+  "CMakeFiles/bench_fig21_swap_sweep.dir/bench_fig21_swap_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_swap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_load"
+  "../bench/bench_fig22_load.pdb"
+  "CMakeFiles/bench_fig22_load.dir/bench_fig22_load.cc.o"
+  "CMakeFiles/bench_fig22_load.dir/bench_fig22_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

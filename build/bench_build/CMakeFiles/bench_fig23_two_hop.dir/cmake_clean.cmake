@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_two_hop"
+  "../bench/bench_fig23_two_hop.pdb"
+  "CMakeFiles/bench_fig23_two_hop.dir/bench_fig23_two_hop.cc.o"
+  "CMakeFiles/bench_fig23_two_hop.dir/bench_fig23_two_hop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_two_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

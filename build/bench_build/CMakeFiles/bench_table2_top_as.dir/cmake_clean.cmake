@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_top_as"
+  "../bench/bench_table2_top_as.pdb"
+  "CMakeFiles/bench_table2_top_as.dir/bench_table2_top_as.cc.o"
+  "CMakeFiles/bench_table2_top_as.dir/bench_table2_top_as.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_top_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

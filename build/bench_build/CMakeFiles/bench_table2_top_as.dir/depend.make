@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_top_as.
+# This may be replaced when dependencies are built.

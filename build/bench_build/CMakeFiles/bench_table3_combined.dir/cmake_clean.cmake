@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_combined"
+  "../bench/bench_table3_combined.pdb"
+  "CMakeFiles/bench_table3_combined.dir/bench_table3_combined.cc.o"
+  "CMakeFiles/bench_table3_combined.dir/bench_table3_combined.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/crawl_and_analyze"
+  "../examples/crawl_and_analyze.pdb"
+  "CMakeFiles/crawl_and_analyze.dir/crawl_and_analyze.cpp.o"
+  "CMakeFiles/crawl_and_analyze.dir/crawl_and_analyze.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_and_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

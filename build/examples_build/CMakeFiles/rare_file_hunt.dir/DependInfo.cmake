@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rare_file_hunt.cpp" "examples_build/CMakeFiles/rare_file_hunt.dir/rare_file_hunt.cpp.o" "gcc" "examples_build/CMakeFiles/rare_file_hunt.dir/rare_file_hunt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/edk_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/edk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

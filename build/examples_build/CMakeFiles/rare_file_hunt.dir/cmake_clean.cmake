@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/rare_file_hunt"
+  "../examples/rare_file_hunt.pdb"
+  "CMakeFiles/rare_file_hunt.dir/rare_file_hunt.cpp.o"
+  "CMakeFiles/rare_file_hunt.dir/rare_file_hunt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rare_file_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

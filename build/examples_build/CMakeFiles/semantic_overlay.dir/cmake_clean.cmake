@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/semantic_overlay"
+  "../examples/semantic_overlay.pdb"
+  "CMakeFiles/semantic_overlay.dir/semantic_overlay.cpp.o"
+  "CMakeFiles/semantic_overlay.dir/semantic_overlay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

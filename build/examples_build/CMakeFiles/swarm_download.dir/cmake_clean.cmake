@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/swarm_download"
+  "../examples/swarm_download.pdb"
+  "CMakeFiles/swarm_download.dir/swarm_download.cpp.o"
+  "CMakeFiles/swarm_download.dir/swarm_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

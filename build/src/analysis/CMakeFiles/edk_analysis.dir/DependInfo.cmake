@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cc" "src/analysis/CMakeFiles/edk_analysis.dir/clustering.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/clustering.cc.o.d"
+  "/root/repo/src/analysis/contribution.cc" "src/analysis/CMakeFiles/edk_analysis.dir/contribution.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/contribution.cc.o.d"
+  "/root/repo/src/analysis/geo_clustering.cc" "src/analysis/CMakeFiles/edk_analysis.dir/geo_clustering.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/geo_clustering.cc.o.d"
+  "/root/repo/src/analysis/overlap.cc" "src/analysis/CMakeFiles/edk_analysis.dir/overlap.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/overlap.cc.o.d"
+  "/root/repo/src/analysis/popularity.cc" "src/analysis/CMakeFiles/edk_analysis.dir/popularity.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/popularity.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/edk_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/spread.cc" "src/analysis/CMakeFiles/edk_analysis.dir/spread.cc.o" "gcc" "src/analysis/CMakeFiles/edk_analysis.dir/spread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

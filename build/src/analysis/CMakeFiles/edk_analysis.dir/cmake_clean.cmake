@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_analysis.dir/clustering.cc.o"
+  "CMakeFiles/edk_analysis.dir/clustering.cc.o.d"
+  "CMakeFiles/edk_analysis.dir/contribution.cc.o"
+  "CMakeFiles/edk_analysis.dir/contribution.cc.o.d"
+  "CMakeFiles/edk_analysis.dir/geo_clustering.cc.o"
+  "CMakeFiles/edk_analysis.dir/geo_clustering.cc.o.d"
+  "CMakeFiles/edk_analysis.dir/overlap.cc.o"
+  "CMakeFiles/edk_analysis.dir/overlap.cc.o.d"
+  "CMakeFiles/edk_analysis.dir/popularity.cc.o"
+  "CMakeFiles/edk_analysis.dir/popularity.cc.o.d"
+  "CMakeFiles/edk_analysis.dir/report.cc.o"
+  "CMakeFiles/edk_analysis.dir/report.cc.o.d"
+  "CMakeFiles/edk_analysis.dir/spread.cc.o"
+  "CMakeFiles/edk_analysis.dir/spread.cc.o.d"
+  "libedk_analysis.a"
+  "libedk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

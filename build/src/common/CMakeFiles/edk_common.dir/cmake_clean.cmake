@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_common.dir/log.cc.o"
+  "CMakeFiles/edk_common.dir/log.cc.o.d"
+  "CMakeFiles/edk_common.dir/md4.cc.o"
+  "CMakeFiles/edk_common.dir/md4.cc.o.d"
+  "CMakeFiles/edk_common.dir/rng.cc.o"
+  "CMakeFiles/edk_common.dir/rng.cc.o.d"
+  "CMakeFiles/edk_common.dir/stats.cc.o"
+  "CMakeFiles/edk_common.dir/stats.cc.o.d"
+  "CMakeFiles/edk_common.dir/table.cc.o"
+  "CMakeFiles/edk_common.dir/table.cc.o.d"
+  "CMakeFiles/edk_common.dir/zipf.cc.o"
+  "CMakeFiles/edk_common.dir/zipf.cc.o.d"
+  "libedk_common.a"
+  "libedk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_crawler.dir/crawler.cc.o"
+  "CMakeFiles/edk_crawler.dir/crawler.cc.o.d"
+  "libedk_crawler.a"
+  "libedk_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/client.cc" "src/net/CMakeFiles/edk_net.dir/client.cc.o" "gcc" "src/net/CMakeFiles/edk_net.dir/client.cc.o.d"
+  "/root/repo/src/net/download_manager.cc" "src/net/CMakeFiles/edk_net.dir/download_manager.cc.o" "gcc" "src/net/CMakeFiles/edk_net.dir/download_manager.cc.o.d"
+  "/root/repo/src/net/event_queue.cc" "src/net/CMakeFiles/edk_net.dir/event_queue.cc.o" "gcc" "src/net/CMakeFiles/edk_net.dir/event_queue.cc.o.d"
+  "/root/repo/src/net/latency.cc" "src/net/CMakeFiles/edk_net.dir/latency.cc.o" "gcc" "src/net/CMakeFiles/edk_net.dir/latency.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/edk_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/edk_net.dir/network.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/net/CMakeFiles/edk_net.dir/server.cc.o" "gcc" "src/net/CMakeFiles/edk_net.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

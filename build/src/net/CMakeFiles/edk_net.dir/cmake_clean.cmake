@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_net.dir/client.cc.o"
+  "CMakeFiles/edk_net.dir/client.cc.o.d"
+  "CMakeFiles/edk_net.dir/download_manager.cc.o"
+  "CMakeFiles/edk_net.dir/download_manager.cc.o.d"
+  "CMakeFiles/edk_net.dir/event_queue.cc.o"
+  "CMakeFiles/edk_net.dir/event_queue.cc.o.d"
+  "CMakeFiles/edk_net.dir/latency.cc.o"
+  "CMakeFiles/edk_net.dir/latency.cc.o.d"
+  "CMakeFiles/edk_net.dir/network.cc.o"
+  "CMakeFiles/edk_net.dir/network.cc.o.d"
+  "CMakeFiles/edk_net.dir/server.cc.o"
+  "CMakeFiles/edk_net.dir/server.cc.o.d"
+  "libedk_net.a"
+  "libedk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantic/as_cache.cc" "src/semantic/CMakeFiles/edk_semantic.dir/as_cache.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/as_cache.cc.o.d"
+  "/root/repo/src/semantic/dynamic_sim.cc" "src/semantic/CMakeFiles/edk_semantic.dir/dynamic_sim.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/dynamic_sim.cc.o.d"
+  "/root/repo/src/semantic/gossip_overlay.cc" "src/semantic/CMakeFiles/edk_semantic.dir/gossip_overlay.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/gossip_overlay.cc.o.d"
+  "/root/repo/src/semantic/neighbour_list.cc" "src/semantic/CMakeFiles/edk_semantic.dir/neighbour_list.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/neighbour_list.cc.o.d"
+  "/root/repo/src/semantic/scenario.cc" "src/semantic/CMakeFiles/edk_semantic.dir/scenario.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/scenario.cc.o.d"
+  "/root/repo/src/semantic/search_sim.cc" "src/semantic/CMakeFiles/edk_semantic.dir/search_sim.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/search_sim.cc.o.d"
+  "/root/repo/src/semantic/semantic_client.cc" "src/semantic/CMakeFiles/edk_semantic.dir/semantic_client.cc.o" "gcc" "src/semantic/CMakeFiles/edk_semantic.dir/semantic_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

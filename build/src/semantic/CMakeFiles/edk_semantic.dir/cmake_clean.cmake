@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_semantic.dir/as_cache.cc.o"
+  "CMakeFiles/edk_semantic.dir/as_cache.cc.o.d"
+  "CMakeFiles/edk_semantic.dir/dynamic_sim.cc.o"
+  "CMakeFiles/edk_semantic.dir/dynamic_sim.cc.o.d"
+  "CMakeFiles/edk_semantic.dir/gossip_overlay.cc.o"
+  "CMakeFiles/edk_semantic.dir/gossip_overlay.cc.o.d"
+  "CMakeFiles/edk_semantic.dir/neighbour_list.cc.o"
+  "CMakeFiles/edk_semantic.dir/neighbour_list.cc.o.d"
+  "CMakeFiles/edk_semantic.dir/scenario.cc.o"
+  "CMakeFiles/edk_semantic.dir/scenario.cc.o.d"
+  "CMakeFiles/edk_semantic.dir/search_sim.cc.o"
+  "CMakeFiles/edk_semantic.dir/search_sim.cc.o.d"
+  "CMakeFiles/edk_semantic.dir/semantic_client.cc.o"
+  "CMakeFiles/edk_semantic.dir/semantic_client.cc.o.d"
+  "libedk_semantic.a"
+  "libedk_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

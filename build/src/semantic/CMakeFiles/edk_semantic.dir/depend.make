@@ -1,0 +1,2 @@
+# Empty dependencies file for edk_semantic.
+# This may be replaced when dependencies are built.

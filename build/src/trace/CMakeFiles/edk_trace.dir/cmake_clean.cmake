@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_trace.dir/filter.cc.o"
+  "CMakeFiles/edk_trace.dir/filter.cc.o.d"
+  "CMakeFiles/edk_trace.dir/randomize.cc.o"
+  "CMakeFiles/edk_trace.dir/randomize.cc.o.d"
+  "CMakeFiles/edk_trace.dir/serialize.cc.o"
+  "CMakeFiles/edk_trace.dir/serialize.cc.o.d"
+  "CMakeFiles/edk_trace.dir/trace.cc.o"
+  "CMakeFiles/edk_trace.dir/trace.cc.o.d"
+  "libedk_trace.a"
+  "libedk_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

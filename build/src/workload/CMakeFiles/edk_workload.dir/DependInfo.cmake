@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/behaviour.cc" "src/workload/CMakeFiles/edk_workload.dir/behaviour.cc.o" "gcc" "src/workload/CMakeFiles/edk_workload.dir/behaviour.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/edk_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/edk_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/edk_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/edk_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/geography.cc" "src/workload/CMakeFiles/edk_workload.dir/geography.cc.o" "gcc" "src/workload/CMakeFiles/edk_workload.dir/geography.cc.o.d"
+  "/root/repo/src/workload/population.cc" "src/workload/CMakeFiles/edk_workload.dir/population.cc.o" "gcc" "src/workload/CMakeFiles/edk_workload.dir/population.cc.o.d"
+  "/root/repo/src/workload/validate.cc" "src/workload/CMakeFiles/edk_workload.dir/validate.cc.o" "gcc" "src/workload/CMakeFiles/edk_workload.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_workload.dir/behaviour.cc.o"
+  "CMakeFiles/edk_workload.dir/behaviour.cc.o.d"
+  "CMakeFiles/edk_workload.dir/catalog.cc.o"
+  "CMakeFiles/edk_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/edk_workload.dir/generator.cc.o"
+  "CMakeFiles/edk_workload.dir/generator.cc.o.d"
+  "CMakeFiles/edk_workload.dir/geography.cc.o"
+  "CMakeFiles/edk_workload.dir/geography.cc.o.d"
+  "CMakeFiles/edk_workload.dir/population.cc.o"
+  "CMakeFiles/edk_workload.dir/population.cc.o.d"
+  "CMakeFiles/edk_workload.dir/validate.cc.o"
+  "CMakeFiles/edk_workload.dir/validate.cc.o.d"
+  "libedk_workload.a"
+  "libedk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/clustering_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/clustering_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/clustering_test.cc.o.d"
+  "/root/repo/tests/analysis/contribution_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/contribution_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/contribution_test.cc.o.d"
+  "/root/repo/tests/analysis/geo_clustering_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/geo_clustering_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/geo_clustering_test.cc.o.d"
+  "/root/repo/tests/analysis/overlap_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/overlap_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/overlap_test.cc.o.d"
+  "/root/repo/tests/analysis/popularity_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/popularity_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/popularity_test.cc.o.d"
+  "/root/repo/tests/analysis/report_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/report_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/report_test.cc.o.d"
+  "/root/repo/tests/analysis/spread_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/spread_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/spread_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/edk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/clustering_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/clustering_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/contribution_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/contribution_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/geo_clustering_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/geo_clustering_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/overlap_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/overlap_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/popularity_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/popularity_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/report_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/report_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/spread_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/spread_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

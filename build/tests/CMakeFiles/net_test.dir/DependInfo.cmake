@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/client_test.cc" "tests/CMakeFiles/net_test.dir/net/client_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/client_test.cc.o.d"
+  "/root/repo/tests/net/download_manager_test.cc" "tests/CMakeFiles/net_test.dir/net/download_manager_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/download_manager_test.cc.o.d"
+  "/root/repo/tests/net/event_queue_test.cc" "tests/CMakeFiles/net_test.dir/net/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/event_queue_test.cc.o.d"
+  "/root/repo/tests/net/latency_test.cc" "tests/CMakeFiles/net_test.dir/net/latency_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/latency_test.cc.o.d"
+  "/root/repo/tests/net/network_test.cc" "tests/CMakeFiles/net_test.dir/net/network_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/network_test.cc.o.d"
+  "/root/repo/tests/net/server_test.cc" "tests/CMakeFiles/net_test.dir/net/server_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/server_test.cc.o.d"
+  "/root/repo/tests/net/swarm_test.cc" "tests/CMakeFiles/net_test.dir/net/swarm_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/swarm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/client_test.cc.o"
+  "CMakeFiles/net_test.dir/net/client_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/download_manager_test.cc.o"
+  "CMakeFiles/net_test.dir/net/download_manager_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/event_queue_test.cc.o"
+  "CMakeFiles/net_test.dir/net/event_queue_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/latency_test.cc.o"
+  "CMakeFiles/net_test.dir/net/latency_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/network_test.cc.o"
+  "CMakeFiles/net_test.dir/net/network_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/server_test.cc.o"
+  "CMakeFiles/net_test.dir/net/server_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/swarm_test.cc.o"
+  "CMakeFiles/net_test.dir/net/swarm_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/semantic/as_cache_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/as_cache_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/as_cache_test.cc.o.d"
+  "/root/repo/tests/semantic/dynamic_sim_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/dynamic_sim_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/dynamic_sim_test.cc.o.d"
+  "/root/repo/tests/semantic/gossip_overlay_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/gossip_overlay_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/gossip_overlay_test.cc.o.d"
+  "/root/repo/tests/semantic/neighbour_list_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/neighbour_list_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/neighbour_list_test.cc.o.d"
+  "/root/repo/tests/semantic/scenario_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/scenario_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/scenario_test.cc.o.d"
+  "/root/repo/tests/semantic/search_sim_property_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/search_sim_property_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/search_sim_property_test.cc.o.d"
+  "/root/repo/tests/semantic/search_sim_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/search_sim_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/search_sim_test.cc.o.d"
+  "/root/repo/tests/semantic/semantic_client_strategy_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/semantic_client_strategy_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/semantic_client_strategy_test.cc.o.d"
+  "/root/repo/tests/semantic/semantic_client_test.cc" "tests/CMakeFiles/semantic_test.dir/semantic/semantic_client_test.cc.o" "gcc" "tests/CMakeFiles/semantic_test.dir/semantic/semantic_client_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantic/CMakeFiles/edk_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_test.dir/semantic/as_cache_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/as_cache_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/dynamic_sim_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/dynamic_sim_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/gossip_overlay_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/gossip_overlay_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/neighbour_list_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/neighbour_list_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/scenario_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/scenario_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/search_sim_property_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/search_sim_property_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/search_sim_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/search_sim_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/semantic_client_strategy_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/semantic_client_strategy_test.cc.o.d"
+  "CMakeFiles/semantic_test.dir/semantic/semantic_client_test.cc.o"
+  "CMakeFiles/semantic_test.dir/semantic/semantic_client_test.cc.o.d"
+  "semantic_test"
+  "semantic_test.pdb"
+  "semantic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

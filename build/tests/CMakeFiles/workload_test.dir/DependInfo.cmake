@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/catalog_test.cc" "tests/CMakeFiles/workload_test.dir/workload/catalog_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/catalog_test.cc.o.d"
+  "/root/repo/tests/workload/generator_test.cc" "tests/CMakeFiles/workload_test.dir/workload/generator_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/generator_test.cc.o.d"
+  "/root/repo/tests/workload/geography_test.cc" "tests/CMakeFiles/workload_test.dir/workload/geography_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/geography_test.cc.o.d"
+  "/root/repo/tests/workload/population_test.cc" "tests/CMakeFiles/workload_test.dir/workload/population_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/population_test.cc.o.d"
+  "/root/repo/tests/workload/validate_test.cc" "tests/CMakeFiles/workload_test.dir/workload/validate_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/validate_test.cc.o.d"
+  "/root/repo/tests/workload/workload_property_test.cc" "tests/CMakeFiles/workload_test.dir/workload/workload_property_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/workload_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/edk-trace"
+  "../tools/edk-trace.pdb"
+  "CMakeFiles/edk-trace.dir/trace_tool.cc.o"
+  "CMakeFiles/edk-trace.dir/trace_tool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
