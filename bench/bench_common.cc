@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "src/common/log.h"
+#include "src/exec/parallel.h"
 #include "src/trace/filter.h"
 #include "src/trace/serialize.h"
 
@@ -101,7 +102,7 @@ Trace ComputeExtrapolated(const BenchOptions& options) {
 [[noreturn]] void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scale=small|medium|large] [--peers=N] [--files=N] [--topics=N]"
-               " [--days=N] [--seed=N] [--no-cache]\n";
+               " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--no-cache]\n";
   std::exit(2);
 }
 
@@ -144,6 +145,13 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.workload.num_days = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (const char* v = value("--seed=")) {
       options.workload.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads=")) {
+      options.threads = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--trials=")) {
+      options.trials = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+      if (options.trials == 0) {
+        Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       options.no_cache = true;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
@@ -152,6 +160,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
+  SetDefaultThreads(options.threads);
   return options;
 }
 
@@ -176,6 +185,16 @@ void PrintBenchHeader(const std::string& experiment, const std::string& paper_re
             << " topics=" << options.workload.num_topics
             << " days=" << options.workload.num_days
             << " seed=" << options.workload.seed << "\n\n";
+}
+
+SweepTimer::SweepTimer(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+void SweepTimer::Report(size_t tasks) const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  std::cerr << "[sweep] " << name_ << ": " << tasks << " tasks in " << ms
+            << " ms (threads=" << DefaultThreads() << ")\n";
 }
 
 }  // namespace edk

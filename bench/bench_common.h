@@ -9,6 +9,8 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <cstddef>
 #include <string>
 
 #include "src/trace/trace.h"
@@ -21,11 +23,34 @@ struct BenchOptions {
   WorkloadConfig workload;
   std::string scale = "medium";
   bool no_cache = false;
+  // Worker threads for parallel sweeps (0 = hardware concurrency; 1
+  // reproduces the historical single-core behaviour). Sweep results are
+  // bit-identical for every value — see src/exec/parallel.h.
+  size_t threads = 0;
+  // Independent randomisation trials for trial-averaged benches
+  // (bench_fig14_randomized).
+  size_t trials = 8;
 };
 
 // Parses --peers=N --files=N --topics=N --days=N --seed=N --scale=S
-// --no-cache; unknown flags abort with a usage message.
+// --threads=N --trials=N --no-cache; unknown flags abort with a usage
+// message. Also applies --threads via SetDefaultThreads() so library-level
+// ParallelFor loops pick it up.
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+// Wall-clock timer for a parallel sweep. Report() writes to stderr so that
+// stdout (the figure/table data) stays bit-identical across --threads
+// values while the speedup is still recorded in the bench output.
+class SweepTimer {
+ public:
+  explicit SweepTimer(std::string name);
+  // Emits "[sweep] <name>: <tasks> tasks in <ms> ms (threads=<n>)".
+  void Report(size_t tasks) const;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Generates (or loads from the on-disk cache) the full trace for the given
 // configuration.

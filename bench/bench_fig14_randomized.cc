@@ -3,14 +3,29 @@
 // Paper: for all files the two curves coincide (popular files mask the
 // effect); for low-popularity files the randomised curve collapses — the
 // gap is genuine interest-based clustering.
+//
+// The randomised curve is the mean over --trials independent full
+// randomisations (the paper averages 30+ trials). Each trial derives its
+// Rng from TaskRng(base seed, trial index) and the trials fan out over the
+// thread pool, so the printed numbers are bit-identical for any --threads
+// value.
 
 #include <iostream>
+#include <iterator>
 
 #include "bench/bench_common.h"
 #include "src/analysis/clustering.h"
-#include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/exec/parallel.h"
 #include "src/trace/randomize.h"
+
+namespace {
+
+constexpr size_t kMaxK = 32;
+constexpr uint32_t kPanelPopularity[] = {0, 3, 5};  // 0 = all files.
+constexpr size_t kPanels = std::size(kPanelPopularity);
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
@@ -21,46 +36,73 @@ int main(int argc, char** argv) {
 
   const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
   const edk::StaticCaches caches = edk::BuildUnionCaches(filtered);
-  edk::Rng rng(options.workload.seed ^ 0xfeedULL);
-  const edk::StaticCaches randomized = edk::RandomizeCachesFully(caches, rng).caches;
 
-  constexpr size_t kMaxK = 32;
-  struct Panel {
-    const char* title;
-    std::vector<bool> trace_mask;
-    std::vector<bool> random_mask;
-    bool use_mask;
-  };
-  std::vector<Panel> panels;
-  panels.push_back({"all files", {}, {}, false});
-  for (uint32_t popularity : {3u, 5u}) {
-    Panel panel;
-    panel.title = popularity == 3 ? "popularity 3" : "popularity 5";
-    // Masks are computed per cache set: randomisation preserves popularity,
-    // so the two masks select the same number of files.
-    panel.trace_mask =
-        edk::MaskExactPopularity(caches, filtered.file_count(), popularity);
-    panel.random_mask =
-        edk::MaskExactPopularity(randomized, filtered.file_count(), popularity);
-    panel.use_mask = true;
-    panels.push_back(std::move(panel));
+  // Curves on the real trace, one per panel.
+  std::vector<edk::ClusteringCurve> trace_curves(kPanels);
+  for (size_t panel = 0; panel < kPanels; ++panel) {
+    if (kPanelPopularity[panel] == 0) {
+      trace_curves[panel] = edk::ComputeClusteringCurve(caches, kMaxK, nullptr);
+    } else {
+      const auto mask = edk::MaskExactPopularity(caches, filtered.file_count(),
+                                                 kPanelPopularity[panel]);
+      trace_curves[panel] = edk::ComputeClusteringCurve(caches, kMaxK, &mask);
+    }
   }
 
-  for (const auto& panel : panels) {
-    const auto trace_curve = edk::ComputeClusteringCurve(
-        caches, kMaxK, panel.use_mask ? &panel.trace_mask : nullptr);
-    const auto random_curve = edk::ComputeClusteringCurve(
-        randomized, kMaxK, panel.use_mask ? &panel.random_mask : nullptr);
-    std::cout << "--- " << panel.title << " ---\n";
-    edk::AsciiTable table({"files in common", "trace", "randomised"});
+  // Independent randomisation trials. Each trial randomises the caches with
+  // its own deterministically derived Rng, recomputes the per-popularity
+  // masks on its randomised caches (randomisation preserves popularity, so
+  // the masks select the same number of files), and produces one curve per
+  // panel into its own slots.
+  const size_t trials = options.trials;
+  std::vector<edk::ClusteringCurve> trial_curves(trials * kPanels);
+  edk::SweepTimer timer("fig14 randomisation trials");
+  edk::ParallelFor(0, trials, [&](size_t trial) {
+    edk::Rng rng = edk::TaskRng(options.workload.seed ^ 0xfeedULL, trial);
+    const edk::StaticCaches randomized = edk::RandomizeCachesFully(caches, rng).caches;
+    for (size_t panel = 0; panel < kPanels; ++panel) {
+      auto& slot = trial_curves[trial * kPanels + panel];
+      if (kPanelPopularity[panel] == 0) {
+        slot = edk::ComputeClusteringCurve(randomized, kMaxK, nullptr);
+      } else {
+        const auto mask = edk::MaskExactPopularity(randomized, filtered.file_count(),
+                                                   kPanelPopularity[panel]);
+        slot = edk::ComputeClusteringCurve(randomized, kMaxK, &mask);
+      }
+    }
+  });
+  timer.Report(trials);
+
+  for (size_t panel = 0; panel < kPanels; ++panel) {
+    const uint32_t popularity = kPanelPopularity[panel];
+    std::cout << "--- "
+              << (popularity == 0 ? std::string("all files")
+                                  : "popularity " + std::to_string(popularity))
+              << " ---\n";
+    edk::AsciiTable table({"files in common", "trace",
+                           "randomised (mean of " + std::to_string(trials) + " trials)"});
     for (size_t k : {1u, 2u, 3u, 5u, 8u, 12u, 20u, 32u}) {
-      auto cell = [k](const edk::ClusteringCurve& curve) {
+      auto trace_cell = [k](const edk::ClusteringCurve& curve) {
         if (curve.pairs_at_least.size() <= k || curve.pairs_at_least[k] == 0) {
           return std::string("-");
         }
         return edk::FormatPercent(curve.ProbabilityAt(k));
       };
-      table.AddRow({std::to_string(k), cell(trace_curve), cell(random_curve)});
+      // Mean over the trials whose randomised caches still have pairs with
+      // >= k common files; "-" when no trial does.
+      double sum = 0;
+      size_t supported = 0;
+      for (size_t trial = 0; trial < trials; ++trial) {
+        const auto& curve = trial_curves[trial * kPanels + panel];
+        if (curve.pairs_at_least.size() <= k || curve.pairs_at_least[k] == 0) {
+          continue;
+        }
+        sum += curve.ProbabilityAt(k);
+        ++supported;
+      }
+      const std::string random_cell =
+          supported == 0 ? "-" : edk::FormatPercent(sum / static_cast<double>(supported));
+      table.AddRow({std::to_string(k), trace_cell(trace_curves[panel]), random_cell});
     }
     table.Print(std::cout);
     std::cout << "\n";

@@ -5,9 +5,11 @@
 // LRU (47% at 20), Random far below both.
 
 #include <iostream>
+#include <iterator>
 
 #include "bench/bench_common.h"
 #include "src/common/table.h"
+#include "src/exec/parallel.h"
 #include "src/semantic/search_sim.h"
 
 int main(int argc, char** argv) {
@@ -23,18 +25,29 @@ int main(int argc, char** argv) {
   const edk::StrategyKind strategies[] = {edk::StrategyKind::kLru,
                                           edk::StrategyKind::kHistory,
                                           edk::StrategyKind::kRandom};
+  constexpr size_t kRows = std::size(list_sizes);
+  constexpr size_t kCols = std::size(strategies);
+
+  // The (list size, strategy) grid is embarrassingly parallel: every cell
+  // is an independent simulation writing its own slot, so the printed table
+  // is bit-identical for any --threads value.
+  std::vector<double> rates(kRows * kCols, 0.0);
+  edk::SweepTimer timer("fig18 list-size x strategy grid");
+  edk::ParallelFor(0, rates.size(), [&](size_t cell) {
+    edk::SearchSimConfig config;
+    config.strategy = strategies[cell % kCols];
+    config.list_size = list_sizes[cell / kCols];
+    config.seed = options.workload.seed;
+    config.track_load = false;
+    rates[cell] = RunSearchSimulation(caches, config).OneHopHitRate();
+  });
+  timer.Report(rates.size());
 
   edk::AsciiTable table({"neighbours", "LRU", "History", "Random"});
-  for (size_t k : list_sizes) {
-    std::vector<std::string> row = {std::to_string(k)};
-    for (edk::StrategyKind strategy : strategies) {
-      edk::SearchSimConfig config;
-      config.strategy = strategy;
-      config.list_size = k;
-      config.seed = options.workload.seed;
-      config.track_load = false;
-      const auto result = RunSearchSimulation(caches, config);
-      row.push_back(edk::FormatPercent(result.OneHopHitRate()));
+  for (size_t r = 0; r < kRows; ++r) {
+    std::vector<std::string> row = {std::to_string(list_sizes[r])};
+    for (size_t c = 0; c < kCols; ++c) {
+      row.push_back(edk::FormatPercent(rates[r * kCols + c]));
     }
     table.AddRow(std::move(row));
   }

@@ -4,10 +4,12 @@
 // semantic proximity.
 
 #include <iostream>
+#include <iterator>
 
 #include "bench/bench_common.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/exec/parallel.h"
 #include "src/semantic/search_sim.h"
 #include "src/trace/randomize.h"
 
@@ -23,10 +25,20 @@ int main(int argc, char** argv) {
 
   edk::AsciiTable table({"swaps", "hit rate", "successful swaps"});
   const double steps[] = {0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.5};
-  double first_rate = 0;
-  double last_rate = 0;
-  for (double step : steps) {
-    const uint64_t swaps = static_cast<uint64_t>(step * static_cast<double>(full_swaps));
+  constexpr size_t kSteps = std::size(steps);
+
+  // Each randomisation level is an independent (randomise, simulate) chain
+  // with its own Rng, so the sweep fans out with bit-identical results.
+  struct StepResult {
+    uint64_t swaps = 0;
+    uint64_t successful_swaps = 0;
+    double rate = 0;
+  };
+  std::vector<StepResult> results(kSteps);
+  edk::SweepTimer timer("fig21 swap sweep");
+  edk::ParallelFor(0, kSteps, [&](size_t i) {
+    const uint64_t swaps =
+        static_cast<uint64_t>(steps[i] * static_cast<double>(full_swaps));
     edk::Rng rng(options.workload.seed ^ 0xabcdULL);
     const edk::RandomizeResult randomized = edk::RandomizeCaches(base, swaps, rng);
     edk::SearchSimConfig config;
@@ -34,14 +46,17 @@ int main(int argc, char** argv) {
     config.list_size = 10;
     config.seed = options.workload.seed;
     config.track_load = false;
-    const double rate = RunSearchSimulation(randomized.caches, config).OneHopHitRate();
-    if (step == 0.0) {
-      first_rate = rate;
-    }
-    last_rate = rate;
-    table.AddRow({std::to_string(swaps), edk::FormatPercent(rate),
-                  std::to_string(randomized.successful_swaps)});
+    results[i] = {swaps, randomized.successful_swaps,
+                  RunSearchSimulation(randomized.caches, config).OneHopHitRate()};
+  });
+  timer.Report(kSteps);
+
+  for (const StepResult& r : results) {
+    table.AddRow({std::to_string(r.swaps), edk::FormatPercent(r.rate),
+                  std::to_string(r.successful_swaps)});
   }
+  const double first_rate = results.front().rate;
+  const double last_rate = results.back().rate;
   table.Print(std::cout);
   std::cout << "\nsemantic share of the hit rate: "
             << edk::FormatPercent(first_rate - last_rate)

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <iostream>
+#include <iterator>
 
 #include "bench/bench_common.h"
 #include "src/common/table.h"
+#include "src/exec/parallel.h"
 #include "src/semantic/scenario.h"
 #include "src/semantic/search_sim.h"
 
@@ -37,33 +39,44 @@ int main(int argc, char** argv) {
   std::cout << "load at selected ranks (messages per client, rank-ordered):\n";
   edk::AsciiTable ranks_table(
       {"rank", "all uploaders", "w/o top 5%", "w/o top 10%", "w/o top 15%"});
-  std::vector<std::vector<uint32_t>> sorted_loads;
+  constexpr size_t kScenarios = std::size(scenarios);
+  std::vector<std::vector<uint32_t>> sorted_loads(kScenarios);
+  std::vector<edk::SearchSimResult> results(kScenarios);
 
-  for (const auto& scenario : scenarios) {
-    const edk::StaticCaches caches =
-        scenario.removal == 0.0 ? base : edk::RemoveTopUploaders(base, scenario.removal);
+  // Each removal scenario (cache pruning + full simulation) is independent;
+  // fan them out and keep the table emission sequential.
+  edk::SweepTimer timer("fig22 uploader-removal scenarios");
+  edk::ParallelFor(0, kScenarios, [&](size_t i) {
+    const edk::StaticCaches caches = scenarios[i].removal == 0.0
+                                         ? base
+                                         : edk::RemoveTopUploaders(base, scenarios[i].removal);
     edk::SearchSimConfig config;
     config.strategy = edk::StrategyKind::kLru;
     config.list_size = 5;
     config.seed = options.workload.seed;
-    const auto result = RunSearchSimulation(caches, config);
+    results[i] = RunSearchSimulation(caches, config);
 
     std::vector<uint32_t> loads;
-    for (uint32_t l : result.load) {
+    for (uint32_t l : results[i].load) {
       if (l > 0) {
         loads.push_back(l);
       }
     }
     std::sort(loads.begin(), loads.end(), std::greater<>());
-    const double mean =
-        loads.empty() ? 0
-                      : static_cast<double>(result.messages) / static_cast<double>(loads.size());
+    sorted_loads[i] = std::move(loads);
+  });
+  timer.Report(kScenarios);
+
+  for (size_t i = 0; i < kScenarios; ++i) {
+    const auto& loads = sorted_loads[i];
+    const double mean = loads.empty() ? 0
+                                      : static_cast<double>(results[i].messages) /
+                                            static_cast<double>(loads.size());
     const uint32_t max = loads.empty() ? 0 : loads.front();
     const uint32_t p99 = loads.empty() ? 0 : loads[loads.size() / 100];
-    table.AddRow({scenario.label, std::to_string(result.requests),
+    table.AddRow({scenarios[i].label, std::to_string(results[i].requests),
                   edk::AsciiTable::FormatCell(mean), std::to_string(p99),
                   std::to_string(max)});
-    sorted_loads.push_back(std::move(loads));
   }
 
   for (size_t rank : {1u, 2u, 5u, 10u, 50u, 100u, 500u, 1000u}) {

@@ -3,10 +3,12 @@
 // most generous uploaders. Paper: two-hop reaches > 55% at 20 neighbours —
 // the semantic relation is transitive.
 
+#include <array>
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "src/common/table.h"
+#include "src/exec/parallel.h"
 #include "src/semantic/scenario.h"
 #include "src/semantic/search_sim.h"
 
@@ -33,13 +35,33 @@ int main(int argc, char** argv) {
     return two_hop ? result.TotalHitRate() : result.OneHopHitRate();
   };
 
+  // 5 list sizes x 4 columns = 20 independent simulations; each cell writes
+  // its own slot so the table is identical for any --threads value.
+  const std::array<size_t, 5> list_sizes = {5, 10, 20, 40, 80};
+  struct Cell {
+    const edk::StaticCaches* caches;
+    bool two_hop;
+  };
+  const std::array<Cell, 4> columns = {{{&base, false},
+                                        {&base, true},
+                                        {&no_top5, true},
+                                        {&no_top15, true}}};
+  std::vector<double> rates(list_sizes.size() * columns.size(), 0.0);
+  edk::SweepTimer timer("fig23 two-hop grid");
+  edk::ParallelFor(0, rates.size(), [&](size_t cell) {
+    const Cell& column = columns[cell % columns.size()];
+    rates[cell] = run(*column.caches, list_sizes[cell / columns.size()], column.two_hop);
+  });
+  timer.Report(rates.size());
+
   edk::AsciiTable table({"neighbours", "1 hop", "2 hop", "2 hop w/o top 5%",
                          "2 hop w/o top 15%"});
-  for (size_t k : {5u, 10u, 20u, 40u, 80u}) {
-    table.AddRow({std::to_string(k), edk::FormatPercent(run(base, k, false)),
-                  edk::FormatPercent(run(base, k, true)),
-                  edk::FormatPercent(run(no_top5, k, true)),
-                  edk::FormatPercent(run(no_top15, k, true))});
+  for (size_t r = 0; r < list_sizes.size(); ++r) {
+    table.AddRow({std::to_string(list_sizes[r]),
+                  edk::FormatPercent(rates[r * columns.size() + 0]),
+                  edk::FormatPercent(rates[r * columns.size() + 1]),
+                  edk::FormatPercent(rates[r * columns.size() + 2]),
+                  edk::FormatPercent(rates[r * columns.size() + 3])});
   }
   table.Print(std::cout);
   std::cout << "\n(paper: 2-hop 32% at 5 neighbours rising > 55% at 20; removing "

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/edk_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/edk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/edk_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
   )
 

@@ -154,11 +154,15 @@ bench_build/CMakeFiles/bench_ablation_extrapolation.dir/bench_ablation_extrapola
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.h \
- /root/repo/src/trace/trace.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/cstddef /root/repo/src/trace/trace.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/ids.h \
@@ -178,8 +182,8 @@ bench_build/CMakeFiles/bench_ablation_extrapolation.dir/bench_ablation_extrapola
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/workload/config.h /root/repo/src/workload/generator.h \
  /root/repo/src/workload/geography.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/limits /root/repo/src/workload/population.h \
- /root/repo/src/workload/catalog.h /usr/include/c++/12/memory \
+ /root/repo/src/workload/population.h /root/repo/src/workload/catalog.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \

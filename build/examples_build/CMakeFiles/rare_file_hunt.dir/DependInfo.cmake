@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/semantic/CMakeFiles/edk_semantic.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/edk_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/edk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/edk_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/edk_common.dir/DependInfo.cmake"
   )
 

@@ -147,4 +147,5 @@ src/analysis/CMakeFiles/edk_analysis.dir/popularity.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/exec/parallel.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/limits

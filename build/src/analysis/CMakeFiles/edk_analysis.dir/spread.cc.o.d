@@ -148,4 +148,5 @@ src/analysis/CMakeFiles/edk_analysis.dir/spread.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
- /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/exec/parallel.h /root/repo/src/common/rng.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edk_exec.dir/parallel.cc.o"
+  "CMakeFiles/edk_exec.dir/parallel.cc.o.d"
+  "CMakeFiles/edk_exec.dir/thread_pool.cc.o"
+  "CMakeFiles/edk_exec.dir/thread_pool.cc.o.d"
+  "libedk_exec.a"
+  "libedk_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edk_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/exec/parallel.h"
+
 namespace edk {
 
 double ClusteringCurve::ProbabilityAt(size_t k) const {
@@ -27,30 +29,48 @@ ClusteringCurve ComputeClusteringCurve(const StaticCaches& caches, size_t max_k,
 
   // Pair overlap distribution. overlap_histogram[c] = #pairs with exactly c
   // common (masked) files. Memory stays bounded by processing one anchor
-  // peer at a time.
+  // peer at a time. Anchor peers are partitioned into fixed-size blocks
+  // that fan out over the thread pool; each block accumulates a private
+  // histogram and the merge is a pure integer sum, so the result is
+  // identical for any thread count.
   std::unordered_map<uint64_t, uint64_t> overlap_histogram;
   {
-    // Per-peer candidate counting. Holders lists are sorted by construction
-    // (peers iterated in order), so "q > p" dedupes pairs.
-    std::unordered_map<uint32_t, uint32_t> local;
-    for (uint32_t p = 0; p < caches.caches.size(); ++p) {
-      local.clear();
-      for (FileId f : caches.caches[p]) {
-        if (file_mask != nullptr && !(*file_mask)[f.value]) {
-          continue;
-        }
-        const auto it = holders.find(f.value);
-        if (it == holders.end()) {
-          continue;
-        }
-        for (uint32_t q : it->second) {
-          if (q > p) {
-            ++local[q];
+    constexpr size_t kPeersPerBlock = 256;
+    const size_t peer_count = caches.caches.size();
+    const size_t blocks = (peer_count + kPeersPerBlock - 1) / kPeersPerBlock;
+    std::vector<std::unordered_map<uint64_t, uint64_t>> block_histograms(blocks);
+    ParallelFor(0, blocks, [&](size_t block) {
+      auto& histogram = block_histograms[block];
+      // Per-peer candidate counting. Holders lists are sorted by
+      // construction (peers iterated in order), so "q > p" dedupes pairs.
+      std::unordered_map<uint32_t, uint32_t> local;
+      const uint32_t first = static_cast<uint32_t>(block * kPeersPerBlock);
+      const uint32_t last =
+          static_cast<uint32_t>(std::min(peer_count, (block + 1) * kPeersPerBlock));
+      for (uint32_t p = first; p < last; ++p) {
+        local.clear();
+        for (FileId f : caches.caches[p]) {
+          if (file_mask != nullptr && !(*file_mask)[f.value]) {
+            continue;
+          }
+          const auto it = holders.find(f.value);
+          if (it == holders.end()) {
+            continue;
+          }
+          for (uint32_t q : it->second) {
+            if (q > p) {
+              ++local[q];
+            }
           }
         }
+        for (const auto& [q, count] : local) {
+          ++histogram[count];
+        }
       }
-      for (const auto& [q, count] : local) {
-        ++overlap_histogram[count];
+    });
+    for (const auto& histogram : block_histograms) {
+      for (const auto& [overlap, pairs] : histogram) {
+        overlap_histogram[overlap] += pairs;
       }
     }
   }

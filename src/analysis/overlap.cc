@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/exec/parallel.h"
+
 namespace edk {
 
 namespace {
@@ -84,7 +86,9 @@ std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
   for (auto& cohort : cohorts) {
     cohort.mean_overlap.assign(days, 0.0);
   }
-  for (size_t d = 0; d < days; ++d) {
+  // Days are independent: each task only reads the trace and writes the
+  // per-day slot of every cohort, so results match the serial loop exactly.
+  ParallelFor(0, days, [&](size_t d) {
     const int day = first_day + static_cast<int>(d);
     for (auto& cohort : cohorts) {
       if (cohort.pairs.empty()) {
@@ -103,7 +107,7 @@ std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
       }
       cohort.mean_overlap[d] = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
     }
-  }
+  });
   return cohorts;
 }
 

@@ -4,6 +4,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/exec/parallel.h"
+
 namespace edk {
 
 std::vector<DailyActivity> ComputeDailyActivity(const Trace& trace) {
@@ -105,7 +107,6 @@ std::vector<double> SizesWithPopularityAtLeast(const Trace& trace, uint32_t thre
 
 std::vector<double> AveragePopularity(const Trace& trace) {
   std::vector<uint32_t> days_seen(trace.file_count(), 0);
-  std::vector<int> last_day_counted(trace.file_count(), trace.first_day() - 1);
   // Distinct sources via union caches.
   std::vector<uint32_t> sources(trace.file_count(), 0);
   for (size_t p = 0; p < trace.peer_count(); ++p) {
@@ -113,8 +114,17 @@ std::vector<double> AveragePopularity(const Trace& trace) {
       ++sources[f.value];
     }
   }
-  // Day-major sweep so each (file, day) is counted exactly once.
-  for (int day = trace.first_day(); day <= trace.last_day(); ++day) {
+  // Day-major sweep so each (file, day) is counted exactly once. Days fan
+  // out in parallel, each producing a private seen-bitmap; the merge is a
+  // plain integer sum, so the result is independent of task ordering.
+  const size_t days = trace.last_day() < trace.first_day()
+                          ? 0
+                          : static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
+  std::vector<std::vector<uint8_t>> seen_by_day(days);
+  ParallelFor(0, days, [&](size_t d) {
+    const int day = trace.first_day() + static_cast<int>(d);
+    auto& seen = seen_by_day[d];
+    seen.assign(trace.file_count(), 0);
     for (size_t p = 0; p < trace.peer_count(); ++p) {
       const CacheSnapshot* snapshot =
           trace.timeline(PeerId(static_cast<uint32_t>(p))).SnapshotOn(day);
@@ -122,11 +132,13 @@ std::vector<double> AveragePopularity(const Trace& trace) {
         continue;
       }
       for (FileId f : snapshot->files) {
-        if (last_day_counted[f.value] != day) {
-          last_day_counted[f.value] = day;
-          ++days_seen[f.value];
-        }
+        seen[f.value] = 1;
       }
+    }
+  });
+  for (const auto& seen : seen_by_day) {
+    for (size_t f = 0; f < seen.size(); ++f) {
+      days_seen[f] += seen[f];
     }
   }
   std::vector<double> out(trace.file_count(), 0);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/exec/parallel.h"
+
 namespace edk {
 
 namespace {
@@ -93,7 +95,10 @@ std::vector<std::vector<uint32_t>> FileRanksOverTime(const Trace& trace,
   for (auto& series : out) {
     series.assign(days, 0);
   }
-  for (size_t d = 0; d < days; ++d) {
+  // Each day recomputes the full per-file source counts — the expensive
+  // part — and writes only the (file, day) slots for that day, so the day
+  // loop fans out without any cross-task state.
+  ParallelFor(0, days, [&](size_t d) {
     const int day = trace.first_day() + static_cast<int>(d);
     const auto counts = SourcesOnDay(trace, day);
     for (size_t i = 0; i < files.size(); ++i) {
@@ -111,7 +116,7 @@ std::vector<std::vector<uint32_t>> FileRanksOverTime(const Trace& trace,
       }
       out[i][d] = rank;
     }
-  }
+  });
   return out;
 }
 

@@ -68,17 +68,18 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 }
 
 void Histogram::Add(double x) {
-  size_t bin;
-  if (x < lo_) {
-    bin = 0;
-  } else if (x >= hi_) {
-    bin = counts_.size() - 1;
-  } else {
-    bin = static_cast<size_t>((x - lo_) / width_);
-    bin = std::min(bin, counts_.size() - 1);
-  }
-  ++counts_[bin];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t bin = static_cast<size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // Floating-point edge guard.
+  ++counts_[bin];
 }
 
 double Histogram::BinLow(size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
@@ -88,10 +89,11 @@ double Histogram::BinHigh(size_t bin) const {
 }
 
 double Histogram::Fraction(size_t bin) const {
-  if (total_ == 0) {
+  const uint64_t in = in_range();
+  if (in == 0) {
     return 0;
   }
-  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+  return static_cast<double>(counts_[bin]) / static_cast<double>(in);
 }
 
 LinearFit FitLine(std::span<const double> xs, std::span<const double> ys) {

@@ -57,18 +57,26 @@ class EmpiricalCdf {
   std::vector<double> sorted_;
 };
 
-// Fixed-bin histogram on [lo, hi); values outside are clamped to the edge
-// bins so that totals always match the number of observations.
+// Fixed-bin histogram on [lo, hi). Out-of-range samples are NOT folded into
+// the edge bins (that silently skews distribution tails, e.g. the size-CDF
+// of Fig. 6); they are tracked as explicit underflow/overflow counts and
+// excluded from Fraction().
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
 
   void Add(double x);
+  // All observations, including out-of-range ones.
   uint64_t total() const { return total_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  // Observations that landed in a bin.
+  uint64_t in_range() const { return total_ - underflow_ - overflow_; }
   size_t bins() const { return counts_.size(); }
   uint64_t count(size_t bin) const { return counts_[bin]; }
   double BinLow(size_t bin) const;
   double BinHigh(size_t bin) const;
+  // Fraction of *in-range* observations in `bin`.
   double Fraction(size_t bin) const;
 
  private:
@@ -77,6 +85,8 @@ class Histogram {
   double width_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
 };
 
 struct LinearFit {

@@ -1,0 +1,58 @@
+#include "src/exec/thread_pool.h"
+
+#include <utility>
+
+namespace edk {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = 1;
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        return;  // stop_ set and queue drained.
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  static ThreadPool pool(hardware == 0 ? 1 : hardware);
+  return pool;
+}
+
+}  // namespace edk

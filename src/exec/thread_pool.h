@@ -1,0 +1,52 @@
+// Fixed-size worker pool backing the structured parallel helpers in
+// parallel.h. The pool itself is deliberately dumb: it runs submitted jobs
+// in FIFO order on a fixed set of threads. All scheduling-independence
+// guarantees (deterministic results, exception propagation, nest safety)
+// live in ParallelFor, not here.
+
+#ifndef SRC_EXEC_THREAD_POOL_H_
+#define SRC_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edk {
+
+class ThreadPool {
+ public:
+  // Spawns exactly `threads` workers (at least one).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job; it runs on some worker thread in submission order.
+  // Jobs must not block waiting for jobs submitted after them (ParallelFor
+  // upholds this by having the submitting thread participate in the work).
+  void Submit(std::function<void()> job);
+
+  size_t size() const { return workers_.size(); }
+
+  // Process-wide pool sized to the hardware concurrency, created on first
+  // use and joined at exit.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace edk
+
+#endif  // SRC_EXEC_THREAD_POOL_H_

@@ -9,6 +9,9 @@ bool EventQueue::EventHandle::Cancel() {
     return false;
   }
   *cancelled_ = true;
+  // The event is dead from this moment even though it still sits in the
+  // priority queue; the pop paths discard it without touching the count.
+  --*live_;
   return true;
 }
 
@@ -25,18 +28,20 @@ EventQueue::EventHandle EventQueue::ScheduleAt(double when, Callback fn) {
   assert(when >= now_);
   auto cancelled = std::make_shared<bool>(false);
   events_.push(Event{when, next_sequence_++, std::move(fn), cancelled});
-  ++size_;
-  return EventHandle(cancelled);
+  ++*live_;
+  return EventHandle(std::move(cancelled), live_);
 }
 
 bool EventQueue::PopAndRun() {
   while (!events_.empty()) {
-    Event event = events_.top();
+    // Safe to move from under the comparator: the event is popped before
+    // the queue's ordering is consulted again.
+    Event event = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
     if (*event.cancelled) {
-      continue;
+      continue;  // Cancel() already removed it from the live count.
     }
-    --size_;
+    --*live_;
     now_ = event.time;
     // Mark consumed before running: handles report not-pending from inside
     // the callback, and a late Cancel() is a no-op.

@@ -30,14 +30,18 @@ class EventQueue {
 
    private:
     friend class EventQueue;
-    explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+    EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<size_t> live)
+        : cancelled_(std::move(cancelled)), live_(std::move(live)) {}
     std::shared_ptr<bool> cancelled_;
+    // Shares the queue's live-event counter so Cancel() can keep
+    // pending_events() exact; outlives the queue harmlessly.
+    std::shared_ptr<size_t> live_;
   };
 
   EventQueue() = default;
 
   double now() const { return now_; }
-  size_t pending_events() const { return size_; }
+  size_t pending_events() const { return *live_; }
 
   // Schedules `fn` to run `delay` seconds from now (delay >= 0).
   EventHandle Schedule(double delay, Callback fn);
@@ -72,7 +76,9 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   double now_ = 0;
   uint64_t next_sequence_ = 0;
-  size_t size_ = 0;  // Pending (non-cancelled) events.
+  // Pending (non-cancelled, not yet executed) events. Shared with handles:
+  // Cancel() decrements it directly, execution paths decrement on pop.
+  std::shared_ptr<size_t> live_ = std::make_shared<size_t>(0);
 };
 
 }  // namespace edk

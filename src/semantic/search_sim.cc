@@ -95,7 +95,7 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
     ++result.requests;
     // Popularity bucket: floor(log2(source count)).
     size_t bucket = 0;
-    for (size_t sources = file_sources.size(); sources > 1; sources >>= 1) {
+    for (size_t remaining = file_sources.size(); remaining > 1; remaining >>= 1) {
       ++bucket;
     }
     if (result.requests_by_popularity.size() <= bucket) {

@@ -63,22 +63,39 @@ TEST(EmpiricalCdfTest, EvaluateMatchesAt) {
   EXPECT_DOUBLE_EQ(values[2], cdf.At(3.0));
 }
 
-TEST(HistogramTest, BinningAndClamping) {
+TEST(HistogramTest, BinningAndOutOfRangeTracking) {
   Histogram h(0.0, 10.0, 5);
-  h.Add(-5.0);   // Clamped to bin 0.
+  h.Add(-5.0);   // Underflow: tracked, not folded into bin 0.
   h.Add(0.0);    // Bin 0.
   h.Add(3.0);    // Bin 1.
   h.Add(9.99);   // Bin 4.
-  h.Add(10.0);   // Clamped to bin 4.
-  h.Add(100.0);  // Clamped to bin 4.
+  h.Add(10.0);   // Overflow: hi is exclusive.
+  h.Add(100.0);  // Overflow.
   EXPECT_EQ(h.total(), 6u);
-  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.in_range(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(1), 1u);
   EXPECT_EQ(h.count(2), 0u);
-  EXPECT_EQ(h.count(4), 3u);
-  EXPECT_DOUBLE_EQ(h.Fraction(4), 0.5);
+  EXPECT_EQ(h.count(4), 1u);
+  // Fractions are over in-range samples only.
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(4), 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(h.BinLow(1), 2.0);
   EXPECT_DOUBLE_EQ(h.BinHigh(1), 4.0);
+}
+
+TEST(HistogramTest, AllSamplesOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-1.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.in_range(), 0u);
+  for (size_t bin = 0; bin < h.bins(); ++bin) {
+    EXPECT_EQ(h.count(bin), 0u);
+    EXPECT_DOUBLE_EQ(h.Fraction(bin), 0.0);
+  }
 }
 
 TEST(FitLineTest, ExactLine) {

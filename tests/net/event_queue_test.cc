@@ -116,6 +116,77 @@ TEST(EventQueueTest, DefaultHandleIsInert) {
   EXPECT_FALSE(handle.Cancel());
 }
 
+TEST(EventQueueTest, PendingEventsExactAfterCancel) {
+  EventQueue queue;
+  EXPECT_EQ(queue.pending_events(), 0u);
+  auto a = queue.Schedule(1.0, [] {});
+  auto b = queue.Schedule(2.0, [] {});
+  auto c = queue.Schedule(3.0, [] {});
+  EXPECT_EQ(queue.pending_events(), 3u);
+  EXPECT_TRUE(b.Cancel());
+  EXPECT_EQ(queue.pending_events(), 2u);
+  EXPECT_FALSE(b.Cancel());  // Double cancel must not double-decrement.
+  EXPECT_EQ(queue.pending_events(), 2u);
+  EXPECT_TRUE(a.Cancel());
+  EXPECT_TRUE(c.Cancel());
+  EXPECT_EQ(queue.pending_events(), 0u);
+  EXPECT_EQ(queue.Run(), 0u);  // Only cancelled corpses remain.
+  EXPECT_EQ(queue.pending_events(), 0u);
+}
+
+TEST(EventQueueTest, PendingEventsExactAcrossInterleavings) {
+  EventQueue queue;
+  std::vector<EventQueue::EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(queue.Schedule(static_cast<double>(i + 1), [] {}));
+  }
+  // Cancel every other event before running anything.
+  for (size_t i = 0; i < handles.size(); i += 2) {
+    handles[i].Cancel();
+  }
+  EXPECT_EQ(queue.pending_events(), 4u);
+  // RunUntil crosses both cancelled and live events; the skip path must not
+  // disturb the count.
+  EXPECT_EQ(queue.RunUntil(4.0), 2u);  // Events at t=2 and t=4.
+  EXPECT_EQ(queue.pending_events(), 2u);
+  // Cancel an already-executed event: no effect.
+  EXPECT_FALSE(handles[1].Cancel());
+  EXPECT_EQ(queue.pending_events(), 2u);
+  // Cancel one of the remaining live events, then drain.
+  EXPECT_TRUE(handles[5].Cancel());
+  EXPECT_EQ(queue.pending_events(), 1u);
+  EXPECT_EQ(queue.Run(), 1u);
+  EXPECT_EQ(queue.pending_events(), 0u);
+}
+
+TEST(EventQueueTest, PendingEventsWithCancelAndRescheduleInCallback) {
+  EventQueue queue;
+  EventQueue::EventHandle victim;
+  victim = queue.Schedule(2.0, [] {});
+  queue.Schedule(1.0, [&] {
+    // Inside a callback the running event is already off the pending count.
+    EXPECT_EQ(queue.pending_events(), 1u);
+    victim.Cancel();
+    EXPECT_EQ(queue.pending_events(), 0u);
+    queue.Schedule(1.0, [] {});
+    EXPECT_EQ(queue.pending_events(), 1u);
+  });
+  EXPECT_EQ(queue.pending_events(), 2u);
+  EXPECT_EQ(queue.Run(), 2u);  // The t=1 event and the one it scheduled.
+  EXPECT_EQ(queue.pending_events(), 0u);
+}
+
+TEST(EventQueueTest, CancelAfterQueueDestructionIsSafe) {
+  EventQueue::EventHandle handle;
+  {
+    EventQueue queue;
+    handle = queue.Schedule(1.0, [] {});
+  }
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.Cancel());
+  EXPECT_FALSE(handle.Cancel());
+}
+
 TEST(EventQueueTest, ZeroDelayRunsAtCurrentTime) {
   EventQueue queue;
   queue.Schedule(2.0, [] {});
