@@ -8,6 +8,7 @@
 
 #include "src/common/log.h"
 #include "src/exec/parallel.h"
+#include "src/obs/metrics.h"
 #include "src/trace/filter.h"
 #include "src/trace/serialize.h"
 
@@ -72,18 +73,38 @@ std::string CachePath(const WorkloadConfig& config, const char* view) {
   return (base / name).string();
 }
 
+// Records the shape of a just-acquired trace view. These counters are
+// derived from the returned trace, not from the work done to obtain it, so
+// they are identical whether the trace was generated or loaded from the
+// disk cache — the deterministic per-bench workload metrics.
+void RecordTraceShape(const char* view, const Trace& trace) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = std::string("bench.trace.") + view + ".";
+  registry.GetCounter(prefix + "loads").Increment();
+  registry.GetCounter(prefix + "peers").Increment(trace.peer_count());
+  registry.GetCounter(prefix + "files").Increment(trace.file_count());
+  registry.GetCounter(prefix + "snapshots").Increment(trace.TotalSnapshots());
+  registry.GetCounter(prefix + "free_riders").Increment(trace.CountFreeRiders());
+}
+
 Trace LoadOrCompute(const BenchOptions& options, const char* view,
                     Trace (*compute)(const BenchOptions&)) {
+  obs::PhaseTimer timer(std::string("bench.trace_acquire.") + view);
+  auto& registry = obs::MetricsRegistry::Global();
   const std::string path = CachePath(options.workload, view);
   if (!options.no_cache) {
     if (auto cached = LoadTraceFromFile(path); cached.has_value()) {
+      registry.GetCounter("bench.trace_cache_hits", obs::Domain::kEnv).Increment();
+      RecordTraceShape(view, *cached);
       return std::move(*cached);
     }
   }
+  registry.GetCounter("bench.trace_cache_misses", obs::Domain::kEnv).Increment();
   Trace trace = compute(options);
   if (!options.no_cache) {
     SaveTraceToFile(trace, path);
   }
+  RecordTraceShape(view, trace);
   return trace;
 }
 
@@ -102,7 +123,8 @@ Trace ComputeExtrapolated(const BenchOptions& options) {
 [[noreturn]] void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scale=small|medium|large] [--peers=N] [--files=N] [--topics=N]"
-               " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--no-cache]\n";
+               " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--no-cache]"
+               " [--metrics-out=FILE]\n";
   std::exit(2);
 }
 
@@ -152,6 +174,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       if (options.trials == 0) {
         Usage(argv[0]);
       }
+    } else if (const char* v = value("--metrics-out=")) {
+      options.metrics_out = v;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       options.no_cache = true;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
@@ -161,6 +185,11 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     }
   }
   SetDefaultThreads(options.threads);
+  if (!options.metrics_out.empty()) {
+    // Dump at exit so every bench main() gets the snapshot for free, after
+    // all of its sweeps have folded their counters in.
+    obs::WriteGlobalMetricsAtExit(options.metrics_out);
+  }
   return options;
 }
 
@@ -193,6 +222,8 @@ SweepTimer::SweepTimer(std::string name)
 void SweepTimer::Report(size_t tasks) const {
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  obs::MetricsRegistry::Global().RecordWallSeconds(
+      "sweep." + name_, static_cast<double>(ms) * 1e-3);
   std::cerr << "[sweep] " << name_ << ": " << tasks << " tasks in " << ms
             << " ms (threads=" << DefaultThreads() << ")\n";
 }

@@ -30,12 +30,18 @@ struct BenchOptions {
   // Independent randomisation trials for trial-averaged benches
   // (bench_fig14_randomized).
   size_t trials = 8;
+  // When non-empty, a JSON snapshot of the edk::obs metrics registry is
+  // written to this path at process exit — every bench gains observability
+  // without touching its stdout tables. Values outside the snapshot's
+  // "wall" section are bit-identical for a fixed seed across --threads.
+  std::string metrics_out;
 };
 
 // Parses --peers=N --files=N --topics=N --days=N --seed=N --scale=S
-// --threads=N --trials=N --no-cache; unknown flags abort with a usage
-// message. Also applies --threads via SetDefaultThreads() so library-level
-// ParallelFor loops pick it up.
+// --threads=N --trials=N --no-cache --metrics-out=FILE; unknown flags abort
+// with a usage message. Also applies --threads via SetDefaultThreads() so
+// library-level ParallelFor loops pick it up, and registers the
+// --metrics-out exit dump.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 // Wall-clock timer for a parallel sweep. Report() writes to stderr so that

@@ -45,8 +45,19 @@ double EmpiricalCdf::At(double x) const {
 }
 
 double EmpiricalCdf::Quantile(double q) const {
-  assert(!sorted_.empty());
-  assert(q > 0 && q <= 1.0);
+  // Explicit edge handling rather than asserts: under NDEBUG the old
+  // assert-guarded path computed ceil(0) - 1 == SIZE_MAX for q == 0 and the
+  // clamp then returned the *maximum* sample instead of the minimum.
+  if (sorted_.empty() || std::isnan(q)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (q <= 0.0) {
+    return sorted_.front();
+  }
+  if (q >= 1.0) {
+    return sorted_.back();
+  }
+  // q in (0, 1): ceil(q * n) >= 1, so the subtraction cannot wrap.
   const size_t index =
       static_cast<size_t>(std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
   return sorted_[std::min(index, sorted_.size() - 1)];

@@ -43,7 +43,10 @@ class EmpiricalCdf {
   // Fraction of samples <= x.
   double At(double x) const;
 
-  // Smallest sample value v with At(v) >= q, for q in (0, 1].
+  // Smallest sample value v with At(v) >= q. q is clamped to [0, 1]
+  // (q <= 0 returns the minimum sample, q >= 1 the maximum); returns NaN
+  // for an empty sample or NaN q. Safe in release (NDEBUG) builds: no
+  // assert-only guarding.
   double Quantile(double q) const;
 
   size_t size() const { return sorted_.size(); }

@@ -5,6 +5,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+
 namespace edk {
 
 std::vector<uint8_t> SyntheticBlockPayload(FileId file, uint32_t block_index,
@@ -289,6 +291,9 @@ std::optional<std::vector<SharedFileInfo>> SimClient::HandleBrowse() const {
 }
 
 void SimClient::Browse(NodeId target, BrowseCallback on_reply) {
+  static obs::Counter* browses =
+      &obs::MetricsRegistry::Global().GetCounter("net.client.browses");
+  browses->Increment();
   SimClient* remote = ClientAt(target);
   assert(remote != nullptr && "Browse target is not a client");
   const NodeId self = node_id();
@@ -376,6 +381,9 @@ std::vector<uint8_t> SimClient::HandleBlockRequest(const Md4Digest& digest,
 
 void SimClient::Download(NodeId source, const SharedFileInfo& info,
                          DownloadCallback on_done) {
+  static obs::Counter* downloads =
+      &obs::MetricsRegistry::Global().GetCounter("net.client.downloads");
+  downloads->Increment();
   SimClient* remote = ClientAt(source);
   assert(remote != nullptr && "Download source is not a client");
   const NodeId self = node_id();

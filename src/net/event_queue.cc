@@ -2,7 +2,38 @@
 
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace edk {
+
+namespace {
+
+// Process-wide simulation-kernel metrics (see DESIGN.md on edk::obs).
+// Counters sum and the depth gauge takes a max across every queue in the
+// process, so totals are deterministic even when parallel sweep tasks each
+// drive their own queue. Pointers are fetched once; Reset() never
+// invalidates them.
+struct QueueMetrics {
+  obs::Counter* scheduled;
+  obs::Counter* cancelled;
+  obs::Counter* run;
+  obs::Counter* sim_millis;  // Sim-time advanced by executed events.
+  obs::Gauge* max_pending;
+};
+
+QueueMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static QueueMetrics metrics{
+      &registry.GetCounter("eventq.events_scheduled"),
+      &registry.GetCounter("eventq.events_cancelled"),
+      &registry.GetCounter("eventq.events_run"),
+      &registry.GetCounter("eventq.sim_millis"),
+      &registry.GetGauge("eventq.max_pending"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 bool EventQueue::EventHandle::Cancel() {
   if (cancelled_ == nullptr || *cancelled_) {
@@ -12,6 +43,7 @@ bool EventQueue::EventHandle::Cancel() {
   // The event is dead from this moment even though it still sits in the
   // priority queue; the pop paths discard it without touching the count.
   --*live_;
+  Metrics().cancelled->Increment();
   return true;
 }
 
@@ -29,6 +61,9 @@ EventQueue::EventHandle EventQueue::ScheduleAt(double when, Callback fn) {
   auto cancelled = std::make_shared<bool>(false);
   events_.push(Event{when, next_sequence_++, std::move(fn), cancelled});
   ++*live_;
+  QueueMetrics& metrics = Metrics();
+  metrics.scheduled->Increment();
+  metrics.max_pending->UpdateMax(static_cast<int64_t>(*live_));
   return EventHandle(std::move(cancelled), live_);
 }
 
@@ -42,6 +77,11 @@ bool EventQueue::PopAndRun() {
       continue;  // Cancel() already removed it from the live count.
     }
     --*live_;
+    QueueMetrics& metrics = Metrics();
+    metrics.run->Increment();
+    if (event.time > now_) {
+      metrics.sim_millis->Increment(static_cast<uint64_t>((event.time - now_) * 1e3));
+    }
     now_ = event.time;
     // Mark consumed before running: handles report not-pending from inside
     // the callback, and a late Cancel() is a no-op.
@@ -53,6 +93,9 @@ bool EventQueue::PopAndRun() {
 }
 
 size_t EventQueue::Run() {
+  // Wall-clock cost of draining the queue; together with the deterministic
+  // eventq.sim_millis counter this yields the sim-time / wall-time ratio.
+  obs::PhaseTimer timer("eventq.run");
   size_t executed = 0;
   while (PopAndRun()) {
     ++executed;
@@ -61,6 +104,7 @@ size_t EventQueue::Run() {
 }
 
 size_t EventQueue::RunUntil(double until) {
+  obs::PhaseTimer timer("eventq.run_until");
   size_t executed = 0;
   while (!events_.empty()) {
     // Skip cancelled events eagerly so the top is always live.

@@ -2,7 +2,29 @@
 
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace edk {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter* messages;
+  obs::HistogramMetric* delay;
+};
+
+NetMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static NetMetrics metrics{
+      &registry.GetCounter("net.messages_sent"),
+      // One-way delays are tens to hundreds of ms; 2 s covers relay
+      // penalties with headroom (the overflow bucket catches outliers).
+      &registry.GetHistogram("net.delay_seconds", 0.0, 2.0, 40),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 SimNetwork::SimNetwork(const Geography* geography, uint64_t seed)
     : geography_(geography), rng_(seed), latency_(geography) {}
@@ -26,7 +48,11 @@ void SimNetwork::Send(NodeId from, NodeId to, std::function<void()> handler,
                       double extra_delay) {
   assert(from < nodes_.size() && to < nodes_.size());
   ++messages_sent_;
-  queue_.Schedule(DelayBetween(from, to) + extra_delay, std::move(handler));
+  const double delay = DelayBetween(from, to) + extra_delay;
+  NetMetrics& metrics = Metrics();
+  metrics.messages->Increment();
+  metrics.delay->Record(delay);
+  queue_.Schedule(delay, std::move(handler));
 }
 
 }  // namespace edk

@@ -3,7 +3,44 @@
 #include <algorithm>
 #include <cctype>
 
+#include "src/obs/metrics.h"
+
 namespace edk {
+
+namespace {
+
+// Per-message-type protocol counters plus peak index sizes, aggregated
+// across every SimServer in the process. Gauges use UpdateMax so the
+// totals stay deterministic when parallel sweep tasks run their own sims.
+struct ServerMetrics {
+  obs::Counter* logins;
+  obs::Counter* logouts;
+  obs::Counter* publishes;
+  obs::Counter* published_files;
+  obs::Counter* query_users;
+  obs::Counter* query_sources;
+  obs::Counter* searches;
+  obs::Gauge* max_indexed_files;
+  obs::Gauge* max_connected_users;
+};
+
+ServerMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static ServerMetrics metrics{
+      &registry.GetCounter("net.server.logins"),
+      &registry.GetCounter("net.server.logouts"),
+      &registry.GetCounter("net.server.publishes"),
+      &registry.GetCounter("net.server.published_files"),
+      &registry.GetCounter("net.server.query_users"),
+      &registry.GetCounter("net.server.query_sources"),
+      &registry.GetCounter("net.server.searches"),
+      &registry.GetGauge("net.server.max_indexed_files"),
+      &registry.GetGauge("net.server.max_connected_users"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 SimServer::SimServer(SimNetwork* network, ServerConfig config)
     : network_(network), config_(config) {
@@ -33,6 +70,9 @@ bool SimServer::HandleLogin(NodeId client, const std::string& nickname,
   session.low_id = firewalled;
   sessions_.emplace(client, std::move(session));
   users_by_nickname_.emplace(nickname, client);
+  ServerMetrics& metrics = Metrics();
+  metrics.logins->Increment();
+  metrics.max_connected_users->UpdateMax(static_cast<int64_t>(sessions_.size()));
   return true;
 }
 
@@ -41,6 +81,7 @@ void SimServer::HandleLogout(NodeId client) {
   if (it == sessions_.end()) {
     return;
   }
+  Metrics().logouts->Increment();
   RemovePublished(client);
   auto [lo, hi] = users_by_nickname_.equal_range(it->second.nickname);
   for (auto u = lo; u != hi; ++u) {
@@ -97,10 +138,15 @@ void SimServer::HandlePublish(NodeId client, const std::vector<SharedFileInfo>& 
     }
     file_it->second.sources.insert(client);
   }
+  ServerMetrics& metrics = Metrics();
+  metrics.publishes->Increment();
+  metrics.published_files->Increment(files.size());
+  metrics.max_indexed_files->UpdateMax(static_cast<int64_t>(files_.size()));
 }
 
 std::vector<UserRecord> SimServer::HandleQueryUsers(const std::string& prefix) const {
   ++queries_served_;
+  Metrics().query_users->Increment();
   std::vector<UserRecord> out;
   if (!config_.supports_query_users) {
     return out;
@@ -121,6 +167,7 @@ std::vector<UserRecord> SimServer::HandleQueryUsers(const std::string& prefix) c
 
 std::vector<SourceRecord> SimServer::HandleQuerySources(const Md4Digest& digest) const {
   ++queries_served_;
+  Metrics().query_sources->Increment();
   std::vector<SourceRecord> out;
   const auto it = files_.find(digest);
   if (it == files_.end()) {
@@ -141,6 +188,7 @@ std::vector<SourceRecord> SimServer::HandleQuerySources(const Md4Digest& digest)
 std::vector<SharedFileInfo> SimServer::HandleSearch(
     const std::vector<std::string>& keywords) const {
   ++queries_served_;
+  Metrics().searches->Increment();
   std::vector<SharedFileInfo> out;
   if (keywords.empty()) {
     return out;

@@ -1,0 +1,317 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace edk::obs {
+
+namespace {
+
+// Each thread gets a stable slot on first use; slots wrap around the shard
+// count, so contention only appears once more than kShards threads
+// increment the same counter simultaneously.
+size_t ThreadShard() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return slot;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Counter::Increment(uint64_t n) {
+  cells_[ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const Cell& cell : cells_) {
+    sum += cell.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Cell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::UpdateMax(int64_t v) {
+  int64_t current = value_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins), histogram_(lo, hi, bins) {}
+
+void HistogramMetric::Record(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Add(x);
+}
+
+Histogram HistogramMetric::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+void HistogramMetric::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_ = Histogram(lo_, hi_, bins_);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, Domain domain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& map = domain == Domain::kEnv ? env_counters_ : counters_;
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::piecewise_construct,
+                     std::forward_as_tuple(std::string(name)),
+                     std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(std::string(name)),
+                      std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name, double lo,
+                                               double hi, size_t bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(std::string(name)),
+                      std::forward_as_tuple(lo, hi, bins))
+             .first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::RecordWallSeconds(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = wall_.find(name);
+  if (it == wall_.end()) {
+    it = wall_.emplace(std::string(name), WallPhase{}).first;
+  }
+  WallPhase& phase = it->second;
+  ++phase.count;
+  phase.total_seconds += seconds;
+  phase.max_seconds = std::max(phase.max_seconds, seconds);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, counter] : env_counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+  for (auto& [name, phase] : wall_) {
+    phase = WallPhase{};
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": " << counter.Value();
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": " << gauge.Value();
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    const Histogram snapshot = histogram.Snapshot();
+    os << ": {\"lo\": " << snapshot.BinLow(0)
+       << ", \"hi\": " << snapshot.BinHigh(snapshot.bins() - 1)
+       << ", \"total\": " << snapshot.total()
+       << ", \"underflow\": " << snapshot.underflow()
+       << ", \"overflow\": " << snapshot.overflow() << ", \"counts\": [";
+    for (size_t b = 0; b < snapshot.bins(); ++b) {
+      os << (b == 0 ? "" : ", ") << snapshot.count(b);
+    }
+    os << "]}";
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"wall\": {\n    \"phases\": {";
+  first = true;
+  for (const auto& [name, phase] : wall_) {
+    os << (first ? "\n      " : ",\n      ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << phase.count
+       << ", \"total_seconds\": " << phase.total_seconds
+       << ", \"max_seconds\": " << phase.max_seconds << "}";
+  }
+  os << (first ? "}" : "\n    }") << ",\n    \"env_counters\": {";
+  first = true;
+  for (const auto& [name, counter] : env_counters_) {
+    os << (first ? "\n      " : ",\n      ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": " << counter.Value();
+  }
+  os << (first ? "}" : "\n    }") << "\n  }\n}\n";
+}
+
+bool MetricsRegistry::WriteJsonToFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WriteJson(os);
+  return os.good();
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "section,kind,name,field,value\n";
+  for (const auto& [name, counter] : counters_) {
+    os << "deterministic,counter," << name << ",value," << counter.Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << "deterministic,gauge," << name << ",value," << gauge.Value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram snapshot = histogram.Snapshot();
+    os << "deterministic,histogram," << name << ",total," << snapshot.total() << "\n";
+    os << "deterministic,histogram," << name << ",underflow," << snapshot.underflow()
+       << "\n";
+    os << "deterministic,histogram," << name << ",overflow," << snapshot.overflow()
+       << "\n";
+    for (size_t b = 0; b < snapshot.bins(); ++b) {
+      os << "deterministic,histogram," << name << ",bin" << b << ","
+         << snapshot.count(b) << "\n";
+    }
+  }
+  for (const auto& [name, phase] : wall_) {
+    os << "wall,phase," << name << ",count," << phase.count << "\n";
+    os << "wall,phase," << name << ",total_seconds," << phase.total_seconds << "\n";
+    os << "wall,phase," << name << ",max_seconds," << phase.max_seconds << "\n";
+  }
+  for (const auto& [name, counter] : env_counters_) {
+    os << "wall,env_counter," << name << ",value," << counter.Value() << "\n";
+  }
+}
+
+PhaseTimer::PhaseTimer(std::string name, MetricsRegistry* registry)
+    : name_(std::move(name)),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::Global()),
+      start_ns_(NowNanos()) {}
+
+PhaseTimer::~PhaseTimer() { Stop(); }
+
+double PhaseTimer::Stop() {
+  if (recorded_seconds_ >= 0) {
+    return recorded_seconds_;
+  }
+  recorded_seconds_ = static_cast<double>(NowNanos() - start_ns_) * 1e-9;
+  registry_->RecordWallSeconds(name_, recorded_seconds_);
+  return recorded_seconds_;
+}
+
+namespace {
+
+std::string& AtExitPath() {
+  static std::string path;
+  return path;
+}
+
+void DumpGlobalMetrics() {
+  const std::string& path = AtExitPath();
+  if (!path.empty()) {
+    MetricsRegistry::Global().WriteJsonToFile(path);
+  }
+}
+
+}  // namespace
+
+void WriteGlobalMetricsAtExit(std::string path) {
+  static bool registered = false;
+  AtExitPath() = std::move(path);
+  if (!registered) {
+    registered = true;
+    // Construct the registry (and the path string, above) BEFORE
+    // registering the handler: exit() unwinds the atexit/static-destructor
+    // list LIFO, so anything constructed later is destroyed before the
+    // handler runs — the dump must not touch a destroyed registry.
+    MetricsRegistry::Global();
+    std::atexit(&DumpGlobalMetrics);
+  }
+}
+
+}  // namespace edk::obs

@@ -4,7 +4,31 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+
 namespace edk {
+
+namespace {
+
+// Counts list-churn events across every NeighbourList in the process:
+// inserts of a previously unknown uploader and swaps (an insert that
+// evicted the list tail). Totals are sums of per-list work, so they stay
+// deterministic under parallel sweeps.
+struct ListMetrics {
+  obs::Counter* inserts;
+  obs::Counter* swaps;
+};
+
+ListMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static ListMetrics metrics{
+      &registry.GetCounter("semantic.neighbour_inserts"),
+      &registry.GetCounter("semantic.neighbour_swaps"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 const char* StrategyName(StrategyKind kind) {
   switch (kind) {
@@ -30,10 +54,13 @@ class LruList final : public NeighbourList {
     auto it = std::find(peers_.begin(), peers_.end(), uploader);
     if (it != peers_.end()) {
       peers_.erase(it);
+    } else {
+      Metrics().inserts->Increment();
     }
     peers_.insert(peers_.begin(), uploader);
     if (peers_.size() > capacity_) {
       peers_.pop_back();
+      Metrics().swaps->Increment();
     }
   }
 
@@ -57,6 +84,9 @@ class ScoredList final : public NeighbourList {
       : capacity_(capacity), rarity_weighted_(rarity_weighted) {}
 
   void RecordUpload(uint32_t uploader, double rarity_weight) override {
+    if (!entries_.contains(uploader)) {
+      Metrics().inserts->Increment();
+    }
     Entry& entry = entries_[uploader];
     entry.score += rarity_weighted_ ? rarity_weight : 1.0;
     entry.last_used = ++clock_;

@@ -1,9 +1,11 @@
 #include "src/semantic/search_sim.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace edk {
 
@@ -186,6 +188,7 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
             continue;
           }
           charge(r);
+          ++result.two_hop_probes;
           if (shared[r].contains(f)) {
             uploader = r;
             two_hop = true;
@@ -213,6 +216,34 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
     }
     shared[p].insert(f);
     file_sources.push_back(p);
+  }
+
+  // Fold the run's totals into the process-wide registry, keyed by
+  // strategy. One bulk Increment per metric keeps the hot loop free of
+  // instrumentation, and summing per-run totals is commutative, so a
+  // parallel sweep over many simulations yields thread-count-independent
+  // values.
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix =
+      std::string("semantic.") +
+      (fixed_views ? "FixedViews" : StrategyName(config.strategy)) + ".";
+  registry.GetCounter(prefix + "seeds").Increment(result.seeds);
+  registry.GetCounter(prefix + "requests").Increment(result.requests);
+  registry.GetCounter(prefix + "one_hop_hits").Increment(result.one_hop_hits);
+  registry.GetCounter(prefix + "two_hop_hits").Increment(result.two_hop_hits);
+  registry.GetCounter(prefix + "misses")
+      .Increment(result.requests - result.one_hop_hits - result.two_hop_hits);
+  registry.GetCounter(prefix + "fallbacks").Increment(result.fallbacks);
+  registry.GetCounter(prefix + "messages").Increment(result.messages);
+  registry.GetCounter(prefix + "two_hop_probes").Increment(result.two_hop_probes);
+  if (config.two_hop && result.requests > 0) {
+    // Average second-hop queries per request — the two-hop fan-out cost.
+    // Fixed range (not derived from config.list_size): histogram bounds
+    // bind on first creation, so a config-dependent range would depend on
+    // which sweep task registered it first.
+    registry.GetHistogram("semantic.two_hop_fanout_per_request", 0.0, 512.0, 32)
+        .Record(static_cast<double>(result.two_hop_probes) /
+                static_cast<double>(result.requests));
   }
   return result;
 }

@@ -44,6 +44,7 @@ struct SearchSimResult {
   uint64_t two_hop_hits = 0;   // Extra hits found only at the second hop.
   uint64_t fallbacks = 0;      // Requests resolved by the fallback mechanism.
   uint64_t messages = 0;       // Queries sent to peers (load sum).
+  uint64_t two_hop_probes = 0;  // Second-hop queries sent (fan-out cost).
   std::vector<uint32_t> load;  // Queries received, per peer (if tracked).
 
   // Requests/hits bucketed by the requested file's popularity (its source

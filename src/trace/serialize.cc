@@ -23,17 +23,6 @@ void WriteU64(std::ostream& os, uint64_t v) {
   WriteU32(os, static_cast<uint32_t>(v >> 32));
 }
 
-// LEB128-style variable-length encoding for delta-encoded file ids.
-void WriteVarint(std::ostream& os, uint64_t v) {
-  while (v >= 0x80) {
-    const uint8_t byte = static_cast<uint8_t>(v) | 0x80;
-    os.write(reinterpret_cast<const char*>(&byte), 1);
-    v >>= 7;
-  }
-  const uint8_t byte = static_cast<uint8_t>(v);
-  os.write(reinterpret_cast<const char*>(&byte), 1);
-}
-
 bool ReadU32(std::istream& is, uint32_t& v) {
   uint8_t b[4];
   if (!is.read(reinterpret_cast<char*>(b), 4)) {
@@ -54,6 +43,21 @@ bool ReadU64(std::istream& is, uint64_t& v) {
   return true;
 }
 
+}  // namespace
+
+namespace wire {
+
+// LEB128-style variable-length encoding for delta-encoded file ids.
+void WriteVarint(std::ostream& os, uint64_t v) {
+  while (v >= 0x80) {
+    const uint8_t byte = static_cast<uint8_t>(v) | 0x80;
+    os.write(reinterpret_cast<const char*>(&byte), 1);
+    v >>= 7;
+  }
+  const uint8_t byte = static_cast<uint8_t>(v);
+  os.write(reinterpret_cast<const char*>(&byte), 1);
+}
+
 bool ReadVarint(std::istream& is, uint64_t& v) {
   v = 0;
   int shift = 0;
@@ -62,15 +66,27 @@ bool ReadVarint(std::istream& is, uint64_t& v) {
     if (!is.read(reinterpret_cast<char*>(&byte), 1)) {
       return false;
     }
-    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    const uint64_t payload = byte & 0x7f;
+    // The 10th byte (shift 63) has room for a single bit. A larger payload
+    // used to be shifted anyway, silently dropping its high bits — two
+    // distinct encodings aliased to one value. Reject instead.
+    if (shift == 63 && payload > 1) {
+      return false;
+    }
+    v |= payload << shift;
     if ((byte & 0x80) == 0) {
       return true;
     }
     shift += 7;
   }
-  return false;  // Overlong encoding.
+  return false;  // Continuation bit on the 10th byte: > 64 bits.
 }
 
+}  // namespace wire
+
+namespace {
+using wire::ReadVarint;
+using wire::WriteVarint;
 }  // namespace
 
 bool SaveTrace(const Trace& trace, std::ostream& os) {
@@ -102,10 +118,18 @@ bool SaveTrace(const Trace& trace, std::ostream& os) {
       WriteVarint(os, static_cast<uint64_t>(snapshot.day));
       WriteVarint(os, snapshot.files.size());
       uint32_t previous = 0;
+      bool first = true;
       for (FileId f : snapshot.files) {
-        // Files are sorted ascending, so deltas are small and non-negative.
+        // Files must be sorted strictly ascending (Trace::AddSnapshot
+        // guarantees this), so deltas are small and non-negative. An
+        // out-of-order id would wrap the subtraction into a huge delta
+        // that decodes to garbage — refuse to emit it.
+        if (!first && f.value <= previous) {
+          return false;
+        }
         WriteVarint(os, f.value - previous);
         previous = f.value;
+        first = false;
       }
     }
   }

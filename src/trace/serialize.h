@@ -9,6 +9,7 @@
 #ifndef SRC_TRACE_SERIALIZE_H_
 #define SRC_TRACE_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -17,7 +18,26 @@
 
 namespace edk {
 
-// Writes `trace` to the stream. Returns false on I/O failure.
+// Low-level wire primitives, exposed so malformed-stream handling can be
+// tested directly (the trace format is built from these).
+namespace wire {
+
+// LEB128-style variable-length encoding; at most 10 bytes per value.
+void WriteVarint(std::ostream& os, uint64_t v);
+
+// Reads one varint. Returns false on EOF and on any encoding that does not
+// fit in 64 bits: an 11th continuation byte, or a 10th byte carrying more
+// than the single bit that remains (the old decoder silently dropped those
+// high bits, so two distinct byte strings aliased to the same value).
+bool ReadVarint(std::istream& is, uint64_t& v);
+
+}  // namespace wire
+
+// Writes `trace` to the stream. Returns false on I/O failure, or if a
+// snapshot's file ids are not sorted strictly ascending — the delta
+// encoding cannot represent out-of-order ids. Trace::AddSnapshot sorts and
+// de-duplicates, so every Trace built through the public API satisfies the
+// precondition; the check guards hand-built snapshot data.
 bool SaveTrace(const Trace& trace, std::ostream& os);
 bool SaveTraceToFile(const Trace& trace, const std::string& path);
 

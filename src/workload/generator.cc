@@ -3,12 +3,20 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/obs/metrics.h"
 #include "src/workload/behaviour.h"
 #include "src/workload/catalog.h"
 
 namespace edk {
 
 GeneratedWorkload GenerateWorkload(const WorkloadConfig& config) {
+  // Generation-work counters live in the env domain: a bench that loads
+  // the same trace from the on-disk cache performs none of this work, so
+  // these values depend on cache warmth, not on (seed, --threads). The
+  // cache-invariant trace-shape counters are recorded by bench_common.
+  obs::PhaseTimer timer("workload.generate");
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("workload.traces_generated", obs::Domain::kEnv).Increment();
   Rng rng(config.seed);
   GeneratedWorkload out;
   out.config = config;
@@ -23,6 +31,8 @@ GeneratedWorkload GenerateWorkload(const WorkloadConfig& config) {
   out.profiles = population.profiles();
 
   const int last_day = config.first_day + config.num_days - 1;
+  uint64_t snapshots = 0;
+  uint64_t file_instances = 0;
   for (int day = config.first_day; day <= last_day; ++day) {
     engine.StepDay(day);
     for (uint32_t p : engine.online_peers()) {
@@ -32,11 +42,19 @@ GeneratedWorkload GenerateWorkload(const WorkloadConfig& config) {
       for (uint32_t raw : cache) {
         files.push_back(FileId(raw));
       }
+      ++snapshots;
+      file_instances += files.size();
       out.trace.AddSnapshot(PeerId(p), day, std::move(files));
     }
     Log(LogLevel::kDebug) << "generated day " << day << ": "
                           << engine.online_peers().size() << " peers online";
   }
+  registry.GetCounter("workload.days_generated", obs::Domain::kEnv)
+      .Increment(static_cast<uint64_t>(config.num_days));
+  registry.GetCounter("workload.snapshots_generated", obs::Domain::kEnv)
+      .Increment(snapshots);
+  registry.GetCounter("workload.file_instances_generated", obs::Domain::kEnv)
+      .Increment(file_instances);
   return out;
 }
 

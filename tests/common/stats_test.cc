@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace edk {
@@ -51,6 +52,34 @@ TEST(EmpiricalCdfTest, Quantiles) {
   EXPECT_DOUBLE_EQ(cdf.Quantile(0.2), 10.0);
   EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 30.0);
   EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 50.0);
+}
+
+// Regression for the q == 0 underflow: ceil(0) - 1 wrapped to SIZE_MAX and
+// the clamp returned the maximum sample. The asserts that used to mask this
+// vanish under NDEBUG, so these must hold by explicit handling alone.
+TEST(EmpiricalCdfTest, QuantileEdgesAreExplicitInReleaseBuilds) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 10.0);   // Minimum, not maximum.
+  EXPECT_DOUBLE_EQ(cdf.Quantile(-0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 50.0);
+  // Out-of-range q clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(cdf.Quantile(-3.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(7.0), 50.0);
+  // Tiny but positive q selects the first sample without wrapping.
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1e-300), 10.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileSingleSample) {
+  EmpiricalCdf cdf({42.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 42.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileDegenerateInputsReturnNan) {
+  EXPECT_TRUE(std::isnan(EmpiricalCdf({}).Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(
+      EmpiricalCdf({1.0}).Quantile(std::numeric_limits<double>::quiet_NaN())));
 }
 
 TEST(EmpiricalCdfTest, EvaluateMatchesAt) {

@@ -1,0 +1,212 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exec/parallel.h"
+
+namespace edk::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, NamedLookupReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same");
+  Counter& b = registry.GetCounter("same");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+  // Env-domain counters are a separate namespace.
+  Counter& env = registry.GetCounter("same", Domain::kEnv);
+  EXPECT_NE(&a, &env);
+  EXPECT_EQ(env.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumDeterministically) {
+  // The determinism contract: the total is a pure function of the work,
+  // not of the thread count or interleaving. Each task contributes a fixed
+  // amount; any worker count must yield the same sum.
+  constexpr size_t kTasks = 200;
+  constexpr uint64_t kPerTask = 1000;
+  std::vector<uint64_t> totals;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    MetricsRegistry registry;
+    Counter& counter = registry.GetCounter("parallel.counter");
+    ParallelFor(
+        0, kTasks,
+        [&counter](size_t) {
+          for (uint64_t i = 0; i < kPerTask; ++i) {
+            counter.Increment();
+          }
+        },
+        threads);
+    totals.push_back(counter.Value());
+  }
+  EXPECT_EQ(totals[0], kTasks * kPerTask);
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[1], totals[2]);
+}
+
+TEST(GaugeTest, UpdateMaxIsCommutative) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("depth");
+  gauge.UpdateMax(7);
+  gauge.UpdateMax(3);   // Lower: ignored.
+  gauge.UpdateMax(11);
+  gauge.UpdateMax(11);
+  EXPECT_EQ(gauge.Value(), 11);
+}
+
+TEST(GaugeTest, ConcurrentUpdateMaxKeepsGlobalMax) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("max");
+  ParallelFor(
+      0, 64, [&gauge](size_t i) { gauge.UpdateMax(static_cast<int64_t>(i)); }, 8);
+  EXPECT_EQ(gauge.Value(), 63);
+}
+
+TEST(HistogramMetricTest, RecordsIntoBins) {
+  MetricsRegistry registry;
+  HistogramMetric& histogram = registry.GetHistogram("lat", 0.0, 10.0, 5);
+  histogram.Record(1.0);
+  histogram.Record(3.0);
+  histogram.Record(3.5);
+  histogram.Record(-1.0);  // Underflow.
+  histogram.Record(99.0);  // Overflow.
+  const Histogram snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.total(), 5u);
+  EXPECT_EQ(snapshot.count(0), 1u);
+  EXPECT_EQ(snapshot.count(1), 2u);
+  EXPECT_EQ(snapshot.underflow(), 1u);
+  EXPECT_EQ(snapshot.overflow(), 1u);
+  // Creation parameters bind once; a second Get returns the same object.
+  EXPECT_EQ(&registry.GetHistogram("lat", 0.0, 1.0, 2), &histogram);
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Gauge& gauge = registry.GetGauge("g");
+  HistogramMetric& histogram = registry.GetHistogram("h", 0.0, 1.0, 2);
+  counter.Increment(5);
+  gauge.UpdateMax(9);
+  histogram.Record(0.5);
+  registry.RecordWallSeconds("phase", 1.0);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(histogram.Snapshot().total(), 0u);
+  counter.Increment();  // Old reference still works after Reset.
+  EXPECT_EQ(registry.GetCounter("c").Value(), 1u);
+}
+
+TEST(RegistryTest, JsonSnapshotSeparatesWallFromDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.events").Increment(3);
+  registry.GetGauge("sim.depth").UpdateMax(4);
+  registry.GetHistogram("sim.delay", 0.0, 1.0, 2).Record(0.25);
+  registry.GetCounter("cache.hits", Domain::kEnv).Increment(2);
+  registry.RecordWallSeconds("sweep", 0.125);
+
+  std::ostringstream os;
+  registry.WriteJson(os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"sim.depth\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"sim.delay\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall\""), std::string::npos);
+  EXPECT_NE(json.find("\"env_counters\""), std::string::npos);
+  // Env counters appear inside the wall section only.
+  const size_t wall_pos = json.find("\"wall\"");
+  EXPECT_GT(json.find("\"cache.hits\": 2"), wall_pos);
+  EXPECT_GT(json.find("\"sweep\""), wall_pos);
+  // Deterministic values appear before the wall section.
+  EXPECT_LT(json.find("\"sim.events\""), wall_pos);
+}
+
+TEST(RegistryTest, JsonIsStableAcrossRegistrationOrder) {
+  // std::map ordering: the export is sorted by name, not by registration
+  // order, so snapshots from runs that registered metrics in different
+  // orders still compare equal.
+  MetricsRegistry first;
+  first.GetCounter("b").Increment(2);
+  first.GetCounter("a").Increment(1);
+  MetricsRegistry second;
+  second.GetCounter("a").Increment(1);
+  second.GetCounter("b").Increment(2);
+  std::ostringstream os_first;
+  std::ostringstream os_second;
+  first.WriteJson(os_first);
+  second.WriteJson(os_second);
+  EXPECT_EQ(os_first.str(), os_second.str());
+}
+
+TEST(RegistryTest, CsvListsEverySection) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(1);
+  registry.GetGauge("g").UpdateMax(2);
+  registry.GetHistogram("h", 0.0, 1.0, 2).Record(0.5);
+  registry.GetCounter("e", Domain::kEnv).Increment(9);
+  registry.RecordWallSeconds("p", 0.5);
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("deterministic,counter,c,value,1"), std::string::npos);
+  EXPECT_NE(csv.find("deterministic,gauge,g,value,2"), std::string::npos);
+  EXPECT_NE(csv.find("deterministic,histogram,h,total,1"), std::string::npos);
+  EXPECT_NE(csv.find("wall,env_counter,e,value,9"), std::string::npos);
+  EXPECT_NE(csv.find("wall,phase,p,count,1"), std::string::npos);
+}
+
+TEST(RegistryTest, WriteJsonToFileRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("file.counter").Increment(7);
+  const std::string path = ::testing::TempDir() + "/edk_metrics_test.json";
+  ASSERT_TRUE(registry.WriteJsonToFile(path));
+  std::ifstream is(path);
+  std::stringstream contents;
+  contents << is.rdbuf();
+  EXPECT_NE(contents.str().find("\"file.counter\": 7"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, RecordsOnceIntoWallSection) {
+  MetricsRegistry registry;
+  {
+    PhaseTimer timer("phase.a", &registry);
+    const double first = timer.Stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.Stop(), first);  // Idempotent.
+  }  // Destructor must not double-record after Stop().
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  EXPECT_NE(os.str().find("wall,phase,phase.a,count,1"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, ScopedRecordOnDestruction) {
+  MetricsRegistry registry;
+  { PhaseTimer timer("phase.scoped", &registry); }
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  EXPECT_NE(os.str().find("wall,phase,phase.scoped,count,1"), std::string::npos);
+}
+
+TEST(GlobalRegistryTest, IsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace edk::obs

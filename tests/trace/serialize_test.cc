@@ -70,17 +70,30 @@ TEST(SerializeTest, RejectsBadMagic) {
   EXPECT_FALSE(LoadTrace(stream).has_value());
 }
 
-TEST(SerializeTest, RejectsTruncatedStream) {
+TEST(SerializeTest, RejectsTruncationAtEveryByteBoundary) {
+  // Every proper prefix of a valid stream crosses some field boundary
+  // (header, file table, peer table, snapshot runs, delta lists) with data
+  // still owed, so every one of them must fail cleanly — no crash, no
+  // partially populated success.
   const Trace original = MakeTrace();
   std::stringstream stream;
   ASSERT_TRUE(SaveTrace(original, stream));
   const std::string full = stream.str();
-  // Truncate at several points; none may crash and all must fail cleanly
-  // (or, for a prefix that happens to be self-consistent, succeed).
-  for (size_t cut : {size_t{4}, size_t{8}, size_t{20}, full.size() / 2, full.size() - 1}) {
+  for (size_t cut = 0; cut < full.size(); ++cut) {
     std::stringstream truncated(full.substr(0, cut));
     const auto loaded = LoadTrace(truncated);
-    EXPECT_FALSE(loaded.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(loaded.has_value()) << "cut at " << cut << " of " << full.size();
+  }
+}
+
+TEST(SerializeTest, TruncatedEmptyTraceFailsToo) {
+  const Trace empty;
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(empty, stream));
+  const std::string full = stream.str();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(LoadTrace(truncated).has_value()) << "cut at " << cut;
   }
 }
 
@@ -123,6 +136,111 @@ TEST(SerializeTest, EmptyTraceRoundTrips) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->peer_count(), 0u);
   EXPECT_EQ(loaded->file_count(), 0u);
+}
+
+TEST(SerializeTest, UnsortedAndDuplicateSnapshotIdsAreNormalised) {
+  // The delta encoding requires strictly ascending file ids.
+  // Trace::AddSnapshot establishes that invariant (sort + de-duplicate), so
+  // arbitrary caller input round-trips as the canonical sorted set.
+  Trace trace;
+  for (int i = 0; i < 6; ++i) {
+    trace.AddFile(FileMeta{.size_bytes = 10u + static_cast<uint64_t>(i)});
+  }
+  const PeerId p = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(p, 1, {FileId(5), FileId(0), FileId(3), FileId(0), FileId(5)});
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(trace, stream));
+  const auto loaded = LoadTrace(stream);
+  ASSERT_TRUE(loaded.has_value());
+  const std::vector<FileId> expected = {FileId(0), FileId(3), FileId(5)};
+  ASSERT_EQ(loaded->timeline(p).snapshots.size(), 1u);
+  EXPECT_EQ(loaded->timeline(p).snapshots[0].files, expected);
+}
+
+// --- Varint wire primitives -------------------------------------------------
+
+std::string EncodeVarint(uint64_t v) {
+  std::stringstream stream;
+  wire::WriteVarint(stream, v);
+  return stream.str();
+}
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{300}, uint64_t{1} << 32, (uint64_t{1} << 63) - 1,
+                     uint64_t{1} << 63, ~uint64_t{0}}) {
+    std::stringstream stream(EncodeVarint(v));
+    uint64_t decoded = 0;
+    ASSERT_TRUE(wire::ReadVarint(stream, decoded)) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, MaxValueUsesTenBytes) {
+  const std::string bytes = EncodeVarint(~uint64_t{0});
+  EXPECT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes.back()), 0x01);  // Single leftover bit.
+}
+
+TEST(VarintTest, RejectsTenthByteOverflowingPastSixtyFourBits) {
+  // 9 continuation bytes consume 63 bits; the 10th byte has room for one.
+  // A payload of 2 in the 10th byte used to be shifted left by 63 and
+  // silently truncated to 0 — the decoder returned value 0 for a byte
+  // string that is NOT the encoding of 0. It must be rejected instead.
+  std::string bytes(9, static_cast<char>(0x80));
+  bytes.push_back(0x02);
+  std::stringstream stream(bytes);
+  uint64_t decoded = 0;
+  EXPECT_FALSE(wire::ReadVarint(stream, decoded));
+}
+
+TEST(VarintTest, AcceptsTenthByteCarryingOnlyTheTopBit) {
+  std::string bytes(9, static_cast<char>(0x80));
+  bytes.push_back(0x01);  // 1 << 63.
+  std::stringstream stream(bytes);
+  uint64_t decoded = 0;
+  ASSERT_TRUE(wire::ReadVarint(stream, decoded));
+  EXPECT_EQ(decoded, uint64_t{1} << 63);
+}
+
+TEST(VarintTest, RejectsEleventhContinuationByte) {
+  std::string bytes(10, static_cast<char>(0x80));
+  bytes.push_back(0x00);
+  std::stringstream stream(bytes);
+  uint64_t decoded = 0;
+  EXPECT_FALSE(wire::ReadVarint(stream, decoded));
+}
+
+TEST(VarintTest, RejectsDanglingContinuation) {
+  for (size_t len : {size_t{1}, size_t{3}, size_t{9}}) {
+    std::string bytes(len, static_cast<char>(0x80));
+    std::stringstream stream(bytes);
+    uint64_t decoded = 0;
+    EXPECT_FALSE(wire::ReadVarint(stream, decoded)) << len << " bytes";
+  }
+}
+
+TEST(VarintTest, MalformedSnapshotCountRejectsWholeTrace) {
+  // Build a valid single-peer stream, then replace the snapshot-count
+  // varint with an overlong encoding; the loader must reject the stream
+  // rather than aliasing it to a small count.
+  Trace trace;
+  const PeerId p = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(p, 1, {});
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(trace, stream));
+  std::string bytes = stream.str();
+  // The stream ends with: snapshot_count=1, day=1, file_count=0 (one byte
+  // each). Swap the snapshot-count byte for a 10-byte overflowing varint.
+  ASSERT_GE(bytes.size(), 3u);
+  const std::string tail = bytes.substr(bytes.size() - 2);  // day, count.
+  bytes.resize(bytes.size() - 3);
+  bytes.append(9, static_cast<char>(0x80));
+  bytes.push_back(0x02);
+  bytes += tail;
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(LoadTrace(corrupted).has_value());
 }
 
 }  // namespace
