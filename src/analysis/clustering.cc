@@ -1,9 +1,10 @@
 #include "src/analysis/clustering.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "src/exec/parallel.h"
+#include "src/obs/metrics.h"
+#include "src/trace/cache_store.h"
 
 namespace edk {
 
@@ -16,73 +17,48 @@ double ClusteringCurve::ProbabilityAt(size_t k) const {
 
 ClusteringCurve ComputeClusteringCurve(const StaticCaches& caches, size_t max_k,
                                        const std::vector<bool>* file_mask) {
-  // Inverted index: file -> holders (restricted to masked files).
-  std::unordered_map<uint32_t, std::vector<uint32_t>> holders;
-  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
-    for (FileId f : caches.caches[p]) {
-      if (file_mask != nullptr && !(*file_mask)[f.value]) {
-        continue;
-      }
-      holders[f.value].push_back(p);
-    }
+  obs::PhaseTimer timer("analysis.clustering.curve");
+  // Flat CSR store; a mask is applied once as a projection so the counting
+  // loops below carry no per-file branch.
+  CacheStore store = CacheStore::FromStaticCaches(caches);
+  if (file_mask != nullptr) {
+    store = store.Masked(*file_mask);
   }
 
-  // Pair overlap distribution. overlap_histogram[c] = #pairs with exactly c
-  // common (masked) files. Memory stays bounded by processing one anchor
-  // peer at a time. Anchor peers are partitioned into fixed-size blocks
-  // that fan out over the thread pool; each block accumulates a private
-  // histogram and the merge is a pure integer sum, so the result is
-  // identical for any thread count.
-  std::unordered_map<uint64_t, uint64_t> overlap_histogram;
-  {
-    constexpr size_t kPeersPerBlock = 256;
-    const size_t peer_count = caches.caches.size();
-    const size_t blocks = (peer_count + kPeersPerBlock - 1) / kPeersPerBlock;
-    std::vector<std::unordered_map<uint64_t, uint64_t>> block_histograms(blocks);
-    ParallelFor(0, blocks, [&](size_t block) {
-      auto& histogram = block_histograms[block];
-      // Per-peer candidate counting. Holders lists are sorted by
-      // construction (peers iterated in order), so "q > p" dedupes pairs.
-      std::unordered_map<uint32_t, uint32_t> local;
-      const uint32_t first = static_cast<uint32_t>(block * kPeersPerBlock);
-      const uint32_t last =
-          static_cast<uint32_t>(std::min(peer_count, (block + 1) * kPeersPerBlock));
-      for (uint32_t p = first; p < last; ++p) {
-        local.clear();
-        for (FileId f : caches.caches[p]) {
-          if (file_mask != nullptr && !(*file_mask)[f.value]) {
-            continue;
-          }
-          const auto it = holders.find(f.value);
-          if (it == holders.end()) {
-            continue;
-          }
-          for (uint32_t q : it->second) {
-            if (q > p) {
-              ++local[q];
-            }
-          }
-        }
-        for (const auto& [q, count] : local) {
-          ++histogram[count];
-        }
-      }
-    });
-    for (const auto& histogram : block_histograms) {
-      for (const auto& [overlap, pairs] : histogram) {
-        overlap_histogram[overlap] += pairs;
-      }
+  // Pair overlap distribution, capped at max_k + 1 (the curve never reads
+  // beyond it). Memory stays bounded by processing one anchor peer at a
+  // time. Anchor peers are partitioned into fixed-size blocks that fan out
+  // over the thread pool; each block accumulates a private dense histogram
+  // and the merge is a pure integer sum, so the result is identical for
+  // any thread count.
+  const size_t cap = max_k + 1;
+  constexpr size_t kPeersPerBlock = 256;
+  const size_t peer_count = store.peer_count();
+  const size_t blocks = (peer_count + kPeersPerBlock - 1) / kPeersPerBlock;
+  std::vector<std::vector<uint64_t>> block_histograms(blocks);
+  ParallelFor(0, blocks, [&](size_t block) {
+    auto& histogram = block_histograms[block];
+    histogram.assign(cap + 1, 0);
+    OverlapCounter counter(peer_count);
+    const uint32_t first = static_cast<uint32_t>(block * kPeersPerBlock);
+    const uint32_t last =
+        static_cast<uint32_t>(std::min(peer_count, (block + 1) * kPeersPerBlock));
+    for (uint32_t p = first; p < last; ++p) {
+      counter.ForAnchor(store, p, [&](uint32_t, uint32_t overlap) {
+        ++histogram[std::min<size_t>(overlap, cap)];
+      });
     }
-  }
+  });
 
   ClusteringCurve curve;
   curve.pairs_at_least.assign(max_k + 2, 0);
-  for (const auto& [overlap, pairs] : overlap_histogram) {
-    const uint64_t capped = std::min<uint64_t>(overlap, max_k + 1);
-    // Every pair with overlap c contributes to pairs_at_least[1..c].
-    curve.pairs_at_least[capped] += pairs;
+  for (const auto& histogram : block_histograms) {
+    // Every pair with overlap c contributes to pairs_at_least[1..c]; the
+    // suffix-sum below converts "exactly c (capped)" into ">= k".
+    for (size_t capped = 1; capped <= cap; ++capped) {
+      curve.pairs_at_least[capped] += histogram[capped];
+    }
   }
-  // Suffix-sum to convert "exactly capped" buckets into ">= k" counts.
   for (size_t k = max_k; k >= 1; --k) {
     curve.pairs_at_least[k] += curve.pairs_at_least[k + 1];
   }

@@ -1,37 +1,37 @@
 #include "src/analysis/overlap.h"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
 
 #include "src/exec/parallel.h"
+#include "src/obs/metrics.h"
+#include "src/trace/cache_store.h"
 
 namespace edk {
 
 namespace {
 
-// Enumerates all peer pairs with >= 1 common file on `day` and calls
-// visit(p, q, overlap) for each (p < q).
+// Enumerates all peer pairs with >= 1 common file in `store` and calls
+// visit(p, q, overlap) for each (p < q), serially. Counting runs on the
+// dense CSR counter; the per-anchor visit order, however, is pinned to the
+// historical implementation, which kept one unordered_map across anchors
+// (cleared per anchor) and iterated it. Downstream reservoir sampling
+// consumes rng draws in visit order, so changing the order would silently
+// change which pairs the sampler keeps. The touched-list's first-encounter
+// order equals the legacy map's key-insertion order, so replaying it into
+// the same kind of reused map reproduces the legacy iteration order — and
+// with it bit-identical sampled cohorts — at one hash insert per pair
+// instead of one hash lookup per shared-file incidence.
 template <typename Visitor>
-void ForEachOverlappingPair(const Trace& trace, int day, Visitor visit) {
-  const StaticCaches caches = BuildDayCaches(trace, day);
-  std::unordered_map<uint32_t, std::vector<uint32_t>> holders;
-  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
-    for (FileId f : caches.caches[p]) {
-      holders[f.value].push_back(p);
-    }
-  }
-  std::unordered_map<uint32_t, uint32_t> local;
-  for (uint32_t p = 0; p < caches.caches.size(); ++p) {
-    local.clear();
-    for (FileId f : caches.caches[p]) {
-      for (uint32_t q : holders[f.value]) {
-        if (q > p) {
-          ++local[q];
-        }
-      }
-    }
-    for (const auto& [q, overlap] : local) {
+void ForEachOverlappingPair(const CacheStore& store, Visitor visit) {
+  OverlapCounter counter(store.peer_count());
+  const size_t peers = store.peer_count();
+  std::unordered_map<uint32_t, uint32_t> replay;
+  for (uint32_t p = 0; p < peers; ++p) {
+    replay.clear();
+    counter.ForAnchor(store, p,
+                      [&](uint32_t q, uint32_t overlap) { replay.emplace(q, overlap); });
+    for (const auto& [q, overlap] : replay) {
       visit(p, q, overlap);
     }
   }
@@ -41,15 +41,47 @@ void ForEachOverlappingPair(const Trace& trace, int day, Visitor visit) {
 
 std::vector<std::pair<uint32_t, uint64_t>> OverlapHistogramOnDay(const Trace& trace,
                                                                  int day) {
-  std::map<uint32_t, uint64_t> histogram;
-  ForEachOverlappingPair(trace, day, [&histogram](uint32_t, uint32_t, uint32_t overlap) {
-    ++histogram[overlap];
+  obs::PhaseTimer timer("analysis.overlap.histogram_day");
+  const CacheStore store = CacheStore::FromTraceDay(trace, day);
+  // No pairwise overlap can exceed the largest single cache, so per-block
+  // histograms are dense arrays; the merge is a pure integer sum and the
+  // result is identical for any thread count.
+  const size_t bound = store.MaxCacheSize() + 1;
+  constexpr size_t kPeersPerBlock = 256;
+  const size_t peers = store.peer_count();
+  const size_t blocks = (peers + kPeersPerBlock - 1) / kPeersPerBlock;
+  std::vector<std::vector<uint64_t>> block_histograms(blocks);
+  ParallelFor(0, blocks, [&](size_t block) {
+    auto& histogram = block_histograms[block];
+    histogram.assign(bound, 0);
+    OverlapCounter counter(peers);
+    const uint32_t first = static_cast<uint32_t>(block * kPeersPerBlock);
+    const uint32_t last =
+        static_cast<uint32_t>(std::min<size_t>(peers, (block + 1) * kPeersPerBlock));
+    for (uint32_t p = first; p < last; ++p) {
+      counter.ForAnchor(store, p,
+                        [&](uint32_t, uint32_t overlap) { ++histogram[overlap]; });
+    }
   });
-  return {histogram.begin(), histogram.end()};
+
+  std::vector<uint64_t> merged(bound, 0);
+  for (const auto& histogram : block_histograms) {
+    for (size_t overlap = 0; overlap < bound; ++overlap) {
+      merged[overlap] += histogram[overlap];
+    }
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> result;
+  for (size_t overlap = 1; overlap < bound; ++overlap) {
+    if (merged[overlap] > 0) {
+      result.emplace_back(static_cast<uint32_t>(overlap), merged[overlap]);
+    }
+  }
+  return result;
 }
 
 std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
                                                    const OverlapEvolutionOptions& options) {
+  obs::PhaseTimer timer("analysis.overlap.evolution");
   std::vector<OverlapCohort> cohorts;
   cohorts.reserve(options.cohort_overlaps.size());
   std::unordered_map<uint32_t, size_t> cohort_index;
@@ -62,8 +94,11 @@ std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
 
   const int first_day = trace.first_day();
   Rng rng(options.seed);
+  obs::PhaseTimer enumerate_timer("analysis.overlap.evolution.enumerate");
+  // Serial enumeration: the reservoir sampler below consumes rng draws, so
+  // the pair visit order must not depend on scheduling.
   ForEachOverlappingPair(
-      trace, first_day,
+      CacheStore::FromTraceDay(trace, first_day),
       [&](uint32_t p, uint32_t q, uint32_t overlap) {
         const auto it = cohort_index.find(overlap);
         if (it == cohort_index.end()) {
@@ -81,31 +116,74 @@ std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
           }
         }
       });
+  enumerate_timer.Stop();
 
   const size_t days = static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
   for (auto& cohort : cohorts) {
     cohort.mean_overlap.assign(days, 0.0);
   }
+  // The sampled pairs are fixed from here on; the daily sweep only needs
+  // their per-day overlap SUM per cohort, and every addend is an integer
+  // below 2^32 summed fewer than 2^21 times, so the double accumulator is
+  // exact and the pair visit order is free to change. Grouping each
+  // cohort's pairs by anchor lets one stamped pass over the anchor's cache
+  // serve all its partners: overlap becomes a linear scan of the partner's
+  // cache against the stamp array instead of a two-pointer merge, and the
+  // per-day snapshot lookup is memoised per peer instead of repeated per
+  // pair.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> by_anchor(cohorts.size());
+  for (size_t c = 0; c < cohorts.size(); ++c) {
+    by_anchor[c] = cohorts[c].pairs;
+    std::sort(by_anchor[c].begin(), by_anchor[c].end());
+  }
   // Days are independent: each task only reads the trace and writes the
   // per-day slot of every cohort, so results match the serial loop exactly.
   ParallelFor(0, days, [&](size_t d) {
     const int day = first_day + static_cast<int>(d);
-    for (auto& cohort : cohorts) {
-      if (cohort.pairs.empty()) {
+    std::vector<const CacheSnapshot*> snapshot(trace.peer_count(), nullptr);
+    std::vector<uint8_t> snapshot_known(trace.peer_count(), 0);
+    const auto snapshot_of = [&](uint32_t peer) {
+      if (snapshot_known[peer] == 0) {
+        snapshot_known[peer] = 1;
+        snapshot[peer] = trace.timeline(PeerId(peer)).SnapshotOn(day);
+      }
+      return snapshot[peer];
+    };
+    std::vector<uint32_t> file_stamp(trace.file_count(), 0);
+    uint32_t stamp = 0;
+    for (size_t c = 0; c < cohorts.size(); ++c) {
+      const auto& pairs = by_anchor[c];
+      if (pairs.empty()) {
         continue;
       }
       double sum = 0;
       uint64_t counted = 0;
-      for (const auto& [p, q] : cohort.pairs) {
-        const CacheSnapshot* a = trace.timeline(PeerId(p)).SnapshotOn(day);
-        const CacheSnapshot* b = trace.timeline(PeerId(q)).SnapshotOn(day);
-        if (a == nullptr || b == nullptr) {
-          continue;
+      for (size_t i = 0; i < pairs.size();) {
+        const uint32_t p = pairs[i].first;
+        const CacheSnapshot* a = snapshot_of(p);
+        if (a != nullptr) {
+          ++stamp;
+          for (const FileId f : a->files) {
+            file_stamp[f.value] = stamp;
+          }
         }
-        sum += static_cast<double>(OverlapSize(a->files, b->files));
-        ++counted;
+        for (; i < pairs.size() && pairs[i].first == p; ++i) {
+          if (a == nullptr) {
+            continue;
+          }
+          const CacheSnapshot* b = snapshot_of(pairs[i].second);
+          if (b == nullptr) {
+            continue;
+          }
+          uint64_t overlap = 0;
+          for (const FileId f : b->files) {
+            overlap += file_stamp[f.value] == stamp ? 1 : 0;
+          }
+          sum += static_cast<double>(overlap);
+          ++counted;
+        }
       }
-      cohort.mean_overlap[d] = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+      cohorts[c].mean_overlap[d] = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
     }
   });
   return cohorts;

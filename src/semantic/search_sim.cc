@@ -1,49 +1,71 @@
 #include "src/semantic/search_sim.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
-#include <unordered_set>
 
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
+#include "src/trace/cache_store.h"
 
 namespace edk {
 
 namespace {
 
-// Packs a (peer, file) pair into one 64-bit value for the request shuffle.
-inline uint64_t PackRequest(uint32_t peer, uint32_t file) {
-  return (static_cast<uint64_t>(peer) << 32) | file;
+// Packs a (peer, replica slot) pair into one 64-bit value for the request
+// shuffle. The slot indexes the flat CSR files array, so it both recovers
+// the file id and addresses the per-replica acquired flag directly.
+inline uint64_t PackRequest(uint32_t peer, size_t slot) {
+  return (static_cast<uint64_t>(peer) << 32) | static_cast<uint32_t>(slot);
 }
 
 constexpr uint32_t kSentinelNoUploader = 0xffffffffu;
 
 }  // namespace
 
+size_t MaxRandomNeighbours(size_t sharer_count, bool requester_shares,
+                           size_t list_size) {
+  // The requester never queries itself, so it occupies a candidate slot
+  // only when it is itself a sharer.
+  const size_t reachable = sharer_count - (requester_shares ? 1 : 0);
+  return std::min(list_size, reachable);
+}
+
 SearchSimResult RunSearchSimulation(const StaticCaches& potential,
                                     const SearchSimConfig& config) {
+  obs::PhaseTimer timer("semantic.search_sim.run");
   const size_t peer_count = potential.caches.size();
   Rng rng(config.seed);
   SearchSimResult result;
 
+  // Flat CSR view of the request universe. Every peer only ever acquires
+  // files from its own potential cache, so "which files does q share right
+  // now" is a per-replica bit over the CSR slots: O(log k) binary search in
+  // q's sorted slice instead of one unordered_set per peer.
+  const CacheStore store = CacheStore::FromStaticCaches(potential);
+  assert(store.total_replicas() <= 0xffffffffu);
+
   // Request stream: every (peer, file) pair in uniform random order. This
   // realises the paper's "successively pick at random a peer p and a file f
-  // in its set of files to be requested".
+  // in its set of files to be requested". Slots enumerate each peer's cache
+  // in ascending file order, matching the historical (peer, file) stream.
   std::vector<uint64_t> requests;
-  requests.reserve(potential.TotalReplicas());
-  uint32_t max_file = 0;
+  requests.reserve(store.total_replicas());
   for (uint32_t p = 0; p < peer_count; ++p) {
-    for (FileId f : potential.caches[p]) {
-      requests.push_back(PackRequest(p, f.value));
-      max_file = std::max(max_file, f.value);
+    for (size_t slot = store.PeerBegin(p); slot < store.PeerEnd(p); ++slot) {
+      requests.push_back(PackRequest(p, slot));
     }
   }
   rng.Shuffle(requests);
 
-  // Evolving state: which files each peer currently shares, and the known
+  // Evolving state: which replica slots have been acquired, and the known
   // sources of each file (sources only ever grow in this simulation).
-  std::vector<std::unordered_set<uint32_t>> shared(peer_count);
-  std::vector<std::vector<uint32_t>> sources(static_cast<size_t>(max_file) + 1);
+  std::vector<uint8_t> acquired(store.total_replicas(), 0);
+  std::vector<std::vector<uint32_t>> sources(store.file_bound());
+  const auto shares_file = [&](uint32_t q, uint32_t f) {
+    const size_t slot = store.FindSlot(q, f);
+    return slot != CacheStore::kNoSlot && acquired[slot] != 0;
+  };
 
   // Per-peer neighbour lists (lazily created; free-riders have no requests
   // so they never allocate one). With fixed views, no lists are learned.
@@ -58,7 +80,7 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
   std::vector<uint32_t> sharer_ids;
   if (random_strategy) {
     for (uint32_t p = 0; p < peer_count; ++p) {
-      if (!potential.caches[p].empty()) {
+      if (store.CacheSize(p) > 0) {
         sharer_ids.push_back(p);
       }
     }
@@ -76,20 +98,26 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
 
   std::vector<uint32_t> neighbours;
   std::vector<uint32_t> second_hop;
-  std::unordered_set<uint32_t> visited;
-  std::unordered_set<uint32_t> offline;  // Per-request offline neighbours.
+  // Per-request membership (two-hop visited set, Random-strategy neighbour
+  // dedup, offline neighbours): epoch-stamped dense arrays. Bumping the
+  // epoch empties them in O(1); no hashing, no clears.
+  std::vector<uint64_t> visited_stamp(peer_count, 0);
+  std::vector<uint64_t> offline_stamp(peer_count, 0);
+  uint64_t epoch = 0;
 
   for (uint64_t packed : requests) {
     const uint32_t p = static_cast<uint32_t>(packed >> 32);
-    const uint32_t f = static_cast<uint32_t>(packed);
-    if (shared[p].contains(f)) {
+    const size_t slot = static_cast<uint32_t>(packed);
+    const uint32_t f = store.FileAtSlot(slot);
+    ++epoch;
+    if (acquired[slot] != 0) {
       continue;  // Already acquired earlier in the run (e.g. as a seed).
     }
     auto& file_sources = sources[f];
     if (file_sources.empty()) {
       // p is the original contributor of f.
       ++result.seeds;
-      shared[p].insert(f);
+      acquired[slot] = 1;
       file_sources.push_back(p);
       continue;
     }
@@ -118,16 +146,20 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
         neighbours.assign(view.begin(), view.begin() + static_cast<long>(take));
       }
     } else if (random_strategy) {
-      // k distinct random sharers (excluding the requester).
+      // k distinct random sharers (excluding the requester). Every request
+      // here comes from the requester's own cache, so it is a sharer; the
+      // guard still accounts for non-sharing requesters explicitly rather
+      // than always reserving them a slot.
+      const size_t max_neighbours = MaxRandomNeighbours(
+          sharer_ids.size(), store.CacheSize(p) > 0, config.list_size);
+      visited_stamp[p] = epoch;
       for (int attempts = 0;
-           neighbours.size() < config.list_size &&
-           attempts < static_cast<int>(4 * config.list_size) &&
-           neighbours.size() + 1 < sharer_ids.size();
+           neighbours.size() < max_neighbours &&
+           attempts < static_cast<int>(4 * config.list_size);
            ++attempts) {
         const uint32_t candidate = sharer_ids[rng.NextBelow(sharer_ids.size())];
-        if (candidate != p &&
-            std::find(neighbours.begin(), neighbours.end(), candidate) ==
-                neighbours.end()) {
+        if (visited_stamp[candidate] != epoch) {
+          visited_stamp[candidate] = epoch;
           neighbours.push_back(candidate);
         }
       }
@@ -135,20 +167,17 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
       lists[p]->Collect(config.list_size, neighbours);
     }
 
-    if (config.neighbour_availability < 1.0) {
-      offline.clear();
-    }
     for (uint32_t q : neighbours) {
       // Churn model: an offline neighbour receives no query and cannot
       // answer; the message is never sent. The draw is per request and
       // per peer, so the two-hop stage sees the same offline set.
       if (config.neighbour_availability < 1.0 &&
           !rng.NextBool(config.neighbour_availability)) {
-        offline.insert(q);
+        offline_stamp[q] = epoch;
         continue;
       }
       charge(q);
-      if (shared[q].contains(f)) {
+      if (shares_file(q, f)) {
         uploader = q;
         one_hop = true;
         break;
@@ -156,17 +185,16 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
     }
 
     if (!one_hop && config.two_hop && !random_strategy) {
-      visited.clear();
-      visited.insert(p);
+      visited_stamp[p] = epoch;
       for (uint32_t q : neighbours) {
-        visited.insert(q);
+        visited_stamp[q] = epoch;
       }
       for (uint32_t q : neighbours) {
         if (two_hop) {
           break;
         }
         // An offline neighbour cannot forward to its own neighbours.
-        if (offline.contains(q)) {
+        if (offline_stamp[q] == epoch) {
           continue;
         }
         second_hop.clear();
@@ -180,16 +208,17 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
           lists[q]->Collect(config.list_size, second_hop);
         }
         for (uint32_t r : second_hop) {
-          if (!visited.insert(r).second) {
+          if (visited_stamp[r] == epoch) {
             continue;
           }
+          visited_stamp[r] = epoch;
           if (config.neighbour_availability < 1.0 &&
               !rng.NextBool(config.neighbour_availability)) {
             continue;
           }
           charge(r);
           ++result.two_hop_probes;
-          if (shared[r].contains(f)) {
+          if (shares_file(r, f)) {
             uploader = r;
             two_hop = true;
             break;
@@ -214,7 +243,7 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
       const double rarity = 1.0 / static_cast<double>(file_sources.size());
       lists[p]->RecordUpload(uploader, rarity);
     }
-    shared[p].insert(f);
+    acquired[slot] = 1;
     file_sources.push_back(p);
   }
 

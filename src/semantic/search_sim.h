@@ -72,6 +72,14 @@ struct SearchSimResult {
   }
 };
 
+// Maximum number of distinct random neighbours a requester can be handed
+// by the Random baseline: the sharer universe, minus the requester itself
+// when (and only when) it is a sharer, capped at the list size. Split out
+// so the guard is testable — an earlier version always reserved a slot for
+// the requester, under-serving non-sharing requesters by one.
+size_t MaxRandomNeighbours(size_t sharer_count, bool requester_shares,
+                           size_t list_size);
+
 // `potential` holds, per peer, the set of files it will request during the
 // simulation (its cache content in the static trace).
 SearchSimResult RunSearchSimulation(const StaticCaches& potential,

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/common/random_access_set.h"
+#include "src/obs/metrics.h"
 
 namespace edk {
 
@@ -15,57 +15,106 @@ uint64_t RecommendedSwapCount(const StaticCaches& caches) {
   return static_cast<uint64_t>(0.5 * n * std::log(n)) + 1;
 }
 
+namespace {
+
+// Removes `out` from the sorted slice [begin, end) and inserts `in`,
+// shifting only the elements between the two positions. `out` must be
+// present and `in` absent.
+void ReplaceSorted(uint32_t* begin, uint32_t* end, uint32_t out, uint32_t in) {
+  uint32_t* pos = std::lower_bound(begin, end, out);
+  if (in > out) {
+    uint32_t* ins = std::lower_bound(pos + 1, end, in);
+    std::move(pos + 1, ins, pos);
+    *(ins - 1) = in;
+  } else {
+    uint32_t* ins = std::lower_bound(begin, pos, in);
+    std::move_backward(ins, pos, pos + 1);
+    *ins = in;
+  }
+}
+
+}  // namespace
+
 RandomizeResult RandomizeCaches(const StaticCaches& caches, uint64_t swaps, Rng& rng) {
+  obs::PhaseTimer timer("trace.randomize");
   const size_t peer_count = caches.caches.size();
 
-  // Mutable cache sets with O(1) membership / random pick / swap.
-  std::vector<RandomAccessSet<uint32_t>> sets(peer_count);
-  // Picking a peer proportionally to |C_u| == picking a replica uniformly
-  // and taking its owner. Swaps never change cache sizes, so this flat
-  // owner table stays valid for the whole run.
-  std::vector<uint32_t> replica_owner;
-  replica_owner.reserve(caches.TotalReplicas());
+  // Flat CSR layout: swaps never change cache sizes, so the offsets stay
+  // valid for the whole run. Two parallel flat arrays per replica slot:
+  //   items  — draw order. Mirrors the historical RandomAccessSet exactly
+  //            (erase = swap-with-last, insert = append), so RandomElement
+  //            picks, and with them the whole swap trajectory, are
+  //            bit-identical to the previous implementation.
+  //   sorted — each peer's cache ascending, giving O(log k) membership
+  //            tests with no hashing; kept sorted with an O(k) shift only
+  //            on the (rarer) successful swaps.
+  std::vector<size_t> offsets(peer_count + 1, 0);
   for (size_t p = 0; p < peer_count; ++p) {
-    sets[p].Reserve(caches.caches[p].size());
-    for (FileId f : caches.caches[p]) {
-      sets[p].Insert(f.value);
-      replica_owner.push_back(static_cast<uint32_t>(p));
+    offsets[p + 1] = offsets[p] + caches.caches[p].size();
+  }
+  const size_t total = offsets[peer_count];
+  std::vector<uint32_t> items(total);
+  std::vector<uint32_t> sorted(total);
+  // Picking a peer proportionally to |C_u| == picking a replica uniformly
+  // and taking its owner.
+  std::vector<uint32_t> replica_owner(total);
+  for (size_t p = 0; p < peer_count; ++p) {
+    size_t slot = offsets[p];
+    for (const FileId f : caches.caches[p]) {
+      items[slot] = f.value;
+      sorted[slot] = f.value;
+      replica_owner[slot] = static_cast<uint32_t>(p);
+      ++slot;
     }
   }
 
   RandomizeResult result;
-  if (replica_owner.size() < 2) {
+  if (total < 2) {
     result.caches = caches;
     return result;
   }
 
+  const auto contains = [&](uint32_t p, uint32_t f) {
+    return std::binary_search(sorted.data() + offsets[p],
+                              sorted.data() + offsets[p + 1], f);
+  };
+
   for (uint64_t iter = 0; iter < swaps; ++iter) {
     ++result.attempted_swaps;
-    const uint32_t u = replica_owner[rng.NextBelow(replica_owner.size())];
-    const uint32_t v = replica_owner[rng.NextBelow(replica_owner.size())];
+    const uint32_t u = replica_owner[rng.NextBelow(total)];
+    const uint32_t v = replica_owner[rng.NextBelow(total)];
     if (u == v) {
       continue;
     }
-    const uint32_t f = sets[u].RandomElement(rng);
-    const uint32_t f_prime = sets[v].RandomElement(rng);
-    if (f == f_prime || sets[u].Contains(f_prime) || sets[v].Contains(f)) {
+    const size_t u_begin = offsets[u];
+    const size_t u_last = offsets[u + 1] - 1;
+    const size_t v_begin = offsets[v];
+    const size_t v_last = offsets[v + 1] - 1;
+    const size_t fi = u_begin + rng.NextBelow(u_last - u_begin + 1);
+    const size_t gi = v_begin + rng.NextBelow(v_last - v_begin + 1);
+    const uint32_t f = items[fi];
+    const uint32_t f_prime = items[gi];
+    if (f == f_prime || contains(u, f_prime) || contains(v, f)) {
       continue;
     }
-    sets[u].Erase(f);
-    sets[u].Insert(f_prime);
-    sets[v].Erase(f_prime);
-    sets[v].Insert(f);
+    // Erase-then-insert in RandomAccessSet order: the erased slot takes the
+    // last element, the last slot takes the inserted file.
+    items[fi] = items[u_last];
+    items[u_last] = f_prime;
+    items[gi] = items[v_last];
+    items[v_last] = f;
+    ReplaceSorted(sorted.data() + u_begin, sorted.data() + u_last + 1, f, f_prime);
+    ReplaceSorted(sorted.data() + v_begin, sorted.data() + v_last + 1, f_prime, f);
     ++result.successful_swaps;
   }
 
   result.caches.caches.resize(peer_count);
   for (size_t p = 0; p < peer_count; ++p) {
     auto& out = result.caches.caches[p];
-    out.reserve(sets[p].size());
-    for (uint32_t raw : sets[p]) {
-      out.push_back(FileId(raw));
+    out.reserve(offsets[p + 1] - offsets[p]);
+    for (size_t slot = offsets[p]; slot < offsets[p + 1]; ++slot) {
+      out.push_back(FileId(sorted[slot]));
     }
-    std::sort(out.begin(), out.end());
   }
   return result;
 }

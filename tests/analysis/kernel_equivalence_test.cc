@@ -1,0 +1,199 @@
+// Property tests pinning the CSR overlap kernels to the legacy
+// hash-map/brute-force semantics: identical outputs on seeded random
+// traces, and identical outputs for any worker-thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/clustering.h"
+#include "src/analysis/overlap.h"
+#include "src/common/rng.h"
+#include "src/exec/parallel.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+namespace {
+
+// Random trace: every peer draws a fresh random cache on each day it is
+// observed, and skips days at random (exercising the null-snapshot paths).
+Trace RandomTrace(uint64_t seed, size_t peers, size_t files, int days,
+                  size_t max_cache) {
+  Rng rng(seed);
+  Trace trace;
+  for (size_t f = 0; f < files; ++f) {
+    trace.AddFile(FileMeta{});
+  }
+  std::vector<PeerId> ids;
+  for (size_t p = 0; p < peers; ++p) {
+    ids.push_back(trace.AddPeer(PeerInfo{}));
+  }
+  for (const PeerId id : ids) {
+    for (int day = 1; day <= days; ++day) {
+      if (rng.NextBelow(4) == 0) {
+        continue;  // Offline that day.
+      }
+      std::set<uint32_t> picked;
+      const size_t size = 1 + rng.NextBelow(max_cache);
+      while (picked.size() < size) {
+        picked.insert(static_cast<uint32_t>(rng.NextBelow(files)));
+      }
+      std::vector<FileId> cache;
+      for (uint32_t f : picked) {
+        cache.push_back(FileId(f));
+      }
+      trace.AddSnapshot(id, day, cache);
+    }
+  }
+  return trace;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> ReferenceHistogram(const Trace& trace,
+                                                              int day) {
+  const StaticCaches caches = BuildDayCaches(trace, day);
+  std::map<uint32_t, uint64_t> histogram;
+  for (size_t p = 0; p < caches.caches.size(); ++p) {
+    for (size_t q = p + 1; q < caches.caches.size(); ++q) {
+      const size_t overlap = OverlapSize(caches.caches[p], caches.caches[q]);
+      if (overlap > 0) {
+        ++histogram[static_cast<uint32_t>(overlap)];
+      }
+    }
+  }
+  return {histogram.begin(), histogram.end()};
+}
+
+ClusteringCurve ReferenceClusteringCurve(const StaticCaches& caches,
+                                         size_t max_k,
+                                         const std::vector<bool>* mask) {
+  // Mask projection, then brute-force pairwise overlaps and the same
+  // suffix-sum arithmetic as the production code.
+  std::vector<std::vector<FileId>> projected(caches.caches.size());
+  for (size_t p = 0; p < caches.caches.size(); ++p) {
+    for (const FileId f : caches.caches[p]) {
+      if (mask == nullptr || (f.value < mask->size() && (*mask)[f.value])) {
+        projected[p].push_back(f);
+      }
+    }
+  }
+  ClusteringCurve curve;
+  curve.pairs_at_least.assign(max_k + 2, 0);
+  for (size_t p = 0; p < projected.size(); ++p) {
+    for (size_t q = p + 1; q < projected.size(); ++q) {
+      const size_t overlap = OverlapSize(projected[p], projected[q]);
+      for (size_t k = 1; k <= std::min(overlap, max_k + 1); ++k) {
+        ++curve.pairs_at_least[k];
+      }
+    }
+  }
+  curve.probability.assign(max_k + 1, 0.0);
+  for (size_t k = 1; k <= max_k; ++k) {
+    if (curve.pairs_at_least[k] > 0) {
+      curve.probability[k] = static_cast<double>(curve.pairs_at_least[k + 1]) /
+                             static_cast<double>(curve.pairs_at_least[k]);
+    }
+  }
+  return curve;
+}
+
+TEST(KernelEquivalenceTest, OverlapHistogramMatchesBruteForce) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Trace trace = RandomTrace(seed, 40, 100, 4, 15);
+    for (int day = 1; day <= 4; ++day) {
+      EXPECT_EQ(OverlapHistogramOnDay(trace, day), ReferenceHistogram(trace, day))
+          << "seed " << seed << " day " << day;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ClusteringCurveMatchesBruteForce) {
+  for (const uint64_t seed : {5u, 6u}) {
+    const Trace trace = RandomTrace(seed, 50, 80, 2, 20);
+    const StaticCaches caches = BuildDayCaches(trace, 1);
+    Rng mask_rng(seed + 100);
+    std::vector<bool> mask(80);
+    for (size_t f = 0; f < mask.size(); ++f) {
+      mask[f] = mask_rng.NextBelow(2) == 0;
+    }
+    const std::vector<bool>* mask_cases[] = {nullptr, &mask};
+    for (const size_t max_k : {1u, 5u, 32u}) {
+      for (const std::vector<bool>* m : mask_cases) {
+        const ClusteringCurve got = ComputeClusteringCurve(caches, max_k, m);
+        const ClusteringCurve expected = ReferenceClusteringCurve(caches, max_k, m);
+        EXPECT_EQ(got.pairs_at_least, expected.pairs_at_least)
+            << "seed " << seed << " max_k " << max_k << " masked " << (m != nullptr);
+        // Same integer operands, same division: bitwise-equal doubles.
+        EXPECT_EQ(got.probability, expected.probability);
+      }
+    }
+  }
+}
+
+// Worker-count independence, bit for bit, for every parallel kernel. The
+// evolution check includes an undersized reservoir so the sampled cohorts
+// (chosen during the serial enumeration) are exercised too.
+TEST(KernelEquivalenceTest, ResultsAreThreadCountInvariant) {
+  const Trace trace = RandomTrace(9, 60, 120, 5, 18);
+  const StaticCaches caches = BuildDayCaches(trace, 1);
+  OverlapEvolutionOptions options;
+  options.cohort_overlaps = {1, 2, 3, 4};
+  options.max_pairs_per_cohort = 8;
+
+  SetDefaultThreads(1);
+  const auto histogram_t1 = OverlapHistogramOnDay(trace, 1);
+  const auto curve_t1 = ComputeClusteringCurve(caches, 16);
+  const auto cohorts_t1 = ComputeOverlapEvolution(trace, options);
+
+  SetDefaultThreads(8);
+  const auto histogram_t8 = OverlapHistogramOnDay(trace, 1);
+  const auto curve_t8 = ComputeClusteringCurve(caches, 16);
+  const auto cohorts_t8 = ComputeOverlapEvolution(trace, options);
+  SetDefaultThreads(0);
+
+  EXPECT_EQ(histogram_t1, histogram_t8);
+  EXPECT_EQ(curve_t1.pairs_at_least, curve_t8.pairs_at_least);
+  EXPECT_EQ(curve_t1.probability, curve_t8.probability);
+  ASSERT_EQ(cohorts_t1.size(), cohorts_t8.size());
+  for (size_t c = 0; c < cohorts_t1.size(); ++c) {
+    EXPECT_EQ(cohorts_t1[c].pair_count, cohorts_t8[c].pair_count);
+    EXPECT_EQ(cohorts_t1[c].pairs, cohorts_t8[c].pairs);
+    EXPECT_EQ(cohorts_t1[c].mean_overlap, cohorts_t8[c].mean_overlap);
+  }
+}
+
+// The daily means must equal the naive per-pair merge regardless of the
+// anchor-grouped stamped counting and snapshot memoisation.
+TEST(KernelEquivalenceTest, EvolutionMeansMatchBruteForce) {
+  const Trace trace = RandomTrace(13, 30, 60, 6, 12);
+  OverlapEvolutionOptions options;
+  options.cohort_overlaps = {1, 2, 3};
+  // Large enough that no cohort is sampled: the pair sets are then
+  // order-independent and a reference can be computed directly.
+  options.max_pairs_per_cohort = 1u << 20;
+  const auto cohorts = ComputeOverlapEvolution(trace, options);
+  for (const auto& cohort : cohorts) {
+    for (size_t d = 0; d < cohort.mean_overlap.size(); ++d) {
+      const int day = trace.first_day() + static_cast<int>(d);
+      double sum = 0;
+      uint64_t counted = 0;
+      for (const auto& [p, q] : cohort.pairs) {
+        const CacheSnapshot* a = trace.timeline(PeerId(p)).SnapshotOn(day);
+        const CacheSnapshot* b = trace.timeline(PeerId(q)).SnapshotOn(day);
+        if (a == nullptr || b == nullptr) {
+          continue;
+        }
+        sum += static_cast<double>(OverlapSize(a->files, b->files));
+        ++counted;
+      }
+      const double expected = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+      EXPECT_EQ(cohort.mean_overlap[d], expected)
+          << "cohort " << cohort.initial_overlap << " day " << day;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edk

@@ -192,5 +192,59 @@ TEST(SearchSimTest, UniformCachesStillMostlyResolve) {
   EXPECT_GT(result.OneHopHitRate(), 0.45);
 }
 
+// Regression for the Random-strategy termination guard: the historical
+// condition `neighbours.size() + 1 < sharer_count` always reserved a slot
+// for the requester, under-serving non-sharing requesters by one.
+TEST(MaxRandomNeighboursTest, ReservesRequesterSlotOnlyWhenSharing) {
+  // Fewer sharers than the list: a sharing requester can reach all others,
+  // a free-riding requester can reach every sharer.
+  EXPECT_EQ(MaxRandomNeighbours(10, /*requester_shares=*/true, 20), 9u);
+  EXPECT_EQ(MaxRandomNeighbours(10, /*requester_shares=*/false, 20), 10u);
+  // More sharers than the list: the cap binds either way.
+  EXPECT_EQ(MaxRandomNeighbours(100, true, 20), 20u);
+  EXPECT_EQ(MaxRandomNeighbours(100, false, 20), 20u);
+  // Degenerate universes.
+  EXPECT_EQ(MaxRandomNeighbours(1, true, 20), 0u);
+  EXPECT_EQ(MaxRandomNeighbours(1, false, 20), 1u);
+  EXPECT_EQ(MaxRandomNeighbours(0, false, 20), 0u);
+}
+
+// Pins the Random strategy's neighbour fan-out on a tiny hand-built cache
+// set: with the list larger than the sharer universe, a requester reaches
+// every other sharer, so (with full availability) no request can fall back
+// to the server — any over-reservation in the guard would break this.
+TEST(SearchSimTest, RandomReachesEveryOtherSharer) {
+  StaticCaches caches;
+  // Four sharers with pairwise-common files; every file has two potential
+  // holders, so every non-seed request has exactly one live source.
+  caches.caches.push_back({FileId(0), FileId(1), FileId(2)});
+  caches.caches.push_back({FileId(0), FileId(3), FileId(4)});
+  caches.caches.push_back({FileId(1), FileId(3), FileId(5)});
+  caches.caches.push_back({FileId(2), FileId(4), FileId(5)});
+  caches.caches.push_back({});  // Free-rider: never requests.
+
+  SearchSimConfig config;
+  config.strategy = StrategyKind::kRandom;
+  config.list_size = 20;  // Far larger than the 4-peer sharer universe.
+  config.seed = 7;
+  const auto result = RunSearchSimulation(caches, config);
+
+  // 12 picks: one seed + one request per file.
+  EXPECT_EQ(result.seeds, 6u);
+  EXPECT_EQ(result.requests, 6u);
+  // Querying all 3 other sharers always finds the single holder.
+  EXPECT_EQ(result.one_hop_hits, result.requests);
+  EXPECT_EQ(result.fallbacks, 0u);
+  // Each request queries at most the 3 other sharers, and at least 1 peer.
+  EXPECT_LE(result.messages, result.requests * 3);
+  EXPECT_GE(result.messages, result.requests);
+  uint64_t load_sum = 0;
+  for (uint32_t queries : result.load) {
+    load_sum += queries;
+  }
+  EXPECT_EQ(load_sum, result.messages);
+  EXPECT_EQ(result.load[4], 0u);  // The free-rider is never a sharer.
+}
+
 }  // namespace
 }  // namespace edk

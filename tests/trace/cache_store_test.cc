@@ -1,0 +1,210 @@
+#include "src/trace/cache_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace edk {
+namespace {
+
+StaticCaches MakeCaches(const std::vector<std::vector<uint32_t>>& raw) {
+  StaticCaches caches;
+  for (const auto& cache : raw) {
+    std::vector<FileId> files;
+    for (uint32_t v : cache) {
+      files.push_back(FileId(v));
+    }
+    std::sort(files.begin(), files.end());
+    caches.caches.push_back(std::move(files));
+  }
+  return caches;
+}
+
+StaticCaches RandomCaches(uint64_t seed, size_t peers, size_t files,
+                          size_t max_cache) {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> raw(peers);
+  for (auto& cache : raw) {
+    std::set<uint32_t> picked;
+    const size_t size = rng.NextBelow(max_cache + 1);
+    while (picked.size() < size) {
+      picked.insert(static_cast<uint32_t>(rng.NextBelow(files)));
+    }
+    cache.assign(picked.begin(), picked.end());
+  }
+  return MakeCaches(raw);
+}
+
+TEST(CacheStoreTest, LayoutMatchesInput) {
+  const StaticCaches caches = MakeCaches({{2, 5, 9}, {}, {5, 7}, {2}});
+  const CacheStore store = CacheStore::FromStaticCaches(caches);
+
+  EXPECT_EQ(store.peer_count(), 4u);
+  EXPECT_EQ(store.total_replicas(), 6u);
+  EXPECT_EQ(store.file_bound(), 10u);  // Largest id present is 9.
+  EXPECT_EQ(store.MaxCacheSize(), 3u);
+
+  EXPECT_EQ(store.CacheSize(0), 3u);
+  EXPECT_EQ(store.CacheSize(1), 0u);
+  ASSERT_EQ(store.PeerFiles(0).size(), 3u);
+  EXPECT_EQ(store.PeerFiles(0)[0], 2u);
+  EXPECT_EQ(store.PeerFiles(0)[2], 9u);
+  EXPECT_TRUE(store.PeerFiles(1).empty());
+
+  // Transpose: holders ascending per file.
+  ASSERT_EQ(store.FileHolders(2).size(), 2u);
+  EXPECT_EQ(store.FileHolders(2)[0], 0u);
+  EXPECT_EQ(store.FileHolders(2)[1], 3u);
+  ASSERT_EQ(store.FileHolders(5).size(), 2u);
+  EXPECT_EQ(store.FileHolders(5)[0], 0u);
+  EXPECT_EQ(store.FileHolders(5)[1], 2u);
+  EXPECT_TRUE(store.FileHolders(3).empty());
+  EXPECT_TRUE(store.FileHolders(12345).empty());  // Beyond file_bound.
+}
+
+TEST(CacheStoreTest, SlotsAddressTheFlatArray) {
+  const StaticCaches caches = MakeCaches({{2, 5, 9}, {}, {5, 7}});
+  const CacheStore store = CacheStore::FromStaticCaches(caches);
+
+  EXPECT_EQ(store.PeerBegin(0), 0u);
+  EXPECT_EQ(store.PeerEnd(0), 3u);
+  EXPECT_EQ(store.PeerBegin(2), 3u);
+  EXPECT_EQ(store.FileAtSlot(3), 5u);
+
+  EXPECT_EQ(store.FindSlot(0, 5), 1u);
+  EXPECT_EQ(store.FindSlot(2, 5), 3u);
+  EXPECT_EQ(store.FindSlot(2, 7), 4u);
+  EXPECT_EQ(store.FindSlot(0, 4), CacheStore::kNoSlot);
+  EXPECT_EQ(store.FindSlot(1, 5), CacheStore::kNoSlot);
+}
+
+TEST(CacheStoreTest, EmptyStore) {
+  const CacheStore store = CacheStore::FromStaticCaches(StaticCaches{});
+  EXPECT_EQ(store.peer_count(), 0u);
+  EXPECT_EQ(store.file_bound(), 0u);
+  EXPECT_EQ(store.total_replicas(), 0u);
+  EXPECT_EQ(store.MaxCacheSize(), 0u);
+}
+
+TEST(CacheStoreTest, FileCountHintWidensTheIdSpace) {
+  const StaticCaches caches = MakeCaches({{1}});
+  const CacheStore store = CacheStore::FromStaticCaches(caches, 100);
+  EXPECT_EQ(store.file_bound(), 100u);
+  EXPECT_TRUE(store.FileHolders(50).empty());
+}
+
+TEST(CacheStoreTest, RoundTripsThroughStaticCaches) {
+  const StaticCaches original = RandomCaches(7, 40, 200, 25);
+  const StaticCaches back =
+      CacheStore::FromStaticCaches(original).ToStaticCaches();
+  ASSERT_EQ(back.caches.size(), original.caches.size());
+  for (size_t p = 0; p < original.caches.size(); ++p) {
+    EXPECT_EQ(back.caches[p], original.caches[p]) << "peer " << p;
+  }
+}
+
+TEST(CacheStoreTest, TransposeAgreesWithMembership) {
+  const StaticCaches caches = RandomCaches(11, 60, 150, 20);
+  const CacheStore store = CacheStore::FromStaticCaches(caches);
+  // Every (peer, file) incidence appears in the transpose exactly once and
+  // holder slices are strictly ascending.
+  size_t transpose_total = 0;
+  for (uint32_t f = 0; f < store.file_bound(); ++f) {
+    const auto holders = store.FileHolders(f);
+    transpose_total += holders.size();
+    for (size_t i = 0; i < holders.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(holders[i - 1], holders[i]);
+      }
+      EXPECT_NE(store.FindSlot(holders[i], f), CacheStore::kNoSlot);
+    }
+  }
+  EXPECT_EQ(transpose_total, store.total_replicas());
+}
+
+TEST(CacheStoreTest, FromTraceDayMatchesBuildDayCaches) {
+  Trace trace;
+  for (int i = 0; i < 6; ++i) {
+    trace.AddFile(FileMeta{});
+  }
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  trace.AddPeer(PeerInfo{});  // Never observed.
+  trace.AddSnapshot(a, 1, {FileId(0), FileId(2)});
+  trace.AddSnapshot(a, 2, {FileId(0), FileId(4)});
+  trace.AddSnapshot(b, 2, {FileId(1), FileId(2), FileId(5)});
+
+  for (int day = 1; day <= 3; ++day) {
+    const StaticCaches expected = BuildDayCaches(trace, day);
+    const StaticCaches got =
+        CacheStore::FromTraceDay(trace, day).ToStaticCaches();
+    ASSERT_EQ(got.caches.size(), expected.caches.size()) << "day " << day;
+    for (size_t p = 0; p < expected.caches.size(); ++p) {
+      EXPECT_EQ(got.caches[p], expected.caches[p])
+          << "day " << day << " peer " << p;
+    }
+  }
+}
+
+TEST(CacheStoreTest, MaskedDropsFilesOutsideTheMask) {
+  const StaticCaches caches = MakeCaches({{0, 2, 4}, {2, 3, 9}});
+  std::vector<bool> mask(5, false);  // File 9 is beyond the mask entirely.
+  mask[2] = true;
+  mask[3] = true;
+  const CacheStore masked = CacheStore::FromStaticCaches(caches).Masked(mask);
+
+  const StaticCaches expected = MakeCaches({{2}, {2, 3}});
+  const StaticCaches got = masked.ToStaticCaches();
+  ASSERT_EQ(got.caches.size(), 2u);
+  EXPECT_EQ(got.caches[0], expected.caches[0]);
+  EXPECT_EQ(got.caches[1], expected.caches[1]);
+  // Transpose is rebuilt for the projection.
+  ASSERT_EQ(masked.FileHolders(2).size(), 2u);
+  EXPECT_TRUE(masked.FileHolders(0).empty());
+  EXPECT_TRUE(masked.FileHolders(9).empty());
+}
+
+TEST(OverlapCounterTest, MatchesBruteForce) {
+  const StaticCaches caches = RandomCaches(23, 50, 120, 18);
+  const CacheStore store = CacheStore::FromStaticCaches(caches);
+  OverlapCounter counter(store.peer_count());
+  for (uint32_t p = 0; p < store.peer_count(); ++p) {
+    std::map<uint32_t, uint32_t> expected;
+    for (uint32_t q = p + 1; q < store.peer_count(); ++q) {
+      const size_t overlap =
+          OverlapSize(caches.caches[p], caches.caches[q]);
+      if (overlap > 0) {
+        expected[q] = static_cast<uint32_t>(overlap);
+      }
+    }
+    std::map<uint32_t, uint32_t> got;
+    counter.ForAnchor(store, p, [&](uint32_t q, uint32_t overlap) {
+      EXPECT_GT(q, p);
+      EXPECT_TRUE(got.emplace(q, overlap).second) << "duplicate visit";
+    });
+    EXPECT_EQ(got, expected) << "anchor " << p;
+  }
+}
+
+TEST(OverlapCounterTest, ResetsBetweenAnchors) {
+  const StaticCaches caches = MakeCaches({{0, 1}, {0, 1}, {0, 1}});
+  const CacheStore store = CacheStore::FromStaticCaches(caches);
+  OverlapCounter counter(store.peer_count());
+  // Run the same anchor twice: a stale counter would double the overlaps.
+  for (int round = 0; round < 2; ++round) {
+    size_t visits = 0;
+    counter.ForAnchor(store, 0, [&](uint32_t, uint32_t overlap) {
+      EXPECT_EQ(overlap, 2u);
+      ++visits;
+    });
+    EXPECT_EQ(visits, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace edk

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <map>
 
+#include "src/common/random_access_set.h"
+
 namespace edk {
 namespace {
 
@@ -131,6 +133,86 @@ TEST(RandomizeTest, DegenerateInputs) {
   ASSERT_EQ(result.caches.caches.size(), 1u);
   EXPECT_EQ(result.caches.caches[0][0], FileId(7));
   EXPECT_EQ(result.successful_swaps, 0u);
+}
+
+// Verbatim port of the historical RandomAccessSet-based implementation.
+// The CSR rewrite must consume the identical rng draw sequence and make the
+// identical accept/reject decisions, so swap counts AND resulting caches
+// are pinned bit for bit against this reference.
+RandomizeResult ReferenceRandomize(const StaticCaches& caches, uint64_t swaps,
+                                   Rng& rng) {
+  const size_t peer_count = caches.caches.size();
+  std::vector<RandomAccessSet<uint32_t>> sets(peer_count);
+  std::vector<uint32_t> replica_owner;
+  for (size_t p = 0; p < peer_count; ++p) {
+    for (FileId f : caches.caches[p]) {
+      sets[p].Insert(f.value);
+      replica_owner.push_back(static_cast<uint32_t>(p));
+    }
+  }
+  RandomizeResult result;
+  if (replica_owner.size() < 2) {
+    result.caches = caches;
+    return result;
+  }
+  for (uint64_t iter = 0; iter < swaps; ++iter) {
+    ++result.attempted_swaps;
+    const uint32_t u = replica_owner[rng.NextBelow(replica_owner.size())];
+    const uint32_t v = replica_owner[rng.NextBelow(replica_owner.size())];
+    if (u == v) {
+      continue;
+    }
+    const uint32_t f = sets[u].RandomElement(rng);
+    const uint32_t f_prime = sets[v].RandomElement(rng);
+    if (f == f_prime || sets[u].Contains(f_prime) || sets[v].Contains(f)) {
+      continue;
+    }
+    sets[u].Erase(f);
+    sets[u].Insert(f_prime);
+    sets[v].Erase(f_prime);
+    sets[v].Insert(f);
+    ++result.successful_swaps;
+  }
+  result.caches.caches.resize(peer_count);
+  for (size_t p = 0; p < peer_count; ++p) {
+    auto& out = result.caches.caches[p];
+    for (uint32_t raw : sets[p]) {
+      out.push_back(FileId(raw));
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return result;
+}
+
+TEST(RandomizeTest, MatchesReferenceImplementationExactly) {
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    Rng setup(seed);
+    std::vector<std::vector<uint32_t>> raw;
+    for (int p = 0; p < 25; ++p) {
+      std::vector<uint32_t> cache;
+      const size_t size = setup.NextBelow(15);
+      while (cache.size() < size) {
+        const uint32_t f = static_cast<uint32_t>(setup.NextBelow(80));
+        if (std::find(cache.begin(), cache.end(), f) == cache.end()) {
+          cache.push_back(f);
+        }
+      }
+      raw.push_back(cache);
+    }
+    const StaticCaches original = MakeCaches(raw);
+    for (const uint64_t swaps : {0u, 100u, 5'000u}) {
+      Rng rng_got(seed * 31);
+      Rng rng_want(seed * 31);
+      const RandomizeResult got = RandomizeCaches(original, swaps, rng_got);
+      const RandomizeResult want = ReferenceRandomize(original, swaps, rng_want);
+      EXPECT_EQ(got.attempted_swaps, want.attempted_swaps);
+      EXPECT_EQ(got.successful_swaps, want.successful_swaps);
+      EXPECT_EQ(got.caches.caches, want.caches.caches)
+          << "seed " << seed << " swaps " << swaps;
+      // Both implementations must have consumed the same rng draws.
+      EXPECT_EQ(rng_got(), rng_want());
+    }
+  }
 }
 
 TEST(RecommendedSwapCountTest, HalfNLogN) {
