@@ -123,8 +123,8 @@ Trace ComputeExtrapolated(const BenchOptions& options) {
 [[noreturn]] void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scale=small|medium|large] [--peers=N] [--files=N] [--topics=N]"
-               " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--no-cache]"
-               " [--metrics-out=FILE]\n";
+               " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--shards=N]"
+               " [--rounds=N] [--no-cache] [--json=FILE] [--metrics-out=FILE]\n";
   std::exit(2);
 }
 
@@ -174,6 +174,15 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       if (options.trials == 0) {
         Usage(argv[0]);
       }
+    } else if (const char* v = value("--shards=")) {
+      options.shards = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+      if (options.shards == 0) {
+        Usage(argv[0]);
+      }
+    } else if (const char* v = value("--rounds=")) {
+      options.rounds = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--json=")) {
+      options.json_out = v;
     } else if (const char* v = value("--metrics-out=")) {
       options.metrics_out = v;
     } else if (std::strcmp(arg, "--no-cache") == 0) {

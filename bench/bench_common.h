@@ -30,6 +30,16 @@ struct BenchOptions {
   // Independent randomisation trials for trial-averaged benches
   // (bench_fig14_randomized).
   size_t trials = 8;
+  // Shards for the edk::sim::ShardedEngine sections (bench_ext_gossip,
+  // bench_ext_dynamic) and the sweep ceiling for bench_scale. Results are
+  // bit-identical for every value — see src/sim/sharded_engine.h.
+  size_t shards = 1;
+  // Gossip rounds for the sharded scenario sections (0 = per-bench
+  // default).
+  size_t rounds = 0;
+  // When non-empty, benches that support it (bench_scale) write their
+  // machine-readable result summary to this path.
+  std::string json_out;
   // When non-empty, a JSON snapshot of the edk::obs metrics registry is
   // written to this path at process exit — every bench gains observability
   // without touching its stdout tables. Values outside the snapshot's
@@ -38,8 +48,8 @@ struct BenchOptions {
 };
 
 // Parses --peers=N --files=N --topics=N --days=N --seed=N --scale=S
-// --threads=N --trials=N --no-cache --metrics-out=FILE; unknown flags abort
-// with a usage message. Also applies --threads via SetDefaultThreads() so
+// --threads=N --trials=N --shards=N --rounds=N --no-cache --json=FILE
+// --metrics-out=FILE; unknown flags abort with a usage message. Also applies --threads via SetDefaultThreads() so
 // library-level ParallelFor loops pick it up, and registers the
 // --metrics-out exit dump.
 BenchOptions ParseBenchOptions(int argc, char** argv);

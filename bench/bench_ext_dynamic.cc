@@ -13,6 +13,7 @@
 #include "src/common/table.h"
 #include "src/semantic/dynamic_sim.h"
 #include "src/semantic/search_sim.h"
+#include "src/semantic/sharded_gossip.h"
 
 int main(int argc, char** argv) {
   const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
@@ -65,5 +66,36 @@ int main(int argc, char** argv) {
       RunSearchSimulation(edk::BuildUnionCaches(filtered), static_config).OneHopHitRate();
   std::cout << "static §5 replay reference (LRU-20): " << edk::FormatPercent(static_rate)
             << "\n";
+
+  // Could the day's population have built equivalent lists with zero
+  // history? Event-driven gossip on the final day's cache snapshot, run on
+  // the sharded engine (--shards=K, --threads=N). Output is bit-identical
+  // for every shards/threads combination.
+  const edk::StaticCaches day_caches =
+      edk::BuildDayCaches(extrapolated, extrapolated.last_day());
+  edk::ShardedGossipConfig sharded;
+  sharded.seed = options.workload.seed;
+  sharded.shards = options.shards;
+  sharded.threads = options.threads;
+  sharded.rounds = options.rounds > 0 ? options.rounds : 12;
+  sharded.trajectory = false;
+  sharded.probe_rounds = 4;
+  const edk::ShardedGossipStats stats = edk::RunShardedGossip(
+      day_caches, edk::Geography::PaperDistribution(), sharded);
+  std::cout << "\nevent-driven gossip on the final day's snapshot ("
+            << sharded.rounds << " rounds, sharded engine):\n"
+            << "  participants=" << stats.participants
+            << " exchanges=" << stats.exchanges
+            << " events=" << stats.events_executed
+            << " windows=" << stats.windows << "\n"
+            << "  mean view overlap: "
+            << edk::AsciiTable::FormatCell(stats.mean_view_overlap)
+            << "  view hit rate: " << edk::FormatPercent(stats.view_hit_rate)
+            << "  probe hit rate: " << edk::FormatPercent(stats.ProbeHitRate())
+            << "\n";
+  std::cerr << "[sharded] shards=" << sharded.shards << " "
+            << stats.events_executed << " events in " << stats.wall_seconds
+            << " s (" << static_cast<uint64_t>(stats.EventsPerSecond())
+            << " events/s)\n";
   return 0;
 }

@@ -1,0 +1,154 @@
+// Scale bench: million-peer populations on the sharded engine.
+//
+// The paper crawled 1.16 M distinct peers (§3); the single-queue kernel
+// tops out far below that. This bench runs the event-driven semantic
+// gossip scenario over a synthetic clustered population at increasing
+// shard counts, cross-checks that every run is bit-identical (the
+// engine's determinism contract), and reports the event throughput per
+// configuration. With --json=FILE the sweep summary is written as JSON
+// (the BENCH_scale.json trajectory; format documented in EXPERIMENTS.md).
+//
+//   bench_scale --peers=1000000 --files=200000 --topics=500 --rounds=4 \
+//               --shards=8 --json=BENCH_scale.json
+//
+// --shards=K sets the sweep ceiling (powers of two up to K; default 8).
+// Note the throughput ratio between shard counts is hardware-dependent:
+// on a single-core builder the sweep still validates determinism and
+// windowing overhead, but no parallel speedup is physically available.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+#include "src/exec/parallel.h"
+#include "src/semantic/sharded_gossip.h"
+#include "src/workload/geography.h"
+
+int main(int argc, char** argv) {
+  const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
+  edk::PrintBenchHeader("Scale: sharded-engine population sweep",
+                        "server-less designs must work at the crawl's scale: "
+                        "1.16 M distinct peers (§3)",
+                        options);
+
+  const uint32_t peers = options.workload.num_peers;
+  const uint32_t files = options.workload.num_files;
+  const uint32_t topics = options.workload.num_topics;
+  const size_t rounds = options.rounds > 0 ? options.rounds : 6;
+
+  const edk::StaticCaches caches =
+      edk::MakeClusteredCaches(peers, files, topics, options.workload.seed);
+  const edk::Geography geography = edk::Geography::PaperDistribution();
+
+  std::vector<size_t> shard_counts;
+  const size_t max_shards = options.shards > 1 ? options.shards : 8;
+  for (size_t k = 1; k <= max_shards; k *= 2) {
+    shard_counts.push_back(k);
+  }
+
+  struct Row {
+    size_t shards = 0;
+    edk::ShardedGossipStats stats;
+  };
+  std::vector<Row> rows;
+  std::string reference;
+  bool deterministic_match = true;
+  for (size_t k : shard_counts) {
+    edk::ShardedGossipConfig config;
+    config.seed = options.workload.seed;
+    config.shards = k;
+    config.threads = options.threads;
+    config.rounds = rounds;
+    config.trajectory = false;
+    config.probe_rounds = 2;
+    Row row;
+    row.shards = k;
+    row.stats = edk::RunShardedGossip(caches, geography, config);
+    std::cerr << "[scale] shards=" << k << ": " << row.stats.events_executed
+              << " events in " << row.stats.wall_seconds << " s ("
+              << static_cast<uint64_t>(row.stats.EventsPerSecond())
+              << " events/s)\n";
+    const std::string summary = row.stats.DeterministicSummary();
+    if (reference.empty()) {
+      reference = summary;
+    } else if (summary != reference) {
+      deterministic_match = false;
+      std::cerr << "bench_scale: DETERMINISM VIOLATION at shards=" << k
+                << "\n  want: " << reference << "\n  got:  " << summary << "\n";
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const edk::ShardedGossipStats& first = rows.front().stats;
+  std::cout << "population: " << peers << " peers, " << first.participants
+            << " participants, " << rounds << " rounds, "
+            << first.events_executed << " events, " << first.messages_sent
+            << " messages\n"
+            << "converged:  mean view overlap "
+            << edk::AsciiTable::FormatCell(first.mean_view_overlap)
+            << ", view hit rate " << edk::FormatPercent(first.view_hit_rate)
+            << ", probe hit rate " << edk::FormatPercent(first.ProbeHitRate())
+            << "\n\n";
+  edk::AsciiTable table({"shards", "events/s", "wall s", "windows",
+                         "cross-shard msgs", "speedup"});
+  const double base_rate = rows.front().stats.EventsPerSecond();
+  for (const Row& row : rows) {
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.2f", row.stats.wall_seconds);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  base_rate > 0 ? row.stats.EventsPerSecond() / base_rate : 0.0);
+    table.AddRow({std::to_string(row.shards),
+                  std::to_string(static_cast<uint64_t>(row.stats.EventsPerSecond())),
+                  wall, std::to_string(row.stats.windows),
+                  std::to_string(row.stats.cross_shard_messages), speedup});
+  }
+  table.Print(std::cout);
+  std::cout << "\ndeterminism cross-check: "
+            << (deterministic_match ? "all shard counts bit-identical"
+                                    : "FAILED — runs diverged")
+            << "\n";
+
+  if (!options.json_out.empty()) {
+    std::ofstream out(options.json_out);
+    if (!out) {
+      std::cerr << "bench_scale: cannot write " << options.json_out << "\n";
+      return 1;
+    }
+    out << "{\n  \"schema\": \"edk.bench_scale.v1\",\n";
+    out << "  \"population\": {\"peers\": " << peers << ", \"files\": " << files
+        << ", \"topics\": " << topics << ", \"participants\": "
+        << first.participants << ", \"rounds\": " << rounds
+        << ", \"seed\": " << options.workload.seed << "},\n";
+    out << "  \"hardware_threads\": " << edk::HardwareThreads()
+        << ", \"threads\": " << edk::DefaultThreads() << ",\n";
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "%.6f", first.mean_view_overlap);
+    out << "  \"mean_view_overlap\": " << cell << ",\n";
+    std::snprintf(cell, sizeof(cell), "%.6f", first.view_hit_rate);
+    out << "  \"view_hit_rate\": " << cell << ",\n";
+    out << "  \"deterministic_match\": "
+        << (deterministic_match ? "true" : "false") << ",\n";
+    out << "  \"runs\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::snprintf(cell, sizeof(cell), "%.3f", row.stats.wall_seconds);
+      out << "    {\"shards\": " << row.shards << ", \"events\": "
+          << row.stats.events_executed << ", \"messages\": "
+          << row.stats.messages_sent << ", \"windows\": " << row.stats.windows
+          << ", \"cross_shard_messages\": " << row.stats.cross_shard_messages
+          << ", \"wall_seconds\": " << cell << ", \"events_per_second\": "
+          << static_cast<uint64_t>(row.stats.EventsPerSecond());
+      std::snprintf(cell, sizeof(cell), "%.2f",
+                    base_rate > 0 ? row.stats.EventsPerSecond() / base_rate : 0.0);
+      out << ", \"speedup_vs_1_shard\": " << cell << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  return deterministic_match ? 0 : 1;
+}

@@ -298,7 +298,7 @@ void SimClient::Browse(NodeId target, BrowseCallback on_reply) {
   assert(remote != nullptr && "Browse target is not a client");
   const NodeId self = node_id();
   if (!CanReach(*remote)) {
-    network_->queue().Schedule(0, [on_reply = std::move(on_reply)] {
+    network_->ScheduleOn(self, 0, [on_reply = std::move(on_reply)] {
       on_reply(std::nullopt);
     });
     return;
@@ -397,7 +397,7 @@ void SimClient::Download(NodeId source, const SharedFileInfo& info,
 
   if (!CanReach(*remote) || HasCompleteFile(info.digest)) {
     const bool already = HasCompleteFile(info.digest);
-    network_->queue().Schedule(0, [this, state, already] {
+    network_->ScheduleOn(self, 0, [this, state, already] {
       FinishDownload(state, already);
     });
     return;

@@ -63,7 +63,7 @@ void DownloadManager::Fetch(const SharedFileInfo& info, Callback on_done) {
   transfer_ = std::make_shared<Transfer>();
   transfer_->info = info;
   transfer_->on_done = std::move(on_done);
-  transfer_->start_time = network_->queue().now();
+  transfer_->start_time = network_->NodeNow(owner_->node_id());
   const uint32_t blocks = owner_->BlockCount(info.size_bytes);
   transfer_->blocks.assign(blocks, BlockState::kPending);
   transfer_->retries_left.assign(blocks, config_.max_block_retries);
@@ -341,8 +341,8 @@ void DownloadManager::ArmRequeryTimer() {
   if (transfer->requery_timer.pending()) {
     return;
   }
-  transfer->requery_timer =
-      network_->queue().Schedule(config_.source_requery_interval, [this, transfer] {
+  transfer->requery_timer = network_->ScheduleOn(
+      owner_->node_id(), config_.source_requery_interval, [this, transfer] {
         if (transfer->finished || transfer != transfer_) {
           return;
         }
@@ -355,7 +355,8 @@ void DownloadManager::Finish(bool success) {
   transfer->finished = true;
   transfer->requery_timer.Cancel();
   transfer->report.success = success;
-  transfer->report.duration_seconds = network_->queue().now() - transfer->start_time;
+  transfer->report.duration_seconds =
+      network_->NodeNow(owner_->node_id()) - transfer->start_time;
   if (success && !owner_->HasCompleteFile(transfer->info.digest)) {
     owner_->AddLocalFile(transfer->info);
     owner_->Publish();

@@ -1,6 +1,7 @@
 #include "src/net/event_queue.h"
 
 #include <cassert>
+#include <optional>
 
 #include "src/obs/metrics.h"
 
@@ -57,14 +58,34 @@ EventQueue::EventHandle EventQueue::Schedule(double delay, Callback fn) {
 }
 
 EventQueue::EventHandle EventQueue::ScheduleAt(double when, Callback fn) {
-  assert(when >= now_);
+  // Contract: a `when` in the past is clamped to now() rather than letting
+  // the clock run backwards. The sharded-engine mailbox merge depends on
+  // this: a message whose arrival lands exactly on a window boundary is
+  // scheduled at the shard clock and runs in the next window.
+  if (when < now_) {
+    when = now_;
+  }
   auto cancelled = std::make_shared<bool>(false);
   events_.push(Event{when, next_sequence_++, std::move(fn), cancelled});
   ++*live_;
-  QueueMetrics& metrics = Metrics();
-  metrics.scheduled->Increment();
-  metrics.max_pending->UpdateMax(static_cast<int64_t>(*live_));
+  if (metrics_enabled_) {
+    QueueMetrics& metrics = Metrics();
+    metrics.scheduled->Increment();
+    metrics.max_pending->UpdateMax(static_cast<int64_t>(*live_));
+  }
   return EventHandle(std::move(cancelled), live_);
+}
+
+bool EventQueue::PeekNextTime(double* when) {
+  while (!events_.empty()) {
+    if (*events_.top().cancelled) {
+      events_.pop();
+      continue;
+    }
+    *when = events_.top().time;
+    return true;
+  }
+  return false;
 }
 
 bool EventQueue::PopAndRun() {
@@ -77,10 +98,12 @@ bool EventQueue::PopAndRun() {
       continue;  // Cancel() already removed it from the live count.
     }
     --*live_;
-    QueueMetrics& metrics = Metrics();
-    metrics.run->Increment();
-    if (event.time > now_) {
-      metrics.sim_millis->Increment(static_cast<uint64_t>((event.time - now_) * 1e3));
+    if (metrics_enabled_) {
+      QueueMetrics& metrics = Metrics();
+      metrics.run->Increment();
+      if (event.time > now_) {
+        metrics.sim_millis->Increment(static_cast<uint64_t>((event.time - now_) * 1e3));
+      }
     }
     now_ = event.time;
     // Mark consumed before running: handles report not-pending from inside
@@ -95,7 +118,12 @@ bool EventQueue::PopAndRun() {
 size_t EventQueue::Run() {
   // Wall-clock cost of draining the queue; together with the deterministic
   // eventq.sim_millis counter this yields the sim-time / wall-time ratio.
-  obs::PhaseTimer timer("eventq.run");
+  // Engine-owned (uninstrumented) queues skip the timer: it takes the
+  // registry mutex, which would serialise the per-window shard drains.
+  std::optional<obs::PhaseTimer> timer;
+  if (metrics_enabled_) {
+    timer.emplace("eventq.run");
+  }
   size_t executed = 0;
   while (PopAndRun()) {
     ++executed;
@@ -104,7 +132,10 @@ size_t EventQueue::Run() {
 }
 
 size_t EventQueue::RunUntil(double until) {
-  obs::PhaseTimer timer("eventq.run_until");
+  std::optional<obs::PhaseTimer> timer;
+  if (metrics_enabled_) {
+    timer.emplace("eventq.run_until");
+  }
   size_t executed = 0;
   while (!events_.empty()) {
     // Skip cancelled events eagerly so the top is always live.

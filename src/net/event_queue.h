@@ -1,8 +1,16 @@
 // Discrete-event simulation kernel.
 //
 // A single-threaded event queue with virtual time in seconds. Events are
-// closures ordered by (time, insertion sequence) so same-time events run in
-// FIFO order, which keeps simulations deterministic.
+// closures ordered by (time, insertion sequence), which gives two ordering
+// contracts that the rest of the system (in particular the sharded-engine
+// mailbox merge, see src/sim/sharded_engine.h) relies on:
+//
+//   1. FIFO tiebreak: events scheduled for the same timestamp run in
+//      insertion order. Inserting a batch of same-time events in a chosen
+//      order therefore fixes their execution order exactly.
+//   2. Clamping: ScheduleAt(when < now()) clamps `when` to now() — the
+//      event runs at the current time, after everything already scheduled
+//      for now(), and the clock never moves backwards.
 
 #ifndef SRC_NET_EVENT_QUEUE_H_
 #define SRC_NET_EVENT_QUEUE_H_
@@ -45,7 +53,9 @@ class EventQueue {
 
   // Schedules `fn` to run `delay` seconds from now (delay >= 0).
   EventHandle Schedule(double delay, Callback fn);
-  // Schedules `fn` at absolute time `when` (>= now).
+  // Schedules `fn` at absolute time `when`. A `when` in the past is clamped
+  // to now(): the event runs at the current time, in FIFO position after
+  // events already scheduled for now().
   EventHandle ScheduleAt(double when, Callback fn);
 
   // Runs events until the queue drains. Returns the number executed.
@@ -54,6 +64,18 @@ class EventQueue {
   size_t RunUntil(double until);
   // Executes at most one event; returns false if none is pending.
   bool Step();
+
+  // Time of the next live (non-cancelled) event. Returns false when the
+  // queue is empty. Discards cancelled events encountered at the top, so
+  // it is O(1) amortised.
+  bool PeekNextTime(double* when);
+
+  // Disables the process-wide eventq.* metrics for this queue. The sharded
+  // engine owns one queue per shard and reports aggregated sim.* metrics
+  // instead: the per-queue totals (sim-time deltas, max depth) depend on
+  // how nodes are partitioned, which would break the bit-identical-across
+  // --shards guarantee of the deterministic metrics domain.
+  void set_metrics_enabled(bool enabled) { metrics_enabled_ = enabled; }
 
  private:
   struct Event {
@@ -76,6 +98,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   double now_ = 0;
   uint64_t next_sequence_ = 0;
+  bool metrics_enabled_ = true;
   // Pending (non-cancelled, not yet executed) events. Shared with handles:
   // Cancel() decrements it directly, execution paths decrement on pop.
   std::shared_ptr<size_t> live_ = std::make_shared<size_t>(0);

@@ -22,11 +22,21 @@ Continent ContinentOf(const std::string& country_code) {
   return Continent::kEurope;
 }
 
+namespace {
+
+// Tier bases; the intra-AS tier is the global floor that MinDelay()
+// promises (jitter is multiplicative and >= 1, so it never dips below).
+constexpr double kIntraAsBase = 0.010;
+
+}  // namespace
+
+double LatencyModel::MinDelay() { return kIntraAsBase; }
+
 double LatencyModel::Delay(CountryId from_country, AsId from_as, CountryId to_country,
                            AsId to_as, Rng& rng) const {
   double base;
   if (from_as == to_as && from_as.valid()) {
-    base = 0.010;  // Intra-AS.
+    base = kIntraAsBase;  // Intra-AS.
   } else if (from_country == to_country) {
     base = 0.025;  // Domestic peering.
   } else {

@@ -26,6 +26,12 @@ class LatencyModel {
   double Delay(CountryId from_country, AsId from_as, CountryId to_country, AsId to_as,
                Rng& rng) const;
 
+  // Deterministic lower bound on Delay() over every geography tier and
+  // jitter draw: the intra-AS base with zero jitter. The sharded engine
+  // uses this as its conservative lookahead (window width) — any message
+  // sent inside a window arrives at or beyond the next window boundary.
+  static double MinDelay();
+
   // Typical client uplink in bytes/second (heavy-tailed across peers).
   double SampleUplinkBytesPerSecond(Rng& rng) const;
 

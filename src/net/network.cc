@@ -29,11 +29,32 @@ NetMetrics& Metrics() {
 SimNetwork::SimNetwork(const Geography* geography, uint64_t seed)
     : geography_(geography), rng_(seed), latency_(geography) {}
 
+SimNetwork::SimNetwork(const Geography* geography, const SimNetConfig& config)
+    : geography_(geography), rng_(config.seed), latency_(geography) {
+  sim::ShardedEngineConfig engine_config;
+  engine_config.shards = config.shards == 0 ? 1 : config.shards;
+  engine_config.threads = config.threads;
+  engine_config.seed = config.seed;
+  // The conservative window width: no Send() can undercut it, so shards
+  // only exchange messages at window barriers.
+  engine_config.lookahead = LatencyModel::MinDelay();
+  engine_ = std::make_unique<sim::ShardedEngine>(engine_config);
+}
+
+EventQueue& SimNetwork::queue() {
+  assert(engine_ == nullptr && "queue() is a legacy-kernel seam; sharded-mode "
+                               "code must use ScheduleOn/NodeNow");
+  return queue_;
+}
+
 NodeId SimNetwork::Register(SimNode* node) {
   assert(node != nullptr);
   assert(node->node_id_ == kInvalidNode && "node registered twice");
   node->node_id_ = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(node);
+  if (engine_ != nullptr) {
+    engine_->EnsureNodes(static_cast<uint32_t>(nodes_.size()));
+  }
   return node->node_id_;
 }
 
@@ -41,18 +62,68 @@ double SimNetwork::DelayBetween(NodeId from, NodeId to) {
   const SimNode* a = nodes_[from];
   const SimNode* b = nodes_[to];
   return latency_.Delay(a->country(), a->autonomous_system(), b->country(),
-                        b->autonomous_system(), rng_);
+                        b->autonomous_system(), NodeRng(from));
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, std::function<void()> handler,
                       double extra_delay) {
   assert(from < nodes_.size() && to < nodes_.size());
-  ++messages_sent_;
   const double delay = DelayBetween(from, to) + extra_delay;
   NetMetrics& metrics = Metrics();
   metrics.messages->Increment();
   metrics.delay->Record(delay);
+  if (engine_ != nullptr) {
+    engine_->Send(from, to, delay, std::move(handler));
+    return;
+  }
+  ++messages_sent_;
   queue_.Schedule(delay, std::move(handler));
+}
+
+EventQueue::EventHandle SimNetwork::ScheduleOn(NodeId node, double delay,
+                                               EventQueue::Callback fn) {
+  if (engine_ != nullptr) {
+    return engine_->ScheduleOn(node, delay, std::move(fn));
+  }
+  (void)node;
+  return queue_.Schedule(delay, std::move(fn));
+}
+
+double SimNetwork::NodeNow(NodeId node) const {
+  if (engine_ != nullptr) {
+    return engine_->NodeNow(node);
+  }
+  (void)node;
+  return queue_.now();
+}
+
+Rng& SimNetwork::NodeRng(NodeId node) {
+  if (engine_ != nullptr) {
+    return engine_->NodeRng(node);
+  }
+  (void)node;
+  return rng_;
+}
+
+size_t SimNetwork::Run() {
+  if (engine_ != nullptr) {
+    return static_cast<size_t>(engine_->Run());
+  }
+  return queue_.Run();
+}
+
+size_t SimNetwork::RunUntil(double until) {
+  if (engine_ != nullptr) {
+    return static_cast<size_t>(engine_->RunUntil(until));
+  }
+  return queue_.RunUntil(until);
+}
+
+uint64_t SimNetwork::messages_sent() const {
+  if (engine_ != nullptr) {
+    return engine_->messages_sent();
+  }
+  return messages_sent_;
 }
 
 }  // namespace edk

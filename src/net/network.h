@@ -1,20 +1,37 @@
 // SimNetwork: the fabric connecting simulated nodes.
 //
-// Owns the event queue, the latency model and the node table. Message
-// delivery is modelled as a scheduled closure executed after the one-way
-// geographic delay between the two endpoints; nodes never call each other
-// directly, so all interactions respect simulated time.
+// Owns the simulation kernel, the latency model and the node table.
+// Message delivery is modelled as a scheduled closure executed after the
+// one-way geographic delay between the two endpoints; nodes never call
+// each other directly, so all interactions respect simulated time.
+//
+// Two kernels back the fabric:
+//
+//   * Legacy single-queue mode (the `(geography, seed)` constructor):
+//     one EventQueue, one shared RNG — exactly the original behaviour,
+//     still used by the crawler and the unit tests.
+//   * Sharded mode (the `(geography, SimNetConfig)` constructor): an
+//     edk::sim::ShardedEngine partitions the nodes across K shards and
+//     runs them in conservative windows whose width is the latency
+//     model's MinDelay() lookahead. Delays are then sampled from the
+//     *sender's* per-node RNG stream, so results are bit-identical for
+//     any shards/threads combination (see src/sim/sharded_engine.h).
+//
+// Code meant to run in either mode must use the node-scoped seams
+// (Send, ScheduleOn, NodeNow) instead of touching queue() directly.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/net/event_queue.h"
 #include "src/net/latency.h"
 #include "src/net/protocol.h"
+#include "src/sim/sharded_engine.h"
 #include "src/workload/geography.h"
 
 namespace edk {
@@ -40,12 +57,29 @@ class SimNode {
   AsId as_;
 };
 
+struct SimNetConfig {
+  uint64_t seed = 1;
+  // Shard count for the sharded engine (>= 1). Even shards=1 runs on the
+  // engine — the partition-independent determinism contract compares
+  // engine runs with each other, not with the legacy kernel.
+  size_t shards = 1;
+  // Worker threads per window (0 = DefaultThreads()).
+  size_t threads = 0;
+};
+
 class SimNetwork {
  public:
-  // `geography` must outlive the network.
+  // Legacy single-queue kernel. `geography` must outlive the network.
   SimNetwork(const Geography* geography, uint64_t seed);
+  // Sharded conservative engine with MinDelay() lookahead.
+  SimNetwork(const Geography* geography, const SimNetConfig& config);
 
-  EventQueue& queue() { return queue_; }
+  bool sharded() const { return engine_ != nullptr; }
+  // Legacy mode only: the single event queue.
+  EventQueue& queue();
+  // Sharded mode only: the underlying engine.
+  sim::ShardedEngine& engine() { return *engine_; }
+
   Rng& rng() { return rng_; }
   const LatencyModel& latency() const { return latency_; }
   const Geography& geography() const { return *geography_; }
@@ -56,20 +90,38 @@ class SimNetwork {
   size_t node_count() const { return nodes_.size(); }
 
   // Delivers `handler` at the destination after the one-way delay between
-  // the two nodes (plus `extra_delay`, e.g. serialisation time).
+  // the two nodes (plus `extra_delay`, e.g. serialisation time). In
+  // sharded mode the delay is drawn from the sender's node RNG stream and
+  // must be issued from the sender's own events (or setup).
   void Send(NodeId from, NodeId to, std::function<void()> handler,
             double extra_delay = 0.0);
 
-  // One-way delay sample between two registered nodes.
+  // Node-scoped kernel seams, valid in both modes. In sharded mode they
+  // target the node's shard and must be called from setup or from that
+  // node's own events.
+  EventQueue::EventHandle ScheduleOn(NodeId node, double delay,
+                                     EventQueue::Callback fn);
+  double NodeNow(NodeId node) const;
+  // The node's private RNG stream (sharded mode); the shared network RNG
+  // in legacy mode.
+  Rng& NodeRng(NodeId node);
+
+  // Drives the kernel in either mode. Returns events executed.
+  size_t Run();
+  size_t RunUntil(double until);
+
+  // One-way delay sample between two registered nodes. Draws from the
+  // sender's stream in sharded mode.
   double DelayBetween(NodeId from, NodeId to);
 
-  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_sent() const;
 
  private:
   const Geography* geography_;
   Rng rng_;
   EventQueue queue_;
   LatencyModel latency_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
   std::vector<SimNode*> nodes_;
   uint64_t messages_sent_ = 0;
 };

@@ -172,8 +172,7 @@ void MetricsRegistry::Reset() {
   }
 }
 
-void MetricsRegistry::WriteJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+void MetricsRegistry::WriteDeterministicSections(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -207,8 +206,22 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     }
     os << "]}";
   }
-  os << (first ? "}" : "\n  }") << ",\n  \"wall\": {\n    \"phases\": {";
-  first = true;
+  os << (first ? "}" : "\n  }");
+}
+
+std::string MetricsRegistry::DeterministicJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  WriteDeterministicSections(os);
+  os << "\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteDeterministicSections(os);
+  os << ",\n  \"wall\": {\n    \"phases\": {";
+  bool first = true;
   for (const auto& [name, phase] : wall_) {
     os << (first ? "\n      " : ",\n      ");
     first = false;

@@ -145,7 +145,16 @@ class MetricsRegistry {
   // Flat CSV (section,kind,name,field,value), same ordering guarantees.
   void WriteCsv(std::ostream& os) const;
 
+  // The deterministic sections of WriteJson only (no "wall"): counters,
+  // gauges and histograms, sorted by name. Two runs of the same seeded
+  // workload must produce byte-identical strings for any shard/thread
+  // count — the comparison the sharded-engine equivalence tests make.
+  std::string DeterministicJson() const;
+
  private:
+  // Emits the counters/gauges/histograms sections; caller holds mu_.
+  void WriteDeterministicSections(std::ostream& os) const;
+
   mutable std::mutex mu_;
   // std::map keeps the export order sorted and the nodes pointer-stable.
   std::map<std::string, Counter, std::less<>> counters_;

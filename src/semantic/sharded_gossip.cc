@@ -1,0 +1,374 @@
+#include "src/semantic/sharded_gossip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <iomanip>
+#include <span>
+#include <sstream>
+#include <utility>
+
+#include "src/exec/parallel.h"
+#include "src/net/network.h"
+
+namespace edk {
+
+namespace {
+
+// A participant: its semantic view (node ids, best overlap first) plus the
+// nominal round counter. State is only ever touched from the node's own
+// events, which is what makes the run partition-independent.
+struct GossipNode : SimNode {
+  std::vector<uint32_t> view;
+  uint32_t round = 0;
+};
+
+// Per-shard tallies; inside a window each shard is driven by exactly one
+// worker, so plain counters suffice. Cache-line separated to avoid false
+// sharing between workers.
+struct alignas(64) ShardTally {
+  uint64_t exchanges = 0;
+  uint64_t probes = 0;
+  uint64_t probe_hits = 0;
+};
+
+class Scenario {
+ public:
+  Scenario(const StaticCaches& caches, const Geography& geography,
+           const ShardedGossipConfig& config)
+      : config_(config),
+        network_(&geography,
+                 SimNetConfig{config.seed, config.shards, config.threads}),
+        tallies_(network_.engine().shard_count()) {
+    // Only peers with content participate (matches GossipOverlay).
+    for (uint32_t p = 0; p < caches.caches.size(); ++p) {
+      if (!caches.caches[p].empty()) {
+        caches_.push_back(caches.caches[p]);
+      }
+    }
+    nodes_.resize(caches_.size());
+    Rng setup_rng(config_.seed);
+    for (GossipNode& node : nodes_) {
+      const CountryId country = geography.SampleCountry(setup_rng);
+      node.set_attachment(country, geography.SampleAs(country, setup_rng));
+      network_.Register(&node);
+    }
+    // Stagger the first initiation across the first half of a round so the
+    // per-round event load spreads over simulated time; the half-period
+    // cap plus two one-way delays keeps round r inside (r-1, r] periods,
+    // which is what lets the trajectory loop measure at round boundaries.
+    for (uint32_t i = 0; i < nodes_.size(); ++i) {
+      const double jitter =
+          1.0 + network_.NodeRng(i).NextDouble() * (config_.round_period * 0.5);
+      network_.ScheduleOn(i, jitter, [this, i] { InitiateRound(i); });
+    }
+  }
+
+  ShardedGossipStats Run() {
+    const auto wall_start = std::chrono::steady_clock::now();
+    ShardedGossipStats stats;
+    if (config_.trajectory) {
+      for (size_t r = 1; r <= config_.rounds; ++r) {
+        network_.RunUntil(static_cast<double>(r) * config_.round_period);
+        GossipRoundPoint point;
+        point.round = r;
+        point.mean_view_overlap = MeanViewOverlap();
+        point.view_hit_rate = ViewHitRate();
+        stats.trajectory.push_back(point);
+      }
+    }
+    network_.Run();  // Drain stragglers and the probe phase.
+    stats.wall_seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    const sim::ShardedEngine& engine = network_.engine();
+    stats.participants = nodes_.size();
+    stats.events_executed = engine.events_executed();
+    stats.messages_sent = engine.messages_sent();
+    stats.windows = engine.windows_run();
+    stats.cross_shard_messages = engine.cross_shard_messages();
+    stats.sim_seconds = engine.now();
+    for (const ShardTally& tally : tallies_) {
+      stats.exchanges += tally.exchanges;
+      stats.probes += tally.probes;
+      stats.probe_hits += tally.probe_hits;
+    }
+    stats.mean_view_overlap =
+        stats.trajectory.empty() ? MeanViewOverlap()
+                                 : stats.trajectory.back().mean_view_overlap;
+    stats.view_hit_rate = stats.trajectory.empty()
+                              ? ViewHitRate()
+                              : stats.trajectory.back().view_hit_rate;
+    return stats;
+  }
+
+ private:
+  uint32_t Overlap(uint32_t a, uint32_t b) const {
+    return static_cast<uint32_t>(OverlapSize(caches_[a], caches_[b]));
+  }
+
+  // Folds `candidates` into the node's view and keeps the view_size best
+  // by cache overlap, ties by node id. Scores are computed once per entry
+  // (not inside the sort comparator): the merge runs tens of millions of
+  // times in a scale run.
+  void MergeIntoView(uint32_t node_id, std::span<const uint32_t> candidates) {
+    auto& view = nodes_[node_id].view;
+    std::vector<std::pair<uint32_t, uint32_t>> scored;  // (overlap, id)
+    scored.reserve(view.size() + candidates.size());
+    for (uint32_t member : view) {
+      scored.emplace_back(Overlap(node_id, member), member);
+    }
+    for (uint32_t candidate : candidates) {
+      if (candidate == node_id) {
+        continue;
+      }
+      if (std::find(view.begin(), view.end(), candidate) != view.end()) {
+        continue;
+      }
+      scored.emplace_back(Overlap(node_id, candidate), candidate);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) {
+                  return a.first > b.first;
+                }
+                return a.second < b.second;
+              });
+    if (scored.size() > config_.view_size) {
+      scored.resize(config_.view_size);
+    }
+    view.clear();
+    for (const auto& [overlap, id] : scored) {
+      view.push_back(id);
+    }
+  }
+
+  void InitiateRound(uint32_t i) {
+    GossipNode& node = nodes_[i];
+    const uint32_t round = node.round++;
+    Rng& rng = network_.NodeRng(i);
+    const size_t n = nodes_.size();
+
+    // Exploit the best semantic neighbour on odd rounds, explore a
+    // uniformly random participant otherwise (round 0 is always random:
+    // views start empty).
+    uint32_t partner = i;
+    if (!node.view.empty() && round % 2 == 1) {
+      partner = node.view[0];
+    } else if (n > 1) {
+      do {
+        partner = static_cast<uint32_t>(rng.NextBelow(n));
+      } while (partner == i);
+    }
+
+    if (partner != i) {
+      // Offer: self + own view head + random spice, gossip_length total.
+      std::vector<uint32_t> offer;
+      offer.reserve(config_.gossip_length);
+      offer.push_back(i);
+      for (uint32_t member : node.view) {
+        if (offer.size() >= config_.gossip_length) {
+          break;
+        }
+        offer.push_back(member);
+      }
+      for (int attempt = 0;
+           attempt < 8 && offer.size() < config_.gossip_length && n > 1;
+           ++attempt) {
+        const uint32_t spice = static_cast<uint32_t>(rng.NextBelow(n));
+        if (spice != i &&
+            std::find(offer.begin(), offer.end(), spice) == offer.end()) {
+          offer.push_back(spice);
+        }
+      }
+      ++tallies_[network_.engine().shard_of(i)].exchanges;
+      network_.Send(i, partner,
+                    [this, i, partner, offer = std::move(offer)] {
+                      OnRequest(partner, i, offer);
+                    });
+    }
+
+    if (round + 1 < config_.rounds) {
+      network_.ScheduleOn(i, config_.round_period,
+                          [this, i] { InitiateRound(i); });
+    } else if (config_.probe_rounds > 0) {
+      network_.ScheduleOn(i, config_.round_period,
+                          [this, i] { Probe(i, 0); });
+    }
+  }
+
+  // Runs on the partner's shard: fold the initiator's offer in and reply
+  // with our own view head.
+  void OnRequest(uint32_t partner, uint32_t initiator,
+                 const std::vector<uint32_t>& offer) {
+    MergeIntoView(partner, offer);
+    std::vector<uint32_t> reply;
+    reply.reserve(config_.gossip_length);
+    reply.push_back(partner);
+    for (uint32_t member : nodes_[partner].view) {
+      if (reply.size() >= config_.gossip_length) {
+        break;
+      }
+      reply.push_back(member);
+    }
+    network_.Send(partner, initiator,
+                  [this, initiator, reply = std::move(reply)] {
+                    MergeIntoView(initiator, reply);
+                  });
+  }
+
+  // Local semantic probe: can my view serve a file I hold? Purely local
+  // (caches are immutable shared state), so no messages are needed.
+  void Probe(uint32_t i, size_t k) {
+    ShardTally& tally = tallies_[network_.engine().shard_of(i)];
+    ++tally.probes;
+    Rng& rng = network_.NodeRng(i);
+    const auto& cache = caches_[i];
+    const FileId file = cache[rng.NextBelow(cache.size())];
+    for (uint32_t member : nodes_[i].view) {
+      const auto& other = caches_[member];
+      if (std::binary_search(other.begin(), other.end(), file)) {
+        ++tally.probe_hits;
+        break;
+      }
+    }
+    if (k + 1 < config_.probe_rounds) {
+      network_.ScheduleOn(i, config_.round_period,
+                          [this, i, k] { Probe(i, k + 1); });
+    }
+  }
+
+  // Mean cache overlap between every participant and its view members.
+  // ParallelFor writes per-node slots; the reduction is sequential, so the
+  // total is bit-identical for any thread count.
+  double MeanViewOverlap() {
+    const size_t n = nodes_.size();
+    std::vector<double> sums(n);
+    std::vector<uint32_t> counts(n);
+    ParallelFor(
+        0, n,
+        [this, &sums, &counts](size_t i) {
+          const uint32_t self = static_cast<uint32_t>(i);
+          double sum = 0;
+          for (uint32_t member : nodes_[i].view) {
+            sum += static_cast<double>(Overlap(self, member));
+          }
+          sums[i] = sum;
+          counts[i] = static_cast<uint32_t>(nodes_[i].view.size());
+        },
+        config_.threads);
+    double total = 0;
+    uint64_t counted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += sums[i];
+      counted += counts[i];
+    }
+    return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+  }
+
+  // Fraction of (peer, file-from-its-own-cache) draws served by the
+  // peer's semantic view. A dedicated sequential stream keeps the
+  // estimate independent of the node streams and of the partitioning.
+  double ViewHitRate() {
+    if (nodes_.empty() || config_.hit_samples == 0) {
+      return 0;
+    }
+    Rng rng(config_.seed ^ 0x5851f42d4c957f2dULL);
+    uint64_t hits = 0;
+    for (size_t s = 0; s < config_.hit_samples; ++s) {
+      const uint32_t i = static_cast<uint32_t>(rng.NextBelow(nodes_.size()));
+      const auto& cache = caches_[i];
+      const FileId file = cache[rng.NextBelow(cache.size())];
+      for (uint32_t member : nodes_[i].view) {
+        const auto& other = caches_[member];
+        if (std::binary_search(other.begin(), other.end(), file)) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(config_.hit_samples);
+  }
+
+  ShardedGossipConfig config_;
+  SimNetwork network_;
+  std::vector<std::span<const FileId>> caches_;  // Indexed by node id.
+  std::vector<GossipNode> nodes_;
+  std::vector<ShardTally> tallies_;
+};
+
+}  // namespace
+
+double ShardedGossipStats::EventsPerSecond() const {
+  return wall_seconds > 0 ? static_cast<double>(events_executed) / wall_seconds
+                          : 0.0;
+}
+
+double ShardedGossipStats::ProbeHitRate() const {
+  return probes > 0 ? static_cast<double>(probe_hits) / static_cast<double>(probes)
+                    : 0.0;
+}
+
+std::string ShardedGossipStats::DeterministicSummary() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "participants=" << participants << " events=" << events_executed
+     << " messages=" << messages_sent << " exchanges=" << exchanges
+     << " probes=" << probes << " probe_hits=" << probe_hits
+     << " windows=" << windows << " sim_seconds=" << sim_seconds
+     << " mean_view_overlap=" << mean_view_overlap
+     << " view_hit_rate=" << view_hit_rate;
+  for (const GossipRoundPoint& point : trajectory) {
+    os << " r" << point.round << "=" << point.mean_view_overlap << ","
+       << point.view_hit_rate;
+  }
+  return os.str();
+}
+
+ShardedGossipStats RunShardedGossip(const StaticCaches& caches,
+                                    const Geography& geography,
+                                    const ShardedGossipConfig& config) {
+  Scenario scenario(caches, geography, config);
+  return scenario.Run();
+}
+
+StaticCaches MakeClusteredCaches(uint32_t peers, uint32_t files,
+                                 uint32_t topics, uint64_t seed) {
+  assert(files > 0);
+  if (topics == 0) {
+    topics = 1;
+  }
+  topics = std::min(topics, files);
+  StaticCaches out;
+  out.caches.resize(peers);
+  ParallelFor(0, peers, [&](size_t p) {
+    Rng rng = TaskRng(seed, p);
+    const uint32_t topic = static_cast<uint32_t>(p % topics);
+    // Contiguous slice of the file space for this topic.
+    const uint32_t lo = static_cast<uint32_t>(
+        static_cast<uint64_t>(files) * topic / topics);
+    const uint32_t hi = static_cast<uint32_t>(
+        static_cast<uint64_t>(files) * (topic + 1) / topics);
+    // Geometric cache sizes: most peers share a handful of files, a few
+    // share a lot (the paper's skewed sharing profile, §4).
+    const size_t size =
+        1 + static_cast<size_t>(std::min<uint64_t>(rng.NextGeometric(0.08), 99));
+    auto& cache = out.caches[p];
+    cache.reserve(size);
+    for (size_t f = 0; f < size; ++f) {
+      const uint32_t file =
+          (hi > lo && rng.NextBool(0.8))
+              ? lo + static_cast<uint32_t>(rng.NextBelow(hi - lo))
+              : static_cast<uint32_t>(rng.NextBelow(files));
+      cache.push_back(FileId(file));
+    }
+    std::sort(cache.begin(), cache.end());
+    cache.erase(std::unique(cache.begin(), cache.end()), cache.end());
+  });
+  return out;
+}
+
+}  // namespace edk

@@ -1,0 +1,107 @@
+// Event-driven two-tier semantic gossip on the sharded engine.
+//
+// The synchronous GossipOverlay (gossip_overlay.h) studies convergence in
+// lock-step rounds; this scenario runs the same exchange protocol as real
+// discrete events on edk::sim::ShardedEngine, which is what lets it scale
+// to the million-peer populations the paper crawled (§3: 1.16 M distinct
+// peers). Every participant initiates one exchange per nominal round:
+//
+//   initiator --(request: self + view head + random spice)--> partner
+//   partner merges the offer, replies with its own view head
+//   initiator merges the reply
+//
+// Partner selection alternates between the best semantic neighbour
+// (exploitation) and a uniformly random participant (exploration), exactly
+// as in the synchronous implementation. All randomness is drawn from the
+// node's private stream and all view mutations happen in the owning
+// node's events, so the run is bit-identical for any --shards/--threads
+// combination (the engine's determinism contract).
+//
+// RunShardedGossip is the entry point used by bench_ext_gossip,
+// bench_ext_dynamic --shards sections, bench_scale and the equivalence
+// tests.
+
+#ifndef SRC_SEMANTIC_SHARDED_GOSSIP_H_
+#define SRC_SEMANTIC_SHARDED_GOSSIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+
+struct ShardedGossipConfig {
+  size_t view_size = 10;      // Semantic view size K.
+  size_t gossip_length = 5;   // Entries shipped per exchange (incl. self).
+  size_t rounds = 16;         // Nominal gossip rounds per participant.
+  // Seconds between a participant's successive initiations. Must leave
+  // room for one full exchange (two one-way delays), so >= ~2 s.
+  double round_period = 10.0;
+  // Local semantic-probe events per participant after the gossip rounds:
+  // each draws a file from the node's own cache and checks whether its
+  // semantic view can serve it (the event-driven ViewHitRate analogue).
+  size_t probe_rounds = 0;
+  uint64_t seed = 1;
+  size_t shards = 1;   // Engine shards.
+  size_t threads = 0;  // Worker threads (0 = DefaultThreads()).
+  // Samples for the final (and per-round) view-hit-rate estimate.
+  size_t hit_samples = 20'000;
+  // Measure overlap/hit-rate at every round boundary. Costs one pass over
+  // all views per round; bench_scale disables it for the big populations.
+  bool trajectory = true;
+};
+
+struct GossipRoundPoint {
+  size_t round = 0;  // 1-based: measured after this many rounds elapsed.
+  double mean_view_overlap = 0;
+  double view_hit_rate = 0;
+};
+
+struct ShardedGossipStats {
+  // Everything except wall_seconds is deterministic: a function of
+  // (caches, geography, config seed/rounds/...) only, bit-identical for
+  // any shards/threads combination.
+  size_t participants = 0;
+  uint64_t events_executed = 0;
+  uint64_t messages_sent = 0;
+  uint64_t exchanges = 0;
+  uint64_t probes = 0;
+  uint64_t probe_hits = 0;
+  uint64_t windows = 0;
+  double sim_seconds = 0;
+  double mean_view_overlap = 0;
+  double view_hit_rate = 0;
+  std::vector<GossipRoundPoint> trajectory;
+  // Partition/environment-dependent: excluded from DeterministicSummary.
+  uint64_t cross_shard_messages = 0;
+  double wall_seconds = 0;
+
+  double EventsPerSecond() const;
+  double ProbeHitRate() const;
+  // Fixed-format dump of every deterministic field (full double
+  // precision). Two runs agree on the simulation iff the strings match —
+  // this is what the equivalence tests and bench_scale cross-checks
+  // compare.
+  std::string DeterministicSummary() const;
+};
+
+// Runs the scenario over the given static caches (only peers with
+// non-empty caches participate). Geography attachments are sampled at
+// setup from the config seed.
+ShardedGossipStats RunShardedGossip(const StaticCaches& caches,
+                                    const Geography& geography,
+                                    const ShardedGossipConfig& config);
+
+// Synthetic clustered population for scale runs: `peers` caches over
+// `files` files partitioned into `topics` interest clusters; each peer
+// draws most of its (geometrically sized) cache from its own topic plus
+// uniform spice. Deterministic in `seed` for any thread count.
+StaticCaches MakeClusteredCaches(uint32_t peers, uint32_t files,
+                                 uint32_t topics, uint64_t seed);
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_SHARDED_GOSSIP_H_

@@ -1,0 +1,266 @@
+#include "src/sim/sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/exec/parallel.h"
+#include "src/obs/metrics.h"
+
+namespace edk::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+// Shard currently being executed by this thread; only meaningful while the
+// engine is inside a window. Used to assert that nodes schedule and send
+// exclusively from their own shard (the determinism contract).
+thread_local size_t tls_current_shard = kNoShard;
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineConfig config) : config_(config) {
+  if (config_.shards == 0) {
+    config_.shards = 1;
+  }
+  assert(config_.lookahead > 0 && "conservative lookahead must be positive");
+  shards_ = std::vector<Shard>(config_.shards);
+  for (Shard& shard : shards_) {
+    shard.outbox.resize(config_.shards);
+    // Shard queues report through the engine's sim.* metrics; the
+    // per-queue eventq.* totals would depend on the partitioning.
+    shard.queue.set_metrics_enabled(false);
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("sim.window_width_micros")
+      .Set(static_cast<int64_t>(config_.lookahead * 1e6));
+}
+
+void ShardedEngine::EnsureNodes(uint32_t count) {
+  assert(!running_);
+  while (node_rngs_.size() < count) {
+    node_rngs_.push_back(TaskRng(config_.seed, node_rngs_.size()));
+    node_send_seq_.push_back(0);
+  }
+}
+
+double ShardedEngine::NodeNow(uint32_t node) const {
+  return shards_[shard_of(node)].queue.now();
+}
+
+EventQueue::EventHandle ShardedEngine::ScheduleOn(uint32_t node, double delay,
+                                                  EventQueue::Callback fn) {
+  assert(node < node_count());
+  const size_t shard = shard_of(node);
+  assert((!running_ || tls_current_shard == shard) &&
+         "ScheduleOn must run on the node's own shard");
+  return shards_[shard].queue.Schedule(delay, std::move(fn));
+}
+
+void ShardedEngine::Send(uint32_t src, uint32_t dst, double delay,
+                         EventQueue::Callback fn) {
+  assert(src < node_count() && dst < node_count());
+  assert(delay >= config_.lookahead && "Send below the conservative lookahead");
+  // Release builds clamp rather than violate the window invariant: a
+  // too-small delay would let a message arrive inside the window that sent
+  // it, after its shard already drained that interval.
+  if (delay < config_.lookahead) {
+    delay = config_.lookahead;
+  }
+  const size_t src_shard = shard_of(src);
+  assert((!running_ || tls_current_shard == src_shard) &&
+         "Send must run on the sender's own shard");
+  Shard& shard = shards_[src_shard];
+  const size_t dst_shard = shard_of(dst);
+  shard.outbox[dst_shard].push_back(
+      Message{shard.queue.now() + delay, src, node_send_seq_[src]++, std::move(fn)});
+  ++shard.messages;
+  if (dst_shard != src_shard) {
+    ++shard.cross_messages;
+  }
+}
+
+bool ShardedEngine::AnyOutboxPending() const {
+  for (const Shard& shard : shards_) {
+    for (const auto& box : shard.outbox) {
+      if (!box.empty()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ShardedEngine::MergeMailboxes() {
+  if (!AnyOutboxPending()) {
+    return;
+  }
+  const size_t shard_count = shards_.size();
+  // Each destination drains its own column of the mailbox matrix: the
+  // destination worker reads what source workers wrote last window, with
+  // the ParallelFor fork/join barrier ordering the two phases.
+  ParallelFor(
+      0, shard_count,
+      [this, shard_count](size_t dst) {
+        Shard& to = shards_[dst];
+        auto& scratch = to.merge_scratch;
+        scratch.clear();
+        for (size_t src = 0; src < shard_count; ++src) {
+          auto& box = shards_[src].outbox[dst];
+          for (Message& message : box) {
+            scratch.push_back(std::move(message));
+          }
+          box.clear();
+        }
+        if (scratch.empty()) {
+          return;
+        }
+        // (time, src, seq) is a total order (src+seq is unique), and the
+        // FIFO tiebreak of ScheduleAt preserves it for same-time arrivals:
+        // the destination observes messages in a partition-independent
+        // order.
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const Message& a, const Message& b) {
+                    if (a.time != b.time) {
+                      return a.time < b.time;
+                    }
+                    if (a.src != b.src) {
+                      return a.src < b.src;
+                    }
+                    return a.seq < b.seq;
+                  });
+        for (Message& message : scratch) {
+          to.queue.ScheduleAt(message.time, std::move(message.fn));
+        }
+        scratch.clear();
+      },
+      config_.threads);
+}
+
+double ShardedEngine::NextEventTime() {
+  double next = kInf;
+  for (Shard& shard : shards_) {
+    double when;
+    if (shard.queue.PeekNextTime(&when)) {
+      next = std::min(next, when);
+    }
+  }
+  return next;
+}
+
+uint64_t ShardedEngine::RunUntil(double until) {
+  const size_t shard_count = shards_.size();
+  const uint64_t events_before = events_executed();
+  const uint64_t windows_before = windows_;
+  std::vector<uint64_t> shard_events_before(shard_count);
+  for (size_t k = 0; k < shard_count; ++k) {
+    shard_events_before[k] = shards_[k].executed;
+  }
+
+  const auto loop_start = std::chrono::steady_clock::now();
+  double stall_seconds = 0;
+  std::vector<double> window_busy(shard_count);
+
+  running_ = true;
+  for (;;) {
+    // Loop-top merge hands setup-time sends and last window's mailboxes to
+    // their destination queues before the next window is chosen.
+    MergeMailboxes();
+    const double window_start = NextEventTime();
+    // kInf means every queue is empty (drained); the second clause stops a
+    // finite horizon. Checked separately because inf <= inf holds.
+    if (window_start == kInf || !(window_start <= until)) {
+      break;
+    }
+    const double window_end = std::min(window_start + config_.lookahead, until);
+    ParallelFor(
+        0, shard_count,
+        [this, window_end, &window_busy](size_t k) {
+          const auto start = std::chrono::steady_clock::now();
+          tls_current_shard = k;
+          shards_[k].executed += shards_[k].queue.RunUntil(window_end);
+          tls_current_shard = kNoShard;
+          window_busy[k] = Seconds(std::chrono::steady_clock::now() - start);
+        },
+        config_.threads);
+    ++windows_;
+    const double max_busy = *std::max_element(window_busy.begin(), window_busy.end());
+    for (double busy : window_busy) {
+      stall_seconds += max_busy - busy;
+    }
+  }
+  running_ = false;
+
+  if (std::isfinite(until)) {
+    // No event at or before `until` remains; align every shard clock.
+    for (Shard& shard : shards_) {
+      shard.queue.RunUntil(until);
+    }
+  }
+
+  // Metrics flush (single-threaded): counter deltas fold commutatively, so
+  // the deterministic totals are identical for any shard/thread count;
+  // everything partitioning- or wall-dependent goes to the env domain.
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t executed = events_executed() - events_before;
+  registry.GetCounter("sim.events_run").Increment(executed);
+  registry.GetCounter("sim.windows_run").Increment(windows_ - windows_before);
+  const uint64_t messages = messages_sent();
+  const uint64_t cross = cross_shard_messages();
+  registry.GetCounter("sim.messages_total").Increment(messages - messages_reported_);
+  registry.GetCounter("sim.cross_shard_messages", obs::Domain::kEnv)
+      .Increment(cross - cross_reported_);
+  messages_reported_ = messages;
+  cross_reported_ = cross;
+  for (size_t k = 0; k < shard_count; ++k) {
+    registry.GetCounter("sim.shard" + std::to_string(k) + ".events", obs::Domain::kEnv)
+        .Increment(shards_[k].executed - shard_events_before[k]);
+  }
+  if (windows_ != windows_before) {
+    registry.RecordWallSeconds("sim.window_loop",
+                               Seconds(std::chrono::steady_clock::now() - loop_start));
+    registry.RecordWallSeconds("sim.barrier_stall", stall_seconds);
+  }
+  return executed;
+}
+
+uint64_t ShardedEngine::Run() { return RunUntil(kInf); }
+
+double ShardedEngine::now() const { return shards_[0].queue.now(); }
+
+uint64_t ShardedEngine::events_executed() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.executed;
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::messages_sent() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.messages;
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::cross_shard_messages() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.cross_messages;
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::windows_run() const { return windows_; }
+
+}  // namespace edk::sim

@@ -1,0 +1,159 @@
+// edk::sim — sharded conservative parallel discrete-event engine.
+//
+// The single-threaded EventQueue caps simulations at a small fraction of
+// the network the paper measured (1.16 M distinct peers). ShardedEngine
+// partitions nodes across K shards — each with its own EventQueue and its
+// own clock — and executes them in bounded time windows on the edk_exec
+// ThreadPool. The window width is a conservative lookahead L: the minimum
+// one-way delay any message can have (LatencyModel::MinDelay() for the
+// network fabric). Because every Send() takes at least L of simulated
+// time, a message sent anywhere inside the window [t, t+L] arrives at or
+// beyond the next window's start, so shards never need to interrupt each
+// other mid-window: cross-shard (and intra-shard) sends are buffered into
+// per-(src,dst) mailboxes and merged at the window barrier.
+//
+// Determinism contract — results are bit-identical for ANY shard count
+// and ANY worker thread count (the same invariant edk_exec established
+// for the analysis kernels):
+//
+//   * Node state is only touched by that node's own events, and every
+//     random draw a node makes comes from its own SplitMix64-derived
+//     stream (NodeRng), so cross-node interleaving inside a window cannot
+//     change behaviour. Shared instrumentation folds with commutative
+//     operations only (see src/obs).
+//   * Window boundaries are a function of the global next-event time and
+//     the lookahead — identical for every partitioning.
+//   * Mailboxes are merged at the barrier in (arrival time, sending node,
+//     per-sender sequence) order, and EventQueue's FIFO tiebreak for
+//     same-time events preserves that order, so each node observes its
+//     incoming messages in a partition-independent order.
+//
+// The engine deliberately knows nothing about SimNode/protocols: nodes
+// are dense uint32 ids. SimNetwork wires it to the latency model and the
+// node table (src/net/network.h).
+
+#ifndef SRC_SIM_SHARDED_ENGINE_H_
+#define SRC_SIM_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/event_queue.h"
+
+namespace edk::sim {
+
+struct ShardedEngineConfig {
+  // Number of shards K (>= 1). Nodes map to shards round-robin
+  // (node % K); determinism never depends on the mapping.
+  size_t shards = 1;
+  // Worker threads driving the shards each window (0 = DefaultThreads()).
+  size_t threads = 0;
+  // Base seed of the per-node SplitMix64-derived RNG streams.
+  uint64_t seed = 1;
+  // Conservative lookahead: window width, and the minimum delay every
+  // Send() must respect. Must be > 0. SimNetwork passes
+  // LatencyModel::MinDelay().
+  double lookahead = 0.010;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineConfig config);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t shard_of(uint32_t node) const { return node % shards_.size(); }
+  double lookahead() const { return config_.lookahead; }
+
+  // Grows the node table so ids [0, count) are valid. Each node gets an
+  // independent RNG stream seeded TaskSeed(config.seed, node).
+  void EnsureNodes(uint32_t count);
+  uint32_t node_count() const { return static_cast<uint32_t>(node_rngs_.size()); }
+
+  // The node's private random stream. Draws must happen either during
+  // setup (single-threaded) or from the node's own events; the stream's
+  // trajectory is then independent of the partitioning.
+  Rng& NodeRng(uint32_t node) { return node_rngs_[node]; }
+
+  // The owning shard's clock. Inside one of the node's events this is the
+  // event's timestamp; between Run calls all shard clocks agree.
+  double NodeNow(uint32_t node) const;
+
+  // Timer on the node's own shard, `delay` seconds after the shard clock.
+  // Must only be called from setup or from one of `node`'s own events.
+  // The handle supports Cancel() from the same contexts.
+  EventQueue::EventHandle ScheduleOn(uint32_t node, double delay,
+                                     EventQueue::Callback fn);
+
+  // Message from `src` to `dst`: runs `fn` on dst's shard at (src shard
+  // clock + delay). Requires delay >= lookahead — the conservative bound
+  // that makes the window protocol sound. Buffered in the src shard's
+  // mailbox and merged into dst's queue at the next window barrier, in
+  // (time, src, per-src sequence) order.
+  void Send(uint32_t src, uint32_t dst, double delay, EventQueue::Callback fn);
+
+  // Runs windows until every queue and mailbox drains. Returns events run.
+  uint64_t Run();
+  // Runs windows while the next global event is <= `until`, then advances
+  // every shard clock to `until`.
+  uint64_t RunUntil(double until);
+
+  // Global clock: exact between Run calls (all shard clocks agree).
+  double now() const;
+
+  uint64_t events_executed() const;
+  uint64_t messages_sent() const;
+  // Messages that crossed a shard boundary (partition-dependent: exported
+  // to the env metrics domain, not the deterministic one).
+  uint64_t cross_shard_messages() const;
+  // Windows executed so far. Window boundaries are partition-independent,
+  // so this count is deterministic.
+  uint64_t windows_run() const;
+
+ private:
+  struct Message {
+    double time;       // Arrival time on the destination shard.
+    uint32_t src;      // Sending node.
+    uint64_t seq;      // Per-sender sequence number.
+    EventQueue::Callback fn;
+  };
+
+  // Per-shard state, cache-line separated: inside a window each shard is
+  // touched by exactly one worker.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    // Outgoing messages buffered this window, indexed by destination
+    // shard; drained by the destination's worker at the barrier.
+    std::vector<std::vector<Message>> outbox;
+    std::vector<Message> merge_scratch;
+    uint64_t executed = 0;
+    uint64_t messages = 0;
+    uint64_t cross_messages = 0;
+    double busy_seconds = 0;
+  };
+
+  // Moves every buffered message into its destination queue, in
+  // (time, src, seq) order. Runs at window barriers and before the first
+  // window (setup-time sends).
+  void MergeMailboxes();
+  bool AnyOutboxPending() const;
+  double NextEventTime();
+
+  ShardedEngineConfig config_;
+  std::vector<Shard> shards_;
+  std::vector<Rng> node_rngs_;
+  std::vector<uint64_t> node_send_seq_;
+  uint64_t windows_ = 0;
+  // Cursors for the metrics flush at the end of each RunUntil: counters
+  // receive deltas, so several engines can coexist in one registry.
+  uint64_t messages_reported_ = 0;
+  uint64_t cross_reported_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace edk::sim
+
+#endif  // SRC_SIM_SHARDED_ENGINE_H_

@@ -197,5 +197,68 @@ TEST(EventQueueTest, ZeroDelayRunsAtCurrentTime) {
   EXPECT_DOUBLE_EQ(when, 2.0);
 }
 
+// Contract regression: ScheduleAt(when < now()) clamps to now() instead of
+// running the clock backwards. The sharded-engine mailbox merge schedules
+// absolute arrival times into queues whose clock already sits on the
+// window boundary, so an arrival exactly on (or numerically below) the
+// boundary must land at the clock, never before it.
+TEST(EventQueueTest, ScheduleAtInThePastClampsToNow) {
+  EventQueue queue;
+  queue.Schedule(5.0, [] {});
+  queue.Run();
+  ASSERT_DOUBLE_EQ(queue.now(), 5.0);
+  double when = -1;
+  queue.ScheduleAt(2.0, [&] { when = queue.now(); });
+  EXPECT_EQ(queue.Run(), 1u);
+  EXPECT_DOUBLE_EQ(when, 5.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);  // The clock never moved back.
+}
+
+// A clamped event obeys the same FIFO tiebreak as anything else scheduled
+// for now(): insertion order decides.
+TEST(EventQueueTest, ClampedEventKeepsFifoWithSameTimeEvents) {
+  EventQueue queue;
+  queue.Schedule(3.0, [] {});
+  queue.Run();
+  std::vector<int> order;
+  queue.ScheduleAt(3.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(1.0, [&] { order.push_back(2); });  // Clamped to 3.0.
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// FIFO regression for the shard merge: the insertion-order tiebreak must
+// hold even when same-time events are interleaved with other timestamps,
+// and when they are scheduled from inside callbacks.
+TEST(EventQueueTest, SameTimeFifoSurvivesInterleavedInsertion) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(2.0, [&] { order.push_back(10); });
+  queue.Schedule(1.0, [&] {
+    // Scheduled mid-run, still after the pre-run t=2 events in line at
+    // t=2? No: FIFO is insertion order, so this lands third.
+    queue.Schedule(1.0, [&] { order.push_back(12); });
+  });
+  queue.Schedule(2.0, [&] { order.push_back(11); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 12}));
+}
+
+TEST(EventQueueTest, PeekNextTimeSeesEarliestLiveEvent) {
+  EventQueue queue;
+  double when = -1;
+  EXPECT_FALSE(queue.PeekNextTime(&when));
+  auto early = queue.Schedule(1.0, [] {});
+  queue.Schedule(2.0, [] {});
+  ASSERT_TRUE(queue.PeekNextTime(&when));
+  EXPECT_DOUBLE_EQ(when, 1.0);
+  // Cancelling the top must not leave a stale peek: the engine uses this
+  // to pick the next window start.
+  early.Cancel();
+  ASSERT_TRUE(queue.PeekNextTime(&when));
+  EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
 }  // namespace
 }  // namespace edk

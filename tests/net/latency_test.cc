@@ -62,6 +62,41 @@ TEST_F(LatencyTest, DelaysArePositiveAndBounded) {
   }
 }
 
+// Property test for the sharded engine's lookahead: MinDelay() must be a
+// true lower bound on Delay() over every geography tier, or the window
+// protocol would deliver messages into an already-drained interval.
+TEST_F(LatencyTest, EveryTierRespectsMinDelay) {
+  const double min_delay = LatencyModel::MinDelay();
+  EXPECT_GT(min_delay, 0.0);
+
+  const CountryId fr = geo_.FindCountry("FR");
+  const CountryId de = geo_.FindCountry("DE");
+  const CountryId us = geo_.FindCountry("US");
+  const CountryId tw = geo_.FindCountry("TW");
+  Rng rng(3);
+  const AsId fr_as = geo_.SampleAs(fr, rng);
+
+  struct Tier {
+    const char* name;
+    CountryId from_country, to_country;
+    AsId from_as, to_as;
+  };
+  const Tier tiers[] = {
+      {"intra-AS", fr, fr, fr_as, fr_as},
+      {"domestic", fr, fr, AsId(100), AsId(101)},
+      {"continental", fr, de, fr_as, geo_.SampleAs(de, rng)},
+      {"intercontinental", fr, us, fr_as, geo_.SampleAs(us, rng)},
+      {"asia-pacific", us, tw, geo_.SampleAs(us, rng), geo_.SampleAs(tw, rng)},
+  };
+  for (const Tier& tier : tiers) {
+    for (int i = 0; i < 5000; ++i) {
+      const double d = model_.Delay(tier.from_country, tier.from_as,
+                                    tier.to_country, tier.to_as, rng_);
+      ASSERT_GE(d, min_delay) << tier.name << " draw " << i;
+    }
+  }
+}
+
 TEST_F(LatencyTest, UplinkDistributionIsHeavyTailed) {
   double min = 1e18;
   double max = 0;

@@ -1,0 +1,211 @@
+// Unit tests for the sharded conservative engine: window protocol,
+// mailbox merge ordering, lookahead clamping, per-node RNG identity and
+// the counters the benchmarks report.
+
+#include "src/sim/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace edk::sim {
+namespace {
+
+ShardedEngineConfig Config(size_t shards, size_t threads = 1) {
+  ShardedEngineConfig config;
+  config.shards = shards;
+  config.threads = threads;
+  config.seed = 7;
+  config.lookahead = 0.010;
+  return config;
+}
+
+TEST(ShardedEngineTest, TimersRunInOrderOnOneShard) {
+  ShardedEngine engine(Config(1));
+  engine.EnsureNodes(1);
+  std::vector<int> order;
+  double last_at = -1;
+  engine.ScheduleOn(0, 3.0, [&] {
+    order.push_back(3);
+    last_at = engine.NodeNow(0);
+  });
+  engine.ScheduleOn(0, 1.0, [&] { order.push_back(1); });
+  engine.ScheduleOn(0, 2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(last_at, 3.0);
+  // Run() drains through the last window, so the global clock ends at or
+  // past the final event (window ends are lookahead-aligned, not exact).
+  EXPECT_GE(engine.now(), 3.0);
+}
+
+TEST(ShardedEngineTest, CrossShardSendArrivesAtSendTimePlusDelay) {
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(2);  // Node 0 -> shard 0, node 1 -> shard 1.
+  double arrived_at = -1;
+  engine.ScheduleOn(0, 1.0, [&] {
+    engine.Send(0, 1, 0.5, [&] { arrived_at = engine.NodeNow(1); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(arrived_at, 1.5);
+  EXPECT_EQ(engine.messages_sent(), 1u);
+  EXPECT_EQ(engine.cross_shard_messages(), 1u);
+}
+
+TEST(ShardedEngineTest, IntraShardSendIsNotCountedAsCrossShard) {
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(4);  // Nodes 0 and 2 share shard 0.
+  int delivered = 0;
+  engine.ScheduleOn(0, 1.0, [&] {
+    engine.Send(0, 2, 0.5, [&] { ++delivered; });
+  });
+  engine.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(engine.messages_sent(), 1u);
+  EXPECT_EQ(engine.cross_shard_messages(), 0u);
+}
+
+// The conservative invariant in release builds: a Send below the lookahead
+// is clamped up to it, never delivered inside the sending window.
+TEST(ShardedEngineTest, SendAtExactLookaheadBoundaryIsDelivered) {
+  ShardedEngine engine(Config(4));
+  engine.EnsureNodes(8);
+  int delivered = 0;
+  engine.ScheduleOn(0, 1.0, [&] {
+    engine.Send(0, 1, engine.lookahead(), [&] { ++delivered; });
+  });
+  engine.ScheduleOn(3, 1.0, [&] {
+    engine.Send(3, 6, engine.lookahead(), [&] { ++delivered; });
+  });
+  engine.Run();
+  EXPECT_EQ(delivered, 2);
+}
+
+// Mailbox merge order: same arrival time from different senders must be
+// observed in sending-node order, and per-sender FIFO within that.
+TEST(ShardedEngineTest, SameTimeArrivalsMergeInSenderThenSequenceOrder) {
+  ShardedEngine engine(Config(4));
+  engine.EnsureNodes(8);
+  std::vector<std::string> order;
+  // Nodes 5, 1, 3 all target node 0 with identical arrival times; the
+  // scheduling order here (5 first) must NOT leak into delivery order.
+  engine.ScheduleOn(5, 1.0, [&] {
+    engine.Send(5, 0, 1.0, [&] { order.push_back("n5#0"); });
+    engine.Send(5, 0, 1.0, [&] { order.push_back("n5#1"); });
+  });
+  engine.ScheduleOn(1, 1.0, [&] {
+    engine.Send(1, 0, 1.0, [&] { order.push_back("n1#0"); });
+  });
+  engine.ScheduleOn(3, 1.0, [&] {
+    engine.Send(3, 0, 1.0, [&] { order.push_back("n3#0"); });
+  });
+  engine.Run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"n1#0", "n3#0", "n5#0", "n5#1"}));
+}
+
+// Windows jump across idle gaps: a handful of sparse events must not cost
+// (time span / lookahead) windows.
+TEST(ShardedEngineTest, WindowsJumpOverIdleTime) {
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(2);
+  engine.ScheduleOn(0, 1.0, [] {});
+  engine.ScheduleOn(1, 1000.0, [] {});
+  engine.Run();
+  // One window per event cluster, not one per 10 ms of simulated time.
+  EXPECT_LE(engine.windows_run(), 4u);
+  EXPECT_EQ(engine.events_executed(), 2u);
+}
+
+TEST(ShardedEngineTest, RunUntilStopsAtHorizonAndAlignsClocks) {
+  ShardedEngine engine(Config(3));
+  engine.EnsureNodes(3);
+  int executed = 0;
+  engine.ScheduleOn(0, 1.0, [&] { ++executed; });
+  engine.ScheduleOn(1, 5.0, [&] { ++executed; });
+  EXPECT_EQ(engine.RunUntil(2.0), 1u);
+  EXPECT_EQ(executed, 1);
+  // Every shard clock sits on the horizon, including idle shard 2.
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_DOUBLE_EQ(engine.NodeNow(0), 2.0);
+  EXPECT_DOUBLE_EQ(engine.NodeNow(1), 2.0);
+  EXPECT_DOUBLE_EQ(engine.NodeNow(2), 2.0);
+  engine.Run();
+  EXPECT_EQ(executed, 2);
+}
+
+// A message in flight across the horizon must survive the pause: RunUntil
+// merges it and a later Run delivers it.
+TEST(ShardedEngineTest, InFlightMessageSurvivesRunUntilBoundary) {
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(2);
+  double arrived_at = -1;
+  engine.ScheduleOn(0, 1.0, [&] {
+    engine.Send(0, 1, 5.0, [&] { arrived_at = engine.NodeNow(1); });
+  });
+  EXPECT_EQ(engine.RunUntil(2.0), 1u);
+  EXPECT_DOUBLE_EQ(arrived_at, -1);
+  engine.Run();
+  EXPECT_DOUBLE_EQ(arrived_at, 6.0);
+}
+
+// Per-node RNG streams are a function of (seed, node) only — the same
+// draws come out no matter how many shards the nodes land on.
+TEST(ShardedEngineTest, NodeRngStreamsIndependentOfShardCount) {
+  std::vector<std::vector<uint64_t>> draws;
+  for (size_t shards : {1u, 2u, 8u}) {
+    ShardedEngine engine(Config(shards));
+    engine.EnsureNodes(16);
+    std::vector<uint64_t> run;
+    for (uint32_t node = 0; node < 16; ++node) {
+      for (int i = 0; i < 4; ++i) {
+        run.push_back(engine.NodeRng(node).NextBelow(1u << 30));
+      }
+    }
+    draws.push_back(std::move(run));
+  }
+  EXPECT_EQ(draws[0], draws[1]);
+  EXPECT_EQ(draws[0], draws[2]);
+}
+
+TEST(ShardedEngineTest, CancelledTimerDoesNotRun) {
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(2);
+  int executed = 0;
+  auto handle = engine.ScheduleOn(1, 1.0, [&] { ++executed; });
+  engine.ScheduleOn(0, 2.0, [&] { ++executed; });
+  EXPECT_TRUE(handle.Cancel());
+  engine.Run();
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(engine.events_executed(), 1u);
+}
+
+// Ping-pong across every shard pairing: event/message totals must be
+// exact, and the chain must advance one lookahead-bounded hop at a time.
+TEST(ShardedEngineTest, PingPongChainCountsEventsAndMessages) {
+  constexpr int kHops = 64;
+  ShardedEngine engine(Config(4));
+  engine.EnsureNodes(4);
+  int hops = 0;
+  std::function<void(uint32_t)> hop = [&](uint32_t at) {
+    if (++hops >= kHops) {
+      return;
+    }
+    const uint32_t next = (at + 1) % 4;
+    engine.Send(at, next, 0.010, [&hop, next] { hop(next); });
+  };
+  engine.ScheduleOn(0, 0.5, [&] { hop(0); });
+  engine.Run();
+  EXPECT_EQ(hops, kHops);
+  // The kickoff timer plus one delivery per send.
+  EXPECT_EQ(engine.messages_sent(), static_cast<uint64_t>(kHops - 1));
+  EXPECT_EQ(engine.events_executed(), static_cast<uint64_t>(kHops));
+}
+
+}  // namespace
+}  // namespace edk::sim
