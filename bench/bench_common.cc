@@ -124,7 +124,8 @@ Trace ComputeExtrapolated(const BenchOptions& options) {
   std::cerr << "usage: " << argv0
             << " [--scale=small|medium|large] [--peers=N] [--files=N] [--topics=N]"
                " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--shards=N]"
-               " [--rounds=N] [--no-cache] [--json=FILE] [--metrics-out=FILE]\n";
+               " [--rounds=N] [--no-cache] [--json=FILE] "
+            << obs::ObsFlagsUsage() << "\n";
   std::exit(2);
 }
 
@@ -183,8 +184,9 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.rounds = static_cast<size_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value("--json=")) {
       options.json_out = v;
-    } else if (const char* v = value("--metrics-out=")) {
-      options.metrics_out = v;
+    } else if (obs::ConsumeObsFlag(arg, &options.obs)) {
+      // --metrics-out / --trace-out / --trace-sample, shared with the
+      // tools; activated below once the whole command line has parsed.
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       options.no_cache = true;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
@@ -194,11 +196,9 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     }
   }
   SetDefaultThreads(options.threads);
-  if (!options.metrics_out.empty()) {
-    // Dump at exit so every bench main() gets the snapshot for free, after
-    // all of its sweeps have folded their counters in.
-    obs::WriteGlobalMetricsAtExit(options.metrics_out);
-  }
+  // Dumps happen at exit so every bench main() gets its snapshot for free,
+  // after all of its sweeps have folded their counters in.
+  obs::ApplyObsFlags(options.obs);
   return options;
 }
 

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <string>
 
+#include "src/obs/flags.h"
 #include "src/trace/trace.h"
 #include "src/workload/config.h"
 #include "src/workload/generator.h"
@@ -40,18 +41,19 @@ struct BenchOptions {
   // When non-empty, benches that support it (bench_scale) write their
   // machine-readable result summary to this path.
   std::string json_out;
-  // When non-empty, a JSON snapshot of the edk::obs metrics registry is
-  // written to this path at process exit — every bench gains observability
-  // without touching its stdout tables. Values outside the snapshot's
-  // "wall" section are bit-identical for a fixed seed across --threads.
-  std::string metrics_out;
+  // Observability sinks shared by every bench and tool: --metrics-out
+  // writes a JSON metrics snapshot at exit, --trace-out enables the
+  // edk::obs trace layer and writes the trace at exit, --trace-sample
+  // keeps 1-in-N sampled records. See src/obs/flags.h.
+  obs::ObsFlagValues obs;
 };
 
 // Parses --peers=N --files=N --topics=N --days=N --seed=N --scale=S
 // --threads=N --trials=N --shards=N --rounds=N --no-cache --json=FILE
-// --metrics-out=FILE; unknown flags abort with a usage message. Also applies --threads via SetDefaultThreads() so
-// library-level ParallelFor loops pick it up, and registers the
-// --metrics-out exit dump.
+// plus the shared observability flags (src/obs/flags.h); unknown flags
+// abort with a usage message. Also applies --threads via
+// SetDefaultThreads() so library-level ParallelFor loops pick it up, and
+// activates the observability sinks (ApplyObsFlags).
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 // Wall-clock timer for a parallel sweep. Report() writes to stderr so that

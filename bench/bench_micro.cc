@@ -26,6 +26,7 @@
 #include "src/common/zipf.h"
 #include "src/net/event_queue.h"
 #include "src/exec/parallel.h"
+#include "src/obs/flags.h"
 #include "src/semantic/neighbour_list.h"
 #include "src/semantic/search_sim.h"
 #include "src/trace/cache_store.h"
@@ -620,18 +621,24 @@ int RunJsonSuite(const std::string& path) {
 }  // namespace edk
 
 int main(int argc, char** argv) {
-  // --json=FILE switches to the overlap kernel comparison suite; all other
-  // arguments belong to google-benchmark.
+  // --json=FILE switches to the overlap kernel comparison suite, and the
+  // shared observability flags (--metrics-out / --trace-out /
+  // --trace-sample) are consumed here; all other arguments belong to
+  // google-benchmark.
   std::string json_path;
+  edk::obs::ObsFlagValues obs_flags;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (edk::obs::ConsumeObsFlag(argv[i], &obs_flags)) {
+      // Consumed.
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  edk::obs::ApplyObsFlags(obs_flags);
   if (!json_path.empty()) {
     return edk::RunJsonSuite(json_path);
   }

@@ -1,0 +1,304 @@
+#include "src/common/json_lint.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace edk {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  JsonLintResult Run() {
+    SkipWhitespace();
+    if (!Value(0)) {
+      return Fail();
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    JsonLintResult result;
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  JsonLintResult Fail() {
+    JsonLintResult result;
+    result.ok = false;
+    result.offset = error_offset_;
+    result.error = error_;
+    return result;
+  }
+
+  JsonLintResult Error(std::string message) {
+    error_offset_ = pos_;
+    error_ = std::move(message);
+    return Fail();
+  }
+
+  bool SetError(std::string message) {
+    if (error_.empty()) {
+      error_offset_ = pos_;
+      error_ = std::move(message);
+    }
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return SetError("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    ++pos_;  // Opening quote, checked by the caller.
+    while (!AtEnd()) {
+      const unsigned char c = static_cast<unsigned char>(Peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) {
+          return SetError("unterminated escape");
+        }
+        const char e = Peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (AtEnd() || std::isxdigit(static_cast<unsigned char>(Peek())) == 0) {
+              return SetError("bad \\u escape");
+            }
+          }
+          ++pos_;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return SetError("unknown escape character");
+        }
+      } else if (c < 0x20) {
+        return SetError("unescaped control character in string");
+      } else {
+        ++pos_;
+      }
+    }
+    return SetError("unterminated string");
+  }
+
+  bool Digits() {
+    if (AtEnd() || std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+      return SetError("digit expected");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool Number() {
+    if (!AtEnd() && Peek() == '-') {
+      ++pos_;
+    }
+    if (AtEnd()) {
+      return SetError("digit expected");
+    }
+    if (Peek() == '0') {
+      ++pos_;  // No leading zeros: "0" must be the whole integer part.
+    } else if (!Digits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (!Digits()) {
+        return false;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+        ++pos_;
+      }
+      if (!Digits()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Object(int depth) {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return SetError("object key must be a string");
+      }
+      if (!String()) {
+        return false;
+      }
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') {
+        return SetError("':' expected after object key");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (!Value(depth + 1)) {
+        return false;
+      }
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!AtEnd() && Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return SetError("',' or '}' expected in object");
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (!Value(depth + 1)) {
+        return false;
+      }
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!AtEnd() && Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return SetError("',' or ']' expected in array");
+    }
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) {
+      return SetError("nesting too deep");
+    }
+    if (AtEnd()) {
+      return SetError("value expected");
+    }
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+          return Number();
+        }
+        return SetError("value expected");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t error_offset_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonLintResult LintJson(std::string_view text) { return Linter(text).Run(); }
+
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (byte < 0x20 || byte >= 0x7f) {
+          // The unsigned cast matters: formatting a negative char with
+          // %04x would print a sign-extended 8-hex-digit escape, which is
+          // not valid JSON.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+JsonLintResult LintJsonFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    JsonLintResult result;
+    result.error = "cannot open file";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  return LintJson(text);
+}
+
+}  // namespace edk

@@ -1,0 +1,48 @@
+// Minimal JSON well-formedness checker (RFC 8259 grammar, no DOM).
+//
+// The observability exporters (MetricsRegistry::WriteJson, the Chrome
+// trace-event writer in src/obs/trace_log.cc) hand-emit JSON for speed;
+// this linter is the cheap independent check that what they produced is
+// actually parseable — used by their regression tests, by
+// `edk-trace-inspect validate-json`, and by the CI trace smoke step.
+// It validates structure and string/number syntax only; it does not build
+// a document and does not validate UTF-8 beyond the escape grammar.
+
+#ifndef SRC_COMMON_JSON_LINT_H_
+#define SRC_COMMON_JSON_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace edk {
+
+struct JsonLintResult {
+  bool ok = false;
+  // Byte offset of the first error and a short description; meaningful
+  // only when !ok.
+  size_t offset = 0;
+  std::string error;
+};
+
+// Checks that `text` is exactly one JSON value (plus surrounding
+// whitespace). Nesting depth is capped at 256 to bound recursion.
+JsonLintResult LintJson(std::string_view text);
+
+// Convenience: lints the whole content of `path`. Unreadable files report
+// ok=false with an explanatory error.
+JsonLintResult LintJsonFile(const std::string& path);
+
+// Writes `s` as a quoted JSON string, escaping quotes, backslashes,
+// control characters AND every byte >= 0x7f as \u00xx. The high-byte
+// escaping is deliberate: names are arbitrary byte strings, and passing
+// non-UTF-8 bytes through raw would make the surrounding document
+// unparseable; escaping per byte keeps the output valid JSON for any
+// input (non-ASCII UTF-8 decodes as Latin-1, an accepted trade-off for
+// identifier-style names). The shared escaper behind MetricsRegistry's
+// JSON export and the Chrome trace writer.
+void WriteJsonString(std::ostream& os, std::string_view s);
+
+}  // namespace edk
+
+#endif  // SRC_COMMON_JSON_LINT_H_

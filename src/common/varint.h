@@ -1,0 +1,26 @@
+// Low-level wire primitives shared by the binary serialisation formats
+// (trace snapshots in src/trace/serialize.cc, span streams in
+// src/obs/trace_log.cc). Exposed from edk_common so layers below edk_trace
+// can reuse the encoding without a dependency cycle; src/trace/serialize.h
+// re-exports the same `edk::wire` names for its existing includers.
+
+#ifndef SRC_COMMON_VARINT_H_
+#define SRC_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace edk::wire {
+
+// LEB128-style variable-length encoding; at most 10 bytes per value.
+void WriteVarint(std::ostream& os, uint64_t v);
+
+// Reads one varint. Returns false on EOF and on any encoding that does not
+// fit in 64 bits: an 11th continuation byte, or a 10th byte carrying more
+// than the single bit that remains (the old decoder silently dropped those
+// high bits, so two distinct byte strings aliased to the same value).
+bool ReadVarint(std::istream& is, uint64_t& v);
+
+}  // namespace edk::wire
+
+#endif  // SRC_COMMON_VARINT_H_

@@ -6,8 +6,81 @@
 #include <unordered_set>
 
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
 
 namespace edk {
+
+namespace {
+
+// Interned span names for the client protocol verbs. Request–reply verbs
+// are kSim spans covering request departure to reply arrival; Publish is
+// one-way and traces as an instant.
+struct NetTraceNames {
+  uint16_t connect;
+  uint16_t publish;
+  uint16_t query_users;
+  uint16_t search;
+  uint16_t query_sources;
+  uint16_t query_sources_global;
+  uint16_t server_list;
+  uint16_t browse;
+  uint16_t download;
+};
+
+const NetTraceNames& NetNames() {
+  auto& log = obs::TraceLog::Global();
+  static const NetTraceNames names{
+      log.InternName("net.connect", {"client", "accepted"}),
+      log.InternName("net.publish", {"client", "files"}),
+      log.InternName("net.query_users", {"client", "results"}),
+      log.InternName("net.search", {"client", "results"}),
+      log.InternName("net.query_sources", {"client", "results"}),
+      log.InternName("net.query_sources.global", {"client", "results"}),
+      log.InternName("net.server_list", {"client", "results"}),
+      log.InternName("net.browse", {"client", "target", "ok", "results"}),
+      log.InternName("net.download", {"client", "source", "blocks", "success"}),
+  };
+  return names;
+}
+
+// Everything a reply handler needs to emit the request's span: captured by
+// value at request time, carried through the delivery closures. Sampling is
+// keyed on the requesting node id, so one client's protocol activity is
+// either fully traced or fully absent (id 0).
+struct RequestTrace {
+  uint16_t name = 0;
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  double start = 0;
+};
+
+RequestTrace BeginRequestTrace(uint16_t name, NodeId self, uint64_t* seq,
+                               SimNetwork* network) {
+  RequestTrace trace;
+  if (!obs::TraceLog::SampledIn(self)) {
+    return trace;
+  }
+  trace.name = name;
+  trace.id = obs::MixId2(self, ++*seq);
+  trace.parent = obs::CurrentSpanParent();
+  trace.start = network->NodeNow(self);
+  return trace;
+}
+
+// Emits the completed request span at reply-arrival time. The caller then
+// scopes the reply callback under the span id (SpanParentScope) so nested
+// requests chain causally.
+void EndRequestTrace(const RequestTrace& trace, SimNetwork* network, NodeId self,
+                     std::initializer_list<uint64_t> args) {
+  if (trace.id == 0) {
+    return;
+  }
+  obs::EmitSimSpan(trace.name, trace.start, network->NodeNow(self), trace.id,
+                   trace.parent, args);
+}
+
+}  // namespace
 
 std::vector<uint8_t> SyntheticBlockPayload(FileId file, uint32_t block_index,
                                            size_t length) {
@@ -112,9 +185,13 @@ void SimClient::Connect(NodeId server, std::function<void(bool)> done) {
   auto* remote = dynamic_cast<SimServer*>(network_->node(server));
   assert(remote != nullptr && "Connect target is not a server");
   const NodeId self = node_id();
-  network_->Send(self, server, [this, remote, server, self, done = std::move(done)] {
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().connect, self, &trace_seq_, network_);
+  network_->Send(self, server, [this, remote, server, self, trace, done = std::move(done)] {
     const bool accepted = remote->HandleLogin(self, config_.nickname, config_.firewalled);
-    network_->Send(server, self, [this, server, accepted, done = std::move(done)] {
+    network_->Send(server, self, [this, server, self, accepted, trace, done = std::move(done)] {
+      EndRequestTrace(trace, network_, self, {self, accepted ? 1u : 0u});
+      obs::SpanParentScope scope(trace.id);
       if (accepted) {
         server_ = server;
         Publish();
@@ -143,7 +220,14 @@ void SimClient::Publish() {
   }
   auto* remote = dynamic_cast<SimServer*>(network_->node(server_));
   const NodeId self = node_id();
-  network_->Send(self, server_, [remote, self, files = SharedFiles()] {
+  auto files = SharedFiles();
+  if (obs::TraceLog::SampledIn(self)) {
+    obs::EmitSimInstant(NetNames().publish,
+                        obs::SimMicros(network_->NodeNow(self)),
+                        obs::MixId2(self, ++trace_seq_),
+                        obs::CurrentSpanParent(), {self, files.size()});
+  }
+  network_->Send(self, server_, [remote, self, files = std::move(files)] {
     remote->HandlePublish(self, files);
   });
 }
@@ -154,12 +238,17 @@ void SimClient::QueryUsers(const std::string& prefix,
   auto* remote = dynamic_cast<SimServer*>(network_->node(server_));
   const NodeId self = node_id();
   const NodeId server = server_;
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().query_users, self, &trace_seq_, network_);
   network_->Send(self, server,
-                 [this, remote, server, self, prefix, on_reply = std::move(on_reply)] {
+                 [this, remote, server, self, trace, prefix, on_reply = std::move(on_reply)] {
                    auto users = remote->HandleQueryUsers(prefix);
                    network_->Send(server, self,
-                                  [users = std::move(users),
+                                  [this, self, trace, users = std::move(users),
                                    on_reply = std::move(on_reply)]() mutable {
+                                    EndRequestTrace(trace, network_, self,
+                                                    {self, users.size()});
+                                    obs::SpanParentScope scope(trace.id);
                                     on_reply(std::move(users));
                                   });
                  });
@@ -171,12 +260,17 @@ void SimClient::Search(const std::vector<std::string>& keywords,
   auto* remote = dynamic_cast<SimServer*>(network_->node(server_));
   const NodeId self = node_id();
   const NodeId server = server_;
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().search, self, &trace_seq_, network_);
   network_->Send(self, server,
-                 [this, remote, server, self, keywords, on_reply = std::move(on_reply)] {
+                 [this, remote, server, self, trace, keywords, on_reply = std::move(on_reply)] {
                    auto results = remote->HandleSearch(keywords);
                    network_->Send(server, self,
-                                  [results = std::move(results),
+                                  [this, self, trace, results = std::move(results),
                                    on_reply = std::move(on_reply)]() mutable {
+                                    EndRequestTrace(trace, network_, self,
+                                                    {self, results.size()});
+                                    obs::SpanParentScope scope(trace.id);
                                     on_reply(std::move(results));
                                   });
                  });
@@ -188,12 +282,17 @@ void SimClient::QuerySources(const Md4Digest& digest,
   auto* remote = dynamic_cast<SimServer*>(network_->node(server_));
   const NodeId self = node_id();
   const NodeId server = server_;
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().query_sources, self, &trace_seq_, network_);
   network_->Send(self, server,
-                 [this, remote, server, self, digest, on_reply = std::move(on_reply)] {
+                 [this, remote, server, self, trace, digest, on_reply = std::move(on_reply)] {
                    auto sources = remote->HandleQuerySources(digest);
                    network_->Send(server, self,
-                                  [sources = std::move(sources),
+                                  [this, self, trace, sources = std::move(sources),
                                    on_reply = std::move(on_reply)]() mutable {
+                                    EndRequestTrace(trace, network_, self,
+                                                    {self, sources.size()});
+                                    obs::SpanParentScope scope(trace.id);
                                     on_reply(std::move(sources));
                                   });
                  });
@@ -204,10 +303,16 @@ void SimClient::GetServerList(std::function<void(std::vector<NodeId>)> on_reply)
   auto* remote = dynamic_cast<SimServer*>(network_->node(server_));
   const NodeId self = node_id();
   const NodeId server = server_;
-  network_->Send(self, server, [this, remote, server, self, on_reply = std::move(on_reply)] {
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().server_list, self, &trace_seq_, network_);
+  network_->Send(self, server,
+                 [this, remote, server, self, trace, on_reply = std::move(on_reply)] {
     auto servers = remote->known_servers();
     network_->Send(server, self,
-                   [servers = std::move(servers), on_reply = std::move(on_reply)]() mutable {
+                   [this, self, trace, servers = std::move(servers),
+                    on_reply = std::move(on_reply)]() mutable {
+                     EndRequestTrace(trace, network_, self, {self, servers.size()});
+                     obs::SpanParentScope scope(trace.id);
                      on_reply(std::move(servers));
                    });
   });
@@ -216,7 +321,12 @@ void SimClient::GetServerList(std::function<void(std::vector<NodeId>)> on_reply)
 void SimClient::QuerySourcesGlobal(
     const Md4Digest& digest, std::function<void(std::vector<SourceRecord>)> on_reply) {
   assert(server_ != kInvalidNode);
-  GetServerList([this, digest, on_reply = std::move(on_reply)](std::vector<NodeId> servers) {
+  // One span covers the whole fan-out; the server-list fetch and every
+  // UDP exchange become its causal children.
+  const RequestTrace trace = BeginRequestTrace(NetNames().query_sources_global,
+                                               node_id(), &trace_seq_, network_);
+  obs::SpanParentScope fanout_scope(trace.id);
+  GetServerList([this, digest, trace, on_reply = std::move(on_reply)](std::vector<NodeId> servers) {
     // Always include the connected server itself.
     if (std::find(servers.begin(), servers.end(), server_) == servers.end()) {
       servers.push_back(server_);
@@ -229,8 +339,14 @@ void SimClient::QuerySourcesGlobal(
     };
     auto aggregate = std::make_shared<Aggregate>();
     aggregate->pending = servers.size();
-    aggregate->on_reply = std::move(on_reply);
     const NodeId self = node_id();
+    aggregate->on_reply = [this, self, trace, on_reply = std::move(on_reply)](
+                              std::vector<SourceRecord> sources) mutable {
+      EndRequestTrace(trace, network_, self, {self, sources.size()});
+      obs::SpanParentScope scope(trace.id);
+      on_reply(std::move(sources));
+    };
+    obs::SpanParentScope scope(trace.id);
     for (NodeId server : servers) {
       auto* remote = dynamic_cast<SimServer*>(network_->node(server));
       if (remote == nullptr) {
@@ -297,8 +413,13 @@ void SimClient::Browse(NodeId target, BrowseCallback on_reply) {
   SimClient* remote = ClientAt(target);
   assert(remote != nullptr && "Browse target is not a client");
   const NodeId self = node_id();
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().browse, self, &trace_seq_, network_);
   if (!CanReach(*remote)) {
-    network_->ScheduleOn(self, 0, [on_reply = std::move(on_reply)] {
+    network_->ScheduleOn(self, 0, [this, self, target, trace,
+                                   on_reply = std::move(on_reply)] {
+      EndRequestTrace(trace, network_, self, {self, target, 0u, 0u});
+      obs::SpanParentScope scope(trace.id);
       on_reply(std::nullopt);
     });
     return;
@@ -306,7 +427,7 @@ void SimClient::Browse(NodeId target, BrowseCallback on_reply) {
   const double penalty = RelayPenalty(*remote);
   network_->Send(
       self, target,
-      [this, remote, target, self, on_reply = std::move(on_reply)] {
+      [this, remote, target, self, trace, on_reply = std::move(on_reply)] {
         auto reply = remote->HandleBrowse();
         // Reply size costs transfer time on the target's uplink.
         double transfer = 0;
@@ -316,7 +437,13 @@ void SimClient::Browse(NodeId target, BrowseCallback on_reply) {
                      remote->config().uplink_bytes_per_second;
         }
         network_->Send(target, self,
-                       [reply = std::move(reply), on_reply = std::move(on_reply)]() mutable {
+                       [this, self, target, trace, reply = std::move(reply),
+                        on_reply = std::move(on_reply)]() mutable {
+                         EndRequestTrace(trace, network_, self,
+                                         {self, target,
+                                          reply.has_value() ? 1u : 0u,
+                                          reply.has_value() ? reply->size() : 0});
+                         obs::SpanParentScope scope(trace.id);
                          on_reply(std::move(reply));
                        },
                        transfer);
@@ -394,6 +521,11 @@ void SimClient::Download(NodeId source, const SharedFileInfo& info,
   state->block_count = BlockCount(info.size_bytes);
   state->retries_left = config_.max_block_retries;
   state->on_done = std::move(on_done);
+  const RequestTrace trace =
+      BeginRequestTrace(NetNames().download, self, &trace_seq_, network_);
+  state->trace_id = trace.id;
+  state->trace_parent = trace.parent;
+  state->trace_start = trace.start;
 
   if (!CanReach(*remote) || HasCompleteFile(info.digest)) {
     const bool already = HasCompleteFile(info.digest);
@@ -435,6 +567,9 @@ void SimClient::RequestNextBlock(std::shared_ptr<DownloadState> state) {
                             remote->config().uplink_bytes_per_second;
     network_->Send(state->source, self,
                    [this, state, block, payload = std::move(payload)]() mutable {
+                     // Republishes triggered by verified blocks chain to the
+                     // download span.
+                     obs::SpanParentScope scope(state->trace_id);
                      if (payload.empty()) {
                        FinishDownload(state, false);  // Source stopped sharing.
                        return;
@@ -462,6 +597,14 @@ void SimClient::RequestNextBlock(std::shared_ptr<DownloadState> state) {
 }
 
 void SimClient::FinishDownload(std::shared_ptr<DownloadState> state, bool success) {
+  if (state->trace_id != 0) {
+    obs::EmitSimSpan(NetNames().download, state->trace_start,
+                     network_->NodeNow(node_id()), state->trace_id,
+                     state->trace_parent,
+                     {node_id(), state->source, state->next_block,
+                      success ? 1u : 0u});
+  }
+  obs::SpanParentScope scope(state->trace_id);
   if (success) {
     auto& local = shared_[state->info.digest];
     local.info = state->info;

@@ -146,6 +146,10 @@ class SimClient : public SimNode {
     uint32_t block_count = 0;
     int retries_left = 0;
     DownloadCallback on_done;
+    // Trace span covering the whole download (id 0 = unsampled/disabled).
+    uint64_t trace_id = 0;
+    uint64_t trace_parent = 0;
+    double trace_start = 0;
   };
 
   // True if a direct or relayed connection to `target` can be established.
@@ -161,6 +165,10 @@ class SimClient : public SimNode {
   SimNetwork* network_;
   ClientConfig config_;
   NodeId server_ = kInvalidNode;
+  // Ordinal feeding content-derived trace span ids (MixId2(self, seq)).
+  // Only advanced from this node's own events, so — like the node RNG
+  // stream — its trajectory is independent of the shard partitioning.
+  uint64_t trace_seq_ = 0;
   std::map<Md4Digest, LocalFile> shared_;
   uint64_t blocks_received_ = 0;
   uint64_t blocks_corrupted_ = 0;

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
 
 namespace edk {
 
@@ -32,6 +34,21 @@ QueueMetrics& Metrics() {
       &registry.GetGauge("eventq.max_pending"),
   };
   return metrics;
+}
+
+// Wall spans for whole-queue drains. Engine-owned (uninstrumented) queues
+// skip these exactly like the eventq.* metrics: a per-shard drain is
+// already traced by the engine as sim.shard_drain.
+uint16_t RunSpanName() {
+  static const uint16_t name =
+      obs::TraceLog::Global().InternName("eventq.run", {"events"});
+  return name;
+}
+
+uint16_t RunUntilSpanName() {
+  static const uint16_t name =
+      obs::TraceLog::Global().InternName("eventq.run_until", {"events"});
+  return name;
 }
 
 }  // namespace
@@ -124,10 +141,15 @@ size_t EventQueue::Run() {
   if (metrics_enabled_) {
     timer.emplace("eventq.run");
   }
+  obs::WallSpan span(metrics_enabled_ ? RunSpanName() : 0);
+  if (!metrics_enabled_) {
+    span.Cancel();
+  }
   size_t executed = 0;
   while (PopAndRun()) {
     ++executed;
   }
+  span.AddArg(executed);
   return executed;
 }
 
@@ -135,6 +157,10 @@ size_t EventQueue::RunUntil(double until) {
   std::optional<obs::PhaseTimer> timer;
   if (metrics_enabled_) {
     timer.emplace("eventq.run_until");
+  }
+  obs::WallSpan span(metrics_enabled_ ? RunUntilSpanName() : 0);
+  if (!metrics_enabled_) {
+    span.Cancel();
   }
   size_t executed = 0;
   while (!events_.empty()) {
@@ -153,6 +179,7 @@ size_t EventQueue::RunUntil(double until) {
   if (now_ < until) {
     now_ = until;
   }
+  span.AddArg(executed);
   return executed;
 }
 

@@ -1,0 +1,49 @@
+#include "src/obs/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace_log.h"
+
+namespace edk::obs {
+
+bool ConsumeObsFlag(const char* arg, ObsFlagValues* values) {
+  auto value = [arg](const char* prefix) -> const char* {
+    const size_t n = std::strlen(prefix);
+    return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+  };
+  if (const char* v = value("--metrics-out=")) {
+    values->metrics_out = v;
+    return true;
+  }
+  if (const char* v = value("--trace-out=")) {
+    values->trace_out = v;
+    return true;
+  }
+  if (const char* v = value("--trace-sample=")) {
+    const uint64_t n = std::strtoull(v, nullptr, 10);
+    values->trace_sample = n == 0 ? 1 : n;
+    return true;
+  }
+  return false;
+}
+
+void ApplyObsFlags(const ObsFlagValues& values) {
+  if (!values.metrics_out.empty()) {
+    // Dump at exit so every main() gets the snapshot for free, after all
+    // of its sweeps have folded their counters in.
+    WriteGlobalMetricsAtExit(values.metrics_out);
+  }
+  if (!values.trace_out.empty()) {
+    TraceLog::SetSampleModulus(values.trace_sample);
+    TraceLog::SetEnabled(true);
+    WriteGlobalTraceAtExit(values.trace_out);
+  }
+}
+
+const char* ObsFlagsUsage() {
+  return "[--metrics-out=FILE] [--trace-out=FILE] [--trace-sample=N]";
+}
+
+}  // namespace edk::obs

@@ -1,0 +1,44 @@
+// Shared command-line plumbing for the observability sinks.
+//
+// Every binary that wants --metrics-out / --trace-out / --trace-sample
+// parses them through ConsumeObsFlag and activates them with
+// ApplyObsFlags, so the flags mean exactly the same thing in every bench
+// and tool (bench_common's ParseBenchOptions, bench_micro's hand-rolled
+// argv loop, edk-trace, edk-trace-inspect). This replaces the per-binary
+// copies of the --metrics-out handling.
+
+#ifndef SRC_OBS_FLAGS_H_
+#define SRC_OBS_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace edk::obs {
+
+struct ObsFlagValues {
+  // JSON metrics snapshot written at process exit ("" = disabled).
+  std::string metrics_out;
+  // Trace written at process exit: Chrome trace JSON if the path ends in
+  // ".json", the EDKS binary otherwise ("" = tracing stays disabled).
+  std::string trace_out;
+  // Keep 1-in-N sampled records (audit records, per-peer net spans);
+  // engine-level spans are never sampled out. 1 = keep everything.
+  uint64_t trace_sample = 1;
+};
+
+// If `arg` is one of the observability flags, stores its value and
+// returns true; returns false otherwise (caller handles the flag).
+// A malformed value (--trace-sample=0) is normalised to the default.
+bool ConsumeObsFlag(const char* arg, ObsFlagValues* values);
+
+// Activates the parsed flags: registers the metrics exit dump, and — when
+// trace_out is set — configures sampling, enables the global TraceLog and
+// registers the trace exit dump.
+void ApplyObsFlags(const ObsFlagValues& values);
+
+// Usage-string fragment listing the flags ConsumeObsFlag understands.
+const char* ObsFlagsUsage();
+
+}  // namespace edk::obs
+
+#endif  // SRC_OBS_FLAGS_H_

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "src/common/json_lint.h"
+
 namespace edk::obs {
 
 namespace {
@@ -28,28 +30,11 @@ uint64_t NowNanos() {
           .count());
 }
 
-void WriteJsonString(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
+// Metric/phase names are escaped with the shared edk::WriteJsonString
+// (src/common/json_lint.h), which also handles bytes >= 0x7f — the local
+// escaper it replaced emitted sign-extended \u escapes for high-bit chars
+// and passed DEL and non-UTF-8 bytes through raw, producing unparseable
+// documents for arbitrary names.
 
 }  // namespace
 
@@ -284,15 +269,46 @@ void MetricsRegistry::WriteCsv(std::ostream& os) const {
 PhaseTimer::PhaseTimer(std::string name, MetricsRegistry* registry)
     : name_(std::move(name)),
       registry_(registry != nullptr ? registry : &MetricsRegistry::Global()),
-      start_ns_(NowNanos()) {}
+      start_ns_(NowNanos()),
+      running_(true) {}
 
-PhaseTimer::~PhaseTimer() { Stop(); }
+PhaseTimer::~PhaseTimer() {
+  if (running_) {
+    Stop();
+  }
+}
+
+void PhaseTimer::RecordMisuse(const char* what) {
+  registry_->GetCounter(std::string("obs.phase_timer.misuse.") + what,
+                        Domain::kEnv)
+      .Increment();
+}
+
+void PhaseTimer::Start() {
+  if (running_) {
+    // Nested Start would silently discard the first interval's beginning;
+    // keep the original start so the measurement stays intact.
+    RecordMisuse("start_while_running");
+    return;
+  }
+  start_ns_ = NowNanos();
+  running_ = true;
+}
 
 double PhaseTimer::Stop() {
-  if (recorded_seconds_ >= 0) {
+  if (!running_) {
+    return recorded_seconds_ < 0 ? 0 : recorded_seconds_;
+  }
+  running_ = false;
+  const uint64_t now = NowNanos();
+  if (now < start_ns_) {
+    // A steady clock cannot go backwards; guard anyway so a broken
+    // platform clock corrupts a counter, not the phase totals.
+    RecordMisuse("clock_regression");
+    recorded_seconds_ = 0;
     return recorded_seconds_;
   }
-  recorded_seconds_ = static_cast<double>(NowNanos() - start_ns_) * 1e-9;
+  recorded_seconds_ = static_cast<double>(now - start_ns_) * 1e-9;
   registry_->RecordWallSeconds(name_, recorded_seconds_);
   return recorded_seconds_;
 }

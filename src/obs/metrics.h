@@ -166,6 +166,16 @@ class MetricsRegistry {
 
 // Scoped wall-clock timer: records the elapsed time of a named phase into
 // the registry's wall section on destruction (or explicit Stop()).
+//
+// Contract: the constructor starts the first measurement. Stop() ends the
+// running measurement, records it once, and returns the elapsed seconds;
+// Stop() while nothing is running is a benign no-op returning the last
+// recorded value (so an explicit Stop() followed by destruction records
+// exactly once). Start() re-arms a stopped timer for another measurement
+// of the same phase. Misuse never corrupts the recorded timings: Start()
+// while already running keeps the original start, and a (theoretically
+// impossible) backwards step of the steady clock records zero; both bump
+// an `obs.phase_timer.misuse.*` counter in the kEnv domain instead.
 class PhaseTimer {
  public:
   explicit PhaseTimer(std::string name, MetricsRegistry* registry = nullptr);
@@ -173,14 +183,19 @@ class PhaseTimer {
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
-  // Records once and returns the elapsed seconds; later calls are no-ops
-  // returning the recorded value.
+  // Begins a new measurement; no-op (plus misuse counter) if one is
+  // already running.
+  void Start();
+  // Ends and records the running measurement; see the class contract.
   double Stop();
 
  private:
+  void RecordMisuse(const char* what);
+
   std::string name_;
   MetricsRegistry* registry_;
   uint64_t start_ns_;
+  bool running_ = false;
   double recorded_seconds_ = -1;
 };
 

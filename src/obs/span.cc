@@ -1,0 +1,226 @@
+#include "src/obs/span.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace edk::obs {
+
+namespace {
+
+// SplitMix64 finaliser (Steele et al.), inlined so id mixing never touches
+// generator state.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t WallNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local uint64_t tls_current_parent = 0;
+
+constexpr const char* kAuditNameStatic = "query.audit";
+constexpr const char* kAuditNameDynamic = "query.audit.dynamic";
+
+}  // namespace
+
+uint64_t MixId(uint64_t a) {
+  const uint64_t id = Mix(a);
+  return id == 0 ? 1 : id;  // 0 is reserved for "no span".
+}
+
+uint64_t MixId2(uint64_t a, uint64_t b) { return MixId(Mix(a) ^ b); }
+
+uint64_t CurrentSpanParent() { return tls_current_parent; }
+
+SpanParentScope::SpanParentScope(uint64_t span_id) : saved_(tls_current_parent) {
+  tls_current_parent = span_id;
+}
+
+SpanParentScope::~SpanParentScope() { tls_current_parent = saved_; }
+
+uint64_t SimMicros(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<uint64_t>(std::llround(seconds * 1e6));
+}
+
+void EmitSimSpan(uint16_t name, double start_seconds, double end_seconds,
+                 uint64_t id, uint64_t parent,
+                 std::initializer_list<uint64_t> args) {
+  if (!TraceLog::Enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.domain = TimeDomain::kSim;
+  event.name = name;
+  event.ts = SimMicros(start_seconds);
+  const uint64_t end = SimMicros(end_seconds);
+  event.dur = end > event.ts ? end - event.ts : 0;
+  event.id = id;
+  event.parent = parent;
+  for (uint64_t arg : args) {
+    if (event.arg_count >= kTraceMaxArgs) {
+      break;
+    }
+    event.args[event.arg_count++] = arg;
+  }
+  TraceLog::Global().Record(event);
+}
+
+void EmitSimInstant(uint16_t name, uint64_t ts, uint64_t id, uint64_t parent,
+                    std::initializer_list<uint64_t> args) {
+  if (!TraceLog::Enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.domain = TimeDomain::kSim;
+  event.name = name;
+  event.ts = ts;
+  event.id = id;
+  event.parent = parent;
+  for (uint64_t arg : args) {
+    if (event.arg_count >= kTraceMaxArgs) {
+      break;
+    }
+    event.args[event.arg_count++] = arg;
+  }
+  TraceLog::Global().Record(event);
+}
+
+WallSpan::WallSpan(uint16_t name) : active_(TraceLog::Enabled()) {
+  if (!active_) {
+    return;
+  }
+  event_.domain = TimeDomain::kWall;
+  event_.name = name;
+  event_.parent = CurrentSpanParent();
+  event_.ts = WallNowNanos();
+}
+
+void WallSpan::AddArg(uint64_t value) {
+  if (active_ && event_.arg_count < kTraceMaxArgs) {
+    event_.args[event_.arg_count++] = value;
+  }
+}
+
+void WallSpan::Finish() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  const uint64_t now = WallNowNanos();
+  event_.dur = now > event_.ts ? now - event_.ts : 1;
+  TraceLog::Global().Record(event_);
+}
+
+WallSpan::~WallSpan() { Finish(); }
+
+// ---------------------------------------------------------------------------
+// Audit records.
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOneHopHit:
+      return "one-hop-hit";
+    case QueryOutcome::kTwoHopHit:
+      return "two-hop-hit";
+    case QueryOutcome::kNeighbourAbsent:
+      return "neighbour-absent";
+    case QueryOutcome::kCacheMiss:
+      return "cache-miss";
+    case QueryOutcome::kHopBudgetExhausted:
+      return "hop-budget-exhausted";
+    case QueryOutcome::kNoOnlineSource:
+      return "no-online-source";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint16_t InternAuditName(const char* name) {
+  return TraceLog::Global().InternName(
+      name, {"requester", "file", "outcome", "consulted", "strategy",
+             "list_size", "extra"});
+}
+
+}  // namespace
+
+uint16_t AuditName() {
+  static const uint16_t name = InternAuditName(kAuditNameStatic);
+  return name;
+}
+
+uint16_t DynamicAuditName() {
+  static const uint16_t name = InternAuditName(kAuditNameDynamic);
+  return name;
+}
+
+void EmitAudit(uint16_t name, uint64_t ordinal, uint32_t requester,
+               uint32_t file, QueryOutcome outcome, uint64_t consulted,
+               uint64_t strategy, uint64_t list_size, uint64_t extra) {
+  if (!TraceLog::SampledIn(ordinal)) {
+    return;
+  }
+  TraceEvent event;
+  event.domain = TimeDomain::kSim;
+  event.name = name;
+  event.ts = ordinal;
+  event.id = ordinal;
+  event.args[kAuditArgRequester] = requester;
+  event.args[kAuditArgFile] = file;
+  event.args[kAuditArgOutcome] = static_cast<uint64_t>(outcome);
+  event.args[kAuditArgConsulted] = consulted;
+  event.args[kAuditArgStrategy] = strategy;
+  event.args[kAuditArgListSize] = list_size;
+  event.args[kAuditArgExtra] = extra;
+  event.arg_count = kAuditArgCount;
+  TraceLog::Global().Record(event);
+}
+
+AuditSummary SummarizeAudits(const TraceFile& file) {
+  // Trace files carry their own name table; resolve the audit names by
+  // string so summaries work on deserialised traces too.
+  int static_name = -1;
+  int dynamic_name = -1;
+  for (size_t i = 0; i < file.names.size(); ++i) {
+    if (file.names[i].name == kAuditNameStatic) {
+      static_name = static_cast<int>(i);
+    } else if (file.names[i].name == kAuditNameDynamic) {
+      dynamic_name = static_cast<int>(i);
+    }
+  }
+  AuditSummary summary;
+  for (const TraceEvent& event : file.sim_events) {
+    const int name = static_cast<int>(event.name);
+    if ((name != static_name && name != dynamic_name) ||
+        event.arg_count < kAuditArgCount) {
+      continue;
+    }
+    const int dynamic = name == dynamic_name ? 1 : 0;
+    AuditCell& cell = summary[{dynamic, event.args[kAuditArgStrategy],
+                               event.args[kAuditArgListSize]}];
+    ++cell.queries;
+    const uint64_t outcome = event.args[kAuditArgOutcome];
+    if (outcome < cell.outcomes.size()) {
+      ++cell.outcomes[outcome];
+    }
+    if (outcome == static_cast<uint64_t>(QueryOutcome::kNoOnlineSource)) {
+      continue;
+    }
+    ++cell.requests;
+    if (outcome == static_cast<uint64_t>(QueryOutcome::kOneHopHit)) {
+      ++cell.one_hop_hits;
+    } else if (outcome == static_cast<uint64_t>(QueryOutcome::kTwoHopHit)) {
+      ++cell.two_hop_hits;
+    }
+  }
+  return summary;
+}
+
+}  // namespace edk::obs

@@ -1,0 +1,168 @@
+// Span emission helpers and the per-query audit record schema on top of
+// TraceLog.
+//
+// Three kinds of instrumentation sites use this header:
+//
+//   * Deterministic spans/instants (EmitSimSpan / EmitSimInstant): stamped
+//     with simulation time or a deterministic ordinal, recorded only with
+//     values that are pure functions of (seed, workload). Span ids must be
+//     content-derived (query ordinal, window index, (node, per-node seq))
+//     — NEVER a global counter, whose allocation order would depend on the
+//     partitioning.
+//   * Wall spans (WallSpan): RAII scope measuring real elapsed time, for
+//     profiling timelines (barrier merges, queue drains).
+//   * Causal parents (SpanParentScope): a thread-local "current span"
+//     that request/reply instrumentation threads through its callbacks, so
+//     a publish triggered inside a connect reply links back to the connect
+//     span. Safe under the sharded engine because one worker drives one
+//     shard at a time and the scope is restored around every callback.
+//
+// The audit record is the paper-facing payload: one kSim instant per
+// simulated query, carrying strategy, neighbours consulted, hop depth and
+// the hit/miss cause. `edk-trace-inspect queries` and the fig18
+// reproduction test rebuild aggregate hit rates from these records alone.
+
+#ifndef SRC_OBS_SPAN_H_
+#define SRC_OBS_SPAN_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <tuple>
+
+#include "src/obs/trace_log.h"
+
+namespace edk::obs {
+
+// Stateless SplitMix64-style mixers for content-derived span ids. Ids only
+// need to be stable and well-spread; 0 is reserved for "no span".
+uint64_t MixId(uint64_t a);
+uint64_t MixId2(uint64_t a, uint64_t b);
+
+// The calling thread's current causal parent span id (0 = none).
+uint64_t CurrentSpanParent();
+
+// RAII: makes `span_id` the current parent for the scope's lifetime.
+class SpanParentScope {
+ public:
+  explicit SpanParentScope(uint64_t span_id);
+  ~SpanParentScope();
+  SpanParentScope(const SpanParentScope&) = delete;
+  SpanParentScope& operator=(const SpanParentScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+// Simulation seconds -> the microsecond timestamps TraceEvent carries.
+uint64_t SimMicros(double seconds);
+
+// Complete deterministic span covering [start, end] simulation seconds.
+void EmitSimSpan(uint16_t name, double start_seconds, double end_seconds,
+                 uint64_t id, uint64_t parent,
+                 std::initializer_list<uint64_t> args);
+
+// Deterministic instant at a raw timestamp (micros or an ordinal).
+void EmitSimInstant(uint16_t name, uint64_t ts, uint64_t id, uint64_t parent,
+                    std::initializer_list<uint64_t> args);
+
+// Wall-clock scope: starts on construction when tracing is enabled, emits
+// a kWall span on destruction (or Finish()).
+class WallSpan {
+ public:
+  explicit WallSpan(uint16_t name);
+  ~WallSpan();
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  bool active() const { return active_; }
+  void set_id(uint64_t id) { event_.id = id; }
+  // Appends one positional arg (dropped beyond kTraceMaxArgs).
+  void AddArg(uint64_t value);
+  // Emits now; the destructor becomes a no-op.
+  void Finish();
+  // Discards the span without emitting (for scopes that turned out to do
+  // no work).
+  void Cancel() { active_ = false; }
+
+ private:
+  TraceEvent event_;
+  bool active_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-query audit records.
+
+// Why a simulated query ended the way it did. Values are stable wire
+// constants (they appear in trace files).
+enum class QueryOutcome : uint64_t {
+  kOneHopHit = 1,           // A queried neighbour shared the file.
+  kTwoHopHit = 2,           // Found only via a neighbour's neighbour.
+  kNeighbourAbsent = 3,     // No neighbours to ask (empty/unlearned list).
+  kCacheMiss = 4,           // Neighbours asked; none shared the file.
+  kHopBudgetExhausted = 5,  // Two-hop probing ran out without a hit.
+  kNoOnlineSource = 6,      // Dynamic replay: nobody online served it.
+};
+const char* QueryOutcomeName(QueryOutcome outcome);
+
+// Strategy code carried in the audit record: StrategyKind's integer value,
+// or this sentinel when fixed (gossip-converged) views replace learning.
+inline constexpr uint64_t kAuditStrategyFixedViews = 255;
+
+// Positional arg layout of an audit record (the interned arg names match).
+inline constexpr size_t kAuditArgRequester = 0;
+inline constexpr size_t kAuditArgFile = 1;
+inline constexpr size_t kAuditArgOutcome = 2;
+inline constexpr size_t kAuditArgConsulted = 3;  // Neighbours in the 1-hop list.
+inline constexpr size_t kAuditArgStrategy = 4;
+inline constexpr size_t kAuditArgListSize = 5;
+// Static sim: 1 when two-hop probing was enabled. Dynamic sim: replay day.
+inline constexpr size_t kAuditArgExtra = 6;
+inline constexpr size_t kAuditArgCount = 7;
+
+// Interned audit span names ("query.audit" / "query.audit.dynamic") with
+// the arg labels above. An event's ts and id are both the deterministic
+// query ordinal, which is what `edk-trace-inspect query ID` drills into.
+uint16_t AuditName();
+uint16_t DynamicAuditName();
+
+// Emits one audit record if tracing is enabled and the ordinal is sampled
+// in. `name` is AuditName() or DynamicAuditName().
+void EmitAudit(uint16_t name, uint64_t ordinal, uint32_t requester,
+               uint32_t file, QueryOutcome outcome, uint64_t consulted,
+               uint64_t strategy, uint64_t list_size, uint64_t extra);
+
+// Aggregate of one (audit kind, strategy, list size) cell rebuilt from a
+// trace file — the bridge from per-query records back to the paper's
+// aggregate hit-rate tables.
+struct AuditCell {
+  uint64_t queries = 0;   // All audit records in the cell.
+  uint64_t requests = 0;  // Excluding kNoOnlineSource (matches result.requests).
+  uint64_t one_hop_hits = 0;
+  uint64_t two_hop_hits = 0;
+  // Outcome histogram indexed by QueryOutcome's value (slot 0 unused).
+  std::array<uint64_t, 8> outcomes{};
+
+  double OneHopHitRate() const {
+    return requests == 0 ? 0
+                         : static_cast<double>(one_hop_hits) /
+                               static_cast<double>(requests);
+  }
+  double TotalHitRate() const {
+    return requests == 0 ? 0
+                         : static_cast<double>(one_hop_hits + two_hop_hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+// Key: (dynamic?, strategy code, list size).
+using AuditSummary = std::map<std::tuple<int, uint64_t, uint64_t>, AuditCell>;
+
+// Folds every audit record of `file` into per-cell aggregates. Non-audit
+// events are ignored, so it works on mixed traces.
+AuditSummary SummarizeAudits(const TraceFile& file);
+
+}  // namespace edk::obs
+
+#endif  // SRC_OBS_SPAN_H_

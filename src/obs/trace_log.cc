@@ -1,0 +1,527 @@
+#include "src/obs/trace_log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <tuple>
+
+#include "src/common/json_lint.h"
+#include "src/common/rng.h"
+#include "src/common/varint.h"
+
+namespace edk::obs {
+
+namespace {
+
+// Stateless SplitMix64 finalisation of a sampling key. The same mixer the
+// RNG seeding uses, but applied to a copy: sampling never advances any
+// generator state.
+uint64_t MixKey(uint64_t key) {
+  uint64_t state = key;
+  return SplitMix64(state);
+}
+
+// Full lexicographic record order. For kSim events (tid already erased)
+// this is partition-independent because the event multiset is; sorting by
+// it therefore canonicalises the stream byte-for-byte. Wall events lead
+// with the recording thread so each thread's timeline stays contiguous.
+struct CanonicalOrder {
+  static auto Key(const TraceEvent& e) {
+    return std::tie(e.tid, e.ts, e.name, e.id, e.parent, e.dur, e.arg_count,
+                    e.args);
+  }
+  bool operator()(const TraceEvent& a, const TraceEvent& b) const {
+    return Key(a) < Key(b);
+  }
+};
+
+}  // namespace
+
+std::atomic<bool> TraceLog::enabled_{false};
+std::atomic<uint64_t> TraceLog::sample_modulus_{1};
+
+TraceLog& TraceLog::Global() {
+  static TraceLog log;
+  return log;
+}
+
+void TraceLog::SetSampleModulus(uint64_t modulus) {
+  sample_modulus_.store(modulus == 0 ? 1 : modulus, std::memory_order_relaxed);
+}
+
+uint64_t TraceLog::sample_modulus() {
+  return sample_modulus_.load(std::memory_order_relaxed);
+}
+
+bool TraceLog::SampledIn(uint64_t key) {
+  if (!Enabled()) {
+    return false;
+  }
+  const uint64_t modulus = sample_modulus();
+  return modulus <= 1 || MixKey(key) % modulus == 0;
+}
+
+uint16_t TraceLog::InternName(std::string_view name,
+                              std::initializer_list<std::string_view> arg_names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i].name == name) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  if (names_.size() >= 0xffff) {
+    assert(false && "trace name table full");
+    return 0;
+  }
+  TraceName entry;
+  entry.name = std::string(name);
+  for (std::string_view arg : arg_names) {
+    entry.arg_names.emplace_back(arg);
+  }
+  names_.push_back(std::move(entry));
+  return static_cast<uint16_t>(names_.size() - 1);
+}
+
+FlightRecorder& TraceLog::RecorderForThisThread(uint16_t* tid) {
+  // One registration per (thread, process): the Global() log is the only
+  // instance, so a plain thread_local cache is enough.
+  struct ThreadSlot {
+    FlightRecorder* recorder = nullptr;
+    uint16_t tid = 0;
+  };
+  thread_local ThreadSlot slot;
+  if (slot.recorder == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorders_.push_back(std::make_unique<FlightRecorder>(ring_capacity_));
+    slot.recorder = recorders_.back().get();
+    slot.tid = static_cast<uint16_t>(recorders_.size() - 1);
+  }
+  *tid = slot.tid;
+  return *slot.recorder;
+}
+
+void TraceLog::Record(TraceEvent event) {
+  if (!Enabled()) {
+    return;
+  }
+  uint16_t tid = 0;
+  FlightRecorder& recorder = RecorderForThisThread(&tid);
+  event.tid = tid;
+  recorder.Append(event);
+}
+
+void TraceLog::SetRingCapacity(size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = std::max<size_t>(1, events);
+}
+
+void TraceLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& recorder : recorders_) {
+    recorder->ResetWithCapacity(ring_capacity_);
+  }
+}
+
+TraceFile TraceLog::Snapshot() const {
+  TraceFile file;
+  file.sample_modulus = sample_modulus();
+
+  std::vector<TraceEvent> all;
+  std::vector<TraceName> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = names_;
+    for (const auto& recorder : recorders_) {
+      recorder->Collect(&all);
+      file.sim_dropped += recorder->dropped(TimeDomain::kSim);
+      file.wall_dropped += recorder->dropped(TimeDomain::kWall);
+    }
+  }
+
+  // Intern order depends on which thread first hit each call site, so the
+  // snapshot re-keys events onto the SORTED name table — the only order
+  // that is partition-independent.
+  std::vector<uint16_t> order(names.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint16_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&names](uint16_t a, uint16_t b) {
+    return names[a].name < names[b].name;
+  });
+  std::vector<uint16_t> remap(names.size());
+  file.names.reserve(names.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<uint16_t>(rank);
+    file.names.push_back(std::move(names[order[rank]]));
+  }
+
+  for (TraceEvent& event : all) {
+    if (event.name < remap.size()) {
+      event.name = remap[event.name];
+    }
+    if (event.domain == TimeDomain::kSim) {
+      event.tid = 0;  // Which thread recorded it is partition-dependent.
+      file.sim_events.push_back(event);
+    } else {
+      file.wall_events.push_back(event);
+    }
+  }
+  std::sort(file.sim_events.begin(), file.sim_events.end(), CanonicalOrder{});
+  std::sort(file.wall_events.begin(), file.wall_events.end(), CanonicalOrder{});
+  return file;
+}
+
+bool TraceLog::WriteToFile(const std::string& path) const {
+  const TraceFile file = Snapshot();
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    return false;
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    WriteChromeTraceJson(os, file);
+  } else {
+    WriteTraceBinary(os, file);
+  }
+  return os.good();
+}
+
+// ---------------------------------------------------------------------------
+// Binary format. "EDKS" magic, then varints throughout (the same LEB128
+// primitives as the trace snapshot format): header values, the name table,
+// one section per domain. Events repeat the field order of TraceEvent;
+// kSim events omit the tid (it is 0 by construction).
+
+namespace {
+
+constexpr char kTraceMagic[4] = {'E', 'D', 'K', 'S'};
+constexpr uint64_t kTraceVersion = 1;
+
+void WriteString(std::ostream& os, const std::string& s) {
+  wire::WriteVarint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string& s) {
+  uint64_t size = 0;
+  if (!wire::ReadVarint(is, size) || size > (uint64_t{1} << 24)) {
+    return false;
+  }
+  s.resize(size);
+  return size == 0 ||
+         static_cast<bool>(is.read(s.data(), static_cast<std::streamsize>(size)));
+}
+
+void WriteEvent(std::ostream& os, const TraceEvent& event, bool with_tid) {
+  wire::WriteVarint(os, event.ts);
+  wire::WriteVarint(os, event.dur);
+  wire::WriteVarint(os, event.id);
+  wire::WriteVarint(os, event.parent);
+  wire::WriteVarint(os, event.name);
+  if (with_tid) {
+    wire::WriteVarint(os, event.tid);
+  }
+  wire::WriteVarint(os, event.arg_count);
+  for (size_t i = 0; i < event.arg_count; ++i) {
+    wire::WriteVarint(os, event.args[i]);
+  }
+}
+
+bool ReadEvent(std::istream& is, TraceEvent& event, bool with_tid,
+               TimeDomain domain) {
+  uint64_t name = 0;
+  uint64_t tid = 0;
+  uint64_t arg_count = 0;
+  if (!wire::ReadVarint(is, event.ts) || !wire::ReadVarint(is, event.dur) ||
+      !wire::ReadVarint(is, event.id) || !wire::ReadVarint(is, event.parent) ||
+      !wire::ReadVarint(is, name)) {
+    return false;
+  }
+  if (with_tid && !wire::ReadVarint(is, tid)) {
+    return false;
+  }
+  if (!wire::ReadVarint(is, arg_count) || name > 0xffff || tid > 0xffff ||
+      arg_count > kTraceMaxArgs) {
+    return false;
+  }
+  event.name = static_cast<uint16_t>(name);
+  event.tid = static_cast<uint16_t>(tid);
+  event.domain = domain;
+  event.arg_count = static_cast<uint8_t>(arg_count);
+  event.args = {};
+  for (size_t i = 0; i < arg_count; ++i) {
+    if (!wire::ReadVarint(is, event.args[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteTraceBinary(std::ostream& os, const TraceFile& file) {
+  os.write(kTraceMagic, sizeof(kTraceMagic));
+  wire::WriteVarint(os, kTraceVersion);
+  wire::WriteVarint(os, file.sample_modulus);
+  wire::WriteVarint(os, file.sim_dropped);
+  wire::WriteVarint(os, file.wall_dropped);
+  wire::WriteVarint(os, file.names.size());
+  for (const TraceName& name : file.names) {
+    WriteString(os, name.name);
+    wire::WriteVarint(os, name.arg_names.size());
+    for (const std::string& arg : name.arg_names) {
+      WriteString(os, arg);
+    }
+  }
+  wire::WriteVarint(os, file.sim_events.size());
+  for (const TraceEvent& event : file.sim_events) {
+    WriteEvent(os, event, /*with_tid=*/false);
+  }
+  wire::WriteVarint(os, file.wall_events.size());
+  for (const TraceEvent& event : file.wall_events) {
+    WriteEvent(os, event, /*with_tid=*/true);
+  }
+}
+
+std::optional<TraceFile> ReadTraceBinary(std::istream& is) {
+  char magic[4] = {};
+  if (!is.read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + 4, kTraceMagic)) {
+    return std::nullopt;
+  }
+  uint64_t version = 0;
+  TraceFile file;
+  uint64_t name_count = 0;
+  if (!wire::ReadVarint(is, version) || version != kTraceVersion ||
+      !wire::ReadVarint(is, file.sample_modulus) ||
+      !wire::ReadVarint(is, file.sim_dropped) ||
+      !wire::ReadVarint(is, file.wall_dropped) ||
+      !wire::ReadVarint(is, name_count) || name_count > 0xffff) {
+    return std::nullopt;
+  }
+  file.names.resize(name_count);
+  for (TraceName& name : file.names) {
+    uint64_t arg_count = 0;
+    if (!ReadString(is, name.name) || !wire::ReadVarint(is, arg_count) ||
+        arg_count > kTraceMaxArgs) {
+      return std::nullopt;
+    }
+    name.arg_names.resize(arg_count);
+    for (std::string& arg : name.arg_names) {
+      if (!ReadString(is, arg)) {
+        return std::nullopt;
+      }
+    }
+  }
+  uint64_t sim_count = 0;
+  if (!wire::ReadVarint(is, sim_count)) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < sim_count; ++i) {
+    TraceEvent event;
+    if (!ReadEvent(is, event, /*with_tid=*/false, TimeDomain::kSim)) {
+      return std::nullopt;
+    }
+    file.sim_events.push_back(event);
+  }
+  uint64_t wall_count = 0;
+  if (!wire::ReadVarint(is, wall_count)) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < wall_count; ++i) {
+    TraceEvent event;
+    if (!ReadEvent(is, event, /*with_tid=*/true, TimeDomain::kWall)) {
+      return std::nullopt;
+    }
+    file.wall_events.push_back(event);
+  }
+  return file;
+}
+
+std::optional<TraceFile> ReadTraceBinaryFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return std::nullopt;
+  }
+  return ReadTraceBinary(is);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON. Sim spans land under pid 1 ("simulation"), one
+// track per span name, with ts/dur already in the micros the format wants.
+// Wall spans land under pid 2 ("wall clock"), one track per recording
+// thread, rebased to the earliest wall timestamp and converted ns -> us.
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+void WriteWallMicros(std::ostream& os, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  os << buf;
+}
+
+void WriteEventJson(std::ostream& os, const TraceFile& file,
+                    const TraceEvent& event, int pid, int tid,
+                    uint64_t wall_base_ns) {
+  const bool wall = event.domain == TimeDomain::kWall;
+  const TraceName* name =
+      event.name < file.names.size() ? &file.names[event.name] : nullptr;
+  os << "{\"ph\":\"" << (event.dur == 0 ? 'i' : 'X') << "\",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"ts\":";
+  if (wall) {
+    WriteWallMicros(os, event.ts - wall_base_ns);
+  } else {
+    os << event.ts;
+  }
+  if (event.dur != 0) {
+    os << ",\"dur\":";
+    if (wall) {
+      WriteWallMicros(os, event.dur);
+    } else {
+      os << event.dur;
+    }
+  } else {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"name\":";
+  if (name != nullptr) {
+    WriteJsonString(os, name->name);
+  } else {
+    os << "\"name" << event.name << "\"";
+  }
+  os << ",\"args\":{\"id\":" << event.id;
+  if (event.parent != 0) {
+    os << ",\"parent\":" << event.parent;
+  }
+  for (size_t i = 0; i < event.arg_count; ++i) {
+    os << ",";
+    if (name != nullptr && i < name->arg_names.size()) {
+      WriteJsonString(os, name->arg_names[i]);
+    } else {
+      os << "\"arg" << i << "\"";
+    }
+    os << ":" << event.args[i];
+  }
+  os << "}}";
+}
+
+void WriteMetadataJson(std::ostream& os, int pid, int tid, const char* kind,
+                       std::string_view value) {
+  os << "{\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) {
+    os << ",\"tid\":" << tid;
+  }
+  os << ",\"name\":\"" << kind << "\",\"args\":{\"name\":";
+  WriteJsonString(os, value);
+  os << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTraceJson(std::ostream& os, const TraceFile& file) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto separator = [&os, &first] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+
+  separator();
+  WriteMetadataJson(os, kSimPid, -1, "process_name", "simulation");
+  separator();
+  WriteMetadataJson(os, kWallPid, -1, "process_name", "wall clock");
+
+  // One named track per sim span type: the deterministic timeline reads as
+  // "windows", "queries", ... rather than an interleaved soup.
+  std::vector<bool> sim_name_used(file.names.size(), false);
+  for (const TraceEvent& event : file.sim_events) {
+    if (event.name < sim_name_used.size()) {
+      sim_name_used[event.name] = true;
+    }
+  }
+  for (size_t i = 0; i < sim_name_used.size(); ++i) {
+    if (sim_name_used[i]) {
+      separator();
+      WriteMetadataJson(os, kSimPid, static_cast<int>(i), "thread_name",
+                        file.names[i].name);
+    }
+  }
+
+  uint64_t wall_base_ns = 0;
+  if (!file.wall_events.empty()) {
+    wall_base_ns = file.wall_events.front().ts;
+    for (const TraceEvent& event : file.wall_events) {
+      wall_base_ns = std::min(wall_base_ns, event.ts);
+    }
+    std::vector<bool> tid_used;
+    for (const TraceEvent& event : file.wall_events) {
+      if (tid_used.size() <= event.tid) {
+        tid_used.resize(event.tid + 1, false);
+      }
+      tid_used[event.tid] = true;
+    }
+    for (size_t t = 0; t < tid_used.size(); ++t) {
+      if (tid_used[t]) {
+        separator();
+        WriteMetadataJson(os, kWallPid, static_cast<int>(t), "thread_name",
+                          "thread " + std::to_string(t));
+      }
+    }
+  }
+
+  for (const TraceEvent& event : file.sim_events) {
+    separator();
+    WriteEventJson(os, file, event, kSimPid, event.name, 0);
+  }
+  for (const TraceEvent& event : file.wall_events) {
+    separator();
+    WriteEventJson(os, file, event, kWallPid, event.tid, wall_base_ns);
+  }
+
+  os << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"sample_modulus\":"
+     << file.sample_modulus << ",\"sim_dropped\":" << file.sim_dropped
+     << ",\"wall_dropped\":" << file.wall_dropped << "}}\n";
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string& TraceAtExitPath() {
+  static std::string path;
+  return path;
+}
+
+void DumpGlobalTrace() {
+  const std::string& path = TraceAtExitPath();
+  if (!path.empty()) {
+    TraceLog::Global().WriteToFile(path);
+  }
+}
+
+}  // namespace
+
+void WriteGlobalTraceAtExit(std::string path) {
+  static bool registered = false;
+  TraceAtExitPath() = std::move(path);
+  if (!registered) {
+    registered = true;
+    // Same atexit-ordering discipline as WriteGlobalMetricsAtExit: the log
+    // (and the path string) must be constructed before the handler is
+    // registered so they are destroyed after it runs.
+    TraceLog::Global();
+    std::atexit(&DumpGlobalTrace);
+  }
+}
+
+}  // namespace edk::obs

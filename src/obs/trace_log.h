@@ -1,0 +1,165 @@
+// edk::obs tracing — the span/flight-recorder layer.
+//
+// TraceLog is the process-wide structured event log that complements the
+// aggregate MetricsRegistry: where a counter tells you HOW OFTEN something
+// happened, a trace event tells you WHICH query, WHEN, and WHY. The design
+// mirrors the metrics subsystem's two-domain split exactly:
+//
+//   * TimeDomain::kSim events are stamped with simulation time (or a
+//     deterministic ordinal such as the query index) and carry only values
+//     that are pure functions of (seed, workload). For a fixed seed the
+//     snapshot's canonical sim stream is BIT-IDENTICAL for any --shards
+//     and any --threads value — provided no kSim event was dropped by a
+//     full ring (TraceFile::sim_dropped == 0 certifies that). Which thread
+//     recorded an event is partition-dependent, so the canonical form
+//     erases it: Snapshot() zeroes kSim tids, remaps name ids onto a
+//     sorted name table (intern order is thread-dependent) and sorts the
+//     events by their full lexicographic record order. The underlying
+//     multiset of events is partition-independent; the sort makes the
+//     byte stream so.
+//   * TimeDomain::kWall events are stamped with the steady clock and keep
+//     their recording-thread slot: profiling timelines (engine windows'
+//     wall cost, barrier merges), excluded from bit-comparisons.
+//
+// Sampling is deterministic by construction: SampledIn(key) hashes the
+// caller-supplied key (query ordinal, peer id) with SplitMix64 and keeps
+// the record iff hash % modulus == 0. No RNG draw is ever consumed, so
+// enabling or changing sampling cannot perturb a simulation trajectory.
+//
+// Recording costs one branch when disabled (a relaxed atomic load at the
+// call site via TraceLog::Enabled()), and one uncontended mutex plus a
+// copy into the thread's own FlightRecorder when enabled.
+//
+// Two export formats, chosen by file extension in WriteToFile():
+//   * ".json": Chrome trace-event JSON ("traceEvents" array) — load it in
+//     Perfetto (ui.perfetto.dev) or chrome://tracing. Sim spans appear as
+//     one track per span name under a "simulation" process; wall spans as
+//     one track per recording thread under a "wall clock" process.
+//   * anything else: the compact "EDKS" binary built from the same varint
+//     primitives as the trace snapshot format (src/common/varint.h),
+//     readable back via ReadTraceBinary for tools and tests.
+
+#ifndef SRC_OBS_TRACE_LOG_H_
+#define SRC_OBS_TRACE_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/flight_recorder.h"
+
+namespace edk::obs {
+
+// One interned span name plus the labels of its positional args (the
+// TraceEvent arg slots are unlabeled u64s; the labels live here once).
+struct TraceName {
+  std::string name;
+  std::vector<std::string> arg_names;
+};
+
+// A materialised trace: what Snapshot() returns and what the binary format
+// round-trips. Names are sorted lexicographically; sim_events are in
+// canonical (fully sorted) order; wall_events are ordered (tid, ts).
+struct TraceFile {
+  uint64_t sample_modulus = 1;
+  uint64_t sim_dropped = 0;
+  uint64_t wall_dropped = 0;
+  std::vector<TraceName> names;
+  std::vector<TraceEvent> sim_events;
+  std::vector<TraceEvent> wall_events;
+};
+
+class TraceLog {
+ public:
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  // The process-wide log used by library instrumentation.
+  static TraceLog& Global();
+
+  // Cheap global gate for call sites: when false, instrumentation must
+  // skip all argument marshalling. Record() also checks it.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Keep 1-in-N of the sampled record families (see SampledIn). 0 and 1
+  // both mean "keep everything".
+  static void SetSampleModulus(uint64_t modulus);
+  static uint64_t sample_modulus();
+
+  // Deterministic sampling decision for `key` (a query ordinal, peer id —
+  // anything stable across partitionings). True iff tracing is enabled and
+  // SplitMix64(key) falls in the kept residue class. Never draws from an
+  // Rng, so sampling cannot change a simulation's trajectory.
+  static bool SampledIn(uint64_t key);
+
+  // Interns a span name with its positional arg labels; returns the id to
+  // store in TraceEvent::name. Idempotent per name; at most 65535 names.
+  // Call sites cache the id in a function-local static.
+  uint16_t InternName(std::string_view name,
+                      std::initializer_list<std::string_view> arg_names = {});
+
+  // Appends `event` to the calling thread's ring buffer (no-op when
+  // disabled). The event's tid field is assigned here.
+  void Record(TraceEvent event);
+
+  // Ring capacity, in events per recording thread, applied to new threads
+  // immediately and to existing ones at the next Reset().
+  void SetRingCapacity(size_t events);
+
+  // Collects every thread's ring into canonical TraceFile form. Call once
+  // writers have quiesced (after a join / at process exit): concurrent
+  // recording is safe but the cut is not atomic across threads.
+  TraceFile Snapshot() const;
+
+  // Empties every ring and re-applies the configured capacity. Interned
+  // names and previously returned name ids stay valid (mirroring
+  // MetricsRegistry::Reset()).
+  void Reset();
+
+  // Writes Snapshot() to `path`: Chrome trace JSON if it ends in ".json",
+  // the EDKS binary otherwise. Returns false on I/O failure.
+  bool WriteToFile(const std::string& path) const;
+
+ private:
+  TraceLog() = default;
+
+  FlightRecorder& RecorderForThisThread(uint16_t* tid);
+
+  static std::atomic<bool> enabled_;
+  static std::atomic<uint64_t> sample_modulus_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceName> names_;
+  std::vector<std::unique_ptr<FlightRecorder>> recorders_;
+  size_t ring_capacity_ = size_t{1} << 20;
+};
+
+// Binary round-trip ("EDKS" magic, varint-encoded). WriteTraceBinary
+// expects the canonical TraceFile form that Snapshot() produces.
+void WriteTraceBinary(std::ostream& os, const TraceFile& file);
+std::optional<TraceFile> ReadTraceBinary(std::istream& is);
+std::optional<TraceFile> ReadTraceBinaryFromFile(const std::string& path);
+
+// Chrome trace-event JSON (Perfetto/chrome://tracing loadable).
+void WriteChromeTraceJson(std::ostream& os, const TraceFile& file);
+
+// Registers a process-exit hook that writes Global().Snapshot() to `path`
+// (the --trace-out plumbing shared by bench_common and the tools). The
+// last registered path wins; an empty path disables the dump.
+void WriteGlobalTraceAtExit(std::string path);
+
+}  // namespace edk::obs
+
+#endif  // SRC_OBS_TRACE_LOG_H_

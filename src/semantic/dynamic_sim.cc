@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "src/common/rng.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
 
 namespace edk {
 
@@ -24,6 +26,13 @@ DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
 
   std::vector<std::unique_ptr<NeighbourList>> lists(peer_count);
   const bool random_strategy = config.strategy == StrategyKind::kRandom;
+
+  // Audit trail: one record per replayed request — including unresolvable
+  // ones (kNoOnlineSource), so the trace explains every line of the replay.
+  // The ordinal counts all records; `extra` carries the replay day.
+  const bool tracing = obs::TraceLog::Enabled();
+  const uint16_t audit_name = tracing ? obs::DynamicAuditName() : 0;
+  uint64_t audit_ordinal = 0;
 
   std::vector<uint32_t> neighbours;
   for (int day = trace.first_day(); day <= trace.last_day(); ++day) {
@@ -65,6 +74,12 @@ DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
       const auto sources_it = servers_of.find(f);
       if (sources_it == servers_of.end() || sources_it->second.empty()) {
         ++result.unresolvable;  // Nobody online serves it today.
+        if (tracing) {
+          obs::EmitAudit(audit_name, audit_ordinal++, p, f,
+                         obs::QueryOutcome::kNoOnlineSource, 0,
+                         static_cast<uint64_t>(config.strategy),
+                         config.list_size, static_cast<uint64_t>(day));
+        }
         continue;
       }
       ++result.requests;
@@ -101,6 +116,16 @@ DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
         ++result.fallbacks;
         const auto& sources = sources_it->second;
         uploader = sources[rng.NextBelow(sources.size())];
+      }
+      if (tracing) {
+        const obs::QueryOutcome outcome =
+            hit ? obs::QueryOutcome::kOneHopHit
+                : (neighbours.empty() ? obs::QueryOutcome::kNeighbourAbsent
+                                      : obs::QueryOutcome::kCacheMiss);
+        obs::EmitAudit(audit_name, audit_ordinal++, p, f, outcome,
+                       neighbours.size(),
+                       static_cast<uint64_t>(config.strategy),
+                       config.list_size, static_cast<uint64_t>(day));
       }
       if (!random_strategy) {
         if (lists[p] == nullptr) {

@@ -6,6 +6,8 @@
 
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
 #include "src/trace/cache_store.h"
 
 namespace edk {
@@ -76,6 +78,15 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
   if (!random_strategy && !fixed_views) {
     lists.resize(peer_count);
   }
+  // Audit trail: one record per request, keyed by the deterministic request
+  // ordinal (== result.requests - 1 at emission time). The enabled check is
+  // hoisted; EmitAudit itself applies the sampling modulus.
+  const bool tracing = obs::TraceLog::Enabled();
+  const uint16_t audit_name = tracing ? obs::AuditName() : 0;
+  const uint64_t audit_strategy =
+      fixed_views ? obs::kAuditStrategyFixedViews
+                  : static_cast<uint64_t>(config.strategy);
+
   // Sharer universe for the Random baseline.
   std::vector<uint32_t> sharer_ids;
   if (random_strategy) {
@@ -235,6 +246,24 @@ SearchSimResult RunSearchSimulation(const StaticCaches& potential,
     result.one_hop_hits += one_hop ? 1 : 0;
     result.two_hop_hits += two_hop ? 1 : 0;
     result.hits_by_popularity[bucket] += (one_hop || two_hop) ? 1 : 0;
+
+    if (tracing) {
+      obs::QueryOutcome outcome;
+      if (one_hop) {
+        outcome = obs::QueryOutcome::kOneHopHit;
+      } else if (two_hop) {
+        outcome = obs::QueryOutcome::kTwoHopHit;
+      } else if (neighbours.empty()) {
+        outcome = obs::QueryOutcome::kNeighbourAbsent;
+      } else if (config.two_hop && !random_strategy) {
+        outcome = obs::QueryOutcome::kHopBudgetExhausted;
+      } else {
+        outcome = obs::QueryOutcome::kCacheMiss;
+      }
+      obs::EmitAudit(audit_name, result.requests - 1, p, f, outcome,
+                     neighbours.size(), audit_strategy, config.list_size,
+                     config.two_hop ? 1 : 0);
+    }
 
     if (!random_strategy && !fixed_views) {
       if (lists[p] == nullptr) {

@@ -9,6 +9,8 @@
 
 #include "src/exec/parallel.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
 
 namespace edk::sim {
 
@@ -16,6 +18,38 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+// Trace span names (interned once; ids are stable for the process).
+// sim.window and sim.barrier are deterministic — their timestamps, ids
+// and args are functions of the global event timeline only. The wall
+// spans profile the same structure in real time and stay in the kWall
+// domain because their durations (and the per-destination merge split)
+// depend on the partitioning.
+struct EngineTraceNames {
+  uint16_t window;         // kSim: one span per window.
+  uint16_t barrier;        // kSim: one instant per non-empty barrier merge.
+  uint16_t window_wall;    // kWall: the window's real drain time.
+  uint16_t barrier_merge;  // kWall: the whole barrier merge.
+  uint16_t mailbox_flush;  // kWall: one destination's merge share.
+  uint16_t shard_drain;    // kWall: one shard's share of a window.
+};
+
+const EngineTraceNames& TraceNames() {
+  auto& log = obs::TraceLog::Global();
+  static const EngineTraceNames names{
+      log.InternName("sim.window", {"index", "events"}),
+      log.InternName("sim.barrier", {"index", "merged"}),
+      log.InternName("sim.window.wall", {"index", "events"}),
+      log.InternName("sim.barrier_merge", {"index", "merged"}),
+      log.InternName("sim.mailbox_flush", {"dst_shard", "merged"}),
+      log.InternName("sim.shard_drain", {"shard", "events"}),
+  };
+  return names;
+}
+
+// Salts keeping content-derived ids of different span kinds apart.
+constexpr uint64_t kWindowIdSalt = 0x77696e646f77ULL;   // "window"
+constexpr uint64_t kBarrierIdSalt = 0x62617272ULL;      // "barr"
 
 // Shard currently being executed by this thread; only meaningful while the
 // engine is inside a window. Used to assert that nodes schedule and send
@@ -100,17 +134,21 @@ bool ShardedEngine::AnyOutboxPending() const {
   return false;
 }
 
-void ShardedEngine::MergeMailboxes() {
+size_t ShardedEngine::MergeMailboxes() {
   if (!AnyOutboxPending()) {
-    return;
+    return 0;
   }
   const size_t shard_count = shards_.size();
+  const bool tracing = obs::TraceLog::Enabled();
+  obs::WallSpan merge_span(tracing ? TraceNames().barrier_merge : 0);
+  std::vector<size_t> merged_per_dst(shard_count, 0);
   // Each destination drains its own column of the mailbox matrix: the
   // destination worker reads what source workers wrote last window, with
   // the ParallelFor fork/join barrier ordering the two phases.
   ParallelFor(
       0, shard_count,
-      [this, shard_count](size_t dst) {
+      [this, shard_count, tracing, &merged_per_dst](size_t dst) {
+        obs::WallSpan flush_span(tracing ? TraceNames().mailbox_flush : 0);
         Shard& to = shards_[dst];
         auto& scratch = to.merge_scratch;
         scratch.clear();
@@ -121,9 +159,13 @@ void ShardedEngine::MergeMailboxes() {
           }
           box.clear();
         }
+        merged_per_dst[dst] = scratch.size();
         if (scratch.empty()) {
+          flush_span.Cancel();
           return;
         }
+        flush_span.AddArg(dst);
+        flush_span.AddArg(scratch.size());
         // (time, src, seq) is a total order (src+seq is unique), and the
         // FIFO tiebreak of ScheduleAt preserves it for same-time arrivals:
         // the destination observes messages in a partition-independent
@@ -144,6 +186,17 @@ void ShardedEngine::MergeMailboxes() {
         scratch.clear();
       },
       config_.threads);
+  size_t merged = 0;
+  for (size_t count : merged_per_dst) {
+    merged += count;
+  }
+  if (merged == 0) {
+    merge_span.Cancel();
+  } else {
+    merge_span.AddArg(windows_);
+    merge_span.AddArg(merged);
+  }
+  return merged;
 }
 
 double ShardedEngine::NextEventTime() {
@@ -170,28 +223,63 @@ uint64_t ShardedEngine::RunUntil(double until) {
   double stall_seconds = 0;
   std::vector<double> window_busy(shard_count);
 
+  const bool tracing = obs::TraceLog::Enabled();
+  std::vector<uint64_t> window_executed(shard_count);
+
   running_ = true;
   for (;;) {
     // Loop-top merge hands setup-time sends and last window's mailboxes to
     // their destination queues before the next window is chosen.
-    MergeMailboxes();
+    const size_t merged = MergeMailboxes();
     const double window_start = NextEventTime();
+    if (tracing && merged > 0) {
+      // Every send is buffered until the barrier, so the merged total (and
+      // the barrier's position on the window timeline) is deterministic —
+      // only the per-destination split depends on the partitioning.
+      obs::EmitSimInstant(TraceNames().barrier, obs::SimMicros(window_start),
+                          obs::MixId2(kBarrierIdSalt, windows_), 0,
+                          {windows_, merged});
+    }
     // kInf means every queue is empty (drained); the second clause stops a
     // finite horizon. Checked separately because inf <= inf holds.
     if (window_start == kInf || !(window_start <= until)) {
       break;
     }
     const double window_end = std::min(window_start + config_.lookahead, until);
+    obs::WallSpan window_span(tracing ? TraceNames().window_wall : 0);
     ParallelFor(
         0, shard_count,
-        [this, window_end, &window_busy](size_t k) {
+        [this, window_end, tracing, &window_busy, &window_executed](size_t k) {
+          obs::WallSpan drain_span(tracing ? TraceNames().shard_drain : 0);
           const auto start = std::chrono::steady_clock::now();
           tls_current_shard = k;
-          shards_[k].executed += shards_[k].queue.RunUntil(window_end);
+          const uint64_t executed = shards_[k].queue.RunUntil(window_end);
+          shards_[k].executed += executed;
           tls_current_shard = kNoShard;
           window_busy[k] = Seconds(std::chrono::steady_clock::now() - start);
+          window_executed[k] = executed;
+          if (executed == 0) {
+            drain_span.Cancel();
+          } else {
+            drain_span.AddArg(k);
+            drain_span.AddArg(executed);
+          }
         },
         config_.threads);
+    if (tracing) {
+      uint64_t events_in_window = 0;
+      for (uint64_t executed : window_executed) {
+        events_in_window += executed;
+      }
+      window_span.AddArg(windows_);
+      window_span.AddArg(events_in_window);
+      window_span.Finish();
+      // The deterministic twin of the wall span: window boundaries and the
+      // events-per-window total are partition-independent.
+      obs::EmitSimSpan(TraceNames().window, window_start, window_end,
+                       obs::MixId2(kWindowIdSalt, windows_), 0,
+                       {windows_, events_in_window});
+    }
     ++windows_;
     const double max_busy = *std::max_element(window_busy.begin(), window_busy.end());
     for (double busy : window_busy) {

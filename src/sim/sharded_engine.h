@@ -137,8 +137,10 @@ class ShardedEngine {
 
   // Moves every buffered message into its destination queue, in
   // (time, src, seq) order. Runs at window barriers and before the first
-  // window (setup-time sends).
-  void MergeMailboxes();
+  // window (setup-time sends). Returns the number of messages merged —
+  // partition-independent, because EVERY send (intra- and cross-shard)
+  // is buffered until the next barrier.
+  size_t MergeMailboxes();
   bool AnyOutboxPending() const;
   double NextEventTime();
 

@@ -45,45 +45,6 @@ bool ReadU64(std::istream& is, uint64_t& v) {
 
 }  // namespace
 
-namespace wire {
-
-// LEB128-style variable-length encoding for delta-encoded file ids.
-void WriteVarint(std::ostream& os, uint64_t v) {
-  while (v >= 0x80) {
-    const uint8_t byte = static_cast<uint8_t>(v) | 0x80;
-    os.write(reinterpret_cast<const char*>(&byte), 1);
-    v >>= 7;
-  }
-  const uint8_t byte = static_cast<uint8_t>(v);
-  os.write(reinterpret_cast<const char*>(&byte), 1);
-}
-
-bool ReadVarint(std::istream& is, uint64_t& v) {
-  v = 0;
-  int shift = 0;
-  while (shift < 64) {
-    uint8_t byte = 0;
-    if (!is.read(reinterpret_cast<char*>(&byte), 1)) {
-      return false;
-    }
-    const uint64_t payload = byte & 0x7f;
-    // The 10th byte (shift 63) has room for a single bit. A larger payload
-    // used to be shifted anyway, silently dropping its high bits — two
-    // distinct encodings aliased to one value. Reject instead.
-    if (shift == 63 && payload > 1) {
-      return false;
-    }
-    v |= payload << shift;
-    if ((byte & 0x80) == 0) {
-      return true;
-    }
-    shift += 7;
-  }
-  return false;  // Continuation bit on the 10th byte: > 64 bits.
-}
-
-}  // namespace wire
-
 namespace {
 using wire::ReadVarint;
 using wire::WriteVarint;

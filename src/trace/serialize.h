@@ -14,24 +14,13 @@
 #include <optional>
 #include <string>
 
+// Re-exports edk::wire::{Write,Read}Varint for this header's existing
+// includers; the primitives themselves live in edk_common so lower layers
+// (the edk::obs span stream) share the encoding.
+#include "src/common/varint.h"
 #include "src/trace/trace.h"
 
 namespace edk {
-
-// Low-level wire primitives, exposed so malformed-stream handling can be
-// tested directly (the trace format is built from these).
-namespace wire {
-
-// LEB128-style variable-length encoding; at most 10 bytes per value.
-void WriteVarint(std::ostream& os, uint64_t v);
-
-// Reads one varint. Returns false on EOF and on any encoding that does not
-// fit in 64 bits: an 11th continuation byte, or a 10th byte carrying more
-// than the single bit that remains (the old decoder silently dropped those
-// high bits, so two distinct byte strings aliased to the same value).
-bool ReadVarint(std::istream& is, uint64_t& v);
-
-}  // namespace wire
 
 // Writes `trace` to the stream. Returns false on I/O failure, or if a
 // snapshot's file ids are not sorted strictly ascending — the delta

@@ -1,0 +1,74 @@
+#include "src/common/json_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace edk {
+namespace {
+
+TEST(JsonLintTest, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(LintJson("{}").ok);
+  EXPECT_TRUE(LintJson("[]").ok);
+  EXPECT_TRUE(LintJson("null").ok);
+  EXPECT_TRUE(LintJson("-12.5e+3").ok);
+  EXPECT_TRUE(LintJson("\"with \\\"escapes\\\" and \\u00ff\"").ok);
+  EXPECT_TRUE(LintJson(R"({"a": [1, 2, {"b": true}], "c": "x"})").ok);
+  EXPECT_TRUE(LintJson("  {\n\t\"k\": 1\r\n}  ").ok);
+}
+
+TEST(JsonLintTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(LintJson("").ok);
+  EXPECT_FALSE(LintJson("{").ok);
+  EXPECT_FALSE(LintJson("{\"a\": }").ok);
+  EXPECT_FALSE(LintJson("[1, 2,]").ok);
+  EXPECT_FALSE(LintJson("{} trailing").ok);
+  EXPECT_FALSE(LintJson("{\"a\" 1}").ok);
+  EXPECT_FALSE(LintJson("'single'").ok);
+  EXPECT_FALSE(LintJson("01").ok);    // Leading zero.
+  EXPECT_FALSE(LintJson("1.").ok);    // Dangling fraction.
+  EXPECT_FALSE(LintJson("nul").ok);
+}
+
+TEST(JsonLintTest, RejectsBadStrings) {
+  EXPECT_FALSE(LintJson("\"unterminated").ok);
+  EXPECT_FALSE(LintJson("\"raw \x01 control\"").ok);
+  EXPECT_FALSE(LintJson("\"bad \\q escape\"").ok);
+  EXPECT_FALSE(LintJson("\"bad \\u12 hex\"").ok);
+}
+
+TEST(JsonLintTest, ReportsTheFailureOffset) {
+  const JsonLintResult result = LintJson("{\"ok\": 1, \"bad\": tru}");
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.offset, 17u);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(JsonLintTest, GuardsAgainstPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(LintJson(deep).ok);  // Past the depth guard, not a crash.
+  std::string shallow(16, '[');
+  shallow += std::string(16, ']');
+  EXPECT_TRUE(LintJson(shallow).ok);
+}
+
+TEST(WriteJsonStringTest, EscapesEverythingTheLinterRejectsRaw) {
+  std::ostringstream os;
+  std::string hostile = "q\"b\\c\x01\t\n\r\x7f";
+  hostile += '\xff';
+  WriteJsonString(os, hostile);
+  const std::string quoted = os.str();
+  EXPECT_TRUE(LintJson(quoted).ok) << quoted;
+  EXPECT_EQ(quoted, "\"q\\\"b\\\\c\\u0001\\t\\n\\r\\u007f\\u00ff\"");
+}
+
+TEST(WriteJsonStringTest, PassesPlainAsciiThrough) {
+  std::ostringstream os;
+  WriteJsonString(os, "plain ascii 123 {}");
+  EXPECT_EQ(os.str(), "\"plain ascii 123 {}\"");
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,93 @@
+#include "src/common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace edk::wire {
+namespace {
+
+uint64_t RoundTrip(uint64_t v) {
+  std::stringstream ss;
+  WriteVarint(ss, v);
+  uint64_t out = 0;
+  EXPECT_TRUE(ReadVarint(ss, out));
+  return out;
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const std::vector<uint64_t> values = {
+      0,
+      1,
+      127,
+      128,
+      129,
+      16383,
+      16384,
+      (uint64_t{1} << 32) - 1,
+      uint64_t{1} << 32,
+      (uint64_t{1} << 63) - 1,
+      uint64_t{1} << 63,
+      std::numeric_limits<uint64_t>::max(),
+  };
+  for (uint64_t v : values) {
+    EXPECT_EQ(RoundTrip(v), v) << v;
+  }
+}
+
+TEST(VarintTest, EncodingLengthMatchesLeb128) {
+  const auto length = [](uint64_t v) {
+    std::ostringstream os;
+    WriteVarint(os, v);
+    return os.str().size();
+  };
+  EXPECT_EQ(length(0), 1u);
+  EXPECT_EQ(length(127), 1u);
+  EXPECT_EQ(length(128), 2u);
+  EXPECT_EQ(length(16383), 2u);
+  EXPECT_EQ(length(16384), 3u);
+  EXPECT_EQ(length(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(VarintTest, ReadFailsAtEof) {
+  std::istringstream empty("");
+  uint64_t out = 0;
+  EXPECT_FALSE(ReadVarint(empty, out));
+
+  // A dangling continuation bit with nothing after it.
+  std::istringstream truncated(std::string(1, '\x80'));
+  EXPECT_FALSE(ReadVarint(truncated, out));
+}
+
+TEST(VarintTest, RejectsOverlongEncodings) {
+  uint64_t out = 0;
+  // Eleven continuation bytes cannot fit in 64 bits.
+  std::istringstream eleven(std::string(10, '\x80') + std::string(1, '\x01'));
+  EXPECT_FALSE(ReadVarint(eleven, out));
+  // A 10th byte may only carry the single remaining bit; 0x02 overflows.
+  std::istringstream overflow(std::string(9, '\x80') + std::string(1, '\x02'));
+  EXPECT_FALSE(ReadVarint(overflow, out));
+  // The maximal legal 10-byte encoding still decodes.
+  std::istringstream maximal(std::string(9, '\xff') + std::string(1, '\x01'));
+  EXPECT_TRUE(ReadVarint(maximal, out));
+  EXPECT_EQ(out, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(VarintTest, SequentialValuesShareAStream) {
+  std::stringstream ss;
+  for (uint64_t v = 0; v < 1000; v += 7) {
+    WriteVarint(ss, v * v);
+  }
+  for (uint64_t v = 0; v < 1000; v += 7) {
+    uint64_t out = 0;
+    ASSERT_TRUE(ReadVarint(ss, out));
+    EXPECT_EQ(out, v * v);
+  }
+}
+
+}  // namespace
+}  // namespace edk::wire

@@ -1,0 +1,97 @@
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edk::obs {
+namespace {
+
+TraceEvent MakeEvent(uint64_t ts, TimeDomain domain = TimeDomain::kSim) {
+  TraceEvent event;
+  event.ts = ts;
+  event.id = ts + 1;
+  event.domain = domain;
+  return event;
+}
+
+TEST(FlightRecorderTest, KeepsEverythingBelowCapacity) {
+  FlightRecorder recorder(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    recorder.Append(MakeEvent(i));
+  }
+  EXPECT_EQ(recorder.size(), 5u);
+  EXPECT_EQ(recorder.capacity(), 8u);
+  EXPECT_EQ(recorder.dropped(TimeDomain::kSim), 0u);
+  std::vector<TraceEvent> out;
+  recorder.Collect(&out);
+  ASSERT_EQ(out.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].ts, i);
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestAndCountsDrops) {
+  FlightRecorder recorder(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Append(MakeEvent(i));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(TimeDomain::kSim), 6u);
+  // Oldest-first means the retained window is exactly the last 4 appends.
+  std::vector<TraceEvent> out;
+  recorder.Collect(&out);
+  ASSERT_EQ(out.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].ts, 6 + i);
+  }
+}
+
+TEST(FlightRecorderTest, DropsAreCountedPerDomainOfTheOverwrittenEvent) {
+  FlightRecorder recorder(2);
+  recorder.Append(MakeEvent(0, TimeDomain::kSim));
+  recorder.Append(MakeEvent(1, TimeDomain::kWall));
+  // Overwrites the kSim event, then the kWall event.
+  recorder.Append(MakeEvent(2, TimeDomain::kWall));
+  recorder.Append(MakeEvent(3, TimeDomain::kWall));
+  EXPECT_EQ(recorder.dropped(TimeDomain::kSim), 1u);
+  EXPECT_EQ(recorder.dropped(TimeDomain::kWall), 1u);
+}
+
+TEST(FlightRecorderTest, CollectAppendsWithoutClearing) {
+  FlightRecorder recorder(4);
+  recorder.Append(MakeEvent(7));
+  std::vector<TraceEvent> out;
+  out.push_back(MakeEvent(99));
+  recorder.Collect(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].ts, 99u);
+  EXPECT_EQ(out[1].ts, 7u);
+  // Collect is non-destructive.
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(FlightRecorderTest, ResetWithCapacityEmptiesAndRearms) {
+  FlightRecorder recorder(2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    recorder.Append(MakeEvent(i));
+  }
+  EXPECT_GT(recorder.dropped(TimeDomain::kSim), 0u);
+  recorder.ResetWithCapacity(3);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.capacity(), 3u);
+  EXPECT_EQ(recorder.dropped(TimeDomain::kSim), 0u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    recorder.Append(MakeEvent(10 + i));
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.dropped(TimeDomain::kSim), 0u);
+  std::vector<TraceEvent> out;
+  recorder.Collect(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.front().ts, 10u);
+  EXPECT_EQ(out.back().ts, 12u);
+}
+
+}  // namespace
+}  // namespace edk::obs

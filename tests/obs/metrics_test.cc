@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json_lint.h"
 #include "src/exec/parallel.h"
 
 namespace edk::obs {
@@ -172,6 +173,29 @@ TEST(RegistryTest, CsvListsEverySection) {
   EXPECT_NE(csv.find("wall,phase,p,count,1"), std::string::npos);
 }
 
+TEST(RegistryTest, JsonEscapesHostileMetricNames) {
+  // Metric names come from user-controlled paths in places (e.g. per-file
+  // prefixes); the export must stay valid JSON for quotes, backslashes,
+  // control characters and raw high bytes (which, sign-extended through a
+  // char, used to produce invalid escapes with more than four hex digits).
+  MetricsRegistry registry;
+  registry.GetCounter("quote\"back\\slash").Increment(1);
+  registry.GetCounter(std::string("ctrl\x01tab\tnl\n")).Increment(2);
+  registry.GetCounter(std::string("high\xff" "bit\x7f")).Increment(3);
+  registry.RecordWallSeconds("phase\"with\\specials\x02", 0.5);
+
+  std::ostringstream os;
+  registry.WriteJson(os);
+  const std::string json = os.str();
+  const JsonLintResult lint = LintJson(json);
+  EXPECT_TRUE(lint.ok) << "at byte " << lint.offset << ": " << lint.error;
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("ctrl\\u0001tab\\tnl\\n"), std::string::npos);
+  // The unsigned byte value, never a sign-extended one.
+  EXPECT_NE(json.find("high\\u00ffbit\\u007f"), std::string::npos);
+  EXPECT_EQ(json.find("\\uffffff"), std::string::npos);
+}
+
 TEST(RegistryTest, WriteJsonToFileRoundTrips) {
   MetricsRegistry registry;
   registry.GetCounter("file.counter").Increment(7);
@@ -202,6 +226,51 @@ TEST(PhaseTimerTest, ScopedRecordOnDestruction) {
   std::ostringstream os;
   registry.WriteCsv(os);
   EXPECT_NE(os.str().find("wall,phase,phase.scoped,count,1"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, StopWhenNeverStartedAfterStopReturnsLastValue) {
+  MetricsRegistry registry;
+  PhaseTimer timer("phase.idempotent", &registry);
+  const double first = timer.Stop();
+  EXPECT_GE(first, 0.0);
+  // Repeated Stop() calls are benign no-ops returning the recorded value
+  // and never record a second measurement.
+  EXPECT_DOUBLE_EQ(timer.Stop(), first);
+  EXPECT_DOUBLE_EQ(timer.Stop(), first);
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  EXPECT_NE(os.str().find("wall,phase,phase.idempotent,count,1"),
+            std::string::npos);
+}
+
+TEST(PhaseTimerTest, StartRearmsForASecondMeasurement) {
+  MetricsRegistry registry;
+  PhaseTimer timer("phase.rearm", &registry);
+  timer.Stop();
+  timer.Start();
+  timer.Stop();
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  EXPECT_NE(os.str().find("wall,phase,phase.rearm,count,2"), std::string::npos);
+  // No misuse: both measurements were balanced.
+  EXPECT_EQ(os.str().find("obs.phase_timer.misuse"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, StartWhileRunningIsNoOpPlusMisuseCounter) {
+  MetricsRegistry registry;
+  PhaseTimer timer("phase.nested", &registry);
+  timer.Start();  // Unbalanced: already running.
+  timer.Start();
+  timer.Stop();
+  EXPECT_EQ(registry
+                .GetCounter("obs.phase_timer.misuse.start_while_running",
+                            Domain::kEnv)
+                .Value(),
+            2u);
+  // The phase itself still recorded exactly once.
+  std::ostringstream os;
+  registry.WriteCsv(os);
+  EXPECT_NE(os.str().find("wall,phase,phase.nested,count,1"), std::string::npos);
 }
 
 TEST(GlobalRegistryTest, IsASingleton) {

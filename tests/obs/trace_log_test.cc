@@ -1,0 +1,327 @@
+#include "src/obs/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json_lint.h"
+#include "src/obs/span.h"
+
+namespace edk::obs {
+namespace {
+
+// The global TraceLog is a process-wide singleton (names persist across
+// tests by design, mirroring MetricsRegistry); every test starts from an
+// empty, enabled, unsampled ring and leaves tracing disabled.
+class TraceLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceLog::Global().Reset();
+    TraceLog::SetSampleModulus(1);
+    TraceLog::SetEnabled(true);
+  }
+  void TearDown() override {
+    TraceLog::SetEnabled(false);
+    TraceLog::SetSampleModulus(1);
+    TraceLog::Global().Reset();
+  }
+};
+
+int FindName(const TraceFile& file, const std::string& name) {
+  for (size_t i = 0; i < file.names.size(); ++i) {
+    if (file.names[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TraceEvent SimEvent(uint16_t name, uint64_t ts) {
+  TraceEvent event;
+  event.name = name;
+  event.ts = ts;
+  event.id = ts + 1;
+  event.domain = TimeDomain::kSim;
+  return event;
+}
+
+TEST_F(TraceLogTest, InternNameIsIdempotent) {
+  auto& log = TraceLog::Global();
+  const uint16_t a = log.InternName("test.intern.a", {"x", "y"});
+  const uint16_t again = log.InternName("test.intern.a");
+  EXPECT_EQ(a, again);
+  EXPECT_NE(a, log.InternName("test.intern.b"));
+}
+
+TEST_F(TraceLogTest, RecordingWhileDisabledIsDropped) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.disabled");
+  TraceLog::SetEnabled(false);
+  log.Record(SimEvent(name, 1));
+  TraceLog::SetEnabled(true);
+  const TraceFile file = log.Snapshot();
+  EXPECT_TRUE(file.sim_events.empty());
+}
+
+TEST_F(TraceLogTest, SnapshotSortsSimEventsAndErasesTheirTid) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.sort");
+  // Recorded out of order, partly from another thread: the canonical form
+  // must not depend on either.
+  log.Record(SimEvent(name, 300));
+  std::thread other([&log, name] {
+    log.Record(SimEvent(name, 100));
+    log.Record(SimEvent(name, 200));
+  });
+  other.join();
+  const TraceFile file = log.Snapshot();
+  ASSERT_EQ(file.sim_events.size(), 3u);
+  for (size_t i = 0; i < file.sim_events.size(); ++i) {
+    EXPECT_EQ(file.sim_events[i].ts, 100 * (i + 1));
+    EXPECT_EQ(file.sim_events[i].tid, 0u);
+  }
+}
+
+TEST_F(TraceLogTest, SnapshotRemapsNamesOntoSortedTable) {
+  auto& log = TraceLog::Global();
+  // Interned in anti-alphabetical order; the snapshot table is sorted, so
+  // the remap must swap the indices while the strings stay attached.
+  const uint16_t zebra = log.InternName("zz.test.remap", {"arg0"});
+  const uint16_t alpha = log.InternName("aa.test.remap");
+  log.Record(SimEvent(zebra, 1));
+  log.Record(SimEvent(alpha, 2));
+  const TraceFile file = log.Snapshot();
+  ASSERT_TRUE(std::is_sorted(
+      file.names.begin(), file.names.end(),
+      [](const TraceName& a, const TraceName& b) { return a.name < b.name; }));
+  const int zebra_idx = FindName(file, "zz.test.remap");
+  const int alpha_idx = FindName(file, "aa.test.remap");
+  ASSERT_GE(zebra_idx, 0);
+  ASSERT_GE(alpha_idx, 0);
+  EXPECT_LT(alpha_idx, zebra_idx);
+  ASSERT_EQ(file.sim_events.size(), 2u);
+  EXPECT_EQ(file.sim_events[0].name, zebra_idx);  // ts=1 event.
+  EXPECT_EQ(file.sim_events[1].name, alpha_idx);  // ts=2 event.
+  EXPECT_EQ(file.names[zebra_idx].arg_names,
+            std::vector<std::string>{"arg0"});
+}
+
+TEST_F(TraceLogTest, WallEventsKeepTheirRecordingThread) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.wall.tid");
+  TraceEvent wall = SimEvent(name, 5);
+  wall.domain = TimeDomain::kWall;
+  log.Record(wall);
+  std::thread other([&log, wall]() mutable {
+    wall.ts = 6;
+    log.Record(wall);
+  });
+  other.join();
+  const TraceFile file = log.Snapshot();
+  ASSERT_EQ(file.wall_events.size(), 2u);
+  EXPECT_NE(file.wall_events[0].tid, file.wall_events[1].tid);
+}
+
+TEST_F(TraceLogTest, SamplingIsDeterministicPerKey) {
+  TraceLog::SetSampleModulus(5);
+  size_t kept = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const bool first = TraceLog::SampledIn(key);
+    EXPECT_EQ(first, TraceLog::SampledIn(key));  // Stable per key.
+    kept += first ? 1 : 0;
+  }
+  // Roughly 1-in-5 after hashing; generous bounds, zero flake.
+  EXPECT_GT(kept, 100u);
+  EXPECT_LT(kept, 350u);
+  TraceLog::SetSampleModulus(1);
+  EXPECT_TRUE(TraceLog::SampledIn(0));
+  TraceLog::SetEnabled(false);
+  EXPECT_FALSE(TraceLog::SampledIn(0));
+}
+
+TEST_F(TraceLogTest, EmitHelpersProduceSpansAndInstants) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.emit", {"a", "b"});
+  EmitSimSpan(name, 1.5, 2.25, /*id=*/42, /*parent=*/7, {11, 22});
+  EmitSimInstant(name, /*ts=*/9, /*id=*/43, /*parent=*/42, {33});
+  const TraceFile file = log.Snapshot();
+  ASSERT_EQ(file.sim_events.size(), 2u);
+  const TraceEvent& instant = file.sim_events[0];  // ts 9 sorts first.
+  const TraceEvent& span = file.sim_events[1];     // ts 1.5s = 1'500'000us.
+  EXPECT_EQ(span.ts, 1'500'000u);
+  EXPECT_EQ(span.dur, 750'000u);
+  EXPECT_EQ(span.id, 42u);
+  EXPECT_EQ(span.parent, 7u);
+  EXPECT_EQ(span.arg_count, 2);
+  EXPECT_EQ(span.args[0], 11u);
+  EXPECT_EQ(span.args[1], 22u);
+  EXPECT_EQ(instant.ts, 9u);
+  EXPECT_EQ(instant.dur, 0u);
+  EXPECT_EQ(instant.parent, 42u);
+}
+
+TEST_F(TraceLogTest, BinaryRoundTripPreservesEverything) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.roundtrip", {"k"});
+  EmitSimSpan(name, 0.5, 1.0, 1001, 0, {5});
+  TraceEvent wall = SimEvent(name, 77);
+  wall.domain = TimeDomain::kWall;
+  wall.dur = 123;
+  log.Record(wall);
+  TraceLog::SetSampleModulus(8);
+  TraceFile file = log.Snapshot();
+  TraceLog::SetSampleModulus(1);
+  file.sim_dropped = 0;
+  file.wall_dropped = 3;  // Header fields must survive the round trip.
+
+  std::stringstream buffer;
+  WriteTraceBinary(buffer, file);
+  const auto reread = ReadTraceBinary(buffer);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->sample_modulus, 8u);
+  EXPECT_EQ(reread->wall_dropped, 3u);
+  ASSERT_EQ(reread->names.size(), file.names.size());
+  for (size_t i = 0; i < file.names.size(); ++i) {
+    EXPECT_EQ(reread->names[i].name, file.names[i].name);
+    EXPECT_EQ(reread->names[i].arg_names, file.names[i].arg_names);
+  }
+  EXPECT_EQ(reread->sim_events, file.sim_events);
+  EXPECT_EQ(reread->wall_events, file.wall_events);
+}
+
+TEST_F(TraceLogTest, BinaryReaderRejectsGarbage) {
+  std::stringstream buffer("not an EDKS trace");
+  EXPECT_FALSE(ReadTraceBinary(buffer).has_value());
+  std::stringstream empty;
+  EXPECT_FALSE(ReadTraceBinary(empty).has_value());
+}
+
+TEST_F(TraceLogTest, ChromeTraceJsonIsWellFormed) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.json \"quoted\\name\"", {"n"});
+  EmitSimSpan(name, 0.0, 0.001, 1, 0, {1});
+  EmitSimInstant(name, 42, 2, 1, {2});
+  TraceEvent wall = SimEvent(name, 1000);
+  wall.domain = TimeDomain::kWall;
+  wall.dur = 2500;
+  log.Record(wall);
+  std::ostringstream os;
+  WriteChromeTraceJson(os, log.Snapshot());
+  const std::string json = os.str();
+  const JsonLintResult lint = LintJson(json);
+  EXPECT_TRUE(lint.ok) << "at byte " << lint.offset << ": " << lint.error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulation\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall clock\""), std::string::npos);
+}
+
+TEST_F(TraceLogTest, WriteToFilePicksFormatByExtension) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.file");
+  EmitSimInstant(name, 1, 1, 0, {});
+  const std::string json_path = ::testing::TempDir() + "/edk_trace_test.json";
+  const std::string bin_path = ::testing::TempDir() + "/edk_trace_test.edks";
+  ASSERT_TRUE(log.WriteToFile(json_path));
+  ASSERT_TRUE(log.WriteToFile(bin_path));
+  EXPECT_TRUE(LintJsonFile(json_path).ok);
+  const auto reread = ReadTraceBinaryFromFile(bin_path);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->sim_events.size(), 1u);
+}
+
+TEST_F(TraceLogTest, ResetEmptiesRingsButKeepsNameIds) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.reset");
+  EmitSimInstant(name, 1, 1, 0, {});
+  log.Reset();
+  EXPECT_TRUE(log.Snapshot().sim_events.empty());
+  EXPECT_EQ(log.InternName("test.reset"), name);
+  EmitSimInstant(name, 2, 2, 0, {});
+  EXPECT_EQ(log.Snapshot().sim_events.size(), 1u);
+}
+
+TEST_F(TraceLogTest, MixIdIsNonZeroAndSpread) {
+  EXPECT_NE(MixId(0), 0u);
+  EXPECT_NE(MixId(1), MixId(2));
+  EXPECT_NE(MixId2(1, 2), MixId2(2, 1));
+}
+
+TEST_F(TraceLogTest, SpanParentScopeNestsAndRestores) {
+  EXPECT_EQ(CurrentSpanParent(), 0u);
+  {
+    SpanParentScope outer(11);
+    EXPECT_EQ(CurrentSpanParent(), 11u);
+    {
+      SpanParentScope inner(22);
+      EXPECT_EQ(CurrentSpanParent(), 22u);
+    }
+    EXPECT_EQ(CurrentSpanParent(), 11u);
+  }
+  EXPECT_EQ(CurrentSpanParent(), 0u);
+}
+
+TEST_F(TraceLogTest, WallSpanEmitsOnDestructionUnlessCancelled) {
+  auto& log = TraceLog::Global();
+  const uint16_t name = log.InternName("test.wallspan", {"v"});
+  {
+    WallSpan span(name);
+    span.AddArg(9);
+  }
+  {
+    WallSpan cancelled(name);
+    cancelled.Cancel();
+  }
+  const TraceFile file = log.Snapshot();
+  ASSERT_EQ(file.wall_events.size(), 1u);
+  EXPECT_GE(file.wall_events[0].dur, 1u);
+  EXPECT_EQ(file.wall_events[0].arg_count, 1);
+  EXPECT_EQ(file.wall_events[0].args[0], 9u);
+}
+
+TEST_F(TraceLogTest, SummarizeAuditsRebuildsCells) {
+  auto& log = TraceLog::Global();
+  // Two strategies' worth of audits, plus an unrelated event that the
+  // summary must ignore.
+  for (uint64_t i = 0; i < 10; ++i) {
+    EmitAudit(AuditName(), i, /*requester=*/1, /*file=*/2,
+              i < 4 ? QueryOutcome::kOneHopHit : QueryOutcome::kCacheMiss,
+              /*consulted=*/5, /*strategy=*/0, /*list_size=*/20, /*extra=*/0);
+  }
+  EmitAudit(DynamicAuditName(), 0, 1, 2, QueryOutcome::kNoOnlineSource, 0,
+            /*strategy=*/1, /*list_size=*/40, /*extra=*/3);
+  EmitSimInstant(log.InternName("test.ignored"), 1, 1, 0, {});
+  const AuditSummary summary = SummarizeAudits(log.Snapshot());
+  ASSERT_EQ(summary.size(), 2u);
+  const AuditCell& cell = summary.at({0, 0, 20});
+  EXPECT_EQ(cell.queries, 10u);
+  EXPECT_EQ(cell.requests, 10u);
+  EXPECT_EQ(cell.one_hop_hits, 4u);
+  EXPECT_DOUBLE_EQ(cell.OneHopHitRate(), 0.4);
+  const AuditCell& dyn = summary.at({1, 1, 40});
+  EXPECT_EQ(dyn.queries, 1u);
+  EXPECT_EQ(dyn.requests, 0u);  // kNoOnlineSource is not a request.
+  EXPECT_EQ(dyn.outcomes[static_cast<size_t>(QueryOutcome::kNoOnlineSource)],
+            1u);
+}
+
+TEST_F(TraceLogTest, AuditSamplingKeepsDecisionsByOrdinal) {
+  TraceLog::SetSampleModulus(3);
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < 300; ++i) {
+    expected += TraceLog::SampledIn(i) ? 1 : 0;
+    EmitAudit(AuditName(), i, 1, 2, QueryOutcome::kOneHopHit, 1, 0, 10, 0);
+  }
+  const TraceFile file = TraceLog::Global().Snapshot();
+  EXPECT_EQ(file.sample_modulus, 3u);
+  EXPECT_EQ(file.sim_events.size(), expected);
+  EXPECT_GT(expected, 0u);
+  EXPECT_LT(expected, 300u);
+}
+
+}  // namespace
+}  // namespace edk::obs

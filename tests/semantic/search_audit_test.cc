@@ -1,0 +1,194 @@
+// Per-query audit records must be a lossless account of the search
+// simulations: with sampling off, SummarizeAudits() rebuilt from the trace
+// has to reproduce every aggregate the simulation itself reported — the
+// fig18 acceptance property behind `edk-trace-inspect queries`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
+#include "src/semantic/dynamic_sim.h"
+#include "src/semantic/search_sim.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+namespace {
+
+StaticCaches ClusteredCaches(size_t peers_per_community, size_t files_per_peer,
+                             uint64_t seed, size_t communities = 2) {
+  Rng rng(seed);
+  StaticCaches caches;
+  for (size_t community = 0; community < communities; ++community) {
+    const uint32_t base = static_cast<uint32_t>(community) * 1000;
+    for (size_t p = 0; p < peers_per_community; ++p) {
+      std::vector<FileId> cache;
+      while (cache.size() < files_per_peer) {
+        const FileId f(base + static_cast<uint32_t>(rng.NextBelow(60)));
+        if (std::find(cache.begin(), cache.end(), f) == cache.end()) {
+          cache.push_back(f);
+        }
+      }
+      std::sort(cache.begin(), cache.end());
+      caches.caches.push_back(std::move(cache));
+    }
+  }
+  return caches;
+}
+
+class SearchAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceLog::Global().Reset();
+    obs::TraceLog::SetSampleModulus(1);
+    obs::TraceLog::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::TraceLog::SetEnabled(false);
+    obs::TraceLog::SetSampleModulus(1);
+    obs::TraceLog::Global().Reset();
+  }
+};
+
+TEST_F(SearchAuditTest, TraceReproducesTheFig18Grid) {
+  const StaticCaches caches = ClusteredCaches(20, 15, 7, /*communities=*/4);
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kLru, StrategyKind::kHistory, StrategyKind::kRandom};
+  const std::vector<size_t> list_sizes = {5, 20};
+
+  // (strategy code, list size) -> the simulation's own aggregates.
+  std::vector<std::tuple<uint64_t, uint64_t, SearchSimResult>> expected;
+  for (StrategyKind strategy : strategies) {
+    for (size_t list_size : list_sizes) {
+      SearchSimConfig config;
+      config.strategy = strategy;
+      config.list_size = list_size;
+      config.seed = 42;
+      expected.emplace_back(static_cast<uint64_t>(strategy), list_size,
+                            RunSearchSimulation(caches, config));
+    }
+  }
+
+  const obs::TraceFile file = obs::TraceLog::Global().Snapshot();
+  ASSERT_EQ(file.sim_dropped, 0u);
+  const obs::AuditSummary summary = obs::SummarizeAudits(file);
+  ASSERT_EQ(summary.size(), expected.size());
+
+  for (const auto& [strategy, list_size, result] : expected) {
+    SCOPED_TRACE("strategy=" + std::to_string(strategy) +
+                 " list_size=" + std::to_string(list_size));
+    const auto it = summary.find({0, strategy, list_size});
+    ASSERT_NE(it, summary.end());
+    const obs::AuditCell& cell = it->second;
+    EXPECT_EQ(cell.queries, result.requests);
+    EXPECT_EQ(cell.requests, result.requests);
+    EXPECT_EQ(cell.one_hop_hits, result.one_hop_hits);
+    EXPECT_EQ(cell.two_hop_hits, result.two_hop_hits);
+    EXPECT_DOUBLE_EQ(cell.OneHopHitRate(), result.OneHopHitRate());
+    EXPECT_DOUBLE_EQ(cell.TotalHitRate(), result.TotalHitRate());
+  }
+}
+
+TEST_F(SearchAuditTest, TwoHopOutcomesAreDistinguished) {
+  const StaticCaches caches = ClusteredCaches(15, 12, 3, /*communities=*/6);
+  SearchSimConfig config;
+  config.strategy = StrategyKind::kLru;
+  config.list_size = 5;
+  config.two_hop = true;
+  const SearchSimResult result = RunSearchSimulation(caches, config);
+
+  const obs::AuditSummary summary = obs::SummarizeAudits(
+      obs::TraceLog::Global().Snapshot());
+  const auto it = summary.find(
+      {0, static_cast<uint64_t>(StrategyKind::kLru), config.list_size});
+  ASSERT_NE(it, summary.end());
+  const obs::AuditCell& cell = it->second;
+  EXPECT_EQ(cell.one_hop_hits, result.one_hop_hits);
+  EXPECT_EQ(cell.two_hop_hits, result.two_hop_hits);
+  EXPECT_EQ(
+      cell.outcomes[static_cast<size_t>(obs::QueryOutcome::kTwoHopHit)],
+      result.two_hop_hits);
+  // Every audited request carries the two-hop marker in its extra slot:
+  // re-derive it from the raw events to pin the arg layout.
+  uint64_t extras = 0;
+  const obs::TraceFile file = obs::TraceLog::Global().Snapshot();
+  for (const obs::TraceEvent& event : file.sim_events) {
+    if (file.names[event.name].name == "query.audit") {
+      ASSERT_EQ(event.arg_count, obs::kAuditArgCount);
+      extras += event.args[obs::kAuditArgExtra];
+    }
+  }
+  EXPECT_EQ(extras, result.requests);
+}
+
+TEST_F(SearchAuditTest, DynamicAuditsCoverUnresolvableRequests) {
+  // Two peers with churn (mirrors dynamic_sim_test's hand trace): day 2
+  // has two served requests, day 3 one unresolvable acquisition.
+  Trace trace;
+  for (int f = 0; f < 20; ++f) {
+    trace.AddFile(FileMeta{});
+  }
+  const PeerId a = trace.AddPeer(PeerInfo{});
+  const PeerId b = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(a, 1, {FileId(0), FileId(1)});
+  trace.AddSnapshot(b, 1, {FileId(0), FileId(2)});
+  trace.AddSnapshot(a, 2, {FileId(0), FileId(1), FileId(2)});
+  trace.AddSnapshot(b, 2, {FileId(0), FileId(1), FileId(2)});
+  trace.AddSnapshot(a, 3, {FileId(0), FileId(1), FileId(2), FileId(3)});
+  trace.AddSnapshot(b, 3, {FileId(0), FileId(1), FileId(2)});
+
+  DynamicSimConfig config;
+  config.list_size = 5;
+  const DynamicSimResult result =
+      RunDynamicSearchSimulation(trace, config);
+
+  const obs::AuditSummary summary = obs::SummarizeAudits(
+      obs::TraceLog::Global().Snapshot());
+  const auto it = summary.find(
+      {1, static_cast<uint64_t>(config.strategy), config.list_size});
+  ASSERT_NE(it, summary.end());
+  const obs::AuditCell& cell = it->second;
+  // Every acquisition leaves a record; unresolvable ones are excluded
+  // from `requests` (matching DynamicSimResult::requests) but still
+  // appear in the outcome histogram.
+  EXPECT_EQ(cell.queries, result.requests + result.unresolvable);
+  EXPECT_EQ(cell.requests, result.requests);
+  EXPECT_EQ(cell.one_hop_hits, result.hits);
+  EXPECT_EQ(
+      cell.outcomes[static_cast<size_t>(obs::QueryOutcome::kNoOnlineSource)],
+      result.unresolvable);
+}
+
+TEST_F(SearchAuditTest, SampledAuditsAreASubsetWithTheSameDecisions) {
+  obs::TraceLog::SetSampleModulus(4);
+  const StaticCaches caches = ClusteredCaches(15, 10, 5);
+  SearchSimConfig config;
+  config.seed = 9;
+  const SearchSimResult result = RunSearchSimulation(caches, config);
+
+  const obs::TraceFile file = obs::TraceLog::Global().Snapshot();
+  uint64_t audits = 0;
+  for (const obs::TraceEvent& event : file.sim_events) {
+    if (file.names[event.name].name == "query.audit") {
+      // ts == id == the request ordinal, and the kept set is exactly the
+      // deterministic hash decision.
+      EXPECT_EQ(event.ts, event.id);
+      EXPECT_TRUE(obs::TraceLog::SampledIn(event.id));
+      ++audits;
+    }
+  }
+  uint64_t expected = 0;
+  for (uint64_t ordinal = 0; ordinal < result.requests; ++ordinal) {
+    expected += obs::TraceLog::SampledIn(ordinal) ? 1 : 0;
+  }
+  EXPECT_EQ(audits, expected);
+  EXPECT_LT(audits, result.requests);
+  EXPECT_GT(audits, 0u);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,109 @@
+// The tracing analogue of sharded_equivalence_test: the canonical kSim
+// span stream serialised by WriteTraceBinary must be byte-identical for
+// every --shards and --threads partitioning at a fixed seed. Wall-clock
+// events are partition-dependent by design, so runs strip them before
+// comparing; the guarantee only holds when no sim event was dropped,
+// which each run asserts via TraceFile::sim_dropped.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace_log.h"
+#include "src/semantic/sharded_gossip.h"
+#include "src/workload/geography.h"
+
+namespace edk {
+namespace {
+
+struct TraceRun {
+  size_t shards;
+  size_t threads;
+  uint64_t sim_events;
+  std::string bytes;  // EDKS serialisation of the sim-only trace.
+};
+
+TraceRun RunTraced(const StaticCaches& caches, const Geography& geography,
+                   size_t shards, size_t threads, uint64_t sample_modulus) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::TraceLog::Global().Reset();
+  obs::TraceLog::SetSampleModulus(sample_modulus);
+  obs::TraceLog::SetEnabled(true);
+
+  ShardedGossipConfig config;
+  config.rounds = 6;
+  config.probe_rounds = 3;
+  config.hit_samples = 2000;
+  config.seed = 11;
+  config.shards = shards;
+  config.threads = threads;
+  RunShardedGossip(caches, geography, config);
+
+  obs::TraceLog::SetEnabled(false);
+  obs::TraceFile file = obs::TraceLog::Global().Snapshot();
+  // The canonical-stream guarantee is void if the ring wrapped.
+  EXPECT_EQ(file.sim_dropped, 0u)
+      << "shards=" << shards << " threads=" << threads;
+  // Wall events (and their drop counter) are partition-dependent noise
+  // for this comparison.
+  file.wall_events.clear();
+  file.wall_dropped = 0;
+
+  std::ostringstream os;
+  WriteTraceBinary(os, file);
+  return TraceRun{shards, threads, file.sim_events.size(), os.str()};
+}
+
+void TearDownTracing() {
+  obs::TraceLog::SetEnabled(false);
+  obs::TraceLog::SetSampleModulus(1);
+  obs::TraceLog::Global().Reset();
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(TraceDeterminismTest, SimStreamBitIdenticalAcrossShardsAndThreads) {
+  const StaticCaches caches = MakeClusteredCaches(600, 2000, 12, 5);
+  const Geography geography = Geography::PaperDistribution();
+
+  std::vector<TraceRun> runs;
+  for (size_t shards : {1u, 2u, 8u}) {
+    for (size_t threads : {1u, 4u}) {
+      runs.push_back(RunTraced(caches, geography, shards, threads, 1));
+    }
+  }
+  TearDownTracing();
+
+  const TraceRun& reference = runs.front();
+  // The reference trace recorded real work: engine window spans at least.
+  EXPECT_GT(reference.sim_events, 0u);
+  EXPECT_NE(reference.bytes.find("sim.window"), std::string::npos);
+  EXPECT_GE(reference.bytes.size(), 16u);
+  for (const TraceRun& run : runs) {
+    SCOPED_TRACE("shards=" + std::to_string(run.shards) +
+                 " threads=" + std::to_string(run.threads));
+    EXPECT_EQ(run.sim_events, reference.sim_events);
+    EXPECT_EQ(run.bytes, reference.bytes);
+  }
+}
+
+// The same property must survive sampling: the hash-based decision is a
+// pure function of the record key, never of the partitioning.
+TEST(TraceDeterminismTest, SampledStreamStillBitIdentical) {
+  const StaticCaches caches = MakeClusteredCaches(300, 1000, 8, 5);
+  const Geography geography = Geography::PaperDistribution();
+
+  std::vector<TraceRun> runs;
+  for (size_t shards : {1u, 4u}) {
+    runs.push_back(RunTraced(caches, geography, shards, 2, 7));
+  }
+  TearDownTracing();
+
+  EXPECT_GT(runs.front().sim_events, 0u);
+  EXPECT_EQ(runs[0].bytes, runs[1].bytes);
+}
+
+}  // namespace
+}  // namespace edk

@@ -1,0 +1,265 @@
+// edk-trace-inspect: offline analysis of EDKS trace files (--trace-out).
+//
+// Commands:
+//   summary FILE            header, top span names by total sim/wall time,
+//                           and the per-strategy audit breakdown
+//   queries FILE            per-(kind, strategy, list size) audit table:
+//                           hit rates rebuilt from the per-query records
+//   query ID FILE           drill into the audit record(s) with ordinal ID
+//   tojson FILE OUT.json    convert the binary trace to Chrome trace JSON
+//                           (load in Perfetto / chrome://tracing)
+//   validate-json FILE      lint a JSON file (trace or metrics snapshot)
+//
+// The audit commands reproduce the aggregate numbers the benches print —
+// e.g. `summary` over an unsampled bench_fig18_hitrate trace yields the
+// same one-hop hit rates as the bench's own table — which is the point:
+// the trace explains per query what the aggregates only assert.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/json_lint.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
+#include "src/semantic/neighbour_list.h"
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::cerr << "usage: edk-trace-inspect <command> ...\n"
+               "  summary FILE          trace overview + audit breakdown\n"
+               "  queries FILE          audit hit-rate table per strategy/list size\n"
+               "  query ID FILE         audit record(s) with ordinal ID\n"
+               "  tojson FILE OUT.json  convert binary trace to Chrome JSON\n"
+               "  validate-json FILE    check a JSON file is well-formed\n";
+  std::exit(2);
+}
+
+edk::obs::TraceFile LoadOrDie(const std::string& path) {
+  auto file = edk::obs::ReadTraceBinaryFromFile(path);
+  if (!file.has_value()) {
+    std::cerr << "error: cannot read EDKS trace from '" << path
+              << "' (for .json traces use validate-json)\n";
+    std::exit(1);
+  }
+  return std::move(*file);
+}
+
+std::string StrategyLabel(uint64_t code) {
+  if (code == edk::obs::kAuditStrategyFixedViews) {
+    return "FixedViews";
+  }
+  if (code <= static_cast<uint64_t>(edk::StrategyKind::kPopularityWeighted)) {
+    return edk::StrategyName(static_cast<edk::StrategyKind>(code));
+  }
+  return "strategy#" + std::to_string(code);
+}
+
+// Total duration and count per span name, one domain at a time.
+struct NameTotals {
+  uint64_t count = 0;
+  uint64_t total_dur = 0;
+};
+
+std::vector<std::pair<std::string, NameTotals>> TotalsByName(
+    const edk::obs::TraceFile& file, const std::vector<edk::obs::TraceEvent>& events) {
+  std::map<uint16_t, NameTotals> by_id;
+  for (const auto& event : events) {
+    auto& totals = by_id[event.name];
+    ++totals.count;
+    totals.total_dur += event.dur;
+  }
+  std::vector<std::pair<std::string, NameTotals>> rows;
+  rows.reserve(by_id.size());
+  for (const auto& [id, totals] : by_id) {
+    const std::string& name =
+        id < file.names.size() ? file.names[id].name : "?";
+    rows.emplace_back(name, totals);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_dur > b.second.total_dur;
+  });
+  return rows;
+}
+
+void PrintTopSpans(const edk::obs::TraceFile& file,
+                   const std::vector<edk::obs::TraceEvent>& events,
+                   const char* heading, double dur_to_ms) {
+  const auto rows = TotalsByName(file, events);
+  if (rows.empty()) {
+    return;
+  }
+  std::printf("%s\n", heading);
+  std::printf("  %-28s %12s %14s\n", "span", "count", "total ms");
+  const size_t limit = std::min<size_t>(rows.size(), 12);
+  for (size_t i = 0; i < limit; ++i) {
+    std::printf("  %-28s %12" PRIu64 " %14.3f\n", rows[i].first.c_str(),
+                rows[i].second.count,
+                static_cast<double>(rows[i].second.total_dur) * dur_to_ms);
+  }
+  if (rows.size() > limit) {
+    std::printf("  ... %zu more span names\n", rows.size() - limit);
+  }
+  std::printf("\n");
+}
+
+void PrintAuditTable(const edk::obs::AuditSummary& summary, bool with_outcomes) {
+  if (summary.empty()) {
+    std::printf("no audit records (run with --trace-out and --trace-sample=1)\n");
+    return;
+  }
+  std::printf("%-8s %-20s %6s %10s %8s %8s %8s\n", "kind", "strategy", "list",
+              "requests", "1-hop", "2-hop", "total");
+  for (const auto& [key, cell] : summary) {
+    const auto& [dynamic, strategy, list_size] = key;
+    std::printf("%-8s %-20s %6" PRIu64 " %10" PRIu64 " %7.2f%% %7.2f%% %7.2f%%\n",
+                dynamic != 0 ? "dynamic" : "static",
+                StrategyLabel(strategy).c_str(), list_size, cell.requests,
+                100.0 * cell.OneHopHitRate(),
+                100.0 * (cell.TotalHitRate() - cell.OneHopHitRate()),
+                100.0 * cell.TotalHitRate());
+    if (!with_outcomes) {
+      continue;
+    }
+    for (size_t outcome = 1; outcome < cell.outcomes.size(); ++outcome) {
+      if (cell.outcomes[outcome] == 0) {
+        continue;
+      }
+      std::printf("    %-22s %10" PRIu64 "\n",
+                  edk::obs::QueryOutcomeName(
+                      static_cast<edk::obs::QueryOutcome>(outcome)),
+                  cell.outcomes[outcome]);
+    }
+  }
+}
+
+int RunSummary(const std::string& path) {
+  const edk::obs::TraceFile file = LoadOrDie(path);
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("  names=%zu sim_events=%zu wall_events=%zu sample_modulus=%" PRIu64
+              "\n",
+              file.names.size(), file.sim_events.size(), file.wall_events.size(),
+              file.sample_modulus);
+  std::printf("  sim_dropped=%" PRIu64 " wall_dropped=%" PRIu64 "%s\n\n",
+              file.sim_dropped, file.wall_dropped,
+              file.sim_dropped == 0
+                  ? "  (sim stream is canonical/bit-comparable)"
+                  : "  (ring overflow: sim stream NOT bit-comparable)");
+  PrintTopSpans(file, file.sim_events, "top sim spans by total simulated time",
+                1e-3);
+  PrintTopSpans(file, file.wall_events, "top wall spans by total wall time",
+                1e-6);
+  PrintAuditTable(edk::obs::SummarizeAudits(file), /*with_outcomes=*/true);
+  return 0;
+}
+
+int RunQueries(const std::string& path) {
+  const edk::obs::TraceFile file = LoadOrDie(path);
+  PrintAuditTable(edk::obs::SummarizeAudits(file), /*with_outcomes=*/false);
+  return 0;
+}
+
+int RunQuery(uint64_t ordinal, const std::string& path) {
+  const edk::obs::TraceFile file = LoadOrDie(path);
+  size_t matches = 0;
+  for (const auto& event : file.sim_events) {
+    if (event.name >= file.names.size() || event.id != ordinal) {
+      continue;
+    }
+    const edk::obs::TraceName& name = file.names[event.name];
+    const bool audit =
+        name.name == "query.audit" || name.name == "query.audit.dynamic";
+    if (!audit) {
+      continue;
+    }
+    ++matches;
+    std::printf("%s ordinal=%" PRIu64 "\n", name.name.c_str(), event.id);
+    for (size_t i = 0; i < event.arg_count; ++i) {
+      const std::string& label =
+          i < name.arg_names.size() ? name.arg_names[i] : std::to_string(i);
+      if (label == "outcome") {
+        std::printf("  %-10s %s\n", label.c_str(),
+                    edk::obs::QueryOutcomeName(
+                        static_cast<edk::obs::QueryOutcome>(event.args[i])));
+      } else if (label == "strategy") {
+        std::printf("  %-10s %s\n", label.c_str(),
+                    StrategyLabel(event.args[i]).c_str());
+      } else {
+        std::printf("  %-10s %" PRIu64 "\n", label.c_str(), event.args[i]);
+      }
+    }
+  }
+  if (matches == 0) {
+    std::printf("no audit record with ordinal %" PRIu64
+                " (sampled out, or outside the run's request range)\n",
+                ordinal);
+    return 1;
+  }
+  return 0;
+}
+
+int RunToJson(const std::string& input, const std::string& output) {
+  const edk::obs::TraceFile file = LoadOrDie(input);
+  std::ofstream os(output, std::ios::binary);
+  if (!os) {
+    std::cerr << "error: cannot open '" << output << "' for writing\n";
+    return 1;
+  }
+  edk::obs::WriteChromeTraceJson(os, file);
+  os.close();
+  if (!os) {
+    std::cerr << "error: write to '" << output << "' failed\n";
+    return 1;
+  }
+  std::cerr << "wrote " << output << " (" << file.sim_events.size() << " sim + "
+            << file.wall_events.size() << " wall events)\n";
+  return 0;
+}
+
+int RunValidateJson(const std::string& path) {
+  const edk::JsonLintResult result = edk::LintJsonFile(path);
+  if (!result.ok) {
+    std::printf("%s: INVALID at byte %zu: %s\n", path.c_str(), result.offset,
+                result.error.c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "summary" && argc == 3) {
+    return RunSummary(argv[2]);
+  }
+  if (command == "queries" && argc == 3) {
+    return RunQueries(argv[2]);
+  }
+  if (command == "query" && argc == 4) {
+    char* end = nullptr;
+    const uint64_t ordinal = std::strtoull(argv[2], &end, 10);
+    if (end == nullptr || *end != '\0') {
+      Usage();
+    }
+    return RunQuery(ordinal, argv[3]);
+  }
+  if (command == "tojson" && argc == 4) {
+    return RunToJson(argv[2], argv[3]);
+  }
+  if (command == "validate-json" && argc == 3) {
+    return RunValidateJson(argv[2]);
+  }
+  Usage();
+}

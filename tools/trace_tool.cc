@@ -21,6 +21,7 @@
 #include "src/analysis/report.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/obs/flags.h"
 #include "src/obs/metrics.h"
 #include "src/trace/filter.h"
 #include "src/trace/randomize.h"
@@ -34,7 +35,7 @@ struct Arguments {
   std::string command;
   std::string input;
   std::string output;
-  std::string metrics_out;  // JSON metrics snapshot path ("" = disabled).
+  edk::obs::ObsFlagValues obs;  // Shared --metrics-out/--trace-out plumbing.
   edk::WorkloadConfig workload = edk::MediumWorkloadConfig();
   uint64_t swaps = 0;  // 0 = RecommendedSwapCount.
 };
@@ -42,8 +43,8 @@ struct Arguments {
 [[noreturn]] void Usage() {
   std::cerr << "usage: edk-trace <generate|info|filter|extrapolate|randomize|"
                "daily-csv|contribution-csv> [--out=FILE] [--peers=N] [--files=N]"
-               " [--topics=N] [--days=N] [--seed=N] [--swaps=N]"
-               " [--metrics-out=FILE] [INPUT]\n";
+               " [--topics=N] [--days=N] [--seed=N] [--swaps=N] "
+            << edk::obs::ObsFlagsUsage() << " [INPUT]\n";
   std::exit(2);
 }
 
@@ -73,8 +74,8 @@ std::optional<Arguments> Parse(int argc, char** argv) {
       args.workload.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--swaps=")) {
       args.swaps = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--metrics-out=")) {
-      args.metrics_out = v;
+    } else if (edk::obs::ConsumeObsFlag(arg, &args.obs)) {
+      // --metrics-out / --trace-out / --trace-sample.
     } else if (arg[0] == '-') {
       return std::nullopt;
     } else {
@@ -203,9 +204,7 @@ int main(int argc, char** argv) {
   if (!args.has_value()) {
     Usage();
   }
-  if (!args->metrics_out.empty()) {
-    edk::obs::WriteGlobalMetricsAtExit(args->metrics_out);
-  }
+  edk::obs::ApplyObsFlags(args->obs);
   if (args->command == "generate") {
     return RunGenerate(*args);
   }
