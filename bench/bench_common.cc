@@ -9,6 +9,7 @@
 #include "src/common/log.h"
 #include "src/exec/parallel.h"
 #include "src/obs/metrics.h"
+#include "src/sim/placement.h"
 #include "src/trace/filter.h"
 #include "src/trace/serialize.h"
 
@@ -124,7 +125,9 @@ Trace ComputeExtrapolated(const BenchOptions& options) {
   std::cerr << "usage: " << argv0
             << " [--scale=small|medium|large] [--peers=N] [--files=N] [--topics=N]"
                " [--days=N] [--seed=N] [--threads=N] [--trials=N] [--shards=N]"
-               " [--rounds=N] [--no-cache] [--json=FILE] "
+               " [--rounds=N] [--placement=all|roundrobin|contiguous|interest]"
+               " [--window-factor=F] [--explore-every=N] [--no-cache]"
+               " [--json=FILE] "
             << obs::ObsFlagsUsage() << "\n";
   std::exit(2);
 }
@@ -182,6 +185,20 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       }
     } else if (const char* v = value("--rounds=")) {
       options.rounds = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--placement=")) {
+      options.placement = v;
+      sim::PlacementPolicy policy;
+      if (options.placement != "all" &&
+          !sim::ParsePlacementPolicy(options.placement, &policy)) {
+        Usage(argv[0]);
+      }
+    } else if (const char* v = value("--window-factor=")) {
+      options.window_factor = std::strtod(v, nullptr);
+      if (!(options.window_factor > 0)) {
+        Usage(argv[0]);
+      }
+    } else if (const char* v = value("--explore-every=")) {
+      options.explore_every = static_cast<size_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value("--json=")) {
       options.json_out = v;
     } else if (obs::ConsumeObsFlag(arg, &options.obs)) {

@@ -38,6 +38,16 @@ struct BenchOptions {
   // Gossip rounds for the sharded scenario sections (0 = per-bench
   // default).
   size_t rounds = 0;
+  // Placement policies for bench_scale: "all" sweeps every policy,
+  // otherwise a single sim::PlacementPolicy name ("roundrobin",
+  // "contiguous", "interest").
+  std::string placement = "all";
+  // Adaptive engine window cap as a multiple of the lookahead for the
+  // sharded scenario sections (<= 1 = fixed lookahead-wide windows).
+  double window_factor = 1.0;
+  // Gossip explore/exploit mix for the sharded scenario sections: explore
+  // every N-th round (0 = per-bench default; see ShardedGossipConfig).
+  size_t explore_every = 0;
   // When non-empty, benches that support it (bench_scale) write their
   // machine-readable result summary to this path.
   std::string json_out;
@@ -49,7 +59,8 @@ struct BenchOptions {
 };
 
 // Parses --peers=N --files=N --topics=N --days=N --seed=N --scale=S
-// --threads=N --trials=N --shards=N --rounds=N --no-cache --json=FILE
+// --threads=N --trials=N --shards=N --rounds=N --placement=P
+// --window-factor=F --no-cache --json=FILE
 // plus the shared observability flags (src/obs/flags.h); unknown flags
 // abort with a usage message. Also applies --threads via
 // SetDefaultThreads() so library-level ParallelFor loops pick it up, and

@@ -33,12 +33,18 @@ SimNetwork::SimNetwork(const Geography* geography, const SimNetConfig& config)
     : geography_(geography), rng_(config.seed), latency_(geography) {
   sim::ShardedEngineConfig engine_config;
   engine_config.shards = config.shards == 0 ? 1 : config.shards;
+  engine_config.placement = config.placement;
   engine_config.threads = config.threads;
   engine_config.seed = config.seed;
-  // The conservative window width: no Send() can undercut it, so shards
-  // only exchange messages at window barriers.
+  // The conservative window width floor: no Send() can undercut it, so
+  // shards only exchange messages at window barriers.
   engine_config.lookahead = LatencyModel::MinDelay();
-  engine_ = std::make_unique<sim::ShardedEngine>(engine_config);
+  // window_factor <= 1 pins the width to the lookahead (max_window 0
+  // disables adaptation in the engine).
+  engine_config.max_window =
+      config.window_factor > 1.0 ? config.window_factor * LatencyModel::MinDelay()
+                                 : 0.0;
+  engine_ = std::make_unique<sim::ShardedEngine>(std::move(engine_config));
 }
 
 EventQueue& SimNetwork::queue() {

@@ -65,6 +65,17 @@ struct SimNetConfig {
   size_t shards = 1;
   // Worker threads per window (0 = DefaultThreads()).
   size_t threads = 0;
+  // Node→shard placement (src/sim/placement.h). A pure performance knob:
+  // results are bit-identical for every placement; interest-clustered
+  // placements cut the cross-shard message ratio.
+  sim::Placement placement;
+  // Adaptive window cap as a multiple of the MinDelay() lookahead
+  // (engine max_window = window_factor * MinDelay()). <= 1 (default)
+  // pins windows to the lookahead and keeps arrival times exact; > 1
+  // lets windows widen to the observed send-delay slack, deferring the
+  // rare undercutting arrival to its window barrier (deterministic, see
+  // src/sim/sharded_engine.h).
+  double window_factor = 1.0;
 };
 
 class SimNetwork {

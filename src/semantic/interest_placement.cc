@@ -1,0 +1,104 @@
+#include "src/semantic/interest_placement.h"
+
+#include <algorithm>
+
+#include "src/exec/parallel.h"
+
+namespace edk {
+
+namespace {
+
+// Interest bucket of one sorted cache: the bucket holding the cache's
+// median file. A cluster's draws concentrate in one contiguous file
+// range, so the median sits inside that range unless more than half the
+// cache is outside it — far more robust than any per-bucket plurality
+// count, which degenerates into singleton ties once caches are smaller
+// than the bucket grid is fine. (A peer drawing 80% of its files from
+// its cluster range mislabels only when binomially > half its draws are
+// spice: well under 1% for a ten-file cache.)
+uint32_t DominantBucket(std::span<const FileId> cache, uint32_t file_bound,
+                        uint32_t buckets) {
+  if (cache.empty()) {
+    return buckets;  // Past-the-end label: no interest signal.
+  }
+  const FileId median = cache[cache.size() / 2];
+  return static_cast<uint32_t>(
+      static_cast<uint64_t>(std::min(median.value, file_bound - 1)) * buckets /
+      file_bound);
+}
+
+uint32_t ResolveBuckets(uint32_t file_bound, uint32_t buckets) {
+  if (file_bound == 0) {
+    return 1;
+  }
+  if (buckets == 0) {
+    buckets = std::min(file_bound, kDefaultInterestBuckets);
+  }
+  return std::min(buckets, file_bound);
+}
+
+}  // namespace
+
+std::vector<uint32_t> InterestLabels(
+    std::span<const std::span<const FileId>> caches, uint32_t file_bound,
+    uint32_t buckets) {
+  if (file_bound == 0) {
+    for (const auto& cache : caches) {
+      for (const FileId file : cache) {
+        file_bound = std::max(file_bound, file.value + 1);
+      }
+    }
+  }
+  const uint32_t grid = ResolveBuckets(file_bound, buckets);
+  std::vector<uint32_t> labels(caches.size());
+  ParallelFor(0, caches.size(), [&](size_t p) {
+    labels[p] = DominantBucket(caches[p], std::max(file_bound, 1u), grid);
+  });
+  return labels;
+}
+
+std::vector<uint32_t> InterestLabels(const StaticCaches& caches,
+                                     uint32_t buckets) {
+  std::vector<std::span<const FileId>> spans;
+  spans.reserve(caches.caches.size());
+  for (const auto& cache : caches.caches) {
+    spans.emplace_back(cache.data(), cache.size());
+  }
+  return InterestLabels(std::span<const std::span<const FileId>>(spans), 0,
+                        buckets);
+}
+
+std::vector<uint32_t> InterestLabels(const CacheStore& store, uint32_t buckets) {
+  const uint32_t file_bound = static_cast<uint32_t>(store.file_bound());
+  const uint32_t grid = ResolveBuckets(file_bound, buckets);
+  std::vector<uint32_t> labels(store.peer_count());
+  ParallelFor(0, store.peer_count(), [&](size_t p) {
+    const auto files = store.PeerFiles(static_cast<uint32_t>(p));
+    if (files.empty()) {
+      labels[p] = grid;
+      return;
+    }
+    // CSR rows are sorted uint32 file ids; same median-bucket estimate as
+    // the FileId overload.
+    const uint32_t median = files[files.size() / 2];
+    labels[p] = static_cast<uint32_t>(
+        static_cast<uint64_t>(std::min(median, file_bound - 1)) * grid /
+        std::max(file_bound, 1u));
+  });
+  return labels;
+}
+
+sim::Placement InterestClusteredPlacement(
+    std::span<const std::span<const FileId>> caches, uint32_t file_bound,
+    uint32_t buckets) {
+  const std::vector<uint32_t> labels = InterestLabels(caches, file_bound, buckets);
+  return sim::Placement::InterestClustered(labels);
+}
+
+sim::Placement InterestClusteredPlacement(const CacheStore& store,
+                                          uint32_t buckets) {
+  const std::vector<uint32_t> labels = InterestLabels(store, buckets);
+  return sim::Placement::InterestClustered(labels);
+}
+
+}  // namespace edk

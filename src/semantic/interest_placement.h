@@ -1,0 +1,68 @@
+// Interest labels for shard placement (the greedy topic-bucketing pass).
+//
+// The paper's clustering finding (§4–5) is that peers with overlapping
+// caches form stable interest clusters; the sharded engine can exploit
+// that by co-locating a cluster on one shard (src/sim/placement.h). This
+// module derives the per-node labels the interest-clustered placement
+// consumes, without ever materialising the O(N²) overlap matrix:
+//
+//   1. The file-id space is cut into `buckets` equal ranges ("topics" in
+//      the MakeClusteredCaches sense; for real traces, popularity-sorted
+//      file ids make ranges a serviceable topic proxy).
+//   2. Each peer is labelled by the bucket of its median file — O(1) on
+//      the sorted CSR / cache arrays, trivially parallel, deterministic
+//      for any thread count (labels[i] is a pure function of cache i).
+//      The median is the robust point estimate of the cluster range: a
+//      peer mislabels only when over half its cache is drawn outside its
+//      cluster's file range.
+//
+// Two peers drawing from the same cluster range get labels inside that
+// range's few adjacent buckets, so the Placement rank permutation makes
+// them shard-mates (exactly when the cluster count comfortably exceeds
+// the shard count — a boundary cluster can still straddle two shards).
+// Peers with empty caches get the past-the-end label and sort to the
+// tail.
+
+#ifndef SRC_SEMANTIC_INTEREST_PLACEMENT_H_
+#define SRC_SEMANTIC_INTEREST_PLACEMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/placement.h"
+#include "src/trace/cache_store.h"
+#include "src/trace/trace.h"
+
+namespace edk {
+
+// Default bucket-grid resolution when `buckets == 0`. Placement only
+// needs the label order to track file-space locality — not to separate
+// every cluster — so the grid merely has to stay far finer than any
+// realistic shard count; 256 leaves dozens of buckets per shard even at
+// the widest sweeps while keeping labels stable for small caches.
+inline constexpr uint32_t kDefaultInterestBuckets = 256;
+
+// Dominant-bucket label per cache. `file_bound` is one past the largest
+// file id (0 = computed from the caches); `buckets` is the grid
+// resolution (0 = min(file_bound, kDefaultInterestBuckets)). Empty caches
+// label as `buckets` (one past the real label range).
+std::vector<uint32_t> InterestLabels(
+    std::span<const std::span<const FileId>> caches, uint32_t file_bound = 0,
+    uint32_t buckets = 0);
+std::vector<uint32_t> InterestLabels(const StaticCaches& caches,
+                                     uint32_t buckets = 0);
+// Trace-driven variant over the flat CSR store (no per-peer copies).
+std::vector<uint32_t> InterestLabels(const CacheStore& store,
+                                     uint32_t buckets = 0);
+
+// Convenience: the full greedy pass, labels folded into a Placement.
+sim::Placement InterestClusteredPlacement(
+    std::span<const std::span<const FileId>> caches, uint32_t file_bound = 0,
+    uint32_t buckets = 0);
+sim::Placement InterestClusteredPlacement(const CacheStore& store,
+                                          uint32_t buckets = 0);
+
+}  // namespace edk
+
+#endif  // SRC_SEMANTIC_INTEREST_PLACEMENT_H_

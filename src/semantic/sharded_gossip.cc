@@ -6,10 +6,13 @@
 #include <iomanip>
 #include <span>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "src/exec/parallel.h"
+#include "src/net/latency.h"
 #include "src/net/network.h"
+#include "src/semantic/interest_placement.h"
 
 namespace edk {
 
@@ -37,15 +40,9 @@ class Scenario {
   Scenario(const StaticCaches& caches, const Geography& geography,
            const ShardedGossipConfig& config)
       : config_(config),
-        network_(&geography,
-                 SimNetConfig{config.seed, config.shards, config.threads}),
+        caches_(CompactCaches(caches)),
+        network_(&geography, MakeNetConfig(config, caches_)),
         tallies_(network_.engine().shard_count()) {
-    // Only peers with content participate (matches GossipOverlay).
-    for (uint32_t p = 0; p < caches.caches.size(); ++p) {
-      if (!caches.caches[p].empty()) {
-        caches_.push_back(caches.caches[p]);
-      }
-    }
     nodes_.resize(caches_.size());
     Rng setup_rng(config_.seed);
     for (GossipNode& node : nodes_) {
@@ -88,6 +85,8 @@ class Scenario {
     stats.events_executed = engine.events_executed();
     stats.messages_sent = engine.messages_sent();
     stats.windows = engine.windows_run();
+    stats.clamped_sends = engine.clamped_sends();
+    stats.deferred_sends = engine.deferred_sends();
     stats.cross_shard_messages = engine.cross_shard_messages();
     stats.sim_seconds = engine.now();
     for (const ShardTally& tally : tallies_) {
@@ -151,11 +150,12 @@ class Scenario {
     Rng& rng = network_.NodeRng(i);
     const size_t n = nodes_.size();
 
-    // Exploit the best semantic neighbour on odd rounds, explore a
-    // uniformly random participant otherwise (round 0 is always random:
-    // views start empty).
+    // Explore a uniformly random participant every explore_every-th round
+    // (round 0 always explores: views start empty), exploit the best
+    // semantic neighbour otherwise.
+    const size_t explore_every = std::max<size_t>(1, config_.explore_every);
     uint32_t partner = i;
-    if (!node.view.empty() && round % 2 == 1) {
+    if (!node.view.empty() && round % explore_every != 0) {
       partner = node.view[0];
     } else if (n > 1) {
       do {
@@ -293,9 +293,45 @@ class Scenario {
            static_cast<double>(config_.hit_samples);
   }
 
+  // Only peers with content participate (matches GossipOverlay).
+  static std::vector<std::span<const FileId>> CompactCaches(
+      const StaticCaches& caches) {
+    std::vector<std::span<const FileId>> out;
+    for (const auto& cache : caches.caches) {
+      if (!cache.empty()) {
+        out.push_back(cache);
+      }
+    }
+    return out;
+  }
+
+  // Placement labels must come from the *compacted* caches: the node ids
+  // the engine sees are participant indices, not raw peer ids.
+  static SimNetConfig MakeNetConfig(
+      const ShardedGossipConfig& config,
+      std::span<const std::span<const FileId>> caches) {
+    SimNetConfig net;
+    net.seed = config.seed;
+    net.shards = config.shards;
+    net.threads = config.threads;
+    net.window_factor = config.window_factor;
+    switch (config.placement) {
+      case sim::PlacementPolicy::kContiguous:
+        net.placement =
+            sim::Placement::Contiguous(static_cast<uint32_t>(caches.size()));
+        break;
+      case sim::PlacementPolicy::kInterestClustered:
+        net.placement = InterestClusteredPlacement(caches);
+        break;
+      case sim::PlacementPolicy::kRoundRobin:
+        break;
+    }
+    return net;
+  }
+
   ShardedGossipConfig config_;
-  SimNetwork network_;
   std::vector<std::span<const FileId>> caches_;  // Indexed by node id.
+  SimNetwork network_;
   std::vector<GossipNode> nodes_;
   std::vector<ShardTally> tallies_;
 };
@@ -318,7 +354,8 @@ std::string ShardedGossipStats::DeterministicSummary() const {
   os << "participants=" << participants << " events=" << events_executed
      << " messages=" << messages_sent << " exchanges=" << exchanges
      << " probes=" << probes << " probe_hits=" << probe_hits
-     << " windows=" << windows << " sim_seconds=" << sim_seconds
+     << " windows=" << windows << " clamped=" << clamped_sends
+     << " deferred=" << deferred_sends << " sim_seconds=" << sim_seconds
      << " mean_view_overlap=" << mean_view_overlap
      << " view_hit_rate=" << view_hit_rate;
   for (const GossipRoundPoint& point : trajectory) {
@@ -331,8 +368,29 @@ std::string ShardedGossipStats::DeterministicSummary() const {
 ShardedGossipStats RunShardedGossip(const StaticCaches& caches,
                                     const Geography& geography,
                                     const ShardedGossipConfig& config) {
+  // An exchange needs two one-way delays inside one period; shorter
+  // periods would stack the next initiation onto a still-in-flight
+  // exchange and silently skew every derived metric, so reject them
+  // outright rather than warn.
+  const double min_period = 2 * LatencyModel::MinDelay();
+  if (!(config.round_period >= min_period)) {
+    std::ostringstream os;
+    os << "ShardedGossipConfig::round_period = " << config.round_period
+       << " must be >= 2 * LatencyModel::MinDelay() = " << min_period;
+    throw std::invalid_argument(os.str());
+  }
   Scenario scenario(caches, geography, config);
   return scenario.Run();
+}
+
+uint32_t ClusteredCacheTopic(uint32_t peer, uint32_t topics, uint64_t seed) {
+  if (topics <= 1) {
+    return 0;
+  }
+  // A dedicated stream (salted off the cache-content streams) so the
+  // assignment is a pure function of (seed, peer).
+  Rng rng = TaskRng(seed ^ 0x746f706963ULL, peer);  // "topic"
+  return static_cast<uint32_t>(rng.NextBelow(topics));
 }
 
 StaticCaches MakeClusteredCaches(uint32_t peers, uint32_t files,
@@ -346,7 +404,8 @@ StaticCaches MakeClusteredCaches(uint32_t peers, uint32_t files,
   out.caches.resize(peers);
   ParallelFor(0, peers, [&](size_t p) {
     Rng rng = TaskRng(seed, p);
-    const uint32_t topic = static_cast<uint32_t>(p % topics);
+    const uint32_t topic =
+        ClusteredCacheTopic(static_cast<uint32_t>(p), topics, seed);
     // Contiguous slice of the file space for this topic.
     const uint32_t lo = static_cast<uint32_t>(
         static_cast<uint64_t>(files) * topic / topics);

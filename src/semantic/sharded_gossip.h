@@ -10,12 +10,13 @@
 //   partner merges the offer, replies with its own view head
 //   initiator merges the reply
 //
-// Partner selection alternates between the best semantic neighbour
-// (exploitation) and a uniformly random participant (exploration), exactly
-// as in the synchronous implementation. All randomness is drawn from the
-// node's private stream and all view mutations happen in the owning
-// node's events, so the run is bit-identical for any --shards/--threads
-// combination (the engine's determinism contract).
+// Partner selection mixes exploitation (the best semantic neighbour) with
+// uniform exploration: every `explore_every`-th round explores, the rest
+// exploit (explore_every=2 is the synchronous implementation's strict
+// alternation). All randomness is drawn from the node's private stream and
+// all view mutations happen in the owning node's events, so the run is
+// bit-identical for any --shards/--threads/--placement combination (the
+// engine's determinism contract).
 //
 // RunShardedGossip is the entry point used by bench_ext_gossip,
 // bench_ext_dynamic --shards sections, bench_scale and the equivalence
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/placement.h"
 #include "src/trace/trace.h"
 #include "src/workload/geography.h"
 
@@ -37,8 +39,16 @@ struct ShardedGossipConfig {
   size_t view_size = 10;      // Semantic view size K.
   size_t gossip_length = 5;   // Entries shipped per exchange (incl. self).
   size_t rounds = 16;         // Nominal gossip rounds per participant.
+  // Explore (uniform partner) every this many rounds, exploit the best
+  // semantic neighbour otherwise; round 0 always explores. 2 = strict
+  // alternation (the synchronous overlay's behaviour); larger values
+  // spend more rounds on semantic partners. Clamped to >= 1.
+  size_t explore_every = 2;
   // Seconds between a participant's successive initiations. Must leave
-  // room for one full exchange (two one-way delays), so >= ~2 s.
+  // room for one full exchange (two one-way delays): RunShardedGossip
+  // rejects periods below 2 * LatencyModel::MinDelay() with
+  // std::invalid_argument (shorter periods would silently pile the next
+  // initiation onto a still-in-flight exchange).
   double round_period = 10.0;
   // Local semantic-probe events per participant after the gossip rounds:
   // each draws a file from the node's own cache and checks whether its
@@ -47,6 +57,13 @@ struct ShardedGossipConfig {
   uint64_t seed = 1;
   size_t shards = 1;   // Engine shards.
   size_t threads = 0;  // Worker threads (0 = DefaultThreads()).
+  // Node→shard placement policy. Pure performance knob (results are
+  // bit-identical across policies); kInterestClustered derives labels
+  // from the participant caches via InterestLabels().
+  sim::PlacementPolicy placement = sim::PlacementPolicy::kRoundRobin;
+  // Adaptive engine window cap as a multiple of the MinDelay() lookahead
+  // (<= 1 keeps fixed lookahead-wide windows; see SimNetConfig).
+  double window_factor = 1.0;
   // Samples for the final (and per-round) view-hit-rate estimate.
   size_t hit_samples = 20'000;
   // Measure overlap/hit-rate at every round boundary. Costs one pass over
@@ -71,6 +88,12 @@ struct ShardedGossipStats {
   uint64_t probes = 0;
   uint64_t probe_hits = 0;
   uint64_t windows = 0;
+  // Sends whose sampled delay undercut the engine lookahead (clamped up)
+  // and arrivals deferred to their window barrier by adaptive windows.
+  // Both are functions of the RNG streams only, so they belong to the
+  // deterministic domain.
+  uint64_t clamped_sends = 0;
+  uint64_t deferred_sends = 0;
   double sim_seconds = 0;
   double mean_view_overlap = 0;
   double view_hit_rate = 0;
@@ -99,8 +122,18 @@ ShardedGossipStats RunShardedGossip(const StaticCaches& caches,
 // `files` files partitioned into `topics` interest clusters; each peer
 // draws most of its (geometrically sized) cache from its own topic plus
 // uniform spice. Deterministic in `seed` for any thread count.
+//
+// Topic membership is pseudo-random in (seed, peer) — deliberately
+// uncorrelated with the peer id, like the real network where a peer's
+// interest is latent in its cache, not its address. Id-based shard
+// placements therefore can't exploit the clustering by accident; only
+// content-derived labels (src/semantic/interest_placement.h) can.
 StaticCaches MakeClusteredCaches(uint32_t peers, uint32_t files,
                                  uint32_t topics, uint64_t seed);
+
+// The topic MakeClusteredCaches assigned to `peer` (tests use it as the
+// planted ground truth for label recovery).
+uint32_t ClusteredCacheTopic(uint32_t peer, uint32_t topics, uint64_t seed);
 
 }  // namespace edk
 

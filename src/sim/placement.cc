@@ -1,0 +1,71 @@
+#include "src/sim/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace edk::sim {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return "roundrobin";
+    case PlacementPolicy::kContiguous:
+      return "contiguous";
+    case PlacementPolicy::kInterestClustered:
+      return "interest";
+  }
+  return "unknown";
+}
+
+bool ParsePlacementPolicy(std::string_view text, PlacementPolicy* policy) {
+  if (text == "roundrobin" || text == "round-robin") {
+    *policy = PlacementPolicy::kRoundRobin;
+    return true;
+  }
+  if (text == "contiguous") {
+    *policy = PlacementPolicy::kContiguous;
+    return true;
+  }
+  if (text == "interest" || text == "interest-clustered") {
+    *policy = PlacementPolicy::kInterestClustered;
+    return true;
+  }
+  return false;
+}
+
+Placement Placement::RoundRobin() { return Placement(); }
+
+Placement Placement::Contiguous(uint32_t nodes) {
+  Placement placement;
+  if (nodes > 0) {
+    placement.policy_ = PlacementPolicy::kContiguous;
+    placement.nodes_ = nodes;
+  }
+  return placement;
+}
+
+Placement Placement::InterestClustered(std::span<const uint32_t> labels) {
+  Placement placement;
+  if (labels.empty()) {
+    return placement;
+  }
+  placement.policy_ = PlacementPolicy::kInterestClustered;
+  // Stable order by (label, id): same-label nodes become rank-adjacent,
+  // and label order preserves any locality the label space itself has
+  // (e.g. adjacent file-space buckets of one topic stay adjacent).
+  std::vector<uint32_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&labels](uint32_t a, uint32_t b) {
+    if (labels[a] != labels[b]) {
+      return labels[a] < labels[b];
+    }
+    return a < b;
+  });
+  placement.rank_.resize(labels.size());
+  for (uint32_t r = 0; r < order.size(); ++r) {
+    placement.rank_[order[r]] = r;
+  }
+  return placement;
+}
+
+}  // namespace edk::sim

@@ -1,0 +1,94 @@
+// Node→shard placement policies for the sharded engine.
+//
+// The engine's determinism contract makes the partitioning a pure
+// performance knob: results are bit-identical for every node→shard map,
+// so the map is free to chase locality. The paper's central observation
+// (peers cluster by cache overlap / interest, §4–5) says exactly where
+// that locality is — co-sharding interest-clustered peers turns the
+// semantic-neighbour half of every gossip exchange into an intra-shard
+// message, which is what collapses the cross-shard ratio that made the
+// naive round-robin partitioning regress at 8 shards (BENCH_scale.json).
+//
+// A Placement is a cheap id permutation, not a lookup service: ShardOf()
+// is O(1) — arithmetic for the round-robin and contiguous policies, one
+// array read for the interest-clustered rank table. The same Placement
+// value works for any shard count, because interest clustering is
+// expressed as a rank permutation (same-label nodes become rank-adjacent)
+// composed with the contiguous rank→shard block map, which also keeps
+// shard populations balanced to ±1 regardless of label skew.
+//
+// Label derivation from caches lives in src/semantic/interest_placement.h
+// (this layer knows nothing about caches or topics; it only consumes
+// per-node labels).
+
+#ifndef SRC_SIM_PLACEMENT_H_
+#define SRC_SIM_PLACEMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace edk::sim {
+
+enum class PlacementPolicy {
+  kRoundRobin,         // shard = node % K (the historical default).
+  kContiguous,         // shard = node * K / N (block partition).
+  kInterestClustered,  // rank permutation groups same-label nodes.
+};
+
+// Short stable name used by flags, JSON exports and log lines.
+const char* PlacementPolicyName(PlacementPolicy policy);
+// Parses "roundrobin"/"round-robin", "contiguous", "interest"/
+// "interest-clustered". Returns false (leaving *policy untouched) on
+// anything else.
+bool ParsePlacementPolicy(std::string_view text, PlacementPolicy* policy);
+
+class Placement {
+ public:
+  // Default-constructed placements are round-robin: node % shards.
+  Placement() = default;
+
+  static Placement RoundRobin();
+  // Block partition of [0, nodes): shard = node * K / nodes. Nodes beyond
+  // `nodes` fall back to round-robin.
+  static Placement Contiguous(uint32_t nodes);
+  // Interest clustering from per-node labels: nodes are ranked by
+  // (label, id) — every label group becomes a contiguous rank range — and
+  // ShardOf block-partitions the rank space. Nodes beyond labels.size()
+  // fall back to round-robin.
+  static Placement InterestClustered(std::span<const uint32_t> labels);
+
+  PlacementPolicy policy() const { return policy_; }
+  const char* name() const { return PlacementPolicyName(policy_); }
+
+  // O(1) node→shard map; `shards` >= 1. Stable for the lifetime of the
+  // placement (the engine caches nothing).
+  size_t ShardOf(uint32_t node, size_t shards) const {
+    switch (policy_) {
+      case PlacementPolicy::kContiguous:
+        if (node < nodes_) {
+          return static_cast<size_t>(static_cast<uint64_t>(node) * shards / nodes_);
+        }
+        break;
+      case PlacementPolicy::kInterestClustered:
+        if (node < rank_.size()) {
+          return static_cast<size_t>(static_cast<uint64_t>(rank_[node]) * shards /
+                                     rank_.size());
+        }
+        break;
+      case PlacementPolicy::kRoundRobin:
+        break;
+    }
+    return node % shards;
+  }
+
+ private:
+  PlacementPolicy policy_ = PlacementPolicy::kRoundRobin;
+  uint32_t nodes_ = 0;          // kContiguous: the partitioned id range.
+  std::vector<uint32_t> rank_;  // kInterestClustered: node -> rank.
+};
+
+}  // namespace edk::sim
+
+#endif  // SRC_SIM_PLACEMENT_H_

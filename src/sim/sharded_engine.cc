@@ -7,6 +7,7 @@
 #include <limits>
 #include <string>
 
+#include "src/common/log.h"
 #include "src/exec/parallel.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -62,11 +63,13 @@ double Seconds(std::chrono::steady_clock::duration d) {
 
 }  // namespace
 
-ShardedEngine::ShardedEngine(ShardedEngineConfig config) : config_(config) {
+ShardedEngine::ShardedEngine(ShardedEngineConfig config)
+    : config_(std::move(config)) {
   if (config_.shards == 0) {
     config_.shards = 1;
   }
   assert(config_.lookahead > 0 && "conservative lookahead must be positive");
+  window_width_ = config_.lookahead;
   shards_ = std::vector<Shard>(config_.shards);
   for (Shard& shard : shards_) {
     shard.outbox.resize(config_.shards);
@@ -76,7 +79,7 @@ ShardedEngine::ShardedEngine(ShardedEngineConfig config) : config_(config) {
   }
   obs::MetricsRegistry::Global()
       .GetGauge("sim.window_width_micros")
-      .Set(static_cast<int64_t>(config_.lookahead * 1e6));
+      .Set(static_cast<int64_t>(window_width_ * 1e6));
 }
 
 void ShardedEngine::EnsureNodes(uint32_t count) {
@@ -103,20 +106,38 @@ EventQueue::EventHandle ShardedEngine::ScheduleOn(uint32_t node, double delay,
 void ShardedEngine::Send(uint32_t src, uint32_t dst, double delay,
                          EventQueue::Callback fn) {
   assert(src < node_count() && dst < node_count());
-  assert(delay >= config_.lookahead && "Send below the conservative lookahead");
-  // Release builds clamp rather than violate the window invariant: a
-  // too-small delay would let a message arrive inside the window that sent
-  // it, after its shard already drained that interval.
-  if (delay < config_.lookahead) {
-    delay = config_.lookahead;
-  }
   const size_t src_shard = shard_of(src);
   assert((!running_ || tls_current_shard == src_shard) &&
          "Send must run on the sender's own shard");
   Shard& shard = shards_[src_shard];
+  // The conservative invariant: no message may undercut the lookahead, or
+  // it could arrive inside the window that sent it, after its shard
+  // already drained that interval. Debug and release builds agree on the
+  // behaviour — clamp, count, and warn once — so a scenario that is
+  // "valid" in one build cannot silently disagree in the other; the
+  // deterministic sim.clamped_sends counter makes the violation visible.
+  if (delay < config_.lookahead) {
+    ++shard.clamped;
+    if (!clamp_warned_.exchange(true, std::memory_order_relaxed)) {
+      Log(LogLevel::kWarning)
+          << "sim: Send delay " << delay << "s below the conservative lookahead "
+          << config_.lookahead << "s; clamping (counted in sim.clamped_sends)";
+    }
+    delay = config_.lookahead;
+  }
+  shard.min_send_delay = std::min(shard.min_send_delay, delay);
+  double arrival = shard.queue.now() + delay;
+  if (running_ && arrival < window_end_) {
+    // Adaptive widening let this window outgrow the send's delay: the
+    // destination may already have drained past the natural arrival, so
+    // the message is deferred to the barrier. Window ends are
+    // deterministic, hence so is the deferred arrival time.
+    arrival = window_end_;
+    ++shard.deferred;
+  }
   const size_t dst_shard = shard_of(dst);
   shard.outbox[dst_shard].push_back(
-      Message{shard.queue.now() + delay, src, node_send_seq_[src]++, std::move(fn)});
+      Message{arrival, src, node_send_seq_[src]++, std::move(fn)});
   ++shard.messages;
   if (dst_shard != src_shard) {
     ++shard.cross_messages;
@@ -134,6 +155,27 @@ bool ShardedEngine::AnyOutboxPending() const {
   return false;
 }
 
+bool ShardedEngine::MessageBefore(const Message& a, const Message& b) {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  if (a.src != b.src) {
+    return a.src < b.src;
+  }
+  return a.seq < b.seq;
+}
+
+void ShardedEngine::SortOutboxRuns() {
+  ParallelFor(
+      0, shards_.size(),
+      [this](size_t src) {
+        for (auto& box : shards_[src].outbox) {
+          std::sort(box.begin(), box.end(), MessageBefore);
+        }
+      },
+      config_.threads);
+}
+
 size_t ShardedEngine::MergeMailboxes() {
   if (!AnyOutboxPending()) {
     return 0;
@@ -143,47 +185,67 @@ size_t ShardedEngine::MergeMailboxes() {
   obs::WallSpan merge_span(tracing ? TraceNames().barrier_merge : 0);
   std::vector<size_t> merged_per_dst(shard_count, 0);
   // Each destination drains its own column of the mailbox matrix: the
-  // destination worker reads what source workers wrote last window, with
-  // the ParallelFor fork/join barrier ordering the two phases.
+  // destination worker reads what source workers wrote (and pre-sorted)
+  // last window, with the ParallelFor fork/join barrier ordering the two
+  // phases. (time, src, seq) is a total order (src+seq is unique), every
+  // run arrives sorted by it, and the FIFO tiebreak of ScheduleAt
+  // preserves it for same-time arrivals: the destination observes its
+  // messages in a partition-independent order at k-way-merge cost
+  // (O(M log K) versus the old concat-then-sort O(M log M)).
   ParallelFor(
       0, shard_count,
       [this, shard_count, tracing, &merged_per_dst](size_t dst) {
         obs::WallSpan flush_span(tracing ? TraceNames().mailbox_flush : 0);
         Shard& to = shards_[dst];
-        auto& scratch = to.merge_scratch;
-        scratch.clear();
+        // Gather this destination's non-empty runs.
+        std::vector<std::vector<Message>*> runs;
+        runs.reserve(shard_count);
+        size_t total = 0;
         for (size_t src = 0; src < shard_count; ++src) {
           auto& box = shards_[src].outbox[dst];
-          for (Message& message : box) {
-            scratch.push_back(std::move(message));
+          if (!box.empty()) {
+            total += box.size();
+            runs.push_back(&box);
           }
-          box.clear();
         }
-        merged_per_dst[dst] = scratch.size();
-        if (scratch.empty()) {
+        merged_per_dst[dst] = total;
+        if (total == 0) {
           flush_span.Cancel();
           return;
         }
         flush_span.AddArg(dst);
-        flush_span.AddArg(scratch.size());
-        // (time, src, seq) is a total order (src+seq is unique), and the
-        // FIFO tiebreak of ScheduleAt preserves it for same-time arrivals:
-        // the destination observes messages in a partition-independent
-        // order.
-        std::sort(scratch.begin(), scratch.end(),
-                  [](const Message& a, const Message& b) {
-                    if (a.time != b.time) {
-                      return a.time < b.time;
-                    }
-                    if (a.src != b.src) {
-                      return a.src < b.src;
-                    }
-                    return a.seq < b.seq;
-                  });
-        for (Message& message : scratch) {
-          to.queue.ScheduleAt(message.time, std::move(message.fn));
+        flush_span.AddArg(total);
+        if (runs.size() == 1) {
+          for (Message& message : *runs.front()) {
+            to.queue.ScheduleAt(message.time, std::move(message.fn));
+          }
+        } else {
+          // Min-heap over the run heads; pop-advance-reheap is
+          // O(M log K) with K = live runs.
+          std::vector<size_t> pos(runs.size(), 0);
+          std::vector<size_t> heap(runs.size());
+          for (size_t r = 0; r < runs.size(); ++r) {
+            heap[r] = r;
+          }
+          const auto later = [&runs, &pos](size_t a, size_t b) {
+            return MessageBefore((*runs[b])[pos[b]], (*runs[a])[pos[a]]);
+          };
+          std::make_heap(heap.begin(), heap.end(), later);
+          while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), later);
+            const size_t r = heap.back();
+            Message& message = (*runs[r])[pos[r]];
+            to.queue.ScheduleAt(message.time, std::move(message.fn));
+            if (++pos[r] < runs[r]->size()) {
+              std::push_heap(heap.begin(), heap.end(), later);
+            } else {
+              heap.pop_back();
+            }
+          }
         }
-        scratch.clear();
+        for (auto* box : runs) {
+          box->clear();
+        }
       },
       config_.threads);
   size_t merged = 0;
@@ -221,10 +283,19 @@ uint64_t ShardedEngine::RunUntil(double until) {
 
   const auto loop_start = std::chrono::steady_clock::now();
   double stall_seconds = 0;
+  std::vector<double> shard_stall(shard_count, 0.0);
   std::vector<double> window_busy(shard_count);
 
   const bool tracing = obs::TraceLog::Enabled();
   std::vector<uint64_t> window_executed(shard_count);
+
+  // Setup-time sends were buffered outside any window; sort them into
+  // runs so the first barrier's k-way merge sees sorted input (windowed
+  // sends are sorted by their own worker at the end of each drain).
+  SortOutboxRuns();
+  // Adaptive widening never exceeds the configured cap and never dips
+  // below the conservative lookahead.
+  const bool adaptive = config_.max_window > config_.lookahead;
 
   running_ = true;
   for (;;) {
@@ -245,7 +316,8 @@ uint64_t ShardedEngine::RunUntil(double until) {
     if (window_start == kInf || !(window_start <= until)) {
       break;
     }
-    const double window_end = std::min(window_start + config_.lookahead, until);
+    const double window_end = std::min(window_start + window_width_, until);
+    window_end_ = window_end;
     obs::WallSpan window_span(tracing ? TraceNames().window_wall : 0);
     ParallelFor(
         0, shard_count,
@@ -253,8 +325,14 @@ uint64_t ShardedEngine::RunUntil(double until) {
           obs::WallSpan drain_span(tracing ? TraceNames().shard_drain : 0);
           const auto start = std::chrono::steady_clock::now();
           tls_current_shard = k;
+          shards_[k].min_send_delay = kInf;
           const uint64_t executed = shards_[k].queue.RunUntil(window_end);
           shards_[k].executed += executed;
+          // Pre-sort this shard's outgoing runs while the pool is hot:
+          // the destination's barrier merge then only pays O(M log K).
+          for (auto& box : shards_[k].outbox) {
+            std::sort(box.begin(), box.end(), MessageBefore);
+          }
           tls_current_shard = kNoShard;
           window_busy[k] = Seconds(std::chrono::steady_clock::now() - start);
           window_executed[k] = executed;
@@ -281,19 +359,44 @@ uint64_t ShardedEngine::RunUntil(double until) {
                        {windows_, events_in_window});
     }
     ++windows_;
+    if (adaptive) {
+      // The window's send multiset is partition-independent, so the
+      // observed slack (its minimum delay) — and therefore the whole
+      // width trajectory — is deterministic. No sends leaves the width
+      // untouched.
+      double observed = kInf;
+      for (const Shard& shard : shards_) {
+        observed = std::min(observed, shard.min_send_delay);
+      }
+      if (std::isfinite(observed)) {
+        window_width_ =
+            std::clamp(observed, config_.lookahead, config_.max_window);
+      }
+    }
     const double max_busy = *std::max_element(window_busy.begin(), window_busy.end());
-    for (double busy : window_busy) {
-      stall_seconds += max_busy - busy;
+    for (size_t k = 0; k < shard_count; ++k) {
+      const double stall = max_busy - window_busy[k];
+      shard_stall[k] += stall;
+      stall_seconds += stall;
     }
   }
   running_ = false;
 
-  if (std::isfinite(until)) {
-    // No event at or before `until` remains; align every shard clock.
-    for (Shard& shard : shards_) {
-      shard.queue.RunUntil(until);
+  // Align every shard clock to the engine-wide horizon: the caller's
+  // `until` for a finite run, the global drain time for an infinite one
+  // (the maximum any shard reached — NOT shard 0's clock, which may sit
+  // earlier when the final events lived elsewhere).
+  double horizon = until;
+  if (!std::isfinite(until)) {
+    horizon = now_;
+    for (const Shard& shard : shards_) {
+      horizon = std::max(horizon, shard.queue.now());
     }
   }
+  for (Shard& shard : shards_) {
+    shard.queue.RunUntil(horizon);
+  }
+  now_ = std::max(now_, horizon);
 
   // Metrics flush (single-threaded): counter deltas fold commutatively, so
   // the deterministic totals are identical for any shard/thread count;
@@ -304,11 +407,20 @@ uint64_t ShardedEngine::RunUntil(double until) {
   registry.GetCounter("sim.windows_run").Increment(windows_ - windows_before);
   const uint64_t messages = messages_sent();
   const uint64_t cross = cross_shard_messages();
+  const uint64_t clamped = clamped_sends();
+  const uint64_t deferred = deferred_sends();
   registry.GetCounter("sim.messages_total").Increment(messages - messages_reported_);
+  registry.GetCounter("sim.clamped_sends").Increment(clamped - clamped_reported_);
+  registry.GetCounter("sim.window_deferred_sends")
+      .Increment(deferred - deferred_reported_);
   registry.GetCounter("sim.cross_shard_messages", obs::Domain::kEnv)
       .Increment(cross - cross_reported_);
   messages_reported_ = messages;
   cross_reported_ = cross;
+  clamped_reported_ = clamped;
+  deferred_reported_ = deferred;
+  registry.GetGauge("sim.window_width_micros")
+      .Set(static_cast<int64_t>(window_width_ * 1e6));
   for (size_t k = 0; k < shard_count; ++k) {
     registry.GetCounter("sim.shard" + std::to_string(k) + ".events", obs::Domain::kEnv)
         .Increment(shards_[k].executed - shard_events_before[k]);
@@ -317,13 +429,18 @@ uint64_t ShardedEngine::RunUntil(double until) {
     registry.RecordWallSeconds("sim.window_loop",
                                Seconds(std::chrono::steady_clock::now() - loop_start));
     registry.RecordWallSeconds("sim.barrier_stall", stall_seconds);
+    // Per-shard share of the barrier imbalance: which shard the others
+    // wait for. Wall domain — the split depends on the partitioning and
+    // the machine.
+    for (size_t k = 0; k < shard_count; ++k) {
+      registry.RecordWallSeconds("sim.shard" + std::to_string(k) + ".barrier_stall",
+                                 shard_stall[k]);
+    }
   }
   return executed;
 }
 
 uint64_t ShardedEngine::Run() { return RunUntil(kInf); }
-
-double ShardedEngine::now() const { return shards_[0].queue.now(); }
 
 uint64_t ShardedEngine::events_executed() const {
   uint64_t total = 0;
@@ -345,6 +462,22 @@ uint64_t ShardedEngine::cross_shard_messages() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
     total += shard.cross_messages;
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::clamped_sends() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.clamped;
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::deferred_sends() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.deferred;
   }
   return total;
 }

@@ -1,0 +1,147 @@
+// Unit tests for the node→shard placement policies and the interest-label
+// derivation that feeds the interest-clustered policy.
+
+#include "src/sim/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/semantic/interest_placement.h"
+#include "src/semantic/sharded_gossip.h"
+
+namespace edk {
+namespace {
+
+TEST(PlacementTest, DefaultIsRoundRobin) {
+  sim::Placement placement;
+  EXPECT_EQ(placement.policy(), sim::PlacementPolicy::kRoundRobin);
+  for (uint32_t node = 0; node < 20; ++node) {
+    EXPECT_EQ(placement.ShardOf(node, 4), node % 4);
+  }
+}
+
+TEST(PlacementTest, ContiguousSplitsIntoBalancedBlocks) {
+  const sim::Placement placement = sim::Placement::Contiguous(10);
+  // 10 nodes over 2 shards: [0,5) and [5,10).
+  for (uint32_t node = 0; node < 10; ++node) {
+    EXPECT_EQ(placement.ShardOf(node, 2), node < 5 ? 0u : 1u) << node;
+  }
+  // Block map is monotone and balanced to ±1 for any shard count.
+  for (size_t shards : {2u, 3u, 4u, 7u}) {
+    std::vector<size_t> population(shards, 0);
+    size_t previous = 0;
+    for (uint32_t node = 0; node < 10; ++node) {
+      const size_t shard = placement.ShardOf(node, shards);
+      EXPECT_GE(shard, previous);
+      previous = shard;
+      ++population[shard];
+    }
+    for (size_t count : population) {
+      EXPECT_NEAR(static_cast<double>(count), 10.0 / shards, 1.0);
+    }
+  }
+  // Ids beyond the declared range fall back to round-robin.
+  EXPECT_EQ(placement.ShardOf(12, 5), 12u % 5);
+}
+
+TEST(PlacementTest, InterestClusteredCoShardsEqualLabels) {
+  const std::vector<uint32_t> labels = {1, 0, 1, 0, 2, 2};
+  const sim::Placement placement = sim::Placement::InterestClustered(labels);
+  // Ranked by (label, id): nodes 1,3 then 0,2 then 4,5 — three shards
+  // pick up exactly the three label groups.
+  EXPECT_EQ(placement.ShardOf(1, 3), 0u);
+  EXPECT_EQ(placement.ShardOf(3, 3), 0u);
+  EXPECT_EQ(placement.ShardOf(0, 3), 1u);
+  EXPECT_EQ(placement.ShardOf(2, 3), 1u);
+  EXPECT_EQ(placement.ShardOf(4, 3), 2u);
+  EXPECT_EQ(placement.ShardOf(5, 3), 2u);
+}
+
+// Label skew must not unbalance the shards: clustering is a rank
+// permutation composed with the contiguous block map, so a single giant
+// label group still splits evenly.
+TEST(PlacementTest, InterestClusteredStaysBalancedUnderLabelSkew) {
+  const std::vector<uint32_t> labels(100, 7);
+  const sim::Placement placement = sim::Placement::InterestClustered(labels);
+  std::vector<size_t> population(8, 0);
+  for (uint32_t node = 0; node < 100; ++node) {
+    ++population[placement.ShardOf(node, 8)];
+  }
+  for (size_t count : population) {
+    EXPECT_NEAR(static_cast<double>(count), 100.0 / 8, 1.0);
+  }
+}
+
+TEST(PlacementTest, ParsePlacementPolicyAcceptsAliases) {
+  sim::PlacementPolicy policy = sim::PlacementPolicy::kContiguous;
+  EXPECT_TRUE(sim::ParsePlacementPolicy("roundrobin", &policy));
+  EXPECT_EQ(policy, sim::PlacementPolicy::kRoundRobin);
+  EXPECT_TRUE(sim::ParsePlacementPolicy("round-robin", &policy));
+  EXPECT_EQ(policy, sim::PlacementPolicy::kRoundRobin);
+  EXPECT_TRUE(sim::ParsePlacementPolicy("contiguous", &policy));
+  EXPECT_EQ(policy, sim::PlacementPolicy::kContiguous);
+  EXPECT_TRUE(sim::ParsePlacementPolicy("interest", &policy));
+  EXPECT_EQ(policy, sim::PlacementPolicy::kInterestClustered);
+  EXPECT_TRUE(sim::ParsePlacementPolicy("interest-clustered", &policy));
+  EXPECT_EQ(policy, sim::PlacementPolicy::kInterestClustered);
+  EXPECT_FALSE(sim::ParsePlacementPolicy("bogus", &policy));
+  EXPECT_EQ(policy, sim::PlacementPolicy::kInterestClustered);  // Untouched.
+  EXPECT_STREQ(sim::PlacementPolicyName(sim::PlacementPolicy::kRoundRobin),
+               "roundrobin");
+  EXPECT_STREQ(sim::PlacementPolicyName(sim::PlacementPolicy::kContiguous),
+               "contiguous");
+  EXPECT_STREQ(
+      sim::PlacementPolicyName(sim::PlacementPolicy::kInterestClustered),
+      "interest");
+}
+
+TEST(InterestLabelsTest, EmptyCachesGetThePastTheEndLabel) {
+  StaticCaches caches;
+  caches.caches.resize(3);
+  caches.caches[1] = {FileId(5), FileId(6)};
+  const std::vector<uint32_t> labels = InterestLabels(caches);
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_GT(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);
+  // The interest-clustered placement then sorts the empty caches last.
+  const sim::Placement placement = sim::Placement::InterestClustered(labels);
+  EXPECT_EQ(placement.ShardOf(1, 3), 0u);
+}
+
+// The greedy pass must recover MakeClusteredCaches' planted topics: the
+// dominant file-space bucket of a peer drawing 80% of its cache from its
+// topic slice identifies the slice, so same-topic peers share (or nearly
+// share) labels and the placement makes them shard-mates.
+TEST(InterestLabelsTest, RecoversPlantedTopicsFromClusteredCaches) {
+  constexpr uint32_t kPeers = 4000;
+  constexpr uint32_t kFiles = 6400;
+  constexpr uint32_t kTopics = 64;
+  const StaticCaches caches = MakeClusteredCaches(kPeers, kFiles, kTopics, 42);
+  const std::vector<uint32_t> labels = InterestLabels(caches);
+  ASSERT_EQ(labels.size(), kPeers);
+
+  // Map each label back to the topic whose slice holds its bucket; count
+  // how often that matches the planted ClusteredCacheTopic assignment.
+  const uint32_t buckets = kDefaultInterestBuckets;
+  uint32_t matched = 0;
+  uint32_t populated = 0;
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    if (caches.caches[p].empty() || labels[p] >= buckets) {
+      continue;
+    }
+    ++populated;
+    const uint32_t recovered = static_cast<uint32_t>(
+        static_cast<uint64_t>(labels[p]) * kTopics / buckets);
+    if (recovered == ClusteredCacheTopic(p, kTopics, 42)) {
+      ++matched;
+    }
+  }
+  ASSERT_GT(populated, kPeers / 2);
+  EXPECT_GT(static_cast<double>(matched) / populated, 0.75)
+      << matched << "/" << populated << " labels recovered their topic";
+}
+
+}  // namespace
+}  // namespace edk

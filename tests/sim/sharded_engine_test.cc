@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace edk::sim {
 namespace {
@@ -183,6 +184,117 @@ TEST(ShardedEngineTest, CancelledTimerDoesNotRun) {
   engine.Run();
   EXPECT_EQ(executed, 1);
   EXPECT_EQ(engine.events_executed(), 1u);
+}
+
+// Regression: a run whose final events all live on a non-zero shard must
+// still leave the engine-wide clock at the drain horizon, with every
+// shard clock (including idle shard 0) aligned to it. The engine's now()
+// used to report shard 0's clock, which such a run left behind.
+TEST(ShardedEngineTest, InfiniteRunEndingOnNonZeroShardAlignsAllClocks) {
+  ShardedEngine engine(Config(4));
+  engine.EnsureNodes(8);
+  double final_at = -1;
+  // Node 7 lives on shard 3; nothing is ever scheduled on shard 0.
+  engine.ScheduleOn(7, 5.0, [&] { final_at = engine.NodeNow(7); });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(final_at, 5.0);
+  EXPECT_GE(engine.now(), 5.0);
+  for (uint32_t node = 0; node < 8; ++node) {
+    EXPECT_DOUBLE_EQ(engine.NodeNow(node), engine.now()) << "node " << node;
+  }
+}
+
+// S2: a Send undercutting the lookahead is clamped up to it — in release
+// builds as well as debug — and the violation is observable both through
+// clamped_sends() and the deterministic sim.clamped_sends counter.
+TEST(ShardedEngineTest, BelowLookaheadSendIsClampedAndCounted) {
+  const uint64_t counter_before =
+      obs::MetricsRegistry::Global().GetCounter("sim.clamped_sends").Value();
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(2);
+  double arrived_at = -1;
+  engine.ScheduleOn(0, 1.0, [&] {
+    engine.Send(0, 1, 0.001, [&] { arrived_at = engine.NodeNow(1); });
+  });
+  engine.Run();
+  // Delivered at the conservative bound, not at the requested 1.001.
+  EXPECT_DOUBLE_EQ(arrived_at, 1.0 + engine.lookahead());
+  EXPECT_EQ(engine.clamped_sends(), 1u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("sim.clamped_sends").Value(),
+      counter_before + 1);
+}
+
+TEST(ShardedEngineTest, ConformingSendsAreNotCountedAsClamped) {
+  ShardedEngine engine(Config(2));
+  engine.EnsureNodes(2);
+  engine.ScheduleOn(0, 1.0, [&] { engine.Send(0, 1, 0.5, [] {}); });
+  engine.Run();
+  EXPECT_EQ(engine.clamped_sends(), 0u);
+  EXPECT_EQ(engine.deferred_sends(), 0u);
+}
+
+// Adaptive windows: the width follows the observed send slack, and a send
+// whose delay undercuts the widened window is deferred to the barrier at
+// a deterministic time.
+TEST(ShardedEngineTest, AdaptiveWindowWidensAndDefersUndercuttingSend) {
+  ShardedEngineConfig config = Config(2);
+  config.max_window = 0.040;
+  ShardedEngine engine(config);
+  engine.EnsureNodes(2);
+  EXPECT_DOUBLE_EQ(engine.window_width(), 0.010);
+  double deferred_arrival = -1;
+  engine.ScheduleOn(0, 0.100, [&] {
+    // Slack 0.050 observed in the first window: the next width is the
+    // clamp to max_window, 0.040.
+    engine.Send(0, 1, 0.050, [&] {
+      // Runs at 0.150, the start of a 0.040-wide window ending at 0.190.
+      // A 0.011 send would arrive at 0.161, inside the window — it must
+      // be deferred to the barrier.
+      engine.Send(1, 0, 0.011, [&] { deferred_arrival = engine.NodeNow(0); });
+    });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(deferred_arrival, (0.100 + 0.050) + 0.040);
+  EXPECT_EQ(engine.deferred_sends(), 1u);
+  EXPECT_EQ(engine.clamped_sends(), 0u);
+}
+
+// The adaptive width trajectory is a function of the deterministic send
+// history only, so the full delivery timeline is bit-identical for any
+// shards/threads combination even with widening on.
+TEST(ShardedEngineTest, AdaptiveWindowsAreDeterministicAcrossPartitionings) {
+  auto run = [](size_t shards, size_t threads) {
+    ShardedEngineConfig config = Config(shards, threads);
+    config.max_window = 0.080;
+    ShardedEngine engine(config);
+    constexpr uint32_t kNodes = 16;
+    engine.EnsureNodes(kNodes);
+    // Per-node logs: each is only appended from that node's own events
+    // (single worker per shard per window), and per-node delivery order is
+    // what the determinism contract fixes. A global log would both race
+    // and observe a partition-dependent interleaving.
+    std::vector<std::vector<double>> arrivals(kNodes);
+    std::function<void(uint32_t, int)> hop = [&](uint32_t at, int left) {
+      arrivals[at].push_back(engine.NodeNow(at));
+      if (left == 0) {
+        return;
+      }
+      const uint32_t next =
+          static_cast<uint32_t>(engine.NodeRng(at).NextBelow(kNodes));
+      const double delay =
+          0.010 + engine.NodeRng(at).NextDouble() * 0.100;
+      engine.Send(at, next, delay, [&hop, next, left] { hop(next, left - 1); });
+    };
+    for (uint32_t i = 0; i < 4; ++i) {
+      engine.ScheduleOn(i, 0.5 + i * 0.01, [&hop, i] { hop(i, 24); });
+    }
+    engine.Run();
+    return arrivals;
+  };
+  const std::vector<std::vector<double>> reference = run(1, 1);
+  EXPECT_EQ(run(2, 1), reference);
+  EXPECT_EQ(run(8, 4), reference);
 }
 
 // Ping-pong across every shard pairing: event/message totals must be
