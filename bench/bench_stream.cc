@@ -1,0 +1,326 @@
+// Out-of-core streaming pipeline bench (DESIGN.md §6h, EXPERIMENTS.md).
+//
+// Demonstrates the EDKT v2 pipeline at crawl scale: generate a multi-week
+// trace for a population far beyond what a Trace can hold in RAM, then
+// scan and analyse it day-by-day through the mmap-backed TraceReader —
+// and report that the WHOLE run (generation + scan + analyses) stayed
+// under the 2 GB peak-RSS budget. The paper crawled 1.16 M distinct peers
+// (§3); the default here is 10 M peers over 14 days.
+//
+//   bench_stream [--peers=N] [--files=N] [--days=N] [--online=PER_MYRIAD]
+//                [--seed=N] [--out=trace.edk2] [--resume] [--keep]
+//                [--json=FILE]
+//
+// --out names the trace file (default bench_stream.edk2 in the working
+// directory; deleted at exit unless --keep). --resume continues a partial
+// generation — the writer truncates any torn tail and the (deterministic)
+// hash model re-emits only the missing days. --json writes the committed
+// BENCH_stream.json summary: generation rate, full-scan GB/s, per-analysis
+// wall times, and peak RSS.
+//
+// Reported phases:
+//   generate   GenerateScaleTrace: O(1) state per snapshot, bytes/s
+//   scan       decode every day segment (ForEachSnapshot), GB/s
+//   day-view   materialise the densest day as a CacheStore (FromCsr +
+//              transpose) — the unit of memory the analyses pay for
+//   analyses   StreamingDailyActivity, StreamingRankedSourcesOnDay,
+//              StreamingFileSpreadOverTime (most-sourced file)
+//
+// The overlap/clustering kernels are exercised for byte-identity at small
+// scale by tests/analysis/streaming_equivalence_test.cc; their cost is
+// quadratic-ish in holders and not a scan-rate story, so they are not run
+// at 10 M peers here.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/streaming.h"
+#include "src/common/table.h"
+#include "src/trace/stream/trace_reader.h"
+#include "src/workload/stream_generate.h"
+
+namespace {
+
+struct Options {
+  edk::ScaleTraceConfig config;
+  std::string path = "bench_stream.edk2";
+  std::string json_out;
+  bool resume = false;
+  bool keep = false;
+};
+
+[[noreturn]] void Usage() {
+  std::cerr << "usage: bench_stream [--peers=N] [--files=N] [--days=N]"
+               " [--online=PER_MYRIAD] [--seed=N] [--out=FILE] [--resume]"
+               " [--keep] [--json=FILE]\n";
+  std::exit(2);
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--peers=")) {
+      options.config.num_peers = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--files=")) {
+      options.config.num_files = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--days=")) {
+      options.config.num_days = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--online=")) {
+      options.config.online_per_myriad =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      options.config.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out=")) {
+      options.path = v;
+    } else if (const char* v = value("--json=")) {
+      options.json_out = v;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(arg, "--keep") == 0) {
+      options.keep = true;
+    } else {
+      std::cerr << "bench_stream: unknown flag '" << arg << "'\n";
+      Usage();
+    }
+  }
+  return options;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Peak resident set of this process, in bytes (ru_maxrss is KiB on Linux).
+uint64_t PeakRssBytes() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+std::string FormatDouble(double v, const char* fmt = "%.3f") {
+  char cell[64];
+  std::snprintf(cell, sizeof(cell), fmt, v);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseOptions(argc, argv);
+  const edk::ScaleTraceConfig& config = options.config;
+  std::cerr << "bench_stream: " << config.num_peers << " peers, "
+            << config.num_files << " files, " << config.num_days
+            << " days (online " << config.online_per_myriad
+            << "/10000, seed " << config.seed << ") -> " << options.path
+            << "\n";
+
+  // Phase 1: generation. O(1) model state per snapshot; the writer holds
+  // one day's columns at a time.
+  auto start = std::chrono::steady_clock::now();
+  std::string error;
+  const auto gen = edk::GenerateScaleTrace(config, options.path,
+                                           options.resume, &error);
+  if (!gen.has_value()) {
+    std::cerr << "bench_stream: generation failed: " << error << "\n";
+    return 1;
+  }
+  const double generate_seconds = SecondsSince(start);
+  std::cerr << "[generate] " << gen->days_written << " days ("
+            << gen->days_skipped << " skipped), " << gen->snapshots
+            << " snapshots, " << gen->bytes_written << " bytes in "
+            << FormatDouble(generate_seconds) << " s\n";
+
+  // Phase 2: full scan. Decode every day segment snapshot-by-snapshot; the
+  // checksum keeps the decode from being optimised away and doubles as a
+  // determinism witness in the JSON.
+  start = std::chrono::steady_clock::now();
+  auto reader = edk::stream::TraceReader::Open(options.path, &error);
+  if (!reader.has_value()) {
+    std::cerr << "bench_stream: open failed: " << error << "\n";
+    return 1;
+  }
+  uint64_t scan_snapshots = 0;
+  uint64_t scan_entries = 0;
+  uint64_t checksum = 0;
+  std::vector<uint32_t> scratch;
+  for (const auto& info : reader->days()) {
+    const bool ok = reader->ForEachSnapshot(
+        info, scratch,
+        [&](uint32_t peer, const uint32_t* files, size_t count) {
+          ++scan_snapshots;
+          scan_entries += count;
+          checksum ^= (static_cast<uint64_t>(peer) << 32) ^
+                      (count == 0 ? 0 : files[count - 1]);
+        });
+    if (!ok) {
+      std::cerr << "bench_stream: corrupt day " << info.day << "\n";
+      return 1;
+    }
+  }
+  const double scan_seconds = SecondsSince(start);
+  const double scan_gb = static_cast<double>(reader->size_bytes()) / 1e9;
+  const double scan_gb_per_s = scan_seconds > 0 ? scan_gb / scan_seconds : 0.0;
+  std::cerr << "[scan] " << scan_snapshots << " snapshots, " << scan_entries
+            << " entries, " << FormatDouble(scan_gb) << " GB in "
+            << FormatDouble(scan_seconds) << " s ("
+            << FormatDouble(scan_gb_per_s) << " GB/s)\n";
+
+  // Phase 3: materialise the densest day view once — this is the largest
+  // single allocation any streaming analysis makes.
+  const edk::stream::TraceReader::DayInfo* densest = nullptr;
+  for (const auto& info : reader->days()) {
+    if (densest == nullptr || info.file_entries > densest->file_entries) {
+      densest = &info;
+    }
+  }
+  double day_view_seconds = 0.0;
+  uint64_t day_view_peers = 0;
+  if (densest != nullptr) {
+    start = std::chrono::steady_clock::now();
+    auto view = reader->ReadDay(*densest, &error);
+    if (!view.has_value()) {
+      std::cerr << "bench_stream: ReadDay failed: " << error << "\n";
+      return 1;
+    }
+    day_view_seconds = SecondsSince(start);
+    day_view_peers = view->peers.size();
+    std::cerr << "[day-view] day " << densest->day << ": " << day_view_peers
+              << " peers, " << densest->file_entries << " entries in "
+              << FormatDouble(day_view_seconds) << " s\n";
+  }
+
+  // Phase 4: streaming analyses (linear-cost ones; see header comment).
+  start = std::chrono::steady_clock::now();
+  const auto activity = edk::StreamingDailyActivity(*reader);
+  const double activity_seconds = SecondsSince(start);
+
+  const int last_day = reader->last_day();
+  start = std::chrono::steady_clock::now();
+  const auto sources = edk::StreamingRankedSourcesOnDay(*reader, last_day);
+  const double sources_seconds = SecondsSince(start);
+
+  // Fig. 8 twin on the most-sourced file of the last day.
+  edk::FileId top_file(0);
+  {
+    // RankedSources* returns sorted counts without ids; recover the argmax
+    // id with a direct per-file counting pass over the last day.
+    uint32_t best = 0;
+    std::vector<uint32_t> scratch2;
+    std::vector<uint32_t> per_file;
+    if (const auto* info = reader->FindDay(last_day)) {
+      per_file.assign(reader->file_count(), 0);
+      reader->ForEachSnapshot(
+          *info, scratch2,
+          [&](uint32_t, const uint32_t* files, size_t count) {
+            for (size_t f = 0; f < count; ++f) {
+              ++per_file[files[f]];
+            }
+          });
+      for (uint32_t f = 0; f < per_file.size(); ++f) {
+        if (per_file[f] > best) {
+          best = per_file[f];
+          top_file = edk::FileId(f);
+        }
+      }
+    }
+  }
+  start = std::chrono::steady_clock::now();
+  const auto spread = edk::StreamingFileSpreadOverTime(*reader, top_file);
+  const double spread_seconds = SecondsSince(start);
+
+  const uint64_t peak_rss = PeakRssBytes();
+  const bool under_budget = peak_rss < (2ull << 30);
+
+  std::cout << "population: " << config.num_peers << " peers, "
+            << config.num_files << " files, " << activity.size()
+            << " observed days, " << scan_snapshots << " snapshots, "
+            << scan_entries << " file entries\n"
+            << "trace file: " << reader->size_bytes() << " bytes\n\n";
+  edk::AsciiTable table({"phase", "wall s", "rate"});
+  table.AddRow({"generate", FormatDouble(generate_seconds),
+                FormatDouble(generate_seconds > 0
+                                 ? static_cast<double>(gen->bytes_written) /
+                                       1e6 / generate_seconds
+                                 : 0.0) +
+                    " MB/s"});
+  table.AddRow({"scan", FormatDouble(scan_seconds),
+                FormatDouble(scan_gb_per_s) + " GB/s"});
+  table.AddRow({"day-view", FormatDouble(day_view_seconds),
+                std::to_string(day_view_peers) + " peers"});
+  table.AddRow({"daily-activity", FormatDouble(activity_seconds),
+                std::to_string(activity.size()) + " days"});
+  table.AddRow({"ranked-sources", FormatDouble(sources_seconds),
+                std::to_string(sources.size()) + " shared files"});
+  table.AddRow({"file-spread", FormatDouble(spread_seconds),
+                std::to_string(spread.size()) + " days"});
+  table.Print(std::cout);
+  std::cout << "\npeak RSS: " << peak_rss / (1024 * 1024) << " MiB ("
+            << (under_budget ? "under" : "OVER") << " the 2 GB budget)\n"
+            << "scan checksum: " << checksum << "\n";
+
+  if (!options.json_out.empty()) {
+    std::ofstream out(options.json_out);
+    if (!out) {
+      std::cerr << "bench_stream: cannot write " << options.json_out << "\n";
+      return 1;
+    }
+    out << "{\n  \"schema\": \"edk.bench_stream.v1\",\n";
+    out << "  \"population\": {\"peers\": " << config.num_peers
+        << ", \"files\": " << config.num_files << ", \"days\": "
+        << config.num_days << ", \"online_per_myriad\": "
+        << config.online_per_myriad << ", \"seed\": " << config.seed
+        << "},\n";
+    out << "  \"trace\": {\"bytes\": " << reader->size_bytes()
+        << ", \"observed_days\": " << reader->days().size()
+        << ", \"snapshots\": " << scan_snapshots << ", \"file_entries\": "
+        << scan_entries << ", \"checksum\": " << checksum << "},\n";
+    out << "  \"generate\": {\"wall_seconds\": "
+        << FormatDouble(generate_seconds) << ", \"days_written\": "
+        << gen->days_written << ", \"days_skipped\": " << gen->days_skipped
+        << ", \"mb_per_second\": "
+        << FormatDouble(generate_seconds > 0
+                            ? static_cast<double>(gen->bytes_written) / 1e6 /
+                                  generate_seconds
+                            : 0.0)
+        << "},\n";
+    out << "  \"scan\": {\"wall_seconds\": " << FormatDouble(scan_seconds)
+        << ", \"gb_per_second\": " << FormatDouble(scan_gb_per_s) << "},\n";
+    out << "  \"day_view\": {\"wall_seconds\": "
+        << FormatDouble(day_view_seconds) << ", \"peers\": " << day_view_peers
+        << "},\n";
+    out << "  \"analyses\": {\"daily_activity_seconds\": "
+        << FormatDouble(activity_seconds) << ", \"ranked_sources_seconds\": "
+        << FormatDouble(sources_seconds) << ", \"file_spread_seconds\": "
+        << FormatDouble(spread_seconds) << "},\n";
+    out << "  \"peak_rss_bytes\": " << peak_rss << ",\n";
+    out << "  \"under_2gb_budget\": " << (under_budget ? "true" : "false")
+        << "\n}\n";
+    out.close();
+    if (!out) {
+      std::cerr << "bench_stream: write to " << options.json_out
+                << " failed\n";
+      return 1;
+    }
+  }
+
+  reader.reset();  // Unmap before deleting the file.
+  if (!options.keep) {
+    std::remove(options.path.c_str());
+  }
+  return under_budget ? 0 : 1;
+}

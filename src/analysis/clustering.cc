@@ -17,14 +17,17 @@ double ClusteringCurve::ProbabilityAt(size_t k) const {
 
 ClusteringCurve ComputeClusteringCurve(const StaticCaches& caches, size_t max_k,
                                        const std::vector<bool>* file_mask) {
-  obs::PhaseTimer timer("analysis.clustering.curve");
   // Flat CSR store; a mask is applied once as a projection so the counting
   // loops below carry no per-file branch.
   CacheStore store = CacheStore::FromStaticCaches(caches);
   if (file_mask != nullptr) {
     store = store.Masked(*file_mask);
   }
+  return ComputeClusteringCurve(store, max_k);
+}
 
+ClusteringCurve ComputeClusteringCurve(const CacheStore& store, size_t max_k) {
+  obs::PhaseTimer timer("analysis.clustering.curve");
   // Pair overlap distribution, capped at max_k + 1 (the curve never reads
   // beyond it). Memory stays bounded by processing one anchor peer at a
   // time. Anchor peers are partitioned into fixed-size blocks that fan out

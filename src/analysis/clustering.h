@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/trace/cache_store.h"
 #include "src/trace/trace.h"
 
 namespace edk {
@@ -34,6 +35,13 @@ struct ClusteringCurve {
 // masked files).
 ClusteringCurve ComputeClusteringCurve(const StaticCaches& caches, size_t max_k,
                                        const std::vector<bool>* file_mask = nullptr);
+
+// Store-level twin used by the streaming pipeline: takes an already-built
+// (and, if needed, already-masked) one-day CacheStore view — either
+// CacheStore::FromStaticCaches/FromTraceDay or a stream::TraceReader day
+// view, which are layout-identical, so both paths give byte-identical
+// curves.
+ClusteringCurve ComputeClusteringCurve(const CacheStore& store, size_t max_k);
 
 // Mask helpers for the paper's file classes.
 // Files of the given category whose union-trace popularity lies in

@@ -42,7 +42,11 @@ void ForEachOverlappingPair(const CacheStore& store, Visitor visit) {
 std::vector<std::pair<uint32_t, uint64_t>> OverlapHistogramOnDay(const Trace& trace,
                                                                  int day) {
   obs::PhaseTimer timer("analysis.overlap.histogram_day");
-  const CacheStore store = CacheStore::FromTraceDay(trace, day);
+  return OverlapHistogramFromStore(CacheStore::FromTraceDay(trace, day));
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> OverlapHistogramFromStore(
+    const CacheStore& store) {
   // No pairwise overlap can exceed the largest single cache, so per-block
   // histograms are dense arrays; the merge is a pure integer sum and the
   // result is identical for any thread count.
@@ -79,9 +83,9 @@ std::vector<std::pair<uint32_t, uint64_t>> OverlapHistogramOnDay(const Trace& tr
   return result;
 }
 
-std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
-                                                   const OverlapEvolutionOptions& options) {
-  obs::PhaseTimer timer("analysis.overlap.evolution");
+std::vector<OverlapCohort> SelectOverlapCohorts(
+    const CacheStore& first_day_store, const OverlapEvolutionOptions& options) {
+  obs::PhaseTimer enumerate_timer("analysis.overlap.evolution.enumerate");
   std::vector<OverlapCohort> cohorts;
   cohorts.reserve(options.cohort_overlaps.size());
   std::unordered_map<uint32_t, size_t> cohort_index;
@@ -92,14 +96,11 @@ std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
     cohorts.push_back(std::move(cohort));
   }
 
-  const int first_day = trace.first_day();
   Rng rng(options.seed);
-  obs::PhaseTimer enumerate_timer("analysis.overlap.evolution.enumerate");
   // Serial enumeration: the reservoir sampler below consumes rng draws, so
   // the pair visit order must not depend on scheduling.
   ForEachOverlappingPair(
-      CacheStore::FromTraceDay(trace, first_day),
-      [&](uint32_t p, uint32_t q, uint32_t overlap) {
+      first_day_store, [&](uint32_t p, uint32_t q, uint32_t overlap) {
         const auto it = cohort_index.find(overlap);
         if (it == cohort_index.end()) {
           return;
@@ -116,7 +117,15 @@ std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
           }
         }
       });
-  enumerate_timer.Stop();
+  return cohorts;
+}
+
+std::vector<OverlapCohort> ComputeOverlapEvolution(const Trace& trace,
+                                                   const OverlapEvolutionOptions& options) {
+  obs::PhaseTimer timer("analysis.overlap.evolution");
+  const int first_day = trace.first_day();
+  std::vector<OverlapCohort> cohorts =
+      SelectOverlapCohorts(CacheStore::FromTraceDay(trace, first_day), options);
 
   const size_t days = static_cast<size_t>(trace.last_day() - trace.first_day() + 1);
   for (auto& cohort : cohorts) {

@@ -1,0 +1,272 @@
+#include "src/analysis/streaming.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/exec/parallel.h"
+#include "src/obs/metrics.h"
+
+namespace edk {
+
+namespace {
+
+// Per-file source counts on one day, from the segment decode (no CSR view
+// needed). Days absent from the reader yield all zeros, matching what the
+// in-RAM twin sees on a day without snapshots.
+std::vector<uint32_t> StreamingSourcesOnDay(const stream::TraceReader& reader,
+                                            int day,
+                                            std::vector<uint32_t>& scratch) {
+  std::vector<uint32_t> counts(reader.file_count(), 0);
+  const stream::TraceReader::DayInfo* info = reader.FindDay(day);
+  if (info != nullptr) {
+    reader.ForEachSnapshot(
+        *info, scratch, [&](uint32_t, const uint32_t* files, size_t count) {
+          for (size_t i = 0; i < count; ++i) {
+            ++counts[files[i]];
+          }
+        });
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<DailyActivity> StreamingDailyActivity(
+    const stream::TraceReader& reader) {
+  obs::PhaseTimer timer("analysis.streaming.daily_activity");
+  std::vector<DailyActivity> out;
+  if (reader.last_day() < reader.first_day()) {
+    return out;
+  }
+  const size_t days =
+      static_cast<size_t>(reader.last_day() - reader.first_day() + 1);
+  out.resize(days);
+  for (size_t d = 0; d < days; ++d) {
+    out[d].day = reader.first_day() + static_cast<int>(d);
+  }
+  // Day segments arrive in ascending day order, so the first sighting of a
+  // file IS its first-seen day — one bitmap replaces the per-file min-day
+  // array of the in-RAM twin.
+  std::vector<uint8_t> seen(reader.file_count(), 0);
+  std::vector<uint32_t> scratch;
+  for (const stream::TraceReader::DayInfo& info : reader.days()) {
+    DailyActivity& day =
+        out[static_cast<size_t>(info.day - reader.first_day())];
+    reader.ForEachSnapshot(
+        info, scratch, [&](uint32_t, const uint32_t* files, size_t count) {
+          ++day.clients_scanned;
+          if (count > 0) {
+            ++day.non_empty_caches;
+            day.files_seen += count;
+            for (size_t i = 0; i < count; ++i) {
+              if (seen[files[i]] == 0) {
+                seen[files[i]] = 1;
+                ++day.new_files;
+              }
+            }
+          }
+        });
+  }
+  uint64_t cumulative = 0;
+  for (DailyActivity& day : out) {
+    cumulative += day.new_files;
+    day.total_files = cumulative;
+  }
+  return out;
+}
+
+std::vector<uint32_t> StreamingRankedSourcesOnDay(
+    const stream::TraceReader& reader, int day) {
+  std::vector<uint32_t> scratch;
+  const auto counts = StreamingSourcesOnDay(reader, day, scratch);
+  std::vector<uint32_t> ranked;
+  ranked.reserve(counts.size());
+  for (uint32_t c : counts) {
+    if (c > 0) {
+      ranked.push_back(c);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  return ranked;
+}
+
+std::vector<double> StreamingFileSpreadOverTime(
+    const stream::TraceReader& reader, FileId file) {
+  std::vector<double> out;
+  if (reader.last_day() < reader.first_day()) {
+    return out;
+  }
+  out.resize(static_cast<size_t>(reader.last_day() - reader.first_day() + 1),
+             0.0);
+  std::vector<uint32_t> scanned(out.size(), 0);
+  std::vector<uint32_t> holders(out.size(), 0);
+  std::vector<uint32_t> scratch;
+  for (const stream::TraceReader::DayInfo& info : reader.days()) {
+    const size_t d = static_cast<size_t>(info.day - reader.first_day());
+    reader.ForEachSnapshot(
+        info, scratch, [&](uint32_t, const uint32_t* files, size_t count) {
+          ++scanned[d];
+          if (std::binary_search(files, files + count, file.value)) {
+            ++holders[d];
+          }
+        });
+  }
+  for (size_t d = 0; d < out.size(); ++d) {
+    if (scanned[d] > 0) {
+      out[d] = static_cast<double>(holders[d]) / static_cast<double>(scanned[d]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> StreamingFileRanksOverTime(
+    const stream::TraceReader& reader, const std::vector<FileId>& files) {
+  std::vector<std::vector<uint32_t>> out(files.size());
+  if (reader.last_day() < reader.first_day()) {
+    return out;
+  }
+  const size_t days =
+      static_cast<size_t>(reader.last_day() - reader.first_day() + 1);
+  for (auto& series : out) {
+    series.assign(days, 0);
+  }
+  // Same fan-out shape as the in-RAM twin: each day decodes its own segment
+  // and writes only its own (file, day) slots.
+  ParallelFor(0, days, [&](size_t d) {
+    const int day = reader.first_day() + static_cast<int>(d);
+    std::vector<uint32_t> scratch;
+    const auto counts = StreamingSourcesOnDay(reader, day, scratch);
+    for (size_t i = 0; i < files.size(); ++i) {
+      const uint32_t own = counts[files[i].value];
+      if (own == 0) {
+        continue;
+      }
+      uint32_t rank = 1;
+      for (size_t f = 0; f < counts.size(); ++f) {
+        if (counts[f] > own || (counts[f] == own && f < files[i].value)) {
+          ++rank;
+        }
+      }
+      out[i][d] = rank;
+    }
+  });
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> StreamingOverlapHistogramOnDay(
+    const stream::TraceReader& reader, int day) {
+  obs::PhaseTimer timer("analysis.streaming.overlap_histogram_day");
+  const stream::TraceReader::DayInfo* info = reader.FindDay(day);
+  if (info == nullptr) {
+    return {};  // The in-RAM twin yields no pairs on an unobserved day.
+  }
+  const auto view = reader.ReadDay(*info);
+  if (!view.has_value()) {
+    return {};
+  }
+  return OverlapHistogramFromStore(view->store);
+}
+
+std::vector<OverlapCohort> StreamingOverlapEvolution(
+    const stream::TraceReader& reader, const OverlapEvolutionOptions& options) {
+  obs::PhaseTimer timer("analysis.streaming.overlap_evolution");
+  // Cohort selection on the first day's view: same store layout, same
+  // enumeration order, same rng draws as the in-RAM twin.
+  std::vector<OverlapCohort> cohorts;
+  if (const stream::TraceReader::DayInfo* info = reader.FindDay(reader.first_day());
+      info != nullptr) {
+    const auto view = reader.ReadDay(*info);
+    cohorts = SelectOverlapCohorts(view.has_value() ? view->store : CacheStore(),
+                                   options);
+  } else {
+    cohorts = SelectOverlapCohorts(CacheStore(), options);
+  }
+
+  const size_t days = reader.last_day() < reader.first_day()
+                          ? 0
+                          : static_cast<size_t>(reader.last_day() -
+                                                reader.first_day() + 1);
+  for (OverlapCohort& cohort : cohorts) {
+    cohort.mean_overlap.assign(days, 0.0);
+  }
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> by_anchor(
+      cohorts.size());
+  for (size_t c = 0; c < cohorts.size(); ++c) {
+    by_anchor[c] = cohorts[c].pairs;
+    std::sort(by_anchor[c].begin(), by_anchor[c].end());
+  }
+  // Parallel day sweep; every addend is an integer below 2^32 summed fewer
+  // than 2^21 times, so the double accumulators are exact and the schedule
+  // cannot perturb results (same argument as the in-RAM twin). Each task
+  // decodes one day segment: peak memory is one day view per worker.
+  ParallelFor(0, days, [&](size_t d) {
+    const int day = reader.first_day() + static_cast<int>(d);
+    const stream::TraceReader::DayInfo* info = reader.FindDay(day);
+    if (info == nullptr) {
+      return;  // No snapshots: every cohort mean stays 0.0, as in RAM.
+    }
+    const auto view = reader.ReadDay(*info);
+    if (!view.has_value()) {
+      return;
+    }
+    // Snapshot presence, not row emptiness: a peer observed with an empty
+    // cache still counts into its cohort's denominator.
+    std::vector<uint8_t> observed(reader.peer_count(), 0);
+    for (const uint32_t p : view->peers) {
+      observed[p] = 1;
+    }
+    std::vector<uint32_t> file_stamp(reader.file_count(), 0);
+    uint32_t stamp = 0;
+    for (size_t c = 0; c < cohorts.size(); ++c) {
+      const auto& pairs = by_anchor[c];
+      if (pairs.empty()) {
+        continue;
+      }
+      double sum = 0;
+      uint64_t counted = 0;
+      for (size_t i = 0; i < pairs.size();) {
+        const uint32_t p = pairs[i].first;
+        const bool p_observed = observed[p] != 0;
+        if (p_observed) {
+          ++stamp;
+          for (const uint32_t f : view->store.PeerFiles(p)) {
+            file_stamp[f] = stamp;
+          }
+        }
+        for (; i < pairs.size() && pairs[i].first == p; ++i) {
+          if (!p_observed || observed[pairs[i].second] == 0) {
+            continue;
+          }
+          uint64_t overlap = 0;
+          for (const uint32_t f : view->store.PeerFiles(pairs[i].second)) {
+            overlap += file_stamp[f] == stamp ? 1 : 0;
+          }
+          sum += static_cast<double>(overlap);
+          ++counted;
+        }
+      }
+      cohorts[c].mean_overlap[d] =
+          counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+    }
+  });
+  return cohorts;
+}
+
+ClusteringCurve StreamingClusteringCurveOnDay(
+    const stream::TraceReader& reader, int day, size_t max_k,
+    const std::vector<bool>* file_mask) {
+  const stream::TraceReader::DayInfo* info = reader.FindDay(day);
+  if (info == nullptr) {
+    return ComputeClusteringCurve(CacheStore(), max_k);
+  }
+  const auto view = reader.ReadDay(*info);
+  if (!view.has_value()) {
+    return ComputeClusteringCurve(CacheStore(), max_k);
+  }
+  if (file_mask != nullptr) {
+    return ComputeClusteringCurve(view->store.Masked(*file_mask), max_k);
+  }
+  return ComputeClusteringCurve(view->store, max_k);
+}
+
+}  // namespace edk

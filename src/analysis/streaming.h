@@ -1,0 +1,73 @@
+// Out-of-core streaming twins of the day-sweep analyses (DESIGN.md §6h).
+//
+// Every function here consumes an EDKT v2 stream::TraceReader instead of
+// an in-RAM Trace and is BYTE-IDENTICAL to its Trace-based twin on the
+// materialised trace, at any thread count. That holds by construction:
+//   * per-day work runs on TraceReader day views that are layout-identical
+//     to CacheStore::FromTraceDay, through the same shared store-level
+//     kernels (OverlapHistogramFromStore, SelectOverlapCohorts,
+//     ComputeClusteringCurve's store overload);
+//   * day sweeps accumulate exact integer quantities (in uint64 or as
+//     integer-valued doubles), so task order cannot perturb results;
+//   * snapshot *presence* matters separately from cache content (a peer
+//     observed with an empty cache is not the same as an unobserved peer),
+//     so the sweeps consult the day view's observed-peer list, never just
+//     row emptiness.
+//
+// Memory is bounded by one day's segment (times the worker count for the
+// parallel sweeps), never by the trace: a 10M-peer multi-week trace
+// analyses in well under 2 GB (bench/bench_stream.cc measures this).
+//
+// Deliberately NOT here: the whole-trace union analyses
+// (RankedSourcesOverall, AveragePopularity, BuildUnionCaches consumers).
+// Their state is O(distinct peer-file pairs) — the thing an out-of-core
+// pipeline cannot hold — so they stay on the materialising path.
+
+#ifndef SRC_ANALYSIS_STREAMING_H_
+#define SRC_ANALYSIS_STREAMING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/clustering.h"
+#include "src/analysis/overlap.h"
+#include "src/analysis/popularity.h"
+#include "src/trace/stream/trace_reader.h"
+
+namespace edk {
+
+// Twin of ComputeDailyActivity (Figs. 1-3).
+std::vector<DailyActivity> StreamingDailyActivity(
+    const stream::TraceReader& reader);
+
+// Twin of RankedSourcesOnDay (one Fig. 5 curve).
+std::vector<uint32_t> StreamingRankedSourcesOnDay(
+    const stream::TraceReader& reader, int day);
+
+// Twin of FileSpreadOverTime (Fig. 8).
+std::vector<double> StreamingFileSpreadOverTime(
+    const stream::TraceReader& reader, FileId file);
+
+// Twin of FileRanksOverTime (Figs. 9-10).
+std::vector<std::vector<uint32_t>> StreamingFileRanksOverTime(
+    const stream::TraceReader& reader, const std::vector<FileId>& files);
+
+// Twin of OverlapHistogramOnDay.
+std::vector<std::pair<uint32_t, uint64_t>> StreamingOverlapHistogramOnDay(
+    const stream::TraceReader& reader, int day);
+
+// Twin of ComputeOverlapEvolution (Figs. 15-17): cohort selection on the
+// first day's view, then a parallel day sweep that decodes each day once.
+std::vector<OverlapCohort> StreamingOverlapEvolution(
+    const stream::TraceReader& reader, const OverlapEvolutionOptions& options);
+
+// Twin of ComputeClusteringCurve(BuildDayCaches(trace, day), ...)
+// (Figs. 13-14). The mask, if given, is indexed by file id as usual.
+ClusteringCurve StreamingClusteringCurveOnDay(
+    const stream::TraceReader& reader, int day, size_t max_k,
+    const std::vector<bool>* file_mask = nullptr);
+
+}  // namespace edk
+
+#endif  // SRC_ANALYSIS_STREAMING_H_

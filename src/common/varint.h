@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 namespace edk::wire {
 
@@ -20,6 +21,22 @@ void WriteVarint(std::ostream& os, uint64_t v);
 // than the single bit that remains (the old decoder silently dropped those
 // high bits, so two distinct byte strings aliased to the same value).
 bool ReadVarint(std::istream& is, uint64_t& v);
+
+// Memory-buffer twins of the stream primitives, with identical encoding
+// rules (the EDKT v2 reader decodes mmapped segments in place). The read
+// variant advances `p` past the consumed bytes on success and applies the
+// same overlong-encoding rejections as the stream decoder.
+void AppendVarint(std::string& out, uint64_t v);
+bool ReadVarint(const uint8_t*& p, const uint8_t* end, uint64_t& v);
+
+// ZigZag mapping for signed values (trace day numbers): small magnitudes
+// of either sign encode to short varints.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
 
 }  // namespace edk::wire
 

@@ -232,6 +232,14 @@ bool MetricsRegistry::WriteJsonToFile(const std::string& path) const {
     return false;
   }
   WriteJson(os);
+  // Flush and close before reporting success: on a full disk the failure
+  // only surfaces when the last buffered block is written out, and the
+  // destructor swallows it.
+  os.flush();
+  if (!os.good()) {
+    return false;
+  }
+  os.close();
   return os.good();
 }
 

@@ -186,6 +186,14 @@ bool TraceLog::WriteToFile(const std::string& path) const {
   } else {
     WriteTraceBinary(os, file);
   }
+  // Flush and close before reporting success: on a full disk the failure
+  // only surfaces when the last buffered block is written out, and the
+  // destructor swallows it.
+  os.flush();
+  if (!os.good()) {
+    return false;
+  }
+  os.close();
   return os.good();
 }
 

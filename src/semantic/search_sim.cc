@@ -35,16 +35,20 @@ size_t MaxRandomNeighbours(size_t sharer_count, bool requester_shares,
 
 SearchSimResult RunSearchSimulation(const StaticCaches& potential,
                                     const SearchSimConfig& config) {
-  obs::PhaseTimer timer("semantic.search_sim.run");
-  const size_t peer_count = potential.caches.size();
-  Rng rng(config.seed);
-  SearchSimResult result;
-
   // Flat CSR view of the request universe. Every peer only ever acquires
   // files from its own potential cache, so "which files does q share right
   // now" is a per-replica bit over the CSR slots: O(log k) binary search in
   // q's sorted slice instead of one unordered_set per peer.
-  const CacheStore store = CacheStore::FromStaticCaches(potential);
+  return RunSearchSimulation(CacheStore::FromStaticCaches(potential), config);
+}
+
+SearchSimResult RunSearchSimulation(const CacheStore& store,
+                                    const SearchSimConfig& config) {
+  obs::PhaseTimer timer("semantic.search_sim.run");
+  const size_t peer_count = store.peer_count();
+  Rng rng(config.seed);
+  SearchSimResult result;
+
   assert(store.total_replicas() <= 0xffffffffu);
 
   // Request stream: every (peer, file) pair in uniform random order. This

@@ -19,6 +19,8 @@
 
 namespace edk {
 
+class CacheStore;
+
 struct SearchSimConfig {
   StrategyKind strategy = StrategyKind::kLru;
   size_t list_size = 20;   // Semantic neighbours queried per request.
@@ -83,6 +85,13 @@ size_t MaxRandomNeighbours(size_t sharer_count, bool requester_shares,
 // `potential` holds, per peer, the set of files it will request during the
 // simulation (its cache content in the static trace).
 SearchSimResult RunSearchSimulation(const StaticCaches& potential,
+                                    const SearchSimConfig& config);
+
+// Store-level core: `potential` as an already-flattened CacheStore (one
+// row per peer). The StaticCaches overload delegates here, and the
+// streaming pipeline feeds stream::TraceReader day views in directly —
+// both are layout-identical, so results are byte-identical.
+SearchSimResult RunSearchSimulation(const CacheStore& potential,
                                     const SearchSimConfig& config);
 
 }  // namespace edk

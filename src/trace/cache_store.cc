@@ -63,6 +63,20 @@ CacheStore CacheStore::FromTraceDay(const Trace& trace, int day) {
   return store;
 }
 
+CacheStore CacheStore::FromCsr(std::vector<uint32_t> files,
+                               std::vector<size_t> peer_offsets,
+                               size_t file_count_hint) {
+  CacheStore store;
+  store.files_ = std::move(files);
+  store.peer_offsets_ = std::move(peer_offsets);
+  size_t file_bound = file_count_hint;
+  for (const uint32_t f : store.files_) {
+    file_bound = std::max<size_t>(file_bound, f + 1);
+  }
+  store.BuildTranspose(file_bound);
+  return store;
+}
+
 size_t CacheStore::MaxCacheSize() const {
   size_t max_size = 0;
   for (size_t p = 0; p + 1 < peer_offsets_.size(); ++p) {

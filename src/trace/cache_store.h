@@ -46,6 +46,15 @@ class CacheStore {
   // Equivalent to FromStaticCaches(BuildDayCaches(trace, day)) without the
   // intermediate per-peer vector copies.
   static CacheStore FromTraceDay(const Trace& trace, int day);
+  // Adopts an already-flattened CSR (sorted ascending within each peer
+  // slice; `peer_offsets` has peer_count + 1 entries starting at 0) and
+  // builds the transpose. The file-id space is sized to the largest id
+  // present (or `file_count_hint` if larger) — the same sizing rule as the
+  // other factories, so a stream::TraceReader day view is layout-identical
+  // to FromTraceDay on the materialised trace.
+  static CacheStore FromCsr(std::vector<uint32_t> files,
+                            std::vector<size_t> peer_offsets,
+                            size_t file_count_hint = 0);
 
   size_t peer_count() const { return peer_offsets_.size() - 1; }
   // One past the largest file id present (0 for an empty store).

@@ -43,6 +43,27 @@ bool ReadU64(std::istream& is, uint64_t& v) {
   return true;
 }
 
+// Bytes left between the current position and the end of the stream, or
+// nullopt when the stream is not seekable (a pipe). Element counts read
+// from the header are checked against this before any loop runs, so a
+// corrupt file cannot demand more elements than its own size could hold.
+std::optional<uint64_t> RemainingBytes(std::istream& is) {
+  const std::istream::pos_type current = is.tellg();
+  if (current == std::istream::pos_type(-1)) {
+    is.clear();
+    return std::nullopt;
+  }
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(current);
+  if (end == std::istream::pos_type(-1) || end < current || !is.good()) {
+    is.clear();
+    is.seekg(current);
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(end - current);
+}
+
 }  // namespace
 
 namespace {
@@ -102,7 +123,18 @@ bool SaveTraceToFile(const Trace& trace, const std::string& path) {
   if (!os) {
     return false;
   }
-  return SaveTrace(trace, os);
+  if (!SaveTrace(trace, os)) {
+    return false;
+  }
+  // A full disk surfaces when the last buffered block is written out, which
+  // without an explicit flush happens in the destructor — after the return
+  // value was already decided. Flush and close while we can still report it.
+  os.flush();
+  if (!os.good()) {
+    return false;
+  }
+  os.close();
+  return os.good();
 }
 
 std::optional<Trace> LoadTrace(std::istream& is) {
@@ -116,6 +148,21 @@ std::optional<Trace> LoadTrace(std::istream& is) {
   Trace trace;
   uint64_t file_count = 0;
   if (!ReadU64(is, file_count)) {
+    return std::nullopt;
+  }
+  // Fail fast on counts the stream could not possibly back: every file row
+  // is at least 13 bytes (u64 size + category byte + u32 topic) and every
+  // peer row at least 22 (21 fixed bytes + a one-byte snapshot count). On a
+  // non-seekable stream the per-element reads below still fail cleanly at
+  // EOF — the bound only removes the long walk to get there.
+  constexpr uint64_t kMinFileRowBytes = 13;
+  constexpr uint64_t kMinPeerRowBytes = 22;
+  constexpr uint64_t kMaxIdSpace = 0xffffffffu;  // FileId/PeerId are u32.
+  if (file_count > kMaxIdSpace) {
+    return std::nullopt;
+  }
+  if (const auto remaining = RemainingBytes(is);
+      remaining.has_value() && file_count > *remaining / kMinFileRowBytes) {
     return std::nullopt;
   }
   for (uint64_t i = 0; i < file_count; ++i) {
@@ -141,6 +188,13 @@ std::optional<Trace> LoadTrace(std::istream& is) {
   if (!ReadU64(is, peer_count)) {
     return std::nullopt;
   }
+  if (peer_count > kMaxIdSpace) {
+    return std::nullopt;
+  }
+  if (const auto remaining = RemainingBytes(is);
+      remaining.has_value() && peer_count > *remaining / kMinPeerRowBytes) {
+    return std::nullopt;
+  }
   for (uint64_t p = 0; p < peer_count; ++p) {
     PeerInfo info;
     uint32_t country = 0;
@@ -160,10 +214,29 @@ std::optional<Trace> LoadTrace(std::istream& is) {
     if (!ReadVarint(is, snapshot_count)) {
       return std::nullopt;
     }
+    // Days are strictly increasing per peer and capped at kMaxTraceDay, so
+    // no valid stream holds more than kMaxTraceDay + 1 snapshots per peer.
+    if (snapshot_count > kMaxTraceDay + 1) {
+      return std::nullopt;
+    }
+    int64_t previous_day = -1;
     for (uint64_t s = 0; s < snapshot_count; ++s) {
       uint64_t day = 0;
       uint64_t count = 0;
       if (!ReadVarint(is, day) || !ReadVarint(is, count)) {
+        return std::nullopt;
+      }
+      // Validate the day before the unchecked-int cast ever happens, and
+      // enforce the PeerTimeline "strictly increasing days" invariant that
+      // SnapshotAtOrBefore/SnapshotOn and the day-sweep kernels rely on.
+      if (day > kMaxTraceDay || static_cast<int64_t>(day) <= previous_day) {
+        return std::nullopt;
+      }
+      previous_day = static_cast<int64_t>(day);
+      // File ids are strictly ascending within a snapshot and below
+      // file_count, so `count` is bounded by the (already loaded) file
+      // table — a crafted count cannot reserve more than the table allows.
+      if (count > trace.file_count()) {
         return std::nullopt;
       }
       std::vector<FileId> files;
@@ -174,10 +247,14 @@ std::optional<Trace> LoadTrace(std::istream& is) {
         if (!ReadVarint(is, delta)) {
           return std::nullopt;
         }
-        current += delta;
-        if (current >= file_count) {
+        // SaveTrace only emits strictly ascending ids (delta >= 1 after the
+        // first element); a zero delta or a delta that would land at or past
+        // file_count — including one large enough to wrap `current` — is
+        // corrupt.
+        if ((f > 0 && delta == 0) || delta >= file_count - current) {
           return std::nullopt;
         }
+        current += delta;
         files.push_back(FileId(static_cast<uint32_t>(current)));
       }
       trace.AddSnapshot(id, static_cast<int>(day), std::move(files));

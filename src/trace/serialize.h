@@ -22,6 +22,12 @@
 
 namespace edk {
 
+// Largest day number any EDKT loader accepts (v1 and v2). The paper's day
+// numbering stays in the hundreds; the cap exists so a corrupt stream
+// cannot smuggle a day that overflows `int` arithmetic or explodes the
+// day-indexed arrays every per-day analysis allocates.
+inline constexpr uint64_t kMaxTraceDay = 1'000'000;
+
 // Writes `trace` to the stream. Returns false on I/O failure, or if a
 // snapshot's file ids are not sorted strictly ascending — the delta
 // encoding cannot represent out-of-order ids. Trace::AddSnapshot sorts and

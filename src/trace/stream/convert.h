@@ -1,0 +1,70 @@
+// Bridges between EDKT v1 (the in-RAM Trace serialisation) and EDKT v2
+// (the streaming columnar format): save/load, format sniffing, conversion
+// and deep validation. Used by the edk-trace `convert`/`validate-format`
+// subcommands and by every tool that accepts "either format" input.
+//
+// Conversion is lossless in both directions for any trace the v1 writer
+// can produce: the same tables, and per peer the same (day, files)
+// snapshots — v1 groups snapshots by peer, v2 groups them by day, which is
+// a pure transposition. `v1 -> v2 -> v1` is byte-identical (covered by
+// tests/trace/stream_test.cc). Days with no snapshots are not represented
+// in either format.
+
+#ifndef SRC_TRACE_STREAM_CONVERT_H_
+#define SRC_TRACE_STREAM_CONVERT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/trace/stream/trace_reader.h"
+#include "src/trace/trace.h"
+
+namespace edk::stream {
+
+// Writes `trace` at `path` in EDKT v2 via TraceWriter (one day segment per
+// observed day, ascending). False on I/O failure or invariant violation,
+// with the writer's message in *error.
+bool SaveTraceV2ToFile(const Trace& trace, const std::string& path,
+                       std::string* error = nullptr);
+
+// Inflates an opened v2 file into the in-RAM Trace model. Decodes every
+// day segment; nullopt on corruption. Memory: the whole trace — use the
+// reader's day views when out-of-core behaviour matters.
+std::optional<Trace> MaterializeTrace(const TraceReader& reader,
+                                      std::string* error = nullptr);
+
+// Sniffs the magic and loads either format into a Trace. v1 goes through
+// the hardened LoadTraceFromFile; v2 through Open + MaterializeTrace.
+std::optional<Trace> LoadAnyTraceFromFile(const std::string& path,
+                                          std::string* error = nullptr);
+
+// Detected on-disk format version from the leading magic: 1, 2, or nullopt
+// for anything else (including unreadable/short files).
+std::optional<uint32_t> SniffTraceVersion(const std::string& path);
+
+// Loads `input` (either format) and writes it at `output` in
+// `target_version` (1 or 2).
+bool ConvertTraceFile(const std::string& input, const std::string& output,
+                      uint32_t target_version, std::string* error = nullptr);
+
+// Deep-validates a trace file of either format: v1 via the hardened
+// loader, v2 via Open plus a full decode of every day segment (the part
+// Open defers). `ok == false` leaves the counters at whatever was
+// established before the failure.
+struct ValidationReport {
+  bool ok = false;
+  uint32_t version = 0;
+  std::string error;
+  uint64_t peers = 0;
+  uint64_t files = 0;
+  uint64_t days = 0;
+  uint64_t snapshots = 0;      // Total (peer, day) observations.
+  uint64_t file_entries = 0;   // Total cache entries across snapshots.
+};
+
+ValidationReport ValidateTraceFile(const std::string& path);
+
+}  // namespace edk::stream
+
+#endif  // SRC_TRACE_STREAM_CONVERT_H_

@@ -1,0 +1,237 @@
+// EDKT v2: the columnar on-disk trace format behind the out-of-core
+// streaming pipeline (DESIGN.md §6h).
+//
+// Layout. A v2 file is a header, a sequence of length-prefixed segments,
+// and a fixed-size trailer pointing at a footer segment:
+//
+//   header   : u32 magic "EDK2", u32 version = 2
+//   segment  : u8 tag, u64 payload_bytes, payload
+//     0x01 file table : u64 count, then `count` fixed 13-byte rows
+//                       {u64 size_bytes, u8 category, u32 topic}
+//     0x02 peer table : u64 count, then `count` fixed 21-byte rows
+//                       {u32 country, u32 as, u32 ip, u64 user_id, u8 fw}
+//     0x03 day segment: columnar snapshot data for ONE day (below)
+//     0x7f footer     : the index (below)
+//   trailer  : u64 footer_segment_offset, u32 magic "EDT2"
+//
+// Day segments are columnar: a small varint header (zigzag day, snapshot
+// count n, total file entries), then three columns — peer ids (n varints,
+// first absolute then strictly positive deltas), cache sizes (n varints),
+// and the concatenated delta-varint file lists (the same encoding as EDKT
+// v1 snapshot runs: previous starts at 0, deltas strictly positive after
+// the first element). Fixed-width table rows make peer/file metadata
+// random-accessible straight out of the mmap; everything per-day decodes
+// with one bounded linear scan.
+//
+// The footer indexes every day segment (day, absolute offset, snapshot
+// count, file entries) plus the table offsets and global counts, so a
+// reader can open a multi-GB file, mmap it, and serve any single day
+// without touching the rest. Writers emit segments append-only and write
+// the footer last, which is what makes generation restartable: a crashed
+// writer leaves a valid prefix of complete segments, and Resume() scans,
+// truncates any partial tail, and continues.
+//
+// Every decode path validates against attacker-controlled input: counts
+// are checked against the sizes of the regions that must back them before
+// anything is allocated, days must be strictly increasing, peer and file
+// ids strictly ascending and in range, and varints reject overlong
+// encodings (shared rules with edk::wire).
+
+#ifndef SRC_TRACE_STREAM_FORMAT_H_
+#define SRC_TRACE_STREAM_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/varint.h"
+#include "src/trace/serialize.h"  // kMaxTraceDay.
+
+namespace edk::stream {
+
+inline constexpr uint32_t kMagicV2 = 0x324b4445;    // "EDK2" little-endian.
+inline constexpr uint32_t kTrailerMagic = 0x32544445;  // "EDT2".
+inline constexpr uint32_t kVersionV2 = 2;
+inline constexpr uint32_t kMagicV1 = 0x544b4445;    // "EDKT" (version 1).
+
+inline constexpr uint8_t kTagFileTable = 0x01;
+inline constexpr uint8_t kTagPeerTable = 0x02;
+inline constexpr uint8_t kTagDay = 0x03;
+inline constexpr uint8_t kTagFooter = 0x7f;
+
+inline constexpr size_t kHeaderBytes = 8;            // magic + version.
+inline constexpr size_t kSegmentHeaderBytes = 9;     // tag + payload size.
+inline constexpr size_t kTrailerBytes = 12;          // footer offset + magic.
+inline constexpr size_t kFileRowBytes = 13;
+inline constexpr size_t kPeerRowBytes = 21;
+
+// --- Little-endian fixed-width helpers (buffer variants) -------------------
+
+inline void AppendU32(std::string& out, uint32_t v) {
+  const char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                     static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.append(b, 4);
+}
+
+inline void AppendU64(std::string& out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+// --- Day segment decoding ---------------------------------------------------
+
+struct DayHeader {
+  int day = 0;
+  uint64_t snapshots = 0;     // Peers with a cache observation this day.
+  uint64_t file_entries = 0;  // Sum of their cache sizes.
+};
+
+// Parses and validates the varint header of a day segment payload.
+// `payload_bytes` is the segment's full payload size: snapshot and entry
+// counts are rejected unless the remaining payload could actually hold
+// them (each costs at least one byte), so no downstream allocation can
+// exceed the segment's own on-disk size.
+inline bool ParseDayHeader(const uint8_t*& p, const uint8_t* end,
+                           uint64_t peer_count, DayHeader& out) {
+  uint64_t zz_day = 0;
+  uint64_t snapshots = 0;
+  uint64_t entries = 0;
+  if (!wire::ReadVarint(p, end, zz_day) || !wire::ReadVarint(p, end, snapshots) ||
+      !wire::ReadVarint(p, end, entries)) {
+    return false;
+  }
+  const int64_t day = wire::ZigZagDecode(zz_day);
+  if (day < 0 || day > static_cast<int64_t>(kMaxTraceDay)) {
+    return false;
+  }
+  const uint64_t remaining = static_cast<uint64_t>(end - p);
+  // Peer-id and size columns cost >= 1 byte per snapshot each; every file
+  // entry costs >= 1 byte. Snapshots are one observation per distinct peer.
+  if (snapshots > peer_count || snapshots * 2 > remaining ||
+      entries > remaining) {
+    return false;
+  }
+  out.day = static_cast<int>(day);
+  out.snapshots = snapshots;
+  out.file_entries = entries;
+  return true;
+}
+
+// Decodes the three columns of a day segment and calls
+//   fn(uint32_t peer, const uint32_t* files, size_t count)
+// once per snapshot, in ascending peer order. `scratch` holds the decoded
+// file ids of the current snapshot (reused across calls; resized once to
+// the largest cache). Returns false — possibly after some callbacks — on
+// any corruption: non-ascending peers, ids out of range, column/entry
+// count mismatches, or truncated/overlong varints.
+template <typename Fn>
+bool DecodeDayPayload(const uint8_t* p, const uint8_t* end, uint64_t peer_count,
+                      uint64_t file_count, std::vector<uint32_t>& scratch,
+                      Fn&& fn) {
+  DayHeader header;
+  if (!ParseDayHeader(p, end, peer_count, header)) {
+    return false;
+  }
+  // Column 1: peer ids (delta-encoded, strictly ascending).
+  std::vector<uint32_t> peers;
+  peers.reserve(header.snapshots);
+  uint64_t peer = 0;
+  for (uint64_t i = 0; i < header.snapshots; ++i) {
+    uint64_t delta = 0;
+    if (!wire::ReadVarint(p, end, delta)) {
+      return false;
+    }
+    if (i > 0 && delta == 0) {
+      return false;
+    }
+    if (delta >= peer_count - peer) {
+      return false;  // Out of range (or would wrap).
+    }
+    peer += delta;
+    peers.push_back(static_cast<uint32_t>(peer));
+  }
+  // Column 2: cache sizes.
+  std::vector<uint32_t> sizes;
+  sizes.reserve(header.snapshots);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < header.snapshots; ++i) {
+    uint64_t size = 0;
+    if (!wire::ReadVarint(p, end, size)) {
+      return false;
+    }
+    total += size;
+    if (size > file_count || total > header.file_entries) {
+      return false;
+    }
+    sizes.push_back(static_cast<uint32_t>(size));
+  }
+  if (total != header.file_entries) {
+    return false;
+  }
+  // Column 3: concatenated delta-varint file lists.
+  for (uint64_t i = 0; i < header.snapshots; ++i) {
+    const uint32_t size = sizes[i];
+    if (scratch.size() < size) {
+      scratch.resize(size);
+    }
+    uint64_t current = 0;
+    for (uint32_t f = 0; f < size; ++f) {
+      uint64_t delta = 0;
+      if (!wire::ReadVarint(p, end, delta)) {
+        return false;
+      }
+      if ((f > 0 && delta == 0) || delta >= file_count - current) {
+        return false;
+      }
+      current += delta;
+      scratch[f] = static_cast<uint32_t>(current);
+    }
+    fn(peers[i], scratch.data(), static_cast<size_t>(size));
+  }
+  return p == end;  // Trailing bytes in the payload are corruption too.
+}
+
+// Appends the columnar payload for one day. `peers` must be strictly
+// ascending; `sizes[i]` entries of `entries` belong to snapshot i and must
+// be sorted strictly ascending per snapshot. The caller (TraceWriter)
+// enforces those invariants at AddSnapshot time.
+inline void EncodeDayPayload(std::string& out, int day,
+                             const std::vector<uint32_t>& peers,
+                             const std::vector<uint32_t>& sizes,
+                             const std::vector<uint32_t>& entries) {
+  wire::AppendVarint(out, wire::ZigZagEncode(day));
+  wire::AppendVarint(out, peers.size());
+  wire::AppendVarint(out, entries.size());
+  uint64_t previous = 0;
+  for (size_t i = 0; i < peers.size(); ++i) {
+    wire::AppendVarint(out, peers[i] - previous);
+    previous = peers[i];
+  }
+  for (const uint32_t size : sizes) {
+    wire::AppendVarint(out, size);
+  }
+  size_t cursor = 0;
+  for (const uint32_t size : sizes) {
+    uint64_t prev_file = 0;
+    for (uint32_t f = 0; f < size; ++f) {
+      wire::AppendVarint(out, entries[cursor] - prev_file);
+      prev_file = entries[cursor];
+      ++cursor;
+    }
+  }
+}
+
+}  // namespace edk::stream
+
+#endif  // SRC_TRACE_STREAM_FORMAT_H_

@@ -1,0 +1,283 @@
+#include "src/trace/stream/trace_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace edk::stream {
+
+TraceReader& TraceReader::operator=(TraceReader&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    file_count_ = other.file_count_;
+    peer_count_ = other.peer_count_;
+    file_rows_offset_ = other.file_rows_offset_;
+    peer_rows_offset_ = other.peer_rows_offset_;
+    days_ = std::move(other.days_);
+  }
+  return *this;
+}
+
+TraceReader::~TraceReader() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+std::optional<TraceReader> TraceReader::Open(const std::string& path,
+                                             std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<TraceReader> {
+    if (error != nullptr) {
+      *error = "'" + path + "': " + message;
+    }
+    return std::nullopt;
+  };
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return fail("cannot open");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return fail("cannot stat");
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  // Smallest valid file: header, two empty tables, empty-day footer, trailer.
+  const uint64_t min_size = kHeaderBytes + 2 * (kSegmentHeaderBytes + 8) +
+                            kSegmentHeaderBytes + 33 + kTrailerBytes;
+  if (size < min_size) {
+    ::close(fd);
+    return fail("too small to be an EDKT v2 file");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  if (map == MAP_FAILED) {
+    return fail("mmap failed");
+  }
+
+  TraceReader reader;
+  reader.data_ = static_cast<const uint8_t*>(map);
+  reader.size_ = size;
+  const uint8_t* data = reader.data_;
+
+  if (LoadU32(data) != kMagicV2 || LoadU32(data + 4) != kVersionV2) {
+    return fail(LoadU32(data) == kMagicV1
+                    ? "EDKT v1 file (use convert, or LoadAnyTraceFromFile)"
+                    : "bad magic/version");
+  }
+  if (LoadU32(data + size - 4) != kTrailerMagic) {
+    return fail("bad trailer magic (truncated or unfinished file?)");
+  }
+  const uint64_t footer_offset = LoadU64(data + size - kTrailerBytes);
+  // Compare by subtraction: `footer_offset + kSegmentHeaderBytes` can wrap
+  // for adversarial offsets near UINT64_MAX and sneak past the bound.
+  if (footer_offset < kHeaderBytes ||
+      footer_offset > size - kTrailerBytes - kSegmentHeaderBytes) {
+    return fail("footer offset out of range");
+  }
+  if (data[footer_offset] != kTagFooter) {
+    return fail("trailer does not point at a footer segment");
+  }
+  const uint64_t footer_bytes = LoadU64(data + footer_offset + 1);
+  // The footer must run exactly up to the trailer: trailing junk between
+  // them would mean the trailer belongs to some other write.
+  if (footer_bytes != size - kTrailerBytes - footer_offset - kSegmentHeaderBytes) {
+    return fail("footer size does not reach the trailer");
+  }
+
+  const uint8_t* p = data + footer_offset + kSegmentHeaderBytes;
+  const uint8_t* end = p + footer_bytes;
+  if (footer_bytes < 33) {  // 4 x u64 + >= 1 varint byte.
+    return fail("footer too small");
+  }
+  reader.file_count_ = LoadU64(p);
+  reader.peer_count_ = LoadU64(p + 8);
+  const uint64_t file_table_offset = LoadU64(p + 16);
+  const uint64_t peer_table_offset = LoadU64(p + 24);
+  p += 32;
+  if (reader.file_count_ > 0xffffffffu || reader.peer_count_ > 0xffffffffu) {
+    return fail("table count exceeds the 32-bit id space");
+  }
+
+  // Validate a table segment in place and return the offset of its first row.
+  const auto check_table = [&](uint64_t offset, uint8_t tag, uint64_t count,
+                               uint64_t row_bytes, uint64_t& rows_offset) {
+    const uint64_t payload = 8 + count * row_bytes;
+    if (offset < kHeaderBytes || offset >= footer_offset ||
+        footer_offset - offset < kSegmentHeaderBytes ||
+        payload > footer_offset - offset - kSegmentHeaderBytes) {
+      return false;
+    }
+    if (data[offset] != tag || LoadU64(data + offset + 1) != payload ||
+        LoadU64(data + offset + kSegmentHeaderBytes) != count) {
+      return false;
+    }
+    rows_offset = offset + kSegmentHeaderBytes + 8;
+    return true;
+  };
+  if (!check_table(file_table_offset, kTagFileTable, reader.file_count_,
+                   kFileRowBytes, reader.file_rows_offset_)) {
+    return fail("file table does not match the footer");
+  }
+  if (!check_table(peer_table_offset, kTagPeerTable, reader.peer_count_,
+                   kPeerRowBytes, reader.peer_rows_offset_)) {
+    return fail("peer table does not match the footer");
+  }
+  // The v1 loader rejects unknown category bytes; the mmap path must not be
+  // the one place a wild enum value can enter the system.
+  for (uint64_t f = 0; f < reader.file_count_; ++f) {
+    const uint8_t category = data[reader.file_rows_offset_ + f * kFileRowBytes + 8];
+    if (category > static_cast<uint8_t>(FileCategory::kOther)) {
+      return fail("file row with invalid category byte");
+    }
+  }
+
+  uint64_t day_count = 0;
+  if (!wire::ReadVarint(p, end, day_count) || day_count > kMaxTraceDay + 1 ||
+      day_count > static_cast<uint64_t>(end - p) / 11) {
+    // Each footer day entry is >= 11 bytes (1 + 8 + 1 + 1).
+    return fail("footer day count not backed by the footer size");
+  }
+  reader.days_.reserve(day_count);
+  int previous_day = -1;
+  for (uint64_t i = 0; i < day_count; ++i) {
+    uint64_t zz_day = 0;
+    if (!wire::ReadVarint(p, end, zz_day) || end - p < 8) {
+      return fail("truncated footer day entry");
+    }
+    const int64_t day = wire::ZigZagDecode(zz_day);
+    const uint64_t offset = LoadU64(p);
+    p += 8;
+    uint64_t snapshots = 0;
+    uint64_t entries = 0;
+    if (!wire::ReadVarint(p, end, snapshots) ||
+        !wire::ReadVarint(p, end, entries)) {
+      return fail("truncated footer day entry");
+    }
+    if (day < 0 || day > static_cast<int64_t>(kMaxTraceDay) ||
+        static_cast<int64_t>(previous_day) >= day) {
+      return fail("footer days not strictly increasing in range");
+    }
+    if (offset < kHeaderBytes || offset >= footer_offset ||
+        footer_offset - offset < kSegmentHeaderBytes) {
+      return fail("footer day offset out of range");
+    }
+    if (data[offset] != kTagDay) {
+      return fail("footer day entry does not point at a day segment");
+    }
+    const uint64_t payload_bytes = LoadU64(data + offset + 1);
+    if (payload_bytes > footer_offset - offset - kSegmentHeaderBytes) {
+      return fail("day segment overruns the footer");
+    }
+    // Cross-check the segment's own header against the index entry; full
+    // payload decoding stays deferred to ReadDay/ForEachSnapshot.
+    const uint8_t* dp = data + offset + kSegmentHeaderBytes;
+    DayHeader header;
+    if (!ParseDayHeader(dp, dp + payload_bytes, reader.peer_count_, header) ||
+        header.day != static_cast<int>(day) || header.snapshots != snapshots ||
+        header.file_entries != entries) {
+      return fail("day segment header disagrees with the footer");
+    }
+    reader.days_.push_back(DayInfo{static_cast<int>(day),
+                                   offset + kSegmentHeaderBytes, payload_bytes,
+                                   snapshots, entries});
+    previous_day = static_cast<int>(day);
+  }
+  if (p != end) {
+    return fail("trailing bytes in the footer");
+  }
+  return reader;
+}
+
+const TraceReader::DayInfo* TraceReader::FindDay(int day) const {
+  const auto it = std::lower_bound(
+      days_.begin(), days_.end(), day,
+      [](const DayInfo& info, int d) { return info.day < d; });
+  if (it == days_.end() || it->day != day) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+FileMeta TraceReader::FileAt(uint32_t f) const {
+  const uint8_t* row = data_ + file_rows_offset_ + f * kFileRowBytes;
+  FileMeta meta;
+  meta.size_bytes = LoadU64(row);
+  meta.category = static_cast<FileCategory>(row[8]);  // Validated at Open.
+  meta.topic = TopicId(LoadU32(row + 9));
+  return meta;
+}
+
+PeerInfo TraceReader::PeerAt(uint32_t p) const {
+  const uint8_t* row = data_ + peer_rows_offset_ + p * kPeerRowBytes;
+  PeerInfo info;
+  info.country = CountryId(LoadU32(row));
+  info.autonomous_system = AsId(LoadU32(row + 4));
+  info.ip_address = LoadU32(row + 8);
+  info.user_id = LoadU64(row + 12);
+  info.firewalled = row[20] != 0;
+  return info;
+}
+
+std::vector<FileMeta> TraceReader::Files() const {
+  std::vector<FileMeta> files;
+  files.reserve(file_count_);
+  for (uint64_t f = 0; f < file_count_; ++f) {
+    files.push_back(FileAt(static_cast<uint32_t>(f)));
+  }
+  return files;
+}
+
+std::vector<PeerInfo> TraceReader::Peers() const {
+  std::vector<PeerInfo> peers;
+  peers.reserve(peer_count_);
+  for (uint64_t p = 0; p < peer_count_; ++p) {
+    peers.push_back(PeerAt(static_cast<uint32_t>(p)));
+  }
+  return peers;
+}
+
+std::optional<TraceReader::DayCaches> TraceReader::ReadDay(
+    const DayInfo& info, std::string* error) const {
+  DayCaches result;
+  result.day = info.day;
+  result.peers.reserve(info.snapshots);
+  std::vector<uint32_t> flat;
+  flat.reserve(info.file_entries);
+  std::vector<size_t> offsets;
+  offsets.reserve(peer_count_ + 1);
+  offsets.push_back(0);
+  std::vector<uint32_t> scratch;
+  const bool ok = ForEachSnapshot(
+      info, scratch, [&](uint32_t peer, const uint32_t* files, size_t count) {
+        // Empty rows for the peers not observed since the previous snapshot.
+        while (offsets.size() < static_cast<size_t>(peer) + 1) {
+          offsets.push_back(flat.size());
+        }
+        flat.insert(flat.end(), files, files + count);
+        offsets.push_back(flat.size());
+        result.peers.push_back(peer);
+      });
+  if (!ok) {
+    if (error != nullptr) {
+      *error = "corrupt day segment for day " + std::to_string(info.day);
+    }
+    return std::nullopt;
+  }
+  while (offsets.size() < peer_count_ + 1) {
+    offsets.push_back(flat.size());
+  }
+  result.store = CacheStore::FromCsr(std::move(flat), std::move(offsets));
+  return result;
+}
+
+}  // namespace edk::stream

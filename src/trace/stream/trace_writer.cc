@@ -1,0 +1,351 @@
+#include "src/trace/stream/trace_writer.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/trace/stream/format.h"
+
+namespace edk::stream {
+
+namespace {
+
+// Chunked table emission keeps the transient encoding buffer at ~1 MB even
+// for a 10M-row peer table (a monolithic payload string would briefly cost
+// hundreds of MB — real memory on the 10M-peer out-of-core runs).
+constexpr size_t kTableChunkBytes = 1 << 20;
+
+void AppendFileRow(std::string& out, const FileMeta& meta) {
+  AppendU64(out, meta.size_bytes);
+  out.push_back(static_cast<char>(static_cast<uint8_t>(meta.category)));
+  AppendU32(out, meta.topic.value);
+}
+
+void AppendPeerRow(std::string& out, const PeerInfo& info) {
+  AppendU32(out, info.country.value);
+  AppendU32(out, info.autonomous_system.value);
+  AppendU32(out, info.ip_address);
+  AppendU64(out, info.user_id);
+  out.push_back(static_cast<char>(info.firewalled ? 1 : 0));
+}
+
+}  // namespace
+
+std::optional<int> TraceWriter::last_day() const {
+  if (days_.empty()) {
+    return std::nullopt;
+  }
+  return days_.back().day;
+}
+
+bool TraceWriter::Fail(const std::string& message) {
+  if (error_.empty()) {
+    error_ = message;
+  }
+  return false;
+}
+
+bool TraceWriter::WriteSegment(uint8_t tag, const std::string& payload) {
+  std::string header;
+  header.push_back(static_cast<char>(tag));
+  AppendU64(header, payload.size());
+  os_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os_.good()) {
+    return Fail("write failed at offset " + std::to_string(offset_));
+  }
+  offset_ += header.size() + payload.size();
+  return true;
+}
+
+std::optional<TraceWriter> TraceWriter::Create(const std::string& path,
+                                               std::span<const FileMeta> files,
+                                               std::span<const PeerInfo> peers,
+                                               std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<TraceWriter> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+  if (files.size() > 0xffffffffu || peers.size() > 0xffffffffu) {
+    return fail("table larger than the 32-bit id space");
+  }
+  TraceWriter writer;
+  writer.path_ = path;
+  writer.file_count_ = files.size();
+  writer.peer_count_ = peers.size();
+  writer.os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.os_) {
+    return fail("cannot open '" + path + "' for writing");
+  }
+
+  std::string buffer;
+  AppendU32(buffer, kMagicV2);
+  AppendU32(buffer, kVersionV2);
+  writer.os_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  writer.offset_ = buffer.size();
+
+  // Tables are written as one segment each but encoded in bounded chunks.
+  const auto write_table = [&](uint8_t tag, uint64_t count, uint64_t row_bytes,
+                               auto&& append_row) {
+    writer.os_.put(static_cast<char>(tag));
+    buffer.clear();
+    AppendU64(buffer, 8 + count * row_bytes);  // Segment payload size.
+    AppendU64(buffer, count);                  // Leading count field.
+    writer.os_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    buffer.clear();
+    for (uint64_t i = 0; i < count; ++i) {
+      append_row(buffer, i);
+      if (buffer.size() >= kTableChunkBytes) {
+        writer.os_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+        buffer.clear();
+      }
+    }
+    writer.os_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    buffer.clear();
+    const uint64_t segment_offset = writer.offset_;
+    writer.offset_ += kSegmentHeaderBytes + 8 + count * row_bytes;
+    return segment_offset;
+  };
+  writer.file_table_offset_ =
+      write_table(kTagFileTable, files.size(), kFileRowBytes,
+                  [&](std::string& out, uint64_t i) { AppendFileRow(out, files[i]); });
+  writer.peer_table_offset_ =
+      write_table(kTagPeerTable, peers.size(), kPeerRowBytes,
+                  [&](std::string& out, uint64_t i) { AppendPeerRow(out, peers[i]); });
+  writer.os_.flush();
+  if (!writer.os_.good()) {
+    return fail("write failed while emitting tables to '" + path + "'");
+  }
+  return writer;
+}
+
+std::optional<TraceWriter> TraceWriter::Resume(const std::string& path,
+                                               std::span<const FileMeta> files,
+                                               std::span<const PeerInfo> peers,
+                                               std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<TraceWriter> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fail("cannot open '" + path + "' for resume");
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  uint8_t header[kHeaderBytes];
+  if (size < kHeaderBytes ||
+      !in.read(reinterpret_cast<char*>(header), kHeaderBytes) ||
+      LoadU32(header) != kMagicV2 || LoadU32(header + 4) != kVersionV2) {
+    return fail("'" + path + "' is not an EDKT v2 file");
+  }
+
+  TraceWriter writer;
+  writer.path_ = path;
+  writer.file_count_ = files.size();
+  writer.peer_count_ = peers.size();
+
+  // Scan complete segments; stop at the first partial/corrupt one or at a
+  // stale footer. Everything after the stop point is truncated away.
+  uint64_t offset = kHeaderBytes;
+  uint64_t valid_end = offset;
+  int stage = 0;  // 0 = expect file table, 1 = expect peer table, 2 = days.
+  std::string payload;
+  std::vector<uint32_t> scratch;
+  while (offset + kSegmentHeaderBytes <= size) {
+    uint8_t segment_header[kSegmentHeaderBytes];
+    in.seekg(static_cast<std::streamoff>(offset));
+    if (!in.read(reinterpret_cast<char*>(segment_header), kSegmentHeaderBytes)) {
+      break;
+    }
+    const uint8_t tag = segment_header[0];
+    const uint64_t payload_bytes = LoadU64(segment_header + 1);
+    if (payload_bytes > size - offset - kSegmentHeaderBytes) {
+      break;  // Partial tail segment.
+    }
+    if (tag == kTagFooter) {
+      break;  // Stale footer: drop it, Finish() rewrites it.
+    }
+    const uint64_t expected_table =
+        stage == 0 ? 8 + files.size() * kFileRowBytes
+                   : 8 + peers.size() * kPeerRowBytes;
+    if (stage < 2) {
+      const uint8_t expected_tag = stage == 0 ? kTagFileTable : kTagPeerTable;
+      uint8_t count_bytes[8];
+      if (tag != expected_tag || payload_bytes != expected_table ||
+          !in.read(reinterpret_cast<char*>(count_bytes), 8) ||
+          LoadU64(count_bytes) != (stage == 0 ? files.size() : peers.size())) {
+        return fail("'" + path + "' tables do not match the catalog being resumed");
+      }
+      if (stage == 0) {
+        writer.file_table_offset_ = offset;
+      } else {
+        writer.peer_table_offset_ = offset;
+      }
+      ++stage;
+    } else if (tag == kTagDay) {
+      payload.resize(payload_bytes);
+      if (!in.read(payload.data(), static_cast<std::streamsize>(payload_bytes))) {
+        break;
+      }
+      const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
+      const uint8_t* end = p + payload_bytes;
+      DayHeader day_header;
+      {
+        const uint8_t* probe = p;
+        if (!ParseDayHeader(probe, end, peers.size(), day_header)) {
+          break;
+        }
+      }
+      if (!writer.days_.empty() && day_header.day <= writer.days_.back().day) {
+        break;
+      }
+      // Deep validation: the last segment before a crash may be complete at
+      // the framing level but torn inside.
+      if (!DecodeDayPayload(p, end, peers.size(), files.size(), scratch,
+                            [](uint32_t, const uint32_t*, size_t) {})) {
+        break;
+      }
+      writer.days_.push_back(DayEntry{day_header.day, offset, day_header.snapshots,
+                                      day_header.file_entries});
+    } else {
+      break;  // Unknown tag: treat as a torn tail.
+    }
+    offset += kSegmentHeaderBytes + payload_bytes;
+    valid_end = offset;
+  }
+  in.close();
+  if (stage < 2) {
+    return fail("'" + path + "' has no complete file/peer tables to resume from");
+  }
+
+  if (valid_end < size && ::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+    return fail("cannot truncate '" + path + "' to its valid prefix");
+  }
+  writer.os_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!writer.os_) {
+    return fail("cannot re-open '" + path + "' for appending");
+  }
+  writer.os_.seekp(static_cast<std::streamoff>(valid_end));
+  writer.offset_ = valid_end;
+  return writer;
+}
+
+bool TraceWriter::BeginDay(int day) {
+  if (!ok()) {
+    return false;
+  }
+  if (day_open_) {
+    return Fail("BeginDay while a day is already open");
+  }
+  if (day < 0 || static_cast<uint64_t>(day) > kMaxTraceDay) {
+    return Fail("day " + std::to_string(day) + " out of range");
+  }
+  if (const auto last = last_day(); last.has_value() && day <= *last) {
+    return Fail("day " + std::to_string(day) + " not after day " +
+                std::to_string(*last));
+  }
+  day_open_ = true;
+  day_ = day;
+  day_peers_.clear();
+  day_sizes_.clear();
+  day_entries_.clear();
+  return true;
+}
+
+bool TraceWriter::AddSnapshot(uint32_t peer, std::span<const uint32_t> files) {
+  if (!ok()) {
+    return false;
+  }
+  if (!day_open_) {
+    return Fail("AddSnapshot outside BeginDay/EndDay");
+  }
+  if (peer >= peer_count_ || (!day_peers_.empty() && peer <= day_peers_.back())) {
+    return Fail("snapshot peers must be strictly ascending and in range");
+  }
+  uint64_t previous = 0;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (files[i] >= file_count_ || (i > 0 && files[i] <= previous)) {
+      return Fail("snapshot file ids must be strictly ascending and in range");
+    }
+    previous = files[i];
+  }
+  day_peers_.push_back(peer);
+  day_sizes_.push_back(static_cast<uint32_t>(files.size()));
+  day_entries_.insert(day_entries_.end(), files.begin(), files.end());
+  return true;
+}
+
+bool TraceWriter::EndDay() {
+  if (!ok()) {
+    return false;
+  }
+  if (!day_open_) {
+    return Fail("EndDay without BeginDay");
+  }
+  std::string payload;
+  payload.reserve(8 + day_peers_.size() * 2 + day_entries_.size() * 2);
+  EncodeDayPayload(payload, day_, day_peers_, day_sizes_, day_entries_);
+  const uint64_t segment_offset = offset_;
+  if (!WriteSegment(kTagDay, payload)) {
+    return false;
+  }
+  // Flush per day: a killed run leaves complete, resumable segments.
+  os_.flush();
+  if (!os_.good()) {
+    return Fail("flush failed after day " + std::to_string(day_));
+  }
+  days_.push_back(DayEntry{day_, segment_offset, day_peers_.size(),
+                           day_entries_.size()});
+  day_open_ = false;
+  return true;
+}
+
+bool TraceWriter::Finish() {
+  if (!ok()) {
+    return false;
+  }
+  if (day_open_) {
+    return Fail("Finish with an open day");
+  }
+  std::string payload;
+  AppendU64(payload, file_count_);
+  AppendU64(payload, peer_count_);
+  AppendU64(payload, file_table_offset_);
+  AppendU64(payload, peer_table_offset_);
+  wire::AppendVarint(payload, days_.size());
+  for (const DayEntry& entry : days_) {
+    wire::AppendVarint(payload, wire::ZigZagEncode(entry.day));
+    AppendU64(payload, entry.offset);
+    wire::AppendVarint(payload, entry.snapshots);
+    wire::AppendVarint(payload, entry.file_entries);
+  }
+  const uint64_t footer_offset = offset_;
+  if (!WriteSegment(kTagFooter, payload)) {
+    return false;
+  }
+  std::string trailer;
+  AppendU64(trailer, footer_offset);
+  AppendU32(trailer, kTrailerMagic);
+  os_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  offset_ += trailer.size();
+  // The same flush-then-close verification as SaveTraceToFile: a full disk
+  // must not be reported as a finished trace.
+  os_.flush();
+  if (!os_.good()) {
+    return Fail("flush failed while finishing");
+  }
+  os_.close();
+  if (!os_.good()) {
+    return Fail("close failed while finishing");
+  }
+  return true;
+}
+
+}  // namespace edk::stream

@@ -1,0 +1,108 @@
+// Append-only EDKT v2 writer (DESIGN.md §6h).
+//
+// Usage:
+//   auto writer = TraceWriter::Create(path, files, peers);
+//   for each day (ascending):
+//     writer->BeginDay(day);
+//     for each observed peer (ascending): writer->AddSnapshot(peer, cache);
+//     writer->EndDay();           // one flushed segment per day
+//   writer->Finish();             // footer + trailer; false on I/O error
+//
+// Memory is bounded by one day: AddSnapshot appends to in-RAM columns that
+// EndDay encodes, length-prefixes and flushes. Every method returns false
+// (with a sticky error() message) on an invariant violation or I/O failure;
+// Finish() additionally verifies the flush-and-close so a full disk cannot
+// be reported as success — the same discipline as SaveTraceToFile.
+//
+// Restartability. Segments are self-delimiting and the footer is written
+// last, so a crashed or killed generation run leaves a valid prefix.
+// Resume() re-opens such a file, verifies the header and the table counts
+// against the caller's catalog, deep-validates complete day segments
+// (stopping at a truncated or corrupt tail, or at a stale footer, and
+// truncating the file there) and continues appending with the day list
+// preloaded — the generator then skips every day at or below last_day().
+
+#ifndef SRC_TRACE_STREAM_TRACE_WRITER_H_
+#define SRC_TRACE_STREAM_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace edk::stream {
+
+class TraceWriter {
+ public:
+  struct DayEntry {
+    int day = 0;
+    uint64_t offset = 0;  // Absolute offset of the segment's tag byte.
+    uint64_t snapshots = 0;
+    uint64_t file_entries = 0;
+  };
+
+  TraceWriter(TraceWriter&&) = default;
+  TraceWriter& operator=(TraceWriter&&) = default;
+
+  // Creates (truncating) `path` and writes header + file/peer tables.
+  static std::optional<TraceWriter> Create(const std::string& path,
+                                           std::span<const FileMeta> files,
+                                           std::span<const PeerInfo> peers,
+                                           std::string* error = nullptr);
+
+  // Re-opens an unfinished (or finished) v2 file whose tables match the
+  // given catalog sizes, truncates any partial tail or stale footer, and
+  // resumes appending after the last complete day.
+  static std::optional<TraceWriter> Resume(const std::string& path,
+                                           std::span<const FileMeta> files,
+                                           std::span<const PeerInfo> peers,
+                                           std::string* error = nullptr);
+
+  // Days already in the file (ascending). Empty until the first EndDay().
+  const std::vector<DayEntry>& days() const { return days_; }
+  // Largest day written so far; nullopt when no day segment exists yet.
+  std::optional<int> last_day() const;
+
+  bool BeginDay(int day);  // day must exceed last_day().
+  // `files` sorted strictly ascending, all ids < file table size; `peer`
+  // strictly greater than the previous snapshot's peer in this day.
+  bool AddSnapshot(uint32_t peer, std::span<const uint32_t> files);
+  bool EndDay();
+  // Footer + trailer + flush + close. The writer is unusable afterwards.
+  bool Finish();
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  TraceWriter() = default;
+  bool Fail(const std::string& message);
+  bool WriteSegment(uint8_t tag, const std::string& payload);
+
+  std::ofstream os_;
+  std::string path_;
+  uint64_t offset_ = 0;  // Bytes written so far == current file size.
+  uint64_t file_count_ = 0;
+  uint64_t peer_count_ = 0;
+  uint64_t file_table_offset_ = 0;
+  uint64_t peer_table_offset_ = 0;
+  std::vector<DayEntry> days_;
+  std::string error_;
+
+  // In-flight day state.
+  bool day_open_ = false;
+  int day_ = 0;
+  std::vector<uint32_t> day_peers_;
+  std::vector<uint32_t> day_sizes_;
+  std::vector<uint32_t> day_entries_;
+};
+
+}  // namespace edk::stream
+
+#endif  // SRC_TRACE_STREAM_TRACE_WRITER_H_

@@ -1,0 +1,241 @@
+#include "src/workload/stream_generate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/trace/stream/trace_writer.h"
+#include "src/workload/behaviour.h"
+#include "src/workload/catalog.h"
+#include "src/workload/geography.h"
+#include "src/workload/population.h"
+
+namespace edk {
+
+namespace {
+
+std::optional<stream::TraceWriter> OpenWriter(const std::string& path,
+                                              bool resume,
+                                              std::span<const FileMeta> files,
+                                              std::span<const PeerInfo> peers,
+                                              std::string* error) {
+  return resume ? stream::TraceWriter::Resume(path, files, peers, error)
+                : stream::TraceWriter::Create(path, files, peers, error);
+}
+
+bool FinishWriter(stream::TraceWriter& writer, StreamGenerateStats& stats,
+                  std::string* error) {
+  if (!writer.ok() || !writer.Finish()) {
+    if (error != nullptr) {
+      *error = writer.error();
+    }
+    return false;
+  }
+  stats.bytes_written = writer.bytes_written();
+  return true;
+}
+
+// SplitMix64: the standard 64-bit finaliser; every scale-model decision is
+// one or two of these on (seed, peer, day) — no state between snapshots.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::optional<StreamGenerateStats> GenerateWorkloadStreaming(
+    const WorkloadConfig& config, const std::string& path, bool resume,
+    std::string* error) {
+  obs::PhaseTimer timer("workload.stream_generate");
+  Rng rng(config.seed);
+  const Geography geography = Geography::PaperDistribution();
+  FileCatalog catalog(config, geography, rng);
+  PeerPopulation population(config, geography, catalog, rng);
+  BehaviourEngine engine(config, catalog, population, rng);
+
+  std::vector<FileMeta> files;
+  files.reserve(catalog.file_count());
+  for (uint32_t f = 0; f < catalog.file_count(); ++f) {
+    files.push_back(catalog.file(f).meta);
+  }
+  std::vector<PeerInfo> peers;
+  peers.reserve(population.size());
+  for (const PeerProfile& profile : population.profiles()) {
+    peers.push_back(profile.info);
+  }
+
+  auto writer = OpenWriter(path, resume, files, peers, error);
+  if (!writer.has_value()) {
+    return std::nullopt;
+  }
+
+  StreamGenerateStats stats;
+  std::vector<uint32_t> online;
+  std::vector<uint32_t> cache;
+  const int last_day = config.first_day + config.num_days - 1;
+  for (int day = config.first_day; day <= last_day; ++day) {
+    // The engine must step every day to stay deterministic; resume only
+    // skips the (re-)writing of days the file already holds.
+    engine.StepDay(day);
+    if (const auto written = writer->last_day();
+        written.has_value() && day <= *written) {
+      ++stats.days_skipped;
+      continue;
+    }
+    if (engine.online_peers().empty()) {
+      ++stats.days_skipped;  // Days with nobody online have no segment.
+      continue;
+    }
+    online.assign(engine.online_peers().begin(), engine.online_peers().end());
+    std::sort(online.begin(), online.end());
+    if (!writer->BeginDay(day)) {
+      break;
+    }
+    for (const uint32_t p : online) {
+      const auto& peer_cache = engine.cache(p);
+      cache.assign(peer_cache.begin(), peer_cache.end());
+      std::sort(cache.begin(), cache.end());
+      if (!writer->AddSnapshot(p, cache)) {
+        break;
+      }
+      ++stats.snapshots;
+      stats.file_entries += cache.size();
+    }
+    if (!writer->ok() || !writer->EndDay()) {
+      break;
+    }
+    ++stats.days_written;
+    Log(LogLevel::kDebug) << "streamed day " << day << ": " << online.size()
+                          << " peers online";
+  }
+  if (!FinishWriter(*writer, stats, error)) {
+    return std::nullopt;
+  }
+  return stats;
+}
+
+std::optional<StreamGenerateStats> GenerateScaleTrace(
+    const ScaleTraceConfig& config, const std::string& path, bool resume,
+    std::string* error) {
+  obs::PhaseTimer timer("workload.scale_trace_generate");
+  if (config.num_files < 64 || config.num_peers == 0 ||
+      config.min_cache > config.max_cache || config.online_per_myriad > 10'000) {
+    if (error != nullptr) {
+      *error = "invalid ScaleTraceConfig";
+    }
+    return std::nullopt;
+  }
+
+  // Tables are pure hash functions of the config; building them is the only
+  // O(population) memory this generator uses.
+  std::vector<FileMeta> files;
+  files.reserve(config.num_files);
+  for (uint64_t f = 0; f < config.num_files; ++f) {
+    const uint64_t h = Mix(config.seed ^ Mix(f * 2 + 1));
+    FileMeta meta;
+    meta.size_bytes = (1u << 20) + (h & 0x7fffff);  // ~1-9 MB (MP3 band).
+    meta.category = static_cast<FileCategory>(h % 6);
+    meta.topic = TopicId(static_cast<uint32_t>((h >> 8) % 1024));
+    files.push_back(meta);
+  }
+  std::vector<PeerInfo> peers;
+  peers.reserve(config.num_peers);
+  for (uint64_t p = 0; p < config.num_peers; ++p) {
+    const uint64_t h = Mix(config.seed ^ Mix(p * 2));
+    PeerInfo info;
+    info.country = CountryId(static_cast<uint32_t>(h % 200));
+    info.autonomous_system = AsId(static_cast<uint32_t>((h >> 8) % 5000));
+    info.ip_address = static_cast<uint32_t>(h >> 16);
+    info.user_id = h;
+    info.firewalled = ((h >> 5) & 1) != 0;
+    peers.push_back(info);
+  }
+
+  auto writer = OpenWriter(path, resume, files, peers, error);
+  if (!writer.has_value()) {
+    return std::nullopt;
+  }
+  // Release the table copies before the day loop; the writer has emitted
+  // them to disk already. (shrink via swap)
+  std::vector<FileMeta>().swap(files);
+  std::vector<PeerInfo>().swap(peers);
+
+  // Cache ids are drawn strictly ascending from a band starting at a
+  // per-peer anchor that drifts every 4 days. Gaps of 1..8 keep the band
+  // span under max_cache * 8; the anchor range keeps every id in bounds.
+  const uint64_t span_limit = std::min<uint64_t>(
+      config.num_files,
+      std::max<uint64_t>(static_cast<uint64_t>(config.max_cache) * 8 + 1, 64));
+  const uint64_t anchor_range = config.num_files - span_limit + 1;
+
+  StreamGenerateStats stats;
+  std::vector<uint32_t> cache;
+  const int last_day = config.first_day + config.num_days - 1;
+  for (int day = config.first_day; day <= last_day; ++day) {
+    if (const auto written = writer->last_day();
+        written.has_value() && day <= *written) {
+      ++stats.days_skipped;
+      continue;
+    }
+    bool open = false;
+    for (uint64_t p = 0; p < config.num_peers; ++p) {
+      const uint64_t online_h =
+          Mix(config.seed ^ Mix(p) ^ Mix(static_cast<uint64_t>(day) << 20));
+      if (online_h % 10'000 >= config.online_per_myriad) {
+        continue;
+      }
+      if (!open) {
+        if (!writer->BeginDay(day)) {
+          break;
+        }
+        open = true;
+      }
+      const uint64_t drift = static_cast<uint64_t>(day) / 4;
+      uint64_t h = Mix(config.seed ^ Mix(p * 3 + 1) ^ Mix(drift));
+      const uint64_t anchor = h % anchor_range;
+      uint32_t count =
+          config.min_cache +
+          static_cast<uint32_t>(Mix(h) % (config.max_cache - config.min_cache + 1));
+      // Keep the whole snapshot inside the band (and the id space): the
+      // largest offset is 7 + (count - 1) * 8, which must stay below
+      // span_limit (config validation guarantees num_files >= 64, so at
+      // least one id always fits).
+      count = static_cast<uint32_t>(
+          std::min<uint64_t>(count, (span_limit - 8) / 8 + 1));
+      cache.clear();
+      uint64_t id = anchor;
+      uint64_t gap_state = Mix(h ^ 0x5bf03635u);
+      for (uint32_t i = 0; i < count; ++i) {
+        gap_state = Mix(gap_state);
+        id += i == 0 ? gap_state % 8 : 1 + gap_state % 8;
+        cache.push_back(static_cast<uint32_t>(id));
+      }
+      if (!writer->AddSnapshot(static_cast<uint32_t>(p), cache)) {
+        break;
+      }
+      ++stats.snapshots;
+      stats.file_entries += cache.size();
+    }
+    if (!writer->ok()) {
+      break;
+    }
+    if (open) {
+      if (!writer->EndDay()) {
+        break;
+      }
+      ++stats.days_written;
+    } else {
+      ++stats.days_skipped;
+    }
+  }
+  if (!FinishWriter(*writer, stats, error)) {
+    return std::nullopt;
+  }
+  return stats;
+}
+
+}  // namespace edk

@@ -1,0 +1,70 @@
+// Out-of-core workload generation: emit EDKT v2 day segments while the
+// behaviour engine runs, never materialising a Trace (DESIGN.md §6h).
+//
+// Two generators share the TraceWriter back-end:
+//
+//  * GenerateWorkloadStreaming — the real behaviour engine
+//    (catalog/population/BehaviourEngine, identical state evolution to
+//    GenerateWorkload). The trace on disk is byte-identical to
+//    SaveTraceV2ToFile(GenerateWorkload(config).trace, ...): same tables,
+//    ascending peers per day, sorted caches, and days without online peers
+//    absent from both. Peak memory excludes the Trace (the engine itself
+//    still holds every live cache).
+//
+//  * GenerateScaleTrace — a hash-driven synthetic model with O(1) state
+//    per snapshot, for populations the engine cannot hold (the 10M-peer
+//    out-of-core benchmark, bench/bench_stream.cc). Every byte is a pure
+//    function of (config, peer, day), so output is deterministic and
+//    resume-safe without any saved state.
+//
+// Both accept resume = true: the writer re-opens the target file,
+// truncates any torn tail, and this run re-steps the (deterministic)
+// model but skips writing every day the file already contains — a killed
+// multi-hour generation loses at most one day segment of work.
+
+#ifndef SRC_WORKLOAD_STREAM_GENERATE_H_
+#define SRC_WORKLOAD_STREAM_GENERATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/workload/config.h"
+
+namespace edk {
+
+struct StreamGenerateStats {
+  uint64_t days_written = 0;   // Day segments emitted by THIS run.
+  uint64_t days_skipped = 0;   // Already present (resume) or nobody online.
+  uint64_t snapshots = 0;      // Snapshots written by this run.
+  uint64_t file_entries = 0;   // Cache entries written by this run.
+  uint64_t bytes_written = 0;  // Final file size.
+};
+
+std::optional<StreamGenerateStats> GenerateWorkloadStreaming(
+    const WorkloadConfig& config, const std::string& path, bool resume = false,
+    std::string* error = nullptr);
+
+// Hash-model shape knobs. Caches are `min_cache..max_cache` ids drawn
+// strictly ascending from a ~`window`-wide band of the id space anchored
+// per peer (with slow per-day drift), which gives overlap kernels realistic
+// holder counts without any cross-day state.
+struct ScaleTraceConfig {
+  uint64_t num_peers = 10'000'000;
+  uint64_t num_files = 2'000'000;
+  int first_day = 0;
+  int num_days = 14;
+  // Per-peer per-day online probability, in 1/10000ths (1200 = 12%).
+  uint32_t online_per_myriad = 1200;
+  uint32_t min_cache = 4;
+  uint32_t max_cache = 48;
+  uint64_t seed = 42;
+};
+
+std::optional<StreamGenerateStats> GenerateScaleTrace(
+    const ScaleTraceConfig& config, const std::string& path,
+    bool resume = false, std::string* error = nullptr);
+
+}  // namespace edk
+
+#endif  // SRC_WORKLOAD_STREAM_GENERATE_H_

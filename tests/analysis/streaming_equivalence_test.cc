@@ -1,0 +1,248 @@
+// Byte-identity of the out-of-core streaming pipeline with the in-RAM
+// analyses (DESIGN.md §6h): every Streaming* twin must produce EXACTLY the
+// results of its Trace-based counterpart — integer fields equal, double
+// fields bit-equal — at any thread count. A generated small workload (not
+// a hand-built toy) keeps the comparison honest: multi-week span, churn,
+// empty caches, days with nobody online.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/clustering.h"
+#include "src/analysis/overlap.h"
+#include "src/analysis/popularity.h"
+#include "src/analysis/spread.h"
+#include "src/analysis/streaming.h"
+#include "src/exec/parallel.h"
+#include "src/semantic/search_sim.h"
+#include "src/trace/stream/convert.h"
+#include "src/trace/stream/trace_reader.h"
+#include "src/workload/generator.h"
+
+namespace edk {
+namespace {
+
+class StreamingEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config = SmallWorkloadConfig();
+    config.seed = 7;
+    trace_ = new Trace(GenerateWorkload(config).trace);
+    // ctest runs each TEST as its own process; a shared path would let one
+    // process truncate the file while a sibling still has it mmapped.
+    path_ = ::testing::TempDir() + "/streaming_equiv." +
+            std::to_string(::getpid()) + ".edk2";
+    std::string error;
+    ASSERT_TRUE(stream::SaveTraceV2ToFile(*trace_, path_, &error)) << error;
+    auto opened = stream::TraceReader::Open(path_, &error);
+    ASSERT_TRUE(opened.has_value()) << error;
+    reader_ = new std::optional<stream::TraceReader>(std::move(*opened));
+  }
+
+  static void TearDownTestSuite() {
+    delete reader_;
+    reader_ = nullptr;
+    std::remove(path_.c_str());
+    delete trace_;
+    trace_ = nullptr;
+    SetDefaultThreads(0);
+  }
+
+  void TearDown() override { SetDefaultThreads(0); }
+
+  static const Trace& trace() { return *trace_; }
+  static const stream::TraceReader& reader() { return **reader_; }
+
+  static Trace* trace_;
+  static std::optional<stream::TraceReader>* reader_;
+  static std::string path_;
+};
+
+Trace* StreamingEquivalenceTest::trace_ = nullptr;
+std::optional<stream::TraceReader>* StreamingEquivalenceTest::reader_ = nullptr;
+std::string StreamingEquivalenceTest::path_;
+
+TEST_F(StreamingEquivalenceTest, WorkloadHasTheEdgeCases) {
+  // The equivalence below is only convincing if the input exercises the
+  // interesting shapes: a multi-day span and peers absent on some days.
+  EXPECT_GT(trace().last_day() - trace().first_day(), 5);
+  EXPECT_GT(trace().peer_count(), 100u);
+  EXPECT_FALSE(reader().days().empty());
+  uint64_t total_snapshots = 0;
+  for (const auto& info : reader().days()) {
+    total_snapshots += info.snapshots;
+  }
+  EXPECT_LT(total_snapshots,
+            reader().days().size() * trace().peer_count());  // Churn.
+}
+
+TEST_F(StreamingEquivalenceTest, DailyActivityMatches) {
+  const auto expect = ComputeDailyActivity(trace());
+  const auto got = StreamingDailyActivity(reader());
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i].day, expect[i].day);
+    EXPECT_EQ(got[i].clients_scanned, expect[i].clients_scanned);
+    EXPECT_EQ(got[i].non_empty_caches, expect[i].non_empty_caches);
+    EXPECT_EQ(got[i].files_seen, expect[i].files_seen);
+    EXPECT_EQ(got[i].new_files, expect[i].new_files);
+    EXPECT_EQ(got[i].total_files, expect[i].total_files);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, RankedSourcesOnDayMatches) {
+  for (int day = trace().first_day(); day <= trace().last_day(); ++day) {
+    EXPECT_EQ(StreamingRankedSourcesOnDay(reader(), day),
+              RankedSourcesOnDay(trace(), day))
+        << "day " << day;
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, FileSpreadOverTimeMatchesExactly) {
+  for (const uint32_t f : {0u, 1u, 7u, 23u}) {
+    if (f >= trace().file_count()) {
+      continue;
+    }
+    const auto expect = FileSpreadOverTime(trace(), FileId(f));
+    const auto got = StreamingFileSpreadOverTime(reader(), FileId(f));
+    ASSERT_EQ(got.size(), expect.size()) << "file " << f;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "file " << f << " day index " << i;
+    }
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, FileRanksOverTimeMatchesAtAnyThreadCount) {
+  std::vector<FileId> files;
+  for (uint32_t f = 0; f < trace().file_count() && files.size() < 12; f += 5) {
+    files.push_back(FileId(f));
+  }
+  const auto expect = FileRanksOverTime(trace(), files);
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SetDefaultThreads(threads);
+    EXPECT_EQ(StreamingFileRanksOverTime(reader(), files), expect)
+        << threads << " threads";
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, OverlapHistogramOnDayMatches) {
+  for (int day = trace().first_day(); day <= trace().last_day(); ++day) {
+    EXPECT_EQ(StreamingOverlapHistogramOnDay(reader(), day),
+              OverlapHistogramOnDay(trace(), day))
+        << "day " << day;
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, OverlapEvolutionMatchesAtAnyThreadCount) {
+  OverlapEvolutionOptions options;
+  options.max_pairs_per_cohort = 200;
+  options.seed = 11;
+  const auto expect = ComputeOverlapEvolution(trace(), options);
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SetDefaultThreads(threads);
+    const auto got = StreamingOverlapEvolution(reader(), options);
+    ASSERT_EQ(got.size(), expect.size()) << threads << " threads";
+    for (size_t c = 0; c < expect.size(); ++c) {
+      EXPECT_EQ(got[c].initial_overlap, expect[c].initial_overlap);
+      EXPECT_EQ(got[c].pair_count, expect[c].pair_count);
+      EXPECT_EQ(got[c].pairs, expect[c].pairs);
+      ASSERT_EQ(got[c].mean_overlap.size(), expect[c].mean_overlap.size());
+      for (size_t d = 0; d < expect[c].mean_overlap.size(); ++d) {
+        // Exact double equality: the sweep accumulates integer-valued
+        // sums, so thread/task order must not perturb a single bit.
+        EXPECT_EQ(got[c].mean_overlap[d], expect[c].mean_overlap[d])
+            << "cohort " << expect[c].initial_overlap << " day index " << d
+            << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, ClusteringCurveOnDayMatches) {
+  const int day = trace().first_day() + 1;
+  const auto expect = ComputeClusteringCurve(BuildDayCaches(trace(), day), 8);
+  const auto got = StreamingClusteringCurveOnDay(reader(), day, 8);
+  EXPECT_EQ(got.pairs_at_least, expect.pairs_at_least);
+  ASSERT_EQ(got.probability.size(), expect.probability.size());
+  for (size_t k = 0; k < expect.probability.size(); ++k) {
+    EXPECT_EQ(got.probability[k], expect.probability[k]) << "k " << k;
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, MaskedClusteringCurveMatches) {
+  const int day = trace().first_day() + 1;
+  std::vector<bool> mask(trace().file_count(), false);
+  for (size_t f = 0; f < mask.size(); f += 2) {
+    mask[f] = true;
+  }
+  const auto expect =
+      ComputeClusteringCurve(BuildDayCaches(trace(), day), 6, &mask);
+  const auto got = StreamingClusteringCurveOnDay(reader(), day, 6, &mask);
+  EXPECT_EQ(got.pairs_at_least, expect.pairs_at_least);
+  for (size_t k = 0; k < expect.probability.size(); ++k) {
+    EXPECT_EQ(got.probability[k], expect.probability[k]) << "k " << k;
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, AbsentDaysYieldEmptyResults) {
+  const int absent = trace().last_day() + 100;
+  EXPECT_TRUE(StreamingRankedSourcesOnDay(reader(), absent).empty());
+  EXPECT_TRUE(StreamingOverlapHistogramOnDay(reader(), absent).empty());
+  const auto curve = StreamingClusteringCurveOnDay(reader(), absent, 4);
+  for (const uint64_t pairs : curve.pairs_at_least) {
+    EXPECT_EQ(pairs, 0u);
+  }
+}
+
+TEST_F(StreamingEquivalenceTest, SearchSimulationStoreOverloadMatches) {
+  // The store-level core must reproduce the StaticCaches entry point when
+  // fed the layout-identical CacheStore — this is the search-simulation
+  // leg of the streaming byte-identity contract.
+  const StaticCaches caches = BuildUnionCaches(trace());
+  SearchSimConfig config;
+  config.list_size = 10;
+  config.seed = 5;
+  config.two_hop = true;
+  const SearchSimResult expect = RunSearchSimulation(caches, config);
+  const SearchSimResult got =
+      RunSearchSimulation(CacheStore::FromStaticCaches(caches), config);
+  EXPECT_EQ(got.seeds, expect.seeds);
+  EXPECT_EQ(got.requests, expect.requests);
+  EXPECT_EQ(got.one_hop_hits, expect.one_hop_hits);
+  EXPECT_EQ(got.two_hop_hits, expect.two_hop_hits);
+  EXPECT_EQ(got.fallbacks, expect.fallbacks);
+  EXPECT_EQ(got.messages, expect.messages);
+  EXPECT_EQ(got.two_hop_probes, expect.two_hop_probes);
+  EXPECT_EQ(got.load, expect.load);
+  EXPECT_EQ(got.requests_by_popularity, expect.requests_by_popularity);
+  EXPECT_EQ(got.hits_by_popularity, expect.hits_by_popularity);
+}
+
+TEST_F(StreamingEquivalenceTest, SearchSimulationRunsOnAReaderDayView) {
+  // End-to-end: feed a TraceReader day view straight into the simulator
+  // and expect the same result as the materialised path on that day.
+  const int day = trace().last_day();
+  const auto* info = reader().FindDay(day);
+  ASSERT_NE(info, nullptr);
+  std::string error;
+  const auto view = reader().ReadDay(*info, &error);
+  ASSERT_TRUE(view.has_value()) << error;
+  SearchSimConfig config;
+  config.list_size = 8;
+  config.seed = 3;
+  const SearchSimResult expect =
+      RunSearchSimulation(CacheStore::FromTraceDay(trace(), day), config);
+  const SearchSimResult got = RunSearchSimulation(view->store, config);
+  EXPECT_EQ(got.requests, expect.requests);
+  EXPECT_EQ(got.one_hop_hits, expect.one_hop_hits);
+  EXPECT_EQ(got.messages, expect.messages);
+  EXPECT_EQ(got.load, expect.load);
+}
+
+}  // namespace
+}  // namespace edk

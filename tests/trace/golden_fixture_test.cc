@@ -1,0 +1,71 @@
+// Golden-fixture compatibility test: tests/data/golden_v1.edkt is a
+// COMMITTED EDKT v1 file (60 peers, 90 files, 5 days, seed 2006). Loading
+// it pins the on-disk format: any change to the v1 decoder or the v1<->v2
+// conversion that breaks existing traces fails here, not in the field. The
+// CI release job runs the same fixture through the edk-trace convert /
+// validate-format smoke (.github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "src/trace/serialize.h"
+#include "src/trace/stream/convert.h"
+
+#ifndef EDK_TEST_DATA_DIR
+#error "EDK_TEST_DATA_DIR must point at tests/data (set in tests/CMakeLists.txt)"
+#endif
+
+namespace edk::stream {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(EDK_TEST_DATA_DIR) + "/golden_v1.edkt";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(GoldenFixtureTest, LoadsWithThePinnedShape) {
+  const auto trace = LoadTraceFromFile(GoldenPath());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->peer_count(), 60u);
+  EXPECT_EQ(trace->file_count(), 90u);
+  EXPECT_EQ(trace->TotalSnapshots(), 181u);
+  // The generator anchors its calendar at the paper's crawl window, so a
+  // 5-day trace spans days 348..352 rather than 1..5.
+  EXPECT_EQ(trace->first_day(), 348);
+  EXPECT_EQ(trace->last_day(), 352);
+}
+
+TEST(GoldenFixtureTest, ValidatesAsV1WithPinnedCounts) {
+  const ValidationReport report = ValidateTraceFile(GoldenPath());
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.version, 1u);
+  EXPECT_EQ(report.peers, 60u);
+  EXPECT_EQ(report.files, 90u);
+  EXPECT_EQ(report.days, 5u);
+  EXPECT_EQ(report.snapshots, 181u);
+  EXPECT_EQ(report.file_entries, 179u);
+}
+
+TEST(GoldenFixtureTest, ConvertsToV2AndBackByteIdentically) {
+  const std::string v2 = ::testing::TempDir() + "/golden.edk2";
+  const std::string back = ::testing::TempDir() + "/golden_back.edkt";
+  std::string error;
+  ASSERT_TRUE(ConvertTraceFile(GoldenPath(), v2, 2, &error)) << error;
+  const ValidationReport report = ValidateTraceFile(v2);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_EQ(report.snapshots, 181u);
+  EXPECT_EQ(report.file_entries, 179u);
+  ASSERT_TRUE(ConvertTraceFile(v2, back, 1, &error)) << error;
+  EXPECT_EQ(ReadFileBytes(back), ReadFileBytes(GoldenPath()));
+}
+
+}  // namespace
+}  // namespace edk::stream

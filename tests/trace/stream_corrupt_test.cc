@@ -1,0 +1,416 @@
+// Corrupt-input suite for EDKT v2 (DESIGN.md §6h). The v1 twin lives in
+// serialize_test.cc (truncation at every byte, overlong varints, huge
+// counts); here every v2 decode path is driven with hostile bytes —
+// truncations at every boundary, patched counts, non-monotone days,
+// out-of-range ids, overlong varints, bad footers — and must fail cleanly
+// (nullopt / ok == false), never crash or allocate unboundedly. The
+// byte-flip sweeps are what ASan/UBSan runs exercise hardest.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/stream/convert.h"
+#include "src/trace/stream/format.h"
+#include "src/trace/stream/trace_reader.h"
+
+namespace edk::stream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+Trace MakeTrace() {
+  Trace trace;
+  trace.AddFile(FileMeta{.size_bytes = 10, .category = FileCategory::kAudio});
+  trace.AddFile(FileMeta{.size_bytes = 20, .category = FileCategory::kVideo});
+  trace.AddFile(FileMeta{.size_bytes = 30, .category = FileCategory::kOther});
+  const PeerId p0 = trace.AddPeer(PeerInfo{.user_id = 1});
+  const PeerId p1 = trace.AddPeer(PeerInfo{.user_id = 2});
+  trace.AddSnapshot(p0, 3, {FileId(0), FileId(2)});
+  trace.AddSnapshot(p1, 3, {});
+  trace.AddSnapshot(p0, 5, {FileId(1)});
+  return trace;
+}
+
+std::string ValidV2Bytes() {
+  const std::string path = TempPath("corrupt_base.edk2");
+  SaveTraceV2ToFile(MakeTrace(), path);
+  return ReadFileBytes(path);
+}
+
+// Hand-built v2 file for corruptions the writer itself refuses to emit.
+// Mirrors the exact layout TraceWriter produces (format.h).
+class V2Builder {
+ public:
+  V2Builder(uint64_t file_count, uint64_t peer_count)
+      : file_count_(file_count), peer_count_(peer_count) {
+    AppendU32(bytes_, kMagicV2);
+    AppendU32(bytes_, kVersionV2);
+    file_table_offset_ = bytes_.size();
+    AppendTable(kTagFileTable, file_count, kFileRowBytes, [&](std::string& out) {
+      AppendU64(out, 100);                 // size_bytes.
+      out.push_back(0);                    // category = kAudio.
+      AppendU32(out, 0);                   // topic.
+    });
+    peer_table_offset_ = bytes_.size();
+    AppendTable(kTagPeerTable, peer_count, kPeerRowBytes, [&](std::string& out) {
+      AppendU32(out, CountryId::kInvalid);  // country (default PeerInfo).
+      AppendU32(out, AsId::kInvalid);       // as (default PeerInfo).
+      AppendU32(out, 0);                    // ip.
+      AppendU64(out, 0);  // user_id.
+      out.push_back(0);   // firewalled.
+    });
+  }
+
+  // Appends one day segment with the given raw payload, recording it in
+  // the footer with the given (possibly inconsistent) index entry.
+  void DaySegment(int footer_day, uint64_t footer_snapshots,
+                  uint64_t footer_entries, const std::string& payload) {
+    days_.push_back({footer_day, bytes_.size(), footer_snapshots, footer_entries});
+    AppendSegment(kTagDay, payload);
+  }
+
+  // An internally consistent day segment: one snapshot per (peer, cache).
+  void Day(int day, const std::vector<uint32_t>& peers,
+           const std::vector<std::vector<uint32_t>>& caches) {
+    std::vector<uint32_t> sizes;
+    std::vector<uint32_t> entries;
+    for (const auto& cache : caches) {
+      sizes.push_back(static_cast<uint32_t>(cache.size()));
+      entries.insert(entries.end(), cache.begin(), cache.end());
+    }
+    std::string payload;
+    EncodeDayPayload(payload, day, peers, sizes, entries);
+    DaySegment(day, peers.size(), entries.size(), payload);
+  }
+
+  std::string Finish() {
+    std::string footer;
+    AppendU64(footer, file_count_);
+    AppendU64(footer, peer_count_);
+    AppendU64(footer, file_table_offset_);
+    AppendU64(footer, peer_table_offset_);
+    wire::AppendVarint(footer, days_.size());
+    for (const auto& day : days_) {
+      wire::AppendVarint(footer, wire::ZigZagEncode(day.day));
+      AppendU64(footer, day.offset);
+      wire::AppendVarint(footer, day.snapshots);
+      wire::AppendVarint(footer, day.entries);
+    }
+    const uint64_t footer_offset = bytes_.size();
+    AppendSegment(kTagFooter, footer);
+    AppendU64(bytes_, footer_offset);
+    AppendU32(bytes_, kTrailerMagic);
+    return bytes_;
+  }
+
+ private:
+  struct DayRef {
+    int day;
+    uint64_t offset;
+    uint64_t snapshots;
+    uint64_t entries;
+  };
+
+  void AppendSegment(uint8_t tag, const std::string& payload) {
+    bytes_.push_back(static_cast<char>(tag));
+    AppendU64(bytes_, payload.size());
+    bytes_ += payload;
+  }
+
+  template <typename Row>
+  void AppendTable(uint8_t tag, uint64_t count, uint64_t row_bytes, Row&& row) {
+    std::string payload;
+    AppendU64(payload, count);
+    for (uint64_t i = 0; i < count; ++i) {
+      row(payload);
+    }
+    ASSERT_EQ(payload.size(), 8 + count * row_bytes);
+    AppendSegment(tag, payload);
+  }
+
+  std::string bytes_;
+  uint64_t file_count_;
+  uint64_t peer_count_;
+  uint64_t file_table_offset_ = 0;
+  uint64_t peer_table_offset_ = 0;
+  std::vector<DayRef> days_;
+};
+
+bool ValidateBytes(const std::string& bytes, const std::string& name) {
+  const std::string path = TempPath(name);
+  WriteFileBytes(path, bytes);
+  return ValidateTraceFile(path).ok;
+}
+
+TEST(StreamCorruptTest, BuilderProducesWriterIdenticalBytes) {
+  // The builder is only a trustworthy corruption vehicle if its clean
+  // output matches the real writer byte for byte.
+  V2Builder builder(1, 2);
+  builder.Day(4, {0, 1}, {{0}, {}});
+  Trace trace;
+  trace.AddFile(FileMeta{.size_bytes = 100, .category = FileCategory::kAudio,
+                         .topic = TopicId(0)});
+  const PeerId p0 = trace.AddPeer(PeerInfo{});
+  const PeerId p1 = trace.AddPeer(PeerInfo{});
+  trace.AddSnapshot(p0, 4, {FileId(0)});
+  trace.AddSnapshot(p1, 4, {});
+  const std::string path = TempPath("builder_ref.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, path));
+  EXPECT_EQ(builder.Finish(), ReadFileBytes(path));
+}
+
+TEST(StreamCorruptTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string full = ValidV2Bytes();
+  ASSERT_FALSE(full.empty());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string path = TempPath("corrupt_trunc.edk2");
+    WriteFileBytes(path, full.substr(0, cut));
+    EXPECT_FALSE(ValidateTraceFile(path).ok)
+        << "cut at " << cut << " of " << full.size();
+  }
+}
+
+TEST(StreamCorruptTest, ByteFlipNeverCrashesOrChangesCounts) {
+  // Flipping any single byte must either fail cleanly or (when it only
+  // touches table row DATA — metadata values the format does not
+  // constrain, except the category byte) leave the structure intact, in
+  // which case the counts must be unchanged. Under ASan/UBSan this sweep
+  // is the v2 equivalent of serialize_test's truncation sweep.
+  const std::string full = ValidV2Bytes();
+  const ValidationReport clean = ValidateTraceFile(
+      [&] {
+        const std::string path = TempPath("corrupt_flip_ref.edk2");
+        WriteFileBytes(path, full);
+        return path;
+      }());
+  ASSERT_TRUE(clean.ok) << clean.error;
+  for (const uint8_t patch : {uint8_t{0xff}, uint8_t{0x00}, uint8_t{0x01}}) {
+    for (size_t i = 0; i < full.size(); ++i) {
+      if (static_cast<uint8_t>(full[i]) == patch) {
+        continue;
+      }
+      std::string bytes = full;
+      bytes[i] = static_cast<char>(patch);
+      const std::string path = TempPath("corrupt_flip.edk2");
+      WriteFileBytes(path, bytes);
+      const ValidationReport report = ValidateTraceFile(path);
+      if (report.ok) {
+        EXPECT_EQ(report.snapshots, clean.snapshots) << "byte " << i;
+        EXPECT_EQ(report.file_entries, clean.file_entries) << "byte " << i;
+        EXPECT_EQ(report.days, clean.days) << "byte " << i;
+      }
+    }
+  }
+}
+
+TEST(StreamCorruptTest, HugeTableCountsAreRejectedBeforeAllocation) {
+  // Patch each table's leading count to a value the payload cannot back.
+  // The count sits 9 bytes into each table segment (after tag + size).
+  const std::string full = ValidV2Bytes();
+  const size_t file_count_at = kHeaderBytes + kSegmentHeaderBytes;
+  const size_t peer_count_at = kHeaderBytes + kSegmentHeaderBytes + 8 +
+                               3 * kFileRowBytes + kSegmentHeaderBytes;
+  for (const size_t at : {file_count_at, peer_count_at}) {
+    std::string bytes = full;
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[at + b] = static_cast<char>(0xff);
+    }
+    EXPECT_FALSE(ValidateBytes(bytes, "corrupt_hugecount.edk2"))
+        << "count at " << at;
+  }
+}
+
+TEST(StreamCorruptTest, BadTrailerAndFooterAreRejected) {
+  const std::string full = ValidV2Bytes();
+  {
+    std::string bytes = full;  // Trailer magic.
+    bytes[bytes.size() - 1] ^= 0x40;
+    EXPECT_FALSE(ValidateBytes(bytes, "corrupt_trailer.edk2"));
+  }
+  {
+    std::string bytes = full;  // Footer offset out of range.
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[bytes.size() - kTrailerBytes + b] = static_cast<char>(0xff);
+    }
+    EXPECT_FALSE(ValidateBytes(bytes, "corrupt_footeroff.edk2"));
+  }
+  {
+    std::string bytes = full;  // Footer offset points mid-file (not a footer).
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[bytes.size() - kTrailerBytes + b] =
+          static_cast<char>(b == 0 ? kHeaderBytes : 0);
+    }
+    EXPECT_FALSE(ValidateBytes(bytes, "corrupt_footermid.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, NonMonotoneDaysAreRejected) {
+  {
+    V2Builder builder(2, 2);
+    builder.Day(5, {0}, {{0}});
+    builder.Day(3, {1}, {{1}});  // Decreasing.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_daydec.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.Day(5, {0}, {{0}});
+    builder.Day(5, {1}, {{1}});  // Duplicate.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_daydup.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, NegativeAndOversizedDaysAreRejected) {
+  {
+    V2Builder builder(2, 2);
+    builder.Day(-1, {0}, {{0}});
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_dayneg.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.Day(static_cast<int>(kMaxTraceDay) + 1, {0}, {{0}});
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_daybig.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, OutOfRangeIdsAreRejected) {
+  {
+    V2Builder builder(2, 2);
+    builder.Day(3, {0}, {{2}});  // File id == file_count.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_fileid.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.Day(3, {2}, {{0}});  // Peer id == peer_count.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_peerid.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.Day(3, {0, 0}, {{0}, {1}});  // Peers not strictly ascending.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_peerdup.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.Day(3, {0}, {{1, 1}});  // Files not strictly ascending.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_filedup.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, FooterDayIndexMismatchesAreRejected) {
+  std::string payload;
+  EncodeDayPayload(payload, 3, {0}, {1}, {0});
+  {
+    V2Builder builder(2, 2);
+    builder.DaySegment(4, 1, 1, payload);  // Footer day != segment day.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_idxday.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.DaySegment(3, 2, 1, payload);  // Snapshot count mismatch.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_idxsnap.edk2"));
+  }
+  {
+    V2Builder builder(2, 2);
+    builder.DaySegment(3, 1, 2, payload);  // Entry count mismatch.
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_idxent.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, OverlongVarintsInDayPayloadsAreRejected) {
+  // Overlong here means "does not fit in 64 bits": nine continuation bytes
+  // consume 63 bits, so a 10th byte with payload > 1 (or any 11th byte)
+  // must be rejected — the old stream decoder silently truncated them.
+  const std::string overflowing = std::string(9, '\x80') + '\x02';
+  {
+    // Day field.
+    V2Builder builder(2, 2);
+    std::string payload = overflowing;
+    wire::AppendVarint(payload, 1);  // snapshots.
+    wire::AppendVarint(payload, 1);  // entries.
+    wire::AppendVarint(payload, 0);  // peer 0.
+    wire::AppendVarint(payload, 1);  // size 1.
+    wire::AppendVarint(payload, 0);  // file 0.
+    builder.DaySegment(3, 1, 1, payload);
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_overlong.edk2"));
+  }
+  {
+    // File-id delta inside the list column.
+    V2Builder builder(2, 2);
+    std::string payload;
+    wire::AppendVarint(payload, wire::ZigZagEncode(3));
+    wire::AppendVarint(payload, 1);  // snapshots.
+    wire::AppendVarint(payload, 2);  // entries.
+    wire::AppendVarint(payload, 0);  // peer 0.
+    wire::AppendVarint(payload, 2);  // size 2.
+    wire::AppendVarint(payload, 0);  // file 0.
+    payload += overflowing;          // Second delta overflows 64 bits.
+    builder.DaySegment(3, 1, 2, payload);
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_overlong2.edk2"));
+  }
+  {
+    // Eleven continuation bytes in the snapshot-count field.
+    V2Builder builder(2, 2);
+    std::string payload;
+    wire::AppendVarint(payload, wire::ZigZagEncode(3));
+    payload += std::string(10, '\x80') + '\x00';
+    wire::AppendVarint(payload, 0);  // entries.
+    builder.DaySegment(3, 0, 0, payload);
+    EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_overlong3.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, TrailingBytesInsideDayPayloadAreRejected) {
+  V2Builder builder(2, 2);
+  std::string payload;
+  EncodeDayPayload(payload, 3, {0}, {1}, {0});
+  payload.push_back('\0');  // One stray byte after the last column.
+  builder.DaySegment(3, 1, 1, payload);
+  EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_trailing.edk2"));
+}
+
+TEST(StreamCorruptTest, BadCategoryByteIsRejected) {
+  // The category byte is the one table field with a constrained domain;
+  // Open scans the file table for it up front (mirroring the v1 loader).
+  const std::string full = ValidV2Bytes();
+  const size_t category_at = kHeaderBytes + kSegmentHeaderBytes + 8 + 8;
+  std::string bytes = full;
+  bytes[category_at] = 17;
+  EXPECT_FALSE(ValidateBytes(bytes, "corrupt_category.edk2"));
+}
+
+TEST(StreamCorruptTest, CorruptDaysFailValidationButNotSkeletonOpen) {
+  // Open defers day payload decodes (out-of-core contract): a day whose
+  // payload is corrupt but whose header matches the footer opens fine,
+  // fails ReadDay, and fails deep validation.
+  V2Builder builder(2, 2);
+  builder.Day(3, {0}, {{2}});  // Out-of-range file id, headers consistent.
+  const std::string path = TempPath("corrupt_deferred.edk2");
+  WriteFileBytes(path, builder.Finish());
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ASSERT_EQ(reader->days().size(), 1u);
+  EXPECT_FALSE(reader->ReadDay(reader->days()[0], &error).has_value());
+  EXPECT_FALSE(ValidateTraceFile(path).ok);
+  EXPECT_FALSE(MaterializeTrace(*reader).has_value());
+}
+
+}  // namespace
+}  // namespace edk::stream

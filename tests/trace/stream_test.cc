@@ -1,0 +1,428 @@
+// EDKT v2 round-trip, writer-contract and resume tests (DESIGN.md §6h).
+// Corrupt-input coverage lives in stream_corrupt_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/cache_store.h"
+#include "src/trace/serialize.h"
+#include "src/trace/stream/convert.h"
+#include "src/trace/stream/trace_reader.h"
+#include "src/trace/stream/trace_writer.h"
+
+namespace edk::stream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+// A trace with multiple days, an empty cache, a day gap and a peer that is
+// absent on some days — the transposition edge cases.
+Trace MakeTrace() {
+  Trace trace;
+  trace.AddFile(FileMeta{.size_bytes = 1234, .category = FileCategory::kAudio,
+                         .topic = TopicId(3)});
+  trace.AddFile(FileMeta{.size_bytes = 700u * 1024 * 1024,
+                         .category = FileCategory::kVideo, .topic = TopicId(1)});
+  trace.AddFile(FileMeta{.size_bytes = 99, .category = FileCategory::kOther});
+  trace.AddFile(FileMeta{.size_bytes = 5, .category = FileCategory::kDocument});
+  const PeerId p0 = trace.AddPeer(PeerInfo{.country = CountryId(2),
+                                           .autonomous_system = AsId(4),
+                                           .ip_address = 0xdeadbeef,
+                                           .user_id = 0x1122334455667788ULL,
+                                           .firewalled = true});
+  const PeerId p1 = trace.AddPeer(PeerInfo{.country = CountryId(0),
+                                           .autonomous_system = AsId(0),
+                                           .ip_address = 42,
+                                           .user_id = 43});
+  const PeerId p2 = trace.AddPeer(PeerInfo{.country = CountryId(7)});
+  trace.AddSnapshot(p0, 348, {FileId(0), FileId(2)});
+  trace.AddSnapshot(p0, 350, {FileId(1)});
+  trace.AddSnapshot(p1, 348, {});  // Observed with an empty cache.
+  trace.AddSnapshot(p1, 352, {FileId(0), FileId(1), FileId(3)});
+  trace.AddSnapshot(p2, 350, {FileId(2)});
+  return trace;
+}
+
+void ExpectTracesEqual(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.peer_count(), b.peer_count());
+  ASSERT_EQ(a.file_count(), b.file_count());
+  EXPECT_EQ(a.first_day(), b.first_day());
+  EXPECT_EQ(a.last_day(), b.last_day());
+  for (size_t f = 0; f < a.file_count(); ++f) {
+    const FileId id(static_cast<uint32_t>(f));
+    EXPECT_EQ(a.file(id).size_bytes, b.file(id).size_bytes);
+    EXPECT_EQ(a.file(id).category, b.file(id).category);
+    EXPECT_EQ(a.file(id).topic, b.file(id).topic);
+  }
+  for (size_t p = 0; p < a.peer_count(); ++p) {
+    const PeerId id(static_cast<uint32_t>(p));
+    EXPECT_EQ(a.peer(id).country, b.peer(id).country);
+    EXPECT_EQ(a.peer(id).autonomous_system, b.peer(id).autonomous_system);
+    EXPECT_EQ(a.peer(id).ip_address, b.peer(id).ip_address);
+    EXPECT_EQ(a.peer(id).user_id, b.peer(id).user_id);
+    EXPECT_EQ(a.peer(id).firewalled, b.peer(id).firewalled);
+    const auto& sa = a.timeline(id).snapshots;
+    const auto& sb = b.timeline(id).snapshots;
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t s = 0; s < sa.size(); ++s) {
+      EXPECT_EQ(sa[s].day, sb[s].day);
+      EXPECT_EQ(sa[s].files, sb[s].files);
+    }
+  }
+}
+
+TEST(StreamTest, V2RoundTripPreservesEverything) {
+  const Trace original = MakeTrace();
+  const std::string path = TempPath("stream_roundtrip.edk2");
+  std::string error;
+  ASSERT_TRUE(SaveTraceV2ToFile(original, path, &error)) << error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->peer_count(), original.peer_count());
+  EXPECT_EQ(reader->file_count(), original.file_count());
+  const auto loaded = MaterializeTrace(*reader, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectTracesEqual(original, *loaded);
+}
+
+TEST(StreamTest, EmptyTraceRoundTrips) {
+  const Trace empty;
+  const std::string path = TempPath("stream_empty.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(empty, path));
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->peer_count(), 0u);
+  EXPECT_EQ(reader->file_count(), 0u);
+  EXPECT_TRUE(reader->days().empty());
+  const auto loaded = MaterializeTrace(*reader, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->peer_count(), 0u);
+}
+
+TEST(StreamTest, V1ToV2ToV1IsByteIdentical) {
+  const Trace original = MakeTrace();
+  const std::string v1 = TempPath("stream_conv.edkt");
+  const std::string v2 = TempPath("stream_conv.edk2");
+  const std::string back = TempPath("stream_conv_back.edkt");
+  ASSERT_TRUE(SaveTraceToFile(original, v1));
+  std::string error;
+  ASSERT_TRUE(ConvertTraceFile(v1, v2, 2, &error)) << error;
+  ASSERT_TRUE(ConvertTraceFile(v2, back, 1, &error)) << error;
+  EXPECT_EQ(ReadFileBytes(v1), ReadFileBytes(back));
+}
+
+TEST(StreamTest, V2SaveIsDeterministic) {
+  const Trace original = MakeTrace();
+  const std::string a = TempPath("stream_det_a.edk2");
+  const std::string b = TempPath("stream_det_b.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(original, a));
+  ASSERT_TRUE(SaveTraceV2ToFile(original, b));
+  EXPECT_EQ(ReadFileBytes(a), ReadFileBytes(b));
+}
+
+TEST(StreamTest, SniffTraceVersionDetectsBothFormatsAndGarbage) {
+  const Trace original = MakeTrace();
+  const std::string v1 = TempPath("sniff.edkt");
+  const std::string v2 = TempPath("sniff.edk2");
+  const std::string junk = TempPath("sniff.junk");
+  ASSERT_TRUE(SaveTraceToFile(original, v1));
+  ASSERT_TRUE(SaveTraceV2ToFile(original, v2));
+  WriteFileBytes(junk, "not a trace at all");
+  EXPECT_EQ(SniffTraceVersion(v1), std::optional<uint32_t>(1));
+  EXPECT_EQ(SniffTraceVersion(v2), std::optional<uint32_t>(2));
+  EXPECT_EQ(SniffTraceVersion(junk), std::nullopt);
+  EXPECT_EQ(SniffTraceVersion(TempPath("does_not_exist")), std::nullopt);
+}
+
+TEST(StreamTest, LoadAnyTraceFromFileHandlesBothFormats) {
+  const Trace original = MakeTrace();
+  const std::string v1 = TempPath("any.edkt");
+  const std::string v2 = TempPath("any.edk2");
+  ASSERT_TRUE(SaveTraceToFile(original, v1));
+  ASSERT_TRUE(SaveTraceV2ToFile(original, v2));
+  std::string error;
+  const auto from_v1 = LoadAnyTraceFromFile(v1, &error);
+  ASSERT_TRUE(from_v1.has_value()) << error;
+  const auto from_v2 = LoadAnyTraceFromFile(v2, &error);
+  ASSERT_TRUE(from_v2.has_value()) << error;
+  ExpectTracesEqual(*from_v1, *from_v2);
+}
+
+TEST(StreamTest, OpenOnV1FilePointsAtTheConverter) {
+  const std::string v1 = TempPath("open_v1.edkt");
+  ASSERT_TRUE(SaveTraceToFile(MakeTrace(), v1));
+  std::string error;
+  EXPECT_FALSE(TraceReader::Open(v1, &error).has_value());
+  EXPECT_NE(error.find("v1"), std::string::npos) << error;
+}
+
+TEST(StreamTest, ReadDayMatchesFromTraceDay) {
+  const Trace trace = MakeTrace();
+  const std::string path = TempPath("stream_dayview.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, path));
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ASSERT_EQ(reader->days().size(), 3u);  // 348, 350, 352 (349, 351 empty).
+  for (const auto& info : reader->days()) {
+    const auto view = reader->ReadDay(info, &error);
+    ASSERT_TRUE(view.has_value()) << error;
+    const CacheStore expect = CacheStore::FromTraceDay(trace, info.day);
+    ASSERT_EQ(view->store.peer_count(), expect.peer_count()) << info.day;
+    ASSERT_EQ(view->store.file_bound(), expect.file_bound()) << info.day;
+    for (uint32_t p = 0; p < expect.peer_count(); ++p) {
+      const auto a = view->store.PeerFiles(p);
+      const auto b = expect.PeerFiles(p);
+      ASSERT_EQ(std::vector<uint32_t>(a.begin(), a.end()),
+                std::vector<uint32_t>(b.begin(), b.end()))
+          << "day " << info.day << " peer " << p;
+    }
+    for (uint32_t f = 0; f < expect.file_bound(); ++f) {
+      const auto a = view->store.FileHolders(f);
+      const auto b = expect.FileHolders(f);
+      ASSERT_EQ(std::vector<uint32_t>(a.begin(), a.end()),
+                std::vector<uint32_t>(b.begin(), b.end()))
+          << "day " << info.day << " file " << f;
+    }
+  }
+}
+
+TEST(StreamTest, DayViewTracksObservedPeersNotRowEmptiness) {
+  // Peer 1's day-348 snapshot has an empty cache: the row is empty but the
+  // peer must still be listed as observed.
+  const Trace trace = MakeTrace();
+  const std::string path = TempPath("stream_observed.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, path));
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  const auto* info = reader->FindDay(348);
+  ASSERT_NE(info, nullptr);
+  const auto view = reader->ReadDay(*info, &error);
+  ASSERT_TRUE(view.has_value()) << error;
+  EXPECT_EQ(view->peers, (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(view->store.PeerFiles(1).empty());
+}
+
+TEST(StreamTest, FindDayAndMetadataAccessors) {
+  const Trace trace = MakeTrace();
+  const std::string path = TempPath("stream_find.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, path));
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->first_day(), 348);
+  EXPECT_EQ(reader->last_day(), 352);
+  EXPECT_EQ(reader->FindDay(349), nullptr);
+  ASSERT_NE(reader->FindDay(350), nullptr);
+  EXPECT_EQ(reader->FindDay(350)->snapshots, 2u);
+  EXPECT_EQ(reader->FileAt(1).size_bytes, 700u * 1024 * 1024);
+  EXPECT_EQ(reader->PeerAt(0).ip_address, 0xdeadbeefu);
+  EXPECT_TRUE(reader->PeerAt(0).firewalled);
+}
+
+// --- Writer contract --------------------------------------------------------
+
+std::vector<FileMeta> TableFiles(const Trace& trace) {
+  return {trace.files().begin(), trace.files().end()};
+}
+
+std::vector<PeerInfo> TablePeers(const Trace& trace) {
+  std::vector<PeerInfo> peers;
+  for (size_t p = 0; p < trace.peer_count(); ++p) {
+    peers.push_back(trace.peer(PeerId(static_cast<uint32_t>(p))));
+  }
+  return peers;
+}
+
+TEST(StreamWriterTest, RejectsMisuse) {
+  const Trace trace = MakeTrace();
+  const std::string path = TempPath("writer_misuse.edk2");
+  const auto files = TableFiles(trace);
+  const auto peers = TablePeers(trace);
+
+  auto writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  const std::vector<uint32_t> cache = {0, 2};
+
+  // Snapshot outside a day.
+  EXPECT_FALSE(writer->AddSnapshot(0, cache));
+  EXPECT_FALSE(writer->ok());
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->BeginDay(5));
+  EXPECT_FALSE(writer->BeginDay(6));  // Day still open.
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->BeginDay(5));
+  ASSERT_TRUE(writer->AddSnapshot(1, cache));
+  EXPECT_FALSE(writer->AddSnapshot(1, cache));  // Peers strictly ascending.
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->BeginDay(5));
+  EXPECT_FALSE(writer->AddSnapshot(0, std::vector<uint32_t>{2, 1}));  // Unsorted.
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->BeginDay(5));
+  EXPECT_FALSE(
+      writer->AddSnapshot(0, std::vector<uint32_t>{99}));  // File out of range.
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->BeginDay(5));
+  EXPECT_FALSE(writer->AddSnapshot(99, cache));  // Peer out of range.
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->BeginDay(5));
+  ASSERT_TRUE(writer->EndDay());
+  EXPECT_FALSE(writer->BeginDay(5));  // Days strictly ascending.
+  EXPECT_FALSE(writer->ok());
+  EXPECT_FALSE(writer->Finish());  // Sticky error reaches Finish.
+
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_FALSE(writer->BeginDay(-1));
+  writer = TraceWriter::Create(path, files, peers);
+  ASSERT_TRUE(writer.has_value());
+  EXPECT_FALSE(writer->BeginDay(static_cast<int>(kMaxTraceDay) + 1));
+}
+
+// Appends every day of `trace` not yet present in `writer` (the shape of
+// the streaming generators' resume loop).
+void AppendRemainingDays(TraceWriter& writer, const Trace& trace) {
+  for (int day = trace.first_day(); day <= trace.last_day(); ++day) {
+    if (const auto last = writer.last_day(); last.has_value() && day <= *last) {
+      continue;
+    }
+    bool open = false;
+    for (size_t p = 0; p < trace.peer_count(); ++p) {
+      const PeerId id(static_cast<uint32_t>(p));
+      const auto* snapshot = trace.timeline(id).SnapshotOn(day);
+      if (snapshot == nullptr) {
+        continue;
+      }
+      if (!open) {
+        ASSERT_TRUE(writer.BeginDay(day)) << writer.error();
+        open = true;
+      }
+      std::vector<uint32_t> cache;
+      cache.reserve(snapshot->files.size());
+      for (const FileId f : snapshot->files) {
+        cache.push_back(f.value);
+      }
+      ASSERT_TRUE(writer.AddSnapshot(static_cast<uint32_t>(p), cache))
+          << writer.error();
+    }
+    if (open) {
+      ASSERT_TRUE(writer.EndDay()) << writer.error();
+    }
+  }
+}
+
+TEST(StreamWriterTest, ResumeAfterTruncationAtEveryByteIsByteIdentical) {
+  const Trace trace = MakeTrace();
+  const auto files = TableFiles(trace);
+  const auto peers = TablePeers(trace);
+
+  const std::string full_path = TempPath("resume_full.edk2");
+  {
+    auto writer = TraceWriter::Create(full_path, files, peers);
+    ASSERT_TRUE(writer.has_value());
+    AppendRemainingDays(*writer, trace);
+    ASSERT_TRUE(writer->Finish()) << writer->error();
+  }
+  const std::string full = ReadFileBytes(full_path);
+  ASSERT_FALSE(full.empty());
+
+  // Bytes the tables occupy: Resume can only continue once header + both
+  // tables are intact, so cuts before that must fail cleanly.
+  uint64_t tables_end = 0;
+  {
+    const std::string probe = TempPath("resume_probe.edk2");
+    auto writer = TraceWriter::Create(probe, files, peers);
+    ASSERT_TRUE(writer.has_value());
+    tables_end = writer->bytes_written();
+  }
+
+  const std::string cut_path = TempPath("resume_cut.edk2");
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFileBytes(cut_path, full.substr(0, cut));
+    std::string error;
+    auto writer = TraceWriter::Resume(cut_path, files, peers, &error);
+    if (cut < tables_end) {
+      EXPECT_FALSE(writer.has_value()) << "cut at " << cut;
+      continue;
+    }
+    ASSERT_TRUE(writer.has_value()) << "cut at " << cut << ": " << error;
+    AppendRemainingDays(*writer, trace);
+    ASSERT_TRUE(writer->Finish()) << "cut at " << cut << ": " << writer->error();
+    EXPECT_EQ(ReadFileBytes(cut_path), full) << "cut at " << cut;
+  }
+}
+
+TEST(StreamWriterTest, ResumeRejectsMismatchedCatalog) {
+  const Trace trace = MakeTrace();
+  const std::string path = TempPath("resume_mismatch.edk2");
+  std::string error;
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, path, &error)) << error;
+  auto files = TableFiles(trace);
+  auto peers = TablePeers(trace);
+  peers.pop_back();  // One peer fewer than the file's table.
+  EXPECT_FALSE(TraceWriter::Resume(path, files, peers, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Validation reports -----------------------------------------------------
+
+TEST(StreamTest, ValidateTraceFileReportsCountsForBothFormats) {
+  const Trace trace = MakeTrace();
+  const std::string v1 = TempPath("validate.edkt");
+  const std::string v2 = TempPath("validate.edk2");
+  ASSERT_TRUE(SaveTraceToFile(trace, v1));
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, v2));
+  for (const auto& [path, version] :
+       {std::pair<std::string, uint32_t>{v1, 1}, {v2, 2}}) {
+    const ValidationReport report = ValidateTraceFile(path);
+    EXPECT_TRUE(report.ok) << path << ": " << report.error;
+    EXPECT_EQ(report.version, version);
+    EXPECT_EQ(report.peers, 3u);
+    EXPECT_EQ(report.files, 4u);
+    EXPECT_EQ(report.days, 3u);
+    EXPECT_EQ(report.snapshots, 5u);
+    EXPECT_EQ(report.file_entries, 7u);
+  }
+}
+
+TEST(StreamTest, ValidateTraceFileRejectsMissingAndJunkFiles) {
+  EXPECT_FALSE(ValidateTraceFile(TempPath("no_such_trace")).ok);
+  const std::string junk = TempPath("validate_junk");
+  WriteFileBytes(junk, "garbage bytes, definitely not a trace");
+  EXPECT_FALSE(ValidateTraceFile(junk).ok);
+}
+
+}  // namespace
+}  // namespace edk::stream

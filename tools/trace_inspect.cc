@@ -9,6 +9,7 @@
 //   tojson FILE OUT.json    convert the binary trace to Chrome trace JSON
 //                           (load in Perfetto / chrome://tracing)
 //   validate-json FILE      lint a JSON file (trace or metrics snapshot)
+//   validate-trace FILE     integrity-check an EDKT v1/v2 workload trace
 //
 // The audit commands reproduce the aggregate numbers the benches print —
 // e.g. `summary` over an unsampled bench_fig18_hitrate trace yields the
@@ -27,6 +28,7 @@
 
 #include "src/common/json_lint.h"
 #include "src/obs/span.h"
+#include "src/trace/stream/convert.h"
 #include "src/obs/trace_log.h"
 #include "src/semantic/neighbour_list.h"
 
@@ -38,7 +40,8 @@ namespace {
                "  queries FILE          audit hit-rate table per strategy/list size\n"
                "  query ID FILE         audit record(s) with ordinal ID\n"
                "  tojson FILE OUT.json  convert binary trace to Chrome JSON\n"
-               "  validate-json FILE    check a JSON file is well-formed\n";
+               "  validate-json FILE    check a JSON file is well-formed\n"
+               "  validate-trace FILE   check an EDKT v1/v2 workload trace\n";
   std::exit(2);
 }
 
@@ -223,6 +226,20 @@ int RunToJson(const std::string& input, const std::string& output) {
   return 0;
 }
 
+int RunValidateTrace(const std::string& path) {
+  const edk::stream::ValidationReport report =
+      edk::stream::ValidateTraceFile(path);
+  if (!report.ok) {
+    std::printf("%s: INVALID: %s\n", path.c_str(), report.error.c_str());
+    return 1;
+  }
+  std::printf("%s: EDKT v%u OK, %" PRIu64 " peers, %" PRIu64 " files, %" PRIu64
+              " days, %" PRIu64 " snapshots, %" PRIu64 " file entries\n",
+              path.c_str(), report.version, report.peers, report.files,
+              report.days, report.snapshots, report.file_entries);
+  return 0;
+}
+
 int RunValidateJson(const std::string& path) {
   const edk::JsonLintResult result = edk::LintJsonFile(path);
   if (!result.ok) {
@@ -260,6 +277,9 @@ int main(int argc, char** argv) {
   }
   if (command == "validate-json" && argc == 3) {
     return RunValidateJson(argv[2]);
+  }
+  if (command == "validate-trace" && argc == 3) {
+    return RunValidateTrace(argv[2]);
   }
   Usage();
 }

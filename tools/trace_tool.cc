@@ -3,6 +3,8 @@
 //
 //   edk-trace generate --out=trace.bin [--peers=N --files=N --topics=N
 //                                       --days=N --seed=N]
+//   edk-trace generate --out=trace.edk2 --stream-out [--resume]
+//                      (EDKT v2, day-by-day, bounded memory, restartable)
 //   edk-trace info trace.bin
 //   edk-trace filter --out=filtered.bin trace.bin
 //   edk-trace extrapolate --out=extr.bin trace.bin
@@ -10,6 +12,10 @@
 //   edk-trace daily-csv trace.bin            (daily activity as CSV on stdout)
 //   edk-trace contribution-csv trace.bin     (per-peer files/bytes as CSV)
 //   edk-trace validate trace.bin             (marginals vs the paper's bands)
+//   edk-trace convert --out=FILE --format=v1|v2 trace.bin
+//   edk-trace validate-format trace.bin      (EDKT v1/v2 integrity check)
+//
+// Commands that read a trace accept both EDKT v1 and v2 input.
 
 #include <cstring>
 #include <iostream>
@@ -26,7 +32,9 @@
 #include "src/trace/filter.h"
 #include "src/trace/randomize.h"
 #include "src/trace/serialize.h"
+#include "src/trace/stream/convert.h"
 #include "src/workload/generator.h"
+#include "src/workload/stream_generate.h"
 #include "src/workload/validate.h"
 
 namespace {
@@ -38,12 +46,17 @@ struct Arguments {
   edk::obs::ObsFlagValues obs;  // Shared --metrics-out/--trace-out plumbing.
   edk::WorkloadConfig workload = edk::MediumWorkloadConfig();
   uint64_t swaps = 0;  // 0 = RecommendedSwapCount.
+  bool stream_out = false;   // generate: emit EDKT v2 day-by-day.
+  bool resume = false;       // generate --stream-out: continue a partial file.
+  uint32_t format = 0;       // convert: target version (1 or 2).
 };
 
 [[noreturn]] void Usage() {
   std::cerr << "usage: edk-trace <generate|info|filter|extrapolate|randomize|"
-               "daily-csv|contribution-csv> [--out=FILE] [--peers=N] [--files=N]"
-               " [--topics=N] [--days=N] [--seed=N] [--swaps=N] "
+               "daily-csv|contribution-csv|validate|convert|validate-format> "
+               "[--out=FILE] [--peers=N] [--files=N]"
+               " [--topics=N] [--days=N] [--seed=N] [--swaps=N]"
+               " [--stream-out] [--resume] [--format=v1|v2] "
             << edk::obs::ObsFlagsUsage() << " [INPUT]\n";
   std::exit(2);
 }
@@ -74,6 +87,18 @@ std::optional<Arguments> Parse(int argc, char** argv) {
       args.workload.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--swaps=")) {
       args.swaps = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--format=")) {
+      if (std::strcmp(v, "v1") == 0 || std::strcmp(v, "1") == 0) {
+        args.format = 1;
+      } else if (std::strcmp(v, "v2") == 0 || std::strcmp(v, "2") == 0) {
+        args.format = 2;
+      } else {
+        return std::nullopt;
+      }
+    } else if (std::strcmp(arg, "--stream-out") == 0) {
+      args.stream_out = true;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      args.resume = true;
     } else if (edk::obs::ConsumeObsFlag(arg, &args.obs)) {
       // --metrics-out / --trace-out / --trace-sample.
     } else if (arg[0] == '-') {
@@ -93,9 +118,12 @@ edk::Trace LoadInputOrDie(const Arguments& args) {
     std::cerr << "error: this command needs an input trace file\n";
     std::exit(1);
   }
-  auto trace = edk::LoadTraceFromFile(args.input);
+  // Accepts both EDKT v1 and v2 (sniffed by magic).
+  std::string error;
+  auto trace = edk::stream::LoadAnyTraceFromFile(args.input, &error);
   if (!trace.has_value()) {
-    std::cerr << "error: cannot load trace from '" << args.input << "'\n";
+    std::cerr << "error: cannot load trace from '" << args.input << "': " << error
+              << "\n";
     std::exit(1);
   }
   return std::move(*trace);
@@ -115,8 +143,59 @@ void SaveOutputOrDie(const edk::Trace& trace, const Arguments& args) {
 }
 
 int RunGenerate(const Arguments& args) {
+  if (args.stream_out) {
+    if (args.output.empty()) {
+      std::cerr << "error: this command needs --out=FILE\n";
+      return 1;
+    }
+    std::string error;
+    const auto stats = edk::GenerateWorkloadStreaming(args.workload, args.output,
+                                                      args.resume, &error);
+    if (!stats.has_value()) {
+      std::cerr << "error: streaming generation failed: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << args.output << " (EDKT v2, " << stats->days_written
+              << " days written, " << stats->days_skipped << " skipped, "
+              << stats->snapshots << " snapshots, " << stats->bytes_written
+              << " bytes)\n";
+    return 0;
+  }
   const edk::GeneratedWorkload workload = edk::GenerateWorkload(args.workload);
   SaveOutputOrDie(workload.trace, args);
+  return 0;
+}
+
+int RunConvert(const Arguments& args) {
+  if (args.input.empty() || args.output.empty() || args.format == 0) {
+    std::cerr << "error: convert needs INPUT, --out=FILE and --format=v1|v2\n";
+    return 1;
+  }
+  std::string error;
+  if (!edk::stream::ConvertTraceFile(args.input, args.output, args.format,
+                                     &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << args.output << " (EDKT v" << args.format << ")\n";
+  return 0;
+}
+
+int RunValidateFormat(const Arguments& args) {
+  if (args.input.empty()) {
+    std::cerr << "error: this command needs an input trace file\n";
+    return 1;
+  }
+  const edk::stream::ValidationReport report =
+      edk::stream::ValidateTraceFile(args.input);
+  if (!report.ok) {
+    std::cerr << "INVALID: " << report.error << "\n";
+    return 1;
+  }
+  std::cout << args.input << ": EDKT v" << report.version << " OK, "
+            << report.peers << " peers, " << report.files << " files, "
+            << report.days << " days, " << report.snapshots << " snapshots, "
+            << report.file_entries << " file entries\n";
   return 0;
 }
 
@@ -228,6 +307,12 @@ int main(int argc, char** argv) {
   }
   if (args->command == "validate") {
     return RunValidate(*args);
+  }
+  if (args->command == "convert") {
+    return RunConvert(*args);
+  }
+  if (args->command == "validate-format") {
+    return RunValidateFormat(*args);
   }
   Usage();
 }
