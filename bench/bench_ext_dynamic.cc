@@ -7,6 +7,8 @@
 // must hold up (or grow) over the trace instead of decaying as early
 // neighbour lists go stale.
 
+#include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -14,6 +16,8 @@
 #include "src/semantic/dynamic_sim.h"
 #include "src/semantic/search_sim.h"
 #include "src/semantic/sharded_gossip.h"
+#include "src/trace/stream/convert.h"
+#include "src/trace/stream/trace_reader.h"
 
 int main(int argc, char** argv) {
   const edk::BenchOptions options = edk::ParseBenchOptions(argc, argv);
@@ -55,6 +59,39 @@ int main(int argc, char** argv) {
             << " vs final week: " << edk::FormatPercent(window_rate(days - 7, days))
             << " -> lists learned early keep paying off\n";
 
+  // The same replay straight off an EDKT v2 file: the StreamingDaySource
+  // path holds one day resident at a time and must reproduce the in-RAM
+  // run bit for bit (DESIGN.md §6i). This is the zero-materialise entry
+  // point a real multi-week crawl would use.
+  const std::string v2_path =
+      (std::filesystem::temp_directory_path() / "edk_bench_dynamic.edk2")
+          .string();
+  std::string stream_error;
+  if (!edk::stream::SaveTraceV2ToFile(extrapolated, v2_path, &stream_error)) {
+    std::cerr << "v2 save failed: " << stream_error << "\n";
+    return 1;
+  }
+  auto reader = edk::stream::TraceReader::Open(v2_path, &stream_error);
+  if (!reader.has_value()) {
+    std::cerr << "v2 open failed: " << stream_error << "\n";
+    return 1;
+  }
+  const auto streamed = RunDynamicSearchSimulation(*reader, config, &stream_error);
+  if (!streamed.has_value()) {
+    std::cerr << "streaming replay failed: " << stream_error << "\n";
+    return 1;
+  }
+  const bool identical = streamed->requests == dynamic.requests &&
+                         streamed->hits == dynamic.hits &&
+                         streamed->fallbacks == dynamic.fallbacks &&
+                         streamed->unresolvable == dynamic.unresolvable;
+  std::cout << "streaming replay off EDKT v2 (one day resident): "
+            << (identical ? "bit-identical to the in-RAM run" : "MISMATCH")
+            << "\n";
+  if (!identical) {
+    return 1;
+  }
+
   // Reference: the paper's static replay at the same list size.
   const edk::Trace filtered = edk::LoadOrGenerateFiltered(options);
   edk::SearchSimConfig static_config;
@@ -70,9 +107,20 @@ int main(int argc, char** argv) {
   // Could the day's population have built equivalent lists with zero
   // history? Event-driven gossip on the final day's cache snapshot, run on
   // the sharded engine (--shards=K, --threads=N). Output is bit-identical
-  // for every shards/threads combination.
-  const edk::StaticCaches day_caches =
-      edk::BuildDayCaches(extrapolated, extrapolated.last_day());
+  // for every shards/threads combination. The snapshot comes off the v2
+  // reader's day view — layout-identical to BuildDayCaches on the in-RAM
+  // trace — so the sharded scenario also runs without materialising.
+  const auto* last_info = reader->FindDay(extrapolated.last_day());
+  if (last_info == nullptr) {
+    std::cerr << "final day missing from v2 file\n";
+    return 1;
+  }
+  const auto last_view = reader->ReadDay(*last_info, &stream_error);
+  if (!last_view.has_value()) {
+    std::cerr << "final day view failed: " << stream_error << "\n";
+    return 1;
+  }
+  const edk::StaticCaches day_caches = last_view->store.ToStaticCaches();
   edk::ShardedGossipConfig sharded;
   sharded.seed = options.workload.seed;
   sharded.shards = options.shards;
@@ -97,5 +145,6 @@ int main(int argc, char** argv) {
             << stats.events_executed << " events in " << stats.wall_seconds
             << " s (" << static_cast<uint64_t>(stats.EventsPerSecond())
             << " events/s)\n";
+  std::remove(v2_path.c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "src/exec/parallel.h"
 #include "src/obs/metrics.h"
+#include "src/trace/stream/parallel_scan.h"
 
 namespace edk {
 
@@ -12,20 +13,51 @@ namespace {
 
 // Per-file source counts on one day, from the segment decode (no CSR view
 // needed). Days absent from the reader yield all zeros, matching what the
-// in-RAM twin sees on a day without snapshots.
+// in-RAM twin sees on a day without snapshots. Blocked days with more than
+// one block count block-parallel into per-worker arrays summed element-wise
+// afterwards — integer addition is commutative, so the result is identical
+// to the serial decode for any thread count.
 std::vector<uint32_t> StreamingSourcesOnDay(const stream::TraceReader& reader,
-                                            int day,
-                                            std::vector<uint32_t>& scratch) {
+                                            int day) {
   std::vector<uint32_t> counts(reader.file_count(), 0);
   const stream::TraceReader::DayInfo* info = reader.FindDay(day);
-  if (info != nullptr) {
+  if (info == nullptr) {
+    return counts;
+  }
+  const size_t blocks = stream::TraceReader::BlockCount(*info);
+  if (blocks < 2 || DefaultThreads() <= 1) {
+    stream::DecodeArena arena;
     reader.ForEachSnapshot(
-        *info, scratch, [&](uint32_t, const uint32_t* files, size_t count) {
+        *info, arena, [&](uint32_t, const uint32_t* files, size_t count) {
           for (size_t i = 0; i < count; ++i) {
             ++counts[files[i]];
           }
         });
+    return counts;
   }
+  struct Worker {
+    stream::DecodeArena arena;
+    std::vector<uint32_t> counts;
+  };
+  stream::WorkerPool<Worker> workers;
+  ParallelFor(0, blocks, [&](size_t b) {
+    stream::WorkerPool<Worker>::Lease worker(workers);
+    if (worker->counts.size() != counts.size()) {
+      worker->counts.assign(counts.size(), 0);
+    }
+    reader.ForEachSnapshotInBlock(
+        *info, b, worker->arena,
+        [&](uint32_t, const uint32_t* files, size_t count) {
+          for (size_t i = 0; i < count; ++i) {
+            ++worker->counts[files[i]];
+          }
+        });
+  });
+  workers.ForEach([&](Worker& worker) {
+    for (size_t f = 0; f < worker.counts.size(); ++f) {
+      counts[f] += worker.counts[f];
+    }
+  });
   return counts;
 }
 
@@ -46,26 +78,74 @@ std::vector<DailyActivity> StreamingDailyActivity(
   }
   // Day segments arrive in ascending day order, so the first sighting of a
   // file IS its first-seen day — one bitmap replaces the per-file min-day
-  // array of the in-RAM twin.
+  // array of the in-RAM twin. Days stay sequential (the bitmap carries
+  // cross-day state); within a day, blocks decode in parallel into
+  // per-block partials. A day's new_files is the number of DISTINCT
+  // never-seen-before files it contains — a set size, independent of
+  // snapshot order — so merging block candidates through the bitmap in any
+  // order reproduces the serial sweep exactly.
   std::vector<uint8_t> seen(reader.file_count(), 0);
-  std::vector<uint32_t> scratch;
+  stream::DecodeArena arena;
+  struct Partial {
+    uint64_t clients = 0;
+    uint64_t non_empty = 0;
+    uint64_t files_seen = 0;
+    std::vector<uint32_t> candidates;  // seen[f] == 0 at decode time.
+  };
+  std::vector<Partial> partials;
+  stream::ArenaPool arenas;
   for (const stream::TraceReader::DayInfo& info : reader.days()) {
     DailyActivity& day =
         out[static_cast<size_t>(info.day - reader.first_day())];
-    reader.ForEachSnapshot(
-        info, scratch, [&](uint32_t, const uint32_t* files, size_t count) {
-          ++day.clients_scanned;
-          if (count > 0) {
-            ++day.non_empty_caches;
-            day.files_seen += count;
-            for (size_t i = 0; i < count; ++i) {
-              if (seen[files[i]] == 0) {
-                seen[files[i]] = 1;
-                ++day.new_files;
+    const size_t blocks = stream::TraceReader::BlockCount(info);
+    if (blocks < 2 || DefaultThreads() <= 1) {
+      reader.ForEachSnapshot(
+          info, arena, [&](uint32_t, const uint32_t* files, size_t count) {
+            ++day.clients_scanned;
+            if (count > 0) {
+              ++day.non_empty_caches;
+              day.files_seen += count;
+              for (size_t i = 0; i < count; ++i) {
+                if (seen[files[i]] == 0) {
+                  seen[files[i]] = 1;
+                  ++day.new_files;
+                }
               }
             }
-          }
-        });
+          });
+      continue;
+    }
+    partials.assign(blocks, Partial{});
+    // The bitmap is read-only for the duration of the day's scan; workers
+    // record candidate ids instead of mutating it.
+    ParallelFor(0, blocks, [&](size_t b) {
+      stream::ArenaPool::Lease lease(arenas);
+      Partial& part = partials[b];
+      reader.ForEachSnapshotInBlock(
+          info, b, *lease, [&](uint32_t, const uint32_t* files, size_t count) {
+            ++part.clients;
+            if (count > 0) {
+              ++part.non_empty;
+              part.files_seen += count;
+              for (size_t i = 0; i < count; ++i) {
+                if (seen[files[i]] == 0) {
+                  part.candidates.push_back(files[i]);
+                }
+              }
+            }
+          });
+    });
+    for (Partial& part : partials) {
+      day.clients_scanned += part.clients;
+      day.non_empty_caches += part.non_empty;
+      day.files_seen += part.files_seen;
+      for (const uint32_t f : part.candidates) {
+        if (seen[f] == 0) {
+          seen[f] = 1;
+          ++day.new_files;
+        }
+      }
+    }
   }
   uint64_t cumulative = 0;
   for (DailyActivity& day : out) {
@@ -77,8 +157,7 @@ std::vector<DailyActivity> StreamingDailyActivity(
 
 std::vector<uint32_t> StreamingRankedSourcesOnDay(
     const stream::TraceReader& reader, int day) {
-  std::vector<uint32_t> scratch;
-  const auto counts = StreamingSourcesOnDay(reader, day, scratch);
+  const auto counts = StreamingSourcesOnDay(reader, day);
   std::vector<uint32_t> ranked;
   ranked.reserve(counts.size());
   for (uint32_t c : counts) {
@@ -100,16 +179,28 @@ std::vector<double> StreamingFileSpreadOverTime(
              0.0);
   std::vector<uint32_t> scanned(out.size(), 0);
   std::vector<uint32_t> holders(out.size(), 0);
-  std::vector<uint32_t> scratch;
-  for (const stream::TraceReader::DayInfo& info : reader.days()) {
-    const size_t d = static_cast<size_t>(info.day - reader.first_day());
-    reader.ForEachSnapshot(
-        info, scratch, [&](uint32_t, const uint32_t* files, size_t count) {
-          ++scanned[d];
-          if (std::binary_search(files, files + count, file.value)) {
-            ++holders[d];
-          }
-        });
+  // One flat parallel scan over every block of every day; each task counts
+  // into its own slot and slots merge into per-day totals afterwards
+  // (commutative integer sums — identical to serial for any thread count).
+  const std::vector<stream::ScanTask> tasks = stream::MakeScanTasks(reader);
+  struct Partial {
+    uint32_t scanned = 0;
+    uint32_t holders = 0;
+  };
+  std::vector<Partial> partials(tasks.size());
+  stream::ParallelScanSnapshots(
+      reader, tasks,
+      [&](size_t t, uint32_t, const uint32_t* files, size_t count) {
+        ++partials[t].scanned;
+        if (std::binary_search(files, files + count, file.value)) {
+          ++partials[t].holders;
+        }
+      });
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const size_t d =
+        static_cast<size_t>(tasks[t].day->day - reader.first_day());
+    scanned[d] += partials[t].scanned;
+    holders[d] += partials[t].holders;
   }
   for (size_t d = 0; d < out.size(); ++d) {
     if (scanned[d] > 0) {
@@ -131,11 +222,12 @@ std::vector<std::vector<uint32_t>> StreamingFileRanksOverTime(
     series.assign(days, 0);
   }
   // Same fan-out shape as the in-RAM twin: each day decodes its own segment
-  // and writes only its own (file, day) slots.
+  // and writes only its own (file, day) slots. (Blocked days additionally
+  // count block-parallel inside StreamingSourcesOnDay; nested ParallelFor
+  // is deadlock-free by the caller-participates contract.)
   ParallelFor(0, days, [&](size_t d) {
     const int day = reader.first_day() + static_cast<int>(d);
-    std::vector<uint32_t> scratch;
-    const auto counts = StreamingSourcesOnDay(reader, day, scratch);
+    const auto counts = StreamingSourcesOnDay(reader, day);
     for (size_t i = 0; i < files.size(); ++i) {
       const uint32_t own = counts[files[i].value];
       if (own == 0) {
@@ -160,6 +252,8 @@ std::vector<std::pair<uint32_t, uint64_t>> StreamingOverlapHistogramOnDay(
   if (info == nullptr) {
     return {};  // The in-RAM twin yields no pairs on an unobserved day.
   }
+  // ReadDay fills blocked days block-parallel; the view is identical to the
+  // serial fill by construction, so the histogram is too.
   const auto view = reader.ReadDay(*info);
   if (!view.has_value()) {
     return {};

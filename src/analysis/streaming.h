@@ -9,6 +9,10 @@
 //     ComputeClusteringCurve's store overload);
 //   * day sweeps accumulate exact integer quantities (in uint64 or as
 //     integer-valued doubles), so task order cannot perturb results;
+//   * blocked (tag 0x04) days additionally decode block-parallel — per-task
+//     or per-worker partials merged through commutative integer sums or the
+//     first-seen bitmap (DESIGN.md §6i) — so the same byte-identity holds
+//     across thread counts AND across blocked/unblocked encodings;
 //   * snapshot *presence* matters separately from cache content (a peer
 //     observed with an empty cache is not the same as an unobserved peer),
 //     so the sweeps consult the day view's observed-peer list, never just

@@ -23,31 +23,6 @@ void AppendVarint(std::string& out, uint64_t v) {
   out.push_back(static_cast<char>(static_cast<uint8_t>(v)));
 }
 
-bool ReadVarint(const uint8_t*& p, const uint8_t* end, uint64_t& v) {
-  v = 0;
-  int shift = 0;
-  const uint8_t* cursor = p;
-  while (shift < 64) {
-    if (cursor == end) {
-      return false;
-    }
-    const uint8_t byte = *cursor++;
-    const uint64_t payload = byte & 0x7f;
-    // Same overlong rule as the stream decoder: the 10th byte has room for
-    // one bit only.
-    if (shift == 63 && payload > 1) {
-      return false;
-    }
-    v |= payload << shift;
-    if ((byte & 0x80) == 0) {
-      p = cursor;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;  // Continuation bit on the 10th byte: > 64 bits.
-}
-
 bool ReadVarint(std::istream& is, uint64_t& v) {
   v = 0;
   int shift = 0;

@@ -25,9 +25,40 @@ bool ReadVarint(std::istream& is, uint64_t& v);
 // Memory-buffer twins of the stream primitives, with identical encoding
 // rules (the EDKT v2 reader decodes mmapped segments in place). The read
 // variant advances `p` past the consumed bytes on success and applies the
-// same overlong-encoding rejections as the stream decoder.
+// same overlong-encoding rejections as the stream decoder. It is inline:
+// the streaming scan decodes one varint per column entry, and the call
+// would otherwise dominate the day-segment decode.
 void AppendVarint(std::string& out, uint64_t v);
-bool ReadVarint(const uint8_t*& p, const uint8_t* end, uint64_t& v);
+
+inline bool ReadVarint(const uint8_t*& p, const uint8_t* end, uint64_t& v) {
+  const uint8_t* cursor = p;
+  if (cursor != end && *cursor < 0x80) {  // Single-byte values dominate.
+    v = *cursor;
+    p = cursor + 1;
+    return true;
+  }
+  v = 0;
+  int shift = 0;
+  while (shift < 64) {
+    if (cursor == end) {
+      return false;
+    }
+    const uint8_t byte = *cursor++;
+    const uint64_t payload = byte & 0x7f;
+    // Same overlong rule as the stream decoder: the 10th byte has room for
+    // one bit only.
+    if (shift == 63 && payload > 1) {
+      return false;
+    }
+    v |= payload << shift;
+    if ((byte & 0x80) == 0) {
+      p = cursor;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Continuation bit on the 10th byte: > 64 bits.
+}
 
 // ZigZag mapping for signed values (trace day numbers): small magnitudes
 // of either sign encode to short varints.

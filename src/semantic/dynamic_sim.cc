@@ -10,13 +10,39 @@
 
 namespace edk {
 
-DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
-                                            const DynamicSimConfig& config) {
+bool TraceDaySource::ForEachSnapshotOnDay(int day, const SnapshotFn& fn) {
+  for (uint32_t p = 0; p < trace_.peer_count(); ++p) {
+    const CacheSnapshot* snapshot = trace_.timeline(PeerId(p)).SnapshotOn(day);
+    if (snapshot == nullptr) {
+      continue;
+    }
+    scratch_.clear();
+    for (const FileId f : snapshot->files) {
+      scratch_.push_back(f.value);
+    }
+    fn(p, scratch_.data(), scratch_.size());
+  }
+  return true;
+}
+
+bool StreamingDaySource::ForEachSnapshotOnDay(int day, const SnapshotFn& fn) {
+  const stream::TraceReader::DayInfo* info = reader_.FindDay(day);
+  if (info == nullptr) {
+    return true;  // Nobody observed: a valid, empty day.
+  }
+  return reader_.ForEachSnapshot(
+      *info, arena_, [&](uint32_t peer, const uint32_t* files, size_t count) {
+        fn(peer, files, count);
+      });
+}
+
+std::optional<DynamicSimResult> RunDynamicSearchSimulation(
+    DaySource& source, const DynamicSimConfig& config, std::string* error) {
   DynamicSimResult result;
-  if (trace.last_day() < trace.first_day()) {
+  if (source.last_day() < source.first_day()) {
     return result;
   }
-  const size_t peer_count = trace.peer_count();
+  const size_t peer_count = source.peer_count();
   Rng rng(config.seed);
 
   // Per-peer knowledge as of the last observed snapshot: what the peer was
@@ -34,23 +60,42 @@ DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
   const uint16_t audit_name = tracing ? obs::DynamicAuditName() : 0;
   uint64_t audit_ordinal = 0;
 
+  // The current day's snapshots, buffered once per day: `online` ascending,
+  // peer i's cache at today_files[today_offset[i]..today_offset[i + 1]).
+  // This is the only per-day state, so memory stays bounded by one day for
+  // a StreamingDaySource.
+  std::vector<uint32_t> online;
+  std::vector<size_t> today_offset;
+  std::vector<uint32_t> today_files;
+
   std::vector<uint32_t> neighbours;
-  for (int day = trace.first_day(); day <= trace.last_day(); ++day) {
-    // Who is online today, and what does each online peer newly request?
-    std::vector<uint32_t> online;
-    std::vector<uint64_t> requests;  // (peer << 32) | file.
-    for (uint32_t p = 0; p < peer_count; ++p) {
-      const CacheSnapshot* snapshot = trace.timeline(PeerId(p)).SnapshotOn(day);
-      if (snapshot == nullptr) {
-        continue;
+  for (int day = source.first_day(); day <= source.last_day(); ++day) {
+    online.clear();
+    today_offset.clear();
+    today_files.clear();
+    if (!source.ForEachSnapshotOnDay(
+            day, [&](uint32_t p, const uint32_t* files, size_t count) {
+              online.push_back(p);
+              today_offset.push_back(today_files.size());
+              today_files.insert(today_files.end(), files, files + count);
+            })) {
+      if (error != nullptr) {
+        *error = "failed to decode day " + std::to_string(day);
       }
-      online.push_back(p);
+      return std::nullopt;
+    }
+    today_offset.push_back(today_files.size());
+
+    // What does each online peer newly request today?
+    std::vector<uint64_t> requests;  // (peer << 32) | file.
+    for (size_t i = 0; i < online.size(); ++i) {
+      const uint32_t p = online[i];
       if (!seen_before[p]) {
         continue;  // First observation: the initial cache is pre-owned.
       }
-      for (FileId f : snapshot->files) {
-        if (!known[p].contains(f.value)) {
-          requests.push_back((static_cast<uint64_t>(p) << 32) | f.value);
+      for (size_t k = today_offset[i]; k < today_offset[i + 1]; ++k) {
+        if (!known[p].contains(today_files[k])) {
+          requests.push_back((static_cast<uint64_t>(p) << 32) | today_files[k]);
         }
       }
     }
@@ -138,16 +183,30 @@ DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
     result.days.push_back(day_stats);
 
     // End of day: knowledge advances to today's snapshots.
-    for (uint32_t p : online) {
-      const CacheSnapshot* snapshot = trace.timeline(PeerId(p)).SnapshotOn(day);
+    for (size_t i = 0; i < online.size(); ++i) {
+      const uint32_t p = online[i];
       known[p].clear();
-      for (FileId f : snapshot->files) {
-        known[p].insert(f.value);
+      for (size_t k = today_offset[i]; k < today_offset[i + 1]; ++k) {
+        known[p].insert(today_files[k]);
       }
       seen_before[p] = true;
     }
   }
   return result;
+}
+
+DynamicSimResult RunDynamicSearchSimulation(const Trace& trace,
+                                            const DynamicSimConfig& config) {
+  TraceDaySource source(trace);
+  // A TraceDaySource cannot fail to decode.
+  return *RunDynamicSearchSimulation(source, config);
+}
+
+std::optional<DynamicSimResult> RunDynamicSearchSimulation(
+    const stream::TraceReader& reader, const DynamicSimConfig& config,
+    std::string* error) {
+  StreamingDaySource source(reader);
+  return RunDynamicSearchSimulation(source, config, error);
 }
 
 }  // namespace edk

@@ -11,8 +11,9 @@
 namespace edk::stream {
 
 bool SaveTraceV2ToFile(const Trace& trace, const std::string& path,
-                       std::string* error) {
-  auto writer = TraceWriter::Create(path, trace.files(), trace.peers(), error);
+                       std::string* error, const TraceWriter::Options& options) {
+  auto writer =
+      TraceWriter::Create(path, trace.files(), trace.peers(), error, options);
   if (!writer.has_value()) {
     return false;
   }
@@ -65,11 +66,11 @@ std::optional<Trace> MaterializeTrace(const TraceReader& reader,
   }
   // Day segments are ascending, so per-peer AddSnapshot calls arrive in
   // increasing-day order — exactly the PeerTimeline invariant.
-  std::vector<uint32_t> scratch;
+  DecodeArena arena;
   std::vector<FileId> cache;
   for (const TraceReader::DayInfo& info : reader.days()) {
     const bool ok = reader.ForEachSnapshot(
-        info, scratch, [&](uint32_t peer, const uint32_t* files, size_t count) {
+        info, arena, [&](uint32_t peer, const uint32_t* files, size_t count) {
           cache.clear();
           cache.reserve(count);
           for (size_t i = 0; i < count; ++i) {
@@ -127,13 +128,16 @@ std::optional<Trace> LoadAnyTraceFromFile(const std::string& path,
 }
 
 bool ConvertTraceFile(const std::string& input, const std::string& output,
-                      uint32_t target_version, std::string* error) {
+                      uint32_t target_version, std::string* error,
+                      const TraceWriter::Options& options) {
   if (target_version != 1 && target_version != 2) {
     if (error != nullptr) {
       *error = "unsupported target version " + std::to_string(target_version);
     }
     return false;
   }
+  // The load materialises (and unmaps) the input before any write happens,
+  // so output == input performs an in-place upgrade.
   auto trace = LoadAnyTraceFromFile(input, error);
   if (!trace.has_value()) {
     return false;
@@ -147,7 +151,7 @@ bool ConvertTraceFile(const std::string& input, const std::string& output,
     }
     return true;
   }
-  return SaveTraceV2ToFile(*trace, output, error);
+  return SaveTraceV2ToFile(*trace, output, error, options);
 }
 
 ValidationReport ValidateTraceFile(const std::string& path) {
@@ -191,10 +195,19 @@ ValidationReport ValidateTraceFile(const std::string& path) {
   }
   report.peers = reader->peer_count();
   report.files = reader->file_count();
-  // Open validates the skeleton; finish the job by decoding every payload.
-  std::vector<uint32_t> scratch;
+  // Open validates the skeleton; finish the job by decoding every payload
+  // and verifying every block checksum against the footer directory.
+  DecodeArena arena;
   for (const TraceReader::DayInfo& info : reader->days()) {
-    if (!reader->ForEachSnapshot(info, scratch,
+    for (const TraceReader::BlockInfo& block : info.blocks) {
+      if (HashBytes64(reader->DataAt(block.offset),
+                      static_cast<size_t>(block.bytes)) != block.checksum) {
+        report.error = "block checksum mismatch in day " +
+                       std::to_string(info.day);
+        return report;
+      }
+    }
+    if (!reader->ForEachSnapshot(info, arena,
                                  [](uint32_t, const uint32_t*, size_t) {})) {
       report.error = "corrupt day segment for day " + std::to_string(info.day);
       return report;
@@ -202,6 +215,7 @@ ValidationReport ValidateTraceFile(const std::string& path) {
     ++report.days;
     report.snapshots += info.snapshots;
     report.file_entries += info.file_entries;
+    report.blocks += TraceReader::BlockCount(info);
   }
   report.ok = true;
   return report;

@@ -18,15 +18,17 @@
 #include <string>
 
 #include "src/trace/stream/trace_reader.h"
+#include "src/trace/stream/trace_writer.h"
 #include "src/trace/trace.h"
 
 namespace edk::stream {
 
 // Writes `trace` at `path` in EDKT v2 via TraceWriter (one day segment per
-// observed day, ascending). False on I/O failure or invariant violation,
-// with the writer's message in *error.
+// observed day, ascending; blocked per `options`). False on I/O failure or
+// invariant violation, with the writer's message in *error.
 bool SaveTraceV2ToFile(const Trace& trace, const std::string& path,
-                       std::string* error = nullptr);
+                       std::string* error = nullptr,
+                       const TraceWriter::Options& options = {});
 
 // Inflates an opened v2 file into the in-RAM Trace model. Decodes every
 // day segment; nullopt on corruption. Memory: the whole trace — use the
@@ -44,14 +46,18 @@ std::optional<Trace> LoadAnyTraceFromFile(const std::string& path,
 std::optional<uint32_t> SniffTraceVersion(const std::string& path);
 
 // Loads `input` (either format) and writes it at `output` in
-// `target_version` (1 or 2).
+// `target_version` (1 or 2, blocked per `options` for 2). `output` may
+// equal `input` — the load fully materialises before the write truncates,
+// which is how `edk-trace convert` upgrades block-less files in place.
 bool ConvertTraceFile(const std::string& input, const std::string& output,
-                      uint32_t target_version, std::string* error = nullptr);
+                      uint32_t target_version, std::string* error = nullptr,
+                      const TraceWriter::Options& options = {});
 
 // Deep-validates a trace file of either format: v1 via the hardened
 // loader, v2 via Open plus a full decode of every day segment (the part
-// Open defers). `ok == false` leaves the counters at whatever was
-// established before the failure.
+// Open defers) plus a HashBytes64 verification of every block against the
+// footer block directory. `ok == false` leaves the counters at whatever
+// was established before the failure.
 struct ValidationReport {
   bool ok = false;
   uint32_t version = 0;
@@ -61,6 +67,7 @@ struct ValidationReport {
   uint64_t days = 0;
   uint64_t snapshots = 0;      // Total (peer, day) observations.
   uint64_t file_entries = 0;   // Total cache entries across snapshots.
+  uint64_t blocks = 0;         // Day blocks (block-less days count 1 each).
 };
 
 ValidationReport ValidateTraceFile(const std::string& path);

@@ -11,6 +11,7 @@
 //     0x02 peer table : u64 count, then `count` fixed 21-byte rows
 //                       {u32 country, u32 as, u32 ip, u64 user_id, u8 fw}
 //     0x03 day segment: columnar snapshot data for ONE day (below)
+//     0x04 day segment, blocked: the same day data split into blocks
 //     0x7f footer     : the index (below)
 //   trailer  : u64 footer_segment_offset, u32 magic "EDT2"
 //
@@ -23,13 +24,29 @@
 // random-accessible straight out of the mmap; everything per-day decodes
 // with one bounded linear scan.
 //
+// Blocked day segments (tag 0x04, DESIGN.md §6i) concatenate N blocks,
+// each with exactly the day-payload layout above (same day value in every
+// block header). All delta state re-anchors at a block boundary: a block's
+// first peer id encodes absolute (delta from 0), and file lists already
+// re-anchor per snapshot — so every block decodes independently and a day
+// can be scanned by N threads. The only cross-block invariant is that a
+// block's first peer exceeds the previous block's last peer; serial decode
+// checks it inline, parallel decode checks it at merge time in block
+// order. The footer records a per-day block directory (snapshot count,
+// payload bytes and a HashBytes64 checksum per block) right after the
+// day's index entry, so a reader can seek to any block without touching
+// the payload. Block-less v2 files (tag 0x03 only) remain fully readable.
+//
 // The footer indexes every day segment (day, absolute offset, snapshot
-// count, file entries) plus the table offsets and global counts, so a
-// reader can open a multi-GB file, mmap it, and serve any single day
-// without touching the rest. Writers emit segments append-only and write
-// the footer last, which is what makes generation restartable: a crashed
-// writer leaves a valid prefix of complete segments, and Resume() scans,
-// truncates any partial tail, and continues.
+// count, file entries, and the block directory for 0x04 segments) plus the
+// table offsets and global counts, so a reader can open a multi-GB file,
+// mmap it, and serve any single day without touching the rest. Writers
+// emit segments append-only and write the footer last, which is what makes
+// generation restartable: a crashed writer leaves a valid prefix of
+// complete segments, and Resume() scans, truncates any partial tail, and
+// continues (blocks are self-delimiting — each block header says how much
+// column data follows — so Resume recovers block boundaries and checksums
+// without a footer).
 //
 // Every decode path validates against attacker-controlled input: counts
 // are checked against the sizes of the regions that must back them before
@@ -58,7 +75,13 @@ inline constexpr uint32_t kMagicV1 = 0x544b4445;    // "EDKT" (version 1).
 inline constexpr uint8_t kTagFileTable = 0x01;
 inline constexpr uint8_t kTagPeerTable = 0x02;
 inline constexpr uint8_t kTagDay = 0x03;
+inline constexpr uint8_t kTagDayBlocked = 0x04;
 inline constexpr uint8_t kTagFooter = 0x7f;
+
+// Default writer block budget. ~1 MiB of encoded columns per block keeps
+// per-task scheduling overhead negligible while a 50 MB day still splits
+// into ~50 independently scannable pieces.
+inline constexpr uint64_t kDefaultBlockTargetBytes = 1 << 20;
 
 inline constexpr size_t kHeaderBytes = 8;            // magic + version.
 inline constexpr size_t kSegmentHeaderBytes = 9;     // tag + payload size.
@@ -87,6 +110,37 @@ inline uint32_t LoadU32(const uint8_t* p) {
 inline uint64_t LoadU64(const uint8_t* p) {
   return static_cast<uint64_t>(LoadU32(p)) |
          (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+// --- Block checksums --------------------------------------------------------
+
+inline uint64_t HashMix64(uint64_t x) {  // SplitMix64 finaliser.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// 64-bit content checksum of a block payload. Built from 8-byte
+// little-endian chunks (LoadU64, so the value is endian-stable) folded
+// through the SplitMix64 finaliser — fast enough to verify at scan rates,
+// strong enough that any single byte flip changes the value.
+inline uint64_t HashBytes64(const uint8_t* p, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    h = HashMix64(h ^ LoadU64(p + i));
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    for (size_t b = 0; i + b < n; ++b) {
+      tail |= static_cast<uint64_t>(p[i + b]) << (8 * b);
+    }
+    h = HashMix64(h ^ tail);
+  }
+  return HashMix64(h);
 }
 
 // --- Day segment decoding ---------------------------------------------------
@@ -128,26 +182,47 @@ inline bool ParseDayHeader(const uint8_t*& p, const uint8_t* end,
   return true;
 }
 
-// Decodes the three columns of a day segment and calls
+// Reusable decode state for day scans. One arena serves any number of
+// blocks/days/snapshots without per-snapshot allocation: `peers`/`sizes`
+// hold the current block's first two columns, `files` the current
+// snapshot's decoded file ids. Growth stops at the largest block a sweep
+// meets; parallel scans keep one arena per worker.
+struct DecodeArena {
+  std::vector<uint32_t> peers;
+  std::vector<uint32_t> sizes;
+  std::vector<uint32_t> files;
+};
+
+// Decodes ONE block (or one whole tag-0x03 day payload — the layouts are
+// identical) starting at `p`, advancing `p` past its last column byte, and
+// calls
 //   fn(uint32_t peer, const uint32_t* files, size_t count)
-// once per snapshot, in ascending peer order. `scratch` holds the decoded
-// file ids of the current snapshot (reused across calls; resized once to
-// the largest cache). Returns false — possibly after some callbacks — on
-// any corruption: non-ascending peers, ids out of range, column/entry
-// count mismatches, or truncated/overlong varints.
+// once per snapshot, in ascending peer order. `peer_floor` re-anchors the
+// cross-block ordering: the block's first peer id (encoded absolute) must
+// be >= floor — pass 0 for the first block / a whole day, last_peer + 1
+// for each subsequent block of a blocked segment. On success `header` (if
+// non-null) receives the block's parsed header and `last_peer` (if
+// non-null) its final peer id. Returns false — possibly after some
+// callbacks — on any corruption: non-ascending peers, ids out of range,
+// column/entry count mismatches, or truncated/overlong varints.
 template <typename Fn>
-bool DecodeDayPayload(const uint8_t* p, const uint8_t* end, uint64_t peer_count,
-                      uint64_t file_count, std::vector<uint32_t>& scratch,
-                      Fn&& fn) {
-  DayHeader header;
-  if (!ParseDayHeader(p, end, peer_count, header)) {
+bool DecodeDayBlock(const uint8_t*& p, const uint8_t* end, uint64_t peer_count,
+                    uint64_t file_count, uint64_t peer_floor,
+                    DecodeArena& arena, Fn&& fn, DayHeader* header = nullptr,
+                    uint32_t* last_peer = nullptr) {
+  DayHeader local;
+  if (!ParseDayHeader(p, end, peer_count, local)) {
     return false;
   }
+  if (header != nullptr) {
+    *header = local;
+  }
   // Column 1: peer ids (delta-encoded, strictly ascending).
-  std::vector<uint32_t> peers;
-  peers.reserve(header.snapshots);
+  std::vector<uint32_t>& peers = arena.peers;
+  peers.clear();
+  peers.reserve(local.snapshots);
   uint64_t peer = 0;
-  for (uint64_t i = 0; i < header.snapshots; ++i) {
+  for (uint64_t i = 0; i < local.snapshots; ++i) {
     uint64_t delta = 0;
     if (!wire::ReadVarint(p, end, delta)) {
       return false;
@@ -159,28 +234,36 @@ bool DecodeDayPayload(const uint8_t* p, const uint8_t* end, uint64_t peer_count,
       return false;  // Out of range (or would wrap).
     }
     peer += delta;
+    if (i == 0 && peer < peer_floor) {
+      return false;  // Block not after its predecessor.
+    }
     peers.push_back(static_cast<uint32_t>(peer));
   }
+  if (last_peer != nullptr && !peers.empty()) {
+    *last_peer = peers.back();
+  }
   // Column 2: cache sizes.
-  std::vector<uint32_t> sizes;
-  sizes.reserve(header.snapshots);
+  std::vector<uint32_t>& sizes = arena.sizes;
+  sizes.clear();
+  sizes.reserve(local.snapshots);
   uint64_t total = 0;
-  for (uint64_t i = 0; i < header.snapshots; ++i) {
+  for (uint64_t i = 0; i < local.snapshots; ++i) {
     uint64_t size = 0;
     if (!wire::ReadVarint(p, end, size)) {
       return false;
     }
     total += size;
-    if (size > file_count || total > header.file_entries) {
+    if (size > file_count || total > local.file_entries) {
       return false;
     }
     sizes.push_back(static_cast<uint32_t>(size));
   }
-  if (total != header.file_entries) {
+  if (total != local.file_entries) {
     return false;
   }
   // Column 3: concatenated delta-varint file lists.
-  for (uint64_t i = 0; i < header.snapshots; ++i) {
+  std::vector<uint32_t>& scratch = arena.files;
+  for (uint64_t i = 0; i < local.snapshots; ++i) {
     const uint32_t size = sizes[i];
     if (scratch.size() < size) {
       scratch.resize(size);
@@ -199,6 +282,37 @@ bool DecodeDayPayload(const uint8_t* p, const uint8_t* end, uint64_t peer_count,
     }
     fn(peers[i], scratch.data(), static_cast<size_t>(size));
   }
+  return true;
+}
+
+// Decodes a whole day payload: one block for tag-0x03 segments, a chain of
+// re-anchored blocks for tag-0x04 segments (`expected_day`, from the
+// footer/first block, keeps every block on the same day). The payload must
+// be consumed exactly.
+template <typename Fn>
+bool DecodeDayPayload(const uint8_t* p, const uint8_t* end, uint64_t peer_count,
+                      uint64_t file_count, DecodeArena& arena, Fn&& fn,
+                      bool blocked = false) {
+  uint64_t floor = 0;
+  int expected_day = 0;
+  bool first = true;
+  do {
+    DayHeader header;
+    uint32_t last = 0;
+    if (!DecodeDayBlock(p, end, peer_count, file_count, floor, arena,
+                        static_cast<Fn&&>(fn), &header, &last)) {
+      return false;
+    }
+    if (first) {
+      expected_day = header.day;
+      first = false;
+    } else if (header.day != expected_day) {
+      return false;  // A block wandered onto another day.
+    }
+    if (header.snapshots > 0) {
+      floor = static_cast<uint64_t>(last) + 1;
+    }
+  } while (blocked && p != end);
   return p == end;  // Trailing bytes in the payload are corruption too.
 }
 
@@ -229,6 +343,75 @@ inline void EncodeDayPayload(std::string& out, int day,
       prev_file = entries[cursor];
       ++cursor;
     }
+  }
+}
+
+// One entry of a blocked day's footer block directory.
+struct BlockEntry {
+  uint64_t snapshots = 0;
+  uint64_t bytes = 0;     // Encoded block size (header + columns).
+  uint64_t checksum = 0;  // HashBytes64 over those bytes.
+};
+
+// Appends the payload of a tag-0x04 blocked day segment: the same columns
+// as EncodeDayPayload, split into independently decodable blocks. A block
+// closes once its encoded columns reach `block_target_bytes` (so one
+// oversized snapshot still fits a block alone), and the next block
+// re-anchors its peer deltas at absolute ids. Appends one BlockEntry per
+// block to `blocks`. A day with no snapshots emits a single header-only
+// block. With a target no block can reach, the single block's bytes equal
+// EncodeDayPayload's output exactly — blocked and unblocked files differ
+// only in segment tags and the footer.
+inline void EncodeDayBlocks(std::string& out, int day,
+                            const std::vector<uint32_t>& peers,
+                            const std::vector<uint32_t>& sizes,
+                            const std::vector<uint32_t>& entries,
+                            uint64_t block_target_bytes,
+                            std::vector<BlockEntry>& blocks) {
+  std::string col_peers;
+  std::string col_sizes;
+  std::string col_files;
+  const auto flush_block = [&](uint64_t snapshots, uint64_t block_entries) {
+    const size_t begin = out.size();
+    wire::AppendVarint(out, wire::ZigZagEncode(day));
+    wire::AppendVarint(out, snapshots);
+    wire::AppendVarint(out, block_entries);
+    out.append(col_peers);
+    out.append(col_sizes);
+    out.append(col_files);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(out.data()) + begin;
+    blocks.push_back(BlockEntry{snapshots, out.size() - begin,
+                                HashBytes64(p, out.size() - begin)});
+    col_peers.clear();
+    col_sizes.clear();
+    col_files.clear();
+  };
+  uint64_t block_snapshots = 0;
+  uint64_t block_entries = 0;
+  uint64_t previous_peer = 0;  // Reset at each block boundary: re-anchoring.
+  size_t cursor = 0;
+  for (size_t i = 0; i < peers.size(); ++i) {
+    wire::AppendVarint(col_peers, peers[i] - previous_peer);
+    previous_peer = peers[i];
+    wire::AppendVarint(col_sizes, sizes[i]);
+    uint64_t prev_file = 0;
+    for (uint32_t f = 0; f < sizes[i]; ++f) {
+      wire::AppendVarint(col_files, entries[cursor] - prev_file);
+      prev_file = entries[cursor];
+      ++cursor;
+    }
+    ++block_snapshots;
+    block_entries += sizes[i];
+    if (col_peers.size() + col_sizes.size() + col_files.size() >=
+        block_target_bytes) {
+      flush_block(block_snapshots, block_entries);
+      block_snapshots = 0;
+      block_entries = 0;
+      previous_peer = 0;
+    }
+  }
+  if (block_snapshots > 0 || blocks.empty()) {
+    flush_block(block_snapshots, block_entries);
   }
 }
 

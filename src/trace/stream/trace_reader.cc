@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/exec/parallel.h"
+#include "src/trace/stream/parallel_scan.h"
+
 namespace edk::stream {
 
 TraceReader& TraceReader::operator=(TraceReader&& other) noexcept {
@@ -171,25 +174,74 @@ std::optional<TraceReader> TraceReader::Open(const std::string& path,
         footer_offset - offset < kSegmentHeaderBytes) {
       return fail("footer day offset out of range");
     }
-    if (data[offset] != kTagDay) {
+    const uint8_t tag = data[offset];
+    if (tag != kTagDay && tag != kTagDayBlocked) {
       return fail("footer day entry does not point at a day segment");
     }
     const uint64_t payload_bytes = LoadU64(data + offset + 1);
     if (payload_bytes > footer_offset - offset - kSegmentHeaderBytes) {
       return fail("day segment overruns the footer");
     }
-    // Cross-check the segment's own header against the index entry; full
-    // payload decoding stays deferred to ReadDay/ForEachSnapshot.
-    const uint8_t* dp = data + offset + kSegmentHeaderBytes;
-    DayHeader header;
-    if (!ParseDayHeader(dp, dp + payload_bytes, reader.peer_count_, header) ||
-        header.day != static_cast<int>(day) || header.snapshots != snapshots ||
-        header.file_entries != entries) {
-      return fail("day segment header disagrees with the footer");
+    DayInfo info{static_cast<int>(day), offset + kSegmentHeaderBytes,
+                 payload_bytes, snapshots, entries, {}};
+    if (tag == kTagDay) {
+      // Cross-check the segment's own header against the index entry; full
+      // payload decoding stays deferred to ReadDay/ForEachSnapshot.
+      const uint8_t* dp = data + offset + kSegmentHeaderBytes;
+      DayHeader header;
+      if (!ParseDayHeader(dp, dp + payload_bytes, reader.peer_count_, header) ||
+          header.day != static_cast<int>(day) || header.snapshots != snapshots ||
+          header.file_entries != entries) {
+        return fail("day segment header disagrees with the footer");
+      }
+    } else {
+      // Blocked day: the index entry carries the block directory. Validate
+      // that the blocks tile the payload exactly and that every block's own
+      // header agrees with its directory entry (payload decoding and
+      // checksum verification stay deferred).
+      uint64_t block_count = 0;
+      // Each directory entry is >= 10 bytes (1 + 1 + 8).
+      if (!wire::ReadVarint(p, end, block_count) || block_count == 0 ||
+          block_count > static_cast<uint64_t>(end - p) / 10) {
+        return fail("footer block count not backed by the footer size");
+      }
+      info.blocks.reserve(block_count);
+      uint64_t cursor = info.payload_offset;
+      uint64_t bytes_left = payload_bytes;
+      uint64_t sum_snapshots = 0;
+      uint64_t sum_entries = 0;
+      for (uint64_t b = 0; b < block_count; ++b) {
+        uint64_t block_snapshots = 0;
+        uint64_t block_bytes = 0;
+        if (!wire::ReadVarint(p, end, block_snapshots) ||
+            !wire::ReadVarint(p, end, block_bytes) || end - p < 8) {
+          return fail("truncated footer block entry");
+        }
+        const uint64_t checksum = LoadU64(p);
+        p += 8;
+        if (block_bytes > bytes_left) {
+          return fail("block directory overruns its day segment");
+        }
+        const uint8_t* bp = data + cursor;
+        DayHeader header;
+        if (!ParseDayHeader(bp, bp + block_bytes, reader.peer_count_, header) ||
+            header.day != static_cast<int>(day) ||
+            header.snapshots != block_snapshots) {
+          return fail("block header disagrees with the footer directory");
+        }
+        sum_snapshots += block_snapshots;
+        sum_entries += header.file_entries;
+        info.blocks.push_back(BlockInfo{cursor, block_bytes, block_snapshots,
+                                        header.file_entries, checksum});
+        cursor += block_bytes;
+        bytes_left -= block_bytes;
+      }
+      if (bytes_left != 0 || sum_snapshots != snapshots ||
+          sum_entries != entries) {
+        return fail("block directory disagrees with the day index entry");
+      }
     }
-    reader.days_.push_back(DayInfo{static_cast<int>(day),
-                                   offset + kSegmentHeaderBytes, payload_bytes,
-                                   snapshots, entries});
+    reader.days_.push_back(std::move(info));
     previous_day = static_cast<int>(day);
   }
   if (p != end) {
@@ -248,17 +300,94 @@ std::vector<PeerInfo> TraceReader::Peers() const {
 
 std::optional<TraceReader::DayCaches> TraceReader::ReadDay(
     const DayInfo& info, std::string* error) const {
+  const auto fail = [&]() -> std::optional<DayCaches> {
+    if (error != nullptr) {
+      *error = "corrupt day segment for day " + std::to_string(info.day);
+    }
+    return std::nullopt;
+  };
   DayCaches result;
   result.day = info.day;
+  if (info.blocks.size() >= 2 && DefaultThreads() > 1) {
+    // Block-parallel fill. The footer block directory gives every block's
+    // snapshot and entry counts up front, so each block owns a disjoint
+    // slice of the observed-peer, size and flat-entry arrays — the filled
+    // contents are position-identical to the serial decode by construction.
+    result.peers.resize(info.snapshots);
+    std::vector<uint32_t> sizes(info.snapshots);
+    std::vector<uint32_t> flat(info.file_entries);
+    std::vector<uint64_t> snap_base(info.blocks.size(), 0);
+    std::vector<uint64_t> entry_base(info.blocks.size(), 0);
+    for (size_t b = 1; b < info.blocks.size(); ++b) {
+      snap_base[b] = snap_base[b - 1] + info.blocks[b - 1].snapshots;
+      entry_base[b] = entry_base[b - 1] + info.blocks[b - 1].file_entries;
+    }
+    std::vector<uint8_t> ok(info.blocks.size(), 0);
+    ArenaPool arenas;
+    ParallelFor(0, info.blocks.size(), [&](size_t b) {
+      ArenaPool::Lease arena(arenas);
+      // Open pinned each block's header against the footer directory, so
+      // the decode fills its slice exactly — but the mapped bytes can
+      // change under us on disk, so the slice bounds are re-checked before
+      // every write rather than trusted.
+      const uint64_t snap_limit = snap_base[b] + info.blocks[b].snapshots;
+      const uint64_t entry_limit = entry_base[b] + info.blocks[b].file_entries;
+      uint64_t snap = snap_base[b];
+      uint64_t entry = entry_base[b];
+      bool in_bounds = true;
+      const bool decoded = ForEachSnapshotInBlock(
+          info, b, *arena,
+          [&](uint32_t peer, const uint32_t* files, size_t count) {
+            if (snap >= snap_limit || count > entry_limit - entry) {
+              in_bounds = false;
+              return;
+            }
+            result.peers[snap] = peer;
+            sizes[snap] = static_cast<uint32_t>(count);
+            ++snap;
+            std::copy(files, files + count, flat.begin() + entry);
+            entry += count;
+          });
+      ok[b] = decoded && in_bounds && snap == snap_limit && entry == entry_limit;
+    });
+    for (size_t b = 0; b < info.blocks.size(); ++b) {
+      if (ok[b] == 0) {
+        return fail();
+      }
+    }
+    // Cross-block peer ordering, in block order (the parallel decode could
+    // not check it inline).
+    for (uint64_t i = 1; i < info.snapshots; ++i) {
+      if (result.peers[i] <= result.peers[i - 1]) {
+        return fail();
+      }
+    }
+    std::vector<size_t> offsets(peer_count_ + 1);
+    size_t idx = 0;
+    size_t acc = 0;
+    for (uint64_t i = 0; i < info.snapshots; ++i) {
+      const uint32_t peer = result.peers[i];
+      while (idx <= peer) {
+        offsets[idx++] = acc;
+      }
+      acc += sizes[i];
+      offsets[idx++] = acc;
+    }
+    while (idx <= peer_count_) {
+      offsets[idx++] = acc;
+    }
+    result.store = CacheStore::FromCsr(std::move(flat), std::move(offsets));
+    return result;
+  }
   result.peers.reserve(info.snapshots);
   std::vector<uint32_t> flat;
   flat.reserve(info.file_entries);
   std::vector<size_t> offsets;
   offsets.reserve(peer_count_ + 1);
   offsets.push_back(0);
-  std::vector<uint32_t> scratch;
+  DecodeArena arena;
   const bool ok = ForEachSnapshot(
-      info, scratch, [&](uint32_t peer, const uint32_t* files, size_t count) {
+      info, arena, [&](uint32_t peer, const uint32_t* files, size_t count) {
         // Empty rows for the peers not observed since the previous snapshot.
         while (offsets.size() < static_cast<size_t>(peer) + 1) {
           offsets.push_back(flat.size());
@@ -268,10 +397,7 @@ std::optional<TraceReader::DayCaches> TraceReader::ReadDay(
         result.peers.push_back(peer);
       });
   if (!ok) {
-    if (error != nullptr) {
-      *error = "corrupt day segment for day " + std::to_string(info.day);
-    }
-    return std::nullopt;
+    return fail();
   }
   while (offsets.size() < peer_count_ + 1) {
     offsets.push_back(flat.size());

@@ -37,12 +37,23 @@ namespace edk::stream {
 
 class TraceReader {
  public:
+  // One block of a blocked (tag 0x04) day segment, from the footer block
+  // directory cross-checked against the block's own header at Open.
+  struct BlockInfo {
+    uint64_t offset = 0;  // Absolute offset of the block's first byte.
+    uint64_t bytes = 0;
+    uint64_t snapshots = 0;
+    uint64_t file_entries = 0;
+    uint64_t checksum = 0;  // HashBytes64 over the block's bytes.
+  };
+
   struct DayInfo {
     int day = 0;
     uint64_t payload_offset = 0;  // Absolute offset of the segment payload.
     uint64_t payload_bytes = 0;
     uint64_t snapshots = 0;
     uint64_t file_entries = 0;
+    std::vector<BlockInfo> blocks;  // Empty for block-less (0x03) days.
   };
 
   // One day's caches in CacheStore form. `store` has a row for every peer
@@ -69,6 +80,10 @@ class TraceReader {
   uint64_t peer_count() const { return peer_count_; }
   uint64_t size_bytes() const { return size_; }
 
+  // Raw mapped bytes at `offset` (which must come from a validated
+  // DayInfo/BlockInfo) — checksum verification hashes blocks in place.
+  const uint8_t* DataAt(uint64_t offset) const { return data_ + offset; }
+
   // Day index from the footer, ascending by day.
   const std::vector<DayInfo>& days() const { return days_; }
   const DayInfo* FindDay(int day) const;  // nullptr when absent.
@@ -85,18 +100,54 @@ class TraceReader {
   std::vector<PeerInfo> Peers() const;
 
   // Streaming decode of one day: fn(uint32_t peer, const uint32_t* files,
-  // size_t count) per snapshot in ascending peer order. Returns false on
-  // corruption (possibly after some callbacks). `scratch` is reused across
-  // calls to avoid reallocation in day sweeps.
+  // size_t count) per snapshot in ascending peer order (block chains are
+  // walked in order with the cross-block peer monotonicity enforced
+  // inline). Returns false on corruption (possibly after some callbacks).
+  // `arena` is reused across calls to avoid reallocation in day sweeps.
   template <typename Fn>
-  bool ForEachSnapshot(const DayInfo& info, std::vector<uint32_t>& scratch,
+  bool ForEachSnapshot(const DayInfo& info, DecodeArena& arena,
                        Fn&& fn) const {
     const uint8_t* p = data_ + info.payload_offset;
     return DecodeDayPayload(p, p + info.payload_bytes, peer_count_,
-                            file_count_, scratch, static_cast<Fn&&>(fn));
+                            file_count_, arena, static_cast<Fn&&>(fn),
+                            /*blocked=*/!info.blocks.empty());
+  }
+
+  // Number of independently decodable pieces of a day: its block count, or
+  // 1 for a block-less day (whose whole payload is the single piece).
+  static size_t BlockCount(const DayInfo& info) {
+    return info.blocks.empty() ? 1 : info.blocks.size();
+  }
+
+  // Streaming decode of ONE block of a day (block-less days expose their
+  // whole payload as block 0) — the unit of the parallel scan
+  // (parallel_scan.h). Callbacks arrive in ascending peer order within the
+  // block; cross-block ordering is the caller's merge-time check, via
+  // `first_peer`/`last_peer` (set only when the block has snapshots).
+  template <typename Fn>
+  bool ForEachSnapshotInBlock(const DayInfo& info, size_t block,
+                              DecodeArena& arena, Fn&& fn,
+                              uint32_t* first_peer = nullptr,
+                              uint32_t* last_peer = nullptr) const {
+    const uint8_t* p = data_ + (info.blocks.empty()
+                                    ? info.payload_offset
+                                    : info.blocks[block].offset);
+    const uint8_t* end =
+        p + (info.blocks.empty() ? info.payload_bytes : info.blocks[block].bytes);
+    if (!DecodeDayBlock(p, end, peer_count_, file_count_, /*peer_floor=*/0,
+                        arena, static_cast<Fn&&>(fn), nullptr, last_peer)) {
+      return false;
+    }
+    if (first_peer != nullptr && !arena.peers.empty()) {
+      *first_peer = arena.peers.front();
+    }
+    return p == end;
   }
 
   // Decodes one day into the FromTraceDay-identical CacheStore view.
+  // Blocked days with more than one block fill the view block-parallel on
+  // the exec pool (disjoint slices — the result is identical to the serial
+  // fill by construction); block-less days and --threads=1 decode serially.
   std::optional<DayCaches> ReadDay(const DayInfo& info,
                                    std::string* error = nullptr) const;
 

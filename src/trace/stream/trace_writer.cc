@@ -61,7 +61,8 @@ bool TraceWriter::WriteSegment(uint8_t tag, const std::string& payload) {
 std::optional<TraceWriter> TraceWriter::Create(const std::string& path,
                                                std::span<const FileMeta> files,
                                                std::span<const PeerInfo> peers,
-                                               std::string* error) {
+                                               std::string* error,
+                                               const Options& options) {
   const auto fail = [&](const std::string& message) -> std::optional<TraceWriter> {
     if (error != nullptr) {
       *error = message;
@@ -73,6 +74,7 @@ std::optional<TraceWriter> TraceWriter::Create(const std::string& path,
   }
   TraceWriter writer;
   writer.path_ = path;
+  writer.options_ = options;
   writer.file_count_ = files.size();
   writer.peer_count_ = peers.size();
   writer.os_.open(path, std::ios::binary | std::ios::trunc);
@@ -124,7 +126,8 @@ std::optional<TraceWriter> TraceWriter::Create(const std::string& path,
 std::optional<TraceWriter> TraceWriter::Resume(const std::string& path,
                                                std::span<const FileMeta> files,
                                                std::span<const PeerInfo> peers,
-                                               std::string* error) {
+                                               std::string* error,
+                                               const Options& options) {
   const auto fail = [&](const std::string& message) -> std::optional<TraceWriter> {
     if (error != nullptr) {
       *error = message;
@@ -148,6 +151,7 @@ std::optional<TraceWriter> TraceWriter::Resume(const std::string& path,
 
   TraceWriter writer;
   writer.path_ = path;
+  writer.options_ = options;
   writer.file_count_ = files.size();
   writer.peer_count_ = peers.size();
 
@@ -157,7 +161,7 @@ std::optional<TraceWriter> TraceWriter::Resume(const std::string& path,
   uint64_t valid_end = offset;
   int stage = 0;  // 0 = expect file table, 1 = expect peer table, 2 = days.
   std::string payload;
-  std::vector<uint32_t> scratch;
+  DecodeArena arena;
   while (offset + kSegmentHeaderBytes <= size) {
     uint8_t segment_header[kSegmentHeaderBytes];
     in.seekg(static_cast<std::streamoff>(offset));
@@ -189,31 +193,66 @@ std::optional<TraceWriter> TraceWriter::Resume(const std::string& path,
         writer.peer_table_offset_ = offset;
       }
       ++stage;
-    } else if (tag == kTagDay) {
+    } else if (tag == kTagDay || tag == kTagDayBlocked) {
       payload.resize(payload_bytes);
       if (!in.read(payload.data(), static_cast<std::streamsize>(payload_bytes))) {
         break;
       }
       const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
       const uint8_t* end = p + payload_bytes;
-      DayHeader day_header;
-      {
-        const uint8_t* probe = p;
-        if (!ParseDayHeader(probe, end, peers.size(), day_header)) {
+      // Deep validation: the last segment before a crash may be complete at
+      // the framing level but torn inside. Blocks are self-delimiting, so a
+      // blocked segment's directory (per-block snapshot counts, sizes and
+      // checksums — the footer was dropped or never written) is rebuilt
+      // from the same pass.
+      DayEntry entry;
+      entry.offset = offset;
+      uint64_t floor = 0;
+      bool torn = false;
+      bool first = true;
+      while (true) {
+        const uint8_t* block_begin = p;
+        DayHeader block_header;
+        uint32_t last = 0;
+        if (!DecodeDayBlock(p, end, peers.size(), files.size(), floor, arena,
+                            [](uint32_t, const uint32_t*, size_t) {},
+                            &block_header, &last)) {
+          torn = true;
+          break;
+        }
+        if (first) {
+          entry.day = block_header.day;
+          first = false;
+        } else if (block_header.day != entry.day) {
+          torn = true;
+          break;
+        }
+        if (tag == kTagDayBlocked) {
+          const uint64_t block_bytes = static_cast<uint64_t>(p - block_begin);
+          entry.blocks.push_back(BlockEntry{
+              block_header.snapshots, block_bytes,
+              HashBytes64(block_begin, static_cast<size_t>(block_bytes))});
+        }
+        entry.snapshots += block_header.snapshots;
+        entry.file_entries += block_header.file_entries;
+        if (block_header.snapshots > 0) {
+          floor = static_cast<uint64_t>(last) + 1;
+        }
+        if (p == end) {
+          break;
+        }
+        if (tag == kTagDay) {
+          torn = true;  // Trailing bytes after a block-less day payload.
           break;
         }
       }
-      if (!writer.days_.empty() && day_header.day <= writer.days_.back().day) {
+      if (torn) {
         break;
       }
-      // Deep validation: the last segment before a crash may be complete at
-      // the framing level but torn inside.
-      if (!DecodeDayPayload(p, end, peers.size(), files.size(), scratch,
-                            [](uint32_t, const uint32_t*, size_t) {})) {
+      if (!writer.days_.empty() && entry.day <= writer.days_.back().day) {
         break;
       }
-      writer.days_.push_back(DayEntry{day_header.day, offset, day_header.snapshots,
-                                      day_header.file_entries});
+      writer.days_.push_back(std::move(entry));
     } else {
       break;  // Unknown tag: treat as a torn tail.
     }
@@ -291,9 +330,17 @@ bool TraceWriter::EndDay() {
   }
   std::string payload;
   payload.reserve(8 + day_peers_.size() * 2 + day_entries_.size() * 2);
-  EncodeDayPayload(payload, day_, day_peers_, day_sizes_, day_entries_);
+  std::vector<BlockEntry> blocks;
+  uint8_t tag = kTagDay;
+  if (options_.block_target_bytes == 0) {
+    EncodeDayPayload(payload, day_, day_peers_, day_sizes_, day_entries_);
+  } else {
+    tag = kTagDayBlocked;
+    EncodeDayBlocks(payload, day_, day_peers_, day_sizes_, day_entries_,
+                    options_.block_target_bytes, blocks);
+  }
   const uint64_t segment_offset = offset_;
-  if (!WriteSegment(kTagDay, payload)) {
+  if (!WriteSegment(tag, payload)) {
     return false;
   }
   // Flush per day: a killed run leaves complete, resumable segments.
@@ -302,7 +349,7 @@ bool TraceWriter::EndDay() {
     return Fail("flush failed after day " + std::to_string(day_));
   }
   days_.push_back(DayEntry{day_, segment_offset, day_peers_.size(),
-                           day_entries_.size()});
+                           day_entries_.size(), std::move(blocks)});
   day_open_ = false;
   return true;
 }
@@ -325,6 +372,17 @@ bool TraceWriter::Finish() {
     AppendU64(payload, entry.offset);
     wire::AppendVarint(payload, entry.snapshots);
     wire::AppendVarint(payload, entry.file_entries);
+    // Blocked days (tag 0x04 — the reader keys off the segment tag, so
+    // block-less footers stay byte-identical to PR 7) append their block
+    // directory right after the index entry.
+    if (!entry.blocks.empty()) {
+      wire::AppendVarint(payload, entry.blocks.size());
+      for (const BlockEntry& block : entry.blocks) {
+        wire::AppendVarint(payload, block.snapshots);
+        wire::AppendVarint(payload, block.bytes);
+        AppendU64(payload, block.checksum);
+      }
+    }
   }
   const uint64_t footer_offset = offset_;
   if (!WriteSegment(kTagFooter, payload)) {

@@ -32,17 +32,30 @@
 #include <string>
 #include <vector>
 
+#include "src/trace/stream/format.h"
 #include "src/trace/trace.h"
 
 namespace edk::stream {
 
+// Namespace-scope (not nested) so it is a complete type when used as an
+// in-class default argument below; spelled TraceWriter::Options at call
+// sites via the alias.
+struct WriterOptions {
+  // Target encoded size per day block (tag 0x04). 0 writes legacy
+  // block-less tag-0x03 segments — byte-compatible with PR 7 files.
+  uint64_t block_target_bytes = kDefaultBlockTargetBytes;
+};
+
 class TraceWriter {
  public:
+  using Options = WriterOptions;
+
   struct DayEntry {
     int day = 0;
     uint64_t offset = 0;  // Absolute offset of the segment's tag byte.
     uint64_t snapshots = 0;
     uint64_t file_entries = 0;
+    std::vector<BlockEntry> blocks;  // Empty for block-less (0x03) days.
   };
 
   TraceWriter(TraceWriter&&) = default;
@@ -52,15 +65,20 @@ class TraceWriter {
   static std::optional<TraceWriter> Create(const std::string& path,
                                            std::span<const FileMeta> files,
                                            std::span<const PeerInfo> peers,
-                                           std::string* error = nullptr);
+                                           std::string* error = nullptr,
+                                           const Options& options = {});
 
   // Re-opens an unfinished (or finished) v2 file whose tables match the
   // given catalog sizes, truncates any partial tail or stale footer, and
-  // resumes appending after the last complete day.
+  // resumes appending after the last complete day. Both day-segment tags
+  // are accepted regardless of `options` (block boundaries and checksums
+  // are recovered from the self-delimiting blocks); `options` governs the
+  // days appended from here on.
   static std::optional<TraceWriter> Resume(const std::string& path,
                                            std::span<const FileMeta> files,
                                            std::span<const PeerInfo> peers,
-                                           std::string* error = nullptr);
+                                           std::string* error = nullptr,
+                                           const Options& options = {});
 
   // Days already in the file (ascending). Empty until the first EndDay().
   const std::vector<DayEntry>& days() const { return days_; }
@@ -87,6 +105,7 @@ class TraceWriter {
 
   std::ofstream os_;
   std::string path_;
+  Options options_;
   uint64_t offset_ = 0;  // Bytes written so far == current file size.
   uint64_t file_count_ = 0;
   uint64_t peer_count_ = 0;

@@ -15,13 +15,13 @@ namespace edk {
 
 namespace {
 
-std::optional<stream::TraceWriter> OpenWriter(const std::string& path,
-                                              bool resume,
-                                              std::span<const FileMeta> files,
-                                              std::span<const PeerInfo> peers,
-                                              std::string* error) {
-  return resume ? stream::TraceWriter::Resume(path, files, peers, error)
-                : stream::TraceWriter::Create(path, files, peers, error);
+std::optional<stream::TraceWriter> OpenWriter(
+    const std::string& path, bool resume, std::span<const FileMeta> files,
+    std::span<const PeerInfo> peers, std::string* error,
+    const stream::TraceWriter::Options& options) {
+  return resume
+             ? stream::TraceWriter::Resume(path, files, peers, error, options)
+             : stream::TraceWriter::Create(path, files, peers, error, options);
 }
 
 bool FinishWriter(stream::TraceWriter& writer, StreamGenerateStats& stats,
@@ -49,7 +49,7 @@ inline uint64_t Mix(uint64_t x) {
 
 std::optional<StreamGenerateStats> GenerateWorkloadStreaming(
     const WorkloadConfig& config, const std::string& path, bool resume,
-    std::string* error) {
+    std::string* error, const stream::TraceWriter::Options& options) {
   obs::PhaseTimer timer("workload.stream_generate");
   Rng rng(config.seed);
   const Geography geography = Geography::PaperDistribution();
@@ -68,7 +68,7 @@ std::optional<StreamGenerateStats> GenerateWorkloadStreaming(
     peers.push_back(profile.info);
   }
 
-  auto writer = OpenWriter(path, resume, files, peers, error);
+  auto writer = OpenWriter(path, resume, files, peers, error, options);
   if (!writer.has_value()) {
     return std::nullopt;
   }
@@ -120,7 +120,7 @@ std::optional<StreamGenerateStats> GenerateWorkloadStreaming(
 
 std::optional<StreamGenerateStats> GenerateScaleTrace(
     const ScaleTraceConfig& config, const std::string& path, bool resume,
-    std::string* error) {
+    std::string* error, const stream::TraceWriter::Options& options) {
   obs::PhaseTimer timer("workload.scale_trace_generate");
   if (config.num_files < 64 || config.num_peers == 0 ||
       config.min_cache > config.max_cache || config.online_per_myriad > 10'000) {
@@ -155,7 +155,7 @@ std::optional<StreamGenerateStats> GenerateScaleTrace(
     peers.push_back(info);
   }
 
-  auto writer = OpenWriter(path, resume, files, peers, error);
+  auto writer = OpenWriter(path, resume, files, peers, error, options);
   if (!writer.has_value()) {
     return std::nullopt;
   }

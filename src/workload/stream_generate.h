@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "src/trace/stream/trace_writer.h"
 #include "src/workload/config.h"
 
 namespace edk {
@@ -43,7 +44,8 @@ struct StreamGenerateStats {
 
 std::optional<StreamGenerateStats> GenerateWorkloadStreaming(
     const WorkloadConfig& config, const std::string& path, bool resume = false,
-    std::string* error = nullptr);
+    std::string* error = nullptr,
+    const stream::TraceWriter::Options& options = {});
 
 // Hash-model shape knobs. Caches are `min_cache..max_cache` ids drawn
 // strictly ascending from a ~`window`-wide band of the id space anchored
@@ -63,7 +65,8 @@ struct ScaleTraceConfig {
 
 std::optional<StreamGenerateStats> GenerateScaleTrace(
     const ScaleTraceConfig& config, const std::string& path,
-    bool resume = false, std::string* error = nullptr);
+    bool resume = false, std::string* error = nullptr,
+    const stream::TraceWriter::Options& options = {});
 
 }  // namespace edk
 

@@ -1,9 +1,10 @@
 // Byte-identity of the out-of-core streaming pipeline with the in-RAM
 // analyses (DESIGN.md §6h): every Streaming* twin must produce EXACTLY the
 // results of its Trace-based counterpart — integer fields equal, double
-// fields bit-equal — at any thread count. A generated small workload (not
-// a hand-built toy) keeps the comparison honest: multi-week span, churn,
-// empty caches, days with nobody online.
+// fields bit-equal — at any thread count AND under either day encoding
+// (block-less tag 0x03 vs blocked tag 0x04, DESIGN.md §6i). A generated
+// small workload (not a hand-built toy) keeps the comparison honest:
+// multi-week span, churn, empty caches, days with nobody online.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
@@ -27,6 +28,10 @@
 namespace edk {
 namespace {
 
+// The identity grid every parallel twin is checked on: serial, a thread
+// count below the per-day block count, and one above it.
+constexpr size_t kThreadGrid[] = {1, 2, 8};
+
 class StreamingEquivalenceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -35,19 +40,33 @@ class StreamingEquivalenceTest : public ::testing::Test {
     trace_ = new Trace(GenerateWorkload(config).trace);
     // ctest runs each TEST as its own process; a shared path would let one
     // process truncate the file while a sibling still has it mmapped.
-    path_ = ::testing::TempDir() + "/streaming_equiv." +
-            std::to_string(::getpid()) + ".edk2";
+    const std::string stem = ::testing::TempDir() + "/streaming_equiv." +
+                             std::to_string(::getpid());
+    // One block-less file and one with a tiny block target so every day
+    // splits into several blocks — the parallel decode path is only
+    // convincing if blocks-per-day exceeds 1.
+    paths_[0] = stem + ".flat.edk2";
+    paths_[1] = stem + ".blocked.edk2";
     std::string error;
-    ASSERT_TRUE(stream::SaveTraceV2ToFile(*trace_, path_, &error)) << error;
-    auto opened = stream::TraceReader::Open(path_, &error);
-    ASSERT_TRUE(opened.has_value()) << error;
-    reader_ = new std::optional<stream::TraceReader>(std::move(*opened));
+    ASSERT_TRUE(stream::SaveTraceV2ToFile(*trace_, paths_[0], &error,
+                                          {.block_target_bytes = 0}))
+        << error;
+    ASSERT_TRUE(stream::SaveTraceV2ToFile(*trace_, paths_[1], &error,
+                                          {.block_target_bytes = 256}))
+        << error;
+    for (int i = 0; i < 2; ++i) {
+      auto opened = stream::TraceReader::Open(paths_[i], &error);
+      ASSERT_TRUE(opened.has_value()) << paths_[i] << ": " << error;
+      readers_[i] = new std::optional<stream::TraceReader>(std::move(*opened));
+    }
   }
 
   static void TearDownTestSuite() {
-    delete reader_;
-    reader_ = nullptr;
-    std::remove(path_.c_str());
+    for (int i = 0; i < 2; ++i) {
+      delete readers_[i];
+      readers_[i] = nullptr;
+      std::remove(paths_[i].c_str());
+    }
     delete trace_;
     trace_ = nullptr;
     SetDefaultThreads(0);
@@ -56,51 +75,80 @@ class StreamingEquivalenceTest : public ::testing::Test {
   void TearDown() override { SetDefaultThreads(0); }
 
   static const Trace& trace() { return *trace_; }
-  static const stream::TraceReader& reader() { return **reader_; }
+  // The blocked reader is the default subject; tests that sweep encodings
+  // use ForEachGridPoint below.
+  static const stream::TraceReader& reader() { return **readers_[1]; }
+
+  // Runs `check(reader)` at every (encoding, thread count) grid point.
+  template <typename Fn>
+  static void ForEachGridPoint(Fn&& check) {
+    for (int i = 0; i < 2; ++i) {
+      for (const size_t threads : kThreadGrid) {
+        SetDefaultThreads(threads);
+        SCOPED_TRACE((i == 0 ? "flat file, " : "blocked file, ") +
+                     std::to_string(threads) + " threads");
+        check(**readers_[i]);
+      }
+    }
+    SetDefaultThreads(0);
+  }
 
   static Trace* trace_;
-  static std::optional<stream::TraceReader>* reader_;
-  static std::string path_;
+  static std::optional<stream::TraceReader>* readers_[2];
+  static std::string paths_[2];
 };
 
 Trace* StreamingEquivalenceTest::trace_ = nullptr;
-std::optional<stream::TraceReader>* StreamingEquivalenceTest::reader_ = nullptr;
-std::string StreamingEquivalenceTest::path_;
+std::optional<stream::TraceReader>* StreamingEquivalenceTest::readers_[2] = {
+    nullptr, nullptr};
+std::string StreamingEquivalenceTest::paths_[2];
 
 TEST_F(StreamingEquivalenceTest, WorkloadHasTheEdgeCases) {
   // The equivalence below is only convincing if the input exercises the
-  // interesting shapes: a multi-day span and peers absent on some days.
+  // interesting shapes: a multi-day span, peers absent on some days, and a
+  // blocked file whose days really do split into several blocks.
   EXPECT_GT(trace().last_day() - trace().first_day(), 5);
   EXPECT_GT(trace().peer_count(), 100u);
-  EXPECT_FALSE(reader().days().empty());
+  ASSERT_FALSE(reader().days().empty());
   uint64_t total_snapshots = 0;
+  uint64_t total_blocks = 0;
   for (const auto& info : reader().days()) {
     total_snapshots += info.snapshots;
+    total_blocks += stream::TraceReader::BlockCount(info);
   }
   EXPECT_LT(total_snapshots,
             reader().days().size() * trace().peer_count());  // Churn.
+  EXPECT_GT(total_blocks, reader().days().size());  // Multi-block days.
 }
 
 TEST_F(StreamingEquivalenceTest, DailyActivityMatches) {
   const auto expect = ComputeDailyActivity(trace());
-  const auto got = StreamingDailyActivity(reader());
-  ASSERT_EQ(got.size(), expect.size());
-  for (size_t i = 0; i < expect.size(); ++i) {
-    EXPECT_EQ(got[i].day, expect[i].day);
-    EXPECT_EQ(got[i].clients_scanned, expect[i].clients_scanned);
-    EXPECT_EQ(got[i].non_empty_caches, expect[i].non_empty_caches);
-    EXPECT_EQ(got[i].files_seen, expect[i].files_seen);
-    EXPECT_EQ(got[i].new_files, expect[i].new_files);
-    EXPECT_EQ(got[i].total_files, expect[i].total_files);
-  }
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    const auto got = StreamingDailyActivity(r);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i].day, expect[i].day);
+      EXPECT_EQ(got[i].clients_scanned, expect[i].clients_scanned);
+      EXPECT_EQ(got[i].non_empty_caches, expect[i].non_empty_caches);
+      EXPECT_EQ(got[i].files_seen, expect[i].files_seen);
+      EXPECT_EQ(got[i].new_files, expect[i].new_files);
+      EXPECT_EQ(got[i].total_files, expect[i].total_files);
+    }
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, RankedSourcesOnDayMatches) {
+  std::vector<std::vector<uint32_t>> expect;
   for (int day = trace().first_day(); day <= trace().last_day(); ++day) {
-    EXPECT_EQ(StreamingRankedSourcesOnDay(reader(), day),
-              RankedSourcesOnDay(trace(), day))
-        << "day " << day;
+    expect.push_back(RankedSourcesOnDay(trace(), day));
   }
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    for (int day = trace().first_day(); day <= trace().last_day(); ++day) {
+      EXPECT_EQ(StreamingRankedSourcesOnDay(r, day),
+                expect[static_cast<size_t>(day - trace().first_day())])
+          << "day " << day;
+    }
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, FileSpreadOverTimeMatchesExactly) {
@@ -109,11 +157,13 @@ TEST_F(StreamingEquivalenceTest, FileSpreadOverTimeMatchesExactly) {
       continue;
     }
     const auto expect = FileSpreadOverTime(trace(), FileId(f));
-    const auto got = StreamingFileSpreadOverTime(reader(), FileId(f));
-    ASSERT_EQ(got.size(), expect.size()) << "file " << f;
-    for (size_t i = 0; i < expect.size(); ++i) {
-      EXPECT_EQ(got[i], expect[i]) << "file " << f << " day index " << i;
-    }
+    ForEachGridPoint([&](const stream::TraceReader& r) {
+      const auto got = StreamingFileSpreadOverTime(r, FileId(f));
+      ASSERT_EQ(got.size(), expect.size()) << "file " << f;
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i], expect[i]) << "file " << f << " day index " << i;
+      }
+    });
   }
 }
 
@@ -123,19 +173,23 @@ TEST_F(StreamingEquivalenceTest, FileRanksOverTimeMatchesAtAnyThreadCount) {
     files.push_back(FileId(f));
   }
   const auto expect = FileRanksOverTime(trace(), files);
-  for (const size_t threads : {size_t{1}, size_t{4}}) {
-    SetDefaultThreads(threads);
-    EXPECT_EQ(StreamingFileRanksOverTime(reader(), files), expect)
-        << threads << " threads";
-  }
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    EXPECT_EQ(StreamingFileRanksOverTime(r, files), expect);
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, OverlapHistogramOnDayMatches) {
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> expect;
   for (int day = trace().first_day(); day <= trace().last_day(); ++day) {
-    EXPECT_EQ(StreamingOverlapHistogramOnDay(reader(), day),
-              OverlapHistogramOnDay(trace(), day))
-        << "day " << day;
+    expect.push_back(OverlapHistogramOnDay(trace(), day));
   }
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    for (int day = trace().first_day(); day <= trace().last_day(); ++day) {
+      EXPECT_EQ(StreamingOverlapHistogramOnDay(r, day),
+                expect[static_cast<size_t>(day - trace().first_day())])
+          << "day " << day;
+    }
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, OverlapEvolutionMatchesAtAnyThreadCount) {
@@ -143,10 +197,9 @@ TEST_F(StreamingEquivalenceTest, OverlapEvolutionMatchesAtAnyThreadCount) {
   options.max_pairs_per_cohort = 200;
   options.seed = 11;
   const auto expect = ComputeOverlapEvolution(trace(), options);
-  for (const size_t threads : {size_t{1}, size_t{4}}) {
-    SetDefaultThreads(threads);
-    const auto got = StreamingOverlapEvolution(reader(), options);
-    ASSERT_EQ(got.size(), expect.size()) << threads << " threads";
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    const auto got = StreamingOverlapEvolution(r, options);
+    ASSERT_EQ(got.size(), expect.size());
     for (size_t c = 0; c < expect.size(); ++c) {
       EXPECT_EQ(got[c].initial_overlap, expect[c].initial_overlap);
       EXPECT_EQ(got[c].pair_count, expect[c].pair_count);
@@ -156,22 +209,23 @@ TEST_F(StreamingEquivalenceTest, OverlapEvolutionMatchesAtAnyThreadCount) {
         // Exact double equality: the sweep accumulates integer-valued
         // sums, so thread/task order must not perturb a single bit.
         EXPECT_EQ(got[c].mean_overlap[d], expect[c].mean_overlap[d])
-            << "cohort " << expect[c].initial_overlap << " day index " << d
-            << " at " << threads << " threads";
+            << "cohort " << expect[c].initial_overlap << " day index " << d;
       }
     }
-  }
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, ClusteringCurveOnDayMatches) {
   const int day = trace().first_day() + 1;
   const auto expect = ComputeClusteringCurve(BuildDayCaches(trace(), day), 8);
-  const auto got = StreamingClusteringCurveOnDay(reader(), day, 8);
-  EXPECT_EQ(got.pairs_at_least, expect.pairs_at_least);
-  ASSERT_EQ(got.probability.size(), expect.probability.size());
-  for (size_t k = 0; k < expect.probability.size(); ++k) {
-    EXPECT_EQ(got.probability[k], expect.probability[k]) << "k " << k;
-  }
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    const auto got = StreamingClusteringCurveOnDay(r, day, 8);
+    EXPECT_EQ(got.pairs_at_least, expect.pairs_at_least);
+    ASSERT_EQ(got.probability.size(), expect.probability.size());
+    for (size_t k = 0; k < expect.probability.size(); ++k) {
+      EXPECT_EQ(got.probability[k], expect.probability[k]) << "k " << k;
+    }
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, MaskedClusteringCurveMatches) {
@@ -182,11 +236,13 @@ TEST_F(StreamingEquivalenceTest, MaskedClusteringCurveMatches) {
   }
   const auto expect =
       ComputeClusteringCurve(BuildDayCaches(trace(), day), 6, &mask);
-  const auto got = StreamingClusteringCurveOnDay(reader(), day, 6, &mask);
-  EXPECT_EQ(got.pairs_at_least, expect.pairs_at_least);
-  for (size_t k = 0; k < expect.probability.size(); ++k) {
-    EXPECT_EQ(got.probability[k], expect.probability[k]) << "k " << k;
-  }
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    const auto got = StreamingClusteringCurveOnDay(r, day, 6, &mask);
+    EXPECT_EQ(got.pairs_at_least, expect.pairs_at_least);
+    for (size_t k = 0; k < expect.probability.size(); ++k) {
+      EXPECT_EQ(got.probability[k], expect.probability[k]) << "k " << k;
+    }
+  });
 }
 
 TEST_F(StreamingEquivalenceTest, AbsentDaysYieldEmptyResults) {
@@ -225,23 +281,26 @@ TEST_F(StreamingEquivalenceTest, SearchSimulationStoreOverloadMatches) {
 
 TEST_F(StreamingEquivalenceTest, SearchSimulationRunsOnAReaderDayView) {
   // End-to-end: feed a TraceReader day view straight into the simulator
-  // and expect the same result as the materialised path on that day.
+  // and expect the same result as the materialised path on that day — the
+  // blocked file's view must assemble identically to the flat one's.
   const int day = trace().last_day();
-  const auto* info = reader().FindDay(day);
-  ASSERT_NE(info, nullptr);
-  std::string error;
-  const auto view = reader().ReadDay(*info, &error);
-  ASSERT_TRUE(view.has_value()) << error;
   SearchSimConfig config;
   config.list_size = 8;
   config.seed = 3;
   const SearchSimResult expect =
       RunSearchSimulation(CacheStore::FromTraceDay(trace(), day), config);
-  const SearchSimResult got = RunSearchSimulation(view->store, config);
-  EXPECT_EQ(got.requests, expect.requests);
-  EXPECT_EQ(got.one_hop_hits, expect.one_hop_hits);
-  EXPECT_EQ(got.messages, expect.messages);
-  EXPECT_EQ(got.load, expect.load);
+  ForEachGridPoint([&](const stream::TraceReader& r) {
+    const auto* info = r.FindDay(day);
+    ASSERT_NE(info, nullptr);
+    std::string error;
+    const auto view = r.ReadDay(*info, &error);
+    ASSERT_TRUE(view.has_value()) << error;
+    const SearchSimResult got = RunSearchSimulation(view->store, config);
+    EXPECT_EQ(got.requests, expect.requests);
+    EXPECT_EQ(got.one_hop_hits, expect.one_hop_hits);
+    EXPECT_EQ(got.messages, expect.messages);
+    EXPECT_EQ(got.load, expect.load);
+  });
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "src/trace/filter.h"
+#include "src/trace/stream/convert.h"
 #include "src/workload/generator.h"
 
 namespace edk {
@@ -145,6 +149,50 @@ TEST(DynamicSimTest, HitRateDoesNotDecayLate) {
   const double early = window(3, 8);          // After warm-up.
   const double late = window(result.days.size() - 5, result.days.size());
   EXPECT_GT(late, early * 0.7) << "early " << early << " late " << late;
+}
+
+TEST(DynamicSimTest, StreamingReplayIsBitIdenticalToTheTracePath) {
+  // The StreamingDaySource must reproduce the in-RAM replay exactly —
+  // every rng draw hinges on request enumeration order, so this catches
+  // any ordering divergence between the two sources. Checked under both
+  // day encodings; the tiny block target forces multi-block days.
+  WorkloadConfig workload = SmallWorkloadConfig();
+  workload.num_peers = 400;
+  workload.num_files = 3'000;
+  workload.num_days = 12;
+  workload.seed = 21;
+  const Trace extrapolated =
+      Extrapolate(FilterDuplicates(GenerateWorkload(workload).trace));
+  DynamicSimConfig config;
+  config.seed = 9;
+  config.list_size = 8;
+  const DynamicSimResult expect =
+      RunDynamicSearchSimulation(extrapolated, config);
+  ASSERT_GT(expect.requests, 100u);
+
+  for (const uint64_t target : {uint64_t{0}, uint64_t{4096}}) {
+    const std::string path = ::testing::TempDir() + "/dynamic_stream." +
+                             std::to_string(target) + ".edk2";
+    std::string error;
+    ASSERT_TRUE(stream::SaveTraceV2ToFile(extrapolated, path, &error,
+                                          {.block_target_bytes = target}))
+        << error;
+    auto reader = stream::TraceReader::Open(path, &error);
+    ASSERT_TRUE(reader.has_value()) << error;
+    const auto got = RunDynamicSearchSimulation(*reader, config, &error);
+    ASSERT_TRUE(got.has_value()) << error;
+    EXPECT_EQ(got->requests, expect.requests) << "target " << target;
+    EXPECT_EQ(got->hits, expect.hits) << "target " << target;
+    EXPECT_EQ(got->fallbacks, expect.fallbacks) << "target " << target;
+    EXPECT_EQ(got->unresolvable, expect.unresolvable) << "target " << target;
+    ASSERT_EQ(got->days.size(), expect.days.size()) << "target " << target;
+    for (size_t d = 0; d < expect.days.size(); ++d) {
+      EXPECT_EQ(got->days[d].day, expect.days[d].day);
+      EXPECT_EQ(got->days[d].requests, expect.days[d].requests);
+      EXPECT_EQ(got->days[d].hits, expect.days[d].hits);
+    }
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -8,13 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/trace/stream/convert.h"
 #include "src/trace/stream/format.h"
+#include "src/trace/stream/parallel_scan.h"
 #include "src/trace/stream/trace_reader.h"
 
 namespace edk::stream {
@@ -92,13 +96,42 @@ class V2Builder {
            const std::vector<std::vector<uint32_t>>& caches) {
     std::vector<uint32_t> sizes;
     std::vector<uint32_t> entries;
-    for (const auto& cache : caches) {
-      sizes.push_back(static_cast<uint32_t>(cache.size()));
-      entries.insert(entries.end(), cache.begin(), cache.end());
-    }
+    Columns(caches, sizes, entries);
     std::string payload;
     EncodeDayPayload(payload, day, peers, sizes, entries);
     DaySegment(day, peers.size(), entries.size(), payload);
+  }
+
+  // An internally consistent BLOCKED (tag 0x04) day segment, exactly as the
+  // writer emits it, with the footer block directory recorded for Finish().
+  void BlockedDay(int day, const std::vector<uint32_t>& peers,
+                  const std::vector<std::vector<uint32_t>>& caches,
+                  uint64_t block_target_bytes = kDefaultBlockTargetBytes) {
+    std::vector<uint32_t> sizes;
+    std::vector<uint32_t> entries;
+    Columns(caches, sizes, entries);
+    std::string payload;
+    std::vector<BlockEntry> blocks;
+    EncodeDayBlocks(payload, day, peers, sizes, entries, block_target_bytes,
+                    blocks);
+    days_.push_back({day, bytes_.size(), peers.size(), entries.size(),
+                     std::move(blocks)});
+    AppendSegment(kTagDayBlocked, payload);
+  }
+
+  // The footer block directory of the most recent day, mutable — forging
+  // these entries is how the block-directory corruption tests are built.
+  std::vector<BlockEntry>& last_blocks() { return days_.back().blocks; }
+
+  // A tag-0x04 segment from raw payload bytes + a caller-built directory,
+  // for corruptions EncodeDayBlocks cannot produce (e.g. blocks whose peer
+  // ranges overlap).
+  void BlockedDaySegment(int footer_day, uint64_t footer_snapshots,
+                         uint64_t footer_entries, const std::string& payload,
+                         std::vector<BlockEntry> blocks) {
+    days_.push_back({footer_day, bytes_.size(), footer_snapshots,
+                     footer_entries, std::move(blocks)});
+    AppendSegment(kTagDayBlocked, payload);
   }
 
   std::string Finish() {
@@ -113,6 +146,14 @@ class V2Builder {
       AppendU64(footer, day.offset);
       wire::AppendVarint(footer, day.snapshots);
       wire::AppendVarint(footer, day.entries);
+      if (!day.blocks.empty()) {
+        wire::AppendVarint(footer, day.blocks.size());
+        for (const BlockEntry& block : day.blocks) {
+          wire::AppendVarint(footer, block.snapshots);
+          wire::AppendVarint(footer, block.bytes);
+          AppendU64(footer, block.checksum);
+        }
+      }
     }
     const uint64_t footer_offset = bytes_.size();
     AppendSegment(kTagFooter, footer);
@@ -127,7 +168,17 @@ class V2Builder {
     uint64_t offset;
     uint64_t snapshots;
     uint64_t entries;
+    std::vector<BlockEntry> blocks;  // Empty for block-less (0x03) days.
   };
+
+  static void Columns(const std::vector<std::vector<uint32_t>>& caches,
+                      std::vector<uint32_t>& sizes,
+                      std::vector<uint32_t>& entries) {
+    for (const auto& cache : caches) {
+      sizes.push_back(static_cast<uint32_t>(cache.size()));
+      entries.insert(entries.end(), cache.begin(), cache.end());
+    }
+  }
 
   void AppendSegment(uint8_t tag, const std::string& payload) {
     bytes_.push_back(static_cast<char>(tag));
@@ -162,9 +213,8 @@ bool ValidateBytes(const std::string& bytes, const std::string& name) {
 
 TEST(StreamCorruptTest, BuilderProducesWriterIdenticalBytes) {
   // The builder is only a trustworthy corruption vehicle if its clean
-  // output matches the real writer byte for byte.
-  V2Builder builder(1, 2);
-  builder.Day(4, {0, 1}, {{0}, {}});
+  // output matches the real writer byte for byte — in the default blocked
+  // encoding AND the legacy block-less one.
   Trace trace;
   trace.AddFile(FileMeta{.size_bytes = 100, .category = FileCategory::kAudio,
                          .topic = TopicId(0)});
@@ -172,9 +222,21 @@ TEST(StreamCorruptTest, BuilderProducesWriterIdenticalBytes) {
   const PeerId p1 = trace.AddPeer(PeerInfo{});
   trace.AddSnapshot(p0, 4, {FileId(0)});
   trace.AddSnapshot(p1, 4, {});
-  const std::string path = TempPath("builder_ref.edk2");
-  ASSERT_TRUE(SaveTraceV2ToFile(trace, path));
-  EXPECT_EQ(builder.Finish(), ReadFileBytes(path));
+  {
+    V2Builder builder(1, 2);
+    builder.BlockedDay(4, {0, 1}, {{0}, {}});
+    const std::string path = TempPath("builder_ref.edk2");
+    ASSERT_TRUE(SaveTraceV2ToFile(trace, path));
+    EXPECT_EQ(builder.Finish(), ReadFileBytes(path));
+  }
+  {
+    V2Builder builder(1, 2);
+    builder.Day(4, {0, 1}, {{0}, {}});
+    const std::string path = TempPath("builder_ref_flat.edk2");
+    ASSERT_TRUE(SaveTraceV2ToFile(trace, path, nullptr,
+                                  {.block_target_bytes = 0}));
+    EXPECT_EQ(builder.Finish(), ReadFileBytes(path));
+  }
 }
 
 TEST(StreamCorruptTest, TruncationAtEveryByteFailsCleanly) {
@@ -330,6 +392,139 @@ TEST(StreamCorruptTest, FooterDayIndexMismatchesAreRejected) {
     V2Builder builder(2, 2);
     builder.DaySegment(3, 1, 2, payload);  // Entry count mismatch.
     EXPECT_FALSE(ValidateBytes(builder.Finish(), "corrupt_idxent.edk2"));
+  }
+}
+
+TEST(StreamCorruptTest, ForgedBlockChecksumFailsDeepValidation) {
+  // Open defers payload hashing (out-of-core contract): a forged footer
+  // checksum over an otherwise intact block opens fine and fails the deep
+  // validation pass with the checksum message.
+  V2Builder builder(3, 2);
+  builder.BlockedDay(3, {0, 1}, {{0, 2}, {1}});
+  builder.last_blocks()[0].checksum ^= 1;
+  const std::string path = TempPath("corrupt_blockck.edk2");
+  WriteFileBytes(path, builder.Finish());
+  std::string error;
+  EXPECT_TRUE(TraceReader::Open(path, &error).has_value()) << error;
+  const ValidationReport report = ValidateTraceFile(path);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("checksum"), std::string::npos) << report.error;
+}
+
+TEST(StreamCorruptTest, BlockDirectoryMismatchesAreRejected) {
+  // Every field of the footer block directory is cross-checked against the
+  // blocks' own headers at Open: forged snapshot counts, forged byte
+  // spans, dropped/duplicated entries and a missing directory must all be
+  // rejected before any payload decode.
+  const auto forged = [](const char* name,
+                         const std::function<void(V2Builder&)>& forge) {
+    V2Builder builder(3, 2);
+    builder.BlockedDay(3, {0, 1}, {{0, 2}, {1}}, /*block_target_bytes=*/1);
+    forge(builder);
+    EXPECT_FALSE(ValidateBytes(builder.Finish(),
+                               std::string("corrupt_blockdir_") + name +
+                                   ".edk2"))
+        << name;
+  };
+  forged("snap_up", [](V2Builder& b) { b.last_blocks()[0].snapshots += 1; });
+  forged("snap_down", [](V2Builder& b) { b.last_blocks()[1].snapshots -= 1; });
+  forged("bytes_up", [](V2Builder& b) { b.last_blocks()[0].bytes += 1; });
+  forged("bytes_down", [](V2Builder& b) { b.last_blocks()[0].bytes -= 1; });
+  forged("dropped", [](V2Builder& b) { b.last_blocks().pop_back(); });
+  forged("duplicated",
+         [](V2Builder& b) { b.last_blocks().push_back(b.last_blocks()[0]); });
+  forged("missing_dir", [](V2Builder& b) { b.last_blocks().clear(); });
+}
+
+TEST(StreamCorruptTest, ByteFlipsInBlockHeadersAreRejected) {
+  // Each block opens with its own (day, snapshots, entries) header, and the
+  // header bytes are inside the checksummed span: any single-byte flip must
+  // fail validation — at Open via the footer cross-check, or at the deep
+  // pass via the checksum.
+  const std::string path = TempPath("corrupt_blockhdr_ref.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(MakeTrace(), path, nullptr,
+                                {.block_target_bytes = 1}));
+  auto reader = TraceReader::Open(path);
+  ASSERT_TRUE(reader.has_value());
+  std::vector<std::pair<uint64_t, uint64_t>> headers;  // [begin, end)
+  for (const auto& info : reader->days()) {
+    for (const auto& block : info.blocks) {
+      headers.emplace_back(block.offset,
+                           block.offset + std::min<uint64_t>(block.bytes, 6));
+    }
+  }
+  reader.reset();
+  ASSERT_GE(headers.size(), 3u);  // Multi-block coverage (day 3 splits).
+  const std::string full = ReadFileBytes(path);
+  for (const auto& [begin, end] : headers) {
+    for (uint64_t i = begin; i < end; ++i) {
+      for (const uint8_t patch : {uint8_t{0xff}, uint8_t{0x00}, uint8_t{0x01}}) {
+        if (static_cast<uint8_t>(full[i]) == patch) {
+          continue;
+        }
+        std::string bytes = full;
+        bytes[i] = static_cast<char>(patch);
+        EXPECT_FALSE(ValidateBytes(bytes, "corrupt_blockhdr.edk2"))
+            << "byte " << i << " patch " << int{patch};
+      }
+    }
+  }
+}
+
+TEST(StreamCorruptTest, CrossBlockPeerOrderViolationIsRejected) {
+  // Two individually valid blocks whose peer ranges do not ascend across
+  // the boundary. Every per-block header is consistent with the footer, so
+  // the skeleton open succeeds — but the serial decode (floor threading),
+  // the parallel merge check, ReadDay's global ordering check and deep
+  // validation must all reject the day.
+  std::string payload;
+  std::vector<BlockEntry> blocks;
+  EncodeDayBlocks(payload, 3, {2}, {1}, {0}, kDefaultBlockTargetBytes, blocks);
+  std::string second;
+  std::vector<BlockEntry> second_blocks;
+  EncodeDayBlocks(second, 3, {1}, {1}, {0}, kDefaultBlockTargetBytes,
+                  second_blocks);  // Peer 1 <= previous block's peer 2.
+  payload += second;
+  blocks.push_back(second_blocks[0]);
+  V2Builder builder(2, 4);
+  builder.BlockedDaySegment(3, 2, 2, payload, blocks);
+  const std::string path = TempPath("corrupt_blockorder.edk2");
+  WriteFileBytes(path, builder.Finish());
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ASSERT_EQ(reader->days().size(), 1u);
+  DecodeArena arena;
+  EXPECT_FALSE(reader->ForEachSnapshot(reader->days()[0], arena,
+                                       [](uint32_t, const uint32_t*, size_t) {}));
+  EXPECT_FALSE(reader->ReadDay(reader->days()[0], &error).has_value());
+  const std::vector<ScanTask> tasks = MakeScanTasks(*reader);
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_FALSE(ParallelScanSnapshots(
+      *reader, tasks, [](size_t, uint32_t, const uint32_t*, size_t) {}));
+  EXPECT_FALSE(ValidateTraceFile(path).ok);
+}
+
+TEST(StreamCorruptTest, TruncationAtEveryBlockBoundaryFailsCleanly) {
+  const std::string path = TempPath("corrupt_blocktrunc_ref.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(MakeTrace(), path, nullptr,
+                                {.block_target_bytes = 1}));
+  auto reader = TraceReader::Open(path);
+  ASSERT_TRUE(reader.has_value());
+  std::vector<uint64_t> cuts;
+  for (const auto& info : reader->days()) {
+    for (const auto& block : info.blocks) {
+      cuts.push_back(block.offset);
+      cuts.push_back(block.offset + block.bytes);
+    }
+  }
+  reader.reset();
+  ASSERT_GE(cuts.size(), 6u);
+  const std::string full = ReadFileBytes(path);
+  for (const uint64_t cut : cuts) {
+    const std::string trunc = TempPath("corrupt_blocktrunc.edk2");
+    WriteFileBytes(trunc, full.substr(0, cut));
+    EXPECT_FALSE(ValidateTraceFile(trunc).ok) << "cut at " << cut;
   }
 }
 

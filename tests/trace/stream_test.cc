@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -11,6 +13,7 @@
 #include "src/trace/cache_store.h"
 #include "src/trace/serialize.h"
 #include "src/trace/stream/convert.h"
+#include "src/trace/stream/parallel_scan.h"
 #include "src/trace/stream/trace_reader.h"
 #include "src/trace/stream/trace_writer.h"
 
@@ -422,6 +425,177 @@ TEST(StreamTest, ValidateTraceFileRejectsMissingAndJunkFiles) {
   const std::string junk = TempPath("validate_junk");
   WriteFileBytes(junk, "garbage bytes, definitely not a trace");
   EXPECT_FALSE(ValidateTraceFile(junk).ok);
+}
+
+// --- Blocked encoding -------------------------------------------------------
+
+// A deterministic multi-day trace big enough that small block targets split
+// every day into several blocks.
+Trace MakeWideTrace() {
+  Trace trace;
+  for (uint32_t f = 0; f < 64; ++f) {
+    trace.AddFile(FileMeta{.size_bytes = 100u + f});
+  }
+  std::vector<PeerId> peers;
+  for (uint32_t p = 0; p < 40; ++p) {
+    peers.push_back(trace.AddPeer(PeerInfo{.user_id = p}));
+  }
+  for (int day = 2; day <= 6; ++day) {
+    for (uint32_t p = 0; p < 40; ++p) {
+      if ((p + static_cast<uint32_t>(day)) % 3 == 0) {
+        continue;  // Peer absent this day.
+      }
+      std::vector<FileId> cache;
+      for (uint32_t f = p % 7; f < 64; f += 7 + static_cast<uint32_t>(day)) {
+        cache.push_back(FileId(f));
+      }
+      trace.AddSnapshot(peers[p], day, cache);
+    }
+  }
+  return trace;
+}
+
+TEST(StreamTest, BlockedAndUnblockedRoundTripIdentically) {
+  // Property: the block target changes only the on-disk chunking, never the
+  // decoded content. Every encoding must materialise back to the same
+  // trace, and converting each back to v1 must produce the same bytes.
+  const Trace original = MakeWideTrace();
+  const std::string v1_ref = TempPath("blocked_prop_ref.edkt");
+  ASSERT_TRUE(SaveTraceToFile(original, v1_ref));
+  const std::string ref_bytes = ReadFileBytes(v1_ref);
+  uint64_t max_blocks = 0;
+  for (const uint64_t target : {uint64_t{0}, uint64_t{1}, uint64_t{64},
+                                kDefaultBlockTargetBytes}) {
+    const std::string v2 = TempPath("blocked_prop.edk2");
+    std::string error;
+    ASSERT_TRUE(SaveTraceV2ToFile(original, v2, &error,
+                                  {.block_target_bytes = target}))
+        << error;
+    const ValidationReport report = ValidateTraceFile(v2);
+    ASSERT_TRUE(report.ok) << "target " << target << ": " << report.error;
+    max_blocks = std::max(max_blocks, report.blocks);
+    auto reader = TraceReader::Open(v2, &error);
+    ASSERT_TRUE(reader.has_value()) << error;
+    const auto loaded = MaterializeTrace(*reader, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    ExpectTracesEqual(original, *loaded);
+    const std::string v1_back = TempPath("blocked_prop_back.edkt");
+    ASSERT_TRUE(ConvertTraceFile(v2, v1_back, 1, &error)) << error;
+    EXPECT_EQ(ReadFileBytes(v1_back), ref_bytes) << "target " << target;
+  }
+  EXPECT_GT(max_blocks, 5u);  // The tiny targets actually split days.
+}
+
+TEST(StreamTest, SingleBlockPayloadMatchesUnblockedBytes) {
+  // A day that fits one block serialises the identical payload bytes under
+  // both tags — only the tag byte and the footer block directory differ.
+  const Trace trace = MakeTrace();
+  const std::string flat = TempPath("blocked_flat.edk2");
+  const std::string blocked = TempPath("blocked_one.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, flat, nullptr,
+                                {.block_target_bytes = 0}));
+  ASSERT_TRUE(SaveTraceV2ToFile(trace, blocked, nullptr));
+  std::string error;
+  auto flat_reader = TraceReader::Open(flat, &error);
+  ASSERT_TRUE(flat_reader.has_value()) << error;
+  auto blocked_reader = TraceReader::Open(blocked, &error);
+  ASSERT_TRUE(blocked_reader.has_value()) << error;
+  const std::string flat_bytes = ReadFileBytes(flat);
+  const std::string blocked_bytes = ReadFileBytes(blocked);
+  ASSERT_EQ(flat_reader->days().size(), blocked_reader->days().size());
+  for (size_t d = 0; d < flat_reader->days().size(); ++d) {
+    const auto& a = flat_reader->days()[d];
+    const auto& b = blocked_reader->days()[d];
+    EXPECT_TRUE(a.blocks.empty());
+    ASSERT_EQ(b.blocks.size(), 1u);
+    ASSERT_EQ(a.payload_bytes, b.payload_bytes);
+    EXPECT_EQ(flat_bytes.substr(a.payload_offset, a.payload_bytes),
+              blocked_bytes.substr(b.payload_offset, b.payload_bytes));
+  }
+}
+
+TEST(StreamTest, DecodeArenaIsReusedWithoutReallocation) {
+  // The arena's buffers must reach steady state after one full sweep: a
+  // second sweep over the same days may not reallocate (the no-per-snapshot
+  // -allocation contract the parallel scan relies on).
+  const std::string path = TempPath("arena_steady.edk2");
+  ASSERT_TRUE(SaveTraceV2ToFile(MakeWideTrace(), path));
+  std::string error;
+  auto reader = TraceReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  DecodeArena arena;
+  const auto sweep = [&] {
+    for (const auto& info : reader->days()) {
+      ASSERT_TRUE(reader->ForEachSnapshot(
+          info, arena, [](uint32_t, const uint32_t*, size_t) {}));
+    }
+  };
+  sweep();
+  const uint32_t* peers_data = arena.peers.data();
+  const uint32_t* sizes_data = arena.sizes.data();
+  const uint32_t* files_data = arena.files.data();
+  const size_t peers_cap = arena.peers.capacity();
+  const size_t sizes_cap = arena.sizes.capacity();
+  const size_t files_cap = arena.files.capacity();
+  sweep();
+  sweep();
+  EXPECT_EQ(arena.peers.data(), peers_data);
+  EXPECT_EQ(arena.sizes.data(), sizes_data);
+  EXPECT_EQ(arena.files.data(), files_data);
+  EXPECT_EQ(arena.peers.capacity(), peers_cap);
+  EXPECT_EQ(arena.sizes.capacity(), sizes_cap);
+  EXPECT_EQ(arena.files.capacity(), files_cap);
+}
+
+TEST(StreamTest, ParallelScanMergesToTheSerialSequence) {
+  // Per-task slots merged in canonical (day, block) order must reproduce
+  // the exact serial callback sequence — peer order, cache contents — at
+  // thread counts below and above the block count, for both encodings.
+  const Trace trace = MakeWideTrace();
+  struct Row {
+    uint32_t peer;
+    std::vector<uint32_t> files;
+    bool operator==(const Row&) const = default;
+  };
+  for (const uint64_t target : {uint64_t{0}, uint64_t{64}}) {
+    const std::string path = TempPath("parscan_det.edk2");
+    ASSERT_TRUE(SaveTraceV2ToFile(trace, path, nullptr,
+                                  {.block_target_bytes = target}));
+    std::string error;
+    auto reader = TraceReader::Open(path, &error);
+    ASSERT_TRUE(reader.has_value()) << error;
+
+    std::vector<Row> serial;
+    DecodeArena arena;
+    for (const auto& info : reader->days()) {
+      ASSERT_TRUE(reader->ForEachSnapshot(
+          info, arena, [&](uint32_t peer, const uint32_t* files, size_t count) {
+            serial.push_back(Row{peer, {files, files + count}});
+          }));
+    }
+
+    const auto tasks = MakeScanTasks(*reader);
+    if (target != 0) {
+      ASSERT_GT(tasks.size(), reader->days().size());  // Multi-block days.
+    }
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      std::vector<std::vector<Row>> slots(tasks.size());
+      ASSERT_TRUE(ParallelScanSnapshots(
+          *reader, tasks,
+          [&](size_t t, uint32_t peer, const uint32_t* files, size_t count) {
+            slots[t].push_back(Row{peer, {files, files + count}});
+          },
+          threads));
+      std::vector<Row> merged;
+      for (auto& slot : slots) {
+        for (auto& row : slot) {
+          merged.push_back(std::move(row));
+        }
+      }
+      EXPECT_EQ(merged, serial) << "target " << target << ", " << threads
+                                << " threads";
+    }
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "src/trace/stream/convert.h"
 #include "src/trace/stream/format.h"
+#include "src/trace/stream/trace_reader.h"
 #include "src/workload/generator.h"
 
 namespace edk {
@@ -151,10 +152,10 @@ TEST(ScaleTraceTest, CacheSizesRespectTheConfiguredBand) {
       << error;
   auto reader = stream::TraceReader::Open(path, &error);
   ASSERT_TRUE(reader.has_value()) << error;
-  std::vector<uint32_t> scratch;
+  stream::DecodeArena arena;
   for (const auto& info : reader->days()) {
     ASSERT_TRUE(reader->ForEachSnapshot(
-        info, scratch, [&](uint32_t, const uint32_t*, size_t count) {
+        info, arena, [&](uint32_t, const uint32_t*, size_t count) {
           EXPECT_GE(count, 1u);
           EXPECT_LE(count, config.max_cache);
         }));
@@ -206,6 +207,44 @@ TEST(ScaleTraceTest, ExtendingNumDaysAppendsTheSameBytesAsOneShot) {
   ASSERT_TRUE(resumed.has_value()) << error;
   EXPECT_GE(resumed->days_skipped, 1u);
   EXPECT_EQ(ReadFileBytes(stepped), ReadFileBytes(oneshot));
+}
+
+TEST(ScaleTraceTest, AppendingDaysToABlockedFileIsByteIdentical) {
+  // Same contract as above under the blocked (tag 0x04) encoding with a
+  // tiny block target: resume must thread the footer's block directory
+  // through untouched and append days whose blocks re-anchor exactly as a
+  // one-shot run's would.
+  ScaleTraceConfig five = SmallScaleConfig();
+  ScaleTraceConfig three = five;
+  three.num_days = 3;
+  const stream::TraceWriter::Options blocked{.block_target_bytes = 512};
+  const std::string oneshot = TempPath("scale_blocked_oneshot.edk2");
+  const std::string stepped = TempPath("scale_blocked_stepped.edk2");
+  std::string error;
+  ASSERT_TRUE(
+      GenerateScaleTrace(five, oneshot, false, &error, blocked).has_value())
+      << error;
+  ASSERT_TRUE(
+      GenerateScaleTrace(three, stepped, false, &error, blocked).has_value())
+      << error;
+  const auto resumed = GenerateScaleTrace(five, stepped, true, &error, blocked);
+  ASSERT_TRUE(resumed.has_value()) << error;
+  EXPECT_GE(resumed->days_skipped, 1u);
+  EXPECT_GT(resumed->days_written, 0u);
+  EXPECT_EQ(ReadFileBytes(stepped), ReadFileBytes(oneshot));
+
+  // The target must have actually produced multi-block days, and the
+  // appended file must pass deep validation (per-block checksums).
+  auto reader = stream::TraceReader::Open(stepped, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  uint64_t total_blocks = 0;
+  for (const auto& info : reader->days()) {
+    total_blocks += stream::TraceReader::BlockCount(info);
+  }
+  EXPECT_GT(total_blocks, reader->days().size());
+  const auto report = stream::ValidateTraceFile(stepped);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.blocks, total_blocks);
 }
 
 TEST(ScaleTraceTest, RejectsInvalidConfigs) {

@@ -12,8 +12,11 @@
 //   edk-trace daily-csv trace.bin            (daily activity as CSV on stdout)
 //   edk-trace contribution-csv trace.bin     (per-peer files/bytes as CSV)
 //   edk-trace validate trace.bin             (marginals vs the paper's bands)
-//   edk-trace convert --out=FILE --format=v1|v2 trace.bin
-//   edk-trace validate-format trace.bin      (EDKT v1/v2 integrity check)
+//   edk-trace convert --out=FILE --format=v1|v2 [--block-bytes=N] trace.bin
+//                      (--out may equal INPUT: upgrades block-less v2 files
+//                       to the blocked layout in place)
+//   edk-trace validate-format trace.bin      (EDKT v1/v2 integrity check,
+//                                             incl. per-block checksums)
 //
 // Commands that read a trace accept both EDKT v1 and v2 input.
 
@@ -49,6 +52,9 @@ struct Arguments {
   bool stream_out = false;   // generate: emit EDKT v2 day-by-day.
   bool resume = false;       // generate --stream-out: continue a partial file.
   uint32_t format = 0;       // convert: target version (1 or 2).
+  // v2 writes (generate --stream-out, convert --format=v2): day block
+  // target in bytes; 0 writes legacy block-less days.
+  edk::stream::TraceWriter::Options writer;
 };
 
 [[noreturn]] void Usage() {
@@ -56,7 +62,7 @@ struct Arguments {
                "daily-csv|contribution-csv|validate|convert|validate-format> "
                "[--out=FILE] [--peers=N] [--files=N]"
                " [--topics=N] [--days=N] [--seed=N] [--swaps=N]"
-               " [--stream-out] [--resume] [--format=v1|v2] "
+               " [--stream-out] [--resume] [--format=v1|v2] [--block-bytes=N] "
             << edk::obs::ObsFlagsUsage() << " [INPUT]\n";
   std::exit(2);
 }
@@ -87,6 +93,8 @@ std::optional<Arguments> Parse(int argc, char** argv) {
       args.workload.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--swaps=")) {
       args.swaps = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--block-bytes=")) {
+      args.writer.block_target_bytes = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--format=")) {
       if (std::strcmp(v, "v1") == 0 || std::strcmp(v, "1") == 0) {
         args.format = 1;
@@ -149,8 +157,8 @@ int RunGenerate(const Arguments& args) {
       return 1;
     }
     std::string error;
-    const auto stats = edk::GenerateWorkloadStreaming(args.workload, args.output,
-                                                      args.resume, &error);
+    const auto stats = edk::GenerateWorkloadStreaming(
+        args.workload, args.output, args.resume, &error, args.writer);
     if (!stats.has_value()) {
       std::cerr << "error: streaming generation failed: " << error << "\n";
       return 1;
@@ -173,7 +181,7 @@ int RunConvert(const Arguments& args) {
   }
   std::string error;
   if (!edk::stream::ConvertTraceFile(args.input, args.output, args.format,
-                                     &error)) {
+                                     &error, args.writer)) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
@@ -195,7 +203,15 @@ int RunValidateFormat(const Arguments& args) {
   std::cout << args.input << ": EDKT v" << report.version << " OK, "
             << report.peers << " peers, " << report.files << " files, "
             << report.days << " days, " << report.snapshots << " snapshots, "
-            << report.file_entries << " file entries\n";
+            << report.file_entries << " file entries";
+  if (report.version == 2 && report.days > 0) {
+    // Every block checksum was just verified against the footer directory.
+    std::cout << ", " << report.blocks << " blocks ("
+              << static_cast<double>(report.blocks) /
+                     static_cast<double>(report.days)
+              << "/day, checksums verified)";
+  }
+  std::cout << "\n";
   return 0;
 }
 
