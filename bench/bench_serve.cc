@@ -1,0 +1,291 @@
+// Serve-path benchmark: queries/sec and tail latency of the real TCP
+// index server under an open-loop, workload-model-derived request mix
+// (DESIGN.md §6j, EXPERIMENTS.md "Serving the index over TCP").
+//
+// Two modes:
+//
+//   * In-process (default): starts a TcpServer on an ephemeral loopback
+//     port, preloads the deterministic serve corpus into its core, then
+//     drives the load generator against it. One command, committed as
+//     BENCH_serve.json.
+//   * --connect=HOST:PORT: drives an already-running edk-served instance
+//     (started with the same --seed/--clients/--files/--keywords so both
+//     sides derive the identical corpus). This is the CI smoke path.
+//
+// The binary exits non-zero when any protocol error, transport error or
+// dropped arrival occurred, so "zero protocol errors" is enforced by the
+// exit code, not by whoever reads the JSON.
+//
+// Honesty notes recorded in the JSON: hardware_threads (the committed run
+// comes from a single-core container where client and server share that
+// core — throughput is a lower bound) and loopback_only (no real NIC or
+// WAN in the path).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/common/json_lint.h"
+#include "src/netio/corpus.h"
+#include "src/netio/loadgen.h"
+#include "src/netio/tcp_server.h"
+#include "src/obs/flags.h"
+#include "src/workload/config.h"
+
+namespace {
+
+using edk::netio::LatencySummary;
+using edk::netio::LoadGenConfig;
+using edk::netio::LoadGenReport;
+using edk::netio::ServeCorpus;
+using edk::netio::ServeCorpusConfig;
+using edk::netio::TcpServer;
+using edk::netio::TcpServerConfig;
+using edk::netio::TcpServerStats;
+
+struct Options {
+  ServeCorpusConfig corpus;
+  LoadGenConfig load;
+  std::string connect;        // "" = in-process server.
+  size_t io_threads = 1;      // In-process server worker threads.
+  std::string json_out;
+  edk::obs::ObsFlagValues obs;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --connect=HOST:PORT  drive a running edk-served (default: start\n"
+      << "                       an in-process server on a loopback port)\n"
+      << "  --seed=N --clients=N --files=N --keywords=N   corpus shape\n"
+      << "                       (must match the edk-served instance)\n"
+      << "  --rps=X              open-loop target request rate (default 1000)\n"
+      << "  --duration=SECONDS   schedule length (default 3)\n"
+      << "  --connections=N      client connections / worker threads (default 8)\n"
+      << "  --publish-batch=N    max files per publish request (default 20)\n"
+      << "  --io-threads=N       in-process server worker threads (default 1)\n"
+      << "  --json=FILE          write the machine-readable summary\n"
+      << "  " << edk::obs::ObsFlagsUsage() << "\n";
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options options;
+  options.load.seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    const char* v;
+    if ((v = value("--connect=")) != nullptr) {
+      options.connect = v;
+    } else if ((v = value("--seed=")) != nullptr) {
+      options.corpus.seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--clients=")) != nullptr) {
+      options.corpus.clients = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--files=")) != nullptr) {
+      options.corpus.files = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--keywords=")) != nullptr) {
+      options.corpus.keywords = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--rps=")) != nullptr) {
+      options.load.target_rps = std::strtod(v, nullptr);
+    } else if ((v = value("--duration=")) != nullptr) {
+      options.load.duration_seconds = std::strtod(v, nullptr);
+    } else if ((v = value("--connections=")) != nullptr) {
+      options.load.connections = std::strtoul(v, nullptr, 10);
+    } else if ((v = value("--publish-batch=")) != nullptr) {
+      options.load.publish_files_per_request = std::strtoul(v, nullptr, 10);
+    } else if ((v = value("--io-threads=")) != nullptr) {
+      options.io_threads = std::strtoul(v, nullptr, 10);
+    } else if ((v = value("--json=")) != nullptr) {
+      options.json_out = v;
+    } else if (edk::obs::ConsumeObsFlag(arg, &options.obs)) {
+      // Handled.
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+void WriteLatency(std::ostream& os, const char* key, const LatencySummary& s) {
+  os << "\"" << key << "\": {\"count\": " << s.count << ", \"mean_us\": "
+     << s.mean_us << ", \"p50_us\": " << s.p50_us << ", \"p90_us\": "
+     << s.p90_us << ", \"p99_us\": " << s.p99_us << ", \"p999_us\": "
+     << s.p999_us << ", \"max_us\": " << s.max_us << "}";
+}
+
+std::string ReportJson(const Options& options, const LoadGenReport& report,
+                       const TcpServerStats* server_stats,
+                       uint64_t indexed_files, uint64_t connected_users) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\n  \"schema\": \"edk.bench_serve.v1\",\n";
+  os << "  \"corpus\": {\"seed\": " << options.corpus.seed
+     << ", \"clients\": " << options.corpus.clients
+     << ", \"files\": " << options.corpus.files
+     << ", \"keywords\": " << options.corpus.keywords << "},\n";
+  os << "  \"mode\": \""
+     << (options.connect.empty() ? "in-process" : "external") << "\",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  // The committed run is loopback on a shared core: no NIC, no WAN, and
+  // the load generator competes with the server for CPU. Treat throughput
+  // as a lower bound and latency as best-case network conditions.
+  os << "  \"loopback_only\": true,\n";
+  os << "  \"note\": \"client and server share this machine; single-core "
+        "containers serialise them\",\n";
+  os << "  \"load\": {\"target_rps\": " << options.load.target_rps
+     << ", \"duration_seconds\": " << options.load.duration_seconds
+     << ", \"connections\": " << options.load.connections
+     << ", \"seed\": " << options.load.seed
+     << ", \"publish_batch\": " << options.load.publish_files_per_request
+     << ",\n    \"mix\": {\"publish\": " << options.load.mix.publish
+     << ", \"search\": " << options.load.mix.search
+     << ", \"query_sources\": " << options.load.mix.query_sources
+     << ", \"query_users\": " << options.load.mix.query_users
+     << ", \"browse\": " << options.load.mix.browse << "}},\n";
+  os << "  \"results\": {\n    \"scheduled\": " << report.scheduled
+     << ", \"completed\": " << report.completed
+     << ", \"protocol_errors\": " << report.protocol_errors
+     << ", \"transport_errors\": " << report.transport_errors
+     << ", \"dropped\": " << report.dropped << ",\n    \"by_type\": {";
+  bool first = true;
+  for (const auto& [name, count] : report.by_type) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << count;
+    first = false;
+  }
+  os << "},\n    \"wall_seconds\": " << report.wall_seconds
+     << ", \"queries_per_second\": " << report.achieved_rps
+     << ", \"max_send_lag_seconds\": " << report.max_send_lag_seconds
+     << ",\n    ";
+  WriteLatency(os, "open_loop_latency", report.open_loop);
+  os << ",\n    ";
+  WriteLatency(os, "service_latency", report.service);
+  os << "\n  },\n";
+  os << "  \"server\": {";
+  if (server_stats != nullptr) {
+    os << "\"io_threads\": " << options.io_threads
+       << ", \"connections_accepted\": " << server_stats->connections_accepted
+       << ", \"connections_closed\": " << server_stats->connections_closed
+       << ", \"connections_rejected\": " << server_stats->connections_rejected
+       << ", \"peak_active_hint\": " << options.load.connections
+       << ", \"frames_in\": " << server_stats->frames_in
+       << ", \"frames_out\": " << server_stats->frames_out
+       << ", \"requests\": " << server_stats->requests
+       << ", \"protocol_errors\": " << server_stats->protocol_errors
+       << ", \"transport_errors\": " << server_stats->transport_errors
+       << ", \"indexed_files\": " << indexed_files
+       << ", \"connected_users\": " << connected_users;
+  } else {
+    os << "\"external\": true";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = Parse(argc, argv);
+  edk::obs::ApplyObsFlags(options.obs);
+  options.load.mix = edk::netio::DeriveRequestMix(edk::WorkloadConfig{});
+
+  std::cerr << "building corpus (seed=" << options.corpus.seed
+            << ", clients=" << options.corpus.clients
+            << ", files=" << options.corpus.files << ")...\n";
+  const ServeCorpus corpus = edk::netio::BuildServeCorpus(options.corpus);
+
+  TcpServer* server = nullptr;
+  TcpServer in_process([&] {
+    TcpServerConfig config;
+    config.worker_threads = options.io_threads;
+    // Corpus clients take ids 1..clients; TCP logins continue after.
+    config.first_client_id = static_cast<edk::NodeId>(options.corpus.clients + 1);
+    return config;
+  }());
+  if (options.connect.empty()) {
+    edk::netio::PreloadServeCorpus(in_process.core(), corpus, 1);
+    std::string error;
+    if (!in_process.Start(&error)) {
+      std::cerr << "failed to start in-process server: " << error << "\n";
+      return 1;
+    }
+    options.load.host = "127.0.0.1";
+    options.load.port = in_process.port();
+    server = &in_process;
+    std::cerr << "in-process server on 127.0.0.1:" << in_process.port()
+              << " (io_threads=" << options.io_threads << ")\n";
+  } else {
+    const size_t colon = options.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect needs HOST:PORT\n";
+      return 2;
+    }
+    options.load.host = options.connect.substr(0, colon);
+    options.load.port = static_cast<uint16_t>(
+        std::strtoul(options.connect.c_str() + colon + 1, nullptr, 10));
+  }
+
+  std::cerr << "open-loop run: " << options.load.target_rps << " rps x "
+            << options.load.duration_seconds << " s over "
+            << options.load.connections << " connections...\n";
+  const LoadGenReport report = edk::netio::RunLoadGen(options.load, corpus);
+
+  TcpServerStats stats;
+  uint64_t indexed_files = 0;
+  uint64_t connected_users = 0;
+  if (server != nullptr) {
+    stats = server->stats();
+    {
+      std::lock_guard<std::mutex> lock(server->core_mutex());
+      indexed_files = server->core().indexed_files();
+      connected_users = server->core().connected_users();
+    }
+    server->Stop();
+  }
+
+  const std::string json =
+      ReportJson(options, report, server != nullptr ? &stats : nullptr,
+                 indexed_files, connected_users);
+  std::cout << json;
+  if (!options.json_out.empty()) {
+    std::ofstream os(options.json_out);
+    os << json;
+    if (!os.good()) {
+      std::cerr << "failed to write " << options.json_out << "\n";
+      return 1;
+    }
+  }
+  const edk::JsonLintResult lint = edk::LintJson(json);
+  if (!lint.ok) {
+    std::cerr << "internal error: emitted invalid JSON: " << lint.error << "\n";
+    return 1;
+  }
+
+  std::cerr << "completed " << report.completed << "/" << report.scheduled
+            << " requests at " << report.achieved_rps << " q/s; p99 "
+            << report.open_loop.p99_us << " us\n";
+  const uint64_t server_protocol_errors =
+      server != nullptr ? stats.protocol_errors : 0;
+  if (report.protocol_errors > 0 || report.transport_errors > 0 ||
+      report.dropped > 0 || server_protocol_errors > 0) {
+    std::cerr << "FAILED: protocol_errors=" << report.protocol_errors
+              << " transport_errors=" << report.transport_errors
+              << " dropped=" << report.dropped
+              << " server_protocol_errors=" << server_protocol_errors << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,34 +5,32 @@
 // legacy query-users request that returns up to 200 users whose nickname
 // matches a prefix. Servers also maintain and propagate the server list,
 // the only data exchanged between servers.
+//
+// The request/response logic itself lives in the transport-agnostic
+// ServerCore (src/net/server_core.h); SimServer is the SimNetwork-attached
+// front-end and delegates every handler, so the identical index also runs
+// behind the real TCP transport (src/netio/tcp_server.h).
 
 #ifndef SRC_NET_SERVER_H_
 #define SRC_NET_SERVER_H_
 
-#include <map>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/net/network.h"
 #include "src/net/protocol.h"
+#include "src/net/server_core.h"
 
 namespace edk {
-
-struct ServerConfig {
-  size_t max_users = 200'000;          // Connection cap (paper: >200k users).
-  size_t max_user_results = 200;       // query-users reply cap.
-  size_t max_search_results = 300;
-  size_t max_source_results = 100;
-  bool supports_query_users = true;    // Old servers only (paper §2.1).
-};
 
 class SimServer : public SimNode {
  public:
   SimServer(SimNetwork* network, ServerConfig config);
 
-  const ServerConfig& config() const { return config_; }
+  const ServerConfig& config() const { return core_.config(); }
+  // The underlying transport-agnostic index.
+  ServerCore& core() { return core_; }
+  const ServerCore& core() const { return core_; }
 
   // --- Server-server -------------------------------------------------------
   void AddKnownServer(NodeId server);
@@ -41,48 +39,42 @@ class SimServer : public SimNode {
   // --- Client-server handlers (invoked on message delivery) ----------------
   // Returns false when the server is full. On success the client is
   // registered and will be reported by query-users.
-  bool HandleLogin(NodeId client, const std::string& nickname, bool firewalled);
-  void HandleLogout(NodeId client);
+  bool HandleLogin(NodeId client, const std::string& nickname, bool firewalled) {
+    return core_.HandleLogin(client, nickname, firewalled);
+  }
+  void HandleLogout(NodeId client) { core_.HandleLogout(client); }
   // Replaces the published file list of a connected client.
-  void HandlePublish(NodeId client, const std::vector<SharedFileInfo>& files);
+  void HandlePublish(NodeId client, const std::vector<SharedFileInfo>& files) {
+    core_.HandlePublish(client, files);
+  }
   // Nickname prefix search, capped at max_user_results.
-  std::vector<UserRecord> HandleQueryUsers(const std::string& prefix) const;
+  std::vector<UserRecord> HandleQueryUsers(const std::string& prefix) const {
+    return core_.HandleQueryUsers(prefix);
+  }
   // Sources currently sharing the file.
-  std::vector<SourceRecord> HandleQuerySources(const Md4Digest& digest) const;
+  std::vector<SourceRecord> HandleQuerySources(const Md4Digest& digest) const {
+    return core_.HandleQuerySources(digest);
+  }
   // Conjunctive keyword search over published file names.
-  std::vector<SharedFileInfo> HandleSearch(const std::vector<std::string>& keywords) const;
+  std::vector<SharedFileInfo> HandleSearch(
+      const std::vector<std::string>& keywords) const {
+    return core_.HandleSearch(keywords);
+  }
 
-  bool IsConnected(NodeId client) const { return sessions_.contains(client); }
-  size_t connected_users() const { return sessions_.size(); }
-  size_t indexed_files() const { return files_.size(); }
-  uint64_t queries_served() const { return queries_served_; }
+  bool IsConnected(NodeId client) const { return core_.IsConnected(client); }
+  size_t connected_users() const { return core_.connected_users(); }
+  size_t indexed_files() const { return core_.indexed_files(); }
+  uint64_t queries_served() const { return core_.queries_served(); }
 
   // Splits a file name into lowercase keyword tokens.
-  static std::vector<std::string> Tokenize(const std::string& name);
+  static std::vector<std::string> Tokenize(const std::string& name) {
+    return ServerCore::Tokenize(name);
+  }
 
  private:
-  struct Session {
-    std::string nickname;
-    bool low_id = false;
-    std::vector<Md4Digest> published;
-  };
-  struct FileEntry {
-    SharedFileInfo info;
-    std::unordered_set<NodeId> sources;
-  };
-
-  void RemovePublished(NodeId client);
-
   SimNetwork* network_;
-  ServerConfig config_;
+  ServerCore core_;
   std::vector<NodeId> known_servers_;
-  std::unordered_map<NodeId, Session> sessions_;
-  std::unordered_map<Md4Digest, FileEntry> files_;
-  // Keyword -> digests of files whose name contains the keyword.
-  std::unordered_map<std::string, std::unordered_set<Md4Digest>> keyword_index_;
-  // Nicknames sorted for prefix scans.
-  std::multimap<std::string, NodeId> users_by_nickname_;
-  mutable uint64_t queries_served_ = 0;
 };
 
 }  // namespace edk

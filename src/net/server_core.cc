@@ -1,0 +1,269 @@
+#include "src/net/server_core.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/obs/metrics.h"
+
+namespace edk {
+
+namespace {
+
+// Per-message-type protocol counters plus peak index sizes, aggregated
+// across every index core in the process (simulated servers and TCP
+// front-ends alike). Gauges use UpdateMax so the totals stay deterministic
+// when parallel sweep tasks run their own sims.
+struct ServerMetrics {
+  obs::Counter* logins;
+  obs::Counter* logouts;
+  obs::Counter* publishes;
+  obs::Counter* published_files;
+  obs::Counter* query_users;
+  obs::Counter* query_sources;
+  obs::Counter* searches;
+  obs::Counter* browses;
+  obs::Gauge* max_indexed_files;
+  obs::Gauge* max_connected_users;
+};
+
+ServerMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static ServerMetrics metrics{
+      &registry.GetCounter("net.server.logins"),
+      &registry.GetCounter("net.server.logouts"),
+      &registry.GetCounter("net.server.publishes"),
+      &registry.GetCounter("net.server.published_files"),
+      &registry.GetCounter("net.server.query_users"),
+      &registry.GetCounter("net.server.query_sources"),
+      &registry.GetCounter("net.server.searches"),
+      &registry.GetCounter("net.server.browses"),
+      &registry.GetGauge("net.server.max_indexed_files"),
+      &registry.GetGauge("net.server.max_connected_users"),
+  };
+  return metrics;
+}
+
+}  // namespace
+
+ServerCore::ServerCore(ServerConfig config) : config_(config) {}
+
+bool ServerCore::HandleLogin(NodeId client, const std::string& nickname,
+                             bool firewalled) {
+  if (sessions_.contains(client)) {
+    return true;  // Idempotent re-login.
+  }
+  if (sessions_.size() >= config_.max_users) {
+    return false;
+  }
+  Session session;
+  session.nickname = nickname;
+  session.low_id = firewalled;
+  sessions_.emplace(client, std::move(session));
+  users_by_nickname_.emplace(nickname, client);
+  ServerMetrics& metrics = Metrics();
+  metrics.logins->Increment();
+  metrics.max_connected_users->UpdateMax(static_cast<int64_t>(sessions_.size()));
+  return true;
+}
+
+void ServerCore::HandleLogout(NodeId client) {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Metrics().logouts->Increment();
+  RemovePublished(client);
+  auto [lo, hi] = users_by_nickname_.equal_range(it->second.nickname);
+  for (auto u = lo; u != hi; ++u) {
+    if (u->second == client) {
+      users_by_nickname_.erase(u);
+      break;
+    }
+  }
+  sessions_.erase(it);
+}
+
+void ServerCore::RemovePublished(NodeId client) {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    return;
+  }
+  for (const Md4Digest& digest : it->second.published) {
+    auto file_it = files_.find(digest);
+    if (file_it == files_.end()) {
+      continue;
+    }
+    file_it->second.sources.erase(client);
+    if (file_it->second.sources.empty()) {
+      for (const std::string& token : Tokenize(file_it->second.info.name)) {
+        auto kw = keyword_index_.find(token);
+        if (kw != keyword_index_.end()) {
+          kw->second.erase(digest);
+          if (kw->second.empty()) {
+            keyword_index_.erase(kw);
+          }
+        }
+      }
+      files_.erase(file_it);
+    }
+  }
+  it->second.published.clear();
+}
+
+void ServerCore::HandlePublish(NodeId client,
+                               const std::vector<SharedFileInfo>& files) {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    return;  // Publishing without a session is dropped, as in the protocol.
+  }
+  RemovePublished(client);
+  it->second.published.reserve(files.size());
+  for (const SharedFileInfo& info : files) {
+    it->second.published.push_back(info.digest);
+    auto [file_it, inserted] = files_.try_emplace(info.digest);
+    if (inserted) {
+      file_it->second.info = info;
+      for (const std::string& token : Tokenize(info.name)) {
+        keyword_index_[token].insert(info.digest);
+      }
+    }
+    file_it->second.sources.insert(client);
+  }
+  ServerMetrics& metrics = Metrics();
+  metrics.publishes->Increment();
+  metrics.published_files->Increment(files.size());
+  metrics.max_indexed_files->UpdateMax(static_cast<int64_t>(files_.size()));
+}
+
+std::vector<UserRecord> ServerCore::HandleQueryUsers(
+    const std::string& prefix) const {
+  ++queries_served_;
+  Metrics().query_users->Increment();
+  std::vector<UserRecord> out;
+  if (!config_.supports_query_users) {
+    return out;
+  }
+  out.reserve(std::min(config_.max_user_results, sessions_.size()));
+  auto it = users_by_nickname_.lower_bound(prefix);
+  while (it != users_by_nickname_.end() && out.size() < config_.max_user_results) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    const auto session = sessions_.find(it->second);
+    if (session != sessions_.end()) {
+      out.push_back(UserRecord{it->first, it->second, session->second.low_id});
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::vector<SourceRecord> ServerCore::HandleQuerySources(
+    const Md4Digest& digest) const {
+  ++queries_served_;
+  Metrics().query_sources->Increment();
+  std::vector<SourceRecord> out;
+  const auto it = files_.find(digest);
+  if (it == files_.end()) {
+    return out;
+  }
+  out.reserve(std::min(config_.max_source_results, it->second.sources.size()));
+  for (NodeId source : it->second.sources) {
+    if (out.size() >= config_.max_source_results) {
+      break;
+    }
+    const auto session = sessions_.find(source);
+    if (session != sessions_.end()) {
+      out.push_back(SourceRecord{source, session->second.low_id});
+    }
+  }
+  return out;
+}
+
+std::vector<SharedFileInfo> ServerCore::HandleSearch(
+    const std::vector<std::string>& keywords) const {
+  ++queries_served_;
+  Metrics().searches->Increment();
+  std::vector<SharedFileInfo> out;
+  if (keywords.empty()) {
+    return out;
+  }
+  // Start from the rarest keyword's posting set, then filter conjunctively.
+  const std::unordered_set<Md4Digest>* smallest = nullptr;
+  for (const std::string& keyword : keywords) {
+    const auto it = keyword_index_.find(keyword);
+    if (it == keyword_index_.end()) {
+      return out;  // One keyword has no match: conjunction is empty.
+    }
+    if (smallest == nullptr || it->second.size() < smallest->size()) {
+      smallest = &it->second;
+    }
+  }
+  out.reserve(std::min(config_.max_search_results, smallest->size()));
+  std::vector<std::string> tokens;
+  for (const Md4Digest& digest : *smallest) {
+    const auto file_it = files_.find(digest);
+    if (file_it == files_.end()) {
+      continue;
+    }
+    TokenizeInto(file_it->second.info.name, &tokens);
+    bool all = true;
+    for (const std::string& keyword : keywords) {
+      if (std::find(tokens.begin(), tokens.end(), keyword) == tokens.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      out.push_back(file_it->second.info);
+      if (out.size() >= config_.max_search_results) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<SharedFileInfo>> ServerCore::HandleBrowse(
+    NodeId target) const {
+  ++queries_served_;
+  Metrics().browses->Increment();
+  const auto it = sessions_.find(target);
+  if (it == sessions_.end()) {
+    return std::nullopt;
+  }
+  std::vector<SharedFileInfo> out;
+  out.reserve(it->second.published.size());
+  for (const Md4Digest& digest : it->second.published) {
+    const auto file_it = files_.find(digest);
+    if (file_it != files_.end()) {
+      out.push_back(file_it->second.info);
+    }
+  }
+  return out;
+}
+
+void ServerCore::TokenizeInto(const std::string& name,
+                              std::vector<std::string>* out) {
+  out->clear();
+  std::string current;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      out->push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    out->push_back(std::move(current));
+  }
+}
+
+std::vector<std::string> ServerCore::Tokenize(const std::string& name) {
+  std::vector<std::string> tokens;
+  TokenizeInto(name, &tokens);
+  return tokens;
+}
+
+}  // namespace edk

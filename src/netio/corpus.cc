@@ -1,0 +1,97 @@
+#include "src/netio/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/net/client.h"
+
+namespace edk::netio {
+
+namespace {
+
+const char* const kExtensions[] = {"avi", "mp3", "zip", "iso"};
+
+}  // namespace
+
+ServeCorpus BuildServeCorpus(const ServeCorpusConfig& config) {
+  ServeCorpus corpus;
+  corpus.config = config;
+  Rng rng(config.seed);
+
+  corpus.keyword_pool.reserve(config.keywords);
+  for (uint32_t k = 0; k < config.keywords; ++k) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "kw%03u", k);
+    corpus.keyword_pool.push_back(buf);
+  }
+
+  // File names: two Zipf-popular keywords plus a unique token, so popular
+  // keywords index thousands of files while "fileN" pins exactly one.
+  ZipfSampler keyword_zipf(config.keywords, config.keyword_zipf);
+  corpus.files.reserve(config.files);
+  for (uint32_t f = 0; f < config.files; ++f) {
+    const uint64_t a = keyword_zipf.Sample(rng) - 1;
+    const uint64_t b = keyword_zipf.Sample(rng) - 1;
+    const char* ext = kExtensions[rng.NextBelow(std::size(kExtensions))];
+    std::string name = corpus.keyword_pool[a] + " " + corpus.keyword_pool[b] +
+                       " file" + std::to_string(f) + "." + ext;
+    const uint64_t size_bytes = 1'000'000 + rng.NextBelow(700'000'000);
+    corpus.files.push_back(
+        SimClient::MakeFileInfo(FileId(f), size_bytes, std::move(name)));
+  }
+
+  // Client caches: Pareto-sized (the paper's generosity tail), files drawn
+  // Zipf-popular with replacement then deduplicated, so popular files have
+  // many sources and the tail has one or none.
+  ZipfSampler file_zipf(config.files, 0.8);
+  corpus.client_files.resize(config.clients);
+  corpus.nicknames.reserve(config.clients);
+  std::vector<uint8_t> seen(config.files, 0);
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    corpus.nicknames.push_back("peer" + std::to_string(c));
+    const double pareto =
+        rng.NextPareto(config.cache_pareto_xm, config.cache_pareto_alpha);
+    const uint32_t target = static_cast<uint32_t>(std::min<double>(
+        pareto, std::min<uint32_t>(config.cache_max, config.files)));
+    auto& cache = corpus.client_files[c];
+    cache.reserve(target);
+    for (uint32_t i = 0; i < target; ++i) {
+      const uint32_t file = static_cast<uint32_t>(file_zipf.Sample(rng) - 1);
+      if (seen[file] == 0) {
+        seen[file] = 1;
+        cache.push_back(file);
+      }
+    }
+    for (const uint32_t file : cache) {
+      seen[file] = 0;
+    }
+    // Publish order is deterministic and sorted, matching the digest-sorted
+    // SharedFiles() order a simulated client would publish.
+    std::sort(cache.begin(), cache.end(), [&](uint32_t x, uint32_t y) {
+      return corpus.files[x].digest < corpus.files[y].digest;
+    });
+  }
+  return corpus;
+}
+
+NodeId PreloadServeCorpus(ServerCore& core, const ServeCorpus& corpus,
+                          NodeId first_id) {
+  NodeId id = first_id;
+  std::vector<SharedFileInfo> files;
+  for (uint32_t c = 0; c < corpus.client_files.size(); ++c, ++id) {
+    // Every fourth corpus client is firewalled-ish: low id in replies.
+    const bool firewalled = (c % 4) == 3;
+    core.HandleLogin(id, corpus.nicknames[c], firewalled);
+    files.clear();
+    files.reserve(corpus.client_files[c].size());
+    for (const uint32_t file : corpus.client_files[c]) {
+      files.push_back(corpus.files[file]);
+    }
+    core.HandlePublish(id, files);
+  }
+  return id;
+}
+
+}  // namespace edk::netio

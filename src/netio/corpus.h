@@ -1,0 +1,57 @@
+// Deterministic index corpus for the TCP serve path.
+//
+// edk-served, bench_serve and the end-to-end tests must agree on what the
+// server indexes without shipping a file between them: both sides derive
+// the identical corpus from one seed. The corpus mirrors the workload
+// model's shape — Zipf-popular keywords compose file names, cache sizes
+// follow the generosity Pareto tail, and canonical SharedFileInfo digests
+// come from SimClient::MakeFileInfo — so a loadgen search mix hits the
+// index with realistic selectivity.
+//
+// PreloadServeCorpus registers the corpus clients straight into a
+// ServerCore (ids first_id, first_id+1, ...), which is how edk-served and
+// the in-process bench seed a populated index without paying one TCP
+// round-trip per historical publish.
+
+#ifndef SRC_NETIO_CORPUS_H_
+#define SRC_NETIO_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/server_core.h"
+
+namespace edk::netio {
+
+struct ServeCorpusConfig {
+  uint64_t seed = 42;
+  uint32_t clients = 200;
+  uint32_t files = 2000;
+  uint32_t keywords = 64;        // Vocabulary size for names and searches.
+  double keyword_zipf = 0.9;     // Popularity skew of the vocabulary.
+  double cache_pareto_alpha = 0.82;  // WorkloadConfig generosity defaults.
+  double cache_pareto_xm = 6.0;
+  uint32_t cache_max = 200;
+};
+
+struct ServeCorpus {
+  ServeCorpusConfig config;
+  std::vector<SharedFileInfo> files;           // Canonical infos, by index.
+  std::vector<std::string> keyword_pool;       // kw000... vocabulary.
+  std::vector<std::vector<uint32_t>> client_files;  // Per client: file indices.
+  std::vector<std::string> nicknames;          // Per client.
+};
+
+ServeCorpus BuildServeCorpus(const ServeCorpusConfig& config);
+
+// Logs every corpus client into `core` (ids first_id upwards, in corpus
+// order — the deterministic sequence both the sim-equality test and the
+// TCP preload replay) and publishes its files. Returns the first free
+// NodeId after the corpus, i.e. first_id + clients.
+NodeId PreloadServeCorpus(ServerCore& core, const ServeCorpus& corpus,
+                          NodeId first_id = 1);
+
+}  // namespace edk::netio
+
+#endif  // SRC_NETIO_CORPUS_H_

@@ -1,0 +1,478 @@
+#include "src/netio/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/varint.h"
+
+namespace edk::netio {
+
+namespace {
+
+// --- Little-endian fixed-width helpers --------------------------------------
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// --- Payload cursor ---------------------------------------------------------
+//
+// Thin wrapper over the shared varint decoder that also carries string and
+// digest reads, each validated against the bytes that remain before any
+// allocation happens.
+
+struct Reader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  explicit Reader(std::string_view payload)
+      : p(reinterpret_cast<const uint8_t*>(payload.data())),
+        end(p + payload.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+  bool done() const { return p == end; }
+
+  bool Varint(uint64_t* v) {
+    const uint8_t* before = p;
+    if (!wire::ReadVarint(p, end, *v)) {
+      return false;
+    }
+    // The wire protocol is strictly canonical: a non-minimal encoding
+    // (0x80 0x00 for zero, ...) is rejected so no two byte strings alias
+    // to one value. Stricter than the trace decoder, which only rejects
+    // encodings that overflow 64 bits.
+    size_t min_len = 1;
+    for (uint64_t x = *v; x >= 0x80; x >>= 7) {
+      ++min_len;
+    }
+    return static_cast<size_t>(p - before) == min_len;
+  }
+
+  // Varint value that must fit the destination width.
+  bool U32(uint32_t* v) {
+    uint64_t raw;
+    if (!Varint(&raw) || raw > 0xffffffffull) {
+      return false;
+    }
+    *v = static_cast<uint32_t>(raw);
+    return true;
+  }
+
+  bool Bool(bool* v) {
+    uint64_t raw;
+    if (!Varint(&raw) || raw > 1) {
+      return false;
+    }
+    *v = raw != 0;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    uint64_t len;
+    if (!Varint(&len) || len > remaining()) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(p), static_cast<size_t>(len));
+    p += len;
+    return true;
+  }
+
+  bool Digest(Md4Digest* out) {
+    if (remaining() < out->size()) {
+      return false;
+    }
+    std::memcpy(out->data(), p, out->size());
+    p += out->size();
+    return true;
+  }
+
+  // Element count for a vector whose elements occupy at least
+  // `min_element_bytes` each: a count the payload cannot possibly hold is
+  // rejected before any reserve().
+  bool Count(size_t min_element_bytes, uint64_t* count) {
+    if (!Varint(count)) {
+      return false;
+    }
+    return *count <= remaining() / std::max<size_t>(min_element_bytes, 1);
+  }
+};
+
+void AppendString(std::string& out, std::string_view s) {
+  wire::AppendVarint(out, s.size());
+  out.append(s.data(), s.size());
+}
+
+void AppendDigest(std::string& out, const Md4Digest& digest) {
+  out.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+}
+
+// SharedFileInfo record: varint file id, 16-byte digest, varint size,
+// string name. Minimum wire size: 1 + 16 + 1 + 1 = 19 bytes.
+constexpr size_t kMinFileRecordBytes = 19;
+
+void AppendFileInfo(std::string& out, const SharedFileInfo& info) {
+  wire::AppendVarint(out, info.file.value);
+  AppendDigest(out, info.digest);
+  wire::AppendVarint(out, info.size_bytes);
+  AppendString(out, info.name);
+}
+
+bool ReadFileInfo(Reader& r, SharedFileInfo* out) {
+  return r.U32(&out->file.value) && r.Digest(&out->digest) &&
+         r.Varint(&out->size_bytes) && r.String(&out->name);
+}
+
+bool ReadFileList(Reader& r, std::vector<SharedFileInfo>* out) {
+  uint64_t count;
+  if (!r.Count(kMinFileRecordBytes, &count)) {
+    return false;
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SharedFileInfo info;
+    if (!ReadFileInfo(r, &info)) {
+      return false;
+    }
+    out->push_back(std::move(info));
+  }
+  return true;
+}
+
+void AppendFileList(std::string& out, const std::vector<SharedFileInfo>& files) {
+  wire::AppendVarint(out, files.size());
+  for (const SharedFileInfo& info : files) {
+    AppendFileInfo(out, info);
+  }
+}
+
+// A decode succeeds only when the payload was consumed exactly: trailing
+// bytes mean a desynchronised or tampered stream.
+bool Finish(const Reader& r, bool ok) { return ok && r.done(); }
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kLoginReq: return "login-req";
+    case MsgType::kLoginRep: return "login-rep";
+    case MsgType::kLogoutReq: return "logout-req";
+    case MsgType::kLogoutRep: return "logout-rep";
+    case MsgType::kPublishReq: return "publish-req";
+    case MsgType::kPublishRep: return "publish-rep";
+    case MsgType::kSearchReq: return "search-req";
+    case MsgType::kSearchRep: return "search-rep";
+    case MsgType::kQuerySourcesReq: return "query-sources-req";
+    case MsgType::kSourcesRep: return "sources-rep";
+    case MsgType::kQueryUsersReq: return "query-users-req";
+    case MsgType::kUsersRep: return "users-rep";
+    case MsgType::kBrowseReq: return "browse-req";
+    case MsgType::kBrowseRep: return "browse-rep";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool IsKnownMsgType(uint8_t tag) {
+  return (tag >= static_cast<uint8_t>(MsgType::kLoginReq) &&
+          tag <= static_cast<uint8_t>(MsgType::kBrowseRep)) ||
+         tag == static_cast<uint8_t>(MsgType::kError);
+}
+
+const char* FrameErrorName(FrameError error) {
+  switch (error) {
+    case FrameError::kNone: return "none";
+    case FrameError::kBadMagic: return "bad-magic";
+    case FrameError::kBadVersion: return "bad-version";
+    case FrameError::kBadReserved: return "bad-reserved";
+    case FrameError::kOversizePayload: return "oversize-payload";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(out, kFrameMagic);
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);
+  out.push_back(0);
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameAssembler::FrameAssembler(size_t max_payload) : max_payload_(max_payload) {}
+
+void FrameAssembler::Feed(const char* data, size_t n) {
+  if (broken()) {
+    return;
+  }
+  // Reclaim the consumed prefix before growing; keeps the buffer bounded
+  // by one partial frame plus one read chunk.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+std::optional<Frame> FrameAssembler::Next() {
+  if (broken() || buffered_bytes() < kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  const uint8_t* head =
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_;
+  if (ReadU32(head) != kFrameMagic) {
+    error_ = FrameError::kBadMagic;
+    return std::nullopt;
+  }
+  if (head[4] != kFrameVersion) {
+    error_ = FrameError::kBadVersion;
+    return std::nullopt;
+  }
+  if (head[6] != 0 || head[7] != 0) {
+    error_ = FrameError::kBadReserved;
+    return std::nullopt;
+  }
+  const uint32_t payload_len = ReadU32(head + 8);
+  if (payload_len > max_payload_) {
+    error_ = FrameError::kOversizePayload;
+    return std::nullopt;
+  }
+  if (buffered_bytes() < kFrameHeaderBytes + payload_len) {
+    return std::nullopt;  // Wait for the rest of the payload.
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(head[5]);
+  frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes, payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return frame;
+}
+
+// --- Login ------------------------------------------------------------------
+
+std::string EncodeLoginReq(const LoginReq& msg) {
+  std::string out;
+  AppendString(out, msg.nickname);
+  wire::AppendVarint(out, msg.firewalled ? 1 : 0);
+  return out;
+}
+
+bool DecodeLoginReq(std::string_view payload, LoginReq* out) {
+  Reader r(payload);
+  return Finish(r, r.String(&out->nickname) && r.Bool(&out->firewalled));
+}
+
+std::string EncodeLoginRep(const LoginRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.accepted ? 1 : 0);
+  wire::AppendVarint(out, msg.client_id);
+  return out;
+}
+
+bool DecodeLoginRep(std::string_view payload, LoginRep* out) {
+  Reader r(payload);
+  return Finish(r, r.Bool(&out->accepted) && r.U32(&out->client_id));
+}
+
+// --- Publish ----------------------------------------------------------------
+
+std::string EncodePublishReq(const PublishReq& msg) {
+  std::string out;
+  AppendFileList(out, msg.files);
+  return out;
+}
+
+bool DecodePublishReq(std::string_view payload, PublishReq* out) {
+  Reader r(payload);
+  return Finish(r, ReadFileList(r, &out->files));
+}
+
+std::string EncodePublishRep(const PublishRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.indexed_files);
+  return out;
+}
+
+bool DecodePublishRep(std::string_view payload, PublishRep* out) {
+  Reader r(payload);
+  return Finish(r, r.Varint(&out->indexed_files));
+}
+
+// --- Search -----------------------------------------------------------------
+
+std::string EncodeSearchReq(const SearchReq& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.keywords.size());
+  for (const std::string& keyword : msg.keywords) {
+    AppendString(out, keyword);
+  }
+  return out;
+}
+
+bool DecodeSearchReq(std::string_view payload, SearchReq* out) {
+  Reader r(payload);
+  uint64_t count;
+  if (!r.Count(1, &count)) {
+    return false;
+  }
+  out->keywords.clear();
+  out->keywords.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string keyword;
+    if (!r.String(&keyword)) {
+      return false;
+    }
+    out->keywords.push_back(std::move(keyword));
+  }
+  return Finish(r, true);
+}
+
+std::string EncodeSearchRep(const SearchRep& msg) {
+  std::string out;
+  AppendFileList(out, msg.files);
+  return out;
+}
+
+bool DecodeSearchRep(std::string_view payload, SearchRep* out) {
+  Reader r(payload);
+  return Finish(r, ReadFileList(r, &out->files));
+}
+
+// --- Query sources ----------------------------------------------------------
+
+std::string EncodeQuerySourcesReq(const QuerySourcesReq& msg) {
+  std::string out;
+  AppendDigest(out, msg.digest);
+  return out;
+}
+
+bool DecodeQuerySourcesReq(std::string_view payload, QuerySourcesReq* out) {
+  Reader r(payload);
+  return Finish(r, r.Digest(&out->digest));
+}
+
+std::string EncodeSourcesRep(const SourcesRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.sources.size());
+  for (const SourceRecord& source : msg.sources) {
+    wire::AppendVarint(out, source.node);
+    wire::AppendVarint(out, source.low_id ? 1 : 0);
+  }
+  return out;
+}
+
+bool DecodeSourcesRep(std::string_view payload, SourcesRep* out) {
+  Reader r(payload);
+  uint64_t count;
+  // A source record is at least 2 bytes (node varint + flag varint).
+  if (!r.Count(2, &count)) {
+    return false;
+  }
+  out->sources.clear();
+  out->sources.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SourceRecord record;
+    if (!r.U32(&record.node) || !r.Bool(&record.low_id)) {
+      return false;
+    }
+    out->sources.push_back(record);
+  }
+  return Finish(r, true);
+}
+
+// --- Query users ------------------------------------------------------------
+
+std::string EncodeQueryUsersReq(const QueryUsersReq& msg) {
+  std::string out;
+  AppendString(out, msg.prefix);
+  return out;
+}
+
+bool DecodeQueryUsersReq(std::string_view payload, QueryUsersReq* out) {
+  Reader r(payload);
+  return Finish(r, r.String(&out->prefix));
+}
+
+std::string EncodeUsersRep(const UsersRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.users.size());
+  for (const UserRecord& user : msg.users) {
+    AppendString(out, user.nickname);
+    wire::AppendVarint(out, user.node);
+    wire::AppendVarint(out, user.low_id ? 1 : 0);
+  }
+  return out;
+}
+
+bool DecodeUsersRep(std::string_view payload, UsersRep* out) {
+  Reader r(payload);
+  uint64_t count;
+  // A user record is at least 3 bytes (empty name + node + flag).
+  if (!r.Count(3, &count)) {
+    return false;
+  }
+  out->users.clear();
+  out->users.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    UserRecord record;
+    if (!r.String(&record.nickname) || !r.U32(&record.node) ||
+        !r.Bool(&record.low_id)) {
+      return false;
+    }
+    out->users.push_back(std::move(record));
+  }
+  return Finish(r, true);
+}
+
+// --- Browse -----------------------------------------------------------------
+
+std::string EncodeBrowseReq(const BrowseReq& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.target);
+  return out;
+}
+
+bool DecodeBrowseReq(std::string_view payload, BrowseReq* out) {
+  Reader r(payload);
+  return Finish(r, r.U32(&out->target));
+}
+
+std::string EncodeBrowseRep(const BrowseRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.ok ? 1 : 0);
+  AppendFileList(out, msg.files);
+  return out;
+}
+
+bool DecodeBrowseRep(std::string_view payload, BrowseRep* out) {
+  Reader r(payload);
+  return Finish(r, r.Bool(&out->ok) && ReadFileList(r, &out->files));
+}
+
+// --- Error ------------------------------------------------------------------
+
+std::string EncodeErrorRep(const ErrorRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.code);
+  AppendString(out, msg.message);
+  return out;
+}
+
+bool DecodeErrorRep(std::string_view payload, ErrorRep* out) {
+  Reader r(payload);
+  return Finish(r, r.Varint(&out->code) && r.String(&out->message));
+}
+
+}  // namespace edk::netio

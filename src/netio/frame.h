@@ -1,0 +1,208 @@
+// Framed binary wire protocol of the real (socket-served) index server
+// (DESIGN.md §6j).
+//
+// Every message travels as one length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     magic   0x464b4445 LE — the bytes "EDKF" on the wire
+//   4       1     version (kFrameVersion)
+//   5       1     message tag (MsgType)
+//   6       2     reserved, must be zero
+//   8       4     payload length LE, <= max_payload
+//   12      n     payload — varint-encoded fields (src/common/varint)
+//
+// Payload encoding reuses the trace pipeline's LEB128 varints and rejects
+// every non-minimal encoding (stricter than the trace decoder: no two
+// byte strings alias to one value); strings are varint-length-prefixed bytes,
+// digests are 16 raw bytes. Decoders are hostile-input hardened in the
+// style of the trace corruption suite: every length is validated against
+// the bytes actually present before any allocation (a forged element
+// count can never reserve more than the payload could possibly hold), a
+// payload must be consumed exactly (trailing garbage is an error), and a
+// broken frame header poisons the stream (FrameAssembler::error()) so a
+// desynchronised connection is torn down instead of resynchronised on
+// attacker-controlled bytes.
+//
+// FrameAssembler reassembles frames from arbitrary byte chunks — the unit
+// a non-blocking read() delivers — so the TCP server and client share one
+// partial-read path that is tested at every possible split boundary.
+
+#ifndef SRC_NETIO_FRAME_H_
+#define SRC_NETIO_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/protocol.h"
+
+namespace edk::netio {
+
+inline constexpr uint32_t kFrameMagic = 0x464b4445u;  // "EDKF" little-endian.
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+// Default payload cap. A search reply tops out at a few hundred records of
+// bounded names, far below this; the cap exists to bound what a hostile
+// length prefix can make a peer buffer.
+inline constexpr size_t kDefaultMaxPayload = 8u << 20;
+
+// Message tags. Stable wire constants — they appear on the network.
+enum class MsgType : uint8_t {
+  kLoginReq = 0x01,
+  kLoginRep = 0x02,
+  kLogoutReq = 0x03,     // Zero-length payload.
+  kLogoutRep = 0x04,     // Zero-length payload.
+  kPublishReq = 0x05,
+  kPublishRep = 0x06,
+  kSearchReq = 0x07,
+  kSearchRep = 0x08,
+  kQuerySourcesReq = 0x09,
+  kSourcesRep = 0x0a,
+  kQueryUsersReq = 0x0b,
+  kUsersRep = 0x0c,
+  kBrowseReq = 0x0d,
+  kBrowseRep = 0x0e,
+  kError = 0x7f,
+};
+const char* MsgTypeName(MsgType type);
+bool IsKnownMsgType(uint8_t tag);
+
+// --- Message bodies ---------------------------------------------------------
+
+struct LoginReq {
+  std::string nickname;
+  bool firewalled = false;
+};
+struct LoginRep {
+  bool accepted = false;
+  NodeId client_id = kInvalidNode;  // Assigned by the server on success.
+};
+struct PublishReq {
+  std::vector<SharedFileInfo> files;
+};
+struct PublishRep {
+  uint64_t indexed_files = 0;  // Server-wide index size after the publish.
+};
+struct SearchReq {
+  std::vector<std::string> keywords;
+};
+struct SearchRep {
+  std::vector<SharedFileInfo> files;
+};
+struct QuerySourcesReq {
+  Md4Digest digest{};
+};
+struct SourcesRep {
+  std::vector<SourceRecord> sources;
+};
+struct QueryUsersReq {
+  std::string prefix;
+};
+struct UsersRep {
+  std::vector<UserRecord> users;
+};
+struct BrowseReq {
+  NodeId target = kInvalidNode;
+};
+struct BrowseRep {
+  bool ok = false;  // False: target unknown/not connected.
+  std::vector<SharedFileInfo> files;
+};
+// Protocol-level failure reply (bad request payload, unknown tag, ...).
+struct ErrorRep {
+  uint64_t code = 0;
+  std::string message;
+};
+// ErrorRep::code values.
+inline constexpr uint64_t kErrBadPayload = 1;
+inline constexpr uint64_t kErrUnknownType = 2;
+inline constexpr uint64_t kErrNotLoggedIn = 3;
+
+// --- Frame layer ------------------------------------------------------------
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+// Header + payload bytes ready to write to a socket.
+std::string EncodeFrame(MsgType type, std::string_view payload);
+
+enum class FrameError {
+  kNone = 0,
+  kBadMagic,
+  kBadVersion,
+  kBadReserved,
+  kOversizePayload,
+};
+const char* FrameErrorName(FrameError error);
+
+// Incremental frame reassembly over arbitrary byte chunks.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kDefaultMaxPayload);
+
+  // Appends raw bytes from the transport. No-op once broken.
+  void Feed(const char* data, size_t n);
+  void Feed(std::string_view bytes) { Feed(bytes.data(), bytes.size()); }
+
+  // Pops the next complete frame, or nullopt when more bytes are needed or
+  // the stream is broken (check error()). Unknown-but-well-formed message
+  // tags are surfaced to the caller, which decides how to reply.
+  std::optional<Frame> Next();
+
+  FrameError error() const { return error_; }
+  bool broken() const { return error_ != FrameError::kNone; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already handed out.
+  FrameError error_ = FrameError::kNone;
+};
+
+// --- Payload codecs ---------------------------------------------------------
+//
+// EncodeX returns the payload bytes (frame the result with EncodeFrame);
+// DecodeX parses a payload and returns false on any malformed input
+// without partial effects worth trusting.
+
+std::string EncodeLoginReq(const LoginReq& msg);
+bool DecodeLoginReq(std::string_view payload, LoginReq* out);
+std::string EncodeLoginRep(const LoginRep& msg);
+bool DecodeLoginRep(std::string_view payload, LoginRep* out);
+
+std::string EncodePublishReq(const PublishReq& msg);
+bool DecodePublishReq(std::string_view payload, PublishReq* out);
+std::string EncodePublishRep(const PublishRep& msg);
+bool DecodePublishRep(std::string_view payload, PublishRep* out);
+
+std::string EncodeSearchReq(const SearchReq& msg);
+bool DecodeSearchReq(std::string_view payload, SearchReq* out);
+std::string EncodeSearchRep(const SearchRep& msg);
+bool DecodeSearchRep(std::string_view payload, SearchRep* out);
+
+std::string EncodeQuerySourcesReq(const QuerySourcesReq& msg);
+bool DecodeQuerySourcesReq(std::string_view payload, QuerySourcesReq* out);
+std::string EncodeSourcesRep(const SourcesRep& msg);
+bool DecodeSourcesRep(std::string_view payload, SourcesRep* out);
+
+std::string EncodeQueryUsersReq(const QueryUsersReq& msg);
+bool DecodeQueryUsersReq(std::string_view payload, QueryUsersReq* out);
+std::string EncodeUsersRep(const UsersRep& msg);
+bool DecodeUsersRep(std::string_view payload, UsersRep* out);
+
+std::string EncodeBrowseReq(const BrowseReq& msg);
+bool DecodeBrowseReq(std::string_view payload, BrowseReq* out);
+std::string EncodeBrowseRep(const BrowseRep& msg);
+bool DecodeBrowseRep(std::string_view payload, BrowseRep* out);
+
+std::string EncodeErrorRep(const ErrorRep& msg);
+bool DecodeErrorRep(std::string_view payload, ErrorRep* out);
+
+}  // namespace edk::netio
+
+#endif  // SRC_NETIO_FRAME_H_

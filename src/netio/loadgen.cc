@@ -1,0 +1,321 @@
+#include "src/netio/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/netio/tcp_client.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
+
+namespace edk::netio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class ReqKind : uint8_t {
+  kPublish,
+  kSearch,
+  kQuerySources,
+  kQueryUsers,
+  kBrowse,
+};
+
+const char* ReqKindName(ReqKind kind) {
+  switch (kind) {
+    case ReqKind::kPublish: return "publish";
+    case ReqKind::kSearch: return "search";
+    case ReqKind::kQuerySources: return "query_sources";
+    case ReqKind::kQueryUsers: return "query_users";
+    case ReqKind::kBrowse: return "browse";
+  }
+  return "unknown";
+}
+
+struct Arrival {
+  double offset_seconds;  // From schedule start.
+  ReqKind kind;
+  uint64_t param_seed;    // Drives the request's parameters.
+};
+
+uint16_t LoadgenSpanName() {
+  static const uint16_t name =
+      obs::TraceLog::Global().InternName("netio.loadgen.request", {"type"});
+  return name;
+}
+
+// Per-worker accumulators, merged after the join.
+struct WorkerResult {
+  uint64_t completed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t transport_errors = 0;
+  uint64_t dropped = 0;
+  uint64_t by_kind[5] = {0, 0, 0, 0, 0};
+  double max_send_lag_seconds = 0;
+  std::vector<double> open_loop_us;
+  std::vector<double> service_us;
+};
+
+}  // namespace
+
+RequestMix DeriveRequestMix(const WorkloadConfig& config) {
+  RequestMix mix;
+  const double acquisitions = config.mean_daily_additions;
+  // One connect-time publish plus one republish per acquired file.
+  mix.publish = 1.0 + acquisitions;
+  mix.search = acquisitions;
+  mix.query_sources = acquisitions;
+  // Only unfirewalled sources can be browsed for more of the same (§2.2).
+  mix.browse = acquisitions * (1.0 - config.firewalled_fraction);
+  // Legacy request kept alive by old clients and crawlers: a trickle.
+  mix.query_users = 0.1;
+  return mix;
+}
+
+LatencySummary SummarizeLatencies(std::vector<double>& samples_us) {
+  LatencySummary out;
+  out.count = samples_us.size();
+  if (samples_us.empty()) {
+    return out;
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  double sum = 0;
+  for (const double v : samples_us) {
+    sum += v;
+  }
+  out.mean_us = sum / static_cast<double>(samples_us.size());
+  auto quantile = [&](double q) {
+    const size_t idx = std::min(
+        samples_us.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(samples_us.size())));
+    return samples_us[idx];
+  };
+  out.p50_us = quantile(0.50);
+  out.p90_us = quantile(0.90);
+  out.p99_us = quantile(0.99);
+  out.p999_us = quantile(0.999);
+  out.max_us = samples_us.back();
+  return out;
+}
+
+LoadGenReport RunLoadGen(const LoadGenConfig& config,
+                         const ServeCorpus& corpus) {
+  LoadGenReport report;
+  const double rate = std::max(config.target_rps, 1.0);
+  const uint64_t total = static_cast<uint64_t>(
+      std::llround(rate * std::max(config.duration_seconds, 0.0)));
+  if (total == 0 || corpus.files.empty() || corpus.client_files.empty()) {
+    return report;
+  }
+
+  // The whole Poisson schedule is fixed up front: the offered load never
+  // reacts to how the server is doing (open loop).
+  std::vector<Arrival> schedule;
+  schedule.reserve(total);
+  Rng rng(config.seed);
+  const double weights[5] = {config.mix.publish, config.mix.search,
+                             config.mix.query_sources, config.mix.query_users,
+                             config.mix.browse};
+  double weight_sum = 0;
+  for (const double w : weights) {
+    weight_sum += std::max(w, 0.0);
+  }
+  if (weight_sum <= 0) {
+    return report;
+  }
+  double t = 0;
+  for (uint64_t i = 0; i < total; ++i) {
+    t += rng.NextExponential(rate);
+    double pick = rng.NextDouble() * weight_sum;
+    size_t kind = 0;
+    for (; kind < 4; ++kind) {
+      const double w = std::max(weights[kind], 0.0);
+      if (pick < w) {
+        break;
+      }
+      pick -= w;
+    }
+    schedule.push_back(Arrival{t, static_cast<ReqKind>(kind), rng()});
+  }
+  report.scheduled = total;
+
+  const size_t workers =
+      std::max<size_t>(1, std::min<size_t>(config.connections, total));
+  std::atomic<uint64_t> cursor{0};
+  std::vector<WorkerResult> results(workers);
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  Clock::time_point start;  // Written once before go, read by all after.
+
+  ZipfSampler file_zipf(corpus.files.size(), 0.9);
+  ZipfSampler keyword_zipf(corpus.keyword_pool.size(),
+                           corpus.config.keyword_zipf);
+
+  auto worker_main = [&](size_t w) {
+    WorkerResult& local = results[w];
+    TcpClient client;
+    auto connect_and_login = [&]() {
+      if (!client.Connect(config.host, config.port,
+                          config.recv_timeout_seconds)) {
+        return false;
+      }
+      const auto login =
+          client.Login("loadgen" + std::to_string(w), /*firewalled=*/false);
+      return login.has_value() && login->accepted;
+    };
+    const bool connected = connect_and_login();
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (!connected) {
+      // Still drain the cursor so the run terminates; every claimed
+      // arrival counts as dropped offered load.
+      uint64_t i;
+      while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) < total) {
+        ++local.dropped;
+      }
+      ++local.transport_errors;
+      return;
+    }
+
+    Rng param_rng(0);  // Re-seeded per request from the arrival.
+    std::vector<SharedFileInfo> publish_batch;
+    uint64_t i;
+    while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) < total) {
+      const Arrival& arrival = schedule[i];
+      const auto scheduled_at =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(arrival.offset_seconds));
+      auto now = Clock::now();
+      if (now < scheduled_at) {
+        std::this_thread::sleep_until(scheduled_at);
+        now = Clock::now();
+      }
+      const double lag = std::chrono::duration<double>(now - scheduled_at).count();
+      local.max_send_lag_seconds = std::max(local.max_send_lag_seconds, lag);
+
+      param_rng = Rng(arrival.param_seed);
+      obs::WallSpan span(LoadgenSpanName());
+      span.AddArg(static_cast<uint64_t>(arrival.kind));
+      bool ok = false;
+      switch (arrival.kind) {
+        case ReqKind::kPublish: {
+          publish_batch.clear();
+          const size_t n = 1 + param_rng.NextBelow(
+                                   std::max<size_t>(
+                                       config.publish_files_per_request, 1));
+          for (size_t f = 0; f < n; ++f) {
+            publish_batch.push_back(
+                corpus.files[file_zipf.Sample(param_rng) - 1]);
+          }
+          ok = client.Publish(publish_batch).has_value();
+          break;
+        }
+        case ReqKind::kSearch: {
+          std::vector<std::string> keywords;
+          keywords.push_back(
+              corpus.keyword_pool[keyword_zipf.Sample(param_rng) - 1]);
+          if (param_rng.NextBool(0.5)) {
+            keywords.push_back(
+                corpus.keyword_pool[keyword_zipf.Sample(param_rng) - 1]);
+          }
+          ok = client.Search(keywords).has_value();
+          break;
+        }
+        case ReqKind::kQuerySources: {
+          const auto& file = corpus.files[file_zipf.Sample(param_rng) - 1];
+          ok = client.QuerySources(file.digest).has_value();
+          break;
+        }
+        case ReqKind::kQueryUsers: {
+          // "peer" hits everything; "peer1" a decile; keeps reply sizes mixed.
+          std::string prefix = "peer";
+          if (param_rng.NextBool(0.7)) {
+            prefix += std::to_string(param_rng.NextBelow(10));
+          }
+          ok = client.QueryUsers(prefix).has_value();
+          break;
+        }
+        case ReqKind::kBrowse: {
+          const NodeId target = static_cast<NodeId>(
+              1 + param_rng.NextBelow(corpus.client_files.size()));
+          ok = client.Browse(target).has_value();
+          break;
+        }
+      }
+      const auto end = Clock::now();
+      ++local.by_kind[static_cast<size_t>(arrival.kind)];
+      if (ok) {
+        ++local.completed;
+        local.open_loop_us.push_back(
+            std::chrono::duration<double, std::micro>(end - scheduled_at)
+                .count());
+        local.service_us.push_back(
+            std::chrono::duration<double, std::micro>(end - now).count());
+      } else if (client.last_was_protocol_error()) {
+        ++local.protocol_errors;
+      } else {
+        ++local.transport_errors;
+        if (!connect_and_login()) {
+          // Connection is gone for good: drain the rest as dropped.
+          while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) < total) {
+            ++local.dropped;
+          }
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_main, w);
+  }
+  while (ready.load(std::memory_order_acquire) < workers) {
+    std::this_thread::yield();
+  }
+  start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> open_loop_us;
+  std::vector<double> service_us;
+  for (size_t w = 0; w < workers; ++w) {
+    const WorkerResult& local = results[w];
+    report.completed += local.completed;
+    report.protocol_errors += local.protocol_errors;
+    report.transport_errors += local.transport_errors;
+    report.dropped += local.dropped;
+    for (size_t k = 0; k < 5; ++k) {
+      if (local.by_kind[k] > 0) {
+        report.by_type[ReqKindName(static_cast<ReqKind>(k))] +=
+            local.by_kind[k];
+      }
+    }
+    report.max_send_lag_seconds =
+        std::max(report.max_send_lag_seconds, local.max_send_lag_seconds);
+    open_loop_us.insert(open_loop_us.end(), local.open_loop_us.begin(),
+                        local.open_loop_us.end());
+    service_us.insert(service_us.end(), local.service_us.begin(),
+                      local.service_us.end());
+  }
+  report.wall_seconds = wall;
+  report.achieved_rps =
+      wall > 0 ? static_cast<double>(report.completed) / wall : 0;
+  report.open_loop = SummarizeLatencies(open_loop_us);
+  report.service = SummarizeLatencies(service_us);
+  return report;
+}
+
+}  // namespace edk::netio

@@ -1,0 +1,107 @@
+// Open-loop load generator for the TCP index server (DESIGN.md §6j).
+//
+// Models the arrival process the way the queueing literature measures
+// servers ("A Queueing System for Modeling a File Sharing Principle",
+// PAPERS.md): requests arrive on a Poisson schedule fixed *before* the run
+// at the target rate, and an arrival does not wait for earlier requests to
+// finish — if every connection is busy the request queues and its measured
+// latency includes that wait. Closed-loop generators (send, wait, repeat)
+// hide server slowdowns by slowing the offered load; an open-loop schedule
+// keeps offering it, which is what makes the p99/p999 tail honest.
+//
+// The request mix is derived from the workload engine's behaviour model
+// (DeriveRequestMix): a sharer's online day carries one connect-publish
+// plus mean_daily_additions acquisitions, each an index search, a source
+// query and a republish of the grown cache; browse and the legacy
+// query-users ride along at the rates the paper's crawler observed them.
+//
+// Worker threads share one pre-generated arrival schedule through an
+// atomic cursor: each claims the next arrival, sleeps until its scheduled
+// time, performs the request on its own connection and records
+//
+//   * open-loop latency: completion - scheduled arrival (includes queueing)
+//   * service latency:   completion - actual send
+//
+// Per-request wall-domain obs spans (netio.loadgen.request) make the run
+// Perfetto-loadable; exact quantiles come from the raw samples.
+
+#ifndef SRC_NETIO_LOADGEN_H_
+#define SRC_NETIO_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/netio/corpus.h"
+#include "src/workload/config.h"
+
+namespace edk::netio {
+
+// Relative request-type weights (need not sum to 1).
+struct RequestMix {
+  double publish = 0;
+  double search = 0;
+  double query_sources = 0;
+  double query_users = 0;
+  double browse = 0;
+};
+
+// Mix implied by the workload behaviour model: per sharer online day, one
+// connect-time publish plus `mean_daily_additions` acquisitions, each of
+// which searches the index, queries sources and republishes the changed
+// cache. Browsing happens for the reachable fraction of acquisitions
+// (firewalled peers cannot be browsed); query-users is the crawler-era
+// legacy request, a trickle relative to searches.
+RequestMix DeriveRequestMix(const WorkloadConfig& config);
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t connections = 8;
+  double target_rps = 1000;
+  double duration_seconds = 3;
+  uint64_t seed = 1;
+  RequestMix mix;
+  // Files published per publish request (a loadgen client's "cache").
+  size_t publish_files_per_request = 20;
+  double recv_timeout_seconds = 30;
+};
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
+struct LoadGenReport {
+  uint64_t scheduled = 0;   // Arrivals in the pre-generated schedule.
+  uint64_t completed = 0;   // Requests that got a well-formed reply.
+  uint64_t protocol_errors = 0;
+  uint64_t transport_errors = 0;
+  uint64_t dropped = 0;     // Never attempted (a worker lost its connection).
+  std::map<std::string, uint64_t> by_type;
+  double wall_seconds = 0;
+  double achieved_rps = 0;  // completed / wall_seconds.
+  // Worst lag between an arrival's scheduled and actual send time: how far
+  // the generator itself fell behind the open-loop schedule.
+  double max_send_lag_seconds = 0;
+  LatencySummary open_loop;  // completion - scheduled arrival.
+  LatencySummary service;    // completion - send.
+};
+
+// Computes exact quantiles of `samples` (microseconds); sorts in place.
+LatencySummary SummarizeLatencies(std::vector<double>& samples_us);
+
+// Runs the configured open-loop swarm against a live server. The corpus
+// must be the one the server was preloaded with (same seed/shape) so
+// searches, source queries and browses address real index content.
+LoadGenReport RunLoadGen(const LoadGenConfig& config, const ServeCorpus& corpus);
+
+}  // namespace edk::netio
+
+#endif  // SRC_NETIO_LOADGEN_H_

@@ -1,0 +1,260 @@
+#include "src/netio/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace edk::netio {
+
+TcpClient::~TcpClient() { Close(); }
+
+bool TcpClient::Connect(const std::string& host, uint16_t port,
+                        double recv_timeout_seconds) {
+  Close();
+  assembler_ = FrameAssembler(kDefaultMaxPayload);
+  last_protocol_error_ = false;
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Fail("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return Fail("inet_pton(" + host + ")");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Fail("connect");
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_seconds > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        std::lround((recv_timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6));
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return true;
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpClient::Fail(const std::string& what, bool protocol_error) {
+  last_error_ = what;
+  if (errno != 0 && !protocol_error) {
+    last_error_ += std::string(": ") + std::strerror(errno);
+  }
+  last_protocol_error_ = protocol_error;
+  Close();
+  return false;
+}
+
+bool TcpClient::SendAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-request must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return Fail("write");
+  }
+  return true;
+}
+
+std::optional<Frame> TcpClient::ReadFrame() {
+  char chunk[16 * 1024];
+  while (true) {
+    if (auto frame = assembler_.Next(); frame.has_value()) {
+      return frame;
+    }
+    if (assembler_.broken()) {
+      Fail(std::string("broken reply stream: ") +
+               FrameErrorName(assembler_.error()),
+           /*protocol_error=*/true);
+      return std::nullopt;
+    }
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      assembler_.Feed(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      Fail("connection closed by server", /*protocol_error=*/true);
+      return std::nullopt;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    Fail(errno == EAGAIN || errno == EWOULDBLOCK ? "read timeout" : "read");
+    return std::nullopt;
+  }
+}
+
+std::optional<Frame> TcpClient::Call(MsgType type, const std::string& payload) {
+  if (fd_ < 0) {
+    errno = ENOTCONN;
+    Fail("not connected");
+    return std::nullopt;
+  }
+  last_protocol_error_ = false;
+  if (!SendAll(EncodeFrame(type, payload))) {
+    return std::nullopt;
+  }
+  return ReadFrame();
+}
+
+bool TcpClient::NoteServerError(const Frame& frame) {
+  if (frame.type != MsgType::kError) {
+    return false;
+  }
+  ErrorRep error;
+  if (DecodeErrorRep(frame.payload, &error)) {
+    last_error_ =
+        "server error " + std::to_string(error.code) + ": " + error.message;
+  } else {
+    last_error_ = "server error (malformed ErrorRep)";
+  }
+  last_protocol_error_ = true;
+  // Deliberately no Close(): the stream is still frame-synchronised. The
+  // server tears the connection down itself after stream-level offences;
+  // request-level errors (kErrNotLoggedIn) leave it usable.
+  return true;
+}
+
+namespace {
+
+// Expects `frame` to carry `want`; decodes with `decode`.
+template <typename Rep, typename Decode>
+std::optional<Rep> Expect(std::optional<Frame> frame, MsgType want,
+                          Decode decode) {
+  if (!frame.has_value() || frame->type != want) {
+    return std::nullopt;
+  }
+  Rep rep;
+  if (!decode(frame->payload, &rep)) {
+    return std::nullopt;
+  }
+  return rep;
+}
+
+}  // namespace
+
+std::optional<LoginRep> TcpClient::Login(const std::string& nickname,
+                                         bool firewalled) {
+  auto frame = Call(MsgType::kLoginReq,
+                    EncodeLoginReq(LoginReq{nickname, firewalled}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<LoginRep>(std::move(frame), MsgType::kLoginRep,
+                              DecodeLoginRep);
+  if (!rep.has_value()) {
+    Fail("unexpected login reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+bool TcpClient::Logout() {
+  auto frame = Call(MsgType::kLogoutReq, std::string());
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return false;
+  }
+  if (frame->type != MsgType::kLogoutRep || !frame->payload.empty()) {
+    Fail("unexpected logout reply", /*protocol_error=*/true);
+    return false;
+  }
+  return true;
+}
+
+std::optional<PublishRep> TcpClient::Publish(
+    const std::vector<SharedFileInfo>& files) {
+  auto frame =
+      Call(MsgType::kPublishReq, EncodePublishReq(PublishReq{files}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<PublishRep>(std::move(frame), MsgType::kPublishRep,
+                                DecodePublishRep);
+  if (!rep.has_value()) {
+    Fail("unexpected publish reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+std::optional<SearchRep> TcpClient::Search(
+    const std::vector<std::string>& keywords) {
+  auto frame = Call(MsgType::kSearchReq, EncodeSearchReq(SearchReq{keywords}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<SearchRep>(std::move(frame), MsgType::kSearchRep,
+                               DecodeSearchRep);
+  if (!rep.has_value()) {
+    Fail("unexpected search reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+std::optional<SourcesRep> TcpClient::QuerySources(const Md4Digest& digest) {
+  auto frame = Call(MsgType::kQuerySourcesReq,
+                    EncodeQuerySourcesReq(QuerySourcesReq{digest}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<SourcesRep>(std::move(frame), MsgType::kSourcesRep,
+                                DecodeSourcesRep);
+  if (!rep.has_value()) {
+    Fail("unexpected query-sources reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+std::optional<UsersRep> TcpClient::QueryUsers(const std::string& prefix) {
+  auto frame = Call(MsgType::kQueryUsersReq,
+                    EncodeQueryUsersReq(QueryUsersReq{prefix}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<UsersRep>(std::move(frame), MsgType::kUsersRep,
+                              DecodeUsersRep);
+  if (!rep.has_value()) {
+    Fail("unexpected query-users reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+std::optional<BrowseRep> TcpClient::Browse(NodeId target) {
+  auto frame = Call(MsgType::kBrowseReq, EncodeBrowseReq(BrowseReq{target}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<BrowseRep>(std::move(frame), MsgType::kBrowseRep,
+                               DecodeBrowseRep);
+  if (!rep.has_value()) {
+    Fail("unexpected browse reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+}  // namespace edk::netio

@@ -1,0 +1,76 @@
+// Blocking client for the framed TCP index protocol (DESIGN.md §6j).
+//
+// One TcpClient wraps one connection: Connect(), then typed request
+// methods that write a frame and block until the matching reply frame
+// arrives (the protocol is strictly request/reply per connection, so no
+// correlation ids are needed). Partial reads go through the same
+// FrameAssembler the server uses, so both directions of the protocol share
+// one hardened reassembly path.
+//
+// Every method returns nullopt on transport or protocol failure;
+// last_error() says what went wrong. The load generator and the tests are
+// the intended callers — this is deliberately a simple synchronous client,
+// concurrency comes from running many of them.
+
+#ifndef SRC_NETIO_TCP_CLIENT_H_
+#define SRC_NETIO_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/netio/frame.h"
+
+namespace edk::netio {
+
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  // Connects with TCP_NODELAY; recv_timeout_seconds bounds every blocking
+  // read so a wedged server fails the call instead of hanging the caller.
+  bool Connect(const std::string& host, uint16_t port,
+               double recv_timeout_seconds = 30.0);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& last_error() const { return last_error_; }
+
+  // --- Typed requests -------------------------------------------------------
+  std::optional<LoginRep> Login(const std::string& nickname, bool firewalled);
+  bool Logout();
+  std::optional<PublishRep> Publish(const std::vector<SharedFileInfo>& files);
+  std::optional<SearchRep> Search(const std::vector<std::string>& keywords);
+  std::optional<SourcesRep> QuerySources(const Md4Digest& digest);
+  std::optional<UsersRep> QueryUsers(const std::string& prefix);
+  std::optional<BrowseRep> Browse(NodeId target);
+
+  // Raw round-trip: sends one frame, returns the next reply frame. The
+  // typed wrappers use this; tests use it to probe hostile inputs.
+  std::optional<Frame> Call(MsgType type, const std::string& payload);
+
+  // True when the last failed call was a protocol-level failure (an
+  // ErrorRep reply or a broken stream) rather than a transport error.
+  bool last_was_protocol_error() const { return last_protocol_error_; }
+
+ private:
+  bool SendAll(const std::string& bytes);
+  std::optional<Frame> ReadFrame();
+  bool Fail(const std::string& what, bool protocol_error = false);
+  // If `frame` is an ErrorRep, records it as a protocol error and returns
+  // true — without closing: the reply stream is still framed, and the
+  // server keeps the connection for request-level errors (kErrNotLoggedIn).
+  bool NoteServerError(const Frame& frame);
+
+  int fd_ = -1;
+  FrameAssembler assembler_{kDefaultMaxPayload};
+  std::string last_error_;
+  bool last_protocol_error_ = false;
+};
+
+}  // namespace edk::netio
+
+#endif  // SRC_NETIO_TCP_CLIENT_H_

@@ -1,0 +1,621 @@
+#include "src/netio/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_log.h"
+
+namespace edk::netio {
+
+namespace {
+
+// Env-domain counters: real-I/O event counts depend on wall-clock timing,
+// so they live in the "wall" section of the metrics export and never
+// participate in determinism comparisons.
+struct NetioMetrics {
+  obs::Counter* accepted;
+  obs::Counter* closed;
+  obs::Counter* requests;
+  obs::Counter* protocol_errors;
+  obs::Counter* transport_errors;
+};
+
+NetioMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static NetioMetrics metrics{
+      &registry.GetCounter("netio.server.accepted", obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.closed", obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.requests", obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.protocol_errors", obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.transport_errors", obs::Domain::kEnv),
+  };
+  return metrics;
+}
+
+uint16_t RequestSpanName() {
+  static const uint16_t name =
+      obs::TraceLog::Global().InternName("netio.server.request", {"type"});
+  return name;
+}
+
+}  // namespace
+
+// One accepted connection, owned by exactly one worker thread.
+struct TcpServer::Connection {
+  explicit Connection(int fd_in, size_t max_payload)
+      : fd(fd_in), assembler(max_payload) {}
+
+  int fd;
+  FrameAssembler assembler;
+  std::string outbuf;
+  size_t out_off = 0;
+  bool want_write = false;  // EPOLLOUT currently registered.
+  bool logged_in = false;
+  NodeId node = kInvalidNode;
+};
+
+struct TcpServer::Worker {
+  int epoll_fd = -1;
+  int notify_fd = -1;
+  std::thread thread;
+  std::mutex mu;
+  std::deque<int> pending;  // Accepted fds awaiting adoption.
+  std::unordered_map<int, std::unique_ptr<Connection>> connections;
+};
+
+TcpServer::TcpServer(TcpServerConfig config) : config_(std::move(config)) ,
+      core_(config_.index) {
+  next_client_id_.store(config_.first_client_id, std::memory_order_relaxed);
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+bool TcpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    Stop();
+    return false;
+  };
+  if (running_) {
+    if (error != nullptr) {
+      *error = "already running";
+    }
+    return false;
+  }
+  stopping_ = false;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return fail("socket");
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + config_.bind_address + ")");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (listen(listen_fd_, SOMAXCONN) != 0) {
+    return fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  accept_wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (accept_wake_fd_ < 0) {
+    return fail("eventfd");
+  }
+
+  const size_t worker_count = std::max<size_t>(config_.worker_threads, 1);
+  workers_.clear();
+  for (size_t i = 0; i < worker_count; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    worker->notify_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (worker->epoll_fd < 0 || worker->notify_fd < 0) {
+      workers_.push_back(std::move(worker));  // So Stop() closes the fds.
+      return fail("worker epoll/eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr = the notify eventfd.
+    if (epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->notify_fd, &ev) != 0) {
+      workers_.push_back(std::move(worker));
+      return fail("epoll_ctl(notify)");
+    }
+    workers_.push_back(std::move(worker));
+  }
+
+  running_ = true;
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(*w); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void TcpServer::Stop() {
+  stopping_ = true;
+  if (acceptor_.joinable()) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(accept_wake_fd_, &one, sizeof(one));
+    acceptor_.join();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = write(worker->notify_fd, &one, sizeof(one));
+      worker->thread.join();
+    }
+  }
+  for (auto& worker : workers_) {
+    // Close anything a worker never adopted (or the worker loop never ran).
+    std::lock_guard<std::mutex> lock(worker->mu);
+    for (int fd : worker->pending) {
+      close(fd);
+    }
+    worker->pending.clear();
+    for (auto& [fd, conn] : worker->connections) {
+      close(fd);
+    }
+    worker->connections.clear();
+    if (worker->notify_fd >= 0) {
+      close(worker->notify_fd);
+      worker->notify_fd = -1;
+    }
+    if (worker->epoll_fd >= 0) {
+      close(worker->epoll_fd);
+      worker->epoll_fd = -1;
+    }
+  }
+  workers_.clear();
+  if (accept_wake_fd_ >= 0) {
+    close(accept_wake_fd_);
+    accept_wake_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  active_.store(0, std::memory_order_relaxed);
+  running_ = false;
+}
+
+TcpServerStats TcpServer::stats() const {
+  TcpServerStats out;
+  out.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  out.connections_closed = closed_.load(std::memory_order_relaxed);
+  out.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  out.frames_in = frames_in_.load(std::memory_order_relaxed);
+  out.frames_out = frames_out_.load(std::memory_order_relaxed);
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  out.active_connections = active_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TcpServer::AcceptLoop() {
+  const int epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.fd = accept_wake_fd_;
+  epoll_ctl(epoll_fd, EPOLL_CTL_ADD, accept_wake_fd_, &ev);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    epoll_event events[16];
+    const int n = epoll_wait(epoll_fd, events, 16, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == accept_wake_fd_) {
+        uint64_t drained;
+        [[maybe_unused]] ssize_t r =
+            read(accept_wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      while (true) {
+        const int fd = accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+            break;
+          }
+          transport_errors_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (active_.load(std::memory_order_relaxed) >= config_.max_connections) {
+          close(fd);
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        active_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().accepted->Increment();
+        Worker& worker = *workers_[next_worker_.fetch_add(
+                             1, std::memory_order_relaxed) %
+                         workers_.size()];
+        {
+          std::lock_guard<std::mutex> lock(worker.mu);
+          worker.pending.push_back(fd);
+        }
+        const uint64_t wake = 1;
+        [[maybe_unused]] ssize_t r =
+            write(worker.notify_fd, &wake, sizeof(wake));
+      }
+    }
+  }
+  close(epoll_fd);
+}
+
+void TcpServer::AdoptPending(Worker& worker) {
+  std::deque<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    adopted.swap(worker.pending);
+  }
+  for (int fd : adopted) {
+    auto conn = std::make_unique<Connection>(fd, config_.max_frame_payload);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      closed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    worker.connections.emplace(fd, std::move(conn));
+  }
+}
+
+void TcpServer::WorkerLoop(Worker& worker) {
+  while (true) {
+    epoll_event events[32];
+    const int n = epoll_wait(worker.epoll_fd, events, 32, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        uint64_t drained;
+        [[maybe_unused]] ssize_t r =
+            read(worker.notify_fd, &drained, sizeof(drained));
+        AdoptPending(worker);
+        continue;
+      }
+      auto* conn = static_cast<Connection*>(events[i].data.ptr);
+      // The connection may have been closed while handling an earlier
+      // event of this batch; epoll never reports a deleted fd in *later*
+      // waits, but within one batch we guard by membership.
+      const auto it = worker.connections.find(conn->fd);
+      if (it == worker.connections.end() || it->second.get() != conn) {
+        continue;
+      }
+      bool keep = true;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        keep = ServiceReadable(worker, *conn);  // Drain what remains.
+        if (keep) {
+          keep = false;  // Then close on the hangup.
+        }
+      } else {
+        if ((events[i].events & EPOLLIN) != 0) {
+          keep = ServiceReadable(worker, *conn);
+        }
+        if (keep && (events[i].events & EPOLLOUT) != 0) {
+          keep = FlushWrites(worker, *conn) && UpdateInterest(worker, *conn);
+        }
+      }
+      if (!keep) {
+        CloseConnection(worker, *conn);
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Close every connection this worker owns, then exit.
+      while (!worker.connections.empty()) {
+        CloseConnection(worker, *worker.connections.begin()->second);
+      }
+      AdoptPending(worker);  // Late handoffs: close them too.
+      while (!worker.connections.empty()) {
+        CloseConnection(worker, *worker.connections.begin()->second);
+      }
+      return;
+    }
+  }
+}
+
+bool TcpServer::ServiceReadable(Worker& worker, Connection& conn) {
+  bool saw_eof = false;
+  std::string chunk(config_.read_chunk_bytes, '\0');
+  while (true) {
+    const ssize_t n = read(conn.fd, chunk.data(), chunk.size());
+    if (n > 0) {
+      conn.assembler.Feed(chunk.data(), static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < chunk.size()) {
+        break;  // Drained the socket.
+      }
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().transport_errors->Increment();
+    return false;
+  }
+
+  bool protocol_ok = true;
+  while (protocol_ok) {
+    auto frame = conn.assembler.Next();
+    if (!frame.has_value()) {
+      break;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    protocol_ok = Dispatch(conn, *frame);
+  }
+  if (protocol_ok && conn.assembler.broken()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().protocol_errors->Increment();
+    ErrorRep error{kErrBadPayload,
+                   std::string("broken frame: ") +
+                       FrameErrorName(conn.assembler.error())};
+    conn.outbuf += EncodeFrame(MsgType::kError, EncodeErrorRep(error));
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    protocol_ok = false;
+  }
+
+  // Flush whatever the dispatches produced; keep the connection only when
+  // the stream is still healthy and the peer has not gone away.
+  if (!FlushWrites(worker, conn)) {
+    return false;
+  }
+  if (!protocol_ok || saw_eof) {
+    return false;
+  }
+  return UpdateInterest(worker, conn);
+}
+
+bool TcpServer::FlushWrites(Worker& worker, Connection& conn) {
+  (void)worker;
+  while (conn.out_off < conn.outbuf.size()) {
+    // MSG_NOSIGNAL: a client that disconnected with a reply in flight must
+    // surface as EPIPE (counted, connection closed), not SIGPIPE.
+    const ssize_t n = send(conn.fd, conn.outbuf.data() + conn.out_off,
+                           conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;  // Backlogged: EPOLLOUT will resume.
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().transport_errors->Increment();
+    return false;
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  return true;
+}
+
+bool TcpServer::UpdateInterest(Worker& worker, Connection& conn) {
+  const bool want_write = conn.out_off < conn.outbuf.size();
+  if (want_write == conn.want_write) {
+    return true;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.ptr = &conn;
+  if (epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) != 0) {
+    return false;
+  }
+  conn.want_write = want_write;
+  return true;
+}
+
+void TcpServer::CloseConnection(Worker& worker, Connection& conn) {
+  if (conn.logged_in) {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    core_.HandleLogout(conn.node);
+  }
+  epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  close(conn.fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().closed->Increment();
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  worker.connections.erase(conn.fd);  // Destroys conn.
+}
+
+bool TcpServer::Dispatch(Connection& conn, const Frame& frame) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().requests->Increment();
+  obs::WallSpan span(RequestSpanName());
+  span.AddArg(static_cast<uint64_t>(frame.type));
+
+  auto reply = [&](MsgType type, const std::string& payload) {
+    conn.outbuf += EncodeFrame(type, payload);
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto protocol_error = [&](uint64_t code, const char* what) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().protocol_errors->Increment();
+    reply(MsgType::kError, EncodeErrorRep(ErrorRep{code, what}));
+    return false;
+  };
+
+  switch (frame.type) {
+    case MsgType::kLoginReq: {
+      LoginReq req;
+      if (!DecodeLoginReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed login");
+      }
+      LoginRep rep;
+      if (conn.logged_in) {
+        rep.accepted = true;  // Idempotent re-login on one connection.
+        rep.client_id = conn.node;
+      } else {
+        const NodeId id =
+            next_client_id_.fetch_add(1, std::memory_order_relaxed);
+        bool accepted;
+        {
+          std::lock_guard<std::mutex> lock(core_mu_);
+          accepted = core_.HandleLogin(id, req.nickname, req.firewalled);
+        }
+        rep.accepted = accepted;
+        if (accepted) {
+          rep.client_id = id;
+          conn.logged_in = true;
+          conn.node = id;
+        }
+      }
+      reply(MsgType::kLoginRep, EncodeLoginRep(rep));
+      return true;
+    }
+    case MsgType::kLogoutReq: {
+      if (!frame.payload.empty()) {
+        return protocol_error(kErrBadPayload, "malformed logout");
+      }
+      if (conn.logged_in) {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        core_.HandleLogout(conn.node);
+        conn.logged_in = false;
+        conn.node = kInvalidNode;
+      }
+      reply(MsgType::kLogoutRep, std::string());
+      return true;
+    }
+    case MsgType::kPublishReq: {
+      PublishReq req;
+      if (!DecodePublishReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed publish");
+      }
+      if (!conn.logged_in) {
+        // Not a framing error: reply and keep the connection, mirroring
+        // the simulator where a publish without a session is dropped.
+        reply(MsgType::kError,
+              EncodeErrorRep(ErrorRep{kErrNotLoggedIn, "publish needs login"}));
+        return true;
+      }
+      PublishRep rep;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        core_.HandlePublish(conn.node, req.files);
+        rep.indexed_files = core_.indexed_files();
+      }
+      reply(MsgType::kPublishRep, EncodePublishRep(rep));
+      return true;
+    }
+    case MsgType::kSearchReq: {
+      SearchReq req;
+      if (!DecodeSearchReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed search");
+      }
+      SearchRep rep;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        rep.files = core_.HandleSearch(req.keywords);
+      }
+      reply(MsgType::kSearchRep, EncodeSearchRep(rep));
+      return true;
+    }
+    case MsgType::kQuerySourcesReq: {
+      QuerySourcesReq req;
+      if (!DecodeQuerySourcesReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed query-sources");
+      }
+      SourcesRep rep;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        rep.sources = core_.HandleQuerySources(req.digest);
+      }
+      reply(MsgType::kSourcesRep, EncodeSourcesRep(rep));
+      return true;
+    }
+    case MsgType::kQueryUsersReq: {
+      QueryUsersReq req;
+      if (!DecodeQueryUsersReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed query-users");
+      }
+      UsersRep rep;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        rep.users = core_.HandleQueryUsers(req.prefix);
+      }
+      reply(MsgType::kUsersRep, EncodeUsersRep(rep));
+      return true;
+    }
+    case MsgType::kBrowseReq: {
+      BrowseReq req;
+      if (!DecodeBrowseReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed browse");
+      }
+      BrowseRep rep;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        auto files = core_.HandleBrowse(req.target);
+        rep.ok = files.has_value();
+        if (files.has_value()) {
+          rep.files = std::move(*files);
+        }
+      }
+      reply(MsgType::kBrowseRep, EncodeBrowseRep(rep));
+      return true;
+    }
+    default:
+      // Reply tags and unknown tags alike: a client must never send them.
+      return protocol_error(kErrUnknownType, "unexpected message type");
+  }
+}
+
+}  // namespace edk::netio

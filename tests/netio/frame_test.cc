@@ -1,0 +1,375 @@
+#include "src/netio/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+
+namespace edk::netio {
+namespace {
+
+SharedFileInfo File(uint32_t id, const std::string& name,
+                    uint64_t size = 1000) {
+  return SimClient::MakeFileInfo(FileId(id), size, name);
+}
+
+void ExpectFilesEqual(const std::vector<SharedFileInfo>& a,
+                      const std::vector<SharedFileInfo>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].file.value, b[i].file.value) << "index " << i;
+    EXPECT_EQ(a[i].digest, b[i].digest) << "index " << i;
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes) << "index " << i;
+    EXPECT_EQ(a[i].name, b[i].name) << "index " << i;
+  }
+}
+
+// --- Per-message round-trips -------------------------------------------------
+
+TEST(FrameCodec, LoginRoundTrip) {
+  const LoginReq req{"alice in chains", true};
+  LoginReq req2;
+  ASSERT_TRUE(DecodeLoginReq(EncodeLoginReq(req), &req2));
+  EXPECT_EQ(req2.nickname, req.nickname);
+  EXPECT_EQ(req2.firewalled, req.firewalled);
+
+  const LoginRep rep{true, 4711};
+  LoginRep rep2;
+  ASSERT_TRUE(DecodeLoginRep(EncodeLoginRep(rep), &rep2));
+  EXPECT_EQ(rep2.accepted, rep.accepted);
+  EXPECT_EQ(rep2.client_id, rep.client_id);
+}
+
+TEST(FrameCodec, PublishRoundTrip) {
+  PublishReq req;
+  req.files = {File(1, "some movie.avi", 700 << 20), File(2, "a song.mp3"),
+               File(3, "")};  // Empty name is legal on the wire.
+  PublishReq req2;
+  ASSERT_TRUE(DecodePublishReq(EncodePublishReq(req), &req2));
+  ExpectFilesEqual(req2.files, req.files);
+
+  const PublishRep rep{123456789};
+  PublishRep rep2;
+  ASSERT_TRUE(DecodePublishRep(EncodePublishRep(rep), &rep2));
+  EXPECT_EQ(rep2.indexed_files, rep.indexed_files);
+}
+
+TEST(FrameCodec, SearchRoundTrip) {
+  const SearchReq req{{"linux", "iso", ""}};
+  SearchReq req2;
+  ASSERT_TRUE(DecodeSearchReq(EncodeSearchReq(req), &req2));
+  EXPECT_EQ(req2.keywords, req.keywords);
+
+  SearchRep rep;
+  rep.files = {File(9, "linux distro.iso", 650 << 20)};
+  SearchRep rep2;
+  ASSERT_TRUE(DecodeSearchRep(EncodeSearchRep(rep), &rep2));
+  ExpectFilesEqual(rep2.files, rep.files);
+}
+
+TEST(FrameCodec, SourcesRoundTrip) {
+  const QuerySourcesReq req{File(7, "x").digest};
+  QuerySourcesReq req2;
+  ASSERT_TRUE(DecodeQuerySourcesReq(EncodeQuerySourcesReq(req), &req2));
+  EXPECT_EQ(req2.digest, req.digest);
+
+  SourcesRep rep;
+  rep.sources = {{10, false}, {11, true}, {0xfffffffeu, false}};
+  SourcesRep rep2;
+  ASSERT_TRUE(DecodeSourcesRep(EncodeSourcesRep(rep), &rep2));
+  ASSERT_EQ(rep2.sources.size(), rep.sources.size());
+  for (size_t i = 0; i < rep.sources.size(); ++i) {
+    EXPECT_EQ(rep2.sources[i].node, rep.sources[i].node);
+    EXPECT_EQ(rep2.sources[i].low_id, rep.sources[i].low_id);
+  }
+}
+
+TEST(FrameCodec, UsersRoundTrip) {
+  const QueryUsersReq req{"ann"};
+  QueryUsersReq req2;
+  ASSERT_TRUE(DecodeQueryUsersReq(EncodeQueryUsersReq(req), &req2));
+  EXPECT_EQ(req2.prefix, req.prefix);
+
+  UsersRep rep;
+  rep.users = {{"anna", 1, false}, {"annabel", 2, true}, {"", 3, false}};
+  UsersRep rep2;
+  ASSERT_TRUE(DecodeUsersRep(EncodeUsersRep(rep), &rep2));
+  ASSERT_EQ(rep2.users.size(), rep.users.size());
+  for (size_t i = 0; i < rep.users.size(); ++i) {
+    EXPECT_EQ(rep2.users[i].nickname, rep.users[i].nickname);
+    EXPECT_EQ(rep2.users[i].node, rep.users[i].node);
+    EXPECT_EQ(rep2.users[i].low_id, rep.users[i].low_id);
+  }
+}
+
+TEST(FrameCodec, BrowseRoundTrip) {
+  const BrowseReq req{42};
+  BrowseReq req2;
+  ASSERT_TRUE(DecodeBrowseReq(EncodeBrowseReq(req), &req2));
+  EXPECT_EQ(req2.target, req.target);
+
+  BrowseRep rep;
+  rep.ok = true;
+  rep.files = {File(5, "cache entry.bin")};
+  BrowseRep rep2;
+  ASSERT_TRUE(DecodeBrowseRep(EncodeBrowseRep(rep), &rep2));
+  EXPECT_EQ(rep2.ok, rep.ok);
+  ExpectFilesEqual(rep2.files, rep.files);
+
+  // Not-connected reply: ok=false with no files.
+  const BrowseRep missing{false, {}};
+  BrowseRep missing2;
+  ASSERT_TRUE(DecodeBrowseRep(EncodeBrowseRep(missing), &missing2));
+  EXPECT_FALSE(missing2.ok);
+  EXPECT_TRUE(missing2.files.empty());
+}
+
+TEST(FrameCodec, ErrorRoundTrip) {
+  const ErrorRep rep{kErrNotLoggedIn, "publish needs login"};
+  ErrorRep rep2;
+  ASSERT_TRUE(DecodeErrorRep(EncodeErrorRep(rep), &rep2));
+  EXPECT_EQ(rep2.code, rep.code);
+  EXPECT_EQ(rep2.message, rep.message);
+}
+
+// --- Frame header ------------------------------------------------------------
+
+TEST(Frame, HeaderLayout) {
+  const std::string frame = EncodeFrame(MsgType::kSearchReq, "abc");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 3);
+  // Magic 0x464b4445 little-endian is the bytes "EDKF" on the wire.
+  EXPECT_EQ(frame.substr(0, 4), "EDKF");
+  EXPECT_EQ(static_cast<uint8_t>(frame[4]), kFrameVersion);
+  EXPECT_EQ(static_cast<uint8_t>(frame[5]),
+            static_cast<uint8_t>(MsgType::kSearchReq));
+  EXPECT_EQ(frame[6], 0);  // Reserved.
+  EXPECT_EQ(frame[7], 0);
+  EXPECT_EQ(static_cast<uint8_t>(frame[8]), 3);  // Payload length LE.
+  EXPECT_EQ(frame[9], 0);
+  EXPECT_EQ(frame[10], 0);
+  EXPECT_EQ(frame[11], 0);
+  EXPECT_EQ(frame.substr(kFrameHeaderBytes), "abc");
+}
+
+TEST(FrameAssembler, SingleAndBackToBackFrames) {
+  FrameAssembler assembler;
+  assembler.Feed(EncodeFrame(MsgType::kLoginReq, "one") +
+                 EncodeFrame(MsgType::kSearchReq, "two"));
+  auto f1 = assembler.Next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, MsgType::kLoginReq);
+  EXPECT_EQ(f1->payload, "one");
+  auto f2 = assembler.Next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, MsgType::kSearchReq);
+  EXPECT_EQ(f2->payload, "two");
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_FALSE(assembler.broken());
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+TEST(FrameAssembler, ZeroLengthPayload) {
+  // Logout travels as a bare header: the smallest legal frame.
+  const std::string frame = EncodeFrame(MsgType::kLogoutReq, "");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes);
+  FrameAssembler assembler;
+  assembler.Feed(frame);
+  auto f = assembler.Next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, MsgType::kLogoutReq);
+  EXPECT_TRUE(f->payload.empty());
+  EXPECT_FALSE(assembler.broken());
+}
+
+TEST(FrameAssembler, MaximumLengthFrame) {
+  // Payload exactly at max_payload passes; one byte more poisons the
+  // stream before any buffering of the payload happens.
+  constexpr size_t kCap = 256;
+  const std::string at_cap(kCap, 'x');
+  FrameAssembler ok(kCap);
+  ok.Feed(EncodeFrame(MsgType::kPublishReq, at_cap));
+  auto f = ok.Next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload.size(), kCap);
+  EXPECT_FALSE(ok.broken());
+
+  FrameAssembler over(kCap);
+  over.Feed(EncodeFrame(MsgType::kPublishReq, std::string(kCap + 1, 'x')));
+  EXPECT_FALSE(over.Next().has_value());
+  EXPECT_TRUE(over.broken());
+  EXPECT_EQ(over.error(), FrameError::kOversizePayload);
+}
+
+TEST(FrameAssembler, PartialReadReassemblyAtEverySplit) {
+  // A frame delivered as two arbitrary chunks must reassemble identically
+  // no matter where the transport happened to split it.
+  const std::string frame =
+      EncodeFrame(MsgType::kPublishReq,
+                  EncodePublishReq(PublishReq{{File(1, "a b c.avi")}}));
+  for (size_t split = 0; split <= frame.size(); ++split) {
+    FrameAssembler assembler;
+    assembler.Feed(frame.data(), split);
+    if (split < frame.size()) {
+      EXPECT_FALSE(assembler.Next().has_value()) << "split " << split;
+      EXPECT_FALSE(assembler.broken()) << "split " << split;
+    }
+    assembler.Feed(frame.data() + split, frame.size() - split);
+    auto f = assembler.Next();
+    ASSERT_TRUE(f.has_value()) << "split " << split;
+    EXPECT_EQ(f->type, MsgType::kPublishReq) << "split " << split;
+    PublishReq decoded;
+    EXPECT_TRUE(DecodePublishReq(f->payload, &decoded)) << "split " << split;
+  }
+}
+
+TEST(FrameAssembler, ByteAtATimeFeed) {
+  const std::string frame = EncodeFrame(MsgType::kQueryUsersReq,
+                                        EncodeQueryUsersReq({"ann"}));
+  FrameAssembler assembler;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(assembler.Next().has_value()) << "byte " << i;
+    assembler.Feed(frame.data() + i, 1);
+  }
+  auto f = assembler.Next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, MsgType::kQueryUsersReq);
+}
+
+TEST(FrameAssembler, TruncationNeverYieldsAFrame) {
+  // Every proper prefix of a valid frame yields nothing and no error —
+  // truncation is indistinguishable from a slow peer until more bytes or
+  // EOF arrive, and must never surface a partial frame.
+  const std::string frame = EncodeFrame(
+      MsgType::kSearchReq, EncodeSearchReq(SearchReq{{"linux", "iso"}}));
+  for (size_t len = 0; len < frame.size(); ++len) {
+    FrameAssembler assembler;
+    assembler.Feed(frame.data(), len);
+    EXPECT_FALSE(assembler.Next().has_value()) << "len " << len;
+    EXPECT_FALSE(assembler.broken()) << "len " << len;
+  }
+}
+
+TEST(FrameAssembler, BadMagicPoisonsStream) {
+  std::string frame = EncodeFrame(MsgType::kLoginReq, "x");
+  frame[0] = 'X';
+  FrameAssembler assembler;
+  assembler.Feed(frame);
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), FrameError::kBadMagic);
+  // Broken is terminal: further feeds are ignored.
+  assembler.Feed(EncodeFrame(MsgType::kLoginReq, "y"));
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_TRUE(assembler.broken());
+}
+
+TEST(FrameAssembler, BadVersionAndReservedPoisonStream) {
+  std::string bad_version = EncodeFrame(MsgType::kLoginReq, "x");
+  bad_version[4] = static_cast<char>(kFrameVersion + 1);
+  FrameAssembler a1;
+  a1.Feed(bad_version);
+  EXPECT_FALSE(a1.Next().has_value());
+  EXPECT_EQ(a1.error(), FrameError::kBadVersion);
+
+  std::string bad_reserved = EncodeFrame(MsgType::kLoginReq, "x");
+  bad_reserved[7] = 1;
+  FrameAssembler a2;
+  a2.Feed(bad_reserved);
+  EXPECT_FALSE(a2.Next().has_value());
+  EXPECT_EQ(a2.error(), FrameError::kBadReserved);
+}
+
+// --- Hostile payloads --------------------------------------------------------
+
+TEST(FrameCodecHostile, OverlongVarintInsideFrameRejected) {
+  // 0x80 0x00 encodes zero in two bytes — the overlong form the shared
+  // varint decoder rejects. Smuggle it in as LoginRep's accepted flag.
+  std::string payload;
+  payload.push_back(static_cast<char>(0x80));
+  payload.push_back(static_cast<char>(0x00));
+  payload.push_back(static_cast<char>(0x07));  // client_id = 7.
+  LoginRep rep;
+  EXPECT_FALSE(DecodeLoginRep(payload, &rep));
+
+  // The same two bytes as a publish count are equally dead.
+  PublishReq preq;
+  std::string count_payload;
+  count_payload.push_back(static_cast<char>(0x80));
+  count_payload.push_back(static_cast<char>(0x00));
+  EXPECT_FALSE(DecodePublishReq(count_payload, &preq));
+}
+
+TEST(FrameCodecHostile, ForgedElementCountRejectedBeforeAllocation) {
+  // A count claiming more elements than the payload could possibly hold
+  // must fail before reserve() — a 5-byte payload cannot contain 2^30
+  // 19-byte file records.
+  std::string payload;
+  // Varint for 1<<30: 0x80 0x80 0x80 0x80 0x04.
+  payload.push_back(static_cast<char>(0x80));
+  payload.push_back(static_cast<char>(0x80));
+  payload.push_back(static_cast<char>(0x80));
+  payload.push_back(static_cast<char>(0x80));
+  payload.push_back(static_cast<char>(0x04));
+  PublishReq req;
+  EXPECT_FALSE(DecodePublishReq(payload, &req));
+  SearchRep rep;
+  EXPECT_FALSE(DecodeSearchRep(payload, &rep));
+  SourcesRep sources;
+  EXPECT_FALSE(DecodeSourcesRep(payload, &sources));
+  UsersRep users;
+  EXPECT_FALSE(DecodeUsersRep(payload, &users));
+}
+
+TEST(FrameCodecHostile, StringLengthBeyondPayloadRejected) {
+  std::string payload;
+  payload.push_back(static_cast<char>(200));  // Varint 200 > remaining 1.
+  payload.push_back(static_cast<char>(0x48));
+  LoginReq req;
+  EXPECT_FALSE(DecodeLoginReq(payload, &req));
+}
+
+TEST(FrameCodecHostile, TrailingGarbageRejected) {
+  std::string payload = EncodeLoginReq({"alice", false});
+  payload.push_back('!');
+  LoginReq req;
+  EXPECT_FALSE(DecodeLoginReq(payload, &req));
+
+  std::string sources = EncodeSourcesRep({{{1, false}}});
+  sources.push_back('\0');
+  SourcesRep rep;
+  EXPECT_FALSE(DecodeSourcesRep(sources, &rep));
+}
+
+TEST(FrameCodecHostile, NonCanonicalBoolRejected) {
+  // LoginReq = string + bool; bool values above 1 are rejected.
+  std::string login;
+  login.push_back(1);  // Nickname length 1.
+  login.push_back('a');
+  login.push_back(2);  // "Bool" = 2.
+  LoginReq req;
+  EXPECT_FALSE(DecodeLoginReq(login, &req));
+}
+
+TEST(FrameCodecHostile, TruncationAtEveryByteRejected) {
+  // Every proper prefix of a valid payload must fail to decode — the
+  // stream-corruption discipline of the trace pipeline applied to the
+  // wire codecs.
+  const PublishReq req{{File(1, "some movie.avi"), File(2, "a song.mp3")}};
+  const std::string payload = EncodePublishReq(req);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    PublishReq out;
+    EXPECT_FALSE(DecodePublishReq(payload.substr(0, len), &out))
+        << "prefix " << len << " of " << payload.size();
+  }
+  const std::string users =
+      EncodeUsersRep({{{"anna", 1, false}, {"bob", 2, true}}});
+  for (size_t len = 0; len < users.size(); ++len) {
+    UsersRep out;
+    EXPECT_FALSE(DecodeUsersRep(users.substr(0, len), &out))
+        << "prefix " << len << " of " << users.size();
+  }
+}
+
+}  // namespace
+}  // namespace edk::netio

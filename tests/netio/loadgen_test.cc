@@ -1,0 +1,99 @@
+#include "src/netio/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/netio/tcp_server.h"
+
+namespace edk::netio {
+namespace {
+
+TEST(DeriveRequestMix, FollowsTheBehaviourModel) {
+  WorkloadConfig config;
+  config.mean_daily_additions = 5.0;
+  config.firewalled_fraction = 0.25;
+  const RequestMix mix = DeriveRequestMix(config);
+  EXPECT_DOUBLE_EQ(mix.publish, 6.0);  // Connect publish + 5 republishes.
+  EXPECT_DOUBLE_EQ(mix.search, 5.0);
+  EXPECT_DOUBLE_EQ(mix.query_sources, 5.0);
+  EXPECT_DOUBLE_EQ(mix.browse, 3.75);  // Firewalled peers are unbrowsable.
+  EXPECT_GT(mix.query_users, 0.0);     // Legacy trickle, never dominant.
+  EXPECT_LT(mix.query_users, mix.search);
+}
+
+TEST(SummarizeLatencies, ExactQuantilesFromRawSamples) {
+  std::vector<double> samples;
+  samples.reserve(100);
+  for (int i = 100; i >= 1; --i) {
+    samples.push_back(static_cast<double>(i));  // Unsorted on purpose.
+  }
+  const LatencySummary summary = SummarizeLatencies(samples);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean_us, 50.5);
+  EXPECT_DOUBLE_EQ(summary.p50_us, 51.0);
+  EXPECT_DOUBLE_EQ(summary.p90_us, 91.0);
+  EXPECT_DOUBLE_EQ(summary.p99_us, 100.0);
+  EXPECT_DOUBLE_EQ(summary.max_us, 100.0);
+}
+
+TEST(SummarizeLatencies, EmptySamplesAreAllZero) {
+  std::vector<double> samples;
+  const LatencySummary summary = SummarizeLatencies(samples);
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_us, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max_us, 0.0);
+}
+
+TEST(LoadGen, ShortBurstCompletesCleanly) {
+  // A real (if tiny) open-loop burst against an in-process server: every
+  // scheduled request completes, nothing errors, and the report's by-type
+  // counts add up.
+  ServeCorpusConfig corpus_config;
+  corpus_config.seed = 11;
+  corpus_config.clients = 10;
+  corpus_config.files = 60;
+  corpus_config.keywords = 8;
+  const ServeCorpus corpus = BuildServeCorpus(corpus_config);
+
+  TcpServerConfig server_config;
+  server_config.first_client_id =
+      static_cast<NodeId>(corpus_config.clients + 1);
+  TcpServer server(std::move(server_config));
+  PreloadServeCorpus(server.core(), corpus, 1);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LoadGenConfig config;
+  config.port = server.port();
+  config.connections = 2;
+  config.target_rps = 200;
+  config.duration_seconds = 0.5;
+  config.mix = DeriveRequestMix(WorkloadConfig{});
+  const LoadGenReport report = RunLoadGen(config, corpus);
+
+  EXPECT_GT(report.scheduled, 0u);
+  EXPECT_EQ(report.completed, report.scheduled);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(report.transport_errors, 0u);
+  EXPECT_EQ(report.dropped, 0u);
+  uint64_t by_type_total = 0;
+  for (const auto& [kind, count] : report.by_type) {
+    by_type_total += count;
+  }
+  EXPECT_EQ(by_type_total, report.completed);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_EQ(report.open_loop.count, report.completed);
+  EXPECT_EQ(report.service.count, report.completed);
+  // Queueing can only add latency on top of service time.
+  EXPECT_GE(report.open_loop.mean_us, report.service.mean_us);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  // The loadgen logged in on every connection; the corpus stays too.
+  std::lock_guard<std::mutex> lock(server.core_mutex());
+  EXPECT_GE(server.core().connected_users(), corpus_config.clients);
+}
+
+}  // namespace
+}  // namespace edk::netio

@@ -1,0 +1,156 @@
+// edk-served — the eDonkey index as a real network daemon.
+//
+// Serves the framed TCP protocol (src/netio, DESIGN.md §6j) with the same
+// ServerCore the simulations run. The index is preloaded with the
+// deterministic serve corpus derived from --seed/--clients/--files, so a
+// bench_serve started with identical corpus flags addresses real content.
+//
+//   edk-served --port=0 --port-file=port.txt --clients=200 --files=2000 &
+//   bench_serve --connect=127.0.0.1:$(cat port.txt) --clients=200 --files=2000
+//
+// --port-file exists for scripts: with --port=0 the kernel picks the port,
+// and the file (written after the socket is bound) is the handshake. The
+// daemon runs until SIGINT/SIGTERM or --max-seconds, then prints its
+// request/connection counters and exits 0 (non-zero when any protocol
+// error was seen, so smoke tests assert cleanliness via the exit code).
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/netio/corpus.h"
+#include "src/netio/tcp_server.h"
+#include "src/obs/flags.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --bind=ADDR          listen address (default 127.0.0.1)\n"
+      << "  --port=N             listen port (0 = kernel-assigned, default)\n"
+      << "  --port-file=FILE     write the bound port after listening\n"
+      << "  --seed=N --clients=N --files=N --keywords=N   corpus preload\n"
+      << "  --no-preload         start with an empty index\n"
+      << "  --io-threads=N       epoll worker threads (default 1)\n"
+      << "  --max-users=N        index connection cap (default 200000)\n"
+      << "  --max-seconds=X      exit after X seconds (default: run until\n"
+      << "                       SIGINT/SIGTERM)\n"
+      << "  " << edk::obs::ObsFlagsUsage() << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edk::netio::ServeCorpusConfig corpus_config;
+  edk::netio::TcpServerConfig server_config;
+  std::string port_file;
+  bool preload = true;
+  double max_seconds = 0;
+  edk::obs::ObsFlagValues obs;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    const char* v;
+    if ((v = value("--bind=")) != nullptr) {
+      server_config.bind_address = v;
+    } else if ((v = value("--port=")) != nullptr) {
+      server_config.port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--port-file=")) != nullptr) {
+      port_file = v;
+    } else if ((v = value("--seed=")) != nullptr) {
+      corpus_config.seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--clients=")) != nullptr) {
+      corpus_config.clients = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--files=")) != nullptr) {
+      corpus_config.files = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--keywords=")) != nullptr) {
+      corpus_config.keywords =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--no-preload") == 0) {
+      preload = false;
+    } else if ((v = value("--io-threads=")) != nullptr) {
+      server_config.worker_threads = std::strtoul(v, nullptr, 10);
+    } else if ((v = value("--max-users=")) != nullptr) {
+      server_config.index.max_users = std::strtoul(v, nullptr, 10);
+    } else if ((v = value("--max-seconds=")) != nullptr) {
+      max_seconds = std::strtod(v, nullptr);
+    } else if (edk::obs::ConsumeObsFlag(arg, &obs)) {
+      // Handled.
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage(argv[0]);
+    }
+  }
+  edk::obs::ApplyObsFlags(obs);
+
+  server_config.first_client_id =
+      preload ? static_cast<edk::NodeId>(corpus_config.clients + 1) : 1;
+  edk::netio::TcpServer server(server_config);
+  if (preload) {
+    std::cerr << "preloading corpus (seed=" << corpus_config.seed
+              << ", clients=" << corpus_config.clients
+              << ", files=" << corpus_config.files << ")...\n";
+    const auto corpus = edk::netio::BuildServeCorpus(corpus_config);
+    edk::netio::PreloadServeCorpus(server.core(), corpus, 1);
+    std::cerr << "index: " << server.core().indexed_files() << " files from "
+              << server.core().connected_users() << " preloaded sessions\n";
+  }
+
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "failed to start: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "edk-served listening on " << server_config.bind_address << ":"
+            << server.port() << " (io_threads="
+            << std::max<size_t>(server_config.worker_threads, 1) << ")\n";
+  if (!port_file.empty()) {
+    // Written only after the socket is bound: the script-side handshake.
+    std::ofstream os(port_file, std::ios::trunc);
+    os << server.port() << "\n";
+    if (!os.good()) {
+      std::cerr << "failed to write " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (max_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      if (elapsed >= max_seconds) {
+        break;
+      }
+    }
+  }
+
+  const auto stats = server.stats();
+  server.Stop();
+  std::cerr << "edk-served exiting: accepted=" << stats.connections_accepted
+            << " requests=" << stats.requests
+            << " frames_in=" << stats.frames_in
+            << " protocol_errors=" << stats.protocol_errors
+            << " transport_errors=" << stats.transport_errors << "\n";
+  return stats.protocol_errors == 0 ? 0 : 1;
+}
