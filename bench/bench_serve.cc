@@ -21,6 +21,10 @@
 // core — throughput is a lower bound) and loopback_only (no real NIC or
 // WAN in the path).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,13 +32,16 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/json_lint.h"
 #include "src/netio/corpus.h"
 #include "src/netio/loadgen.h"
+#include "src/netio/tcp_client.h"
 #include "src/netio/tcp_server.h"
 #include "src/obs/flags.h"
 #include "src/workload/config.h"
@@ -46,6 +53,8 @@ using edk::netio::LoadGenConfig;
 using edk::netio::LoadGenReport;
 using edk::netio::ServeCorpus;
 using edk::netio::ServeCorpusConfig;
+using edk::netio::StatsHistogramValue;
+using edk::netio::StatsRep;
 using edk::netio::TcpServer;
 using edk::netio::TcpServerConfig;
 using edk::netio::TcpServerStats;
@@ -55,6 +64,7 @@ struct Options {
   LoadGenConfig load;
   std::string connect;        // "" = in-process server.
   size_t io_threads = 1;      // In-process server worker threads.
+  uint64_t scrape_interval_ms = 0;  // 0 = no server-side time-series.
   std::string json_out;
   edk::obs::ObsFlagValues obs;
 };
@@ -71,6 +81,9 @@ struct Options {
       << "  --connections=N      client connections / worker threads (default 8)\n"
       << "  --publish-batch=N    max files per publish request (default 20)\n"
       << "  --io-threads=N       in-process server worker threads (default 1)\n"
+      << "  --scrape-interval-ms=N  scrape the server's in-band stats every\n"
+      << "                       N ms during the run; the JSON then carries\n"
+      << "                       a server-side time-series (qps, p99, RSS)\n"
       << "  --json=FILE          write the machine-readable summary\n"
       << "  " << edk::obs::ObsFlagsUsage() << "\n";
   std::exit(2);
@@ -106,6 +119,8 @@ Options Parse(int argc, char** argv) {
       options.load.publish_files_per_request = std::strtoul(v, nullptr, 10);
     } else if ((v = value("--io-threads=")) != nullptr) {
       options.io_threads = std::strtoul(v, nullptr, 10);
+    } else if ((v = value("--scrape-interval-ms=")) != nullptr) {
+      options.scrape_interval_ms = std::strtoull(v, nullptr, 10);
     } else if ((v = value("--json=")) != nullptr) {
       options.json_out = v;
     } else if (edk::obs::ConsumeObsFlag(arg, &options.obs)) {
@@ -118,6 +133,161 @@ Options Parse(int argc, char** argv) {
   return options;
 }
 
+// --- Server-side scraper (--scrape-interval-ms) -----------------------------
+//
+// A plain stats client on its own connection, polling the server's in-band
+// StatsReq while the load generator runs. This exercises the admin path
+// under load in both modes (the in-process server is scraped over real TCP
+// too) and gives the committed JSON a server-side view of the same run:
+// interval qps and p99 from the server's own histograms, plus RSS.
+
+struct ScrapeSample {
+  double t_s = 0;  // Since the scraper started.
+  uint64_t requests_total = 0;
+  double qps = 0;     // Interval rate from the server's request counter.
+  double p99_us = 0;  // Interval p99 from the latency histogram delta.
+  int64_t rss_bytes = 0;
+};
+
+uint64_t ScrapeCounter(const StatsRep& rep, const std::string& name) {
+  for (const auto& c : rep.counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+int64_t ScrapeGauge(const StatsRep& rep, const std::string& name) {
+  for (const auto& g : rep.gauges) {
+    if (g.name == name) {
+      return g.value;
+    }
+  }
+  return 0;
+}
+
+const StatsHistogramValue* ScrapeHistogram(const StatsRep& rep,
+                                           const std::string& name) {
+  for (const auto& h : rep.histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+double HistogramDeltaQuantile(const StatsHistogramValue& now,
+                              const StatsHistogramValue& prev, double q) {
+  if (now.counts.size() != prev.counts.size() || now.counts.empty()) {
+    return 0;
+  }
+  std::vector<uint64_t> delta(now.counts.size());
+  uint64_t total = now.underflow - std::min(prev.underflow, now.underflow) +
+                   (now.overflow - std::min(prev.overflow, now.overflow));
+  const uint64_t underflow = now.underflow - std::min(prev.underflow, now.underflow);
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = now.counts[i] - std::min(prev.counts[i], now.counts[i]);
+    total += delta[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  const double target = q * static_cast<double>(total);
+  double cum = static_cast<double>(underflow);
+  if (cum >= target && underflow > 0) {
+    return now.lo;
+  }
+  const double width = (now.hi - now.lo) / static_cast<double>(delta.size());
+  for (size_t i = 0; i < delta.size(); ++i) {
+    const double before = cum;
+    cum += static_cast<double>(delta[i]);
+    if (cum >= target && delta[i] > 0) {
+      const double frac = (target - before) / static_cast<double>(delta[i]);
+      return now.lo +
+             width * (static_cast<double>(i) + std::clamp(frac, 0.0, 1.0));
+    }
+  }
+  return now.hi;  // Overflow bucket: the histogram cannot resolve past hi.
+}
+
+class ServerScraper {
+ public:
+  // Connects and starts polling; samples() is valid after Finish().
+  bool Start(const std::string& host, uint16_t port, uint64_t interval_ms) {
+    if (!client_.Connect(host, port, /*recv_timeout_seconds=*/10)) {
+      return false;
+    }
+    interval_ms_ = std::max<uint64_t>(interval_ms, 1);
+    thread_ = std::thread([this] { Loop(); });
+    return true;
+  }
+
+  void Finish() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  const std::vector<ScrapeSample>& samples() const { return samples_; }
+  bool failed() const { return failed_; }
+
+ private:
+  void Loop() {
+    const auto started = std::chrono::steady_clock::now();
+    std::optional<StatsRep> prev;
+    while (true) {
+      auto rep = client_.Stats();
+      if (!rep.has_value()) {
+        failed_ = true;
+        return;
+      }
+      ScrapeSample sample;
+      sample.t_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+      sample.requests_total = ScrapeCounter(*rep, "netio.server.requests");
+      sample.rss_bytes = ScrapeGauge(*rep, "process.rss_bytes");
+      if (prev.has_value() && rep->uptime_ns > prev->uptime_ns) {
+        const double dt =
+            static_cast<double>(rep->uptime_ns - prev->uptime_ns) / 1e9;
+        const uint64_t prev_total =
+            ScrapeCounter(*prev, "netio.server.requests");
+        sample.qps = static_cast<double>(sample.requests_total -
+                                         std::min(prev_total,
+                                                  sample.requests_total)) /
+                     dt;
+        const auto* now_hist =
+            ScrapeHistogram(*rep, "netio.server.latency_us.all");
+        const auto* prev_hist =
+            ScrapeHistogram(*prev, "netio.server.latency_us.all");
+        if (now_hist != nullptr && prev_hist != nullptr) {
+          sample.p99_us = HistogramDeltaQuantile(*now_hist, *prev_hist, 0.99);
+        }
+      }
+      samples_.push_back(sample);
+      prev = std::move(rep);
+      if (stop_.load(std::memory_order_acquire)) {
+        return;  // The post-stop scrape above was the final sample.
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(interval_ms_);
+      while (!stop_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+
+  edk::netio::TcpClient client_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  uint64_t interval_ms_ = 1000;
+  std::vector<ScrapeSample> samples_;
+  bool failed_ = false;
+};
+
 void WriteLatency(std::ostream& os, const char* key, const LatencySummary& s) {
   os << "\"" << key << "\": {\"count\": " << s.count << ", \"mean_us\": "
      << s.mean_us << ", \"p50_us\": " << s.p50_us << ", \"p90_us\": "
@@ -127,11 +297,12 @@ void WriteLatency(std::ostream& os, const char* key, const LatencySummary& s) {
 
 std::string ReportJson(const Options& options, const LoadGenReport& report,
                        const TcpServerStats* server_stats,
-                       uint64_t indexed_files, uint64_t connected_users) {
+                       uint64_t indexed_files, uint64_t connected_users,
+                       const std::vector<ScrapeSample>& timeseries) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(3);
-  os << "{\n  \"schema\": \"edk.bench_serve.v1\",\n";
+  os << "{\n  \"schema\": \"edk.bench_serve.v2\",\n";
   os << "  \"corpus\": {\"seed\": " << options.corpus.seed
      << ", \"clients\": " << options.corpus.clients
      << ", \"files\": " << options.corpus.files
@@ -169,6 +340,7 @@ std::string ReportJson(const Options& options, const LoadGenReport& report,
   os << "},\n    \"wall_seconds\": " << report.wall_seconds
      << ", \"queries_per_second\": " << report.achieved_rps
      << ", \"max_send_lag_seconds\": " << report.max_send_lag_seconds
+     << ", \"schedule_overruns\": " << report.schedule_overruns
      << ",\n    ";
   WriteLatency(os, "open_loop_latency", report.open_loop);
   os << ",\n    ";
@@ -191,7 +363,19 @@ std::string ReportJson(const Options& options, const LoadGenReport& report,
   } else {
     os << "\"external\": true";
   }
-  os << "}\n}\n";
+  os << "},\n";
+  // Server-side time-series scraped over the in-band stats protocol while
+  // the load ran; empty when --scrape-interval-ms was not given.
+  os << "  \"server_timeseries\": {\"scrape_interval_ms\": "
+     << options.scrape_interval_ms << ", \"samples\": [";
+  for (size_t i = 0; i < timeseries.size(); ++i) {
+    const ScrapeSample& s = timeseries[i];
+    os << (i == 0 ? "" : ", ") << "{\"t_s\": " << s.t_s
+       << ", \"requests_total\": " << s.requests_total
+       << ", \"qps\": " << s.qps << ", \"p99_us\": " << s.p99_us
+       << ", \"rss_bytes\": " << s.rss_bytes << "}";
+  }
+  os << "]}\n}\n";
   return os.str();
 }
 
@@ -238,10 +422,27 @@ int main(int argc, char** argv) {
         std::strtoul(options.connect.c_str() + colon + 1, nullptr, 10));
   }
 
+  ServerScraper scraper;
+  if (options.scrape_interval_ms > 0) {
+    if (!scraper.Start(options.load.host, options.load.port,
+                       options.scrape_interval_ms)) {
+      std::cerr << "failed to connect the stats scraper\n";
+      return 1;
+    }
+    std::cerr << "scraping server stats every " << options.scrape_interval_ms
+              << " ms\n";
+  }
+
   std::cerr << "open-loop run: " << options.load.target_rps << " rps x "
             << options.load.duration_seconds << " s over "
             << options.load.connections << " connections...\n";
   const LoadGenReport report = edk::netio::RunLoadGen(options.load, corpus);
+
+  scraper.Finish();  // Takes one final post-run sample, then joins.
+  if (options.scrape_interval_ms > 0 && scraper.failed()) {
+    std::cerr << "FAILED: stats scraper lost the server mid-run\n";
+    return 1;
+  }
 
   TcpServerStats stats;
   uint64_t indexed_files = 0;
@@ -258,7 +459,7 @@ int main(int argc, char** argv) {
 
   const std::string json =
       ReportJson(options, report, server != nullptr ? &stats : nullptr,
-                 indexed_files, connected_users);
+                 indexed_files, connected_users, scraper.samples());
   std::cout << json;
   if (!options.json_out.empty()) {
     std::ofstream os(options.json_out);

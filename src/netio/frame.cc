@@ -86,6 +86,43 @@ struct Reader {
     return true;
   }
 
+  // String with an explicit length ceiling (metric names on the stats
+  // wire): an oversized name is rejected before any allocation.
+  bool BoundedString(size_t max_bytes, std::string* out) {
+    uint64_t len;
+    if (!Varint(&len) || len > max_bytes || len > remaining()) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(p), static_cast<size_t>(len));
+    p += len;
+    return true;
+  }
+
+  // Zigzag-encoded signed varint (gauges can be negative).
+  bool I64(int64_t* v) {
+    uint64_t raw;
+    if (!Varint(&raw)) {
+      return false;
+    }
+    *v = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return true;
+  }
+
+  // Fixed 8-byte little-endian IEEE754 double (histogram bounds). Raw bit
+  // patterns round-trip exactly, so the encoding is canonical per value.
+  bool F64(double* v) {
+    if (remaining() < 8) {
+      return false;
+    }
+    uint64_t bits = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    std::memcpy(v, &bits, sizeof(bits));
+    p += 8;
+    return true;
+  }
+
   bool Digest(Md4Digest* out) {
     if (remaining() < out->size()) {
       return false;
@@ -109,6 +146,20 @@ struct Reader {
 void AppendString(std::string& out, std::string_view s) {
   wire::AppendVarint(out, s.size());
   out.append(s.data(), s.size());
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  wire::AppendVarint(out, zigzag);
+}
+
+void AppendF64(std::string& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (size_t i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
 }
 
 void AppendDigest(std::string& out, const Md4Digest& digest) {
@@ -177,6 +228,10 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kUsersRep: return "users-rep";
     case MsgType::kBrowseReq: return "browse-req";
     case MsgType::kBrowseRep: return "browse-rep";
+    case MsgType::kStatsReq: return "stats-req";
+    case MsgType::kStatsRep: return "stats-rep";
+    case MsgType::kHealthReq: return "health-req";
+    case MsgType::kHealthRep: return "health-rep";
     case MsgType::kError: return "error";
   }
   return "unknown";
@@ -185,6 +240,8 @@ const char* MsgTypeName(MsgType type) {
 bool IsKnownMsgType(uint8_t tag) {
   return (tag >= static_cast<uint8_t>(MsgType::kLoginReq) &&
           tag <= static_cast<uint8_t>(MsgType::kBrowseRep)) ||
+         (tag >= static_cast<uint8_t>(MsgType::kStatsReq) &&
+          tag <= static_cast<uint8_t>(MsgType::kHealthRep)) ||
          tag == static_cast<uint8_t>(MsgType::kError);
 }
 
@@ -459,6 +516,155 @@ std::string EncodeBrowseRep(const BrowseRep& msg) {
 bool DecodeBrowseRep(std::string_view payload, BrowseRep* out) {
   Reader r(payload);
   return Finish(r, r.Bool(&out->ok) && ReadFileList(r, &out->files));
+}
+
+// --- Stats / Health (DESIGN.md §6k) -----------------------------------------
+
+std::string EncodeStatsReq(const StatsReq& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.slow_after_seq);
+  return out;
+}
+
+bool DecodeStatsReq(std::string_view payload, StatsReq* out) {
+  Reader r(payload);
+  return Finish(r, r.Varint(&out->slow_after_seq));
+}
+
+std::string EncodeStatsRep(const StatsRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.seq);
+  wire::AppendVarint(out, msg.uptime_ns);
+  wire::AppendVarint(out, msg.counters.size());
+  for (const StatsCounterValue& c : msg.counters) {
+    AppendString(out, c.name);
+    wire::AppendVarint(out, c.value);
+  }
+  wire::AppendVarint(out, msg.gauges.size());
+  for (const StatsGaugeValue& g : msg.gauges) {
+    AppendString(out, g.name);
+    AppendI64(out, g.value);
+  }
+  wire::AppendVarint(out, msg.histograms.size());
+  for (const StatsHistogramValue& h : msg.histograms) {
+    AppendString(out, h.name);
+    AppendF64(out, h.lo);
+    AppendF64(out, h.hi);
+    wire::AppendVarint(out, h.underflow);
+    wire::AppendVarint(out, h.overflow);
+    wire::AppendVarint(out, h.counts.size());
+    for (const uint64_t count : h.counts) {
+      wire::AppendVarint(out, count);
+    }
+  }
+  wire::AppendVarint(out, msg.slow.size());
+  for (const SlowRequest& s : msg.slow) {
+    wire::AppendVarint(out, s.seq);
+    wire::AppendVarint(out, s.wall_ns);
+    wire::AppendVarint(out, s.type);
+    wire::AppendVarint(out, s.latency_us);
+    wire::AppendVarint(out, s.request_bytes);
+    wire::AppendVarint(out, s.reply_bytes);
+    wire::AppendVarint(out, s.node);
+  }
+  return out;
+}
+
+bool DecodeStatsRep(std::string_view payload, StatsRep* out) {
+  Reader r(payload);
+  if (!r.Varint(&out->seq) || !r.Varint(&out->uptime_ns)) {
+    return false;
+  }
+  uint64_t count;
+  // A counter record is at least 2 bytes (empty name + value varint).
+  if (!r.Count(2, &count)) {
+    return false;
+  }
+  out->counters.clear();
+  out->counters.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    StatsCounterValue c;
+    if (!r.BoundedString(kMaxMetricNameBytes, &c.name) || !r.Varint(&c.value)) {
+      return false;
+    }
+    out->counters.push_back(std::move(c));
+  }
+  if (!r.Count(2, &count)) {
+    return false;
+  }
+  out->gauges.clear();
+  out->gauges.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    StatsGaugeValue g;
+    if (!r.BoundedString(kMaxMetricNameBytes, &g.name) || !r.I64(&g.value)) {
+      return false;
+    }
+    out->gauges.push_back(std::move(g));
+  }
+  // A histogram record is at least 1 (name) + 16 (lo/hi) + 3 bytes.
+  if (!r.Count(20, &count)) {
+    return false;
+  }
+  out->histograms.clear();
+  out->histograms.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    StatsHistogramValue h;
+    if (!r.BoundedString(kMaxMetricNameBytes, &h.name) || !r.F64(&h.lo) ||
+        !r.F64(&h.hi) || !r.Varint(&h.underflow) || !r.Varint(&h.overflow)) {
+      return false;
+    }
+    uint64_t bins;
+    // A forged bin count is bounded twice: by the bytes actually present
+    // and by the protocol-wide bucket ceiling.
+    if (!r.Count(1, &bins) || bins > kMaxHistogramBins) {
+      return false;
+    }
+    h.counts.clear();
+    h.counts.reserve(static_cast<size_t>(bins));
+    for (uint64_t b = 0; b < bins; ++b) {
+      uint64_t v;
+      if (!r.Varint(&v)) {
+        return false;
+      }
+      h.counts.push_back(v);
+    }
+    out->histograms.push_back(std::move(h));
+  }
+  // A slow-request record is at least 7 varint bytes.
+  if (!r.Count(7, &count) || count > kMaxSlowLogEntries) {
+    return false;
+  }
+  out->slow.clear();
+  out->slow.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SlowRequest s;
+    uint64_t type;
+    if (!r.Varint(&s.seq) || !r.Varint(&s.wall_ns) || !r.Varint(&type) ||
+        type > 0xff || !r.Varint(&s.latency_us) ||
+        !r.Varint(&s.request_bytes) || !r.Varint(&s.reply_bytes) ||
+        !r.U32(&s.node)) {
+      return false;
+    }
+    s.type = static_cast<uint8_t>(type);
+    out->slow.push_back(s);
+  }
+  return Finish(r, true);
+}
+
+std::string EncodeHealthRep(const HealthRep& msg) {
+  std::string out;
+  wire::AppendVarint(out, msg.ok ? 1 : 0);
+  wire::AppendVarint(out, msg.uptime_ns);
+  wire::AppendVarint(out, msg.active_connections);
+  wire::AppendVarint(out, msg.requests_total);
+  return out;
+}
+
+bool DecodeHealthRep(std::string_view payload, HealthRep* out) {
+  Reader r(payload);
+  return Finish(r, r.Bool(&out->ok) && r.Varint(&out->uptime_ns) &&
+                       r.Varint(&out->active_connections) &&
+                       r.Varint(&out->requests_total));
 }
 
 // --- Error ------------------------------------------------------------------

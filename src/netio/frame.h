@@ -64,6 +64,12 @@ enum class MsgType : uint8_t {
   kUsersRep = 0x0c,
   kBrowseReq = 0x0d,
   kBrowseRep = 0x0e,
+  // In-band admin protocol (DESIGN.md §6k): served without login, off the
+  // deterministic index path.
+  kStatsReq = 0x20,
+  kStatsRep = 0x21,
+  kHealthReq = 0x22,  // Zero-length payload.
+  kHealthRep = 0x23,
   kError = 0x7f,
 };
 const char* MsgTypeName(MsgType type);
@@ -110,6 +116,67 @@ struct BrowseRep {
   bool ok = false;  // False: target unknown/not connected.
   std::vector<SharedFileInfo> files;
 };
+// --- Observability plane (DESIGN.md §6k) ------------------------------------
+//
+// StatsRep carries one monotonic snapshot of the server's metrics registry
+// (counters, gauges, histogram buckets) plus the drained slow-request log.
+// Bounds below exist so a hostile peer can neither smuggle unbounded names
+// through a scraper nor make a decoder reserve absurd bucket arrays; the
+// decoders enforce them exactly like the index codecs enforce their counts.
+
+// Longest metric/gauge/histogram name accepted on the wire.
+inline constexpr size_t kMaxMetricNameBytes = 256;
+// Most buckets one histogram may carry.
+inline constexpr size_t kMaxHistogramBins = 4096;
+// Most slow-request entries one StatsRep may carry.
+inline constexpr size_t kMaxSlowLogEntries = 1024;
+
+struct StatsReq {
+  // Only slow-log entries with seq > slow_after_seq are returned, so a
+  // scraper polling on an interval drains each entry exactly once.
+  uint64_t slow_after_seq = 0;
+};
+struct StatsCounterValue {
+  std::string name;
+  uint64_t value = 0;
+};
+struct StatsGaugeValue {
+  std::string name;
+  int64_t value = 0;  // Zigzag varint on the wire.
+};
+struct StatsHistogramValue {
+  std::string name;
+  double lo = 0;  // Fixed 8-byte IEEE754 LE on the wire.
+  double hi = 0;
+  uint64_t underflow = 0;
+  uint64_t overflow = 0;
+  std::vector<uint64_t> counts;
+};
+// One tail outlier from the server's bounded slow-request ring.
+struct SlowRequest {
+  uint64_t seq = 0;        // Monotonic per server process; never reused.
+  uint64_t wall_ns = 0;    // Steady-clock ns since server start, at dispatch end.
+  uint8_t type = 0;        // MsgType tag of the slow request.
+  uint64_t latency_us = 0;
+  uint64_t request_bytes = 0;
+  uint64_t reply_bytes = 0;
+  NodeId node = kInvalidNode;  // Session id, kInvalidNode if not logged in.
+};
+struct StatsRep {
+  uint64_t seq = 0;        // Monotonic snapshot sequence number.
+  uint64_t uptime_ns = 0;  // Steady-clock ns since the server started.
+  std::vector<StatsCounterValue> counters;
+  std::vector<StatsGaugeValue> gauges;
+  std::vector<StatsHistogramValue> histograms;
+  std::vector<SlowRequest> slow;
+};
+struct HealthRep {
+  bool ok = false;
+  uint64_t uptime_ns = 0;
+  uint64_t active_connections = 0;
+  uint64_t requests_total = 0;
+};
+
 // Protocol-level failure reply (bad request payload, unknown tag, ...).
 struct ErrorRep {
   uint64_t code = 0;
@@ -199,6 +266,14 @@ std::string EncodeBrowseReq(const BrowseReq& msg);
 bool DecodeBrowseReq(std::string_view payload, BrowseReq* out);
 std::string EncodeBrowseRep(const BrowseRep& msg);
 bool DecodeBrowseRep(std::string_view payload, BrowseRep* out);
+
+std::string EncodeStatsReq(const StatsReq& msg);
+bool DecodeStatsReq(std::string_view payload, StatsReq* out);
+std::string EncodeStatsRep(const StatsRep& msg);
+bool DecodeStatsRep(std::string_view payload, StatsRep* out);
+
+std::string EncodeHealthRep(const HealthRep& msg);
+bool DecodeHealthRep(std::string_view payload, HealthRep* out);
 
 std::string EncodeErrorRep(const ErrorRep& msg);
 bool DecodeErrorRep(std::string_view payload, ErrorRep* out);

@@ -55,6 +55,7 @@ struct WorkerResult {
   uint64_t protocol_errors = 0;
   uint64_t transport_errors = 0;
   uint64_t dropped = 0;
+  uint64_t overruns = 0;
   uint64_t by_kind[5] = {0, 0, 0, 0, 0};
   double max_send_lag_seconds = 0;
   std::vector<double> open_loop_us;
@@ -196,6 +197,8 @@ LoadGenReport RunLoadGen(const LoadGenConfig& config,
       if (now < scheduled_at) {
         std::this_thread::sleep_until(scheduled_at);
         now = Clock::now();
+      } else if (now > scheduled_at) {
+        ++local.overruns;
       }
       const double lag = std::chrono::duration<double>(now - scheduled_at).count();
       local.max_send_lag_seconds = std::max(local.max_send_lag_seconds, lag);
@@ -297,6 +300,7 @@ LoadGenReport RunLoadGen(const LoadGenConfig& config,
     report.protocol_errors += local.protocol_errors;
     report.transport_errors += local.transport_errors;
     report.dropped += local.dropped;
+    report.schedule_overruns += local.overruns;
     for (size_t k = 0; k < 5; ++k) {
       if (local.by_kind[k] > 0) {
         report.by_type[ReqKindName(static_cast<ReqKind>(k))] +=

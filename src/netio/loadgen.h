@@ -90,6 +90,11 @@ struct LoadGenReport {
   // Worst lag between an arrival's scheduled and actual send time: how far
   // the generator itself fell behind the open-loop schedule.
   double max_send_lag_seconds = 0;
+  // Arrivals claimed after their scheduled time had already passed (no
+  // sleep happened): how often the generator, not the server, was the
+  // bottleneck. A run with many overruns under-offers its target rate and
+  // its open-loop tail is no longer trustworthy.
+  uint64_t schedule_overruns = 0;
   LatencySummary open_loop;  // completion - scheduled arrival.
   LatencySummary service;    // completion - send.
 };

@@ -257,4 +257,31 @@ std::optional<BrowseRep> TcpClient::Browse(NodeId target) {
   return rep;
 }
 
+std::optional<StatsRep> TcpClient::Stats(uint64_t slow_after_seq) {
+  auto frame = Call(MsgType::kStatsReq,
+                    EncodeStatsReq(StatsReq{slow_after_seq}));
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<StatsRep>(std::move(frame), MsgType::kStatsRep,
+                              DecodeStatsRep);
+  if (!rep.has_value()) {
+    Fail("unexpected stats reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
+std::optional<HealthRep> TcpClient::Health() {
+  auto frame = Call(MsgType::kHealthReq, std::string());
+  if (!frame.has_value() || NoteServerError(*frame)) {
+    return std::nullopt;
+  }
+  auto rep = Expect<HealthRep>(std::move(frame), MsgType::kHealthRep,
+                               DecodeHealthRep);
+  if (!rep.has_value()) {
+    Fail("unexpected health reply", /*protocol_error=*/true);
+  }
+  return rep;
+}
+
 }  // namespace edk::netio

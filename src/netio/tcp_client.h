@@ -47,6 +47,11 @@ class TcpClient {
   std::optional<SourcesRep> QuerySources(const Md4Digest& digest);
   std::optional<UsersRep> QueryUsers(const std::string& prefix);
   std::optional<BrowseRep> Browse(NodeId target);
+  // Admin protocol (DESIGN.md §6k); neither requires a login.
+  // `slow_after_seq` is the scrape cursor: the reply carries only slow-log
+  // entries with seq > slow_after_seq.
+  std::optional<StatsRep> Stats(uint64_t slow_after_seq = 0);
+  std::optional<HealthRep> Health();
 
   // Raw round-trip: sends one frame, returns the next reply frame. The
   // typed wrappers use this; tests use it to probe hostile inputs.

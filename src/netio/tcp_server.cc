@@ -1,6 +1,7 @@
 #include "src/netio/tcp_server.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -10,8 +11,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <unordered_map>
 #include <utility>
 
@@ -33,6 +36,9 @@ struct NetioMetrics {
   obs::Counter* requests;
   obs::Counter* protocol_errors;
   obs::Counter* transport_errors;
+  // Observability plane (DESIGN.md §6k): epoll wakeup accounting.
+  obs::Counter* accept_wakeups;
+  obs::Counter* eventfd_wakeups;
 };
 
 NetioMetrics& Metrics() {
@@ -43,6 +49,8 @@ NetioMetrics& Metrics() {
       &registry.GetCounter("netio.server.requests", obs::Domain::kEnv),
       &registry.GetCounter("netio.server.protocol_errors", obs::Domain::kEnv),
       &registry.GetCounter("netio.server.transport_errors", obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.accept_wakeups", obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.eventfd_wakeups", obs::Domain::kEnv),
   };
   return metrics;
 }
@@ -51,6 +59,101 @@ uint16_t RequestSpanName() {
   static const uint16_t name =
       obs::TraceLog::Global().InternName("netio.server.request", {"type"});
   return name;
+}
+
+// --- Per-request-type telemetry (DESIGN.md §6k) -----------------------------
+//
+// Real-socket latency depends on wall-clock scheduling, so everything here
+// lives in the kEnv domain: the deterministic sections the sim-vs-TCP
+// equivalence tests byte-compare never see a stats-path value.
+
+// 100 us resolution to 50 ms; slower requests land in the overflow count
+// and (past the threshold) in the slow-request log with exact values.
+constexpr double kLatencyHistogramHiUs = 50'000;
+constexpr size_t kLatencyHistogramBins = 500;
+
+// Telemetry of the request kinds a client can send. Other tags (replies,
+// unknown bytes) fold into "other" — they are protocol errors anyway.
+struct TypeTelemetry {
+  obs::Counter* requests;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::HistogramMetric* latency;
+};
+
+TypeTelemetry MakeTypeTelemetry(const char* kind) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string suffix = kind;
+  return TypeTelemetry{
+      &registry.GetCounter("netio.server.req." + suffix, obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.bytes_in." + suffix,
+                           obs::Domain::kEnv),
+      &registry.GetCounter("netio.server.bytes_out." + suffix,
+                           obs::Domain::kEnv),
+      &registry.GetHistogram("netio.server.latency_us." + suffix, 0,
+                             kLatencyHistogramHiUs, kLatencyHistogramBins,
+                             obs::Domain::kEnv),
+  };
+}
+
+TypeTelemetry& TelemetryFor(MsgType type) {
+  static TypeTelemetry login = MakeTypeTelemetry("login");
+  static TypeTelemetry logout = MakeTypeTelemetry("logout");
+  static TypeTelemetry publish = MakeTypeTelemetry("publish");
+  static TypeTelemetry search = MakeTypeTelemetry("search");
+  static TypeTelemetry query_sources = MakeTypeTelemetry("query_sources");
+  static TypeTelemetry query_users = MakeTypeTelemetry("query_users");
+  static TypeTelemetry browse = MakeTypeTelemetry("browse");
+  static TypeTelemetry stats = MakeTypeTelemetry("stats");
+  static TypeTelemetry health = MakeTypeTelemetry("health");
+  static TypeTelemetry other = MakeTypeTelemetry("other");
+  switch (type) {
+    case MsgType::kLoginReq: return login;
+    case MsgType::kLogoutReq: return logout;
+    case MsgType::kPublishReq: return publish;
+    case MsgType::kSearchReq: return search;
+    case MsgType::kQuerySourcesReq: return query_sources;
+    case MsgType::kQueryUsersReq: return query_users;
+    case MsgType::kBrowseReq: return browse;
+    case MsgType::kStatsReq: return stats;
+    case MsgType::kHealthReq: return health;
+    default: return other;
+  }
+}
+
+obs::HistogramMetric& AllLatencyHistogram() {
+  static obs::HistogramMetric& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "netio.server.latency_us.all", 0, kLatencyHistogramHiUs,
+          kLatencyHistogramBins, obs::Domain::kEnv);
+  return histogram;
+}
+
+// Resident set from /proc/self/statm (field 2, pages).
+int64_t ReadRssBytes() {
+  std::ifstream is("/proc/self/statm");
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  if (!(is >> total_pages >> resident_pages)) {
+    return 0;
+  }
+  return static_cast<int64_t>(resident_pages) * sysconf(_SC_PAGESIZE);
+}
+
+// Open descriptors from /proc/self/fd, excluding the scan's own dirfd.
+int64_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return 0;
+  }
+  int64_t n = 0;
+  while (const dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] != '.') {
+      ++n;
+    }
+  }
+  closedir(dir);
+  return n > 0 ? n - 1 : 0;
 }
 
 }  // namespace
@@ -76,10 +179,15 @@ struct TcpServer::Worker {
   std::mutex mu;
   std::deque<int> pending;  // Accepted fds awaiting adoption.
   std::unordered_map<int, std::unique_ptr<Connection>> connections;
+  // Mirror of connections.size() readable from other threads (the gauge
+  // refresh in RefreshProcessGauges); only the owning worker writes it.
+  std::atomic<size_t> conn_count{0};
 };
 
-TcpServer::TcpServer(TcpServerConfig config) : config_(std::move(config)) ,
-      core_(config_.index) {
+TcpServer::TcpServer(TcpServerConfig config)
+    : config_(std::move(config)),
+      core_(config_.index),
+      slow_log_(config_.slow_log_capacity) {
   next_client_id_.store(config_.first_client_id, std::memory_order_relaxed);
 }
 
@@ -152,6 +260,7 @@ bool TcpServer::Start(std::string* error) {
     workers_.push_back(std::move(worker));
   }
 
+  started_ = std::chrono::steady_clock::now();
   running_ = true;
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(*w); });
@@ -250,6 +359,7 @@ void TcpServer::AcceptLoop() {
             read(accept_wake_fd_, &drained, sizeof(drained));
         continue;
       }
+      Metrics().accept_wakeups->Increment();
       while (true) {
         const int fd = accept4(listen_fd_, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -304,6 +414,8 @@ void TcpServer::AdoptPending(Worker& worker) {
       continue;
     }
     worker.connections.emplace(fd, std::move(conn));
+    worker.conn_count.store(worker.connections.size(),
+                            std::memory_order_relaxed);
   }
 }
 
@@ -319,6 +431,7 @@ void TcpServer::WorkerLoop(Worker& worker) {
     }
     for (int i = 0; i < n; ++i) {
       if (events[i].data.ptr == nullptr) {
+        Metrics().eventfd_wakeups->Increment();
         uint64_t drained;
         [[maybe_unused]] ssize_t r =
             read(worker.notify_fd, &drained, sizeof(drained));
@@ -475,6 +588,8 @@ void TcpServer::CloseConnection(Worker& worker, Connection& conn) {
   Metrics().closed->Increment();
   active_.fetch_sub(1, std::memory_order_relaxed);
   worker.connections.erase(conn.fd);  // Destroys conn.
+  worker.conn_count.store(worker.connections.size(),
+                          std::memory_order_relaxed);
 }
 
 bool TcpServer::Dispatch(Connection& conn, const Frame& frame) {
@@ -483,6 +598,16 @@ bool TcpServer::Dispatch(Connection& conn, const Frame& frame) {
   obs::WallSpan span(RequestSpanName());
   span.AddArg(static_cast<uint64_t>(frame.type));
 
+  const auto start = std::chrono::steady_clock::now();
+  const size_t out_before = conn.outbuf.size();
+  const bool ok = DispatchFrame(conn, frame);
+  // Replies only ever append to outbuf during a dispatch, so the growth is
+  // exactly this request's reply bytes (error replies included).
+  RecordRequestTelemetry(conn, frame, start, conn.outbuf.size() - out_before);
+  return ok;
+}
+
+bool TcpServer::DispatchFrame(Connection& conn, const Frame& frame) {
   auto reply = [&](MsgType type, const std::string& payload) {
     conn.outbuf += EncodeFrame(type, payload);
     frames_out_.fetch_add(1, std::memory_order_relaxed);
@@ -612,10 +737,165 @@ bool TcpServer::Dispatch(Connection& conn, const Frame& frame) {
       reply(MsgType::kBrowseRep, EncodeBrowseRep(rep));
       return true;
     }
+    case MsgType::kStatsReq: {
+      // Admin protocol (DESIGN.md §6k): no login required — a scraper is
+      // not a peer and must not perturb the session table.
+      StatsReq req;
+      if (!DecodeStatsReq(frame.payload, &req)) {
+        return protocol_error(kErrBadPayload, "malformed stats");
+      }
+      reply(MsgType::kStatsRep, EncodeStatsRep(BuildStatsRep(req)));
+      return true;
+    }
+    case MsgType::kHealthReq: {
+      if (!frame.payload.empty()) {
+        return protocol_error(kErrBadPayload, "malformed health");
+      }
+      HealthRep rep;
+      rep.ok = true;
+      rep.uptime_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started_)
+              .count());
+      rep.active_connections = active_.load(std::memory_order_relaxed);
+      rep.requests_total = requests_.load(std::memory_order_relaxed);
+      reply(MsgType::kHealthRep, EncodeHealthRep(rep));
+      return true;
+    }
     default:
       // Reply tags and unknown tags alike: a client must never send them.
       return protocol_error(kErrUnknownType, "unexpected message type");
   }
+}
+
+void TcpServer::RecordRequestTelemetry(
+    const Connection& conn, const Frame& frame,
+    std::chrono::steady_clock::time_point start, size_t reply_bytes) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const uint64_t latency_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  const double latency_us = static_cast<double>(latency_ns) / 1000.0;
+  const uint64_t request_bytes = kFrameHeaderBytes + frame.payload.size();
+
+  TypeTelemetry& telemetry = TelemetryFor(frame.type);
+  telemetry.requests->Increment();
+  telemetry.bytes_in->Increment(request_bytes);
+  telemetry.bytes_out->Increment(reply_bytes);
+  telemetry.latency->Record(latency_us);
+  AllLatencyHistogram().Record(latency_us);
+
+  if (config_.slow_request_threshold_us < 0 || config_.slow_log_capacity == 0 ||
+      latency_us < config_.slow_request_threshold_us) {
+    return;
+  }
+  obs::TraceEvent ev{};
+  ev.ts = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - started_)
+          .count());
+  ev.dur = latency_ns;
+  ev.id = slow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ev.domain = obs::TimeDomain::kWall;
+  ev.args[0] = static_cast<uint64_t>(frame.type);
+  ev.args[1] = request_bytes;
+  ev.args[2] = reply_bytes;
+  ev.args[3] = conn.logged_in ? conn.node : kInvalidNode;
+  ev.arg_count = 4;
+  slow_log_.Append(ev);
+}
+
+void TcpServer::RefreshProcessGauges() {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("process.rss_bytes").Set(ReadRssBytes());
+  registry.GetGauge("process.open_fds").Set(CountOpenFds());
+  registry.GetGauge("netio.server.active_connections")
+      .Set(static_cast<int64_t>(active_.load(std::memory_order_relaxed)));
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    registry.GetGauge("netio.server.worker" + std::to_string(i) +
+                      ".connections")
+        .Set(static_cast<int64_t>(
+            workers_[i]->conn_count.load(std::memory_order_relaxed)));
+  }
+  size_t indexed_files = 0;
+  size_t connected_users = 0;
+  {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    indexed_files = core_.indexed_files();
+    connected_users = core_.connected_users();
+  }
+  registry.GetGauge("netio.server.indexed_files")
+      .Set(static_cast<int64_t>(indexed_files));
+  registry.GetGauge("netio.server.connected_users")
+      .Set(static_cast<int64_t>(connected_users));
+}
+
+StatsRep TcpServer::BuildStatsRep(const StatsReq& req) {
+  RefreshProcessGauges();
+  StatsRep rep;
+  rep.seq = stats_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rep.uptime_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  // Names over kMaxMetricNameBytes would make the reply undecodable; no
+  // registered metric is anywhere near, but skip defensively.
+  auto name_ok = [](const std::string& name) {
+    return name.size() <= kMaxMetricNameBytes;
+  };
+  rep.counters.reserve(snapshot.counters.size() + snapshot.env_counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name_ok(name)) rep.counters.push_back({name, value});
+  }
+  for (const auto& [name, value] : snapshot.env_counters) {
+    if (name_ok(name)) rep.counters.push_back({name, value});
+  }
+  rep.gauges.reserve(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name_ok(name)) rep.gauges.push_back({name, value});
+  }
+  auto add_histograms = [&](const auto& source) {
+    for (const auto& h : source) {
+      if (!name_ok(h.name) || h.counts.size() > kMaxHistogramBins) {
+        continue;
+      }
+      StatsHistogramValue out;
+      out.name = h.name;
+      out.lo = h.lo;
+      out.hi = h.hi;
+      out.underflow = h.underflow;
+      out.overflow = h.overflow;
+      out.counts = h.counts;
+      rep.histograms.push_back(std::move(out));
+    }
+  };
+  rep.histograms.reserve(snapshot.histograms.size() +
+                         snapshot.env_histograms.size());
+  add_histograms(snapshot.histograms);
+  add_histograms(snapshot.env_histograms);
+
+  // Slow log: ship only entries the scraper has not seen (id > cursor),
+  // oldest first, capped at what one reply may carry.
+  std::vector<obs::TraceEvent> events;
+  slow_log_.Collect(&events);
+  for (const auto& ev : events) {
+    if (ev.id <= req.slow_after_seq) {
+      continue;
+    }
+    SlowRequest slow;
+    slow.seq = ev.id;
+    slow.wall_ns = ev.ts;
+    slow.type = static_cast<uint8_t>(ev.args[0]);
+    slow.latency_us = ev.dur / 1000;
+    slow.request_bytes = ev.args[1];
+    slow.reply_bytes = ev.args[2];
+    slow.node = static_cast<NodeId>(ev.args[3]);
+    rep.slow.push_back(std::move(slow));
+    if (rep.slow.size() >= kMaxSlowLogEntries) {
+      break;
+    }
+  }
+  return rep;
 }
 
 }  // namespace edk::netio

@@ -33,6 +33,7 @@
 #define SRC_NETIO_TCP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,7 @@
 
 #include "src/net/server_core.h"
 #include "src/netio/frame.h"
+#include "src/obs/flight_recorder.h"
 
 namespace edk::netio {
 
@@ -57,6 +59,11 @@ struct TcpServerConfig {
   NodeId first_client_id = 1;
   // Bytes per read() call in the worker loops.
   size_t read_chunk_bytes = 64 * 1024;
+  // Dispatches slower than this land in the bounded slow-request log
+  // (drained through StatsRep). 0 logs every request; < 0 disables.
+  double slow_request_threshold_us = 10'000;
+  // Newest slow requests retained (a FlightRecorder ring).
+  size_t slow_log_capacity = 256;
 };
 
 struct TcpServerStats {
@@ -97,6 +104,12 @@ class TcpServer {
 
   TcpServerStats stats() const;
 
+  // Refreshes the process-level gauges (RSS, open fds, per-worker
+  // connection counts, index size) in the global obs registry. Stats
+  // dispatches do this before every snapshot; edk-served calls it before
+  // a SIGUSR1/exit metrics dump so the file carries current values.
+  void RefreshProcessGauges();
+
  private:
   struct Connection;
   struct Worker;
@@ -114,6 +127,17 @@ class TcpServer {
   // Returns false on a protocol error (connection must close after the
   // error reply is flushed).
   bool Dispatch(Connection& conn, const Frame& frame);
+  // The per-type switch of Dispatch; Dispatch wraps it with telemetry.
+  bool DispatchFrame(Connection& conn, const Frame& frame);
+  // Builds the monotonic StatsRep snapshot an in-band StatsReq is answered
+  // with. Touches only env-domain metrics and (briefly, under core_mu_)
+  // the index size gauges — never the request hot path's determinism.
+  StatsRep BuildStatsRep(const StatsReq& req);
+  // Records one dispatch into the per-type latency histograms, byte
+  // counters and — past the threshold — the slow-request ring.
+  void RecordRequestTelemetry(const Connection& conn, const Frame& frame,
+                              std::chrono::steady_clock::time_point start,
+                              size_t reply_bytes);
 
   TcpServerConfig config_;
   ServerCore core_;
@@ -139,6 +163,12 @@ class TcpServer {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> transport_errors_{0};
   std::atomic<size_t> active_{0};
+
+  // Observability plane (DESIGN.md §6k).
+  std::chrono::steady_clock::time_point started_{};  // Set by Start().
+  std::atomic<uint64_t> stats_seq_{0};  // Monotonic StatsRep sequence.
+  std::atomic<uint64_t> slow_seq_{0};   // Monotonic slow-log entry ids.
+  obs::FlightRecorder slow_log_;
 };
 
 }  // namespace edk::netio

@@ -113,14 +113,15 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name, double lo,
-                                               double hi, size_t bins) {
+                                               double hi, size_t bins,
+                                               Domain domain) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_
-             .emplace(std::piecewise_construct,
-                      std::forward_as_tuple(std::string(name)),
-                      std::forward_as_tuple(lo, hi, bins))
+  auto& map = domain == Domain::kEnv ? env_histograms_ : histograms_;
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::piecewise_construct,
+                     std::forward_as_tuple(std::string(name)),
+                     std::forward_as_tuple(lo, hi, bins))
              .first;
   }
   return it->second;
@@ -152,9 +153,112 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) {
     histogram.Reset();
   }
+  for (auto& [name, histogram] : env_histograms_) {
+    histogram.Reset();
+  }
   for (auto& [name, phase] : wall_) {
     phase = WallPhase{};
   }
+  delta_prev_ = MetricsSnapshot{};
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotLocked() const {
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter.Value());
+  }
+  out.env_counters.reserve(env_counters_.size());
+  for (const auto& [name, counter] : env_counters_) {
+    out.env_counters.emplace_back(name, counter.Value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge.Value());
+  }
+  auto copy_histograms = [](const std::map<std::string, HistogramMetric,
+                                           std::less<>>& map,
+                            std::vector<MetricsSnapshot::HistogramData>* dst) {
+    dst->reserve(map.size());
+    for (const auto& [name, histogram] : map) {
+      const Histogram snapshot = histogram.Snapshot();
+      MetricsSnapshot::HistogramData data;
+      data.name = name;
+      data.lo = snapshot.BinLow(0);
+      data.hi = snapshot.BinHigh(snapshot.bins() - 1);
+      data.total = snapshot.total();
+      data.underflow = snapshot.underflow();
+      data.overflow = snapshot.overflow();
+      data.counts.reserve(snapshot.bins());
+      for (size_t b = 0; b < snapshot.bins(); ++b) {
+        data.counts.push_back(snapshot.count(b));
+      }
+      dst->push_back(std::move(data));
+    }
+  };
+  copy_histograms(histograms_, &out.histograms);
+  copy_histograms(env_histograms_, &out.env_histograms);
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+namespace {
+
+// current - previous for name-sorted (name, value) vectors. Metrics are
+// never removed, so `prev` is always a (not necessarily strict) name
+// subset of `cur`; a name without a baseline delta-s from zero. Counters
+// are monotonic, but a clamp guards a torn baseline anyway.
+void DiffValues(const std::vector<std::pair<std::string, uint64_t>>& prev,
+                std::vector<std::pair<std::string, uint64_t>>* cur) {
+  size_t p = 0;
+  for (auto& [name, value] : *cur) {
+    while (p < prev.size() && prev[p].first < name) {
+      ++p;
+    }
+    if (p < prev.size() && prev[p].first == name) {
+      value -= std::min(prev[p].second, value);
+    }
+  }
+}
+
+void DiffHistograms(const std::vector<MetricsSnapshot::HistogramData>& prev,
+                    std::vector<MetricsSnapshot::HistogramData>* cur) {
+  size_t p = 0;
+  for (auto& histogram : *cur) {
+    while (p < prev.size() && prev[p].name < histogram.name) {
+      ++p;
+    }
+    if (p >= prev.size() || prev[p].name != histogram.name) {
+      continue;
+    }
+    const MetricsSnapshot::HistogramData& base = prev[p];
+    histogram.total -= std::min(base.total, histogram.total);
+    histogram.underflow -= std::min(base.underflow, histogram.underflow);
+    histogram.overflow -= std::min(base.overflow, histogram.overflow);
+    const size_t bins = std::min(histogram.counts.size(), base.counts.size());
+    for (size_t b = 0; b < bins; ++b) {
+      histogram.counts[b] -= std::min(base.counts[b], histogram.counts[b]);
+    }
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::SnapshotDelta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot current = SnapshotLocked();
+  MetricsSnapshot delta = current;
+  DiffValues(delta_prev_.counters, &delta.counters);
+  DiffValues(delta_prev_.env_counters, &delta.env_counters);
+  DiffHistograms(delta_prev_.histograms, &delta.histograms);
+  DiffHistograms(delta_prev_.env_histograms, &delta.env_histograms);
+  // Gauges stay point-in-time: a rate of a level makes no sense.
+  delta_prev_ = std::move(current);
+  return delta;
 }
 
 void MetricsRegistry::WriteDeterministicSections(std::ostream& os) const {
@@ -223,6 +327,23 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     WriteJsonString(os, name);
     os << ": " << counter.Value();
   }
+  os << (first ? "}" : "\n    }") << ",\n    \"env_histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : env_histograms_) {
+    os << (first ? "\n      " : ",\n      ");
+    first = false;
+    WriteJsonString(os, name);
+    const Histogram snapshot = histogram.Snapshot();
+    os << ": {\"lo\": " << snapshot.BinLow(0)
+       << ", \"hi\": " << snapshot.BinHigh(snapshot.bins() - 1)
+       << ", \"total\": " << snapshot.total()
+       << ", \"underflow\": " << snapshot.underflow()
+       << ", \"overflow\": " << snapshot.overflow() << ", \"counts\": [";
+    for (size_t b = 0; b < snapshot.bins(); ++b) {
+      os << (b == 0 ? "" : ", ") << snapshot.count(b);
+    }
+    os << "]}";
+  }
   os << (first ? "}" : "\n    }") << "\n  }\n}\n";
 }
 
@@ -271,6 +392,18 @@ void MetricsRegistry::WriteCsv(std::ostream& os) const {
   }
   for (const auto& [name, counter] : env_counters_) {
     os << "wall,env_counter," << name << ",value," << counter.Value() << "\n";
+  }
+  for (const auto& [name, histogram] : env_histograms_) {
+    const Histogram snapshot = histogram.Snapshot();
+    os << "wall,env_histogram," << name << ",total," << snapshot.total() << "\n";
+    os << "wall,env_histogram," << name << ",underflow," << snapshot.underflow()
+       << "\n";
+    os << "wall,env_histogram," << name << ",overflow," << snapshot.overflow()
+       << "\n";
+    for (size_t b = 0; b < snapshot.bins(); ++b) {
+      os << "wall,env_histogram," << name << ",bin" << b << ","
+         << snapshot.count(b) << "\n";
+    }
   }
 }
 

@@ -37,6 +37,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/common/stats.h"
 
@@ -111,6 +113,27 @@ struct WallPhase {
   double max_seconds = 0;
 };
 
+// Structured, consistent copy of a registry's values — the form the live
+// stats protocol (DESIGN.md §6k) ships over the wire. Every vector is
+// sorted by name (the registry maps are ordered), so two snapshots of the
+// same registry can be diffed by a linear merge.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    double lo = 0;
+    double hi = 0;
+    uint64_t total = 0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    std::vector<uint64_t> counts;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;      // Deterministic.
+  std::vector<std::pair<std::string, uint64_t>> env_counters;  // Wall section.
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;      // Deterministic.
+  std::vector<HistogramData> env_histograms;  // Wall section.
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -125,15 +148,33 @@ class MetricsRegistry {
   Counter& GetCounter(std::string_view name, Domain domain = Domain::kDeterministic);
   Gauge& GetGauge(std::string_view name);
   // `lo`/`hi`/`bins` apply on first creation; later calls with the same
-  // name return the existing histogram unchanged.
-  HistogramMetric& GetHistogram(std::string_view name, double lo, double hi, size_t bins);
+  // name return the existing histogram unchanged. Domain::kEnv histograms
+  // (e.g. real-socket request latency) export under the "wall" section and
+  // never participate in determinism comparisons.
+  HistogramMetric& GetHistogram(std::string_view name, double lo, double hi,
+                                size_t bins,
+                                Domain domain = Domain::kDeterministic);
 
   // Accumulates one wall-clock measurement of `name` (see PhaseTimer).
   void RecordWallSeconds(std::string_view name, double seconds);
 
   // Zeroes every value (counters, gauges, histogram bins, wall phases)
-  // without invalidating references handed out earlier.
+  // without invalidating references handed out earlier. Also clears the
+  // SnapshotDelta baseline, so the next delta reports from zero.
   void Reset();
+
+  // Consistent structured copy of every metric, all domains.
+  MetricsSnapshot Snapshot() const;
+
+  // Values accumulated since the previous SnapshotDelta() call (or since
+  // construction/Reset() for the first call): counters and histogram
+  // bucket counts are differences, gauges are point-in-time values copied
+  // as-is. Thread-safe against concurrent increments — an increment that
+  // races the snapshot lands in this delta or the next one, never in both
+  // and never in neither, so the deltas plus a final call always sum to
+  // the cumulative totals. Scrapers use this to report rates instead of
+  // lifetime counts.
+  MetricsSnapshot SnapshotDelta();
 
   // Deterministic-ordered JSON snapshot:
   //   {"counters": {...}, "gauges": {...}, "histograms": {...},
@@ -154,6 +195,8 @@ class MetricsRegistry {
  private:
   // Emits the counters/gauges/histograms sections; caller holds mu_.
   void WriteDeterministicSections(std::ostream& os) const;
+  // Builds the structured copy; caller holds mu_.
+  MetricsSnapshot SnapshotLocked() const;
 
   mutable std::mutex mu_;
   // std::map keeps the export order sorted and the nodes pointer-stable.
@@ -161,7 +204,10 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> env_counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, HistogramMetric, std::less<>> histograms_;
+  std::map<std::string, HistogramMetric, std::less<>> env_histograms_;
   std::map<std::string, WallPhase, std::less<>> wall_;
+  // Baseline of the previous SnapshotDelta() call; guarded by mu_.
+  MetricsSnapshot delta_prev_;
 };
 
 // Scoped wall-clock timer: records the elapsed time of a named phase into

@@ -1,0 +1,533 @@
+// Tests of the live observability plane (DESIGN.md §6k): the Stats/Health
+// wire codecs under hostile inputs, the in-band admin protocol end to end
+// against a real TcpServer, the slow-request log's drain cursor, and the
+// scrape-while-serving race the TSan job runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/varint.h"
+#include "src/netio/frame.h"
+#include "src/netio/tcp_client.h"
+#include "src/netio/tcp_server.h"
+#include "src/obs/metrics.h"
+
+namespace edk::netio {
+namespace {
+
+// --- Codec round-trips ------------------------------------------------------
+
+StatsRep SampleStatsRep() {
+  StatsRep rep;
+  rep.seq = 42;
+  rep.uptime_ns = 123'456'789;
+  rep.counters.push_back({"netio.server.requests", 1000});
+  rep.counters.push_back({"", 0});  // Empty names and zeros are legal.
+  rep.gauges.push_back({"process.rss_bytes", 5'000'000});
+  rep.gauges.push_back({"negative.gauge", -12345});
+  StatsHistogramValue h;
+  h.name = "netio.server.latency_us.all";
+  h.lo = 0;
+  h.hi = 50'000;
+  h.underflow = 1;
+  h.overflow = 2;
+  h.counts = {0, 5, 0, 7};
+  rep.histograms.push_back(h);
+  StatsHistogramValue fractional;
+  fractional.name = "f";
+  fractional.lo = -1.5;
+  fractional.hi = 2.25;
+  fractional.counts = {3};
+  rep.histograms.push_back(fractional);
+  SlowRequest slow;
+  slow.seq = 9;
+  slow.wall_ns = 777;
+  slow.type = static_cast<uint8_t>(MsgType::kSearchReq);
+  slow.latency_us = 15'000;
+  slow.request_bytes = 64;
+  slow.reply_bytes = 4096;
+  slow.node = 31;
+  rep.slow.push_back(slow);
+  return rep;
+}
+
+TEST(StatsCodec, StatsReqRoundTrip) {
+  for (const uint64_t cursor : {uint64_t{0}, uint64_t{1}, ~uint64_t{0}}) {
+    StatsReq out;
+    ASSERT_TRUE(DecodeStatsReq(EncodeStatsReq(StatsReq{cursor}), &out));
+    EXPECT_EQ(out.slow_after_seq, cursor);
+  }
+}
+
+TEST(StatsCodec, StatsRepRoundTrip) {
+  const StatsRep rep = SampleStatsRep();
+  StatsRep out;
+  ASSERT_TRUE(DecodeStatsRep(EncodeStatsRep(rep), &out));
+  EXPECT_EQ(out.seq, rep.seq);
+  EXPECT_EQ(out.uptime_ns, rep.uptime_ns);
+  ASSERT_EQ(out.counters.size(), rep.counters.size());
+  for (size_t i = 0; i < rep.counters.size(); ++i) {
+    EXPECT_EQ(out.counters[i].name, rep.counters[i].name);
+    EXPECT_EQ(out.counters[i].value, rep.counters[i].value);
+  }
+  ASSERT_EQ(out.gauges.size(), rep.gauges.size());
+  for (size_t i = 0; i < rep.gauges.size(); ++i) {
+    EXPECT_EQ(out.gauges[i].name, rep.gauges[i].name);
+    EXPECT_EQ(out.gauges[i].value, rep.gauges[i].value);
+  }
+  ASSERT_EQ(out.histograms.size(), rep.histograms.size());
+  for (size_t i = 0; i < rep.histograms.size(); ++i) {
+    EXPECT_EQ(out.histograms[i].name, rep.histograms[i].name);
+    // Fixed 8-byte IEEE754: bounds round-trip bit-exactly.
+    EXPECT_EQ(out.histograms[i].lo, rep.histograms[i].lo);
+    EXPECT_EQ(out.histograms[i].hi, rep.histograms[i].hi);
+    EXPECT_EQ(out.histograms[i].underflow, rep.histograms[i].underflow);
+    EXPECT_EQ(out.histograms[i].overflow, rep.histograms[i].overflow);
+    EXPECT_EQ(out.histograms[i].counts, rep.histograms[i].counts);
+  }
+  ASSERT_EQ(out.slow.size(), 1u);
+  EXPECT_EQ(out.slow[0].seq, 9u);
+  EXPECT_EQ(out.slow[0].wall_ns, 777u);
+  EXPECT_EQ(out.slow[0].type, static_cast<uint8_t>(MsgType::kSearchReq));
+  EXPECT_EQ(out.slow[0].latency_us, 15'000u);
+  EXPECT_EQ(out.slow[0].request_bytes, 64u);
+  EXPECT_EQ(out.slow[0].reply_bytes, 4096u);
+  EXPECT_EQ(out.slow[0].node, 31u);
+}
+
+TEST(StatsCodec, EmptyStatsRepRoundTrip) {
+  StatsRep out;
+  ASSERT_TRUE(DecodeStatsRep(EncodeStatsRep(StatsRep{}), &out));
+  EXPECT_TRUE(out.counters.empty());
+  EXPECT_TRUE(out.gauges.empty());
+  EXPECT_TRUE(out.histograms.empty());
+  EXPECT_TRUE(out.slow.empty());
+}
+
+TEST(StatsCodec, HealthRepRoundTrip) {
+  const HealthRep rep{true, 55'000'000'000, 17, 99'999};
+  HealthRep out;
+  ASSERT_TRUE(DecodeHealthRep(EncodeHealthRep(rep), &out));
+  EXPECT_EQ(out.ok, rep.ok);
+  EXPECT_EQ(out.uptime_ns, rep.uptime_ns);
+  EXPECT_EQ(out.active_connections, rep.active_connections);
+  EXPECT_EQ(out.requests_total, rep.requests_total);
+}
+
+// --- Hostile inputs ---------------------------------------------------------
+
+TEST(StatsCodecHostile, TruncationAtEveryByteRejected) {
+  const std::string payload = EncodeStatsRep(SampleStatsRep());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    StatsRep out;
+    EXPECT_FALSE(DecodeStatsRep(payload.substr(0, len), &out))
+        << "prefix " << len << " of " << payload.size();
+  }
+  const std::string health = EncodeHealthRep(HealthRep{true, 1, 2, 3});
+  for (size_t len = 0; len < health.size(); ++len) {
+    HealthRep out;
+    EXPECT_FALSE(DecodeHealthRep(health.substr(0, len), &out))
+        << "prefix " << len << " of " << health.size();
+  }
+}
+
+TEST(StatsCodecHostile, TrailingGarbageRejected) {
+  std::string payload = EncodeStatsRep(SampleStatsRep());
+  payload.push_back('\0');
+  StatsRep rep;
+  EXPECT_FALSE(DecodeStatsRep(payload, &rep));
+
+  std::string req = EncodeStatsReq(StatsReq{7});
+  req.push_back('!');
+  StatsReq req_out;
+  EXPECT_FALSE(DecodeStatsReq(req, &req_out));
+
+  std::string health = EncodeHealthRep(HealthRep{true, 1, 2, 3});
+  health.push_back('\0');
+  HealthRep health_out;
+  EXPECT_FALSE(DecodeHealthRep(health, &health_out));
+}
+
+TEST(StatsCodecHostile, ForgedCounterCountRejected) {
+  // Claims 2^32 counter records with zero bytes behind the claim: the
+  // element-count validation must reject before any allocation happens.
+  std::string payload;
+  wire::AppendVarint(payload, 1);           // seq
+  wire::AppendVarint(payload, 1);           // uptime_ns
+  wire::AppendVarint(payload, 1ull << 32);  // counter count
+  StatsRep rep;
+  EXPECT_FALSE(DecodeStatsRep(payload, &rep));
+}
+
+TEST(StatsCodecHostile, ForgedHistogramBinCountRejected) {
+  // A histogram record claiming more bins than bytes remain.
+  std::string claims_too_many;
+  wire::AppendVarint(claims_too_many, 1);  // seq
+  wire::AppendVarint(claims_too_many, 1);  // uptime_ns
+  wire::AppendVarint(claims_too_many, 0);  // counters
+  wire::AppendVarint(claims_too_many, 0);  // gauges
+  wire::AppendVarint(claims_too_many, 1);  // histograms
+  wire::AppendVarint(claims_too_many, 1);  // name len
+  claims_too_many.push_back('h');
+  claims_too_many.append(16, '\0');        // lo, hi
+  wire::AppendVarint(claims_too_many, 0);  // underflow
+  wire::AppendVarint(claims_too_many, 0);  // overflow
+  wire::AppendVarint(claims_too_many, 1'000'000);  // bins, no bytes behind.
+  StatsRep rep;
+  EXPECT_FALSE(DecodeStatsRep(claims_too_many, &rep));
+
+  // The bytes ARE present, but the count exceeds the protocol ceiling:
+  // rejected by the kMaxHistogramBins cap, not by exhaustion.
+  std::string over_cap;
+  wire::AppendVarint(over_cap, 1);  // seq
+  wire::AppendVarint(over_cap, 1);  // uptime_ns
+  wire::AppendVarint(over_cap, 0);  // counters
+  wire::AppendVarint(over_cap, 0);  // gauges
+  wire::AppendVarint(over_cap, 1);  // histograms
+  wire::AppendVarint(over_cap, 1);  // name len
+  over_cap.push_back('h');
+  over_cap.append(16, '\0');        // lo, hi
+  wire::AppendVarint(over_cap, 0);  // underflow
+  wire::AppendVarint(over_cap, 0);  // overflow
+  wire::AppendVarint(over_cap, kMaxHistogramBins + 1);
+  over_cap.append(kMaxHistogramBins + 1, '\0');  // One varint byte per bin.
+  wire::AppendVarint(over_cap, 0);  // slow
+  EXPECT_FALSE(DecodeStatsRep(over_cap, &rep));
+}
+
+TEST(StatsCodecHostile, OversizedMetricNameRejected) {
+  // The name's bytes are all present — rejection must come from the
+  // kMaxMetricNameBytes bound, not from running out of payload.
+  std::string payload;
+  wire::AppendVarint(payload, 1);  // seq
+  wire::AppendVarint(payload, 1);  // uptime_ns
+  wire::AppendVarint(payload, 1);  // one counter
+  wire::AppendVarint(payload, kMaxMetricNameBytes + 1);
+  payload.append(kMaxMetricNameBytes + 1, 'n');
+  wire::AppendVarint(payload, 5);  // value
+  StatsRep rep;
+  EXPECT_FALSE(DecodeStatsRep(payload, &rep));
+
+  // Exactly at the bound decodes fine.
+  std::string ok;
+  wire::AppendVarint(ok, 1);
+  wire::AppendVarint(ok, 1);
+  wire::AppendVarint(ok, 1);
+  wire::AppendVarint(ok, kMaxMetricNameBytes);
+  ok.append(kMaxMetricNameBytes, 'n');
+  wire::AppendVarint(ok, 5);
+  wire::AppendVarint(ok, 0);  // gauges
+  wire::AppendVarint(ok, 0);  // histograms
+  wire::AppendVarint(ok, 0);  // slow
+  EXPECT_TRUE(DecodeStatsRep(ok, &rep));
+  EXPECT_EQ(rep.counters[0].name.size(), kMaxMetricNameBytes);
+}
+
+TEST(StatsCodecHostile, SlowLogOverCapAndBadTypeRejected) {
+  std::string over_cap;
+  wire::AppendVarint(over_cap, 1);  // seq
+  wire::AppendVarint(over_cap, 1);  // uptime_ns
+  wire::AppendVarint(over_cap, 0);  // counters
+  wire::AppendVarint(over_cap, 0);  // gauges
+  wire::AppendVarint(over_cap, 0);  // histograms
+  wire::AppendVarint(over_cap, kMaxSlowLogEntries + 1);
+  // Enough bytes for the claimed records, so the cap does the rejecting.
+  over_cap.append((kMaxSlowLogEntries + 1) * 10, '\0');
+  StatsRep rep;
+  EXPECT_FALSE(DecodeStatsRep(over_cap, &rep));
+
+  // A slow record whose type does not fit uint8.
+  std::string bad_type;
+  wire::AppendVarint(bad_type, 1);
+  wire::AppendVarint(bad_type, 1);
+  wire::AppendVarint(bad_type, 0);
+  wire::AppendVarint(bad_type, 0);
+  wire::AppendVarint(bad_type, 0);
+  wire::AppendVarint(bad_type, 1);    // one slow record
+  wire::AppendVarint(bad_type, 1);    // seq
+  wire::AppendVarint(bad_type, 1);    // wall_ns
+  wire::AppendVarint(bad_type, 300);  // type > 0xff
+  wire::AppendVarint(bad_type, 1);    // latency_us
+  wire::AppendVarint(bad_type, 1);    // request_bytes
+  wire::AppendVarint(bad_type, 1);    // reply_bytes
+  wire::AppendVarint(bad_type, 1);    // node
+  EXPECT_FALSE(DecodeStatsRep(bad_type, &rep));
+}
+
+// --- The admin protocol against a live server -------------------------------
+
+class StatsProtocolTest : public ::testing::Test {
+ protected:
+  TcpServer& StartServer(TcpServerConfig config = {}) {
+    server_ = std::make_unique<TcpServer>(std::move(config));
+    std::string error;
+    EXPECT_TRUE(server_->Start(&error)) << error;
+    return *server_;
+  }
+
+  TcpClient& Connect(TcpServer& server) {
+    EXPECT_TRUE(client_.Connect("127.0.0.1", server.port()));
+    return client_;
+  }
+
+  std::unique_ptr<TcpServer> server_;
+  TcpClient client_;
+};
+
+uint64_t CounterIn(const StatsRep& rep, const std::string& name) {
+  for (const auto& c : rep.counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+TEST_F(StatsProtocolTest, HealthNeedsNoLogin) {
+  TcpServer& server = StartServer();
+  TcpClient& client = Connect(server);
+  const auto health = client.Health();
+  ASSERT_TRUE(health.has_value()) << client.last_error();
+  EXPECT_TRUE(health->ok);
+  EXPECT_GE(health->active_connections, 1u);
+  EXPECT_GE(health->requests_total, 1u);  // This health request.
+}
+
+TEST_F(StatsProtocolTest, StatsCarriesRequestTelemetryAndGauges) {
+  TcpServer& server = StartServer();
+  TcpClient& client = Connect(server);
+  ASSERT_TRUE(client.Login("stats-test", false).has_value());
+  ASSERT_TRUE(client.Search({"nothing"}).has_value());
+  ASSERT_TRUE(client.Search({"nada"}).has_value());
+
+  // The global registry accumulates across tests in this binary: assert
+  // growth between two snapshots, never absolute values.
+  const auto before = client.Stats();
+  ASSERT_TRUE(before.has_value()) << client.last_error();
+  ASSERT_TRUE(client.Search({"zilch"}).has_value());
+  const auto after = client.Stats(before->seq);
+  ASSERT_TRUE(after.has_value());
+
+  EXPECT_GT(after->seq, before->seq);
+  EXPECT_GE(after->uptime_ns, before->uptime_ns);
+  EXPECT_EQ(CounterIn(*after, "netio.server.req.search") -
+                CounterIn(*before, "netio.server.req.search"),
+            1u);
+  EXPECT_GT(CounterIn(*after, "netio.server.bytes_out.search"),
+            CounterIn(*before, "netio.server.bytes_out.search"));
+
+  // The latency histogram saw the search.
+  uint64_t before_total = 0;
+  uint64_t after_total = 0;
+  for (const auto& h : before->histograms) {
+    if (h.name == "netio.server.latency_us.all") {
+      before_total = h.underflow + h.overflow;
+      for (uint64_t c : h.counts) before_total += c;
+    }
+  }
+  for (const auto& h : after->histograms) {
+    if (h.name == "netio.server.latency_us.all") {
+      EXPECT_EQ(h.counts.size(), 500u);
+      after_total = h.underflow + h.overflow;
+      for (uint64_t c : h.counts) after_total += c;
+    }
+  }
+  EXPECT_GT(after_total, before_total);
+
+  // Process gauges were refreshed for the snapshot.
+  auto gauge = [](const StatsRep& rep, const std::string& name) {
+    for (const auto& g : rep.gauges) {
+      if (g.name == name) return g.value;
+    }
+    return int64_t{-1};
+  };
+  EXPECT_GT(gauge(*after, "process.rss_bytes"), 0);
+  EXPECT_GT(gauge(*after, "process.open_fds"), 0);
+  EXPECT_GE(gauge(*after, "netio.server.active_connections"), 1);
+  EXPECT_GE(gauge(*after, "netio.server.worker0.connections"), 1);
+}
+
+TEST_F(StatsProtocolTest, SlowLogDrainsThroughTheCursor) {
+  TcpServerConfig config;
+  config.slow_request_threshold_us = 0;  // Log every request.
+  TcpServer& server = StartServer(std::move(config));
+  TcpClient& client = Connect(server);
+  ASSERT_TRUE(client.Login("slow-test", false).has_value());
+  ASSERT_TRUE(client.Search({"a"}).has_value());
+  ASSERT_TRUE(client.Search({"b"}).has_value());
+
+  const auto first = client.Stats();
+  ASSERT_TRUE(first.has_value());
+  // Login + two searches, all logged; ids strictly increasing.
+  ASSERT_GE(first->slow.size(), 3u);
+  uint64_t cursor = 0;
+  for (const auto& slow : first->slow) {
+    EXPECT_GT(slow.seq, cursor);
+    cursor = slow.seq;
+  }
+
+  // Passing the cursor back: only entries logged since (the first Stats
+  // dispatch itself, recorded after its own reply was built).
+  const auto second = client.Stats(cursor);
+  ASSERT_TRUE(second.has_value());
+  for (const auto& slow : second->slow) {
+    EXPECT_GT(slow.seq, cursor);
+  }
+  ASSERT_EQ(second->slow.size(), 1u);
+  EXPECT_EQ(second->slow[0].type, static_cast<uint8_t>(MsgType::kStatsReq));
+
+  // The logged search entry carried the session's node id.
+  bool saw_search = false;
+  for (const auto& slow : first->slow) {
+    if (slow.type == static_cast<uint8_t>(MsgType::kSearchReq)) {
+      saw_search = true;
+      EXPECT_NE(slow.node, kInvalidNode);
+      EXPECT_GT(slow.request_bytes, 0u);
+      EXPECT_GT(slow.reply_bytes, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_search);
+}
+
+TEST_F(StatsProtocolTest, NegativeThresholdDisablesTheSlowLog) {
+  TcpServerConfig config;
+  config.slow_request_threshold_us = -1;
+  TcpServer& server = StartServer(std::move(config));
+  TcpClient& client = Connect(server);
+  ASSERT_TRUE(client.Login("quiet", false).has_value());
+  ASSERT_TRUE(client.Search({"x"}).has_value());
+  const auto rep = client.Stats();
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_TRUE(rep->slow.empty());
+}
+
+TEST_F(StatsProtocolTest, MalformedStatsReqTearsTheConnectionDown) {
+  TcpServer& server = StartServer();
+  TcpClient& client = Connect(server);
+  // A non-canonical varint (0x80 with no continuation) is not a StatsReq.
+  const auto reply = client.Call(MsgType::kStatsReq, std::string("\x80", 1));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kError);
+  // Stream-level offence: the server closes after flushing the error.
+  EXPECT_FALSE(client.Stats().has_value());
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST_F(StatsProtocolTest, NonEmptyHealthPayloadRejected) {
+  TcpServer& server = StartServer();
+  TcpClient& client = Connect(server);
+  const auto reply = client.Call(MsgType::kHealthReq, "x");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kError);
+}
+
+TEST_F(StatsProtocolTest, StatsDoesNotPerturbDeterministicCounters) {
+  // The observability plane's contract: everything it touches lives in the
+  // env domain (or gauges), so the deterministic counter/histogram totals
+  // the equivalence suites byte-compare cannot move.
+  TcpServer& server = StartServer();
+  TcpClient& client = Connect(server);
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Stats().has_value());
+    ASSERT_TRUE(client.Health().has_value());
+  }
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(before.counters.size(), after.counters.size());
+  for (size_t i = 0; i < before.counters.size(); ++i) {
+    EXPECT_EQ(before.counters[i].second, after.counters[i].second)
+        << before.counters[i].first;
+  }
+  ASSERT_EQ(before.histograms.size(), after.histograms.size());
+  for (size_t i = 0; i < before.histograms.size(); ++i) {
+    EXPECT_EQ(before.histograms[i].total, after.histograms[i].total)
+        << before.histograms[i].name;
+  }
+}
+
+TEST_F(StatsProtocolTest, ScrapersRaceTheServingPathCleanly) {
+  // The TSan matrix job runs this: scrapers hammering StatsReq while load
+  // threads publish and search. Every reply must stay well-formed and the
+  // final scrape must account for every request the load threads made.
+  TcpServerConfig config;
+  config.worker_threads = 2;
+  config.slow_request_threshold_us = 0;  // Exercise the slow log too.
+  TcpServer& server = StartServer(std::move(config));
+
+  constexpr int kLoadThreads = 2;
+  constexpr int kScrapeThreads = 2;
+  constexpr int kRequestsPerLoadThread = 50;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kLoadThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TcpClient load;
+      if (!load.Connect("127.0.0.1", server.port()) ||
+          !load.Login("load" + std::to_string(t), false).has_value()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerLoadThread; ++i) {
+        if (!load.Search({"needle" + std::to_string(i)}).has_value()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop_scraping{false};
+  for (int t = 0; t < kScrapeThreads; ++t) {
+    threads.emplace_back([&] {
+      TcpClient scraper;
+      if (!scraper.Connect("127.0.0.1", server.port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t cursor = 0;
+      while (!stop_scraping.load(std::memory_order_acquire)) {
+        const auto rep = scraper.Stats(cursor);
+        if (!rep.has_value()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (const auto& slow : rep->slow) {
+          if (slow.seq <= cursor) {
+            failures.fetch_add(1);  // Cursor contract violated.
+            return;
+          }
+          cursor = slow.seq;
+        }
+        if (!scraper.Health().has_value()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kLoadThreads; ++t) {
+    threads[t].join();
+  }
+  stop_scraping.store(true, std::memory_order_release);
+  for (size_t t = kLoadThreads; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // A final scrape on a fresh connection sees every search that ran.
+  TcpClient final_client;
+  ASSERT_TRUE(final_client.Connect("127.0.0.1", server.port()));
+  const auto rep = final_client.Stats();
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_GE(CounterIn(*rep, "netio.server.req.search"),
+            static_cast<uint64_t>(kLoadThreads * kRequestsPerLoadThread));
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace edk::netio

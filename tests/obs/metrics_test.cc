@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/json_lint.h"
@@ -275,6 +277,128 @@ TEST(PhaseTimerTest, StartWhileRunningIsNoOpPlusMisuseCounter) {
 
 TEST(GlobalRegistryTest, IsASingleton) {
   EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+// --- Structured snapshots (the live stats protocol's source) ----------------
+
+TEST(SnapshotTest, CopiesEveryDomainSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.det").Increment(2);
+  registry.GetCounter("a.det").Increment(1);
+  registry.GetCounter("c.env", Domain::kEnv).Increment(3);
+  registry.GetGauge("g").Set(-7);
+  registry.GetHistogram("h.det", 0.0, 10.0, 5).Record(3.0);
+  registry.GetHistogram("h.env", 0.0, 10.0, 5, Domain::kEnv).Record(99.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.det");  // Map order = sorted.
+  EXPECT_EQ(snapshot.counters[1].second, 2u);
+  ASSERT_EQ(snapshot.env_counters.size(), 1u);
+  EXPECT_EQ(snapshot.env_counters[0].second, 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, -7);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "h.det");
+  EXPECT_EQ(snapshot.histograms[0].total, 1u);
+  EXPECT_EQ(snapshot.histograms[0].counts.size(), 5u);
+  EXPECT_EQ(snapshot.histograms[0].counts[1], 1u);
+  ASSERT_EQ(snapshot.env_histograms.size(), 1u);
+  EXPECT_EQ(snapshot.env_histograms[0].overflow, 1u);
+}
+
+TEST(SnapshotDeltaTest, ReportsOnlyValuesSincePreviousCall) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  HistogramMetric& histogram = registry.GetHistogram("h", 0.0, 10.0, 5);
+  counter.Increment(10);
+  histogram.Record(1.0);
+
+  const MetricsSnapshot first = registry.SnapshotDelta();
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].second, 10u);
+  EXPECT_EQ(first.histograms[0].counts[0], 1u);
+
+  // No activity between the calls: everything zero.
+  const MetricsSnapshot quiet = registry.SnapshotDelta();
+  EXPECT_EQ(quiet.counters[0].second, 0u);
+  EXPECT_EQ(quiet.histograms[0].total, 0u);
+
+  counter.Increment(5);
+  histogram.Record(9.0);
+  const MetricsSnapshot second = registry.SnapshotDelta();
+  EXPECT_EQ(second.counters[0].second, 5u);
+  EXPECT_EQ(second.histograms[0].counts[0], 0u);
+  EXPECT_EQ(second.histograms[0].counts[4], 1u);
+}
+
+TEST(SnapshotDeltaTest, GaugesStayPointInTime) {
+  MetricsRegistry registry;
+  registry.GetGauge("g").Set(100);
+  EXPECT_EQ(registry.SnapshotDelta().gauges[0].second, 100);
+  // A gauge is not a rate: the next delta repeats the current value.
+  EXPECT_EQ(registry.SnapshotDelta().gauges[0].second, 100);
+  registry.GetGauge("g").Set(40);
+  EXPECT_EQ(registry.SnapshotDelta().gauges[0].second, 40);
+}
+
+TEST(SnapshotDeltaTest, MetricRegisteredBetweenCallsAppearsInFull) {
+  MetricsRegistry registry;
+  registry.GetCounter("old").Increment(1);
+  registry.SnapshotDelta();
+  registry.GetCounter("new").Increment(7);
+  const MetricsSnapshot delta = registry.SnapshotDelta();
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters[0].second, 7u);  // "new": full value.
+  EXPECT_EQ(delta.counters[1].second, 0u);  // "old": unchanged.
+}
+
+TEST(SnapshotDeltaTest, ResetClearsTheBaseline) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  counter.Increment(9);
+  registry.SnapshotDelta();
+  registry.Reset();
+  counter.Increment(2);
+  // Without the baseline reset this would underflow (2 - 9).
+  EXPECT_EQ(registry.SnapshotDelta().counters[0].second, 2u);
+}
+
+TEST(SnapshotDeltaTest, RacingIncrementLandsInExactlyOneDelta) {
+  // The scrape contract: deltas plus a final call sum to the cumulative
+  // total — an increment racing a snapshot is never lost and never double
+  // counted. Writers hammer one counter while the main thread scrapes.
+  constexpr size_t kWriters = 4;
+  constexpr uint64_t kPerWriter = 50'000;
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("raced");
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (auto& writer : writers) {
+      writer.join();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  uint64_t summed = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const MetricsSnapshot delta = registry.SnapshotDelta();
+    summed += delta.counters[0].second;
+  }
+  closer.join();
+  summed += registry.SnapshotDelta().counters[0].second;
+  EXPECT_EQ(summed, kWriters * kPerWriter);
+  EXPECT_EQ(counter.Value(), kWriters * kPerWriter);
 }
 
 }  // namespace

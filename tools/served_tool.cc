@@ -26,12 +26,41 @@
 #include "src/netio/corpus.h"
 #include "src/netio/tcp_server.h"
 #include "src/obs/flags.h"
+#include "src/obs/metrics.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleDumpSignal(int) { g_dump = 1; }
+
+// One JSONL stats-log record: metric deltas since the previous line (via
+// MetricsRegistry::SnapshotDelta), gauges point-in-time. Counters at zero
+// are skipped — an idle daemon logs small lines.
+void AppendStatsLogLine(std::ostream& os, double uptime_seconds) {
+  const edk::obs::MetricsSnapshot delta =
+      edk::obs::MetricsRegistry::Global().SnapshotDelta();
+  os << "{\"uptime_s\":" << uptime_seconds << ",\"counters\":{";
+  bool first = true;
+  auto emit = [&](const auto& values) {
+    for (const auto& [name, value] : values) {
+      if (value == 0) {
+        continue;
+      }
+      os << (first ? "" : ",") << "\"" << name << "\":" << value;
+      first = false;
+    }
+  };
+  emit(delta.counters);
+  emit(delta.env_counters);
+  os << "},\"gauges\":{";
+  first = true;
+  emit(delta.gauges);
+  os << "}}\n";
+  os.flush();
+}
 
 [[noreturn]] void Usage(const char* argv0) {
   std::cerr
@@ -45,7 +74,14 @@ void HandleSignal(int) { g_stop = 1; }
       << "  --max-users=N        index connection cap (default 200000)\n"
       << "  --max-seconds=X      exit after X seconds (default: run until\n"
       << "                       SIGINT/SIGTERM)\n"
-      << "  " << edk::obs::ObsFlagsUsage() << "\n";
+      << "  --slow-us=X          slow-request log threshold in micro-\n"
+      << "                       seconds (default 10000; 0 logs all)\n"
+      << "  --stats-log=FILE     append a JSONL metrics-delta line every\n"
+      << "                       --stats-interval-ms (default 1000)\n"
+      << "  --stats-interval-ms=N\n"
+      << "  " << edk::obs::ObsFlagsUsage() << "\n"
+      << "SIGUSR1 dumps a metrics JSON snapshot to --metrics-out; SIGTERM\n"
+      << "flushes a final snapshot there before exiting.\n";
   std::exit(2);
 }
 
@@ -55,8 +91,10 @@ int main(int argc, char** argv) {
   edk::netio::ServeCorpusConfig corpus_config;
   edk::netio::TcpServerConfig server_config;
   std::string port_file;
+  std::string stats_log;
   bool preload = true;
   double max_seconds = 0;
+  uint64_t stats_interval_ms = 1000;
   edk::obs::ObsFlagValues obs;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +127,15 @@ int main(int argc, char** argv) {
       server_config.index.max_users = std::strtoul(v, nullptr, 10);
     } else if ((v = value("--max-seconds=")) != nullptr) {
       max_seconds = std::strtod(v, nullptr);
+    } else if ((v = value("--slow-us=")) != nullptr) {
+      server_config.slow_request_threshold_us = std::strtod(v, nullptr);
+    } else if ((v = value("--stats-log=")) != nullptr) {
+      stats_log = v;
+    } else if ((v = value("--stats-interval-ms=")) != nullptr) {
+      stats_interval_ms = std::strtoull(v, nullptr, 10);
+      if (stats_interval_ms == 0) {
+        stats_interval_ms = 1000;
+      }
     } else if (edk::obs::ConsumeObsFlag(arg, &obs)) {
       // Handled.
     } else {
@@ -131,21 +178,60 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
+
+  std::ofstream stats_log_os;
+  if (!stats_log.empty()) {
+    stats_log_os.open(stats_log, std::ios::trunc);
+    if (!stats_log_os.good()) {
+      std::cerr << "failed to open " << stats_log << "\n";
+      return 1;
+    }
+    // Baseline: the first logged line reports deltas from here, not from
+    // process start (the preload would dominate it otherwise).
+    edk::obs::MetricsRegistry::Global().SnapshotDelta();
+  }
+
   const auto started = std::chrono::steady_clock::now();
+  auto next_stats_line = started + std::chrono::milliseconds(stats_interval_ms);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    if (max_seconds > 0) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        started)
-              .count();
-      if (elapsed >= max_seconds) {
-        break;
+    const auto now = std::chrono::steady_clock::now();
+    if (g_dump != 0) {
+      g_dump = 0;
+      server.RefreshProcessGauges();
+      if (obs.metrics_out.empty()) {
+        std::cerr << "SIGUSR1 ignored: no --metrics-out path\n";
+      } else if (edk::obs::MetricsRegistry::Global().WriteJsonToFile(
+                     obs.metrics_out)) {
+        std::cerr << "SIGUSR1: metrics dumped to " << obs.metrics_out << "\n";
+      } else {
+        std::cerr << "SIGUSR1: failed to write " << obs.metrics_out << "\n";
       }
+    }
+    if (stats_log_os.is_open() && now >= next_stats_line) {
+      server.RefreshProcessGauges();
+      AppendStatsLogLine(stats_log_os,
+                         std::chrono::duration<double>(now - started).count());
+      next_stats_line = now + std::chrono::milliseconds(stats_interval_ms);
+    }
+    if (max_seconds > 0 &&
+        std::chrono::duration<double>(now - started).count() >= max_seconds) {
+      break;
     }
   }
 
   const auto stats = server.stats();
+  // Final flush before Stop(): gauges still see live workers, and the
+  // at-exit --metrics-out dump then carries end-of-run values.
+  server.RefreshProcessGauges();
+  if (stats_log_os.is_open()) {
+    AppendStatsLogLine(
+        stats_log_os,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  }
   server.Stop();
   std::cerr << "edk-served exiting: accepted=" << stats.connections_accepted
             << " requests=" << stats.requests

@@ -1,0 +1,395 @@
+// edk-stat — scrape a running edk-served over its in-band stats protocol.
+//
+// Speaks the same framed TCP protocol as every other client (DESIGN.md
+// §6k): a StatsReq round-trip returns the daemon's cumulative metrics
+// snapshot (counters, gauges, latency histograms) plus the new entries of
+// its slow-request log. Two modes:
+//
+//   edk-stat --connect=127.0.0.1:4661                one-shot summary
+//   edk-stat --connect=... --json                    one-shot JSON object
+//   edk-stat --connect=... --interval-ms=500         JSONL time-series
+//
+// In time-series mode each line carries interval rates (qps, interval
+// latency quantiles from the histogram delta) computed client-side by
+// diffing consecutive cumulative snapshots — the daemon stays stateless
+// about its scrapers except for the slow-log cursor the client advances.
+// Lines are valid standalone JSON (lintable with
+// `edk-trace-inspect validate-json`).
+//
+// `--health` performs only the HealthReq round-trip and exits 0/1; scripts
+// use it as a liveness probe.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/netio/frame.h"
+#include "src/netio/tcp_client.h"
+
+namespace {
+
+using edk::netio::StatsHistogramValue;
+using edk::netio::StatsRep;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --connect=HOST:PORT [options]\n"
+      << "  --connect=HOST:PORT  daemon address (required)\n"
+      << "  --json               one-shot: emit a JSON object, not text\n"
+      << "  --interval-ms=N      poll every N ms, one JSONL line each\n"
+      << "  --count=N            stop after N samples (default: SIGINT)\n"
+      << "  --out=FILE           write to FILE instead of stdout\n"
+      << "  --health             health probe only; exit 0 iff healthy\n"
+      << "  --timeout-seconds=X  per-request receive timeout (default 10)\n";
+  std::exit(2);
+}
+
+bool ParseConnect(const std::string& spec, std::string* host, uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  const unsigned long p = std::strtoul(spec.c_str() + colon + 1, nullptr, 10);
+  if (p == 0 || p > 65535) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0020";  // Control bytes cannot appear in metric names.
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+uint64_t HistogramTotal(const StatsHistogramValue& h) {
+  uint64_t total = h.underflow + h.overflow;
+  for (uint64_t c : h.counts) {
+    total += c;
+  }
+  return total;
+}
+
+// Quantile with linear interpolation inside the hit bin; underflow maps to
+// lo, overflow to hi (the histogram cannot resolve past its range).
+double HistogramQuantile(const StatsHistogramValue& h, double q) {
+  const uint64_t total = HistogramTotal(h);
+  if (total == 0 || h.counts.empty()) {
+    return 0;
+  }
+  const double target = q * static_cast<double>(total);
+  double cum = static_cast<double>(h.underflow);
+  if (cum >= target && h.underflow > 0) {
+    return h.lo;
+  }
+  const double width =
+      (h.hi - h.lo) / static_cast<double>(h.counts.size());
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    const double prev = cum;
+    cum += static_cast<double>(h.counts[i]);
+    if (cum >= target && h.counts[i] > 0) {
+      const double frac =
+          (target - prev) / static_cast<double>(h.counts[i]);
+      return h.lo + width * (static_cast<double>(i) + std::clamp(frac, 0.0, 1.0));
+    }
+  }
+  return h.hi;
+}
+
+const StatsHistogramValue* FindHistogram(const StatsRep& rep,
+                                         const std::string& name) {
+  for (const auto& h : rep.histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+int64_t GaugeValue(const StatsRep& rep, const std::string& name) {
+  for (const auto& g : rep.gauges) {
+    if (g.name == name) {
+      return g.value;
+    }
+  }
+  return 0;
+}
+
+uint64_t CounterValue(const StatsRep& rep, const std::string& name) {
+  for (const auto& c : rep.counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+// Cumulative histogram difference (same name/shape assumed; bins clamp at
+// zero so a daemon restart between scrapes degrades to "everything new").
+StatsHistogramValue DiffHistogram(const StatsHistogramValue& now,
+                                  const StatsHistogramValue& prev) {
+  StatsHistogramValue out = now;
+  if (prev.counts.size() != now.counts.size()) {
+    return out;
+  }
+  out.underflow -= std::min(prev.underflow, out.underflow);
+  out.overflow -= std::min(prev.overflow, out.overflow);
+  for (size_t i = 0; i < out.counts.size(); ++i) {
+    out.counts[i] -= std::min(prev.counts[i], out.counts[i]);
+  }
+  return out;
+}
+
+void WriteJsonSnapshot(std::ostream& os, const StatsRep& rep) {
+  os << "{\"seq\":" << rep.seq
+     << ",\"uptime_s\":" << static_cast<double>(rep.uptime_ns) / 1e9;
+  os << ",\"counters\":{";
+  for (size_t i = 0; i < rep.counters.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(rep.counters[i].name)
+       << "\":" << rep.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < rep.gauges.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(rep.gauges[i].name)
+       << "\":" << rep.gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < rep.histograms.size(); ++i) {
+    const auto& h = rep.histograms[i];
+    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(h.name)
+       << "\":{\"count\":" << HistogramTotal(h)
+       << ",\"p50\":" << HistogramQuantile(h, 0.5)
+       << ",\"p90\":" << HistogramQuantile(h, 0.9)
+       << ",\"p99\":" << HistogramQuantile(h, 0.99)
+       << ",\"overflow\":" << h.overflow << "}";
+  }
+  os << "},\"slow\":[";
+  for (size_t i = 0; i < rep.slow.size(); ++i) {
+    const auto& s = rep.slow[i];
+    os << (i == 0 ? "" : ",") << "{\"seq\":" << s.seq << ",\"type\":\""
+       << edk::netio::MsgTypeName(static_cast<edk::netio::MsgType>(s.type))
+       << "\",\"latency_us\":" << s.latency_us
+       << ",\"request_bytes\":" << s.request_bytes
+       << ",\"reply_bytes\":" << s.reply_bytes
+       << ",\"node\":" << s.node << "}";
+  }
+  os << "]}\n";
+}
+
+void WriteTextSummary(std::ostream& os, const StatsRep& rep) {
+  os << "uptime: " << static_cast<double>(rep.uptime_ns) / 1e9
+     << " s (snapshot seq " << rep.seq << ")\n";
+  os << "requests: " << CounterValue(rep, "netio.server.requests")
+     << " total, " << CounterValue(rep, "netio.server.protocol_errors")
+     << " protocol errors\n";
+  os << "by type:\n";
+  const std::string prefix = "netio.server.req.";
+  for (const auto& c : rep.counters) {
+    if (c.name.compare(0, prefix.size(), prefix) == 0 && c.value > 0) {
+      os << "  " << c.name.substr(prefix.size()) << ": " << c.value << "\n";
+    }
+  }
+  if (const auto* all = FindHistogram(rep, "netio.server.latency_us.all");
+      all != nullptr && HistogramTotal(*all) > 0) {
+    os << "latency (us): p50=" << HistogramQuantile(*all, 0.5)
+       << " p90=" << HistogramQuantile(*all, 0.9)
+       << " p99=" << HistogramQuantile(*all, 0.99)
+       << " overflow=" << all->overflow << "\n";
+  }
+  os << "process: rss=" << GaugeValue(rep, "process.rss_bytes")
+     << " bytes, fds=" << GaugeValue(rep, "process.open_fds")
+     << ", connections=" << GaugeValue(rep, "netio.server.active_connections")
+     << "\n";
+  os << "index: " << GaugeValue(rep, "netio.server.indexed_files")
+     << " files, " << GaugeValue(rep, "netio.server.connected_users")
+     << " users\n";
+  if (!rep.slow.empty()) {
+    os << "slow requests (" << rep.slow.size() << " new):\n";
+    for (const auto& s : rep.slow) {
+      os << "  #" << s.seq << " "
+         << edk::netio::MsgTypeName(static_cast<edk::netio::MsgType>(s.type))
+         << " " << s.latency_us << " us, " << s.request_bytes << "B in / "
+         << s.reply_bytes << "B out, node " << s.node << "\n";
+    }
+  }
+}
+
+// One interval sample of the time-series mode.
+void WriteSeriesLine(std::ostream& os, const StatsRep& now,
+                     const StatsRep* prev) {
+  const double uptime_s = static_cast<double>(now.uptime_ns) / 1e9;
+  const uint64_t requests = CounterValue(now, "netio.server.requests");
+  double qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  const auto* all_now = FindHistogram(now, "netio.server.latency_us.all");
+  if (prev != nullptr && now.uptime_ns > prev->uptime_ns) {
+    const double dt =
+        static_cast<double>(now.uptime_ns - prev->uptime_ns) / 1e9;
+    const uint64_t prev_requests =
+        CounterValue(*prev, "netio.server.requests");
+    qps = static_cast<double>(requests -
+                              std::min(prev_requests, requests)) /
+          dt;
+    const auto* all_prev =
+        FindHistogram(*prev, "netio.server.latency_us.all");
+    if (all_now != nullptr && all_prev != nullptr) {
+      const StatsHistogramValue delta = DiffHistogram(*all_now, *all_prev);
+      if (HistogramTotal(delta) > 0) {
+        p50 = HistogramQuantile(delta, 0.5);
+        p99 = HistogramQuantile(delta, 0.99);
+      }
+    }
+  } else if (all_now != nullptr && HistogramTotal(*all_now) > 0) {
+    p50 = HistogramQuantile(*all_now, 0.5);
+    p99 = HistogramQuantile(*all_now, 0.99);
+  }
+  os << "{\"seq\":" << now.seq << ",\"uptime_s\":" << uptime_s
+     << ",\"requests_total\":" << requests << ",\"qps\":" << qps
+     << ",\"p50_us\":" << p50 << ",\"p99_us\":" << p99
+     << ",\"rss_bytes\":" << GaugeValue(now, "process.rss_bytes")
+     << ",\"open_fds\":" << GaugeValue(now, "process.open_fds")
+     << ",\"active_connections\":"
+     << GaugeValue(now, "netio.server.active_connections")
+     << ",\"slow_new\":" << now.slow.size() << "}\n";
+  os.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  std::string out_path;
+  bool json = false;
+  bool health_only = false;
+  uint64_t interval_ms = 0;
+  uint64_t count = 0;
+  double timeout_seconds = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    const char* v;
+    if ((v = value("--connect=")) != nullptr) {
+      connect = v;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--health") == 0) {
+      health_only = true;
+    } else if ((v = value("--interval-ms=")) != nullptr) {
+      interval_ms = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--count=")) != nullptr) {
+      count = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--out=")) != nullptr) {
+      out_path = v;
+    } else if ((v = value("--timeout-seconds=")) != nullptr) {
+      timeout_seconds = std::strtod(v, nullptr);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage(argv[0]);
+    }
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (connect.empty() || !ParseConnect(connect, &host, &port)) {
+    std::cerr << "missing or malformed --connect=HOST:PORT\n";
+    Usage(argv[0]);
+  }
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::trunc);
+    if (!out_file.good()) {
+      std::cerr << "failed to open " << out_path << "\n";
+      return 1;
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : out_file;
+
+  edk::netio::TcpClient client;
+  if (!client.Connect(host, port, timeout_seconds)) {
+    std::cerr << "connect failed: " << client.last_error() << "\n";
+    return 1;
+  }
+
+  if (health_only) {
+    const auto health = client.Health();
+    if (!health.has_value()) {
+      std::cerr << "health probe failed: " << client.last_error() << "\n";
+      return 1;
+    }
+    os << "{\"ok\":" << (health->ok ? "true" : "false")
+       << ",\"uptime_s\":" << static_cast<double>(health->uptime_ns) / 1e9
+       << ",\"active_connections\":" << health->active_connections
+       << ",\"requests_total\":" << health->requests_total << "}\n";
+    return health->ok ? 0 : 1;
+  }
+
+  if (interval_ms == 0) {
+    const auto rep = client.Stats();
+    if (!rep.has_value()) {
+      std::cerr << "stats request failed: " << client.last_error() << "\n";
+      return 1;
+    }
+    if (json) {
+      WriteJsonSnapshot(os, *rep);
+    } else {
+      WriteTextSummary(os, *rep);
+    }
+    return 0;
+  }
+
+  // Time-series mode: one JSONL line per interval until --count or SIGINT.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::optional<StatsRep> prev;
+  uint64_t slow_cursor = 0;
+  for (uint64_t sample = 0; (count == 0 || sample < count) && g_stop == 0;
+       ++sample) {
+    if (sample > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      if (g_stop != 0) {
+        break;
+      }
+    }
+    auto rep = client.Stats(slow_cursor);
+    if (!rep.has_value()) {
+      std::cerr << "stats request failed: " << client.last_error() << "\n";
+      return 1;
+    }
+    for (const auto& slow : rep->slow) {
+      slow_cursor = std::max(slow_cursor, slow.seq);
+    }
+    WriteSeriesLine(os, *rep, prev.has_value() ? &*prev : nullptr);
+    prev = std::move(rep);
+  }
+  return 0;
+}

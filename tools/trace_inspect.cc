@@ -242,13 +242,36 @@ int RunValidateTrace(const std::string& path) {
 
 int RunValidateJson(const std::string& path) {
   const edk::JsonLintResult result = edk::LintJsonFile(path);
-  if (!result.ok) {
-    std::printf("%s: INVALID at byte %zu: %s\n", path.c_str(), result.offset,
-                result.error.c_str());
-    return 1;
+  if (result.ok) {
+    std::printf("%s: OK\n", path.c_str());
+    return 0;
   }
-  std::printf("%s: OK\n", path.c_str());
-  return 0;
+  // Not one JSON document — maybe JSONL (edk-stat time-series, edk-served
+  // --stats-log): accept iff every non-empty line is valid standalone JSON.
+  std::ifstream is(path);
+  std::string line;
+  size_t line_no = 0;
+  size_t json_lines = 0;
+  bool jsonl_ok = is.good();
+  while (jsonl_ok && std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const edk::JsonLintResult line_result = edk::LintJson(line);
+    if (!line_result.ok) {
+      jsonl_ok = false;
+      break;
+    }
+    ++json_lines;
+  }
+  if (jsonl_ok && json_lines > 0) {
+    std::printf("%s: OK (JSONL, %zu lines)\n", path.c_str(), json_lines);
+    return 0;
+  }
+  std::printf("%s: INVALID at byte %zu: %s\n", path.c_str(), result.offset,
+              result.error.c_str());
+  return 1;
 }
 
 }  // namespace
